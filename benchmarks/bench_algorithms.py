@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the algorithmic substrates.
+
+Not a paper table — these keep the hot inner routines honest: Yen's
+K-shortest paths and the candidate-pool generation dominate Algorithm 1's
+encode time; the multi-wall model dominates template construction; model
+assembly dominates encode-to-solver hand-off.
+"""
+
+import pytest
+
+from repro import default_catalog, synthetic_template
+from repro.channel import MultiWallModel
+from repro.constraints import build_mapping
+from repro.encoding import ApproximatePathEncoder
+from repro.encoding.approximate import generate_candidate_pool
+from repro.geometry import Point, office_floorplan
+from repro.graph import k_shortest_paths, shortest_path
+from repro.milp import Model
+from repro.network import RequirementSet, RouteRequirement
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return synthetic_template(150, 50, seed=4)
+
+
+def test_bench_dijkstra(benchmark, instance):
+    source = instance.sensor_ids[0]
+    path, cost = benchmark(
+        shortest_path, instance.template.graph, source, instance.sink_id
+    )
+    assert path[0] == source and path[-1] == instance.sink_id
+
+
+def test_bench_yen_k10(benchmark, instance):
+    source = instance.sensor_ids[1]
+    paths = benchmark(
+        k_shortest_paths, instance.template.graph, source,
+        instance.sink_id, 10,
+    )
+    assert 1 <= len(paths) <= 10
+    costs = [c for _, c in paths]
+    assert costs == sorted(costs)
+
+
+def test_bench_candidate_pool(benchmark, instance):
+    req = RouteRequirement(instance.sensor_ids[2], instance.sink_id,
+                           replicas=2, disjoint=True)
+
+    def run():
+        return generate_candidate_pool(
+            instance.template.graph, req, k_star=10
+        )
+
+    pool = benchmark(run)
+    assert len(pool) >= 2
+
+
+def test_bench_multiwall_path_loss(benchmark):
+    plan = office_floorplan()
+    model = MultiWallModel(plan)
+    a, b = Point(3.0, 4.0), Point(76.0, 41.0)
+
+    value = benchmark(model.path_loss_db, a, b)
+    assert value > 40.0
+
+
+def test_bench_encode_approximate(benchmark, instance):
+    reqs = RequirementSet()
+    for s in instance.sensor_ids:
+        reqs.require_route(s, instance.sink_id, replicas=2, disjoint=True)
+
+    def encode():
+        model = Model()
+        mapping = build_mapping(model, instance.template, default_catalog())
+        ApproximatePathEncoder(k_star=10).encode(
+            model, instance.template, reqs.routes, mapping.node_used
+        )
+        return model
+
+    model = benchmark.pedantic(encode, rounds=3, iterations=1)
+    assert model.stats().num_constraints > 0
+
+
+def test_bench_standard_form_assembly(benchmark, instance):
+    reqs = RequirementSet()
+    for s in instance.sensor_ids:
+        reqs.require_route(s, instance.sink_id, replicas=2, disjoint=True)
+    model = Model()
+    mapping = build_mapping(model, instance.template, default_catalog())
+    ApproximatePathEncoder(k_star=10).encode(
+        model, instance.template, reqs.routes, mapping.node_used
+    )
+
+    form = benchmark(model.to_standard_form)
+    assert form.a_matrix.shape[0] == model.stats().num_constraints

@@ -1,0 +1,150 @@
+"""Figure 1 — template, synthesized topology, and anchor placement panels.
+
+Regenerates the three panels of the paper's Fig. 1 as SVG files under
+benchmarks/results/:
+
+* figure1a_template.svg   — sensors (green), base station (red) and relay
+  candidate locations (grey) on the building floor;
+* figure1b_topology.svg   — the $-optimal data-collection topology
+  (selected relays and active links);
+* figure1c_anchors.svg    — evaluation points (orange) and the synthesized
+  anchor placement (purple).
+
+The assertions check panel invariants rather than pixels: all nodes lie on
+the floor, the drawn links are exactly the active ones, anchors cover all
+test points.
+"""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from conftest import RESULTS_DIR, paper_scale
+from repro import (
+    ApproximatePathEncoder,
+    ArchitectureExplorer,
+    HighsSolver,
+    LocalizationExplorer,
+    ReachabilityRequirement,
+    data_collection_template,
+    default_catalog,
+    localization_catalog,
+    localization_template,
+)
+from repro.geometry import SvgMarker, floorplan_to_svg
+from repro.spec import compile_spec
+
+SPEC = """
+has_paths(sensors, sink, replicas=2, disjoint=true)
+min_signal_to_noise(20)
+min_network_lifetime(5)
+"""
+
+
+@pytest.fixture(scope="module")
+def dc_instance():
+    if paper_scale():
+        return data_collection_template(35, 100)
+    return data_collection_template(20, 60)
+
+
+@pytest.fixture(scope="module")
+def dc_solution(dc_instance):
+    compiled = compile_spec(SPEC, dc_instance.template)
+    explorer = ArchitectureExplorer(
+        dc_instance.template, default_catalog(), compiled.requirements,
+        encoder=ApproximatePathEncoder(k_star=10),
+        solver=HighsSolver(time_limit=300.0, mip_rel_gap=0.02),
+    )
+    result = explorer.solve("cost")
+    assert result.feasible
+    return result
+
+
+def _marker(template, node_id, kind=None):
+    node = template.node(node_id)
+    return SvgMarker(node.location, kind or node.role, str(node_id))
+
+
+def test_figure1a_template(benchmark, dc_instance):
+    def render():
+        markers = [
+            _marker(dc_instance.template, node.id,
+                    "candidate" if node.role == "relay" else None)
+            for node in dc_instance.template.nodes
+        ]
+        return floorplan_to_svg(dc_instance.plan, markers)
+
+    svg = benchmark.pedantic(render, rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "figure1a_template.svg").write_text(svg)
+    root = ET.fromstring(svg)
+    circles = [el for el in root.iter() if el.tag.endswith("circle")]
+    assert len(circles) == dc_instance.template.node_count
+    kinds = {c.get("class") for c in circles}
+    assert "node sensor" in kinds and "node sink" in kinds
+    assert "node candidate" in kinds
+
+
+def test_figure1b_topology(benchmark, dc_instance, dc_solution):
+    arch = dc_solution.architecture
+
+    def render():
+        markers = [
+            _marker(dc_instance.template, node_id)
+            for node_id in arch.used_nodes
+        ]
+        links = [
+            (dc_instance.template.node(u).location,
+             dc_instance.template.node(v).location)
+            for u, v in sorted(arch.active_edges)
+        ]
+        return floorplan_to_svg(dc_instance.plan, markers, links)
+
+    svg = benchmark.pedantic(render, rounds=1, iterations=1)
+    (RESULTS_DIR / "figure1b_topology.svg").write_text(svg)
+    root = ET.fromstring(svg)
+    link_lines = [
+        el for el in root.iter()
+        if el.tag.endswith("line") and el.get("class") == "link"
+    ]
+    assert len(link_lines) == len(arch.active_edges)
+    circles = [el for el in root.iter() if el.tag.endswith("circle")]
+    assert len(circles) == arch.node_count
+    # Every drawn node is inside the floor.
+    for node_id in arch.used_nodes:
+        assert dc_instance.plan.contains(
+            dc_instance.template.node(node_id).location
+        )
+
+
+def test_figure1c_anchor_placement(benchmark):
+    if paper_scale():
+        instance = localization_template(150, 135)
+    else:
+        instance = localization_template(100, 80)
+    requirement = ReachabilityRequirement(
+        test_points=instance.test_points, min_anchors=3, min_rss_dbm=-80.0
+    )
+
+    def synthesize_and_render():
+        result = LocalizationExplorer(
+            instance.template, localization_catalog(), requirement,
+            instance.channel, k_star=40,
+            solver=HighsSolver(time_limit=300.0, mip_rel_gap=0.01),
+        ).solve("cost")
+        assert result.feasible
+        markers = [SvgMarker(p, "test") for p in instance.test_points] + [
+            _marker(instance.template, node_id)
+            for node_id in result.architecture.used_nodes
+        ]
+        return result, floorplan_to_svg(instance.plan, markers)
+
+    result, svg = benchmark.pedantic(
+        synthesize_and_render, rounds=1, iterations=1
+    )
+    (RESULTS_DIR / "figure1c_anchors.svg").write_text(svg)
+    root = ET.fromstring(svg)
+    circles = [el for el in root.iter() if el.tag.endswith("circle")]
+    expected = len(instance.test_points) + result.architecture.node_count
+    assert len(circles) == expected

@@ -1,0 +1,149 @@
+"""Table 2 — localization network synthesized for different objectives.
+
+Paper row format: Objective | # Nodes | $ cost | Reachable | Time (s),
+for objectives {$ cost, DSOD, $ + DSOD} on 150 candidate anchors x 135
+test points, >= 3 anchors per point at RSS >= -80 dBm.
+
+Expected shape (paper: 28/$1050/3.1 vs 24/$1310/3.6 vs 24/$1180/3.03):
+the DSOD placement uses fewer nodes, each more expensive (stronger
+radios/antennas), with more reachable anchors per node than the $-optimal
+one.  We additionally evaluate end-to-end localization accuracy (RSS
+ranging + trilateration), which the DSOD placement should not worsen.
+
+The candidate budget is K* = 40 (2x the paper's 20): the DSOD
+consolidation can only exploit a strong anchor for test points whose
+pruned candidate set contains it — see DESIGN.md.
+"""
+
+import pytest
+
+from conftest import paper_scale, write_table
+from repro import (
+    HighsSolver,
+    LocalizationExplorer,
+    ObjectiveSpec,
+    ReachabilityRequirement,
+    localization_catalog,
+    localization_template,
+    validate,
+)
+from repro.localization import evaluate_localization
+from repro.network import RequirementSet
+
+K_STAR = 40
+
+
+@pytest.fixture(scope="module")
+def instance():
+    if paper_scale():
+        return localization_template(150, 135)
+    return localization_template(100, 80)
+
+
+@pytest.fixture(scope="module")
+def requirement(instance):
+    return ReachabilityRequirement(
+        test_points=instance.test_points, min_anchors=3, min_rss_dbm=-80.0
+    )
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {}
+
+
+def _solve(instance, requirement, objective):
+    explorer = LocalizationExplorer(
+        instance.template, localization_catalog(), requirement,
+        instance.channel, k_star=K_STAR,
+        solver=HighsSolver(time_limit=300.0, mip_rel_gap=0.01),
+    )
+    result = explorer.solve(objective)
+    assert result.feasible, result.status
+    reqs = RequirementSet(reachability=requirement)
+    report = validate(result.architecture, reqs, instance.channel)
+    assert report.ok, report.violations[:3]
+    evaluation = evaluate_localization(
+        result.architecture, requirement, instance.channel, seed=3
+    )
+    return result, report, evaluation
+
+
+def test_table2_cost_objective(benchmark, instance, requirement, rows):
+    rows["cost"] = benchmark.pedantic(
+        lambda: _solve(instance, requirement, "cost"), rounds=1, iterations=1
+    )
+
+
+def test_table2_dsod_objective(benchmark, instance, requirement, rows):
+    rows["dsod"] = benchmark.pedantic(
+        lambda: _solve(instance, requirement, "dsod"), rounds=1, iterations=1
+    )
+
+
+def test_table2_combined_objective(benchmark, instance, requirement, rows):
+    assert "cost" in rows and "dsod" in rows, "run the full module"
+    combined = ObjectiveSpec.combine(
+        weights={"cost": 0.5, "dsod": 0.5},
+        scales={
+            "cost": max(rows["cost"][0].objective_terms["cost"], 1e-9),
+            "dsod": max(rows["dsod"][0].objective_terms["dsod"], 1e-9),
+        },
+    )
+    rows["combined"] = benchmark.pedantic(
+        lambda: _solve(instance, requirement, combined),
+        rounds=1, iterations=1,
+    )
+
+    table_rows = []
+    for label, key in (("$ cost", "cost"), ("DSOD", "dsod"),
+                       ("$ + DSOD", "combined")):
+        res, rep, ev = rows[key]
+        table_rows.append(
+            f"{label:<10} {res.architecture.node_count:>7} "
+            f"{res.architecture.dollar_cost:>7.0f} "
+            f"{rep.average_reachable:>9.2f} "
+            f"{ev.mean_error_m:>11.2f} "
+            f"{res.total_seconds:>9.1f}"
+        )
+    write_table(
+        "table2_localization",
+        f"{'Objective':<10} {'# Nodes':>7} {'$ cost':>7} {'Reachable':>9} "
+        f"{'Err (m)':>11} {'Time (s)':>9}",
+        table_rows,
+    )
+
+    # --- the paper's qualitative shape -----------------------------------
+    cost_res, cost_rep, cost_ev = rows["cost"]
+    dsod_res, dsod_rep, dsod_ev = rows["dsod"]
+    # DSOD consolidates: essentially no more nodes than the $-optimal
+    # placement (the cost optimum is itself near the coverage minimum, so
+    # allow one node of slack at small scales)...
+    assert (dsod_res.architecture.node_count
+            <= cost_res.architecture.node_count + 1)
+    # ...realized with a strictly stronger radio mix...
+    def mean_tx(arch):
+        return sum(
+            arch.device_of(i).effective_tx_dbm for i in arch.used_nodes
+        ) / arch.node_count
+
+    assert mean_tx(dsod_res.architecture) > mean_tx(cost_res.architecture)
+    # ...at a higher per-node price (stronger devices).
+    cost_per_node = (
+        cost_res.architecture.dollar_cost
+        / cost_res.architecture.node_count
+    )
+    dsod_per_node = (
+        dsod_res.architecture.dollar_cost
+        / dsod_res.architecture.node_count
+    )
+    assert dsod_per_node >= cost_per_node
+    # The $-objective is (weakly) the cheapest of the three.
+    for key in ("dsod", "combined"):
+        assert (rows[key][0].architecture.dollar_cost
+                >= cost_res.architecture.dollar_cost * 0.99)
+    # Every placement localizes: near-full coverage (occasional collinear
+    # anchor geometry degenerates), errors in metres not tens.
+    for res, rep, ev in rows.values():
+        assert ev.coverage >= 0.9
+        assert ev.mean_error_m < 15.0

@@ -1,0 +1,41 @@
+"""Shared benchmark utilities.
+
+Every paper table has one ``bench_table*.py`` module that (a) runs the
+experiment at a laptop-scale default, (b) prints/writes rows in the
+paper's format, and (c) asserts the paper's qualitative *shape* (who wins,
+in which direction).  Set ``REPRO_BENCH_SCALE=paper`` to run the original
+instance sizes (much slower).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: "small" (default, minutes) or "paper" (the publication's sizes, hours).
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def paper_scale() -> bool:
+    """Whether the full paper-size instances were requested."""
+    return SCALE == "paper"
+
+
+def write_table(name: str, header: str, rows: list[str]) -> Path:
+    """Persist a paper-style table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    lines = [header] + rows
+    path.write_text("\n".join(lines) + "\n")
+    print(f"\n=== {name} ===")
+    for line in lines:
+        print(line)
+    return path
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

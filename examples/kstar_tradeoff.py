@@ -1,0 +1,88 @@
+"""Section 4.3 — the K* cost/time trade-off.
+
+Sweeps the candidate budget K* over the paper's ladder {1, 3, 5, 10, 20}
+on a small data-collection template, solves each, and compares against the
+exhaustive-encoding optimum (Table 4's "opt" column).  Also demonstrates
+the automatic K* search procedure the paper sketches.
+
+Run:  python examples/kstar_tradeoff.py [--nodes N] [--devices N]
+"""
+
+import argparse
+
+from repro import (
+    ApproximatePathEncoder,
+    ArchitectureExplorer,
+    FullPathEncoder,
+    HighsSolver,
+    LinkQualityRequirement,
+    RequirementSet,
+    default_catalog,
+    kstar_search,
+    synthetic_template,
+)
+
+
+def build_problem(nodes: int, devices: int):
+    instance = synthetic_template(nodes, devices, seed=3)
+    requirements = RequirementSet()
+    for sensor in instance.sensor_ids:
+        requirements.require_route(sensor, instance.sink_id,
+                                   replicas=2, disjoint=True)
+    requirements.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+    return instance, requirements
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=30)
+    parser.add_argument("--devices", type=int, default=8)
+    parser.add_argument("--full-time-limit", type=float, default=300.0)
+    args = parser.parse_args()
+
+    instance, requirements = build_problem(args.nodes, args.devices)
+    library = default_catalog()
+    print(f"template: {instance.template.node_count} nodes, "
+          f"{instance.template.edge_count} candidate links, "
+          f"{len(requirements.routes)} route requirements\n")
+
+    print(f"{'K*':>4} {'Cost ($)':>9} {'Time (s)':>9}")
+    for k in (1, 3, 5, 10, 20):
+        explorer = ArchitectureExplorer(
+            instance.template, library, requirements,
+            encoder=ApproximatePathEncoder(k_star=k),
+        )
+        result = explorer.solve("cost")
+        cost = (result.architecture.dollar_cost if result.feasible
+                else float("nan"))
+        print(f"{k:>4} {cost:>9.0f} {result.total_seconds:>9.2f}")
+
+    # The exhaustive-encoding optimum (Table 4's last column).
+    explorer = ArchitectureExplorer(
+        instance.template, library, requirements,
+        encoder=FullPathEncoder(),
+        solver=HighsSolver(time_limit=args.full_time_limit),
+    )
+    result = explorer.solve("cost")
+    if result.feasible:
+        print(f"{'opt':>4} {result.architecture.dollar_cost:>9.0f} "
+              f"{result.total_seconds:>9.2f}  "
+              f"({result.status.value}, full enumeration)")
+    else:
+        print(f"{'opt':>4} {'-':>9} {result.total_seconds:>9.2f}  "
+              f"(full enumeration: {result.status.value})")
+
+    # Automatic K* selection.
+    search = kstar_search(
+        lambda k: ArchitectureExplorer(
+            instance.template, library, requirements,
+            encoder=ApproximatePathEncoder(k_star=k),
+        ),
+        objective="cost",
+    )
+    print(f"\nautomatic search picked K* = {search.best.k_star} "
+          f"(${search.best.objective:.0f}; stopped: {search.stop_reason})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""repro — reproduction of "Optimized Selection of Wireless Network
+Topologies and Components via Efficient Pruning of Feasible Paths"
+(Kirov, Nuzzo, Passerone, Sangiovanni-Vincentelli, DAC 2018).
+
+The package synthesizes wireless network architectures — topology, routing
+and component sizing — by compiling requirement patterns into a MILP, with
+the paper's approximate path encoding (Yen's K-shortest-path pruning,
+Algorithm 1) making realistic sizes tractable.
+
+Quickstart::
+
+    from repro import (
+        ArchitectureExplorer, RequirementSet, LinkQualityRequirement,
+        default_catalog, small_grid_template,
+    )
+
+    inst = small_grid_template()
+    reqs = RequirementSet()
+    for sensor in inst.sensor_ids:
+        reqs.require_route(sensor, inst.sink_id, replicas=2)
+    reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+    result = ArchitectureExplorer(
+        inst.template, default_catalog(), reqs
+    ).solve("cost")
+    print(result.summary())
+"""
+
+from repro.core.explorer import ArchitectureExplorer, LocalizationExplorer
+from repro.core.kstar_search import kstar_search
+from repro.core.objectives import ObjectiveSpec
+from repro.core.results import SynthesisResult
+from repro.encoding.approximate import ApproximatePathEncoder
+from repro.encoding.base import EncodingError
+from repro.encoding.full import FullPathEncoder
+from repro.library.catalog import Library, default_catalog, localization_catalog
+from repro.library.components import Device, device
+from repro.milp.branch_and_bound import BranchAndBoundSolver
+from repro.milp.highs import HighsSolver
+from repro.milp.solution import SolveStatus
+from repro.network.builders import (
+    data_collection_template,
+    localization_template,
+    small_grid_template,
+    synthetic_template,
+)
+from repro.network.requirements import (
+    LifetimeRequirement,
+    LinkQualityRequirement,
+    PowerConfig,
+    ReachabilityRequirement,
+    RequirementSet,
+    RouteRequirement,
+    TdmaConfig,
+)
+from repro.network.template import NetworkNode, Template
+from repro.network.topology import Architecture, Route
+from repro.io import load_architecture, save_architecture
+from repro.simulation.datacollection import DataCollectionSimulator
+from repro.spec.problem import compile_spec
+from repro.validation.checker import ValidationReport, validate
+from repro.validation.resiliency import ResiliencyReport, analyze_resiliency
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApproximatePathEncoder",
+    "Architecture",
+    "ArchitectureExplorer",
+    "BranchAndBoundSolver",
+    "DataCollectionSimulator",
+    "Device",
+    "EncodingError",
+    "FullPathEncoder",
+    "HighsSolver",
+    "Library",
+    "LifetimeRequirement",
+    "LinkQualityRequirement",
+    "LocalizationExplorer",
+    "NetworkNode",
+    "ObjectiveSpec",
+    "PowerConfig",
+    "ReachabilityRequirement",
+    "RequirementSet",
+    "ResiliencyReport",
+    "Route",
+    "RouteRequirement",
+    "SolveStatus",
+    "SynthesisResult",
+    "TdmaConfig",
+    "Template",
+    "ValidationReport",
+    "analyze_resiliency",
+    "compile_spec",
+    "data_collection_template",
+    "default_catalog",
+    "device",
+    "kstar_search",
+    "load_architecture",
+    "localization_catalog",
+    "localization_template",
+    "save_architecture",
+    "small_grid_template",
+    "synthetic_template",
+    "validate",
+    "__version__",
+]

@@ -1,0 +1,60 @@
+"""Channel model interface.
+
+A channel model answers one question: the expected path loss in dB between
+two locations.  "The value of PL_ij can either be analytically estimated
+using a channel model or obtained from measurements" — so alongside the
+analytic models there is a :class:`MeasuredChannel` that serves a path-loss
+table, which is also how tests inject exact values.
+
+Sign convention (see DESIGN.md): path loss is a *positive* attenuation in
+dB and ``RSS = tx_dbm + gain_tx + gain_rx - PL``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.geometry.primitives import Point
+
+
+class ChannelModel(abc.ABC):
+    """Estimates link path loss between two locations."""
+
+    @abc.abstractmethod
+    def path_loss_db(self, tx: Point, rx: Point) -> float:
+        """Expected path loss (positive dB) from ``tx`` to ``rx``."""
+
+    def is_symmetric(self) -> bool:
+        """Whether PL(a, b) == PL(b, a) for this model.
+
+        All analytic models here are symmetric; measured tables may not be.
+        Encoders use this to halve path-loss precomputation.
+        """
+        return True
+
+
+class MeasuredChannel(ChannelModel):
+    """Path loss served from a measurement table.
+
+    The table maps unordered or ordered location pairs to dB values; lookups
+    try the ordered pair first, then the reverse (treating measurements as
+    symmetric unless both directions were recorded).
+    """
+
+    def __init__(self, table: dict[tuple[Point, Point], float]) -> None:
+        self._table = dict(table)
+
+    def path_loss_db(self, tx: Point, rx: Point) -> float:
+        try:
+            return self._table[(tx, rx)]
+        except KeyError:
+            pass
+        try:
+            return self._table[(rx, tx)]
+        except KeyError:
+            raise KeyError(f"no measurement for link {tx} -> {rx}") from None
+
+    def is_symmetric(self) -> bool:
+        return all((b, a) not in self._table or
+                   self._table[(b, a)] == self._table[(a, b)]
+                   for (a, b) in self._table)

@@ -1,0 +1,81 @@
+"""Linear-friendly ETX(SNR) representations for the MILP encodings.
+
+The energy constraint (3b) multiplies the expected transmission count by
+per-packet charge; ETX(SNR) itself is nonlinear.  Over the SNR range the
+link-quality constraints allow (typically >= 5-20 dB), the curve is convex
+and decreasing, so the chords of sampled points *over*-estimate it between
+samples — the safe direction for an energy budget.  We therefore encode
+
+    etx_ij >= a_l * snr_ij + b_l        for every chord segment l
+
+and let the (energy-minimizing or lifetime-constrained) solver settle each
+``etx_ij`` on the piecewise maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.metrics import ETX_CAP, expected_transmissions, snr_for_etx
+from repro.milp.piecewise import ConvexPwl, convex_pwl_from_samples
+
+
+@dataclass(frozen=True)
+class EtxCurve:
+    """A sampled ETX(SNR) curve plus its convex PWL encoding.
+
+    ``snr_floor`` is the lowest SNR the encoding covers; the curve flattens
+    into its cap below that, losing convexity, so encoders must combine it
+    with a link-quality constraint ``snr >= snr_floor`` (the paper's setups
+    always do: Table 1 requires SNR >= 20 dB).
+    """
+
+    packet_bytes: float
+    modulation: str
+    snr_floor: float
+    snr_ceiling: float
+    pwl: ConvexPwl
+
+    def etx_at(self, snr: float) -> float:
+        """The true (nonlinear) ETX value at ``snr``."""
+        return expected_transmissions(snr, self.packet_bytes, self.modulation)
+
+    def pwl_at(self, snr: float) -> float:
+        """The PWL encoding's value at ``snr`` (>= :meth:`etx_at` inside range)."""
+        return max(1.0, self.pwl.value_at(snr))
+
+
+def build_etx_curve(
+    packet_bytes: float,
+    modulation: str = "qpsk",
+    etx_floor_cap: float = 4.0,
+    snr_ceiling: float = 30.0,
+    samples: int = 64,
+    max_segments: int = 6,
+) -> EtxCurve:
+    """Sample ETX(SNR) and fit the convex chord encoding.
+
+    ``etx_floor_cap`` bounds how lossy a link the encoding must represent:
+    the SNR floor is placed where ETX reaches that value.  Keeping the
+    floor above the curve's cliff keeps the chords tight (few segments,
+    small over-estimate).
+    """
+    if not 1.0 < etx_floor_cap <= ETX_CAP:
+        raise ValueError(f"etx_floor_cap must be in (1, {ETX_CAP}]")
+    snr_floor = snr_for_etx(etx_floor_cap, packet_bytes, modulation)
+    if snr_ceiling <= snr_floor:
+        raise ValueError("snr_ceiling must exceed the computed snr_floor")
+    snrs = np.linspace(snr_floor, snr_ceiling, samples)
+    etxs = np.array(
+        [expected_transmissions(s, packet_bytes, modulation) for s in snrs]
+    )
+    pwl = convex_pwl_from_samples(snrs, etxs, max_segments=max_segments)
+    return EtxCurve(
+        packet_bytes=packet_bytes,
+        modulation=modulation,
+        snr_floor=float(snr_floor),
+        snr_ceiling=float(snr_ceiling),
+        pwl=pwl,
+    )

@@ -1,0 +1,55 @@
+"""Classical log-distance path-loss model.
+
+``PL(d) = PL(d0) + 10 * n * log10(d / d0)`` with reference loss ``PL(d0)``
+at distance ``d0`` and path-loss exponent ``n``.  The default reference
+loss is the 2.4-GHz free-space loss at 1 m (~40 dB); indoor exponents
+range from 2 (corridors, LOS) to ~4 (heavily obstructed).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.channel.base import ChannelModel
+from repro.geometry.primitives import Point
+
+#: Free-space path loss at 1 m for 2.4 GHz, in dB.
+FSPL_1M_2_4GHZ = 40.05
+
+
+def free_space_reference_db(frequency_ghz: float) -> float:
+    """Free-space path loss at 1 m for the given carrier frequency."""
+    if frequency_ghz <= 0:
+        raise ValueError("frequency must be positive")
+    # FSPL(d=1 m) = 20 log10(f_Hz) + 20 log10(4*pi/c)
+    return 20.0 * math.log10(frequency_ghz * 1e9) - 147.55
+
+
+class LogDistanceModel(ChannelModel):
+    """Log-distance path loss with a minimum-distance clamp.
+
+    ``min_distance`` guards against nodes placed (numerically) on top of
+    each other: path loss is never extrapolated below the reference
+    distance.
+    """
+
+    def __init__(
+        self,
+        exponent: float = 3.0,
+        reference_db: float = FSPL_1M_2_4GHZ,
+        reference_distance: float = 1.0,
+    ) -> None:
+        if exponent <= 0:
+            raise ValueError("path-loss exponent must be positive")
+        if reference_distance <= 0:
+            raise ValueError("reference distance must be positive")
+        self.exponent = exponent
+        self.reference_db = reference_db
+        self.reference_distance = reference_distance
+
+    def path_loss_db(self, tx: Point, rx: Point) -> float:
+        """Log-distance path loss, clamped at the reference distance."""
+        d = max(tx.distance_to(rx), self.reference_distance)
+        return self.reference_db + 10.0 * self.exponent * math.log10(
+            d / self.reference_distance
+        )

@@ -1,0 +1,125 @@
+"""Link-quality metrics: RSS, SNR, BER, packet error rate, ETX.
+
+These are the quantities the constraints of Section 2 bound:
+
+* received signal strength ``RSS = tx + g_tx + g_rx - PL`` (2a),
+* signal-to-noise ratio ``SNR = RSS - noise_floor``,
+* bit error rate from SNR for the configured modulation,
+* packet error rate ``PER = 1 - (1 - BER)^bits``,
+* expected transmission count ``ETX = 1 / (1 - PER)`` (the paper's
+  "number of expected transmissions of a packet necessary for it to be
+  received without error").
+
+Modeling note: we identify per-bit SNR with Eb/N0, i.e. the noise floor is
+taken in the signal bandwidth at the link bit rate.  This is the standard
+simplification for narrowband WSN links and only shifts the BER curve by a
+constant dB offset, which calibration of the noise floor absorbs.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: ETX is capped so the energy encodings stay bounded; a link needing more
+#: than this many transmissions is unusable and will be excluded by the
+#: link-quality constraints anyway.
+ETX_CAP = 16.0
+
+
+def rss_dbm(
+    tx_power_dbm: float,
+    tx_gain_dbi: float,
+    rx_gain_dbi: float,
+    path_loss_db: float,
+) -> float:
+    """Received signal strength for a link (dBm)."""
+    return tx_power_dbm + tx_gain_dbi + rx_gain_dbi - path_loss_db
+
+
+def snr_db(rss: float, noise_dbm: float) -> float:
+    """Signal-to-noise ratio in dB."""
+    return rss - noise_dbm
+
+
+def _q_function(x: float) -> float:
+    """Gaussian tail probability Q(x)."""
+    return 0.5 * math.erfc(x / math.sqrt(2.0))
+
+
+def bit_error_rate(snr_db_value: float, modulation: str = "qpsk") -> float:
+    """BER as a function of per-bit SNR (dB) for the given modulation.
+
+    QPSK and BPSK share ``Q(sqrt(2 Eb/N0))`` per bit; OOK (non-coherent)
+    uses ``0.5 * exp(-Eb/N0 / 2)``.
+    """
+    snr_lin = 10.0 ** (snr_db_value / 10.0)
+    if modulation in ("qpsk", "bpsk"):
+        return _q_function(math.sqrt(2.0 * snr_lin))
+    if modulation == "ook":
+        return 0.5 * math.exp(-snr_lin / 2.0)
+    raise ValueError(f"unknown modulation {modulation!r}")
+
+
+def packet_error_rate(
+    snr_db_value: float, packet_bytes: float, modulation: str = "qpsk",
+) -> float:
+    """Probability that at least one bit of the packet is corrupted."""
+    if packet_bytes <= 0:
+        raise ValueError("packet size must be positive")
+    ber = bit_error_rate(snr_db_value, modulation)
+    bits = packet_bytes * 8.0
+    # log1p keeps precision when ber is tiny.
+    return 1.0 - math.exp(bits * math.log1p(-min(ber, 1.0 - 1e-300)))
+
+
+def expected_transmissions(
+    snr_db_value: float, packet_bytes: float, modulation: str = "qpsk",
+    cap: float = ETX_CAP,
+) -> float:
+    """ETX = 1/(1-PER), saturated at ``cap``."""
+    per = packet_error_rate(snr_db_value, packet_bytes, modulation)
+    if per >= 1.0 - 1.0 / cap:
+        return cap
+    return min(1.0 / (1.0 - per), cap)
+
+
+def snr_for_ber(
+    target_ber: float, modulation: str = "qpsk",
+) -> float:
+    """The SNR (dB) at which BER equals ``target_ber`` (bisection inverse).
+
+    BER is strictly decreasing in SNR for every supported modulation, so a
+    *maximum* BER requirement is exactly a *minimum* SNR requirement at
+    this threshold — which is how the MILP encodes it linearly.
+    """
+    if not 0.0 < target_ber < 0.5:
+        raise ValueError("target BER must be in (0, 0.5)")
+    lo, hi = -20.0, 40.0
+    for _ in range(100):
+        mid = (lo + hi) / 2.0
+        if bit_error_rate(mid, modulation) > target_ber:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def snr_for_etx(
+    target_etx: float, packet_bytes: float, modulation: str = "qpsk",
+) -> float:
+    """The SNR (dB) at which ETX equals ``target_etx`` (bisection inverse).
+
+    Used to pick sampling ranges for the piecewise-linear encodings and by
+    the candidate-link filter ("disregard links with path loss below a
+    certain threshold").
+    """
+    if not 1.0 < target_etx <= ETX_CAP:
+        raise ValueError(f"target ETX must be in (1, {ETX_CAP}]")
+    lo, hi = -20.0, 40.0
+    for _ in range(100):
+        mid = (lo + hi) / 2.0
+        if expected_transmissions(mid, packet_bytes, modulation) > target_etx:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0

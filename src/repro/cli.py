@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The paper's tool "accepts as inputs a problem description, a library of
+components and a floor plan"; this CLI is that front door:
+
+* ``synthesize`` — data-collection synthesis from a pattern-language spec
+  file over a built-in (or SVG) floor plan;
+* ``localize``   — anchor-placement synthesis;
+* ``catalog``    — print the component library;
+* ``kstar``      — run the K* trade-off sweep of Section 4.3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.explorer import ArchitectureExplorer, LocalizationExplorer
+from repro.core.kstar_search import kstar_search
+from repro.encoding.approximate import ApproximatePathEncoder
+from repro.geometry.svg import SvgMarker, floorplan_from_svg, floorplan_to_svg
+from repro.library.catalog import default_catalog, localization_catalog
+from repro.milp.highs import HighsSolver
+from repro.network.builders import (
+    data_collection_template,
+    localization_template,
+    synthetic_template,
+)
+from repro.network.requirements import (
+    LinkQualityRequirement,
+    ReachabilityRequirement,
+    RequirementSet,
+)
+from repro.spec.problem import compile_spec
+from repro.validation.checker import validate
+
+DEFAULT_SPEC = """
+has_paths(sensors, sink, replicas=2, disjoint=true)
+min_signal_to_noise(20)
+min_network_lifetime(5)
+objective(cost)
+"""
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wireless network topology & component synthesis "
+                    "(DAC'18 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    syn = sub.add_parser("synthesize", help="data-collection synthesis")
+    syn.add_argument("--spec", type=Path,
+                     help="pattern-language spec file (default: built-in)")
+    syn.add_argument("--sensors", type=int, default=20)
+    syn.add_argument("--relays", type=int, default=60)
+    syn.add_argument("--floorplan", type=Path,
+                     help="SVG floor plan (default: built-in office floor)")
+    syn.add_argument("--k-star", type=int, default=10)
+    syn.add_argument("--time-limit", type=float, default=300.0)
+    syn.add_argument("--mip-gap", type=float, default=0.02)
+    syn.add_argument("--svg-out", type=Path,
+                     help="write the synthesized topology as SVG")
+    syn.add_argument("--json-out", type=Path,
+                     help="persist the synthesized design as JSON")
+
+    loc = sub.add_parser("localize", help="anchor-placement synthesis")
+    loc.add_argument("--anchors", type=int, default=100)
+    loc.add_argument("--points", type=int, default=80)
+    loc.add_argument("--min-anchors", type=int, default=3)
+    loc.add_argument("--min-rss", type=float, default=-80.0)
+    loc.add_argument("--objective", default="cost",
+                     choices=["cost", "dsod"])
+    loc.add_argument("--k-star", type=int, default=20)
+    loc.add_argument("--svg-out", type=Path)
+
+    sub.add_parser("catalog", help="print the component library")
+
+    sim = sub.add_parser(
+        "simulate", help="replay a synthesized design (JSON) in the "
+                         "discrete-event simulator"
+    )
+    sim.add_argument("design", type=Path, help="JSON from synthesize")
+    sim.add_argument("--reports", type=int, default=100)
+    sim.add_argument("--seed", type=int, default=0)
+
+    kst = sub.add_parser("kstar", help="K* trade-off sweep (Section 4.3)")
+    kst.add_argument("--nodes", type=int, default=50)
+    kst.add_argument("--devices", type=int, default=20)
+    kst.add_argument("--ladder", type=int, nargs="+",
+                     default=[1, 3, 5, 10, 20])
+    return parser
+
+
+def _cmd_synthesize(args) -> int:
+    if args.floorplan:
+        plan = floorplan_from_svg(args.floorplan.read_text())
+    else:
+        plan = None
+    instance = data_collection_template(
+        n_sensors=args.sensors, n_relay_candidates=args.relays, plan=plan
+    )
+    spec_text = args.spec.read_text() if args.spec else DEFAULT_SPEC
+    compiled = compile_spec(spec_text, instance.template)
+    explorer = ArchitectureExplorer(
+        instance.template, default_catalog(), compiled.requirements,
+        encoder=ApproximatePathEncoder(k_star=args.k_star),
+        solver=HighsSolver(time_limit=args.time_limit,
+                           mip_rel_gap=args.mip_gap),
+    )
+    result = explorer.solve(compiled.objective)
+    print(f"status:  {result.status.value}")
+    print(f"model:   {result.model_stats}")
+    if not result.feasible:
+        return 1
+    arch = result.architecture
+    report = validate(arch, compiled.requirements)
+    print(f"design:  {arch.summary()}")
+    print(f"checks:  {'all requirements hold' if report.ok else 'VIOLATIONS'}")
+    for violation in report.violations[:10]:
+        print(f"  !! {violation}")
+    if report.lifetimes_years:
+        print(f"lifetime: min {report.min_lifetime_years:.2f} y, "
+              f"avg {report.average_lifetime_years:.2f} y")
+    if args.svg_out:
+        markers = [
+            SvgMarker(instance.template.node(i).location,
+                      instance.template.node(i).role, str(i))
+            for i in arch.used_nodes
+        ]
+        links = [
+            (instance.template.node(u).location,
+             instance.template.node(v).location)
+            for u, v in sorted(arch.active_edges)
+        ]
+        args.svg_out.write_text(
+            floorplan_to_svg(instance.plan, markers, links)
+        )
+        print(f"wrote {args.svg_out}")
+    if args.json_out:
+        from repro.io import save_architecture
+
+        save_architecture(arch, args.json_out)
+        print(f"wrote {args.json_out}")
+    return 0 if report.ok else 2
+
+
+def _cmd_simulate(args) -> int:
+    from repro.io import load_architecture
+    from repro.simulation.datacollection import DataCollectionSimulator
+
+    arch = load_architecture(args.design, default_catalog())
+    requirements = RequirementSet()
+    simulator = DataCollectionSimulator(arch, requirements, seed=args.seed)
+    outcome = simulator.run(reports=args.reports)
+    print(f"design:   {arch.summary()}")
+    print(f"schedule: {simulator.schedule.span_superframes} superframe(s), "
+          f"{len(simulator.schedule.assignments)} slot assignments")
+    print(f"traffic:  {outcome.packets_injected} packets injected, "
+          f"{outcome.packets_delivered} delivered, "
+          f"{outcome.packets_dropped} dropped "
+          f"(ratio {outcome.delivery_ratio:.3f})")
+    retx = sum(l.retransmissions for l in outcome.ledgers.values())
+    print(f"radio:    {retx} retransmissions")
+    worst = min(
+        (outcome.lifetime_years(n, requirements.power, requirements.tdma)
+         for n in arch.used_nodes
+         if arch.template.node(n).role != "sink"),
+        default=float("inf"),
+    )
+    print(f"lifetime: worst battery node {worst:.2f} y (measured burn rate)")
+    return 0 if outcome.delivery_ratio > 0.99 else 2
+
+
+def _cmd_localize(args) -> int:
+    instance = localization_template(args.anchors, args.points)
+    requirement = ReachabilityRequirement(
+        test_points=instance.test_points,
+        min_anchors=args.min_anchors,
+        min_rss_dbm=args.min_rss,
+    )
+    result = LocalizationExplorer(
+        instance.template, localization_catalog(), requirement,
+        instance.channel, k_star=args.k_star,
+    ).solve(args.objective)
+    print(f"status: {result.status.value}")
+    if not result.feasible:
+        return 1
+    arch = result.architecture
+    reqs = RequirementSet(reachability=requirement)
+    report = validate(arch, reqs, instance.channel)
+    print(f"design: {arch.node_count} anchors, ${arch.dollar_cost:.0f}, "
+          f"avg reachable {report.average_reachable:.2f}")
+    if args.svg_out:
+        markers = [SvgMarker(p, "test") for p in instance.test_points] + [
+            SvgMarker(instance.template.node(i).location, "anchor", str(i))
+            for i in arch.used_nodes
+        ]
+        args.svg_out.write_text(floorplan_to_svg(instance.plan, markers))
+        print(f"wrote {args.svg_out}")
+    return 0 if report.ok else 2
+
+
+def _cmd_catalog(_args) -> int:
+    for title, lib in (("devices", default_catalog()),
+                       ("anchors", localization_catalog())):
+        print(f"[{title}]")
+        print(f"{'name':<16} {'roles':<16} {'$':>5} {'tx dBm':>7} "
+              f"{'gain':>5} {'tx mA':>6} {'rx mA':>6} {'sleep uA':>9}")
+        for dev in lib.devices:
+            print(f"{dev.name:<16} {'/'.join(sorted(dev.roles)):<16} "
+                  f"{dev.cost:>5.0f} {dev.tx_power_dbm:>7.1f} "
+                  f"{dev.antenna_gain_dbi:>5.1f} {dev.radio_tx_ma:>6.1f} "
+                  f"{dev.radio_rx_ma:>6.1f} {dev.sleep_ma * 1000:>9.1f}")
+        print()
+    return 0
+
+
+def _cmd_kstar(args) -> int:
+    instance = synthetic_template(args.nodes, args.devices, seed=11)
+    reqs = RequirementSet()
+    for sensor in instance.sensor_ids:
+        reqs.require_route(sensor, instance.sink_id, replicas=2,
+                           disjoint=True)
+    reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+
+    search = kstar_search(
+        lambda k: ArchitectureExplorer(
+            instance.template, default_catalog(), reqs,
+            encoder=ApproximatePathEncoder(k_star=k),
+        ),
+        ladder=tuple(args.ladder),
+    )
+    print(f"{'K*':>4} {'cost ($)':>9} {'time (s)':>9}")
+    for k, objective, seconds in search.table_rows():
+        print(f"{k:>4} {objective:>9.0f} {seconds:>9.2f}")
+    print(f"selected K* = {search.best.k_star} ({search.stop_reason})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "synthesize": _cmd_synthesize,
+        "localize": _cmd_localize,
+        "catalog": _cmd_catalog,
+        "kstar": _cmd_kstar,
+        "simulate": _cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

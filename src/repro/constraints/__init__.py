@@ -1,0 +1,19 @@
+"""Requirement-to-MILP constraint builders."""
+
+from repro.constraints.energy import EnergyVars, build_energy, lifetime_budget_ma_ms
+from repro.constraints.link_quality import LinkQualityVars, build_link_quality
+from repro.constraints.localization import LocalizationVars, build_localization
+from repro.constraints.mapping import MappingError, MappingVars, build_mapping
+
+__all__ = [
+    "EnergyVars",
+    "LinkQualityVars",
+    "LocalizationVars",
+    "MappingError",
+    "MappingVars",
+    "build_energy",
+    "build_link_quality",
+    "build_localization",
+    "build_mapping",
+    "lifetime_budget_ma_ms",
+]

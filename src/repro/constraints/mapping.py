@@ -1,0 +1,121 @@
+"""Component-sizing (mapping) constraints.
+
+"Sizing is encoded by binary variables m_ij, where m_ij is one if and only
+if component v_j is associated with device l_i."  The builder creates, for
+every template node, one assignment binary per *role-compatible* library
+device, plus the node-used indicator alpha, tied together by
+
+    sum_l m[l, i] == alpha_i
+
+so a used node carries exactly one device and an unused node carries none.
+Fixed nodes (sensors, the base station) have alpha forced to one.
+
+The returned :class:`MappingVars` also exposes the linear attribute
+expressions every other constraint family reads: transmitter strength
+(tx power + antenna gain), receiver gain, and the dollar-cost term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.library.catalog import Library
+from repro.library.components import Device
+from repro.milp.expr import LinExpr, Var, lin_sum
+from repro.milp.model import Model
+from repro.network.template import Template
+
+
+class MappingError(Exception):
+    """A fixed node has no role-compatible device in the library."""
+
+
+@dataclass
+class MappingVars:
+    """Sizing variables and derived attribute expressions."""
+
+    library: Library
+    node_used: dict[int, Var] = field(default_factory=dict)
+    #: node id -> device name -> assignment binary.
+    assign: dict[int, dict[str, Var]] = field(default_factory=dict)
+
+    def devices_for(self, node_id: int) -> list[Device]:
+        """Role-compatible devices of a node, in library order."""
+        return [self.library.by_name(name) for name in self.assign[node_id]]
+
+    def _attribute_expr(self, node_id: int, attribute: str) -> LinExpr:
+        expr = LinExpr()
+        for name, var in self.assign[node_id].items():
+            value = getattr(self.library.by_name(name), attribute)
+            if value:
+                expr.add_term(var, value)
+        return expr
+
+    def tx_strength_expr(self, node_id: int) -> LinExpr:
+        """``tx_i + g_i`` — transmit power plus antenna gain (dBm)."""
+        return self._attribute_expr(node_id, "effective_tx_dbm")
+
+    def rx_gain_expr(self, node_id: int) -> LinExpr:
+        """``g_j`` — receive antenna gain (dBi)."""
+        return self._attribute_expr(node_id, "antenna_gain_dbi")
+
+    def tx_strength_bounds(self, node_id: int) -> tuple[float, float]:
+        """Valid bounds of :meth:`tx_strength_expr` (0 when unused)."""
+        vals = [d.effective_tx_dbm for d in self.devices_for(node_id)]
+        return (min(0.0, *vals), max(0.0, *vals))
+
+    def rx_gain_bounds(self, node_id: int) -> tuple[float, float]:
+        """Valid bounds of :meth:`rx_gain_expr` (0 when unused)."""
+        vals = [d.antenna_gain_dbi for d in self.devices_for(node_id)]
+        return (min(0.0, *vals), max(0.0, *vals))
+
+    def cost_expr(self) -> LinExpr:
+        """Total component dollar cost."""
+        expr = LinExpr()
+        for node_id in self.assign:
+            for name, var in self.assign[node_id].items():
+                cost = self.library.by_name(name).cost
+                if cost:
+                    expr.add_term(var, cost)
+        return expr
+
+    def decode_sizing(self, solution) -> dict[int, str]:
+        """node id -> chosen device name, for used nodes."""
+        sizing: dict[int, str] = {}
+        for node_id, per_device in self.assign.items():
+            for name, var in per_device.items():
+                if solution.value_bool(var):
+                    sizing[node_id] = name
+                    break
+        return sizing
+
+
+def build_mapping(
+    model: Model, template: Template, library: Library,
+) -> MappingVars:
+    """Create sizing variables and the one-device-per-used-node rows."""
+    mapping = MappingVars(library=library)
+    for node in template.nodes:
+        compatible = library.for_role(node.role)
+        if node.fixed and not compatible:
+            raise MappingError(
+                f"fixed node {node.id} has role {node.role!r} but the "
+                f"library has no compatible device"
+            )
+        alpha = model.binary(f"alpha[{node.id}]")
+        if node.fixed:
+            model.add(alpha >= 1, f"alpha[{node.id}]:fixed")
+        mapping.node_used[node.id] = alpha
+        per_device: dict[str, Var] = {}
+        for dev in compatible:
+            per_device[dev.name] = model.binary(f"m[{dev.name}][{node.id}]")
+        mapping.assign[node.id] = per_device
+        if per_device:
+            model.add(
+                lin_sum(list(per_device.values())) == alpha,
+                f"map[{node.id}]:one_device",
+            )
+        else:
+            # No compatible device: the node can never be used.
+            model.add(alpha <= 0, f"map[{node.id}]:unusable")
+    return mapping

@@ -1,0 +1,34 @@
+"""Core explorers, objectives, results and the K* search."""
+
+from repro.core.explorer import (
+    ArchitectureExplorer,
+    BuiltProblem,
+    LocalizationExplorer,
+    decode_architecture,
+)
+from repro.core.kstar_search import (
+    DEFAULT_K_LADDER,
+    KStarSearchResult,
+    KStarTrial,
+    kstar_search,
+)
+from repro.core.objectives import ObjectiveSpec, parse_objective
+from repro.core.pareto import ParetoFront, ParetoPoint, explore_pareto
+from repro.core.results import SynthesisResult
+
+__all__ = [
+    "DEFAULT_K_LADDER",
+    "ArchitectureExplorer",
+    "BuiltProblem",
+    "KStarSearchResult",
+    "KStarTrial",
+    "LocalizationExplorer",
+    "ObjectiveSpec",
+    "ParetoFront",
+    "ParetoPoint",
+    "SynthesisResult",
+    "explore_pareto",
+    "decode_architecture",
+    "kstar_search",
+    "parse_objective",
+]

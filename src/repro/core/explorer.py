@@ -1,0 +1,283 @@
+"""The architecture explorers — the toolbox's public entry points.
+
+:class:`ArchitectureExplorer` assembles a data-collection exploration
+problem (template + library + requirements) into one MILP — sizing,
+routing (via a pluggable path encoder), link quality and energy — solves
+it and decodes an :class:`~repro.network.topology.Architecture`.
+
+:class:`LocalizationExplorer` does the same for localization networks
+(sizing + pruned reachability constraints, no routing).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.channel.base import ChannelModel
+from repro.constraints.energy import EnergyVars, build_energy
+from repro.constraints.link_quality import LinkQualityVars, build_link_quality
+from repro.constraints.localization import LocalizationVars, build_localization
+from repro.constraints.mapping import MappingVars, build_mapping
+from repro.core.objectives import ObjectiveSpec, parse_objective
+from repro.core.results import SynthesisResult
+from repro.encoding.approximate import ApproximatePathEncoder
+from repro.encoding.base import RoutingEncoder, RoutingEncoding
+from repro.library.catalog import Library
+from repro.milp.expr import LinExpr, lin_sum
+from repro.milp.highs import HighsSolver
+from repro.milp.model import Model
+from repro.milp.solution import Solution
+from repro.network.requirements import ReachabilityRequirement, RequirementSet
+from repro.network.template import Template
+from repro.network.topology import Architecture
+
+
+@dataclass
+class BuiltProblem:
+    """A fully encoded MILP plus the handles needed to decode it."""
+
+    model: Model
+    mapping: MappingVars
+    encoding: RoutingEncoding | None
+    link_quality: LinkQualityVars | None
+    energy: EnergyVars | None
+    localization: LocalizationVars | None
+    objective_exprs: dict[str, LinExpr]
+
+
+class ArchitectureExplorer:
+    """Joint topology + sizing synthesis for data-collection networks.
+
+    When the requirement set additionally carries a
+    :class:`~repro.network.requirements.ReachabilityRequirement`, the
+    synthesized relays double as localization anchors (a dual-use
+    network); this needs the ``channel`` model to estimate anchor-to-test-
+    point path losses, and ``reach_k_star`` prunes the candidate anchors
+    per test point as in Section 4.2.
+    """
+
+    def __init__(
+        self,
+        template: Template,
+        library: Library,
+        requirements: RequirementSet,
+        encoder: RoutingEncoder | None = None,
+        solver=None,
+        channel=None,
+        reach_k_star: int = 20,
+    ) -> None:
+        self.template = template
+        self.library = library
+        self.requirements = requirements
+        self.encoder = encoder or ApproximatePathEncoder(k_star=10)
+        self.solver = solver or HighsSolver()
+        self.channel = channel
+        self.reach_k_star = reach_k_star
+
+    def build(self, objective: "str | dict | ObjectiveSpec" = "cost") -> BuiltProblem:
+        """Encode the exploration problem into a MILP."""
+        spec = parse_objective(objective)
+        reqs = self.requirements
+        model = Model(f"{self.template.name}:{self.encoder.name}")
+
+        mapping = build_mapping(model, self.template, self.library)
+        encoding = self.encoder.encode(
+            model, self.template, reqs.routes, mapping.node_used
+        )
+        lq = build_link_quality(
+            model, self.template, mapping, encoding, reqs.link_quality
+        )
+        needs_energy = reqs.lifetime is not None or "energy" in spec.terms
+        energy = None
+        if needs_energy:
+            energy = build_energy(
+                model, self.template, mapping, encoding, lq,
+                reqs.tdma, reqs.power, reqs.lifetime,
+            )
+
+        localization = None
+        if reqs.reachability is not None:
+            if self.channel is None:
+                raise ValueError(
+                    "a reachability requirement needs the channel model; "
+                    "pass channel= to ArchitectureExplorer"
+                )
+            localization = build_localization(
+                model, self.template, mapping, reqs.reachability,
+                self.channel, self.reach_k_star,
+            )
+
+        cost = mapping.cost_expr()
+        if self.template.link_type.cost:
+            cost = cost + lin_sum(
+                list(encoding.edge_active.values())
+            ) * self.template.link_type.cost
+        objective_exprs: dict[str, LinExpr] = {"cost": cost}
+        if energy is not None:
+            objective_exprs["energy"] = energy.total_charge()
+        if localization is not None:
+            objective_exprs["dsod"] = localization.dsod_expr()
+        model.minimize(spec.build(objective_exprs))
+        return BuiltProblem(
+            model=model,
+            mapping=mapping,
+            encoding=encoding,
+            link_quality=lq,
+            energy=energy,
+            localization=localization,
+            objective_exprs=objective_exprs,
+        )
+
+    def solve(
+        self, objective: "str | dict | ObjectiveSpec" = "cost",
+    ) -> SynthesisResult:
+        """Build, solve and decode in one call."""
+        t0 = time.perf_counter()
+        built = self.build(objective)
+        encode_seconds = time.perf_counter() - t0
+        solution = self.solver.solve(built.model)
+        architecture = None
+        terms: dict[str, float] = {}
+        if solution.status.has_solution:
+            architecture = decode_architecture(
+                solution, built, self.template, self.library
+            )
+            terms = {
+                name: solution.value(expr)
+                for name, expr in built.objective_exprs.items()
+            }
+        return SynthesisResult(
+            status=solution.status,
+            architecture=architecture,
+            solution=solution,
+            model_stats=built.model.stats(),
+            encode_seconds=encode_seconds,
+            solve_seconds=solution.solve_time,
+            encoder_name=self.encoder.name,
+            objective_terms=terms,
+        )
+
+
+class LocalizationExplorer:
+    """Anchor placement + sizing synthesis for localization networks."""
+
+    def __init__(
+        self,
+        template: Template,
+        library: Library,
+        requirement: ReachabilityRequirement,
+        channel: ChannelModel,
+        k_star: int = 20,
+        solver=None,
+    ) -> None:
+        self.template = template
+        self.library = library
+        self.requirement = requirement
+        self.channel = channel
+        self.k_star = k_star
+        self.solver = solver or HighsSolver()
+
+    def build(self, objective: "str | dict | ObjectiveSpec" = "cost") -> BuiltProblem:
+        """Encode the localization problem into a MILP."""
+        spec = parse_objective(objective)
+        model = Model(f"{self.template.name}:loc")
+        mapping = build_mapping(model, self.template, self.library)
+        loc = build_localization(
+            model, self.template, mapping, self.requirement,
+            self.channel, self.k_star,
+        )
+        objective_exprs = {
+            "cost": mapping.cost_expr(),
+            "dsod": loc.dsod_expr(),
+        }
+        objective = spec.build(objective_exprs)
+        if "cost" not in spec.terms:
+            # Without a cost term the anchor-used variables are degenerate:
+            # placing extra anchors changes nothing, so the solver may
+            # return all of them.  A tiny lexicographic cost tie-breaker
+            # keeps the placement minimal without disturbing the primary
+            # objective.
+            objective = objective + objective_exprs["cost"] * 1e-4
+        model.minimize(objective)
+        return BuiltProblem(
+            model=model,
+            mapping=mapping,
+            encoding=None,
+            link_quality=None,
+            energy=None,
+            localization=loc,
+            objective_exprs=objective_exprs,
+        )
+
+    def solve(
+        self, objective: "str | dict | ObjectiveSpec" = "cost",
+    ) -> SynthesisResult:
+        """Build, solve and decode in one call."""
+        t0 = time.perf_counter()
+        built = self.build(objective)
+        encode_seconds = time.perf_counter() - t0
+        solution = self.solver.solve(built.model)
+        architecture = None
+        terms: dict[str, float] = {}
+        if solution.status.has_solution:
+            architecture = decode_architecture(
+                solution, built, self.template, self.library
+            )
+            terms = {
+                name: solution.value(expr)
+                for name, expr in built.objective_exprs.items()
+            }
+        return SynthesisResult(
+            status=solution.status,
+            architecture=architecture,
+            solution=solution,
+            model_stats=built.model.stats(),
+            encode_seconds=encode_seconds,
+            solve_seconds=solution.solve_time,
+            encoder_name=f"reach-pruned-k{self.k_star}",
+            objective_terms=terms,
+        )
+
+
+def decode_architecture(
+    solution: Solution,
+    built: BuiltProblem,
+    template: Template,
+    library: Library,
+) -> Architecture:
+    """Translate a MILP assignment into an :class:`Architecture`."""
+    arch = Architecture(
+        template=template,
+        library=library,
+        sizing=built.mapping.decode_sizing(solution),
+        objective_value=solution.objective,
+    )
+    if built.encoding is not None:
+        arch.active_edges = {
+            edge
+            for edge, var in built.encoding.edge_active.items()
+            if solution.value_bool(var)
+        }
+        arch.routes = built.encoding.decode(solution)
+    if built.localization is not None:
+        # "A node is used if it is connected": an anchor is part of the
+        # design only when it serves at least one test point or carries
+        # routing traffic.  Objectives that exert no downward pressure on
+        # the used indicators (pure DSOD) would otherwise report every
+        # candidate as placed.
+        serving: set[int] = {
+            anchor_id
+            for (anchor_id, _), var in built.localization.reach.items()
+            if solution.value_bool(var)
+        }
+        routing_used: set[int] = {
+            node for edge in arch.active_edges for node in edge
+        }
+        arch.sizing = {
+            node_id: name
+            for node_id, name in arch.sizing.items()
+            if (node_id in serving or node_id in routing_used
+                or template.node(node_id).fixed)
+        }
+    return arch

@@ -1,0 +1,92 @@
+"""Systematic selection of the candidate budget K* (Section 4.3).
+
+"K* can be systematically selected by a search algorithm that generates
+multiple topologies for different values of K* and terminates once the
+execution time becomes higher than a predefined threshold or there is no
+further improvement in the objective."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.explorer import ArchitectureExplorer
+from repro.core.results import SynthesisResult
+
+#: The paper's default ladder (Table 4) and its K* guideline range (3-10).
+DEFAULT_K_LADDER = (1, 3, 5, 10, 20)
+
+
+@dataclass
+class KStarTrial:
+    """One rung of the K* ladder."""
+
+    k_star: int
+    result: SynthesisResult
+
+    @property
+    def objective(self) -> float:
+        """The achieved objective value (inf when infeasible)."""
+        if not self.result.feasible:
+            return float("inf")
+        return self.result.objective_value
+
+    @property
+    def seconds(self) -> float:
+        """Total encode+solve time."""
+        return self.result.total_seconds
+
+
+@dataclass
+class KStarSearchResult:
+    """All trials plus the selected rung."""
+
+    trials: list[KStarTrial]
+    best: KStarTrial | None
+    stop_reason: str
+
+    def table_rows(self) -> list[tuple[int, float, float]]:
+        """(K*, objective, seconds) rows, the shape of Table 4."""
+        return [(t.k_star, t.objective, t.seconds) for t in self.trials]
+
+
+def kstar_search(
+    make_explorer: Callable[[int], ArchitectureExplorer],
+    objective: str = "cost",
+    ladder: Sequence[int] = DEFAULT_K_LADDER,
+    time_threshold_s: float | None = None,
+    min_relative_gain: float = 1e-3,
+) -> KStarSearchResult:
+    """Climb the K* ladder until time or improvement runs out.
+
+    ``make_explorer`` builds an explorer for a given K* (so the caller
+    controls template, requirements and solver).  The search stops when a
+    trial exceeds ``time_threshold_s`` or fails to improve the best
+    objective by at least ``min_relative_gain`` relatively.
+    """
+    trials: list[KStarTrial] = []
+    best: KStarTrial | None = None
+    stop_reason = "ladder exhausted"
+    for k in ladder:
+        result = make_explorer(k).solve(objective)
+        trial = KStarTrial(k_star=k, result=result)
+        trials.append(trial)
+        if best is None or trial.objective < best.objective:
+            improved = (
+                best is None
+                or best.objective - trial.objective
+                > min_relative_gain * max(abs(best.objective), 1e-12)
+            )
+            previous_best = best
+            best = trial
+            if previous_best is not None and not improved:
+                stop_reason = "no further improvement"
+                break
+        elif best.result.feasible:
+            stop_reason = "no further improvement"
+            break
+        if time_threshold_s is not None and trial.seconds > time_threshold_s:
+            stop_reason = "time threshold exceeded"
+            break
+    return KStarSearchResult(trials=trials, best=best, stop_reason=stop_reason)

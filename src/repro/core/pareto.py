@@ -1,0 +1,127 @@
+"""Cost/energy trade-off exploration (epsilon-constraint method).
+
+"The tradeoff between dollar cost and energy consumption can be explored
+when optimizing for a combination of objectives." — weighted sums only
+reach the convex hull of the trade-off; the epsilon-constraint sweep here
+recovers the full Pareto front: minimize the primary term subject to a
+budget on the secondary term, sweeping the budget between the two
+single-objective extremes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.explorer import ArchitectureExplorer, decode_architecture
+from repro.core.results import SynthesisResult
+from repro.milp.solution import SolveStatus
+
+
+@dataclass
+class ParetoPoint:
+    """One point of the trade-off front."""
+
+    primary: float
+    secondary: float
+    secondary_budget: float
+    result: SynthesisResult
+
+
+@dataclass
+class ParetoFront:
+    """The swept front, sorted by increasing primary objective."""
+
+    primary_name: str
+    secondary_name: str
+    points: list[ParetoPoint]
+
+    def knee(self) -> ParetoPoint | None:
+        """The point of maximum curvature (max distance to the chord).
+
+        A standard automatic operating-point pick: normalize both axes to
+        [0, 1], draw the chord between the extremes, return the point
+        farthest below it.
+        """
+        if len(self.points) < 3:
+            return self.points[0] if self.points else None
+        xs = np.array([p.primary for p in self.points], dtype=float)
+        ys = np.array([p.secondary for p in self.points], dtype=float)
+        x_span = max(xs.max() - xs.min(), 1e-12)
+        y_span = max(ys.max() - ys.min(), 1e-12)
+        xn = (xs - xs.min()) / x_span
+        yn = (ys - ys.min()) / y_span
+        x0, y0 = xn[0], yn[0]
+        x1, y1 = xn[-1], yn[-1]
+        chord = max(np.hypot(x1 - x0, y1 - y0), 1e-12)
+        distance = np.abs(
+            (y1 - y0) * xn - (x1 - x0) * yn + x1 * y0 - y1 * x0
+        ) / chord
+        return self.points[int(np.argmax(distance))]
+
+
+def explore_pareto(
+    explorer: ArchitectureExplorer,
+    primary: str = "cost",
+    secondary: str = "energy",
+    points: int = 6,
+) -> ParetoFront:
+    """Sweep the epsilon-constraint front between the two extremes.
+
+    Solves the two single objectives first to find the secondary term's
+    achievable range, then re-solves the primary objective under
+    ``points`` evenly spaced budgets on the secondary term.  Infeasible
+    budgets (possible at the tight end with MIP-gap slack) are skipped.
+    """
+    if points < 2:
+        raise ValueError("need at least two sweep points")
+    if primary == secondary:
+        raise ValueError("primary and secondary objectives must differ")
+    # The extremes define the budget range.
+    best_secondary = explorer.solve(secondary)
+    if not best_secondary.feasible:
+        raise ValueError(f"no feasible design exists ({secondary} extreme)")
+    best_primary = explorer.solve(primary)
+    lo = best_secondary.objective_terms[secondary]
+    hi = best_primary.objective_terms[secondary]
+    if hi < lo:
+        lo, hi = hi, lo
+
+    front = ParetoFront(primary, secondary, [])
+    for budget in np.linspace(lo, hi, points):
+        built = explorer.build(primary)
+        built.model.add(
+            built.objective_exprs[secondary] <= float(budget) * (1 + 1e-9),
+            name=f"pareto:{secondary}_budget",
+        )
+        solution = explorer.solver.solve(built.model)
+        if not solution.status.has_solution:
+            continue
+        arch = decode_architecture(
+            solution, built, explorer.template, explorer.library
+        )
+        terms = {
+            name: solution.value(expr)
+            for name, expr in built.objective_exprs.items()
+        }
+        result = SynthesisResult(
+            status=solution.status,
+            architecture=arch,
+            solution=solution,
+            model_stats=built.model.stats(),
+            encode_seconds=0.0,
+            solve_seconds=solution.solve_time,
+            encoder_name=explorer.encoder.name,
+            objective_terms=terms,
+        )
+        front.points.append(
+            ParetoPoint(
+                primary=terms[primary],
+                secondary=terms[secondary],
+                secondary_budget=float(budget),
+                result=result,
+            )
+        )
+    front.points.sort(key=lambda p: (p.primary, p.secondary))
+    return front

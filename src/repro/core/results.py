@@ -1,0 +1,55 @@
+"""Synthesis results: what an exploration run returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.milp.model import ModelStats
+from repro.milp.solution import Solution, SolveStatus
+from repro.network.topology import Architecture
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of one exploration (one table row of the paper)."""
+
+    status: SolveStatus
+    architecture: Architecture | None
+    solution: Solution
+    model_stats: ModelStats
+    encode_seconds: float
+    solve_seconds: float
+    encoder_name: str
+    objective_terms: dict[str, float] = field(default_factory=dict)
+    #: Post-hoc metrics filled by the validator (lifetime, reachability...).
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        """Whether a usable architecture was produced."""
+        return self.architecture is not None
+
+    @property
+    def objective_value(self) -> float:
+        """The solver's objective value."""
+        return self.solution.objective
+
+    @property
+    def total_seconds(self) -> float:
+        """Encoding plus solving time."""
+        return self.encode_seconds + self.solve_seconds
+
+    def summary(self) -> str:
+        """One human-readable line (roughly a paper table row)."""
+        if not self.feasible:
+            return f"{self.status.value} after {self.total_seconds:.1f}s"
+        arch = self.architecture
+        parts = [
+            f"{arch.node_count} nodes",
+            f"${arch.dollar_cost:.0f}",
+            f"{self.solve_seconds:.1f}s solve",
+            f"[{self.model_stats}]",
+        ]
+        for key, value in self.metrics.items():
+            parts.append(f"{key}={value:.3g}")
+        return ", ".join(parts)

@@ -1,0 +1,22 @@
+"""Path-constraint encodings: exhaustive and Algorithm 1 (approximate)."""
+
+from repro.encoding.approximate import (
+    ApproximatePathEncoder,
+    budget_div,
+    generate_candidate_pool,
+)
+from repro.encoding.base import EncodingError, RoutingEncoder, RoutingEncoding
+from repro.encoding.full import FullPathEncoder
+from repro.encoding.sizing import SizeEstimate, estimate_full_encoding_stats
+
+__all__ = [
+    "ApproximatePathEncoder",
+    "EncodingError",
+    "FullPathEncoder",
+    "SizeEstimate",
+    "estimate_full_encoding_stats",
+    "RoutingEncoder",
+    "RoutingEncoding",
+    "budget_div",
+    "generate_candidate_pool",
+]

@@ -1,0 +1,325 @@
+"""Algorithm 1 — approximate path encoding via Yen's K-shortest paths.
+
+For every route requirement the encoder generates a pool of promising
+candidate paths on the path-loss-weighted template:
+
+1. ``BudgetDiv``: split the candidate budget ``K*`` into ``N_rep`` rounds
+   (one per required disjoint replica) of ``K = ceil(K* / N_rep)``
+   candidates each.
+2. Each round runs Yen's K-shortest-paths (:func:`repro.graph.yen.
+   k_shortest_paths`) on the current graph.
+3. ``DisconnectMinDisjointPath``: after each round, the pool path sharing
+   the most edges with the rest of the pool is masked out of the graph, so
+   the next round must discover an independent alternative — this is what
+   guarantees the pool contains at least ``N_rep`` pairwise link-disjoint
+   members.
+
+The MILP then only has to *select* among pool paths: one binary per
+candidate, "pick at least N_rep" per requirement, and — when disjointness
+is required — "at most one selected path per edge".  Constraints
+(1a)-(1c) vanish entirely because Yen only emits valid loopless paths,
+and every downstream constraint (link quality, energy) is instantiated
+only for edges that occur in some candidate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.encoding.base import Edge, EncodingError, RoutingEncoder, RoutingEncoding
+from repro.graph.digraph import DiGraph
+from repro.graph.disjoint import max_disjoint_subset, minimally_disjoint_path
+from repro.graph.yen import k_shortest_paths
+from repro.milp.expr import Var, lin_sum
+from repro.milp.model import Model
+from repro.milp.solution import Solution
+from repro.network.paths import CandidatePath
+from repro.network.requirements import RouteRequirement
+from repro.network.template import Template
+from repro.network.topology import Route
+
+
+def budget_div(k_star: int, replicas: int) -> tuple[int, int]:
+    """Split the candidate budget: ``N_rep * K >= K*`` with K per round."""
+    if k_star < 1:
+        raise ValueError("K* must be positive")
+    if replicas < 1:
+        raise ValueError("need at least one replica")
+    return max(1, math.ceil(k_star / replicas)), replicas
+
+
+def _hops_ok(path: list[int], req: RouteRequirement) -> bool:
+    hops = len(path) - 1
+    if req.exact_hops is not None:
+        return hops == req.exact_hops
+    if req.max_hops is not None and hops > req.max_hops:
+        return False
+    if req.min_hops is not None and hops < req.min_hops:
+        return False
+    return True
+
+
+#: Disconnection strategies between Yen rounds (ablation hook):
+#: ``min-disjoint`` is Algorithm 1's rule; ``cheapest`` masks the
+#: best path instead; ``none`` skips disconnection (plain Yen-K*).
+DISCONNECT_STRATEGIES = ("min-disjoint", "cheapest", "none")
+
+
+def generate_candidate_pool(
+    graph: DiGraph,
+    req: RouteRequirement,
+    k_star: int,
+    max_extra_rounds: int = 4,
+    disconnect: str = "min-disjoint",
+) -> list[CandidatePath]:
+    """Algorithm 1's candidate generation for one requirement.
+
+    Returns a deduplicated pool ordered by discovery (cost order within
+    each round).  Raises :class:`EncodingError` when the graph cannot
+    supply the required number of (disjoint) paths even after
+    ``max_extra_rounds`` additional disconnection rounds.
+
+    ``disconnect`` selects what gets masked between rounds (see
+    :data:`DISCONNECT_STRATEGIES`); anything but the default
+    ``"min-disjoint"`` exists for ablation studies.
+    """
+    if disconnect not in DISCONNECT_STRATEGIES:
+        raise ValueError(
+            f"unknown disconnect strategy {disconnect!r}; "
+            f"choose from {DISCONNECT_STRATEGIES}"
+        )
+    k_per_round, n_rep = budget_div(k_star, req.replicas)
+    pool: list[CandidatePath] = []
+    seen: set[tuple[int, ...]] = set()
+    rounds = 0
+    try:
+        while rounds < n_rep + max_extra_rounds:
+            rounds += 1
+            found = k_shortest_paths(graph, req.source, req.dest, k_per_round)
+            round_paths = []
+            for nodes, cost in found:
+                if not _hops_ok(nodes, req):
+                    continue
+                key = tuple(nodes)
+                round_paths.append(nodes)
+                if key not in seen:
+                    seen.add(key)
+                    pool.append(CandidatePath(key, cost))
+            if rounds >= n_rep and _pool_sufficient(pool, req):
+                break
+            if not round_paths:
+                # This round found nothing new and the pool is still
+                # insufficient: the masked graph is exhausted.
+                break
+            if disconnect == "none":
+                break  # plain Yen-K*: one round, no forced diversity
+            if disconnect == "cheapest":
+                idx = 0
+            else:
+                # DisconnectMinDisjointPath: mask the least-independent path.
+                idx = minimally_disjoint_path([p.nodes for p in pool])
+            for u, v in pool[idx].edges:
+                if graph.has_edge(u, v):
+                    graph.mask_edge(u, v)
+    finally:
+        graph.clear_masks()
+
+    if not _pool_sufficient(pool, req):
+        need = f"{req.replicas} disjoint" if req.disjoint else f"{req.replicas}"
+        raise EncodingError(
+            f"route {req.source}->{req.dest}: pool of {len(pool)} candidates "
+            f"cannot supply {need} path(s); increase k_star or relax the "
+            f"requirement"
+        )
+    return pool
+
+
+def _pool_sufficient(pool: list[CandidatePath], req: RouteRequirement) -> bool:
+    if len(pool) < req.replicas:
+        return False
+    if not req.disjoint:
+        return True
+    return len(max_disjoint_subset([p.nodes for p in pool])) >= req.replicas
+
+
+@dataclass
+class _RequirementBlock:
+    req: RouteRequirement
+    pool: list[CandidatePath]
+    pick: list[Var]
+
+
+class ApproximatePathEncoder(RoutingEncoder):
+    """The compact encoding over Yen-generated candidate paths.
+
+    Parameters
+    ----------
+    k_star:
+        Candidate budget per required route (the paper's ``K*``).  Larger
+        values approach the exhaustive optimum at higher solver cost
+        (Table 4); the paper's guideline is 3-10 for networks of this size.
+    max_path_loss_db:
+        Optional per-link prefilter: template edges lossier than this are
+        ignored during candidate generation (the paper's "disregard links
+        with path loss below a certain threshold" step).
+    max_out_degree:
+        Optional sparsification of the candidate-generation graph: keep
+        only this many lowest-loss outgoing links per node.  Dense
+        templates (hundreds of candidate neighbours per node) slow Yen's
+        routine without contributing plausible path candidates — a node's
+        best links dominate every low-loss path.  Requirements whose pool
+        cannot be filled on the sparsified graph automatically fall back
+        to the full graph, so the encoding never loses feasibility.
+    disconnect:
+        Between-round disconnection strategy (ablation hook); see
+        :data:`DISCONNECT_STRATEGIES`.
+    """
+
+    name = "approximate"
+
+    def __init__(
+        self,
+        k_star: int = 10,
+        max_path_loss_db: float | None = None,
+        max_out_degree: int | None = None,
+        disconnect: str = "min-disjoint",
+    ) -> None:
+        if k_star < 1:
+            raise ValueError("K* must be positive")
+        if max_out_degree is not None and max_out_degree < 1:
+            raise ValueError("max_out_degree must be positive")
+        if disconnect not in DISCONNECT_STRATEGIES:
+            raise ValueError(
+                f"unknown disconnect strategy {disconnect!r}; "
+                f"choose from {DISCONNECT_STRATEGIES}"
+            )
+        self.k_star = k_star
+        self.max_path_loss_db = max_path_loss_db
+        self.max_out_degree = max_out_degree
+        self.disconnect = disconnect
+
+    def encode(
+        self,
+        model: Model,
+        template: Template,
+        routes: list[RouteRequirement],
+        node_used: dict[int, Var],
+    ) -> RoutingEncoding:
+        """Generate candidate pools and the selection constraints."""
+        graph = self._working_graph(template)
+        sparse = self._sparsified(graph)
+        blocks: list[_RequirementBlock] = []
+        edge_uses: dict[Edge, list[Var]] = {}
+        path_var_count = 0
+
+        for req_index, req in enumerate(routes):
+            pool = None
+            if sparse is not None:
+                try:
+                    pool = generate_candidate_pool(
+                        sparse, req, self.k_star, disconnect=self.disconnect
+                    )
+                except EncodingError:
+                    pool = None  # fall back to the full graph below
+            if pool is None:
+                pool = generate_candidate_pool(
+                    graph, req, self.k_star, disconnect=self.disconnect
+                )
+            pick = [
+                model.binary(f"y[p{req_index}][{k}]") for k in range(len(pool))
+            ]
+            path_var_count += len(pool)
+            # Select at least N_rep pool paths (the paper's disjunction,
+            # generalized to replicas).
+            model.add(
+                lin_sum(pick) >= req.replicas, f"p{req_index}:select"
+            )
+            if req.disjoint and req.replicas >= 1:
+                self._add_disjointness_rows(model, req_index, pool, pick)
+            for path, var in zip(pool, pick):
+                for edge in path.edges:
+                    edge_uses.setdefault(edge, []).append(var)
+            blocks.append(_RequirementBlock(req, pool, pick))
+
+        edge_active = {
+            (u, v): model.binary(f"e[{u},{v}]") for (u, v) in edge_uses
+        }
+        encoding = RoutingEncoding(
+            edge_active=edge_active,
+            edge_uses=edge_uses,
+            path_var_count=path_var_count,
+            _decoder=lambda sol: _decode(sol, blocks),
+        )
+        self._wire_topology_consistency(model, template, node_used, encoding)
+        return encoding
+
+    def _working_graph(self, template: Template) -> DiGraph:
+        """The path-loss-weighted graph candidates are generated on."""
+        if self.max_path_loss_db is None:
+            return template.graph
+        graph = DiGraph()
+        for node in template.nodes:
+            graph.add_node(node.id)
+        for u, v, pl in template.edges():
+            if pl <= self.max_path_loss_db:
+                graph.add_edge(u, v, pl)
+        return graph
+
+    def _sparsified(self, graph: DiGraph) -> DiGraph | None:
+        """The degree-limited copy of the working graph, if configured."""
+        if self.max_out_degree is None:
+            return None
+        sparse = DiGraph()
+        for node in graph.nodes():
+            sparse.add_node(node)
+        for node in graph.nodes():
+            best = sorted(graph.successors(node), key=lambda it: it[1])
+            for v, w in best[: self.max_out_degree]:
+                sparse.add_edge(node, v, w)
+        return sparse
+
+    @staticmethod
+    def _add_disjointness_rows(
+        model: Model,
+        req_index: int,
+        pool: list[CandidatePath],
+        pick: list[Var],
+    ) -> None:
+        """Selected paths of one requirement must be pairwise link-disjoint.
+
+        Encoded per edge — "at most one selected candidate containing this
+        edge" — which is linear in pool size, unlike the quadratic pairwise
+        form (1d) of the full encoding.
+        """
+        by_edge: dict[Edge, list[Var]] = {}
+        for path, var in zip(pool, pick):
+            for edge in path.edges:
+                by_edge.setdefault(edge, []).append(var)
+        for (u, v), vars_on_edge in by_edge.items():
+            if len(vars_on_edge) > 1:
+                model.add(
+                    lin_sum(vars_on_edge) <= 1,
+                    f"p{req_index}:edgedisj[{u},{v}]",
+                )
+
+
+def _decode(solution: Solution, blocks: list[_RequirementBlock]) -> list[Route]:
+    routes: list[Route] = []
+    for block in blocks:
+        selected = [
+            path
+            for path, var in zip(block.pool, block.pick)
+            if solution.value_bool(var)
+        ]
+        if len(selected) < block.req.replicas:
+            raise ValueError(
+                f"solution selects {len(selected)} paths for "
+                f"{block.req.source}->{block.req.dest}, "
+                f"needs {block.req.replicas}"
+            )
+        for rep, path in enumerate(selected):
+            routes.append(
+                Route(block.req.source, block.req.dest, rep, path.nodes)
+            )
+    return routes

@@ -1,0 +1,117 @@
+"""Shared interface of the two path-constraint encodings.
+
+Both the full (exhaustive) encoding and the approximate (Algorithm 1)
+encoding produce the same artifact, a :class:`RoutingEncoding`:
+
+* ``edge_active`` — the template's link variables ``e_ij``, restricted to
+  the edges the encoding can actually use (for the approximate encoding
+  this restriction *is* the complexity saving: downstream link-quality and
+  energy constraints are only instantiated for these edges);
+* ``edge_uses`` — for every encoded edge, the list of binary variables
+  each of which, when 1, means "one route uses this edge"; energy
+  accounting sums per-use charges over this list;
+* ``decode`` — map a MILP solution back to concrete :class:`Route`\\ s.
+
+The encoders also wire the standard topology-consistency rows: an active
+edge implies both endpoints are used, an edge is only active when some
+route uses it, and optional nodes are only "used" when connected.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.milp.expr import Var, lin_sum
+from repro.milp.model import Model
+from repro.milp.solution import Solution
+from repro.network.requirements import RouteRequirement
+from repro.network.template import Template
+from repro.network.topology import Route
+
+Edge = tuple[int, int]
+
+
+class EncodingError(Exception):
+    """The requirements cannot be encoded on this template.
+
+    For the approximate encoding this usually means the candidate pool was
+    too small (raise ``k_star``) or the template simply has no (enough
+    disjoint) paths for a required pair.
+    """
+
+
+@dataclass
+class RoutingEncoding:
+    """The artifact consumed by constraint builders and the decoder."""
+
+    edge_active: dict[Edge, Var]
+    edge_uses: dict[Edge, list[Var]] = field(default_factory=dict)
+    #: Number of path-structure variables created (paper's complexity metric).
+    path_var_count: int = 0
+    _decoder: Callable[[Solution], list[Route]] | None = None
+
+    @property
+    def encoded_edges(self) -> list[Edge]:
+        """Edges that can appear in a route under this encoding."""
+        return list(self.edge_active)
+
+    def decode(self, solution: Solution) -> list[Route]:
+        """Concrete routes chosen by ``solution``."""
+        if self._decoder is None:
+            return []
+        return self._decoder(solution)
+
+
+class RoutingEncoder(abc.ABC):
+    """Builds routing variables/constraints for a set of route requirements."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def encode(
+        self,
+        model: Model,
+        template: Template,
+        routes: list[RouteRequirement],
+        node_used: dict[int, Var],
+    ) -> RoutingEncoding:
+        """Add routing structure to ``model`` and return the encoding."""
+
+    @staticmethod
+    def _wire_topology_consistency(
+        model: Model,
+        template: Template,
+        node_used: dict[int, Var],
+        encoding: RoutingEncoding,
+    ) -> None:
+        """Standard rows tying edges to uses and nodes to edges."""
+        incident: dict[int, list[Var]] = {}
+        for (u, v), e_var in encoding.edge_active.items():
+            uses = encoding.edge_uses.get((u, v), [])
+            for k, use in enumerate(uses):
+                model.add(e_var >= use, f"e[{u},{v}]:ge_use{k}")
+            if uses:
+                model.add(e_var <= lin_sum(uses), f"e[{u},{v}]:le_uses")
+            else:
+                model.add(e_var <= 0, f"e[{u},{v}]:unused")
+            # An active link needs both endpoints placed.
+            model.add(e_var <= node_used[u], f"e[{u},{v}]:tx_used")
+            model.add(e_var <= node_used[v], f"e[{u},{v}]:rx_used")
+            incident.setdefault(u, []).append(e_var)
+            incident.setdefault(v, []).append(e_var)
+        # Optional nodes count as used only when connected.
+        for node in template.nodes:
+            if node.fixed:
+                continue
+            edges = incident.get(node.id)
+            if edges:
+                model.add(
+                    node_used[node.id] <= lin_sum(edges),
+                    f"alpha[{node.id}]:connected",
+                )
+            else:
+                model.add(
+                    node_used[node.id] <= 0, f"alpha[{node.id}]:isolated"
+                )

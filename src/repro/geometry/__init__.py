@@ -1,0 +1,30 @@
+"""2-D geometry substrate: primitives, floor plans, SVG I/O, location grids."""
+
+from repro.geometry.floorplan import (
+    MATERIAL_LOSS_DB,
+    FloorPlan,
+    Wall,
+    office_floorplan,
+    open_floorplan,
+)
+from repro.geometry.grid import grid_for_count, grid_locations, scattered_locations
+from repro.geometry.primitives import EPSILON, Point, Rectangle, Segment
+from repro.geometry.svg import SvgMarker, floorplan_from_svg, floorplan_to_svg
+
+__all__ = [
+    "EPSILON",
+    "MATERIAL_LOSS_DB",
+    "FloorPlan",
+    "Point",
+    "Rectangle",
+    "Segment",
+    "SvgMarker",
+    "Wall",
+    "floorplan_from_svg",
+    "floorplan_to_svg",
+    "grid_for_count",
+    "grid_locations",
+    "office_floorplan",
+    "open_floorplan",
+    "scattered_locations",
+]

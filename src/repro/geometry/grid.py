@@ -1,0 +1,78 @@
+"""Candidate-location generators.
+
+Templates need (i) fixed locations for sensors/sinks/test points and (ii) a
+pool of candidate locations where the optimizer may or may not place relays
+or anchors.  The paper's Fig. 1a uses a regular grid of candidate relay
+locations over the floor; these helpers produce such grids plus
+deterministic pseudo-random scatters for the synthetic scalability
+families (Table 3).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.floorplan import FloorPlan
+from repro.geometry.primitives import Point, Rectangle
+
+
+def grid_locations(
+    bounds: Rectangle, nx: int, ny: int, margin: float = 2.0
+) -> list[Point]:
+    """An ``nx`` x ``ny`` regular grid of points inset by ``margin`` metres.
+
+    Points are ordered row-major, bottom row first, which keeps template
+    node indices stable across runs.
+    """
+    if nx < 1 or ny < 1:
+        raise ValueError("grid must have at least one point per axis")
+    usable_w = bounds.width - 2 * margin
+    usable_h = bounds.height - 2 * margin
+    if usable_w < 0 or usable_h < 0:
+        raise ValueError("margin larger than the floor")
+    xs = (
+        [bounds.x_min + margin + usable_w / 2.0]
+        if nx == 1
+        else [bounds.x_min + margin + usable_w * i / (nx - 1) for i in range(nx)]
+    )
+    ys = (
+        [bounds.y_min + margin + usable_h / 2.0]
+        if ny == 1
+        else [bounds.y_min + margin + usable_h * j / (ny - 1) for j in range(ny)]
+    )
+    return [Point(x, y) for y in ys for x in xs]
+
+
+def grid_for_count(
+    bounds: Rectangle, count: int, margin: float = 2.0
+) -> list[Point]:
+    """At least ``count`` grid points with an aspect ratio matching the floor.
+
+    Returns exactly ``count`` points (the first ``count`` in row-major
+    order of the smallest adequate grid).
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    aspect = bounds.width / max(bounds.height, 1e-9)
+    ny = max(1, int(math.floor(math.sqrt(count / aspect))))
+    nx = max(1, int(math.ceil(count / ny)))
+    while nx * ny < count:
+        nx += 1
+    return grid_locations(bounds, nx, ny, margin)[:count]
+
+
+def scattered_locations(
+    plan: FloorPlan, count: int, seed: int = 0, margin: float = 1.0
+) -> list[Point]:
+    """``count`` deterministic pseudo-random points inside the floor.
+
+    Used by the synthetic scalability templates: a seeded generator makes
+    benchmark instances reproducible run to run.
+    """
+    rng = np.random.default_rng(seed)
+    bounds = plan.bounds
+    xs = rng.uniform(bounds.x_min + margin, bounds.x_max - margin, size=count)
+    ys = rng.uniform(bounds.y_min + margin, bounds.y_max - margin, size=count)
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]

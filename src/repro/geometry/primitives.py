@@ -1,0 +1,164 @@
+"""Basic 2-D geometric primitives used by floor plans and channel models.
+
+The channel models only need two geometric queries:
+
+* Euclidean distance between node locations.
+* How many (and which) walls a straight transmitter->receiver ray crosses,
+  which drives the multi-wall path-loss model.
+
+Everything here is therefore small and exact: points, segments, axis-aligned
+rectangles, and robust segment-segment intersection tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Tolerance for geometric predicates, in metres.  Floor plans are specified
+#: with centimetre-scale coordinates, so 1e-9 m is far below meaningful scale.
+EPSILON = 1e-9
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point (or position vector) in the floor-plan coordinate system.
+
+    Coordinates are in metres.  Points are immutable and hashable so they can
+    be used as dictionary keys (e.g. candidate-location lookup tables).
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The point halfway between ``self`` and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy of this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+
+def _orientation(a: Point, b: Point, c: Point) -> int:
+    """Orientation of the ordered triple ``(a, b, c)``.
+
+    Returns ``+1`` for counter-clockwise, ``-1`` for clockwise and ``0`` for
+    (numerically) collinear points.
+    """
+    cross = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+    if cross > EPSILON:
+        return 1
+    if cross < -EPSILON:
+        return -1
+    return 0
+
+
+def _on_segment(p: Point, q: Point, r: Point) -> bool:
+    """Whether collinear point ``q`` lies on the closed segment ``p``–``r``."""
+    return (
+        min(p.x, r.x) - EPSILON <= q.x <= max(p.x, r.x) + EPSILON
+        and min(p.y, r.y) - EPSILON <= q.y <= max(p.y, r.y) + EPSILON
+    )
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A closed straight segment between two points."""
+
+    start: Point
+    end: Point
+
+    @property
+    def length(self) -> float:
+        """Segment length in metres."""
+        return self.start.distance_to(self.end)
+
+    def intersects(self, other: "Segment") -> bool:
+        """Whether this segment and ``other`` share at least one point.
+
+        Uses the standard orientation predicate, with collinear-overlap
+        special cases handled explicitly, so walls touching at corners are
+        detected consistently.
+        """
+        p1, q1 = self.start, self.end
+        p2, q2 = other.start, other.end
+        o1 = _orientation(p1, q1, p2)
+        o2 = _orientation(p1, q1, q2)
+        o3 = _orientation(p2, q2, p1)
+        o4 = _orientation(p2, q2, q1)
+
+        if o1 != o2 and o3 != o4:
+            return True
+        if o1 == 0 and _on_segment(p1, p2, q1):
+            return True
+        if o2 == 0 and _on_segment(p1, q2, q1):
+            return True
+        if o3 == 0 and _on_segment(p2, p1, q2):
+            return True
+        if o4 == 0 and _on_segment(p2, q1, q2):
+            return True
+        return False
+
+    def midpoint(self) -> Point:
+        """The midpoint of the segment."""
+        return self.start.midpoint(self.end)
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """An axis-aligned rectangle, used for room outlines and floor bounds."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max < self.x_min or self.y_max < self.y_min:
+            raise ValueError(
+                f"degenerate rectangle: ({self.x_min}, {self.y_min}) .. "
+                f"({self.x_max}, {self.y_max})"
+            )
+
+    @property
+    def width(self) -> float:
+        """Extent along x, in metres."""
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        """Extent along y, in metres."""
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        """Rectangle area in square metres."""
+        return self.width * self.height
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside or on the boundary."""
+        return (
+            self.x_min - EPSILON <= point.x <= self.x_max + EPSILON
+            and self.y_min - EPSILON <= point.y <= self.y_max + EPSILON
+        )
+
+    def edges(self) -> Iterator[Segment]:
+        """The four boundary segments, counter-clockwise from bottom-left."""
+        bl = Point(self.x_min, self.y_min)
+        br = Point(self.x_max, self.y_min)
+        tr = Point(self.x_max, self.y_max)
+        tl = Point(self.x_min, self.y_max)
+        yield Segment(bl, br)
+        yield Segment(br, tr)
+        yield Segment(tr, tl)
+        yield Segment(tl, bl)

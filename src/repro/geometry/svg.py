@@ -1,0 +1,157 @@
+"""SVG import/export for floor plans and synthesized network layouts.
+
+The paper's toolbox accepts the floor plan as an SVG file and we keep that
+interface: :func:`floorplan_to_svg` emits a standard SVG 1.1 document, and
+:func:`floorplan_from_svg` parses it back (round-trip safe for documents we
+produce, tolerant of hand-drawn ones that use ``<line>`` elements).  Layout
+exports additionally draw nodes and selected links so Fig. 1-style panels
+can be regenerated.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+
+from repro.geometry.floorplan import FloorPlan, Wall
+from repro.geometry.primitives import Point, Rectangle, Segment
+
+#: SVG user units per metre in exported documents.
+_SCALE = 10.0
+
+_MATERIAL_COLORS = {
+    "drywall": "#888888",
+    "brick": "#b5651d",
+    "concrete": "#444444",
+    "glass": "#7fd4ff",
+    "wood": "#c8a165",
+    "metal": "#222222",
+}
+
+
+@dataclass(frozen=True)
+class SvgMarker:
+    """A node to draw on a layout export."""
+
+    location: Point
+    kind: str  # e.g. "sensor", "sink", "relay", "candidate", "anchor", "test"
+    label: str = ""
+
+
+_KIND_STYLE = {
+    "sensor": ("#2e8b57", 4.0),
+    "sink": ("#d62728", 6.0),
+    "relay": ("#1f77b4", 4.0),
+    "candidate": ("#c0c0c0", 2.5),
+    "anchor": ("#9467bd", 5.0),
+    "test": ("#ff7f0e", 2.0),
+}
+
+
+def _svg_y(plan: FloorPlan, y: float) -> float:
+    """Flip the y axis: floor plans are y-up, SVG is y-down."""
+    return (plan.bounds.y_max - y) * _SCALE
+
+
+def floorplan_to_svg(
+    plan: FloorPlan,
+    markers: list[SvgMarker] | None = None,
+    links: list[tuple[Point, Point]] | None = None,
+) -> str:
+    """Render ``plan`` (plus optional nodes and links) as an SVG document."""
+    width = plan.bounds.width * _SCALE
+    height = plan.bounds.height * _SCALE
+    root = ET.Element(
+        "svg",
+        xmlns="http://www.w3.org/2000/svg",
+        width=f"{width:.1f}",
+        height=f"{height:.1f}",
+        viewBox=f"0 0 {width:.1f} {height:.1f}",
+    )
+    root.set("data-name", plan.name)
+    root.set("data-metres-width", f"{plan.bounds.width}")
+    root.set("data-metres-height", f"{plan.bounds.height}")
+
+    ET.SubElement(
+        root, "rect", x="0", y="0", width=f"{width:.1f}", height=f"{height:.1f}",
+        fill="white", stroke="black",
+    )
+    for wall in plan.walls:
+        color = _MATERIAL_COLORS.get(wall.material, "#888888")
+        line = ET.SubElement(
+            root, "line",
+            x1=f"{wall.segment.start.x * _SCALE:.2f}",
+            y1=f"{_svg_y(plan, wall.segment.start.y):.2f}",
+            x2=f"{wall.segment.end.x * _SCALE:.2f}",
+            y2=f"{_svg_y(plan, wall.segment.end.y):.2f}",
+            stroke=color,
+        )
+        line.set("stroke-width", "2")
+        line.set("class", "wall")
+        line.set("data-material", wall.material)
+        line.set("data-loss-db", f"{wall.attenuation_db():.2f}")
+
+    for a, b in links or []:
+        line = ET.SubElement(
+            root, "line",
+            x1=f"{a.x * _SCALE:.2f}", y1=f"{_svg_y(plan, a.y):.2f}",
+            x2=f"{b.x * _SCALE:.2f}", y2=f"{_svg_y(plan, b.y):.2f}",
+            stroke="#2ca02c",
+        )
+        line.set("stroke-width", "1")
+        line.set("class", "link")
+
+    for marker in markers or []:
+        color, radius = _KIND_STYLE.get(marker.kind, ("#000000", 3.0))
+        circle = ET.SubElement(
+            root, "circle",
+            cx=f"{marker.location.x * _SCALE:.2f}",
+            cy=f"{_svg_y(plan, marker.location.y):.2f}",
+            r=f"{radius:.1f}",
+            fill=color,
+        )
+        circle.set("class", f"node {marker.kind}")
+        if marker.label:
+            circle.set("data-label", marker.label)
+    return ET.tostring(root, encoding="unicode")
+
+
+def floorplan_from_svg(text: str) -> FloorPlan:
+    """Parse an SVG document produced by :func:`floorplan_to_svg`.
+
+    Any ``<line>`` element is treated as a wall; ``data-material`` and
+    ``data-loss-db`` attributes are honoured when present, otherwise the
+    wall defaults to drywall.  The floor bounds come from the
+    ``data-metres-*`` attributes when present, falling back to the SVG
+    width/height divided by the export scale.
+    """
+    root = ET.fromstring(text)
+    ns = root.tag.partition("}")[0] + "}" if root.tag.startswith("{") else ""
+
+    if root.get("data-metres-width") and root.get("data-metres-height"):
+        width = float(root.get("data-metres-width"))
+        height = float(root.get("data-metres-height"))
+    else:
+        width = float(root.get("width", "0").rstrip("px")) / _SCALE
+        height = float(root.get("height", "0").rstrip("px")) / _SCALE
+    plan = FloorPlan(
+        Rectangle(0.0, 0.0, width, height), name=root.get("data-name", "floor")
+    )
+
+    for line in root.iter(f"{ns}line"):
+        if line.get("class") == "link":
+            continue
+        x1 = float(line.get("x1")) / _SCALE
+        y1 = height - float(line.get("y1")) / _SCALE
+        x2 = float(line.get("x2")) / _SCALE
+        y2 = height - float(line.get("y2")) / _SCALE
+        material = line.get("data-material", "drywall")
+        loss = line.get("data-loss-db")
+        plan.walls.append(
+            Wall(
+                Segment(Point(x1, y1), Point(x2, y2)),
+                material,
+                float(loss) if loss is not None else None,
+            )
+        )
+    return plan

@@ -1,0 +1,29 @@
+"""Graph algorithm substrate: digraph, Dijkstra, Yen's K-shortest paths."""
+
+from repro.graph.digraph import INFINITY, DiGraph
+from repro.graph.dijkstra import NoPathError, shortest_path, shortest_path_tree
+from repro.graph.disjoint import (
+    are_link_disjoint,
+    edges_shared,
+    max_disjoint_subset,
+    minimally_disjoint_path,
+    path_edges,
+)
+from repro.graph.enumeration import all_simple_paths, count_simple_paths
+from repro.graph.yen import k_shortest_paths
+
+__all__ = [
+    "INFINITY",
+    "DiGraph",
+    "NoPathError",
+    "all_simple_paths",
+    "are_link_disjoint",
+    "count_simple_paths",
+    "edges_shared",
+    "k_shortest_paths",
+    "max_disjoint_subset",
+    "minimally_disjoint_path",
+    "path_edges",
+    "shortest_path",
+    "shortest_path_tree",
+]

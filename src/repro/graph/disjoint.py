@@ -1,0 +1,71 @@
+"""Path-set disjointness utilities for Algorithm 1.
+
+The approximate encoder must (i) decide how link-disjoint a pool of
+candidate paths is, and (ii) find the path that shares the *most* edges
+with the rest of the pool — the "minimally disjoint" path that Algorithm 1
+disconnects between Yen rounds so the next round is forced to discover an
+independent alternative.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+Node = Hashable
+Path = Sequence[Node]
+
+
+def path_edges(path: Path) -> list[tuple[Node, Node]]:
+    """The directed edge list of a node-sequence path."""
+    return list(zip(path, path[1:]))
+
+
+def edges_shared(a: Path, b: Path) -> int:
+    """Number of directed edges two paths have in common."""
+    return len(set(path_edges(a)) & set(path_edges(b)))
+
+
+def are_link_disjoint(a: Path, b: Path) -> bool:
+    """Whether two paths share no directed edge."""
+    return edges_shared(a, b) == 0
+
+
+def minimally_disjoint_path(paths: Sequence[Path]) -> int:
+    """Index of the path sharing the most edges with the other paths.
+
+    This is ``DisconnectMinDisjointPath``'s selection rule: the path with
+    the largest total edge overlap against the rest of the pool.  Ties are
+    broken toward the *earliest* (lowest-cost, since Yen emits paths in
+    cost order) path, which empirically frees the most contested edges.
+    """
+    if not paths:
+        raise ValueError("empty path pool")
+    edge_sets = [set(path_edges(p)) for p in paths]
+    best_index = 0
+    best_overlap = -1
+    for i, edges in enumerate(edge_sets):
+        overlap = sum(
+            len(edges & other) for j, other in enumerate(edge_sets) if j != i
+        )
+        if overlap > best_overlap:
+            best_overlap = overlap
+            best_index = i
+    return best_index
+
+
+def max_disjoint_subset(paths: Sequence[Path]) -> list[int]:
+    """Indices of a maximal set of pairwise link-disjoint paths.
+
+    Greedy in the given (cost) order; used to verify that a generated
+    candidate pool can actually supply the requested number of disjoint
+    replicas before the MILP is built.
+    """
+    chosen: list[int] = []
+    used_edges: set[tuple[Node, Node]] = set()
+    for i, path in enumerate(paths):
+        edges = set(path_edges(path))
+        if edges & used_edges:
+            continue
+        chosen.append(i)
+        used_edges |= edges
+    return chosen

@@ -1,0 +1,130 @@
+"""JSON persistence for templates and synthesized architectures.
+
+A downstream user wants to synthesize once and then feed the design to
+deployment tooling; these helpers serialize the complete decoded state —
+template geometry, candidate links with path losses, sizing, active links
+and routes — to plain JSON and back.  Round-tripping is exact: the loaded
+architecture validates identically and produces identical metrics.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.geometry.primitives import Point
+from repro.library.catalog import Library
+from repro.library.links import LinkType
+from repro.network.template import NetworkNode, Template
+from repro.network.topology import Architecture, Route
+
+FORMAT_VERSION = 1
+
+
+def template_to_dict(template: Template) -> dict:
+    """Serialize a template (nodes, candidate links, link type)."""
+    link = template.link_type
+    return {
+        "version": FORMAT_VERSION,
+        "name": template.name,
+        "link_type": {
+            "name": link.name,
+            "frequency_ghz": link.frequency_ghz,
+            "modulation": link.modulation,
+            "bit_rate_bps": link.bit_rate_bps,
+            "noise_dbm": link.noise_dbm,
+            "cost": link.cost,
+        },
+        "nodes": [
+            {
+                "id": node.id,
+                "x": node.location.x,
+                "y": node.location.y,
+                "role": node.role,
+                "fixed": node.fixed,
+            }
+            for node in template.nodes
+        ],
+        "links": [
+            {"tx": u, "rx": v, "path_loss_db": pl}
+            for u, v, pl in template.edges()
+        ],
+    }
+
+
+def template_from_dict(data: dict) -> Template:
+    """Rebuild a template serialized by :func:`template_to_dict`."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported template format version {version!r}")
+    link = LinkType(**data["link_type"])
+    nodes = [
+        NetworkNode(
+            id=entry["id"],
+            location=Point(entry["x"], entry["y"]),
+            role=entry["role"],
+            fixed=entry["fixed"],
+        )
+        for entry in sorted(data["nodes"], key=lambda e: e["id"])
+    ]
+    template = Template(nodes, link, name=data.get("name", "template"))
+    for edge in data["links"]:
+        template.set_link(edge["tx"], edge["rx"], edge["path_loss_db"])
+    return template
+
+
+def architecture_to_dict(arch: Architecture) -> dict:
+    """Serialize a decoded architecture, embedding its template."""
+    return {
+        "version": FORMAT_VERSION,
+        "template": template_to_dict(arch.template),
+        "sizing": {str(k): v for k, v in arch.sizing.items()},
+        "active_edges": sorted(list(e) for e in arch.active_edges),
+        "routes": [
+            {
+                "source": r.source,
+                "dest": r.dest,
+                "replica": r.replica,
+                "nodes": list(r.nodes),
+            }
+            for r in arch.routes
+        ],
+        "objective_value": arch.objective_value,
+    }
+
+
+def architecture_from_dict(data: dict, library: Library) -> Architecture:
+    """Rebuild an architecture; the device library must contain every
+    device name referenced by the sizing."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported architecture format version {version!r}"
+        )
+    template = template_from_dict(data["template"])
+    sizing = {int(k): v for k, v in data["sizing"].items()}
+    for name in sizing.values():
+        library.by_name(name)  # raises KeyError for unknown devices
+    return Architecture(
+        template=template,
+        library=library,
+        sizing=sizing,
+        active_edges={tuple(e) for e in data["active_edges"]},
+        routes=[
+            Route(r["source"], r["dest"], r["replica"], tuple(r["nodes"]))
+            for r in data["routes"]
+        ],
+        objective_value=data.get("objective_value", float("nan")),
+    )
+
+
+def save_architecture(arch: Architecture, path: "str | Path") -> None:
+    """Write an architecture to a JSON file."""
+    Path(path).write_text(json.dumps(architecture_to_dict(arch), indent=2))
+
+
+def load_architecture(path: "str | Path", library: Library) -> Architecture:
+    """Read an architecture from a JSON file."""
+    return architecture_from_dict(
+        json.loads(Path(path).read_text()), library
+    )

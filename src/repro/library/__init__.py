@@ -1,0 +1,17 @@
+"""Component libraries: devices, link types, reference catalogs."""
+
+from repro.library.catalog import Library, default_catalog, localization_catalog
+from repro.library.components import ROLES, Device, device
+from repro.library.links import MODULATIONS, ZIGBEE_2_4GHZ, LinkType
+
+__all__ = [
+    "MODULATIONS",
+    "ROLES",
+    "ZIGBEE_2_4GHZ",
+    "Device",
+    "Library",
+    "LinkType",
+    "default_catalog",
+    "device",
+    "localization_catalog",
+]

@@ -1,0 +1,83 @@
+"""Component (device) attribute model.
+
+The paper's library `L` is "a collection of components (devices) and
+connection elements (wireless links), each having a set of attributes
+capturing functional and extra-functional properties".  A
+:class:`Device` carries every attribute the constraints of Section 2 read:
+
+* ``cost`` — dollars, the $-objective and Table 1/2 column.
+* ``tx_power_dbm`` / ``antenna_gain_dbi`` — the link-quality constraint
+  (2a) terms ``tx_i`` and ``g_i``/``g_j``.
+* ``radio_tx_ma`` / ``radio_rx_ma`` — the TDMA energy constraint (3b)
+  currents ``c^TX`` and ``c^RX``.
+* ``active_ma`` / ``sleep_ma`` — the non-radio active and sleep currents
+  of (3a), covering CPU and sensors.
+* ``roles`` — which template node roles the device may realize (the
+  type-compatibility side of the mapping constraints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Node roles known to the templates and libraries.
+ROLES = ("sensor", "relay", "sink", "anchor")
+
+
+@dataclass(frozen=True)
+class Device:
+    """One selectable component with its datasheet attributes."""
+
+    name: str
+    roles: frozenset[str]
+    cost: float
+    tx_power_dbm: float
+    antenna_gain_dbi: float
+    radio_tx_ma: float
+    radio_rx_ma: float
+    active_ma: float
+    sleep_ma: float
+
+    def __post_init__(self) -> None:
+        unknown = self.roles - set(ROLES)
+        if unknown:
+            raise ValueError(f"device {self.name!r}: unknown roles {sorted(unknown)}")
+        if not self.roles:
+            raise ValueError(f"device {self.name!r}: must support at least one role")
+        for attr in ("cost", "radio_tx_ma", "radio_rx_ma", "active_ma", "sleep_ma"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"device {self.name!r}: negative {attr}")
+
+    @property
+    def effective_tx_dbm(self) -> float:
+        """TX power plus antenna gain: the transmitter's contribution to RSS."""
+        return self.tx_power_dbm + self.antenna_gain_dbi
+
+    def supports(self, role: str) -> bool:
+        """Whether this device may realize a node with ``role``."""
+        return role in self.roles
+
+
+def device(
+    name: str,
+    roles: tuple[str, ...],
+    cost: float,
+    tx_power_dbm: float = 0.0,
+    antenna_gain_dbi: float = 0.0,
+    radio_tx_ma: float = 29.0,
+    radio_rx_ma: float = 24.0,
+    active_ma: float = 8.0,
+    sleep_ma: float = 0.001,
+) -> Device:
+    """Terse constructor used by catalogs (defaults: CC2530-class part)."""
+    return Device(
+        name=name,
+        roles=frozenset(roles),
+        cost=cost,
+        tx_power_dbm=tx_power_dbm,
+        antenna_gain_dbi=antenna_gain_dbi,
+        radio_tx_ma=radio_tx_ma,
+        radio_rx_ma=radio_rx_ma,
+        active_ma=active_ma,
+        sleep_ma=sleep_ma,
+    )

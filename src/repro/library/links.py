@@ -1,0 +1,45 @@
+"""Wireless link (connection element) attribute model.
+
+The paper treats links as library elements too: "Because some of the
+metrics depend on the communication frequency and modulation, these are
+both part of the specification."  A :class:`LinkType` bundles frequency,
+modulation, bit rate, background noise and an optional per-link cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Modulations with BER curves implemented in :mod:`repro.channel.metrics`.
+MODULATIONS = ("qpsk", "bpsk", "ook")
+
+
+@dataclass(frozen=True)
+class LinkType:
+    """Attributes of a wireless link technology."""
+
+    name: str
+    frequency_ghz: float = 2.4
+    modulation: str = "qpsk"
+    bit_rate_bps: float = 250_000.0
+    noise_dbm: float = -100.0
+    cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.modulation not in MODULATIONS:
+            raise ValueError(
+                f"link {self.name!r}: unknown modulation {self.modulation!r}; "
+                f"known: {MODULATIONS}"
+            )
+        if self.bit_rate_bps <= 0:
+            raise ValueError(f"link {self.name!r}: bit rate must be positive")
+        if self.frequency_ghz <= 0:
+            raise ValueError(f"link {self.name!r}: frequency must be positive")
+
+    def packet_airtime_ms(self, packet_bytes: float) -> float:
+        """Time on air for one packet of ``packet_bytes`` bytes, in ms."""
+        return packet_bytes * 8.0 / self.bit_rate_bps * 1000.0
+
+
+#: The paper's evaluation setup: 2.4 GHz, QPSK, 250 kbps, -100 dBm noise.
+ZIGBEE_2_4GHZ = LinkType(name="zigbee-2.4ghz")

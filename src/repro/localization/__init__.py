@@ -1,0 +1,21 @@
+"""Localization substrate: ranging, trilateration, accuracy evaluation."""
+
+from repro.localization.evaluation import (
+    LocalizationEvaluation,
+    evaluate_localization,
+)
+from repro.localization.ranging import RssRanger
+from repro.localization.trilateration import (
+    TrilaterationError,
+    geometric_dilution,
+    trilaterate,
+)
+
+__all__ = [
+    "LocalizationEvaluation",
+    "RssRanger",
+    "TrilaterationError",
+    "evaluate_localization",
+    "geometric_dilution",
+    "trilaterate",
+]

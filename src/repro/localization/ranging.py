@@ -1,0 +1,96 @@
+"""RSS-based range estimation.
+
+Range-based localization "estimate[s] distances between anchor nodes and
+a target node by using the received signal strength" — the inverse of the
+log-distance law: given a measured RSS and the transmitter's effective
+power, solve ``PL = P_tx - RSS`` for distance.  Shadowing noise on the
+measured RSS yields the multiplicative range error that makes anchor
+geometry matter (the DSOD objective's motivation: "the ranging error ...
+rapidly grows for larger path losses and unstable signals").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.log_distance import FSPL_1M_2_4GHZ
+
+
+@dataclass
+class RssRanger:
+    """Distance estimation by inverting a log-distance law.
+
+    The ranger assumes the same exponent/reference the deployment was
+    calibrated with; model mismatch (e.g. multi-wall reality vs
+    log-distance inversion) then shows up as ranging bias, exactly as in
+    real RSS localization.
+    """
+
+    exponent: float = 2.0
+    reference_db: float = FSPL_1M_2_4GHZ
+    reference_distance: float = 1.0
+    shadowing_sigma_db: float = 0.0
+
+    @classmethod
+    def calibrate(
+        cls,
+        samples: "list[tuple[float, float]]",
+        shadowing_sigma_db: float = 0.0,
+    ) -> "RssRanger":
+        """Fit exponent and reference loss to (distance, path loss) samples.
+
+        Ordinary least squares on ``PL = ref + 10 n log10(d)`` — the
+        standard site-calibration step of RSS localization deployments.
+        When the deployment's true channel is multi-wall, the fitted
+        exponent absorbs the average wall loss, removing the gross ranging
+        bias a free-space inversion would have.
+        """
+        if len(samples) < 2:
+            raise ValueError("need at least two calibration samples")
+        log_d = np.array([math.log10(max(d, 1e-3)) for d, _ in samples])
+        pl = np.array([p for _, p in samples])
+        design = np.column_stack([10.0 * log_d, np.ones_like(log_d)])
+        (slope, intercept), *_ = np.linalg.lstsq(design, pl, rcond=None)
+        return cls(
+            exponent=max(float(slope), 0.1),
+            reference_db=float(intercept),
+            reference_distance=1.0,
+            shadowing_sigma_db=shadowing_sigma_db,
+        )
+
+    def path_loss_to_distance(self, path_loss_db: float) -> float:
+        """Invert the log-distance law."""
+        exp10 = (path_loss_db - self.reference_db) / (10.0 * self.exponent)
+        return self.reference_distance * (10.0 ** exp10)
+
+    def estimate(
+        self,
+        effective_tx_dbm: float,
+        measured_rss_dbm: float,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """Estimated distance from one RSS measurement.
+
+        With ``shadowing_sigma_db > 0`` and an ``rng``, log-normal
+        shadowing perturbs the measurement before inversion.
+        """
+        rss = measured_rss_dbm
+        if rng is not None and self.shadowing_sigma_db > 0:
+            rss = rss + float(rng.normal(0.0, self.shadowing_sigma_db))
+        path_loss = effective_tx_dbm - rss
+        return self.path_loss_to_distance(path_loss)
+
+    def error_stddev_m(self, distance: float) -> float:
+        """First-order range-error std dev at a given true distance.
+
+        For log-normal shadowing, d_hat = d * 10^(eps/(10 n)) with
+        eps ~ N(0, sigma); linearizing gives
+        sigma_d = d * ln(10)/(10 n) * sigma — the "error grows with
+        distance" behaviour the DSOD objective exploits.
+        """
+        return distance * math.log(10.0) / (10.0 * self.exponent) * (
+            self.shadowing_sigma_db
+        )

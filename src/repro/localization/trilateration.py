@@ -1,0 +1,77 @@
+"""Position estimation from anchor distances.
+
+Linearized least-squares trilateration: subtracting the first anchor's
+circle equation from the others turns the nonlinear system into a linear
+one, solved with ``numpy.linalg.lstsq``.  Needs at least three
+non-collinear anchors in 2-D — the geometric reason behind the paper's
+``min_reachable_devices(3)`` requirement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.primitives import Point
+
+
+class TrilaterationError(Exception):
+    """The anchor geometry does not determine a position."""
+
+
+def trilaterate(
+    anchors: list[Point], distances: list[float],
+) -> Point:
+    """Least-squares 2-D position from >= 3 anchor distances."""
+    if len(anchors) != len(distances):
+        raise ValueError("one distance per anchor required")
+    if len(anchors) < 3:
+        raise TrilaterationError(
+            f"need at least 3 anchors, got {len(anchors)}"
+        )
+    xs = np.array([p.x for p in anchors])
+    ys = np.array([p.y for p in anchors])
+    ds = np.asarray(distances, dtype=float)
+    if np.any(ds < 0):
+        raise ValueError("distances must be non-negative")
+
+    # Subtract anchor 0's equation from the rest:
+    #   2(x_i - x_0) x + 2(y_i - y_0) y =
+    #       d_0^2 - d_i^2 + x_i^2 - x_0^2 + y_i^2 - y_0^2
+    a = np.column_stack([2.0 * (xs[1:] - xs[0]), 2.0 * (ys[1:] - ys[0])])
+    b = (
+        ds[0] ** 2 - ds[1:] ** 2
+        + xs[1:] ** 2 - xs[0] ** 2
+        + ys[1:] ** 2 - ys[0] ** 2
+    )
+    if np.linalg.matrix_rank(a) < 2:
+        raise TrilaterationError("anchors are collinear")
+    solution, *_ = np.linalg.lstsq(a, b, rcond=None)
+    return Point(float(solution[0]), float(solution[1]))
+
+
+def geometric_dilution(anchors: list[Point], target: Point) -> float:
+    """Horizontal dilution of precision (HDOP) of an anchor set.
+
+    The classical GNSS-style metric: with unit-variance range errors, the
+    position-error covariance is ``(G^T G)^-1`` for the unit-vector
+    geometry matrix G; HDOP is the square root of its trace.  Lower is
+    better; used to sanity-check that DSOD-optimized placements have
+    healthier geometry than cost-optimized ones.
+    """
+    if len(anchors) < 2:
+        return float("inf")
+    rows = []
+    for anchor in anchors:
+        dx = target.x - anchor.x
+        dy = target.y - anchor.y
+        norm = max((dx * dx + dy * dy) ** 0.5, 1e-12)
+        rows.append((dx / norm, dy / norm))
+    g = np.asarray(rows)
+    try:
+        cov = np.linalg.inv(g.T @ g)
+    except np.linalg.LinAlgError:
+        return float("inf")
+    trace = float(np.trace(cov))
+    if trace < 0:
+        return float("inf")
+    return trace ** 0.5

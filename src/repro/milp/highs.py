@@ -1,0 +1,91 @@
+"""HiGHS backend via :func:`scipy.optimize.milp`.
+
+This stands in for the paper's CPLEX: an exact branch-and-cut MILP solver.
+The backend converts a :class:`~repro.milp.model.Model`'s standard form into
+scipy's ``LinearConstraint``/``Bounds`` API, runs HiGHS, and wraps the
+result into a solver-independent :class:`~repro.milp.solution.Solution`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.milp.model import Model
+from repro.milp.solution import Solution, SolveStatus
+
+#: Map from scipy.optimize.milp status codes to our statuses when no
+#: assignment is attached.
+_STATUS_NO_X = {
+    1: SolveStatus.TIMEOUT,  # iteration/time limit, no incumbent
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+class HighsSolver:
+    """Solve models with HiGHS through scipy.
+
+    Parameters
+    ----------
+    time_limit:
+        Wall-clock limit in seconds (``None`` = unlimited).  When HiGHS
+        stops at the limit with an incumbent, the solution is returned
+        with status :attr:`SolveStatus.FEASIBLE`.
+    mip_rel_gap:
+        Relative optimality gap at which the search may stop.
+    """
+
+    name = "highs"
+
+    def __init__(
+        self, time_limit: float | None = None, mip_rel_gap: float = 1e-6,
+    ) -> None:
+        self.time_limit = time_limit
+        self.mip_rel_gap = mip_rel_gap
+
+    def solve(self, model: Model) -> Solution:
+        """Run HiGHS on ``model`` and return a :class:`Solution`."""
+        form = model.to_standard_form()
+        options: dict = {"mip_rel_gap": self.mip_rel_gap}
+        if self.time_limit is not None:
+            options["time_limit"] = float(self.time_limit)
+
+        constraints = None
+        if form.a_matrix.shape[0] > 0:
+            constraints = LinearConstraint(
+                form.a_matrix, form.b_lower, form.b_upper
+            )
+        bounds = Bounds(form.x_lower, form.x_upper)
+
+        start = time.perf_counter()
+        result = milp(
+            c=form.c,
+            constraints=constraints,
+            bounds=bounds,
+            integrality=form.integrality,
+            options=options,
+        )
+        elapsed = time.perf_counter() - start
+
+        if result.x is not None:
+            status = (
+                SolveStatus.OPTIMAL if result.status == 0 else SolveStatus.FEASIBLE
+            )
+            return Solution(
+                status=status,
+                # result.fun is c @ x; fold the objective's constant back in.
+                objective=float(result.fun) + model.objective.constant,
+                x=np.asarray(result.x, dtype=float),
+                solve_time=elapsed,
+                mip_gap=float(getattr(result, "mip_gap", float("nan")) or 0.0),
+                node_count=int(getattr(result, "mip_node_count", 0) or 0),
+                message=str(result.message),
+            )
+        status = _STATUS_NO_X.get(result.status, SolveStatus.ERROR)
+        return Solution(
+            status=status, solve_time=elapsed, message=str(result.message)
+        )

@@ -1,0 +1,134 @@
+"""Standard MILP linearization gadgets.
+
+The paper repeatedly notes that "products of binary variables" and
+"nonlinear terms ... can be expressed in linear form using standard
+techniques" — this module is those techniques, made explicit:
+
+* :func:`product_binary` — z = x AND y for binaries (McCormick for 0/1).
+* :func:`product_binary_many` — z = AND of several binaries.
+* :func:`or_binary` — z = OR of several binaries.
+* :func:`product_binary_continuous` — w = b * y via big-M with tight
+  per-variable bounds.
+* :func:`indicator_ge` / :func:`indicator_le` — b = 1 forces a linear
+  inequality (big-M relaxation when b = 0).
+
+Every helper adds its auxiliary variables/constraints to the model and
+returns the variable representing the nonlinear term.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.milp.expr import LinExpr, Var, lin_sum
+from repro.milp.model import Model
+
+
+def _require_binary(var: Var, role: str) -> None:
+    if not var.is_binary:
+        raise ValueError(f"{role} must be binary, got {var!r}")
+
+
+def product_binary(model: Model, x: Var, y: Var, name: str) -> Var:
+    """A binary z with z = x * y (logical AND)."""
+    _require_binary(x, "x")
+    _require_binary(y, "y")
+    z = model.binary(name)
+    model.add(z <= x, f"{name}:le_x")
+    model.add(z <= y, f"{name}:le_y")
+    model.add(z >= x + y - 1, f"{name}:ge_sum")
+    return z
+
+
+def product_binary_many(model: Model, factors: Sequence[Var], name: str) -> Var:
+    """A binary z with z = AND(factors)."""
+    if not factors:
+        raise ValueError("need at least one factor")
+    for f in factors:
+        _require_binary(f, "factor")
+    if len(factors) == 1:
+        return factors[0]
+    z = model.binary(name)
+    for i, f in enumerate(factors):
+        model.add(z <= f, f"{name}:le_{i}")
+    model.add(z >= lin_sum(factors) - (len(factors) - 1), f"{name}:ge_sum")
+    return z
+
+
+def or_binary(model: Model, terms: Sequence[Var], name: str) -> Var:
+    """A binary z with z = OR(terms)."""
+    if not terms:
+        raise ValueError("need at least one term")
+    for t in terms:
+        _require_binary(t, "term")
+    if len(terms) == 1:
+        return terms[0]
+    z = model.binary(name)
+    for i, t in enumerate(terms):
+        model.add(z >= t, f"{name}:ge_{i}")
+    model.add(z <= lin_sum(terms), f"{name}:le_sum")
+    return z
+
+
+def product_binary_continuous(
+    model: Model,
+    b: Var,
+    y: Var | LinExpr,
+    y_lower: float,
+    y_upper: float,
+    name: str,
+) -> Var:
+    """A continuous w with w = b * y, for binary b and bounded y.
+
+    ``y_lower``/``y_upper`` must be valid bounds on ``y``; tight bounds keep
+    the LP relaxation strong, which is what makes the approximate encoding's
+    energy constraints solvable quickly.
+    """
+    _require_binary(b, "b")
+    if y_lower > y_upper:
+        raise ValueError(f"bounds crossed: [{y_lower}, {y_upper}]")
+    w = model.continuous(name, min(0.0, y_lower), max(0.0, y_upper))
+    # w = y when b = 1, w = 0 when b = 0:
+    model.add(w <= y_upper * b, f"{name}:ub_b")
+    model.add(w >= y_lower * b, f"{name}:lb_b")
+    model.add(w <= y - y_lower * (1 - b), f"{name}:ub_y")
+    model.add(w >= y - y_upper * (1 - b), f"{name}:lb_y")
+    return w
+
+
+def indicator_ge(
+    model: Model,
+    b: Var,
+    expr: Var | LinExpr,
+    threshold: float,
+    expr_lower: float,
+    name: str,
+) -> None:
+    """Enforce ``b = 1  =>  expr >= threshold``.
+
+    ``expr_lower`` is a valid lower bound on ``expr``; the constraint is the
+    big-M relaxation ``expr >= threshold - (threshold - expr_lower)(1-b)``.
+    """
+    _require_binary(b, "b")
+    big_m = threshold - expr_lower
+    if big_m < 0:
+        # The threshold is below the expression's lower bound, so the
+        # implication already always holds.
+        return
+    model.add(expr >= threshold - big_m * (1 - b), name)
+
+
+def indicator_le(
+    model: Model,
+    b: Var,
+    expr: Var | LinExpr,
+    threshold: float,
+    expr_upper: float,
+    name: str,
+) -> None:
+    """Enforce ``b = 1  =>  expr <= threshold`` (big-M on ``expr_upper``)."""
+    _require_binary(b, "b")
+    big_m = expr_upper - threshold
+    if big_m < 0:
+        return
+    model.add(expr <= threshold + big_m * (1 - b), name)

@@ -1,0 +1,213 @@
+"""The MILP model container.
+
+A :class:`Model` owns a variable table, a constraint list and a (minimized)
+linear objective, and assembles them into the sparse standard form consumed
+by the solver backends:
+
+    minimize    c @ x
+    subject to  b_lo <= A @ x <= b_hi
+                lb <= x <= ub,  x_i integer for i in integrality
+
+Problem-size statistics (variable/constraint/nonzero counts) are first-class
+because the paper's Tables 3-4 report them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.milp.expr import Constraint, LinExpr, Var
+
+
+@dataclass(frozen=True)
+class StandardForm:
+    """Matrix standard form of a model, ready for a solver backend."""
+
+    c: np.ndarray
+    a_matrix: sparse.csr_matrix
+    b_lower: np.ndarray
+    b_upper: np.ndarray
+    x_lower: np.ndarray
+    x_upper: np.ndarray
+    integrality: np.ndarray  # 1 where the variable is integer, else 0
+
+
+@dataclass(frozen=True)
+class ModelStats:
+    """Size statistics reported in the paper's scalability tables."""
+
+    num_vars: int
+    num_binary: int
+    num_constraints: int
+    num_nonzeros: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.num_vars} vars ({self.num_binary} binary), "
+            f"{self.num_constraints} constraints, {self.num_nonzeros} nonzeros"
+        )
+
+
+class Model:
+    """A mixed integer linear program under construction."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._vars: list[Var] = []
+        self._constraints: list[Constraint] = []
+        self._objective = LinExpr()
+        self._names_seen: set[str] = set()
+
+    # -- variables -----------------------------------------------------------
+
+    def add_var(
+        self,
+        name: str,
+        lower: float = 0.0,
+        upper: float = float("inf"),
+        integer: bool = False,
+    ) -> Var:
+        """Add a variable and return its handle.
+
+        Names must be unique; encoders build names from structured keys
+        (e.g. ``x[path3][4,7]``) so a collision indicates an encoder bug.
+        """
+        if lower > upper:
+            raise ValueError(f"variable {name!r}: lower {lower} > upper {upper}")
+        if name in self._names_seen:
+            raise ValueError(f"duplicate variable name {name!r}")
+        self._names_seen.add(name)
+        var = Var(len(self._vars), name, float(lower), float(upper), integer)
+        self._vars.append(var)
+        return var
+
+    def binary(self, name: str) -> Var:
+        """Add a 0/1 variable."""
+        return self.add_var(name, 0.0, 1.0, integer=True)
+
+    def continuous(
+        self, name: str, lower: float = float("-inf"), upper: float = float("inf"),
+    ) -> Var:
+        """Add a continuous variable (unbounded by default)."""
+        return self.add_var(name, lower, upper, integer=False)
+
+    def integer(
+        self, name: str, lower: float = 0.0, upper: float = float("inf"),
+    ) -> Var:
+        """Add a general integer variable."""
+        return self.add_var(name, lower, upper, integer=True)
+
+    # -- constraints and objective --------------------------------------------
+
+    def add(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Add a constraint built from expression comparisons."""
+        if not isinstance(constraint, Constraint):
+            raise TypeError(
+                "expected a Constraint (did the comparison collapse to bool?)"
+            )
+        if name:
+            constraint.name = name
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_range(
+        self, expr: LinExpr | Var, lower: float, upper: float, name: str = "",
+    ) -> Constraint:
+        """Add ``lower <= expr <= upper`` in one row."""
+        if isinstance(expr, Var):
+            expr = expr + 0.0
+        constraint = Constraint(expr, lower, upper, name)
+        self._constraints.append(constraint)
+        return constraint
+
+    def minimize(self, objective: LinExpr | Var) -> None:
+        """Set the (minimized) objective."""
+        if isinstance(objective, Var):
+            objective = objective + 0.0
+        self._objective = objective
+
+    def maximize(self, objective: LinExpr | Var) -> None:
+        """Set a maximized objective (stored negated)."""
+        if isinstance(objective, Var):
+            objective = objective + 0.0
+        self._objective = objective * -1.0
+
+    @property
+    def objective(self) -> LinExpr:
+        """The minimized objective expression."""
+        return self._objective
+
+    @property
+    def variables(self) -> list[Var]:
+        """The variable table, in index order."""
+        return self._vars
+
+    @property
+    def constraints(self) -> list[Constraint]:
+        """All constraints, in insertion order."""
+        return self._constraints
+
+    def var_by_name(self, name: str) -> Var:
+        """Look up a variable by its unique name (O(n); debugging aid)."""
+        for var in self._vars:
+            if var.name == name:
+                return var
+        raise KeyError(f"no variable named {name!r}")
+
+    # -- assembly --------------------------------------------------------------
+
+    def stats(self) -> ModelStats:
+        """Size statistics without building matrices."""
+        nonzeros = sum(len(c.expr.coeffs) for c in self._constraints)
+        num_binary = sum(1 for v in self._vars if v.is_binary)
+        return ModelStats(
+            num_vars=len(self._vars),
+            num_binary=num_binary,
+            num_constraints=len(self._constraints),
+            num_nonzeros=nonzeros,
+        )
+
+    def to_standard_form(self) -> StandardForm:
+        """Assemble the sparse standard form for the solver backends."""
+        n = len(self._vars)
+        m = len(self._constraints)
+
+        c = np.zeros(n)
+        for idx, coeff in self._objective.coeffs.items():
+            c[idx] = coeff
+
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        b_lower = np.empty(m)
+        b_upper = np.empty(m)
+        for i, constraint in enumerate(self._constraints):
+            coeffs, lo, hi = constraint.normalized()
+            b_lower[i] = lo
+            b_upper[i] = hi
+            for idx, coeff in coeffs.items():
+                if coeff != 0.0:
+                    rows.append(i)
+                    cols.append(idx)
+                    data.append(coeff)
+        a_matrix = sparse.csr_matrix(
+            (data, (rows, cols)), shape=(m, n), dtype=float
+        )
+
+        x_lower = np.array([v.lower for v in self._vars])
+        x_upper = np.array([v.upper for v in self._vars])
+        integrality = np.array(
+            [1 if v.is_integer else 0 for v in self._vars], dtype=np.int8
+        )
+        return StandardForm(
+            c=c,
+            a_matrix=a_matrix,
+            b_lower=b_lower,
+            b_upper=b_upper,
+            x_lower=x_lower,
+            x_upper=x_upper,
+            integrality=integrality,
+        )

@@ -1,0 +1,117 @@
+"""Piecewise-linear approximations for the MILP encodings.
+
+The expected-transmission-count curve ETX(SNR) is nonlinear (it follows the
+QPSK packet-error rate), but it is *convex and decreasing* over the SNR
+range of interest.  A convex function that appears on the "costly" side of
+the constraints (energy, hence lifetime) can be represented exactly by its
+supporting hyperplanes: ``etx >= a_l * snr + b_l`` for every segment — no
+binaries needed.  This module computes such segment sets from sampled
+curves and emits the constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.milp.expr import LinExpr, Var
+from repro.milp.model import Model
+
+
+@dataclass(frozen=True)
+class PwlSegment:
+    """One supporting line ``y >= slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+
+    def value_at(self, x: float) -> float:
+        """The line's value at ``x``."""
+        return self.slope * x + self.intercept
+
+
+@dataclass(frozen=True)
+class ConvexPwl:
+    """A convex piecewise-linear function ``y = max_l(a_l x + b_l)``.
+
+    Fitted from samples of a convex curve it is an *over*-approximation
+    between sample points (chords of a convex function lie above it) and
+    exact at the retained hull points — the safe direction when the curve
+    feeds an energy budget.
+    """
+
+    segments: tuple[PwlSegment, ...]
+
+    def value_at(self, x: float) -> float:
+        """Evaluate the PWL function (max over segments)."""
+        return max(seg.value_at(x) for seg in self.segments)
+
+    def constrain_above(
+        self, model: Model, x: Var | LinExpr, y: Var | LinExpr, name: str,
+    ) -> None:
+        """Add ``y >= pwl(x)`` as one linear constraint per segment."""
+        for i, seg in enumerate(self.segments):
+            model.add(y >= seg.slope * x + seg.intercept, f"{name}:seg{i}")
+
+
+def convex_pwl_from_samples(
+    xs: np.ndarray, ys: np.ndarray, max_segments: int = 6,
+) -> ConvexPwl:
+    """Fit a convex PWL over-approximation to a sampled convex curve.
+
+    Takes the lower convex hull of the sample cloud, thins it to at most
+    ``max_segments`` chords by re-chording between retained hull points,
+    and returns the piecewise maximum of those chords.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two samples")
+    order = np.argsort(xs)
+    xs = np.asarray(xs, dtype=float)[order]
+    ys = np.asarray(ys, dtype=float)[order]
+    # Scale-aware tolerance so (numerically) collinear runs collapse.
+    eps = 1e-9 * (1.0 + float(np.max(np.abs(xs)))) * (
+        1.0 + float(np.max(np.abs(ys)))
+    )
+
+    # Lower convex hull (Andrew's monotone chain on the lower side).
+    hull: list[tuple[float, float]] = []
+    for x, y in zip(xs, ys):
+        while len(hull) >= 2:
+            (x1, y1), (x2, y2) = hull[-2], hull[-1]
+            # Keep the chain convex: pop if the middle point lies on or
+            # above the segment from hull[-2] to the new point.
+            if (y2 - y1) * (x - x1) >= (y - y1) * (x2 - x1) - eps:
+                hull.pop()
+            else:
+                break
+        hull.append((x, y))
+
+    if len(hull) < 2:
+        return ConvexPwl((PwlSegment(0.0, float(np.min(ys))),))
+
+    # Thin by selecting hull *points* and re-chording between them: a chord
+    # between two points of a convex curve stays above the curve over its
+    # span, so the piecewise max remains a valid over-approximation — which
+    # would not hold if whole chords were dropped (their extensions dip
+    # below the curve).
+    if len(hull) - 1 > max_segments:
+        idx = sorted(
+            set(
+                np.linspace(0, len(hull) - 1, max_segments + 1)
+                .round().astype(int).tolist()
+            )
+        )
+        hull = [hull[i] for i in idx]
+
+    segments: list[PwlSegment] = []
+    for (x1, y1), (x2, y2) in zip(hull, hull[1:]):
+        if x2 - x1 <= 0:
+            continue
+        slope = (y2 - y1) / (x2 - x1)
+        segments.append(PwlSegment(slope, y1 - slope * x1))
+    if not segments:
+        segments = [PwlSegment(0.0, float(np.min(ys)))]
+    return ConvexPwl(tuple(segments))

@@ -1,0 +1,60 @@
+"""Solver-independent solution objects."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.milp.expr import LinExpr, Var
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solver run."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"  # incumbent found but optimality not proven
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIMEOUT = "timeout"  # stopped with no incumbent
+    ERROR = "error"
+
+    @property
+    def has_solution(self) -> bool:
+        """Whether a usable assignment is attached."""
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass
+class Solution:
+    """A (possibly absent) assignment plus solver metadata."""
+
+    status: SolveStatus
+    objective: float = float("nan")
+    x: np.ndarray | None = None
+    solve_time: float = 0.0
+    mip_gap: float = float("nan")
+    node_count: int = 0
+    message: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def value(self, item: Var | LinExpr) -> float:
+        """Evaluate a variable or expression under this assignment."""
+        if self.x is None:
+            raise ValueError(f"no assignment available (status {self.status})")
+        if isinstance(item, Var):
+            return float(self.x[item.index])
+        if isinstance(item, LinExpr):
+            total = item.constant
+            for idx, coeff in item.coeffs.items():
+                total += coeff * float(self.x[idx])
+            return total
+        raise TypeError(f"cannot evaluate a {type(item).__name__}")
+
+    def value_bool(self, var: Var, tol: float = 1e-6) -> bool:
+        """A binary variable's value, with integrality-tolerance rounding."""
+        v = self.value(var)
+        if v < -tol or v > 1 + tol:
+            raise ValueError(f"{var.name} = {v} is not near-binary")
+        return v > 0.5

@@ -1,0 +1,52 @@
+"""Network templates, requirements, paths and decoded architectures."""
+
+from repro.network.builders import (
+    DEFAULT_MAX_LINK_PL_DB,
+    DataCollectionInstance,
+    LocalizationInstance,
+    data_collection_template,
+    localization_template,
+    small_grid_template,
+    synthetic_template,
+)
+from repro.network.paths import CandidatePath
+from repro.network.requirements import (
+    LifetimeRequirement,
+    LinkQualityRequirement,
+    PowerConfig,
+    ReachabilityRequirement,
+    RequirementSet,
+    RouteRequirement,
+    TdmaConfig,
+)
+from repro.network.template import (
+    NetworkNode,
+    Template,
+    data_collection_link_rule,
+    mesh_link_rule,
+)
+from repro.network.topology import Architecture, Route
+
+__all__ = [
+    "DEFAULT_MAX_LINK_PL_DB",
+    "Architecture",
+    "CandidatePath",
+    "DataCollectionInstance",
+    "LifetimeRequirement",
+    "LinkQualityRequirement",
+    "LocalizationInstance",
+    "NetworkNode",
+    "PowerConfig",
+    "ReachabilityRequirement",
+    "RequirementSet",
+    "Route",
+    "RouteRequirement",
+    "TdmaConfig",
+    "Template",
+    "data_collection_link_rule",
+    "data_collection_template",
+    "localization_template",
+    "mesh_link_rule",
+    "small_grid_template",
+    "synthetic_template",
+]

@@ -1,0 +1,222 @@
+"""Template builders for the paper's experiments.
+
+* :func:`data_collection_template` — the Section 4.1 building network:
+  sensors spread over the rooms, one base station, a grid of relay
+  candidates (Fig. 1a).
+* :func:`localization_template` — the Section 4.2 star network: candidate
+  anchor positions plus evaluation (test-point) locations (Fig. 1c).
+* :func:`synthetic_template` — the Table 3/4 scalability families:
+  seeded scatters with a chosen total node count and end-device count,
+  over a floor whose area scales with the node count so link density
+  stays realistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channel.base import ChannelModel
+from repro.channel.log_distance import LogDistanceModel
+from repro.channel.multiwall import MultiWallModel
+from repro.geometry.floorplan import FloorPlan, office_floorplan, open_floorplan
+from repro.geometry.grid import grid_for_count, scattered_locations
+from repro.geometry.primitives import Point, Rectangle
+from repro.library.links import ZIGBEE_2_4GHZ, LinkType
+from repro.network.template import NetworkNode, Template
+
+#: Default candidate-link cutoff: links lossier than this cannot meet the
+#: examples' quality bounds with any catalog device, so they are never
+#: candidates (this is also Algorithm 1's "disregard links with path loss
+#: below a certain threshold" pre-filter).
+DEFAULT_MAX_LINK_PL_DB = 92.0
+
+
+@dataclass
+class DataCollectionInstance:
+    """A built data-collection exploration instance."""
+
+    template: Template
+    plan: FloorPlan
+    channel: ChannelModel
+    sensor_ids: list[int]
+    sink_id: int
+
+
+def data_collection_template(
+    n_sensors: int = 35,
+    n_relay_candidates: int = 100,
+    plan: FloorPlan | None = None,
+    channel: ChannelModel | None = None,
+    max_link_pl_db: float = DEFAULT_MAX_LINK_PL_DB,
+    link_type: LinkType = ZIGBEE_2_4GHZ,
+) -> DataCollectionInstance:
+    """The building data-collection template of Section 4.1.
+
+    Defaults reproduce the paper's instance: 35 sensors + 1 base station +
+    100 relay candidate locations = 136 template nodes on an 80 m x 45 m
+    office floor, with the multi-wall channel model.
+    """
+    plan = plan or office_floorplan()
+    channel = channel or MultiWallModel(plan)
+    bounds = plan.bounds
+
+    nodes: list[NetworkNode] = []
+    # Sensors: fixed positions spread over the floor (slightly inset grid,
+    # which lands them inside rooms on the office plan).
+    sensor_pts = grid_for_count(bounds, n_sensors, margin=4.0)
+    for pt in sensor_pts:
+        nodes.append(NetworkNode(len(nodes), pt, "sensor", fixed=True))
+    sensor_ids = [n.id for n in nodes]
+
+    # One base station at the floor centre (on the corridor).
+    sink_pt = Point(
+        (bounds.x_min + bounds.x_max) / 2.0, (bounds.y_min + bounds.y_max) / 2.0
+    )
+    sink = NetworkNode(len(nodes), sink_pt, "sink", fixed=True)
+    nodes.append(sink)
+
+    # Relay candidates: a denser grid with a smaller inset, so candidates
+    # exist in rooms and along the corridor alike.
+    for pt in grid_for_count(bounds, n_relay_candidates, margin=2.0):
+        nodes.append(NetworkNode(len(nodes), pt, "relay", fixed=False))
+
+    template = Template(nodes, link_type, name="data-collection")
+    template.add_candidate_links(channel, max_link_pl_db)
+    return DataCollectionInstance(
+        template=template,
+        plan=plan,
+        channel=channel,
+        sensor_ids=sensor_ids,
+        sink_id=sink.id,
+    )
+
+
+@dataclass
+class LocalizationInstance:
+    """A built localization exploration instance."""
+
+    template: Template
+    plan: FloorPlan
+    channel: ChannelModel
+    anchor_ids: list[int]
+    test_points: tuple[Point, ...]
+
+
+def localization_template(
+    n_anchor_candidates: int = 150,
+    n_test_points: int = 135,
+    plan: FloorPlan | None = None,
+    channel: ChannelModel | None = None,
+) -> LocalizationInstance:
+    """The Section 4.2 localization instance.
+
+    150 candidate anchor positions and 135 evaluation locations on the same
+    building floor; anchors talk directly to the mobile node (star
+    topology), so the template has no candidate links.
+    """
+    plan = plan or office_floorplan()
+    channel = channel or MultiWallModel(plan)
+    nodes = [
+        NetworkNode(i, pt, "anchor", fixed=False)
+        for i, pt in enumerate(grid_for_count(plan.bounds, n_anchor_candidates, 2.0))
+    ]
+    test_points = tuple(grid_for_count(plan.bounds, n_test_points, margin=3.0))
+    template = Template(nodes, name="localization")
+    return LocalizationInstance(
+        template=template,
+        plan=plan,
+        channel=channel,
+        anchor_ids=[n.id for n in nodes],
+        test_points=test_points,
+    )
+
+
+def synthetic_template(
+    n_total: int,
+    n_end_devices: int,
+    seed: int = 0,
+    channel: ChannelModel | None = None,
+    max_link_pl_db: float = DEFAULT_MAX_LINK_PL_DB,
+    node_density_per_m2: float = 0.04,
+) -> DataCollectionInstance:
+    """A seeded synthetic data-collection template (Tables 3 and 4).
+
+    The floor area grows with ``n_total`` to keep node density — and hence
+    per-node candidate-link degree — constant across the family, which is
+    what makes the scalability sweep measure problem-size effects rather
+    than density effects.
+    """
+    if n_end_devices >= n_total:
+        raise ValueError("need room for a sink and relay candidates")
+    area = n_total / node_density_per_m2
+    # Keep the paper floor's 16:9 aspect ratio.
+    width = (area * 16.0 / 9.0) ** 0.5
+    height = area / width
+    plan = open_floorplan(width, height)
+    channel = channel or LogDistanceModel(exponent=3.0)
+
+    pts = scattered_locations(plan, n_total, seed=seed)
+    nodes: list[NetworkNode] = []
+    for pt in pts[:n_end_devices]:
+        nodes.append(NetworkNode(len(nodes), pt, "sensor", fixed=True))
+    sensor_ids = [n.id for n in nodes]
+    centre = Point(width / 2.0, height / 2.0)
+    sink = NetworkNode(len(nodes), centre, "sink", fixed=True)
+    nodes.append(sink)
+    for pt in pts[n_end_devices:n_total - 1]:
+        nodes.append(NetworkNode(len(nodes), pt, "relay", fixed=False))
+
+    template = Template(
+        nodes, name=f"synthetic-{n_total}n-{n_end_devices}d-s{seed}"
+    )
+    template.add_candidate_links(channel, max_link_pl_db)
+    return DataCollectionInstance(
+        template=template,
+        plan=plan,
+        channel=channel,
+        sensor_ids=sensor_ids,
+        sink_id=sink.id,
+    )
+
+
+def small_grid_template(
+    nx: int = 4,
+    ny: int = 3,
+    spacing: float = 8.0,
+    channel: ChannelModel | None = None,
+    max_link_pl_db: float = DEFAULT_MAX_LINK_PL_DB,
+) -> DataCollectionInstance:
+    """A tiny deterministic instance for unit tests and quickstarts.
+
+    Sensors on the left column, sink at the right-centre, relay candidates
+    everywhere else on an ``nx`` x ``ny`` grid.
+    """
+    width = (nx + 1) * spacing
+    height = (ny + 1) * spacing
+    plan = open_floorplan(width, height)
+    channel = channel or LogDistanceModel(exponent=3.0)
+    nodes: list[NetworkNode] = []
+    sensor_ids: list[int] = []
+    sink_id = -1
+    sink_cell = (nx - 1, ny // 2)
+    for j in range(ny):
+        for i in range(nx):
+            pt = Point((i + 1) * spacing, (j + 1) * spacing)
+            if i == 0:
+                node = NetworkNode(len(nodes), pt, "sensor", fixed=True)
+                sensor_ids.append(node.id)
+            elif (i, j) == sink_cell:
+                node = NetworkNode(len(nodes), pt, "sink", fixed=True)
+                sink_id = node.id
+            else:
+                node = NetworkNode(len(nodes), pt, "relay", fixed=False)
+            nodes.append(node)
+    template = Template(nodes, name=f"grid-{nx}x{ny}")
+    template.add_candidate_links(channel, max_link_pl_db)
+    return DataCollectionInstance(
+        template=template,
+        plan=plan,
+        channel=channel,
+        sensor_ids=sensor_ids,
+        sink_id=sink_id,
+    )

@@ -1,0 +1,47 @@
+"""Path data types shared by the encoders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CandidatePath:
+    """A concrete loopless path proposed by the pruning algorithm.
+
+    ``loss_db`` is the total estimated path loss along the path — the
+    quantity Yen's routine minimizes when generating candidates.
+    """
+
+    nodes: tuple[int, ...]
+    loss_db: float
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 2:
+            raise ValueError("a path needs at least two nodes")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError(f"path {self.nodes} revisits a node")
+
+    @property
+    def source(self) -> int:
+        """First node of the path."""
+        return self.nodes[0]
+
+    @property
+    def dest(self) -> int:
+        """Last node of the path."""
+        return self.nodes[-1]
+
+    @property
+    def hops(self) -> int:
+        """Number of edges."""
+        return len(self.nodes) - 1
+
+    @property
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        """The directed edge sequence."""
+        return tuple(zip(self.nodes, self.nodes[1:]))
+
+    def shares_edge_with(self, other: "CandidatePath") -> bool:
+        """Whether the two paths have any directed edge in common."""
+        return bool(set(self.edges) & set(other.edges))

@@ -1,0 +1,199 @@
+"""Requirement declarations.
+
+These dataclasses are the structured form of the paper's pattern language:
+``has_path``/``disjoint_links`` become :class:`RouteRequirement`,
+``min_signal_to_noise`` becomes :class:`LinkQualityRequirement`,
+``min_network_lifetime`` becomes :class:`LifetimeRequirement`, and
+``min_reachable_devices`` becomes :class:`ReachabilityRequirement`.
+The constraint builders in :mod:`repro.constraints` compile them into MILP
+rows; :mod:`repro.spec` parses them from text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.primitives import Point
+
+
+@dataclass(frozen=True)
+class RouteRequirement:
+    """``replicas`` routes from ``source`` to ``dest``.
+
+    ``disjoint`` requires the replicas to be pairwise link-disjoint
+    (constraint (1d)); ``min_hops``/``max_hops``/``exact_hops`` encode the
+    length constraints (1e).
+    """
+
+    source: int
+    dest: int
+    replicas: int = 1
+    disjoint: bool = True
+    min_hops: int | None = None
+    max_hops: int | None = None
+    exact_hops: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.source == self.dest:
+            raise ValueError("route source and destination must differ")
+        if self.replicas < 1:
+            raise ValueError("at least one path replica is required")
+        if self.exact_hops is not None and (
+            self.min_hops is not None or self.max_hops is not None
+        ):
+            raise ValueError("exact_hops excludes min/max hop bounds")
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        """The (source, dest) pair."""
+        return (self.source, self.dest)
+
+
+@dataclass(frozen=True)
+class LinkQualityRequirement:
+    """Bounds on the quality of every link used by a route.
+
+    Any combination of an RSS (dBm) lower bound, an SNR (dB) lower bound
+    and a BER upper bound; (2b) in the paper, applied to each active path
+    edge.  A BER bound is compiled into the equivalent SNR bound (BER is
+    strictly decreasing in SNR), keeping the encoding linear.
+    """
+
+    min_rss_dbm: float | None = None
+    min_snr_db: float | None = None
+    max_ber: float | None = None
+
+    def __post_init__(self) -> None:
+        if (self.min_rss_dbm is None and self.min_snr_db is None
+                and self.max_ber is None):
+            raise ValueError(
+                "specify at least one of min RSS / min SNR / max BER"
+            )
+        if self.max_ber is not None and not 0.0 < self.max_ber < 0.5:
+            raise ValueError("max BER must be in (0, 0.5)")
+
+    def effective_min_snr_db(self, modulation: str) -> float | None:
+        """The tightest SNR bound implied by min_snr_db and max_ber."""
+        from repro.channel.metrics import snr_for_ber
+
+        bounds = []
+        if self.min_snr_db is not None:
+            bounds.append(self.min_snr_db)
+        if self.max_ber is not None:
+            bounds.append(snr_for_ber(self.max_ber, modulation))
+        return max(bounds) if bounds else None
+
+
+@dataclass(frozen=True)
+class LifetimeRequirement:
+    """Every battery-powered used node must survive at least ``years``."""
+
+    years: float
+    #: Roles exempt from the battery constraint (mains-powered).
+    mains_roles: frozenset[str] = frozenset({"sink"})
+
+    def __post_init__(self) -> None:
+        if self.years <= 0:
+            raise ValueError("lifetime must be positive")
+
+
+@dataclass(frozen=True)
+class ReachabilityRequirement:
+    """Localization coverage: (4a)-(4b).
+
+    Every test point must receive, with RSS at least ``min_rss_dbm``,
+    signal from at least ``min_anchors`` distinct selected anchors.
+    ``mobile_gain_dbi`` is the receive gain of the mobile node.
+    ``anchor_role`` names the template role that provides the anchors —
+    ``"anchor"`` in dedicated localization networks, ``"relay"`` in
+    dual-use designs where data-collection relays double as anchors.
+    """
+
+    test_points: tuple[Point, ...]
+    min_anchors: int = 3
+    min_rss_dbm: float = -80.0
+    mobile_gain_dbi: float = 0.0
+    anchor_role: str = "anchor"
+
+    def __post_init__(self) -> None:
+        if not self.test_points:
+            raise ValueError("need at least one test point")
+        if self.min_anchors < 1:
+            raise ValueError("need at least one reachable anchor")
+
+
+@dataclass(frozen=True)
+class TdmaConfig:
+    """Collision-free TDMA protocol parameters (Section 2, energy model).
+
+    ``slots`` slots of ``slot_ms`` each form a superframe.  Sensors report
+    every ``report_interval_s`` seconds; a node is awake only in its own
+    TX/RX slots once per reporting interval and sleeps otherwise (this
+    reproduces the multi-year lifetimes of Table 1 — see DESIGN.md).
+    """
+
+    slots: int = 16
+    slot_ms: float = 1.0
+    report_interval_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ValueError("need at least one slot")
+        if self.slot_ms <= 0 or self.report_interval_s <= 0:
+            raise ValueError("durations must be positive")
+
+    @property
+    def superframe_ms(self) -> float:
+        """Superframe duration t_SF = n * t_slot, in ms."""
+        return self.slots * self.slot_ms
+
+    @property
+    def report_interval_ms(self) -> float:
+        """Reporting (energy accounting) period in ms."""
+        return self.report_interval_s * 1000.0
+
+
+@dataclass(frozen=True)
+class PowerConfig:
+    """Battery and traffic parameters of the energy model."""
+
+    battery_mah: float = 3000.0  # two 1.5-V AA cells of 1500 mAh
+    packet_bytes: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.battery_mah <= 0 or self.packet_bytes <= 0:
+            raise ValueError("battery capacity and packet size must be positive")
+
+    @property
+    def battery_ma_ms(self) -> float:
+        """Battery charge in mA*ms (the MILP's charge unit)."""
+        return self.battery_mah * 3600.0 * 1000.0
+
+
+@dataclass
+class RequirementSet:
+    """Everything the synthesized architecture must satisfy."""
+
+    routes: list[RouteRequirement] = field(default_factory=list)
+    link_quality: LinkQualityRequirement | None = None
+    lifetime: LifetimeRequirement | None = None
+    reachability: ReachabilityRequirement | None = None
+    tdma: TdmaConfig = field(default_factory=TdmaConfig)
+    power: PowerConfig = field(default_factory=PowerConfig)
+
+    def require_route(
+        self, source: int, dest: int, replicas: int = 1, disjoint: bool = True,
+        min_hops: int | None = None, max_hops: int | None = None,
+        exact_hops: int | None = None,
+    ) -> RouteRequirement:
+        """Append a route requirement and return it."""
+        req = RouteRequirement(
+            source, dest, replicas, disjoint, min_hops, max_hops, exact_hops
+        )
+        self.routes.append(req)
+        return req
+
+    @property
+    def total_replicas(self) -> int:
+        """Total number of path replicas across all route requirements."""
+        return sum(r.replicas for r in self.routes)

@@ -1,0 +1,115 @@
+"""Decoded network architectures (the optimizer's output).
+
+An :class:`Architecture` is the assignment the paper calls "an optimal
+network architecture": which candidate nodes are used and with which
+library device, which links are active, and the concrete route chosen for
+every required path replica.  It is solver-independent — the explorer
+decodes MILP solutions into this form and the validator/simulator consume
+it without knowing about the MILP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.library.catalog import Library
+from repro.library.components import Device
+from repro.network.template import Template
+
+
+@dataclass
+class Route:
+    """One realized path replica for a route requirement."""
+
+    source: int
+    dest: int
+    replica: int
+    nodes: tuple[int, ...]
+
+    @property
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        """The directed edges of the route."""
+        return tuple(zip(self.nodes, self.nodes[1:]))
+
+    @property
+    def hops(self) -> int:
+        """Number of edges."""
+        return len(self.nodes) - 1
+
+
+@dataclass
+class Architecture:
+    """A complete synthesized design."""
+
+    template: Template
+    library: Library
+    #: node id -> selected device name, for every used node.
+    sizing: dict[int, str] = field(default_factory=dict)
+    #: active directed links.
+    active_edges: set[tuple[int, int]] = field(default_factory=set)
+    routes: list[Route] = field(default_factory=list)
+    objective_value: float = float("nan")
+
+    @property
+    def used_nodes(self) -> list[int]:
+        """Ids of used nodes, ascending."""
+        return sorted(self.sizing)
+
+    @property
+    def node_count(self) -> int:
+        """Number of used nodes — the "# Nodes" column of Tables 1-2."""
+        return len(self.sizing)
+
+    def device_of(self, node_id: int) -> Device:
+        """The library device realizing ``node_id``."""
+        try:
+            name = self.sizing[node_id]
+        except KeyError:
+            raise KeyError(f"node {node_id} is not used") from None
+        return self.library.by_name(name)
+
+    @property
+    def dollar_cost(self) -> float:
+        """Total component cost plus per-link costs."""
+        node_cost = sum(
+            self.library.by_name(name).cost for name in self.sizing.values()
+        )
+        link_cost = self.template.link_type.cost * len(self.active_edges)
+        return node_cost + link_cost
+
+    def routes_for(self, source: int, dest: int) -> list[Route]:
+        """All realized replicas for a (source, dest) pair."""
+        return [r for r in self.routes if (r.source, r.dest) == (source, dest)]
+
+    def routes_through(self, node_id: int) -> list[Route]:
+        """All routes that traverse ``node_id`` (as any hop)."""
+        return [r for r in self.routes if node_id in r.nodes]
+
+    def tx_uses(self, node_id: int) -> list[tuple[int, int]]:
+        """Directed edges on which ``node_id`` transmits, one per route use.
+
+        A node transmitting the packets of two routes over the same link
+        appears twice — energy accounting is per route use, as in (3a).
+        """
+        uses = []
+        for route in self.routes:
+            for u, v in route.edges:
+                if u == node_id:
+                    uses.append((u, v))
+        return uses
+
+    def rx_uses(self, node_id: int) -> list[tuple[int, int]]:
+        """Directed edges on which ``node_id`` receives, one per route use."""
+        uses = []
+        for route in self.routes:
+            for u, v in route.edges:
+                if v == node_id:
+                    uses.append((u, v))
+        return uses
+
+    def summary(self) -> str:
+        """A short human-readable description."""
+        return (
+            f"{self.node_count} nodes, {len(self.active_edges)} links, "
+            f"{len(self.routes)} routes, ${self.dollar_cost:.0f}"
+        )

@@ -1,0 +1,29 @@
+"""Protocol substrate: TDMA slot scheduling and CSMA energy modeling."""
+
+from repro.protocols.csma import (
+    CsmaConfig,
+    CsmaEnergyReport,
+    collision_probability,
+    csma_energy,
+    csma_lifetime_years,
+)
+from repro.protocols.tdma import (
+    Schedule,
+    SchedulingError,
+    SlotAssignment,
+    build_schedule,
+    slot_demand,
+)
+
+__all__ = [
+    "CsmaConfig",
+    "CsmaEnergyReport",
+    "Schedule",
+    "SchedulingError",
+    "SlotAssignment",
+    "build_schedule",
+    "collision_probability",
+    "csma_energy",
+    "csma_lifetime_years",
+    "slot_demand",
+]

@@ -1,0 +1,162 @@
+"""Contention-based (CSMA/CA) energy model.
+
+The paper notes that "similar constraints can be used to compute ... the
+required energy for contention-based protocols".  This module provides
+that energy model for synthesized architectures, in the same per-report
+charge units as the TDMA model, so the two MAC choices can be compared on
+one design:
+
+* every transmission attempt pays a clear-channel assessment (receiver
+  on) plus the packet airtime (transmitter on);
+* receivers pay idle listening for the expected rendezvous window plus
+  the airtime of every (re)transmission;
+* attempts repeat on channel loss (the link PER) *and* on collision,
+  with the collision probability estimated from the number of contenders
+  audible at the receiver (template candidate links define audibility)
+  and the traffic each contender offers per reporting interval.
+
+The collision model is the standard unslotted-CSMA approximation: a
+transmission fails if any audible contender starts within one
+vulnerability window (two packet airtimes) around it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.channel.metrics import packet_error_rate
+from repro.network.requirements import PowerConfig, RequirementSet
+from repro.network.topology import Architecture
+from repro.validation.checker import link_rss_dbm
+
+
+@dataclass(frozen=True)
+class CsmaConfig:
+    """Contention protocol parameters."""
+
+    cca_ms: float = 0.128          # clear-channel assessment duration
+    mean_backoff_ms: float = 2.0   # mean random backoff before an attempt
+    max_attempts: int = 8
+    #: Receiver duty cycle: fraction of the reporting interval the radio
+    #: listens for incoming traffic (low-power-listening style).
+    rx_duty_cycle: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if not 0.0 < self.rx_duty_cycle <= 1.0:
+            raise ValueError("duty cycle must be in (0, 1]")
+
+
+@dataclass
+class CsmaEnergyReport:
+    """Per-node charge under CSMA, mA*ms per reporting interval."""
+
+    node_charge_ma_ms: dict[int, float]
+    collision_probability: dict[tuple[int, int], float]
+
+    @property
+    def total_charge_ma_ms(self) -> float:
+        """Network-wide charge per reporting interval."""
+        return sum(self.node_charge_ma_ms.values())
+
+
+def _audible_contenders(arch: Architecture, rx: int, tx: int) -> int:
+    """Transmitting nodes other than ``tx`` audible at ``rx``."""
+    contenders = 0
+    transmitters = {u for route in arch.routes for u, _ in route.edges}
+    for node in transmitters:
+        if node in (rx, tx):
+            continue
+        try:
+            arch.template.path_loss(node, rx)
+        except KeyError:
+            continue
+        contenders += 1
+    return contenders
+
+
+def collision_probability(
+    contenders: int, airtime_ms: float, report_interval_ms: float,
+    packets_per_contender: float,
+) -> float:
+    """Unslotted-CSMA vulnerability-window collision probability.
+
+    Each contender offers ``packets_per_contender`` transmissions per
+    reporting interval, each dangerous within a 2x airtime window:
+    ``p = 1 - exp(-sum_rate * 2 * airtime)`` (Poisson approximation).
+    """
+    rate_per_ms = contenders * packets_per_contender / report_interval_ms
+    return 1.0 - math.exp(-rate_per_ms * 2.0 * airtime_ms)
+
+
+def csma_energy(
+    arch: Architecture,
+    requirements: RequirementSet,
+    config: CsmaConfig | None = None,
+) -> CsmaEnergyReport:
+    """Expected per-node charge of the design under CSMA/CA."""
+    config = config or CsmaConfig()
+    link = arch.template.link_type
+    power: PowerConfig = requirements.power
+    tdma = requirements.tdma  # reporting interval source
+    airtime = link.packet_airtime_ms(power.packet_bytes)
+    noise = link.noise_dbm
+
+    charge = {node_id: 0.0 for node_id in arch.used_nodes}
+    p_collision: dict[tuple[int, int], float] = {}
+
+    for node_id in arch.used_nodes:
+        device = arch.device_of(node_id)
+        # Baseline: duty-cycled idle listening + sleep.
+        listen = config.rx_duty_cycle * tdma.report_interval_ms
+        charge[node_id] += device.radio_rx_ma * listen
+        charge[node_id] += device.sleep_ma * (
+            tdma.report_interval_ms - listen
+        )
+
+    for route in arch.routes:
+        for u, v in route.edges:
+            tx_dev = arch.device_of(u)
+            rx_dev = arch.device_of(v)
+            snr = link_rss_dbm(arch, u, v) - noise
+            per = packet_error_rate(snr, power.packet_bytes, link.modulation)
+            contenders = _audible_contenders(arch, v, u)
+            p_c = collision_probability(
+                contenders, airtime, tdma.report_interval_ms,
+                packets_per_contender=1.0,
+            )
+            p_collision[(u, v)] = p_c
+            p_fail = min(1.0 - (1.0 - per) * (1.0 - p_c), 0.999)
+            # Expected attempts, truncated at the retry limit.
+            attempts = (1.0 - p_fail ** config.max_attempts) / (1.0 - p_fail)
+
+            per_attempt_tx = (
+                rx_dev.radio_rx_ma * 0.0  # placeholder for symmetry
+                + tx_dev.radio_rx_ma * config.cca_ms  # CCA listens
+                + tx_dev.radio_tx_ma * airtime
+                + tx_dev.active_ma * config.mean_backoff_ms
+            )
+            per_attempt_rx = rx_dev.radio_rx_ma * airtime
+            charge[u] += attempts * per_attempt_tx
+            charge[v] += attempts * per_attempt_rx
+    return CsmaEnergyReport(
+        node_charge_ma_ms=charge, collision_probability=p_collision
+    )
+
+
+def csma_lifetime_years(
+    arch: Architecture,
+    requirements: RequirementSet,
+    node_id: int,
+    config: CsmaConfig | None = None,
+) -> float:
+    """Battery lifetime of one node under the CSMA energy model."""
+    report = csma_energy(arch, requirements, config)
+    charge = report.node_charge_ma_ms[node_id]
+    if charge <= 0:
+        return float("inf")
+    reports = requirements.power.battery_ma_ms / charge
+    ms = reports * requirements.tdma.report_interval_ms
+    return ms / (365.25 * 24 * 3600 * 1000.0)

@@ -1,0 +1,15 @@
+"""Discrete-event simulation of synthesized networks."""
+
+from repro.simulation.datacollection import (
+    DataCollectionSimulator,
+    NodeLedger,
+    SimulationResult,
+)
+from repro.simulation.events import EventQueue
+
+__all__ = [
+    "DataCollectionSimulator",
+    "EventQueue",
+    "NodeLedger",
+    "SimulationResult",
+]

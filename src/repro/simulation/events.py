@@ -1,0 +1,60 @@
+"""A minimal discrete-event engine.
+
+The data-collection simulator replays TDMA schedules over simulated time;
+this engine is the usual priority-queue event loop with deterministic
+tie-breaking (events at equal times fire in scheduling order).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    serial: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventQueue:
+    """Time-ordered event execution."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._serial = 0
+        self.now = 0.0
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> _Entry:
+        """Run ``action`` ``delay`` time units from now; returns a handle."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        entry = _Entry(self.now + delay, self._serial, action)
+        self._serial += 1
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def cancel(self, entry: _Entry) -> None:
+        """Cancel a scheduled event (lazy removal)."""
+        entry.cancelled = True
+
+    def run_until(self, end_time: float) -> int:
+        """Execute events up to and including ``end_time``; returns count."""
+        executed = 0
+        while self._heap and self._heap[0].time <= end_time:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self.now = entry.time
+            entry.action()
+            executed += 1
+        self.now = max(self.now, end_time)
+        return executed
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) events."""
+        return sum(1 for e in self._heap if not e.cancelled)

@@ -1,0 +1,13 @@
+"""Pattern-based specification language (ArchEx-style)."""
+
+from repro.spec.parser import parse_spec
+from repro.spec.patterns import CompiledSpec, SpecError, compile_statements
+from repro.spec.problem import compile_spec
+
+__all__ = [
+    "CompiledSpec",
+    "SpecError",
+    "compile_spec",
+    "compile_statements",
+    "parse_spec",
+]

@@ -1,0 +1,183 @@
+"""Text parser for the pattern language.
+
+Grammar (line-oriented; ``#`` starts a comment):
+
+    statement   := [name "="] pattern "(" args ")"
+    args        := arg ("," arg)*
+    arg         := value | key "=" value
+    value       := number | boolean | reference | weighted-sum
+    weighted-sum:= term ("+" term)*      (objective() only)
+    term        := [number "*"] identifier
+
+Example specification (the paper's Section 4.1 setup)::
+
+    # data collection requirements
+    has_paths(sensors, sink, replicas=2, disjoint=true)
+    min_signal_to_noise(20)
+    min_network_lifetime(5)
+    tdma(slots=16, slot_ms=1, report_s=30)
+    battery(mah=3000, packet_bytes=50)
+    objective(cost)
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.spec.patterns import (
+    Battery,
+    DisjointLinks,
+    HasPath,
+    HasPaths,
+    HopBound,
+    MaxBer,
+    MinLifetime,
+    MinReachable,
+    MinRss,
+    MinSnr,
+    Objective,
+    SpecError,
+    Statement,
+    Tdma,
+)
+
+_LINE_RE = re.compile(
+    r"^\s*(?:(?P<name>[A-Za-z_]\w*)\s*=\s*)?"
+    r"(?P<func>[A-Za-z_]\w*)\s*\((?P<args>.*)\)\s*$"
+)
+_TERM_RE = re.compile(
+    r"^\s*(?:(?P<weight>\d+(?:\.\d+)?)\s*\*\s*)?(?P<term>[A-Za-z_]\w*)\s*$"
+)
+
+
+def _split_args(text: str) -> list[str]:
+    parts = [p.strip() for p in text.split(",")]
+    return [p for p in parts if p]
+
+
+def _parse_value(text: str):
+    lowered = text.lower()
+    if lowered in ("true", "yes"):
+        return True
+    if lowered in ("false", "no"):
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _positional_and_kwargs(args: list[str]) -> tuple[list, dict]:
+    positional: list = []
+    kwargs: dict = {}
+    for arg in args:
+        if "=" in arg and not arg.startswith("-"):
+            key, _, value = arg.partition("=")
+            kwargs[key.strip()] = _parse_value(value.strip())
+        else:
+            if kwargs:
+                raise SpecError(
+                    f"positional argument {arg!r} after keyword arguments"
+                )
+            positional.append(_parse_value(arg))
+    return positional, kwargs
+
+
+def _parse_objective_args(text: str) -> Objective:
+    weights: list[tuple[str, float]] = []
+    for chunk in text.split("+"):
+        match = _TERM_RE.match(chunk)
+        if not match:
+            raise SpecError(f"bad objective term {chunk.strip()!r}")
+        weight = float(match.group("weight") or 1.0)
+        weights.append((match.group("term"), weight))
+    if not weights:
+        raise SpecError("empty objective()")
+    return Objective(weights=tuple(weights))
+
+
+def parse_spec(text: str) -> list[Statement]:
+    """Parse a specification document into statements."""
+    statements: list[Statement] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _LINE_RE.match(line)
+        if not match:
+            raise SpecError(f"line {line_no}: cannot parse {line!r}")
+        name = match.group("name")
+        func = match.group("func")
+        arg_text = match.group("args")
+        try:
+            statements.append(_build(name, func, arg_text))
+        except SpecError as exc:
+            raise SpecError(f"line {line_no}: {exc}") from None
+        except (ValueError, TypeError, IndexError) as exc:
+            # Bad argument types/counts inside a structurally valid call.
+            raise SpecError(f"line {line_no}: {exc}") from None
+    return statements
+
+
+def _build(name: str | None, func: str, arg_text: str) -> Statement:
+    if func == "objective":
+        return _parse_objective_args(arg_text)
+    positional, kwargs = _positional_and_kwargs(_split_args(arg_text))
+
+    if func == "has_path":
+        if name is None:
+            raise SpecError("has_path needs a name: `p = has_path(A, B)`")
+        if len(positional) != 2:
+            raise SpecError("has_path takes exactly two node references")
+        return HasPath(name, str(positional[0]), str(positional[1]))
+    if name is not None:
+        raise SpecError(f"{func} does not take a name")
+
+    if func == "has_paths":
+        if len(positional) != 2:
+            raise SpecError("has_paths takes a group and a destination")
+        return HasPaths(
+            str(positional[0]), str(positional[1]),
+            replicas=int(kwargs.pop("replicas", 1)),
+            disjoint=bool(kwargs.pop("disjoint", True)),
+        )
+    if func == "disjoint_links":
+        if len(positional) < 2:
+            raise SpecError("disjoint_links needs at least two path names")
+        return DisjointLinks(tuple(str(p) for p in positional))
+    if func in ("max_hops", "min_hops", "exact_hops"):
+        if len(positional) != 2:
+            raise SpecError(f"{func} takes a path name and a bound")
+        return HopBound(func.split("_")[0], str(positional[0]),
+                        int(positional[1]))
+    if func == "min_signal_to_noise":
+        return MinSnr(float(positional[0]))
+    if func == "min_rss":
+        return MinRss(float(positional[0]))
+    if func == "max_bit_error_rate":
+        return MaxBer(float(positional[0]))
+    if func == "min_network_lifetime":
+        return MinLifetime(float(positional[0]))
+    if func == "min_reachable_devices":
+        count = int(positional[0])
+        rss = float(kwargs.pop("rss", positional[1] if len(positional) > 1
+                               else -80.0))
+        role = str(kwargs.pop("role", "anchor"))
+        return MinReachable(count, rss, role)
+    if func == "tdma":
+        return Tdma(
+            slots=int(kwargs.pop("slots", 16)),
+            slot_ms=float(kwargs.pop("slot_ms", 1.0)),
+            report_s=float(kwargs.pop("report_s", 30.0)),
+        )
+    if func == "battery":
+        return Battery(
+            mah=float(kwargs.pop("mah", 3000.0)),
+            packet_bytes=float(kwargs.pop("packet_bytes", 50.0)),
+        )
+    raise SpecError(f"unknown pattern {func!r}")

@@ -1,0 +1,349 @@
+"""Pattern statements and their compilation into requirement sets.
+
+The paper's toolbox compiles "compact and human-readable specifications
+... using a pattern-based formal language".  The patterns demonstrated in
+the evaluation are reproduced here with the same names:
+
+* ``name = has_path(A, B)`` — require a route from A to B;
+* ``disjoint_links(name1, name2)`` — the named routes must be
+  link-disjoint;
+* ``max_hops(name, N)`` / ``min_hops`` / ``exact_hops`` — length bounds;
+* ``min_signal_to_noise(db)`` and ``min_rss(dbm)`` — link quality;
+* ``min_network_lifetime(years)`` — battery lifetime;
+* ``min_reachable_devices(N, rss)`` — localization coverage;
+* ``has_paths(GROUP, B, replicas, disjoint)`` — convenience fan-out of
+  has_path/disjoint_links over a node group (e.g. all sensors);
+* ``tdma(...)`` / ``battery(...)`` — protocol and power parameters;
+* ``objective(...)`` — e.g. ``objective(cost)`` or
+  ``objective(0.5*cost + 0.5*energy)``.
+
+Compilation needs a template to resolve node references: ``sensor[3]``
+(fourth sensor), ``sink`` (the base station), ``node[17]`` (raw id),
+``sensors`` (the whole group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.objectives import ObjectiveSpec
+from repro.geometry.primitives import Point
+from repro.network.requirements import (
+    LifetimeRequirement,
+    LinkQualityRequirement,
+    PowerConfig,
+    ReachabilityRequirement,
+    RequirementSet,
+    TdmaConfig,
+)
+from repro.network.template import Template
+
+
+class SpecError(Exception):
+    """The specification is malformed or cannot be resolved."""
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HasPath:
+    """``name = has_path(A, B)``."""
+
+    name: str
+    source: str
+    dest: str
+
+
+@dataclass(frozen=True)
+class HasPaths:
+    """``has_paths(GROUP, B, replicas=2, disjoint=true)``."""
+
+    group: str
+    dest: str
+    replicas: int = 1
+    disjoint: bool = True
+
+
+@dataclass(frozen=True)
+class DisjointLinks:
+    """``disjoint_links(p1, p2, ...)``."""
+
+    names: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class HopBound:
+    """``max_hops(p, N)`` / ``min_hops(p, N)`` / ``exact_hops(p, N)``."""
+
+    kind: str  # "max" | "min" | "exact"
+    name: str
+    value: int
+
+
+@dataclass(frozen=True)
+class MinSnr:
+    """``min_signal_to_noise(db)``."""
+
+    db: float
+
+
+@dataclass(frozen=True)
+class MinRss:
+    """``min_rss(dbm)``."""
+
+    dbm: float
+
+
+@dataclass(frozen=True)
+class MaxBer:
+    """``max_bit_error_rate(ber)``."""
+
+    ber: float
+
+
+@dataclass(frozen=True)
+class MinLifetime:
+    """``min_network_lifetime(years)``."""
+
+    years: float
+
+
+@dataclass(frozen=True)
+class MinReachable:
+    """``min_reachable_devices(N, rss=-80, role=anchor)``."""
+
+    count: int
+    rss_dbm: float = -80.0
+    anchor_role: str = "anchor"
+
+
+@dataclass(frozen=True)
+class Tdma:
+    """``tdma(slots=16, slot_ms=1, report_s=30)``."""
+
+    slots: int = 16
+    slot_ms: float = 1.0
+    report_s: float = 30.0
+
+
+@dataclass(frozen=True)
+class Battery:
+    """``battery(mah=3000, packet_bytes=50)``."""
+
+    mah: float = 3000.0
+    packet_bytes: float = 50.0
+
+
+@dataclass(frozen=True)
+class Objective:
+    """``objective(cost)`` or weighted combinations."""
+
+    weights: tuple[tuple[str, float], ...]
+
+
+Statement = (
+    HasPath | HasPaths | DisjointLinks | HopBound | MinSnr | MinRss | MaxBer
+    | MinLifetime | MinReachable | Tdma | Battery | Objective
+)
+
+
+# -- compiled output -----------------------------------------------------------
+
+
+@dataclass
+class CompiledSpec:
+    """Requirements + objective produced from a specification."""
+
+    requirements: RequirementSet
+    objective: ObjectiveSpec
+    #: Route-requirement index per named path (diagnostics).
+    path_names: dict[str, int] = field(default_factory=dict)
+
+
+# -- node reference resolution --------------------------------------------------
+
+
+def resolve_node(ref: str, template: Template) -> int:
+    """Resolve ``sensor[3]`` / ``sink`` / ``node[17]`` to a node id."""
+    ref = ref.strip()
+    if "[" in ref:
+        base, _, rest = ref.partition("[")
+        index_text = rest.rstrip("]")
+        try:
+            index = int(index_text)
+        except ValueError:
+            raise SpecError(f"bad node index in {ref!r}") from None
+        if base == "node":
+            if not 0 <= index < template.node_count:
+                raise SpecError(f"node id {index} out of range")
+            return index
+        group = template.by_role(base)
+        if not group:
+            raise SpecError(f"no nodes with role {base!r}")
+        if not 0 <= index < len(group):
+            raise SpecError(f"{base}[{index}] out of range (have {len(group)})")
+        return group[index].id
+    group = template.by_role(ref)
+    if len(group) == 1:
+        return group[0].id
+    if not group:
+        raise SpecError(f"no nodes with role {ref!r}")
+    raise SpecError(
+        f"ambiguous reference {ref!r}: {len(group)} nodes have that role"
+    )
+
+
+def resolve_group(ref: str, template: Template) -> list[int]:
+    """Resolve a group reference like ``sensors`` (role plural or name)."""
+    ref = ref.strip()
+    for role in (ref, ref.rstrip("s")):
+        group = template.by_role(role)
+        if group:
+            return [n.id for n in group]
+    raise SpecError(f"no node group {ref!r}")
+
+
+# -- compilation -----------------------------------------------------------------
+
+
+def compile_statements(
+    statements: list[Statement],
+    template: Template,
+    test_points: tuple[Point, ...] | None = None,
+) -> CompiledSpec:
+    """Turn parsed statements into a requirement set and objective."""
+    reqs = RequirementSet()
+    objective: ObjectiveSpec | None = None
+
+    # First pass: collect named paths and their groupings.
+    named: dict[str, tuple[int, int]] = {}
+    hop_bounds: dict[str, HopBound] = {}
+    groups: list[set[str]] = []
+    min_snr: float | None = None
+    min_rss: float | None = None
+    max_ber: float | None = None
+
+    def group_of(name: str) -> set[str] | None:
+        for g in groups:
+            if name in g:
+                return g
+        return None
+
+    for stmt in statements:
+        if isinstance(stmt, HasPath):
+            if stmt.name in named:
+                raise SpecError(f"duplicate path name {stmt.name!r}")
+            named[stmt.name] = (
+                resolve_node(stmt.source, template),
+                resolve_node(stmt.dest, template),
+            )
+        elif isinstance(stmt, DisjointLinks):
+            merged: set[str] = set(stmt.names)
+            for name in stmt.names:
+                if name not in named:
+                    raise SpecError(f"disjoint_links: unknown path {name!r}")
+                existing = group_of(name)
+                if existing is not None:
+                    merged |= existing
+                    groups.remove(existing)
+            groups.append(merged)
+        elif isinstance(stmt, HopBound):
+            if stmt.name in hop_bounds:
+                raise SpecError(f"duplicate hop bound for {stmt.name!r}")
+            hop_bounds[stmt.name] = stmt
+
+    # Named paths: one requirement per disjoint group, one per loner.
+    path_names: dict[str, int] = {}
+    grouped_names = {name for g in groups for name in g}
+    for g in groups:
+        pairs = {named[name] for name in g}
+        if len(pairs) != 1:
+            raise SpecError(
+                f"disjoint_links group {sorted(g)} mixes different "
+                f"source/destination pairs"
+            )
+        bounds = [hop_bounds[n] for n in g if n in hop_bounds]
+        if len({(b.kind, b.value) for b in bounds}) > 1:
+            raise SpecError(
+                f"conflicting hop bounds inside group {sorted(g)}"
+            )
+        (source, dest), = pairs
+        reqs.require_route(
+            source, dest, replicas=len(g), disjoint=True,
+            **_hop_kwargs(bounds[0] if bounds else None),
+        )
+        for name in g:
+            path_names[name] = len(reqs.routes) - 1
+    for name, (source, dest) in named.items():
+        if name in grouped_names:
+            continue
+        bound = hop_bounds.get(name)
+        reqs.require_route(
+            source, dest, replicas=1, disjoint=False,
+            **_hop_kwargs(bound),
+        )
+        path_names[name] = len(reqs.routes) - 1
+
+    # Second pass: everything else.
+    reach: MinReachable | None = None
+    for stmt in statements:
+        if isinstance(stmt, HasPaths):
+            dest = resolve_node(stmt.dest, template)
+            for node_id in resolve_group(stmt.group, template):
+                if node_id != dest:
+                    reqs.require_route(
+                        node_id, dest,
+                        replicas=stmt.replicas, disjoint=stmt.disjoint,
+                    )
+        elif isinstance(stmt, MinSnr):
+            min_snr = stmt.db
+        elif isinstance(stmt, MinRss):
+            min_rss = stmt.dbm
+        elif isinstance(stmt, MaxBer):
+            max_ber = stmt.ber
+        elif isinstance(stmt, MinLifetime):
+            reqs.lifetime = LifetimeRequirement(years=stmt.years)
+        elif isinstance(stmt, MinReachable):
+            reach = stmt
+        elif isinstance(stmt, Tdma):
+            reqs.tdma = TdmaConfig(
+                slots=stmt.slots, slot_ms=stmt.slot_ms,
+                report_interval_s=stmt.report_s,
+            )
+        elif isinstance(stmt, Battery):
+            reqs.power = PowerConfig(
+                battery_mah=stmt.mah, packet_bytes=stmt.packet_bytes
+            )
+        elif isinstance(stmt, Objective):
+            if objective is not None:
+                raise SpecError("multiple objective() statements")
+            objective = ObjectiveSpec.combine(dict(stmt.weights))
+
+    if min_snr is not None or min_rss is not None or max_ber is not None:
+        reqs.link_quality = LinkQualityRequirement(
+            min_rss_dbm=min_rss, min_snr_db=min_snr, max_ber=max_ber
+        )
+    if reach is not None:
+        if test_points is None:
+            raise SpecError(
+                "min_reachable_devices needs test points; pass them to "
+                "compile()"
+            )
+        reqs.reachability = ReachabilityRequirement(
+            test_points=tuple(test_points),
+            min_anchors=reach.count,
+            min_rss_dbm=reach.rss_dbm,
+            anchor_role=reach.anchor_role,
+        )
+    if objective is None:
+        objective = ObjectiveSpec.single("cost")
+    return CompiledSpec(
+        requirements=reqs, objective=objective, path_names=path_names
+    )
+
+
+def _hop_kwargs(bound: HopBound | None) -> dict[str, int]:
+    if bound is None:
+        return {}
+    return {f"{bound.kind}_hops": bound.value}

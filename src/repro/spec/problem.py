@@ -1,0 +1,24 @@
+"""One-call specification compilation.
+
+``compile_spec(text, template)`` parses a pattern-language document and
+resolves it against a template, yielding the requirement set and objective
+an explorer consumes — the text-file front door the paper's toolbox offers
+("the problem description includes system requirements as well as the
+parameters of the channel model, the protocol, and the battery").
+"""
+
+from __future__ import annotations
+
+from repro.geometry.primitives import Point
+from repro.network.template import Template
+from repro.spec.parser import parse_spec
+from repro.spec.patterns import CompiledSpec, compile_statements
+
+
+def compile_spec(
+    text: str,
+    template: Template,
+    test_points: tuple[Point, ...] | None = None,
+) -> CompiledSpec:
+    """Parse and compile a specification document against a template."""
+    return compile_statements(parse_spec(text), template, test_points)

@@ -1,0 +1,28 @@
+"""Independent requirement validation and fault-resiliency analysis."""
+
+from repro.validation.checker import (
+    ValidationReport,
+    lifetime_years,
+    link_rss_dbm,
+    node_charge_ma_ms,
+    validate,
+)
+from repro.validation.resiliency import (
+    FaultImpact,
+    ResiliencyReport,
+    analyze_resiliency,
+)
+from repro.validation.robustness import RobustnessReport, shadowing_robustness
+
+__all__ = [
+    "FaultImpact",
+    "ResiliencyReport",
+    "RobustnessReport",
+    "shadowing_robustness",
+    "ValidationReport",
+    "analyze_resiliency",
+    "lifetime_years",
+    "link_rss_dbm",
+    "node_charge_ma_ms",
+    "validate",
+]

@@ -1,0 +1,58 @@
+"""Shared fixtures: small, fast problem instances."""
+
+import pytest
+
+from repro.library import default_catalog, localization_catalog
+from repro.network import (
+    LifetimeRequirement,
+    LinkQualityRequirement,
+    ReachabilityRequirement,
+    RequirementSet,
+    localization_template,
+    small_grid_template,
+)
+
+
+@pytest.fixture(scope="session")
+def grid_instance():
+    """A 4x3 grid data-collection instance (deterministic)."""
+    return small_grid_template(nx=4, ny=3, spacing=8.0)
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The default device catalog."""
+    return default_catalog()
+
+
+@pytest.fixture()
+def grid_requirements(grid_instance):
+    """Two disjoint routes per sensor + LQ + lifetime."""
+    reqs = RequirementSet()
+    for sensor in grid_instance.sensor_ids:
+        reqs.require_route(sensor, grid_instance.sink_id,
+                           replicas=2, disjoint=True)
+    reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+    reqs.lifetime = LifetimeRequirement(years=5.0)
+    return reqs
+
+
+@pytest.fixture(scope="session")
+def loc_instance():
+    """A small localization instance."""
+    return localization_template(n_anchor_candidates=30, n_test_points=16)
+
+
+@pytest.fixture()
+def loc_requirement(loc_instance):
+    """Coverage by >= 3 anchors at RSS >= -80 dBm."""
+    return ReachabilityRequirement(
+        test_points=loc_instance.test_points, min_anchors=3,
+        min_rss_dbm=-80.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def loc_library():
+    """The anchor catalog."""
+    return localization_catalog()

@@ -1,0 +1,63 @@
+"""Tests for the ETX(SNR) piecewise-linear encoding."""
+
+import numpy as np
+import pytest
+
+from repro.channel import build_etx_curve, expected_transmissions
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return build_etx_curve(packet_bytes=50.0)
+
+
+class TestBuild:
+    def test_floor_matches_cap(self, curve):
+        assert curve.etx_at(curve.snr_floor) == pytest.approx(4.0, rel=1e-2)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            build_etx_curve(50.0, etx_floor_cap=1.0)
+        with pytest.raises(ValueError):
+            build_etx_curve(50.0, etx_floor_cap=100.0)
+
+    def test_ceiling_must_exceed_floor(self):
+        with pytest.raises(ValueError):
+            build_etx_curve(50.0, snr_ceiling=-20.0)
+
+    def test_segments_bounded(self, curve):
+        assert 1 <= len(curve.pwl.segments) <= 6
+
+
+class TestOverApproximation:
+    def test_pwl_above_true_curve_in_range(self, curve):
+        for snr in np.linspace(curve.snr_floor, curve.snr_ceiling, 200):
+            true = expected_transmissions(snr, 50.0)
+            assert curve.pwl_at(snr) >= true - 1e-9
+
+    def test_pwl_tight_at_high_snr(self, curve):
+        # At the reliable end the encoding must not over-charge energy.
+        assert curve.pwl_at(curve.snr_ceiling) == pytest.approx(1.0, abs=0.02)
+
+    def test_pwl_floor_is_one(self, curve):
+        # pwl_at never reports below the physical minimum of 1 TX.
+        assert curve.pwl_at(100.0) >= 1.0
+
+    def test_overestimate_is_moderate(self, curve):
+        # The chorded encoding should stay within ~35% of truth over the
+        # usable range (it is exact at hull points).
+        for snr in np.linspace(curve.snr_floor, curve.snr_ceiling, 100):
+            true = curve.etx_at(snr)
+            assert curve.pwl_at(snr) <= true * 1.35 + 0.05
+
+
+class TestParameterisation:
+    def test_larger_packets_shift_floor_right(self):
+        small = build_etx_curve(packet_bytes=20.0)
+        large = build_etx_curve(packet_bytes=120.0)
+        assert large.snr_floor > small.snr_floor
+
+    def test_modulation_respected(self):
+        qpsk = build_etx_curve(50.0, modulation="qpsk")
+        ook = build_etx_curve(50.0, modulation="ook")
+        assert ook.snr_floor > qpsk.snr_floor

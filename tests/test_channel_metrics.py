@@ -1,0 +1,114 @@
+"""Tests for RSS/SNR/BER/PER/ETX metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import (
+    ETX_CAP,
+    bit_error_rate,
+    expected_transmissions,
+    packet_error_rate,
+    rss_dbm,
+    snr_db,
+    snr_for_etx,
+)
+
+snrs = st.floats(-10.0, 40.0, allow_nan=False)
+
+
+class TestRssSnr:
+    def test_rss_budget(self):
+        assert rss_dbm(4.5, 5.0, 5.0, 80.0) == pytest.approx(-65.5)
+
+    def test_snr(self):
+        assert snr_db(-70.0, -100.0) == pytest.approx(30.0)
+
+
+class TestBer:
+    def test_qpsk_known_point(self):
+        # Q(sqrt(2)) at 0 dB Eb/N0 ~ 0.0786.
+        assert bit_error_rate(0.0, "qpsk") == pytest.approx(0.0786, abs=1e-3)
+
+    def test_bpsk_equals_qpsk_per_bit(self):
+        assert bit_error_rate(5.0, "bpsk") == bit_error_rate(5.0, "qpsk")
+
+    def test_ook_worse_than_qpsk(self):
+        assert bit_error_rate(8.0, "ook") > bit_error_rate(8.0, "qpsk")
+
+    def test_unknown_modulation(self):
+        with pytest.raises(ValueError):
+            bit_error_rate(5.0, "psk31")
+
+    @given(snrs)
+    def test_ber_in_unit_interval(self, snr):
+        for mod in ("qpsk", "bpsk", "ook"):
+            assert 0.0 <= bit_error_rate(snr, mod) <= 0.5 + 1e-12
+
+    @settings(max_examples=50)
+    @given(snrs)
+    def test_monotone_decreasing(self, snr):
+        assert bit_error_rate(snr + 1.0) <= bit_error_rate(snr)
+
+
+class TestPer:
+    def test_longer_packets_fail_more(self):
+        assert packet_error_rate(8.0, 100) > packet_error_rate(8.0, 10)
+
+    def test_high_snr_reliable(self):
+        assert packet_error_rate(25.0, 50) < 1e-9
+
+    def test_low_snr_unreliable(self):
+        assert packet_error_rate(-5.0, 50) > 0.99
+
+    def test_invalid_packet_size(self):
+        with pytest.raises(ValueError):
+            packet_error_rate(10.0, 0)
+
+    @given(snrs, st.floats(1.0, 200.0))
+    def test_in_unit_interval(self, snr, size):
+        assert 0.0 <= packet_error_rate(snr, size) <= 1.0
+
+
+class TestEtx:
+    def test_approaches_one_at_high_snr(self):
+        assert expected_transmissions(30.0, 50) == pytest.approx(1.0, abs=1e-6)
+
+    def test_caps_at_low_snr(self):
+        assert expected_transmissions(-10.0, 50) == ETX_CAP
+
+    def test_consistent_with_per(self):
+        snr = 9.0
+        per = packet_error_rate(snr, 50)
+        assert expected_transmissions(snr, 50) == pytest.approx(
+            1.0 / (1.0 - per)
+        )
+
+    @settings(max_examples=50)
+    @given(snrs)
+    def test_monotone_decreasing(self, snr):
+        assert expected_transmissions(snr + 0.5, 50) <= (
+            expected_transmissions(snr, 50) + 1e-12
+        )
+
+    @given(snrs)
+    def test_at_least_one(self, snr):
+        assert expected_transmissions(snr, 50) >= 1.0
+
+
+class TestSnrForEtx:
+    @pytest.mark.parametrize("target", [1.01, 1.5, 2.0, 4.0, 10.0])
+    def test_inverse_roundtrip(self, target):
+        snr = snr_for_etx(target, 50)
+        assert expected_transmissions(snr, 50) == pytest.approx(
+            target, rel=1e-3
+        )
+
+    def test_smaller_target_needs_more_snr(self):
+        assert snr_for_etx(1.05, 50) > snr_for_etx(2.0, 50)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            snr_for_etx(1.0, 50)
+        with pytest.raises(ValueError):
+            snr_for_etx(ETX_CAP + 1, 50)

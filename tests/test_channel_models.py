@@ -1,0 +1,127 @@
+"""Tests for the channel models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import (
+    FSPL_1M_2_4GHZ,
+    LogDistanceModel,
+    MeasuredChannel,
+    MultiWallModel,
+    free_space_reference_db,
+)
+from repro.geometry import FloorPlan, Point, Rectangle, office_floorplan
+
+coords = st.floats(0.1, 80.0, allow_nan=False)
+pts = st.builds(Point, coords, coords)
+
+
+class TestLogDistance:
+    def test_reference_at_1m(self):
+        model = LogDistanceModel(exponent=2.0)
+        assert model.path_loss_db(Point(0, 0), Point(1, 0)) == pytest.approx(
+            FSPL_1M_2_4GHZ
+        )
+
+    def test_decade_slope(self):
+        model = LogDistanceModel(exponent=3.0)
+        pl_10 = model.path_loss_db(Point(0, 0), Point(10, 0))
+        pl_100 = model.path_loss_db(Point(0, 0), Point(100, 0))
+        assert pl_100 - pl_10 == pytest.approx(30.0)
+
+    def test_clamped_below_reference_distance(self):
+        model = LogDistanceModel(exponent=2.0)
+        assert model.path_loss_db(Point(0, 0), Point(0.01, 0)) == pytest.approx(
+            FSPL_1M_2_4GHZ
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LogDistanceModel(exponent=0.0)
+        with pytest.raises(ValueError):
+            LogDistanceModel(reference_distance=0.0)
+
+    @given(pts, pts)
+    def test_symmetric(self, a, b):
+        model = LogDistanceModel(exponent=2.5)
+        assert model.path_loss_db(a, b) == pytest.approx(
+            model.path_loss_db(b, a)
+        )
+
+    @settings(max_examples=40)
+    @given(st.floats(1.0, 50.0), st.floats(1.5, 4.0))
+    def test_monotone_in_distance(self, d, n):
+        model = LogDistanceModel(exponent=n)
+        nearer = model.path_loss_db(Point(0, 0), Point(d, 0))
+        farther = model.path_loss_db(Point(0, 0), Point(d + 1.0, 0))
+        assert farther > nearer
+
+
+class TestFreeSpaceReference:
+    def test_2_4ghz_value(self):
+        assert free_space_reference_db(2.4) == pytest.approx(40.05, abs=0.1)
+
+    def test_higher_frequency_higher_loss(self):
+        assert free_space_reference_db(5.8) > free_space_reference_db(2.4)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            free_space_reference_db(0.0)
+
+
+class TestMultiWall:
+    @pytest.fixture()
+    def plan(self):
+        p = FloorPlan(Rectangle(0, 0, 20, 10))
+        p.add_wall(Point(10, 0), Point(10, 10), material="concrete")
+        return p
+
+    def test_adds_wall_loss(self, plan):
+        model = MultiWallModel(plan, exponent=2.0)
+        clear = model.path_loss_db(Point(1, 5), Point(9, 5))
+        blocked = model.path_loss_db(Point(1, 5), Point(19, 5))
+        base = LogDistanceModel(exponent=2.0)
+        expected_extra = 12.0  # concrete
+        assert blocked - base.path_loss_db(Point(1, 5), Point(19, 5)) == (
+            pytest.approx(expected_extra)
+        )
+        assert clear == pytest.approx(
+            base.path_loss_db(Point(1, 5), Point(9, 5))
+        )
+
+    def test_wall_count(self, plan):
+        model = MultiWallModel(plan)
+        assert model.wall_count(Point(1, 5), Point(19, 5)) == 1
+        assert model.wall_count(Point(1, 5), Point(9, 5)) == 0
+
+    def test_wall_loss_cap(self):
+        plan = office_floorplan()
+        capped = MultiWallModel(plan, max_wall_loss_db=10.0)
+        uncapped = MultiWallModel(plan)
+        a, b = Point(1, 1), Point(79, 44)
+        assert capped.path_loss_db(a, b) <= uncapped.path_loss_db(a, b)
+        base = LogDistanceModel(exponent=2.0).path_loss_db(a, b)
+        assert capped.path_loss_db(a, b) - base == pytest.approx(10.0)
+
+    def test_symmetry_flag(self, plan):
+        assert MultiWallModel(plan).is_symmetric()
+
+
+class TestMeasuredChannel:
+    def test_lookup_and_reverse(self):
+        table = {(Point(0, 0), Point(1, 0)): 55.0}
+        ch = MeasuredChannel(table)
+        assert ch.path_loss_db(Point(0, 0), Point(1, 0)) == 55.0
+        assert ch.path_loss_db(Point(1, 0), Point(0, 0)) == 55.0
+
+    def test_missing_raises(self):
+        ch = MeasuredChannel({})
+        with pytest.raises(KeyError):
+            ch.path_loss_db(Point(0, 0), Point(1, 0))
+
+    def test_asymmetric_table_detected(self):
+        a, b = Point(0, 0), Point(1, 0)
+        ch = MeasuredChannel({(a, b): 50.0, (b, a): 60.0})
+        assert not ch.is_symmetric()
+        assert ch.path_loss_db(b, a) == 60.0

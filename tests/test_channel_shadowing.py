@@ -1,0 +1,123 @@
+"""Tests for the deterministic shadowing overlay and BER quality bounds."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    LogDistanceModel,
+    ShadowedChannel,
+    bit_error_rate,
+    snr_for_ber,
+)
+from repro.geometry import Point
+from repro.network import LinkQualityRequirement
+
+
+class TestShadowedChannel:
+    @pytest.fixture()
+    def channel(self):
+        return ShadowedChannel(LogDistanceModel(exponent=2.0), sigma_db=4.0,
+                               seed=7)
+
+    def test_deterministic(self, channel):
+        a, b = Point(1, 2), Point(10, 4)
+        assert channel.path_loss_db(a, b) == channel.path_loss_db(a, b)
+
+    def test_symmetric(self, channel):
+        a, b = Point(1, 2), Point(10, 4)
+        assert channel.path_loss_db(a, b) == channel.path_loss_db(b, a)
+        assert channel.is_symmetric()
+
+    def test_seed_changes_realization(self):
+        base = LogDistanceModel(exponent=2.0)
+        a, b = Point(1, 2), Point(10, 4)
+        ch1 = ShadowedChannel(base, sigma_db=4.0, seed=1)
+        ch2 = ShadowedChannel(base, sigma_db=4.0, seed=2)
+        assert ch1.path_loss_db(a, b) != ch2.path_loss_db(a, b)
+
+    def test_zero_sigma_is_base(self):
+        base = LogDistanceModel(exponent=2.0)
+        channel = ShadowedChannel(base, sigma_db=0.0)
+        a, b = Point(1, 2), Point(10, 4)
+        assert channel.path_loss_db(a, b) == pytest.approx(
+            base.path_loss_db(a, b)
+        )
+
+    def test_offsets_statistically_sane(self):
+        base = LogDistanceModel(exponent=2.0)
+        channel = ShadowedChannel(base, sigma_db=4.0, seed=3)
+        rng = np.random.default_rng(0)
+        offsets = []
+        for _ in range(400):
+            a = Point(float(rng.uniform(0, 50)), float(rng.uniform(0, 50)))
+            b = Point(float(rng.uniform(0, 50)), float(rng.uniform(0, 50)))
+            offsets.append(
+                channel.path_loss_db(a, b) - base.path_loss_db(a, b)
+            )
+        offsets = np.array(offsets)
+        assert abs(float(offsets.mean())) < 0.8
+        assert 3.0 < float(offsets.std()) < 5.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowedChannel(LogDistanceModel(), sigma_db=-1.0)
+
+
+class TestBerRequirement:
+    def test_snr_for_ber_inverse(self):
+        for target in (1e-3, 1e-5, 1e-7):
+            snr = snr_for_ber(target)
+            assert bit_error_rate(snr) == pytest.approx(target, rel=1e-2)
+
+    def test_tighter_ber_needs_more_snr(self):
+        assert snr_for_ber(1e-8) > snr_for_ber(1e-3)
+
+    def test_invalid_targets(self):
+        with pytest.raises(ValueError):
+            snr_for_ber(0.0)
+        with pytest.raises(ValueError):
+            snr_for_ber(0.6)
+
+    def test_requirement_accepts_ber_only(self):
+        req = LinkQualityRequirement(max_ber=1e-5)
+        snr = req.effective_min_snr_db("qpsk")
+        assert snr == pytest.approx(snr_for_ber(1e-5), abs=1e-6)
+
+    def test_ber_and_snr_take_tighter(self):
+        loose_ber = LinkQualityRequirement(min_snr_db=25.0, max_ber=1e-3)
+        assert loose_ber.effective_min_snr_db("qpsk") == 25.0
+        tight_ber = LinkQualityRequirement(min_snr_db=5.0, max_ber=1e-9)
+        assert tight_ber.effective_min_snr_db("qpsk") > 5.0
+
+    def test_invalid_ber_rejected(self):
+        with pytest.raises(ValueError):
+            LinkQualityRequirement(max_ber=0.7)
+
+    def test_ber_bound_enforced_end_to_end(self, grid_instance, library):
+        from repro.core import ArchitectureExplorer
+        from repro.network import RequirementSet
+        from repro.validation import link_rss_dbm, validate
+
+        reqs = RequirementSet()
+        for s in grid_instance.sensor_ids:
+            reqs.require_route(s, grid_instance.sink_id)
+        reqs.link_quality = LinkQualityRequirement(max_ber=1e-9)
+        result = ArchitectureExplorer(
+            grid_instance.template, library, reqs
+        ).solve("cost")
+        assert result.feasible
+        report = validate(result.architecture, reqs)
+        assert report.ok, report.violations
+        noise = grid_instance.template.link_type.noise_dbm
+        for u, v in result.architecture.active_edges:
+            snr = link_rss_dbm(result.architecture, u, v) - noise
+            assert bit_error_rate(snr) <= 1e-9 * (1 + 1e-6)
+
+    def test_spec_pattern(self, grid_instance):
+        from repro.spec import compile_spec
+
+        compiled = compile_spec(
+            "has_paths(sensors, sink)\nmax_bit_error_rate(1e-6)",
+            grid_instance.template,
+        )
+        assert compiled.requirements.link_quality.max_ber == 1e-6

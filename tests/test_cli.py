@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCatalog:
+    def test_lists_devices(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "relay-std" in out
+        assert "anchor-pa" in out
+        assert "sleep uA" in out
+
+
+class TestSynthesize:
+    def test_default_spec_small_instance(self, capsys, tmp_path):
+        svg = tmp_path / "topology.svg"
+        code = main([
+            "synthesize", "--sensors", "6", "--relays", "18",
+            "--k-star", "6", "--time-limit", "60",
+            "--svg-out", str(svg),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "all requirements hold" in out
+        assert "lifetime: min" in out
+        assert svg.exists() and "<svg" in svg.read_text()
+
+    def test_spec_file(self, capsys, tmp_path):
+        spec = tmp_path / "spec.txt"
+        spec.write_text(
+            "has_paths(sensors, sink, replicas=1, disjoint=false)\n"
+            "min_rss(-80)\nobjective(cost)\n"
+        )
+        code = main([
+            "synthesize", "--spec", str(spec),
+            "--sensors", "5", "--relays", "12", "--k-star", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "status:  optimal" in out
+
+    def test_floorplan_roundtrip(self, capsys, tmp_path):
+        from repro.geometry import floorplan_to_svg, office_floorplan
+
+        plan_file = tmp_path / "floor.svg"
+        plan_file.write_text(floorplan_to_svg(office_floorplan()))
+        code = main([
+            "synthesize", "--floorplan", str(plan_file),
+            "--sensors", "5", "--relays", "12", "--k-star", "4",
+        ])
+        assert code == 0, capsys.readouterr().out
+
+
+class TestLocalize:
+    def test_cost_objective(self, capsys, tmp_path):
+        svg = tmp_path / "anchors.svg"
+        code = main([
+            "localize", "--anchors", "30", "--points", "16",
+            "--k-star", "10", "--svg-out", str(svg),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "avg reachable" in out
+        assert svg.exists()
+
+
+class TestSimulate:
+    def test_synthesize_then_simulate(self, capsys, tmp_path):
+        design = tmp_path / "design.json"
+        assert main([
+            "synthesize", "--sensors", "5", "--relays", "12",
+            "--k-star", "4", "--json-out", str(design),
+        ]) == 0
+        capsys.readouterr()
+        code = main(["simulate", str(design), "--reports", "20"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "ratio 1.000" in out
+        assert "lifetime: worst battery node" in out
+
+
+class TestKstar:
+    def test_sweep(self, capsys):
+        code = main([
+            "kstar", "--nodes", "25", "--devices", "6", "--ladder", "1", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "selected K*" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "catalog"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0, result.stderr[-500:]
+        assert "relay-std" in result.stdout
+
+
+class TestParsing:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,152 @@
+"""Tests for the energy/lifetime constraints (3a)-(3b)."""
+
+import pytest
+
+from repro.constraints import (
+    build_energy,
+    build_link_quality,
+    build_mapping,
+    lifetime_budget_ma_ms,
+)
+from repro.core import ArchitectureExplorer
+from repro.encoding import ApproximatePathEncoder
+from repro.library import default_catalog
+from repro.milp import HighsSolver, Model
+from repro.network import (
+    LifetimeRequirement,
+    LinkQualityRequirement,
+    PowerConfig,
+    RequirementSet,
+    RouteRequirement,
+    TdmaConfig,
+    small_grid_template,
+)
+from repro.validation import node_charge_ma_ms, validate
+
+
+@pytest.fixture()
+def grid():
+    return small_grid_template(nx=4, ny=3, spacing=10.0)
+
+
+def make_requirements(grid, years=5.0):
+    reqs = RequirementSet()
+    for s in grid.sensor_ids:
+        reqs.require_route(s, grid.sink_id, replicas=2, disjoint=True)
+    reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+    reqs.lifetime = LifetimeRequirement(years=years)
+    return reqs
+
+
+class TestBudget:
+    def test_budget_formula(self):
+        tdma = TdmaConfig(report_interval_s=30.0)
+        power = PowerConfig(battery_mah=3000.0)
+        budget = lifetime_budget_ma_ms(LifetimeRequirement(5.0), tdma, power)
+        # battery mA*ms divided by reports in 5 years.
+        reports = 5 * 365.25 * 24 * 3600 / 30.0
+        assert budget == pytest.approx(power.battery_ma_ms / reports)
+
+    def test_longer_lifetime_smaller_budget(self):
+        tdma, power = TdmaConfig(), PowerConfig()
+        b5 = lifetime_budget_ma_ms(LifetimeRequirement(5.0), tdma, power)
+        b10 = lifetime_budget_ma_ms(LifetimeRequirement(10.0), tdma, power)
+        assert b10 == pytest.approx(b5 / 2.0)
+
+
+class TestEnergyModel:
+    def test_milp_charge_upper_bounds_exact_charge(self, grid):
+        """The MILP's (PWL, big-M) charge must dominate the validator's
+        exact nonlinear recomputation on the decoded design."""
+        reqs = make_requirements(grid)
+        explorer = ArchitectureExplorer(
+            grid.template, default_catalog(), reqs,
+            encoder=ApproximatePathEncoder(k_star=6),
+        )
+        built = explorer.build("energy")
+        solution = HighsSolver().solve(built.model)
+        assert solution.status.has_solution
+        from repro.core.explorer import decode_architecture
+
+        arch = decode_architecture(
+            solution, built, grid.template, default_catalog()
+        )
+        for node_id, charge_expr in built.energy.node_charge.items():
+            if node_id not in arch.sizing:
+                continue
+            milp_charge = solution.value(charge_expr)
+            exact = node_charge_ma_ms(arch, reqs, node_id)
+            assert milp_charge >= exact * (1 - 1e-5) - 1e-3
+
+    def test_lifetime_requirement_validated(self, grid):
+        reqs = make_requirements(grid, years=5.0)
+        result = ArchitectureExplorer(
+            grid.template, default_catalog(), reqs
+        ).solve("cost")
+        assert result.feasible
+        report = validate(result.architecture, reqs)
+        assert report.ok, report.violations
+        assert report.min_lifetime_years >= 5.0
+
+    def test_stricter_lifetime_costs_more(self, grid):
+        cheap = ArchitectureExplorer(
+            grid.template, default_catalog(), make_requirements(grid, 2.0)
+        ).solve("cost")
+        strict = ArchitectureExplorer(
+            grid.template, default_catalog(), make_requirements(grid, 10.0)
+        ).solve("cost")
+        assert cheap.feasible and strict.feasible
+        assert (
+            strict.architecture.dollar_cost
+            >= cheap.architecture.dollar_cost - 1e-9
+        )
+
+    def test_impossible_lifetime_infeasible(self, grid):
+        # Even an idle low-power node cannot last 200 years on 2xAA.
+        reqs = make_requirements(grid, years=200.0)
+        result = ArchitectureExplorer(
+            grid.template, default_catalog(), reqs
+        ).solve("cost")
+        assert not result.feasible
+
+    def test_energy_objective_prefers_low_power_parts(self, grid):
+        reqs = make_requirements(grid)
+        explorer = ArchitectureExplorer(
+            grid.template, default_catalog(), reqs
+        )
+        cost_opt = explorer.solve("cost")
+        energy_opt = explorer.solve("energy")
+        assert cost_opt.feasible and energy_opt.feasible
+        report_cost = validate(cost_opt.architecture, reqs)
+        report_energy = validate(energy_opt.architecture, reqs)
+        assert (report_energy.total_charge_ma_ms
+                <= report_cost.total_charge_ma_ms + 1e-6)
+        assert (energy_opt.architecture.dollar_cost
+                >= cost_opt.architecture.dollar_cost - 1e-9)
+
+    def test_sink_exempt_from_lifetime(self, grid):
+        reqs = make_requirements(grid)
+        result = ArchitectureExplorer(
+            grid.template, default_catalog(), reqs
+        ).solve("cost")
+        report = validate(result.architecture, reqs)
+        assert grid.sink_id not in report.lifetimes_years
+
+    def test_slot_demand_counted_per_route_use(self, grid):
+        """Node slot counts in the MILP equal the decoded route uses."""
+        reqs = make_requirements(grid)
+        explorer = ArchitectureExplorer(
+            grid.template, default_catalog(), reqs,
+        )
+        built = explorer.build("cost")
+        solution = HighsSolver().solve(built.model)
+        from repro.core.explorer import decode_architecture
+
+        arch = decode_architecture(
+            solution, built, grid.template, default_catalog()
+        )
+        for node_id, k_expr in built.energy.slot_count.items():
+            if node_id not in arch.sizing:
+                continue
+            expected = len(arch.tx_uses(node_id)) + len(arch.rx_uses(node_id))
+            assert solution.value(k_expr) == pytest.approx(expected)

@@ -1,0 +1,106 @@
+"""Tests for the link-quality constraints (2a)-(2b)."""
+
+import pytest
+
+from repro.constraints import build_link_quality, build_mapping
+from repro.encoding import ApproximatePathEncoder
+from repro.library import default_catalog
+from repro.milp import HighsSolver, Model
+from repro.network import (
+    LinkQualityRequirement,
+    RouteRequirement,
+    small_grid_template,
+)
+from repro.validation import link_rss_dbm
+from repro.core.explorer import decode_architecture, BuiltProblem
+
+
+def solve_with_lq(grid, lq_requirement, k_star=8):
+    model = Model()
+    library = default_catalog()
+    mapping = build_mapping(model, grid.template, library)
+    routes = [
+        RouteRequirement(s, grid.sink_id, replicas=1, disjoint=False)
+        for s in grid.sensor_ids
+    ]
+    encoding = ApproximatePathEncoder(k_star=k_star).encode(
+        model, grid.template, routes, mapping.node_used
+    )
+    lq = build_link_quality(model, grid.template, mapping, encoding,
+                            lq_requirement)
+    model.minimize(mapping.cost_expr())
+    solution = HighsSolver().solve(model)
+    built = BuiltProblem(
+        model=model, mapping=mapping, encoding=encoding, link_quality=lq,
+        energy=None, localization=None, objective_exprs={},
+    )
+    arch = (
+        decode_architecture(solution, built, grid.template, library)
+        if solution.status.has_solution else None
+    )
+    return solution, arch, lq
+
+
+@pytest.fixture()
+def grid():
+    return small_grid_template(nx=4, ny=3, spacing=10.0)
+
+
+class TestRssExpressions:
+    def test_rss_matches_datasheet_on_active_links(self, grid):
+        solution, arch, _ = solve_with_lq(
+            grid, LinkQualityRequirement(min_rss_dbm=-80.0)
+        )
+        assert solution.status.has_solution
+        for u, v in arch.active_edges:
+            assert link_rss_dbm(arch, u, v) >= -80.0 - 1e-6
+
+    def test_expressions_built_even_without_requirement(self, grid):
+        _, _, lq = solve_with_lq(grid, None)
+        assert lq.rss
+        for edge, (lo, hi) in lq.rss_bounds.items():
+            assert lo <= hi
+
+    def test_snr_offsets_noise(self, grid):
+        _, _, lq = solve_with_lq(grid, None)
+        edge = next(iter(lq.rss))
+        snr = lq.snr(edge)
+        rss = lq.rss[edge]
+        assert snr.constant - rss.constant == pytest.approx(100.0)
+        lo_s, hi_s = lq.snr_bounds(edge)
+        lo_r, hi_r = lq.rss_bounds[edge]
+        assert lo_s - lo_r == pytest.approx(100.0)
+
+
+class TestQualityEnforcement:
+    def test_tight_bound_forces_upgrades_or_detours(self, grid):
+        cheap_sol, cheap_arch, _ = solve_with_lq(
+            grid, LinkQualityRequirement(min_snr_db=5.0)
+        )
+        strict_sol, strict_arch, _ = solve_with_lq(
+            grid, LinkQualityRequirement(min_snr_db=25.0)
+        )
+        assert cheap_sol.status.has_solution
+        assert strict_sol.status.has_solution
+        assert strict_sol.objective >= cheap_sol.objective - 1e-9
+        noise = grid.template.link_type.noise_dbm
+        for u, v in strict_arch.active_edges:
+            assert link_rss_dbm(strict_arch, u, v) - noise >= 25.0 - 1e-6
+
+    def test_impossible_bound_infeasible(self, grid):
+        solution, _, _ = solve_with_lq(
+            grid, LinkQualityRequirement(min_snr_db=80.0)
+        )
+        assert not solution.status.has_solution
+
+    def test_both_bounds_enforced(self, grid):
+        requirement = LinkQualityRequirement(
+            min_rss_dbm=-75.0, min_snr_db=22.0
+        )
+        solution, arch, _ = solve_with_lq(grid, requirement)
+        assert solution.status.has_solution
+        noise = grid.template.link_type.noise_dbm
+        for u, v in arch.active_edges:
+            rss = link_rss_dbm(arch, u, v)
+            assert rss >= -75.0 - 1e-6
+            assert rss - noise >= 22.0 - 1e-6

@@ -1,0 +1,133 @@
+"""Tests for the localization constraints (4a)-(4b)."""
+
+import pytest
+
+from repro.constraints import build_localization, build_mapping
+from repro.core import LocalizationExplorer
+from repro.library import localization_catalog
+from repro.milp import HighsSolver, Model
+from repro.network import ReachabilityRequirement, RequirementSet
+from repro.validation import validate
+
+
+class TestBuildLocalization:
+    def test_pruning_limits_variables(self, loc_instance, loc_requirement):
+        model = Model()
+        mapping = build_mapping(
+            model, loc_instance.template, localization_catalog()
+        )
+        k_star = 8
+        loc = build_localization(
+            model, loc_instance.template, mapping, loc_requirement,
+            loc_instance.channel, k_star=k_star,
+        )
+        assert len(loc.reach) == k_star * len(loc_requirement.test_points)
+
+    def test_candidates_are_lowest_loss(self, loc_instance, loc_requirement):
+        model = Model()
+        mapping = build_mapping(
+            model, loc_instance.template, localization_catalog()
+        )
+        k_star = 5
+        loc = build_localization(
+            model, loc_instance.template, mapping, loc_requirement,
+            loc_instance.channel, k_star=k_star,
+        )
+        anchors = loc_instance.template.anchors
+        for j, point in enumerate(loc_requirement.test_points):
+            chosen = {a for (a, jj) in loc.reach if jj == j}
+            losses = sorted(
+                loc_instance.channel.path_loss_db(a.location, point)
+                for a in anchors
+            )
+            cutoff = losses[k_star - 1]
+            for anchor_id in chosen:
+                anchor = loc_instance.template.node(anchor_id)
+                pl = loc_instance.channel.path_loss_db(anchor.location, point)
+                assert pl <= cutoff + 1e-9
+
+    def test_k_star_below_min_anchors_rejected(
+        self, loc_instance, loc_requirement
+    ):
+        model = Model()
+        mapping = build_mapping(
+            model, loc_instance.template, localization_catalog()
+        )
+        with pytest.raises(ValueError):
+            build_localization(
+                model, loc_instance.template, mapping, loc_requirement,
+                loc_instance.channel, k_star=2,
+            )
+
+    def test_template_without_anchors_rejected(self, loc_requirement):
+        from repro.library import default_catalog
+        from repro.network import small_grid_template
+
+        grid = small_grid_template()
+        model = Model()
+        mapping = build_mapping(model, grid.template, default_catalog())
+        with pytest.raises(ValueError, match="no anchor"):
+            build_localization(
+                model, grid.template, mapping, loc_requirement,
+                grid.channel, k_star=5,
+            )
+
+
+class TestLocalizationExplorer:
+    def test_coverage_satisfied(self, loc_instance, loc_requirement,
+                                loc_library):
+        result = LocalizationExplorer(
+            loc_instance.template, loc_library, loc_requirement,
+            loc_instance.channel, k_star=10,
+        ).solve("cost")
+        assert result.feasible
+        reqs = RequirementSet(reachability=loc_requirement)
+        report = validate(result.architecture, reqs, loc_instance.channel)
+        assert report.ok, report.violations[:3]
+        assert report.average_reachable >= loc_requirement.min_anchors
+
+    def test_dsod_objective_improves_distance(
+        self, loc_instance, loc_requirement, loc_library
+    ):
+        explorer = LocalizationExplorer(
+            loc_instance.template, loc_library, loc_requirement,
+            loc_instance.channel, k_star=10,
+        )
+        cost_r = explorer.solve("cost")
+        dsod_r = explorer.solve("dsod")
+        assert cost_r.feasible and dsod_r.feasible
+        assert (dsod_r.objective_terms["dsod"]
+                <= cost_r.objective_terms["dsod"] + 1e-6)
+        assert (cost_r.objective_terms["cost"]
+                <= dsod_r.objective_terms["cost"] + 1e-6)
+
+    def test_impossible_coverage_infeasible(self, loc_instance, loc_library):
+        requirement = ReachabilityRequirement(
+            test_points=loc_instance.test_points,
+            min_anchors=3,
+            min_rss_dbm=-20.0,  # absurdly strong signal demanded
+        )
+        result = LocalizationExplorer(
+            loc_instance.template, loc_library, requirement,
+            loc_instance.channel, k_star=10,
+        ).solve("cost")
+        assert not result.feasible
+
+    def test_more_anchors_required_means_more_nodes(
+        self, loc_instance, loc_library
+    ):
+        def run(n):
+            requirement = ReachabilityRequirement(
+                test_points=loc_instance.test_points,
+                min_anchors=n, min_rss_dbm=-80.0,
+            )
+            return LocalizationExplorer(
+                loc_instance.template, loc_library, requirement,
+                loc_instance.channel, k_star=12,
+            ).solve("cost")
+
+        few = run(2)
+        many = run(4)
+        assert few.feasible and many.feasible
+        assert (many.architecture.node_count
+                >= few.architecture.node_count)

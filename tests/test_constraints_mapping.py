@@ -1,0 +1,116 @@
+"""Tests for sizing (mapping) constraints."""
+
+import pytest
+
+from repro.constraints import MappingError, build_mapping
+from repro.geometry import Point
+from repro.library import Library, default_catalog, device
+from repro.milp import HighsSolver, Model, lin_sum
+from repro.network import NetworkNode, Template
+
+
+@pytest.fixture()
+def template():
+    nodes = [
+        NetworkNode(0, Point(0, 0), "sensor", fixed=True),
+        NetworkNode(1, Point(10, 0), "relay", fixed=False),
+        NetworkNode(2, Point(20, 0), "sink", fixed=True),
+    ]
+    return Template(nodes)
+
+
+class TestBuildMapping:
+    def test_one_device_per_used_node(self, template):
+        model = Model()
+        mapping = build_mapping(model, template, default_catalog())
+        model.minimize(mapping.cost_expr())
+        sol = HighsSolver().solve(model)
+        # Fixed nodes must carry exactly one device.
+        for node_id in (0, 2):
+            chosen = [
+                name for name, var in mapping.assign[node_id].items()
+                if sol.value_bool(var)
+            ]
+            assert len(chosen) == 1
+        # The optional relay is unused at zero cost.
+        assert not sol.value_bool(mapping.node_used[1])
+        assert not any(
+            sol.value_bool(v) for v in mapping.assign[1].values()
+        )
+
+    def test_role_compatibility_enforced(self, template):
+        model = Model()
+        mapping = build_mapping(model, template, default_catalog())
+        # Sensor node only offers sensor devices.
+        names = set(mapping.assign[0])
+        assert all("sensor" in n for n in names)
+
+    def test_fixed_node_without_device_raises(self, template):
+        lib = Library()
+        lib.add(device("r", ("relay",), cost=1.0))
+        with pytest.raises(MappingError):
+            build_mapping(Model(), template, lib)
+
+    def test_optional_node_without_device_is_unusable(self):
+        nodes = [NetworkNode(0, Point(0, 0), "relay", fixed=False)]
+        template = Template(nodes)
+        lib = Library()
+        lib.add(device("s", ("sensor",), cost=0.0))
+        model = Model()
+        mapping = build_mapping(model, template, lib)
+        model.maximize(mapping.node_used[0] + 0.0)
+        sol = HighsSolver().solve(model)
+        assert not sol.value_bool(mapping.node_used[0])
+
+    def test_cost_expr_counts_chosen_devices(self, template):
+        model = Model()
+        lib = default_catalog()
+        mapping = build_mapping(model, template, lib)
+        model.minimize(mapping.cost_expr())
+        sol = HighsSolver().solve(model)
+        # Min cost: free sensor + sink-std; relay unused.
+        assert sol.value(mapping.cost_expr()) == pytest.approx(
+            lib.by_name("sink-std").cost
+        )
+
+    def test_decode_sizing(self, template):
+        model = Model()
+        mapping = build_mapping(model, template, default_catalog())
+        model.minimize(mapping.cost_expr())
+        sol = HighsSolver().solve(model)
+        sizing = mapping.decode_sizing(sol)
+        assert set(sizing) == {0, 2}
+        assert sizing[0] == "sensor-std"
+        assert sizing[2] == "sink-std"
+
+
+class TestAttributeExpressions:
+    def test_tx_strength_expr(self, template):
+        model = Model()
+        lib = default_catalog()
+        mapping = build_mapping(model, template, lib)
+        # Force the relay to use the PA+antenna part.
+        m_var = mapping.assign[1]["relay-pa-ant"]
+        model.add(m_var >= 1)
+        model.add(mapping.node_used[1] >= 1)
+        model.minimize(lin_sum([]))
+        sol = HighsSolver().solve(model)
+        expected = lib.by_name("relay-pa-ant").effective_tx_dbm
+        assert sol.value(mapping.tx_strength_expr(1)) == pytest.approx(expected)
+        assert sol.value(mapping.rx_gain_expr(1)) == pytest.approx(5.0)
+
+    def test_zero_when_unused(self, template):
+        model = Model()
+        mapping = build_mapping(model, template, default_catalog())
+        model.minimize(mapping.cost_expr())
+        sol = HighsSolver().solve(model)
+        assert sol.value(mapping.tx_strength_expr(1)) == 0.0
+
+    def test_bounds_cover_all_devices(self, template):
+        model = Model()
+        lib = default_catalog()
+        mapping = build_mapping(model, template, lib)
+        lo, hi = mapping.tx_strength_bounds(1)
+        for dev in lib.for_role("relay"):
+            assert lo <= dev.effective_tx_dbm <= hi
+        assert lo <= 0.0  # the unused case

@@ -1,0 +1,74 @@
+"""Tests for the K* search procedure (Section 4.3)."""
+
+import pytest
+
+from repro.core import ArchitectureExplorer, kstar_search
+from repro.encoding import ApproximatePathEncoder
+from repro.library import default_catalog
+from repro.network import (
+    LinkQualityRequirement,
+    RequirementSet,
+    small_grid_template,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    instance = small_grid_template(nx=5, ny=3)
+    reqs = RequirementSet()
+    for s in instance.sensor_ids:
+        reqs.require_route(s, instance.sink_id, replicas=2, disjoint=True)
+    reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+    return instance, reqs
+
+
+def make_factory(problem):
+    instance, reqs = problem
+
+    def factory(k):
+        return ArchitectureExplorer(
+            instance.template, default_catalog(), reqs,
+            encoder=ApproximatePathEncoder(k_star=k),
+        )
+
+    return factory
+
+
+class TestKStarSearch:
+    def test_objective_non_increasing_along_ladder(self, problem):
+        result = kstar_search(make_factory(problem), ladder=(1, 3, 5, 10))
+        objectives = [t.objective for t in result.trials]
+        # Larger candidate pools can only help (weakly).
+        for earlier, later in zip(objectives, objectives[1:]):
+            assert later <= earlier + 1e-6
+
+    def test_best_is_minimum(self, problem):
+        result = kstar_search(make_factory(problem), ladder=(1, 3, 5))
+        assert result.best.objective == min(
+            t.objective for t in result.trials
+        )
+
+    def test_stops_on_no_improvement(self, problem):
+        # The tiny grid saturates early: the search must not run the
+        # whole ladder once the objective stops moving.
+        result = kstar_search(
+            make_factory(problem), ladder=(3, 5, 8, 10, 12, 15)
+        )
+        assert result.stop_reason == "no further improvement"
+        assert len(result.trials) < 6
+
+    def test_time_threshold_respected(self, problem):
+        result = kstar_search(
+            make_factory(problem), ladder=(1, 3, 5), time_threshold_s=0.0
+        )
+        assert result.stop_reason == "time threshold exceeded"
+        assert len(result.trials) == 1
+
+    def test_table_rows_shape(self, problem):
+        result = kstar_search(make_factory(problem), ladder=(1, 3))
+        rows = result.table_rows()
+        assert len(rows) == len(result.trials)
+        for k, objective, seconds in rows:
+            assert k in (1, 3)
+            assert objective > 0
+            assert seconds >= 0

@@ -1,0 +1,63 @@
+"""Tests for objective specifications."""
+
+import pytest
+
+from repro.core import ObjectiveSpec, parse_objective
+from repro.milp import LinExpr, Model
+
+
+class TestObjectiveSpec:
+    def test_single(self):
+        spec = ObjectiveSpec.single("cost")
+        assert spec.weights == {"cost": 1.0}
+        assert spec.terms == {"cost"}
+
+    def test_combine_with_scales(self):
+        spec = ObjectiveSpec.combine(
+            {"cost": 0.5, "energy": 0.5}, scales={"energy": 1000.0}
+        )
+        assert spec.terms == {"cost", "energy"}
+
+    def test_zero_weight_term_excluded(self):
+        spec = ObjectiveSpec.combine({"cost": 1.0, "energy": 0.0})
+        assert spec.terms == {"cost"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ObjectiveSpec(weights={})
+        with pytest.raises(ValueError):
+            ObjectiveSpec(weights={"cost": -1.0})
+        with pytest.raises(ValueError):
+            ObjectiveSpec(weights={"cost": 1.0}, scales={"cost": 0.0})
+
+    def test_build_combines_terms(self):
+        m = Model()
+        x, y = m.binary("x"), m.binary("y")
+        spec = ObjectiveSpec.combine(
+            {"a": 2.0, "b": 1.0}, scales={"b": 10.0}
+        )
+        expr = spec.build({"a": x + 0.0, "b": 5.0 * y})
+        assert expr.coeffs[x.index] == pytest.approx(2.0)
+        assert expr.coeffs[y.index] == pytest.approx(0.5)
+
+    def test_build_missing_term_raises(self):
+        spec = ObjectiveSpec.single("dsod")
+        with pytest.raises(KeyError, match="dsod"):
+            spec.build({"cost": LinExpr()})
+
+
+class TestParseObjective:
+    def test_string(self):
+        assert parse_objective("cost").weights == {"cost": 1.0}
+
+    def test_dict(self):
+        spec = parse_objective({"cost": 0.3, "energy": 0.7})
+        assert spec.weights == {"cost": 0.3, "energy": 0.7}
+
+    def test_passthrough(self):
+        spec = ObjectiveSpec.single("cost")
+        assert parse_objective(spec) is spec
+
+    def test_junk_rejected(self):
+        with pytest.raises(TypeError):
+            parse_objective(42)

@@ -1,0 +1,98 @@
+"""Tests for the epsilon-constraint Pareto sweep."""
+
+import pytest
+
+from repro.core import ArchitectureExplorer, explore_pareto
+from repro.core.pareto import ParetoFront, ParetoPoint
+from repro.core.results import SynthesisResult
+from repro.validation import validate
+
+
+@pytest.fixture(scope="module")
+def explorer(grid_instance, library):
+    from repro.network import (
+        LifetimeRequirement,
+        LinkQualityRequirement,
+        RequirementSet,
+    )
+
+    reqs = RequirementSet()
+    for s in grid_instance.sensor_ids:
+        reqs.require_route(s, grid_instance.sink_id, replicas=2,
+                           disjoint=True)
+    reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+    reqs.lifetime = LifetimeRequirement(years=5.0)
+    return ArchitectureExplorer(grid_instance.template, library, reqs)
+
+
+@pytest.fixture(scope="module")
+def front(explorer):
+    return explore_pareto(explorer, "cost", "energy", points=5)
+
+
+class TestExplorePareto:
+    def test_front_nonempty_and_sorted(self, front):
+        assert len(front.points) >= 2
+        primaries = [p.primary for p in front.points]
+        assert primaries == sorted(primaries)
+
+    def test_tradeoff_direction(self, front):
+        """Along the front, paying more dollars buys lower energy."""
+        cheapest = front.points[0]
+        priciest = front.points[-1]
+        assert cheapest.primary <= priciest.primary
+        assert cheapest.secondary >= priciest.secondary - 1e-6
+
+    def test_budgets_respected(self, front):
+        for point in front.points:
+            assert point.secondary <= point.secondary_budget * (1 + 1e-6)
+
+    def test_every_point_is_a_valid_design(self, front, explorer):
+        for point in front.points:
+            assert isinstance(point.result, SynthesisResult)
+            report = validate(
+                point.result.architecture, explorer.requirements
+            )
+            assert report.ok, report.violations
+
+    def test_extremes_bracket_the_singles(self, front, explorer):
+        cost_only = explorer.solve("cost")
+        energy_only = explorer.solve("energy")
+        assert front.points[0].primary == pytest.approx(
+            cost_only.objective_terms["cost"], rel=1e-6
+        )
+        # The tight-budget end reaches (near) the energy optimum.
+        assert front.points[-1].secondary <= (
+            energy_only.objective_terms["energy"] * 1.02 + 1e-6
+        )
+
+    def test_knee_is_on_the_front(self, front):
+        knee = front.knee()
+        assert knee in front.points
+
+    def test_parameter_validation(self, explorer):
+        with pytest.raises(ValueError):
+            explore_pareto(explorer, points=1)
+        with pytest.raises(ValueError):
+            explore_pareto(explorer, "cost", "cost")
+
+
+class TestKnee:
+    def test_small_fronts(self):
+        empty = ParetoFront("a", "b", [])
+        assert empty.knee() is None
+        single = ParetoFront("a", "b", [
+            ParetoPoint(1.0, 1.0, 1.0, None)
+        ])
+        assert single.knee() is single.points[0]
+
+    def test_picks_the_corner(self):
+        # An L-shaped front: the corner point is the knee.
+        points = [
+            ParetoPoint(0.0, 10.0, 0.0, None),
+            ParetoPoint(1.0, 1.0, 0.0, None),
+            ParetoPoint(10.0, 0.0, 0.0, None),
+        ]
+        front = ParetoFront("a", "b", points)
+        knee = front.knee()
+        assert knee.primary == 1.0 and knee.secondary == 1.0

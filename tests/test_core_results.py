@@ -1,0 +1,58 @@
+"""Tests for the synthesis-result container."""
+
+import pytest
+
+from repro.core.results import SynthesisResult
+from repro.library import default_catalog
+from repro.milp.model import ModelStats
+from repro.milp.solution import Solution, SolveStatus
+from repro.network import Architecture, small_grid_template
+
+STATS = ModelStats(num_vars=10, num_binary=5, num_constraints=20,
+                   num_nonzeros=40)
+
+
+def make_result(status=SolveStatus.OPTIMAL, with_arch=True):
+    instance = small_grid_template()
+    arch = None
+    if with_arch:
+        arch = Architecture(template=instance.template,
+                            library=default_catalog())
+        arch.sizing = {0: "sensor-std", 7: "sink-std"}
+    return SynthesisResult(
+        status=status,
+        architecture=arch,
+        solution=Solution(status=status, objective=80.0),
+        model_stats=STATS,
+        encode_seconds=0.5,
+        solve_seconds=1.5,
+        encoder_name="approximate",
+        metrics={"avg_lifetime_y": 9.876},
+    )
+
+
+class TestSynthesisResult:
+    def test_feasible_flags(self):
+        assert make_result().feasible
+        assert not make_result(SolveStatus.INFEASIBLE, with_arch=False).feasible
+
+    def test_objective_and_times(self):
+        result = make_result()
+        assert result.objective_value == 80.0
+        assert result.total_seconds == pytest.approx(2.0)
+
+    def test_summary_feasible(self):
+        text = make_result().summary()
+        assert "2 nodes" in text
+        assert "$80" in text
+        assert "avg_lifetime_y=9.88" in text
+        assert "10 vars" in text
+
+    def test_summary_infeasible(self):
+        text = make_result(SolveStatus.INFEASIBLE, with_arch=False).summary()
+        assert "infeasible" in text
+        assert "2.0s" in text
+
+    def test_summary_timeout(self):
+        text = make_result(SolveStatus.TIMEOUT, with_arch=False).summary()
+        assert "timeout" in text

@@ -1,0 +1,101 @@
+"""Dual-use synthesis: data-collection relays doubling as anchors.
+
+The richest requirement combination the framework supports in one MILP:
+routing with disjoint replicas + link quality + lifetime + localization
+coverage, where the coverage must be provided by the *relays* the routing
+places.
+"""
+
+import pytest
+
+from repro.core import ArchitectureExplorer
+from repro.geometry import grid_for_count
+from repro.library import default_catalog
+from repro.network import (
+    LifetimeRequirement,
+    LinkQualityRequirement,
+    ReachabilityRequirement,
+    RequirementSet,
+    small_grid_template,
+)
+from repro.validation import validate
+
+
+@pytest.fixture(scope="module")
+def dual_use():
+    instance = small_grid_template(nx=5, ny=4, spacing=9.0)
+    test_points = tuple(
+        grid_for_count(instance.plan.bounds, 12, margin=6.0)
+    )
+    reqs = RequirementSet()
+    for s in instance.sensor_ids:
+        reqs.require_route(s, instance.sink_id, replicas=2, disjoint=True)
+    reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+    reqs.lifetime = LifetimeRequirement(years=5.0)
+    reqs.reachability = ReachabilityRequirement(
+        test_points=test_points, min_anchors=2, min_rss_dbm=-78.0,
+        anchor_role="relay",
+    )
+    return instance, reqs
+
+
+class TestDualUseSynthesis:
+    def test_channel_required(self, dual_use, library):
+        instance, reqs = dual_use
+        explorer = ArchitectureExplorer(instance.template, library, reqs)
+        with pytest.raises(ValueError, match="channel"):
+            explorer.build("cost")
+
+    def test_all_requirements_hold_together(self, dual_use, library):
+        instance, reqs = dual_use
+        result = ArchitectureExplorer(
+            instance.template, library, reqs,
+            channel=instance.channel, reach_k_star=10,
+        ).solve("cost")
+        assert result.feasible
+        report = validate(result.architecture, reqs, instance.channel)
+        assert report.ok, report.violations[:5]
+        # Routing and coverage both satisfied by the same relay set.
+        assert report.average_reachable >= 2.0
+        assert report.min_lifetime_years >= 5.0
+
+    def test_coverage_requirement_costs_relays(self, dual_use, library):
+        """Adding the coverage requirement can only increase cost, and the
+        relay count covers both roles."""
+        instance, reqs = dual_use
+        routing_only = RequirementSet(
+            routes=reqs.routes,
+            link_quality=reqs.link_quality,
+            lifetime=reqs.lifetime,
+        )
+        base = ArchitectureExplorer(
+            instance.template, library, routing_only
+        ).solve("cost")
+        combined = ArchitectureExplorer(
+            instance.template, library, reqs,
+            channel=instance.channel, reach_k_star=10,
+        ).solve("cost")
+        assert base.feasible and combined.feasible
+        assert (combined.architecture.dollar_cost
+                >= base.architecture.dollar_cost - 1e-6)
+
+    def test_routing_relays_kept_in_decoded_design(self, dual_use, library):
+        """Relays that carry routes but serve no test point must survive
+        the anchor-filter during decoding."""
+        instance, reqs = dual_use
+        result = ArchitectureExplorer(
+            instance.template, library, reqs,
+            channel=instance.channel, reach_k_star=10,
+        ).solve("cost")
+        route_nodes = {
+            n for r in result.architecture.routes for n in r.nodes
+        }
+        assert route_nodes <= set(result.architecture.used_nodes)
+
+    def test_dsod_objective_available(self, dual_use, library):
+        instance, reqs = dual_use
+        built = ArchitectureExplorer(
+            instance.template, library, reqs,
+            channel=instance.channel, reach_k_star=10,
+        ).build("cost")
+        assert "dsod" in built.objective_exprs

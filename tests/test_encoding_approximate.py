@@ -1,0 +1,203 @@
+"""Tests for Algorithm 1 — the approximate path encoding."""
+
+import pytest
+
+from repro.encoding import (
+    ApproximatePathEncoder,
+    EncodingError,
+    budget_div,
+    generate_candidate_pool,
+)
+from repro.graph import are_link_disjoint, max_disjoint_subset
+from repro.milp import HighsSolver, Model
+from repro.network import RequirementSet, RouteRequirement, small_grid_template
+from repro.constraints.mapping import build_mapping
+from repro.library import default_catalog
+
+
+class TestBudgetDiv:
+    def test_paper_example(self):
+        k, n_rep = budget_div(10, 2)
+        assert n_rep == 2 and k == 5 and k * n_rep >= 10
+
+    def test_rounding_up(self):
+        k, n_rep = budget_div(10, 3)
+        assert k * n_rep >= 10
+
+    def test_single_replica(self):
+        assert budget_div(7, 1) == (7, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            budget_div(0, 1)
+        with pytest.raises(ValueError):
+            budget_div(5, 0)
+
+
+@pytest.fixture()
+def grid():
+    return small_grid_template(nx=4, ny=3)
+
+
+class TestCandidatePool:
+    def test_pool_paths_are_valid(self, grid):
+        req = RouteRequirement(grid.sensor_ids[0], grid.sink_id,
+                               replicas=2, disjoint=True)
+        pool = generate_candidate_pool(grid.template.graph, req, k_star=10)
+        for path in pool:
+            assert path.source == req.source
+            assert path.dest == req.dest
+            for u, v in path.edges:
+                assert grid.template.graph.has_edge(u, v)
+
+    def test_pool_has_disjoint_replicas(self, grid):
+        req = RouteRequirement(grid.sensor_ids[0], grid.sink_id,
+                               replicas=3, disjoint=True)
+        pool = generate_candidate_pool(grid.template.graph, req, k_star=9)
+        nodes = [p.nodes for p in pool]
+        assert len(max_disjoint_subset(nodes)) >= 3
+
+    def test_pool_deduplicated(self, grid):
+        req = RouteRequirement(grid.sensor_ids[0], grid.sink_id, replicas=2)
+        pool = generate_candidate_pool(grid.template.graph, req, k_star=10)
+        keys = [p.nodes for p in pool]
+        assert len(keys) == len(set(keys))
+
+    def test_masks_cleared_after_generation(self, grid):
+        req = RouteRequirement(grid.sensor_ids[0], grid.sink_id,
+                               replicas=2, disjoint=True)
+        generate_candidate_pool(grid.template.graph, req, k_star=10)
+        assert grid.template.graph.masked_edges == frozenset()
+
+    def test_first_candidate_is_min_loss(self, grid):
+        req = RouteRequirement(grid.sensor_ids[0], grid.sink_id, replicas=1,
+                               disjoint=False)
+        pool = generate_candidate_pool(grid.template.graph, req, k_star=5)
+        from repro.graph import shortest_path
+
+        _, best = shortest_path(grid.template.graph, req.source, req.dest)
+        assert pool[0].loss_db == pytest.approx(best)
+
+    def test_hop_bound_filters_pool(self, grid):
+        req = RouteRequirement(grid.sensor_ids[0], grid.sink_id,
+                               replicas=1, disjoint=False, max_hops=1)
+        pool = generate_candidate_pool(grid.template.graph, req, k_star=10)
+        assert all(p.hops == 1 for p in pool)
+
+    def test_impossible_requirement_raises(self, grid):
+        # More disjoint replicas than the source's out-degree.
+        out_degree = grid.template.graph.out_degree(grid.sensor_ids[0])
+        req = RouteRequirement(grid.sensor_ids[0], grid.sink_id,
+                               replicas=out_degree + 1, disjoint=True)
+        with pytest.raises(EncodingError, match="increase k_star"):
+            generate_candidate_pool(
+                grid.template.graph, req, k_star=out_degree + 1
+            )
+
+
+class TestEncoder:
+    def _encode(self, grid, routes, k_star=5):
+        model = Model()
+        mapping = build_mapping(model, grid.template, default_catalog())
+        encoder = ApproximatePathEncoder(k_star=k_star)
+        encoding = encoder.encode(
+            model, grid.template, routes, mapping.node_used
+        )
+        return model, mapping, encoding
+
+    def test_only_pool_edges_encoded(self, grid):
+        routes = [RouteRequirement(grid.sensor_ids[0], grid.sink_id,
+                                   replicas=2, disjoint=True)]
+        _, _, encoding = self._encode(grid, routes)
+        assert 0 < len(encoding.edge_active) < grid.template.edge_count
+
+    def test_path_var_count_below_full(self, grid):
+        routes = [
+            RouteRequirement(s, grid.sink_id, replicas=2, disjoint=True)
+            for s in grid.sensor_ids
+        ]
+        _, _, encoding = self._encode(grid, routes, k_star=5)
+        full_vars = len(routes) * 2 * grid.template.edge_count
+        assert encoding.path_var_count < full_vars / 5
+
+    def test_solution_decodes_to_disjoint_routes(self, grid):
+        routes = [RouteRequirement(grid.sensor_ids[0], grid.sink_id,
+                                   replicas=2, disjoint=True)]
+        model, mapping, encoding = self._encode(grid, routes)
+        model.minimize(mapping.cost_expr())
+        solution = HighsSolver().solve(model)
+        assert solution.status.has_solution
+        decoded = encoding.decode(solution)
+        assert len(decoded) == 2
+        assert are_link_disjoint(decoded[0].nodes, decoded[1].nodes)
+
+    def test_active_edges_match_decoded_routes(self, grid):
+        routes = [RouteRequirement(s, grid.sink_id, replicas=1,
+                                   disjoint=False)
+                  for s in grid.sensor_ids]
+        model, mapping, encoding = self._encode(grid, routes)
+        model.minimize(mapping.cost_expr())
+        solution = HighsSolver().solve(model)
+        decoded = encoding.decode(solution)
+        used_edges = {e for r in decoded for e in r.edges}
+        active = {
+            e for e, var in encoding.edge_active.items()
+            if solution.value_bool(var)
+        }
+        assert active == used_edges
+
+    def test_used_nodes_cover_route_nodes(self, grid):
+        routes = [RouteRequirement(grid.sensor_ids[0], grid.sink_id,
+                                   replicas=2, disjoint=True)]
+        model, mapping, encoding = self._encode(grid, routes)
+        model.minimize(mapping.cost_expr())
+        solution = HighsSolver().solve(model)
+        for route in encoding.decode(solution):
+            for node in route.nodes:
+                assert solution.value_bool(mapping.node_used[node])
+
+    def test_invalid_k_star(self):
+        with pytest.raises(ValueError):
+            ApproximatePathEncoder(k_star=0)
+
+    def test_degree_sparsification_preserves_feasibility(self, grid):
+        routes = [RouteRequirement(s, grid.sink_id, replicas=2,
+                                   disjoint=True)
+                  for s in grid.sensor_ids]
+        model = Model()
+        mapping = build_mapping(model, grid.template, default_catalog())
+        encoding = ApproximatePathEncoder(
+            k_star=5, max_out_degree=3
+        ).encode(model, grid.template, routes, mapping.node_used)
+        model.minimize(mapping.cost_expr())
+        solution = HighsSolver().solve(model)
+        assert solution.status.has_solution
+        decoded = encoding.decode(solution)
+        assert len(decoded) == 2 * len(routes)
+
+    def test_degree_one_falls_back_to_full_graph(self, grid):
+        """Out-degree 1 cannot supply two disjoint replicas on the
+        sparsified graph; the encoder must fall back transparently."""
+        routes = [RouteRequirement(grid.sensor_ids[0], grid.sink_id,
+                                   replicas=2, disjoint=True)]
+        model = Model()
+        mapping = build_mapping(model, grid.template, default_catalog())
+        encoding = ApproximatePathEncoder(
+            k_star=5, max_out_degree=1
+        ).encode(model, grid.template, routes, mapping.node_used)
+        assert encoding.path_var_count >= 2
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(ValueError):
+            ApproximatePathEncoder(k_star=5, max_out_degree=0)
+
+    def test_path_loss_prefilter(self, grid):
+        routes = [RouteRequirement(grid.sensor_ids[0], grid.sink_id,
+                                   replicas=1, disjoint=False)]
+        encoder = ApproximatePathEncoder(k_star=3, max_path_loss_db=75.0)
+        model = Model()
+        mapping = build_mapping(model, grid.template, default_catalog())
+        encoding = encoder.encode(model, grid.template, routes,
+                                  mapping.node_used)
+        for u, v in encoding.edge_active:
+            assert grid.template.path_loss(u, v) <= 75.0

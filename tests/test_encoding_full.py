@@ -1,0 +1,125 @@
+"""Tests for the exhaustive path encoding (constraints (1a)-(1e))."""
+
+import pytest
+
+from repro.constraints.mapping import build_mapping
+from repro.encoding import ApproximatePathEncoder, FullPathEncoder
+from repro.graph import are_link_disjoint
+from repro.library import default_catalog
+from repro.milp import HighsSolver, Model
+from repro.network import RouteRequirement, small_grid_template
+
+
+@pytest.fixture()
+def grid():
+    return small_grid_template(nx=4, ny=3)
+
+
+def encode_and_solve(grid, routes, objective="cost"):
+    model = Model()
+    mapping = build_mapping(model, grid.template, default_catalog())
+    encoding = FullPathEncoder().encode(
+        model, grid.template, routes, mapping.node_used
+    )
+    model.minimize(mapping.cost_expr())
+    solution = HighsSolver().solve(model)
+    return model, mapping, encoding, solution
+
+
+class TestFullEncoder:
+    def test_every_template_edge_has_vars(self, grid):
+        routes = [RouteRequirement(grid.sensor_ids[0], grid.sink_id)]
+        model = Model()
+        mapping = build_mapping(model, grid.template, default_catalog())
+        encoding = FullPathEncoder().encode(
+            model, grid.template, routes, mapping.node_used
+        )
+        assert len(encoding.edge_active) == grid.template.edge_count
+        assert encoding.path_var_count == grid.template.edge_count
+
+    def test_decodes_valid_path(self, grid):
+        routes = [RouteRequirement(grid.sensor_ids[0], grid.sink_id)]
+        _, _, encoding, solution = encode_and_solve(grid, routes)
+        assert solution.status.has_solution
+        (route,) = encoding.decode(solution)
+        assert route.nodes[0] == grid.sensor_ids[0]
+        assert route.nodes[-1] == grid.sink_id
+        assert len(set(route.nodes)) == len(route.nodes)
+
+    def test_disjoint_replicas(self, grid):
+        routes = [RouteRequirement(grid.sensor_ids[0], grid.sink_id,
+                                   replicas=2, disjoint=True)]
+        _, _, encoding, solution = encode_and_solve(grid, routes)
+        a, b = encoding.decode(solution)
+        assert are_link_disjoint(a.nodes, b.nodes)
+
+    def test_exact_hops(self, grid):
+        routes = [RouteRequirement(grid.sensor_ids[0], grid.sink_id,
+                                   exact_hops=2)]
+        _, _, encoding, solution = encode_and_solve(grid, routes)
+        (route,) = encoding.decode(solution)
+        assert route.hops == 2
+
+    def test_max_hops(self, grid):
+        routes = [RouteRequirement(grid.sensor_ids[0], grid.sink_id,
+                                   max_hops=1)]
+        _, _, encoding, solution = encode_and_solve(grid, routes)
+        (route,) = encoding.decode(solution)
+        assert route.hops == 1
+
+    def test_min_hops(self, grid):
+        routes = [RouteRequirement(grid.sensor_ids[0], grid.sink_id,
+                                   min_hops=3, disjoint=False)]
+        _, _, encoding, solution = encode_and_solve(grid, routes)
+        (route,) = encoding.decode(solution)
+        assert route.hops >= 3
+
+    def test_infeasible_when_no_path_possible(self, grid):
+        # 0 hops demanded between distinct nodes is impossible.
+        routes = [RouteRequirement(grid.sensor_ids[0], grid.sink_id,
+                                   exact_hops=0)]
+        _, _, _, solution = encode_and_solve(grid, routes)
+        assert not solution.status.has_solution
+
+
+class TestAgreementWithApproximate:
+    """With a generous K* both encodings must reach the same optimum."""
+
+    @pytest.mark.parametrize("replicas,disjoint", [(1, False), (2, True)])
+    def test_same_optimal_cost(self, grid, replicas, disjoint):
+        routes = [
+            RouteRequirement(s, grid.sink_id, replicas=replicas,
+                             disjoint=disjoint)
+            for s in grid.sensor_ids[:2]
+        ]
+
+        def solve(encoder):
+            model = Model()
+            mapping = build_mapping(model, grid.template, default_catalog())
+            encoder.encode(model, grid.template, routes, mapping.node_used)
+            model.minimize(mapping.cost_expr())
+            return HighsSolver().solve(model)
+
+        full = solve(FullPathEncoder())
+        approx = solve(ApproximatePathEncoder(k_star=40))
+        assert full.status.has_solution and approx.status.has_solution
+        assert approx.objective == pytest.approx(full.objective, abs=1e-6)
+
+    def test_approx_never_better_than_full(self, grid):
+        """The approximation is a restriction: its optimum cannot beat
+        the exhaustive one."""
+        routes = [
+            RouteRequirement(s, grid.sink_id, replicas=2, disjoint=True)
+            for s in grid.sensor_ids
+        ]
+
+        def solve(encoder):
+            model = Model()
+            mapping = build_mapping(model, grid.template, default_catalog())
+            encoder.encode(model, grid.template, routes, mapping.node_used)
+            model.minimize(mapping.cost_expr())
+            return HighsSolver().solve(model)
+
+        full = solve(FullPathEncoder())
+        approx = solve(ApproximatePathEncoder(k_star=2))
+        assert approx.objective >= full.objective - 1e-6

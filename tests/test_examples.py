@@ -1,0 +1,91 @@
+"""Smoke tests: every example script runs end to end.
+
+The domain-specific examples accept size arguments, so the tests run them
+at reduced scale to stay fast; the assertions check they exit cleanly and
+print their headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 600.0):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart(tmp_path):
+    out = run_example("quickstart.py")
+    assert "validation: OK" in out
+    assert "delivery ratio 1.000" in out
+
+
+def test_spec_language():
+    out = run_example("spec_language.py")
+    assert "validation: OK" in out
+    assert "route 0->" in out
+
+
+def test_simulation_validation():
+    out = run_example("simulation_validation.py")
+    assert "delivery 1.000" in out
+    assert "-year bound" in out
+
+
+def test_dual_use_network():
+    out = run_example("dual_use_network.py")
+    assert "all hold" in out
+    assert "localization duty costs" in out
+
+
+def test_pareto_tradeoff():
+    out = run_example("pareto_tradeoff.py")
+    assert "knee operating point" in out
+    assert "front spans" in out
+
+
+def test_resiliency_and_protocols():
+    out = run_example("resiliency_and_protocols.py")
+    assert "single-fault analysis" in out
+    assert "survives any single link failure: True" in out
+    assert "idle listening dominates CSMA" in out
+
+
+@pytest.mark.slow
+def test_data_collection_reduced(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    out = run_example(
+        "data_collection.py", "--sensors", "8", "--relays", "24",
+        "--k", "6", "--time-limit", "60",
+    )
+    assert "$ + energy" in out
+    assert (tmp_path / "figure1a_template.svg").exists()
+    assert (tmp_path / "figure1b_topology.svg").exists()
+
+
+@pytest.mark.slow
+def test_localization_reduced(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    out = run_example(
+        "localization.py", "--anchors", "40", "--points", "25", "--k", "15",
+    )
+    assert "$ + DSOD" in out
+    assert (tmp_path / "figure1c_anchors.svg").exists()
+
+
+@pytest.mark.slow
+def test_kstar_tradeoff_reduced():
+    out = run_example(
+        "kstar_tradeoff.py", "--nodes", "25", "--devices", "6",
+        "--full-time-limit", "60",
+    )
+    assert "automatic search picked K*" in out

@@ -1,0 +1,93 @@
+"""Unit tests for floor plans and wall attenuation."""
+
+import pytest
+
+from repro.geometry import (
+    MATERIAL_LOSS_DB,
+    FloorPlan,
+    Point,
+    Rectangle,
+    Wall,
+    Segment,
+    office_floorplan,
+    open_floorplan,
+)
+
+
+@pytest.fixture()
+def plan():
+    p = FloorPlan(Rectangle(0, 0, 10, 10))
+    p.add_wall(Point(5, 0), Point(5, 10), material="concrete")
+    p.add_wall(Point(0, 5), Point(10, 5), material="drywall")
+    return p
+
+
+class TestWall:
+    def test_material_attenuation(self):
+        wall = Wall(Segment(Point(0, 0), Point(1, 0)), "brick")
+        assert wall.attenuation_db() == MATERIAL_LOSS_DB["brick"]
+
+    def test_explicit_loss_overrides_material(self):
+        wall = Wall(Segment(Point(0, 0), Point(1, 0)), "brick", loss_db=9.5)
+        assert wall.attenuation_db() == 9.5
+
+    def test_unknown_material_raises(self):
+        wall = Wall(Segment(Point(0, 0), Point(1, 0)), "plasma")
+        with pytest.raises(ValueError, match="plasma"):
+            wall.attenuation_db()
+
+
+class TestFloorPlan:
+    def test_walls_crossed_counts_both(self, plan):
+        crossed = plan.walls_crossed(Point(1, 1), Point(9, 9))
+        assert len(crossed) == 2
+
+    def test_walls_crossed_none_within_room(self, plan):
+        assert plan.walls_crossed(Point(1, 1), Point(4, 4)) == []
+
+    def test_attenuation_sums_materials(self, plan):
+        total = plan.wall_attenuation_db(Point(1, 1), Point(9, 9))
+        expected = MATERIAL_LOSS_DB["concrete"] + MATERIAL_LOSS_DB["drywall"]
+        assert total == pytest.approx(expected)
+
+    def test_parallel_ray_does_not_cross(self, plan):
+        # A ray along y=2 parallel to the horizontal wall at y=5.
+        assert plan.wall_attenuation_db(Point(1, 2), Point(4, 2)) == 0.0
+
+    def test_contains(self, plan):
+        assert plan.contains(Point(5, 5))
+        assert not plan.contains(Point(11, 5))
+
+
+class TestOfficeFloorplan:
+    def test_default_dimensions_match_paper(self):
+        plan = office_floorplan()
+        assert plan.bounds.width == 80.0
+        assert plan.bounds.height == 45.0
+
+    def test_has_corridor_walls_and_partitions(self):
+        plan = office_floorplan(rooms_x=8, rooms_y=2)
+        # 2 corridor walls + 7 vertical partitions per band + 2 extra
+        # horizontal sub-divisions.
+        assert len(plan.walls) == 2 + 2 * 7 + 2
+
+    def test_cross_building_ray_hits_many_walls(self):
+        plan = office_floorplan()
+        crossed = plan.walls_crossed(Point(1, 1), Point(79, 44))
+        assert len(crossed) >= 4
+
+    def test_corridor_is_clear(self):
+        plan = office_floorplan(corridor_height=5.0)
+        # The corridor centreline runs at y = 22.5 for the default floor.
+        assert plan.wall_attenuation_db(Point(1, 22.5), Point(79, 22.5)) == 0.0
+
+    def test_invalid_room_count_raises(self):
+        with pytest.raises(ValueError):
+            office_floorplan(rooms_x=0)
+
+
+class TestOpenFloorplan:
+    def test_no_walls(self):
+        plan = open_floorplan(30, 20)
+        assert plan.walls == []
+        assert plan.wall_attenuation_db(Point(0, 0), Point(30, 20)) == 0.0

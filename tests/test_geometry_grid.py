@@ -1,0 +1,82 @@
+"""Tests for candidate-location generators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Rectangle,
+    grid_for_count,
+    grid_locations,
+    open_floorplan,
+    scattered_locations,
+)
+
+BOUNDS = Rectangle(0, 0, 40, 20)
+
+
+class TestGridLocations:
+    def test_count(self):
+        assert len(grid_locations(BOUNDS, 5, 3)) == 15
+
+    def test_margin_respected(self):
+        for pt in grid_locations(BOUNDS, 4, 4, margin=3.0):
+            assert 3.0 <= pt.x <= 37.0
+            assert 3.0 <= pt.y <= 17.0
+
+    def test_single_point_centred(self):
+        (pt,) = grid_locations(BOUNDS, 1, 1, margin=2.0)
+        assert pt.x == pytest.approx(20.0)
+        assert pt.y == pytest.approx(10.0)
+
+    def test_row_major_order(self):
+        pts = grid_locations(BOUNDS, 3, 2, margin=0.0)
+        assert pts[0].y == pts[1].y == pts[2].y
+        assert pts[0].x < pts[1].x < pts[2].x
+        assert pts[3].y > pts[0].y
+
+    def test_invalid_counts_raise(self):
+        with pytest.raises(ValueError):
+            grid_locations(BOUNDS, 0, 3)
+
+    def test_margin_too_large_raises(self):
+        with pytest.raises(ValueError):
+            grid_locations(BOUNDS, 2, 2, margin=15.0)
+
+    def test_all_points_distinct(self):
+        pts = grid_locations(BOUNDS, 6, 4)
+        assert len(set(pts)) == 24
+
+
+class TestGridForCount:
+    @given(st.integers(min_value=1, max_value=300))
+    def test_exact_count(self, count):
+        assert len(grid_for_count(BOUNDS, count)) == count
+
+    def test_points_inside_bounds(self):
+        for pt in grid_for_count(BOUNDS, 50):
+            assert BOUNDS.contains(pt)
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            grid_for_count(BOUNDS, 0)
+
+
+class TestScatteredLocations:
+    def test_deterministic_per_seed(self):
+        plan = open_floorplan(40, 20)
+        a = scattered_locations(plan, 20, seed=5)
+        b = scattered_locations(plan, 20, seed=5)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        plan = open_floorplan(40, 20)
+        assert scattered_locations(plan, 20, seed=1) != scattered_locations(
+            plan, 20, seed=2
+        )
+
+    def test_points_inside_margin(self):
+        plan = open_floorplan(40, 20)
+        for pt in scattered_locations(plan, 100, seed=0, margin=1.0):
+            assert 1.0 <= pt.x <= 39.0
+            assert 1.0 <= pt.y <= 19.0

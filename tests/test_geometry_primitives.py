@@ -1,0 +1,114 @@
+"""Unit tests for geometric primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rectangle, Segment
+
+coords = st.floats(min_value=-100.0, max_value=100.0,
+                   allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(1.5, -2.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -3) == Point(3, -2)
+
+    def test_as_tuple(self):
+        assert Point(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    def test_points_are_hashable(self):
+        assert len({Point(0, 0), Point(0, 0), Point(1, 0)}) == 2
+
+    @given(points, points)
+    def test_distance_symmetric(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9
+
+
+class TestSegment:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(0, 5)).length == pytest.approx(5.0)
+
+    def test_crossing_segments_intersect(self):
+        s1 = Segment(Point(0, 0), Point(2, 2))
+        s2 = Segment(Point(0, 2), Point(2, 0))
+        assert s1.intersects(s2)
+
+    def test_parallel_segments_do_not_intersect(self):
+        s1 = Segment(Point(0, 0), Point(2, 0))
+        s2 = Segment(Point(0, 1), Point(2, 1))
+        assert not s1.intersects(s2)
+
+    def test_touching_at_endpoint_intersects(self):
+        s1 = Segment(Point(0, 0), Point(1, 1))
+        s2 = Segment(Point(1, 1), Point(2, 0))
+        assert s1.intersects(s2)
+
+    def test_collinear_overlapping_intersect(self):
+        s1 = Segment(Point(0, 0), Point(2, 0))
+        s2 = Segment(Point(1, 0), Point(3, 0))
+        assert s1.intersects(s2)
+
+    def test_collinear_disjoint_do_not_intersect(self):
+        s1 = Segment(Point(0, 0), Point(1, 0))
+        s2 = Segment(Point(2, 0), Point(3, 0))
+        assert not s1.intersects(s2)
+
+    def test_t_junction_intersects(self):
+        wall = Segment(Point(0, 0), Point(4, 0))
+        ray = Segment(Point(2, -1), Point(2, 1))
+        assert wall.intersects(ray)
+
+    @given(points, points, points, points)
+    def test_intersection_is_symmetric(self, a, b, c, d):
+        s1, s2 = Segment(a, b), Segment(c, d)
+        assert s1.intersects(s2) == s2.intersects(s1)
+
+    def test_midpoint(self):
+        s = Segment(Point(0, 0), Point(4, 2))
+        assert s.midpoint() == Point(2, 1)
+
+
+class TestRectangle:
+    def test_dimensions(self):
+        r = Rectangle(1, 2, 4, 6)
+        assert r.width == 3 and r.height == 4 and r.area == 12
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Rectangle(2, 0, 1, 5)
+
+    def test_contains_interior_and_boundary(self):
+        r = Rectangle(0, 0, 2, 2)
+        assert r.contains(Point(1, 1))
+        assert r.contains(Point(0, 0))
+        assert r.contains(Point(2, 2))
+        assert not r.contains(Point(3, 1))
+
+    def test_edges_form_closed_loop(self):
+        r = Rectangle(0, 0, 2, 3)
+        edges = list(r.edges())
+        assert len(edges) == 4
+        for first, second in zip(edges, edges[1:] + edges[:1]):
+            assert first.end == second.start
+
+    def test_edge_lengths_match_perimeter(self):
+        r = Rectangle(0, 0, 3, 4)
+        assert sum(e.length for e in r.edges()) == pytest.approx(14.0)

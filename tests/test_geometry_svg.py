@@ -1,0 +1,80 @@
+"""Round-trip and content tests for SVG import/export."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.geometry import (
+    FloorPlan,
+    Point,
+    Rectangle,
+    SvgMarker,
+    floorplan_from_svg,
+    floorplan_to_svg,
+    office_floorplan,
+)
+
+
+@pytest.fixture()
+def plan():
+    p = FloorPlan(Rectangle(0, 0, 20, 10), name="test-floor")
+    p.add_wall(Point(10, 0), Point(10, 10), material="concrete")
+    p.add_wall(Point(0, 5), Point(20, 5), material="glass", loss_db=1.5)
+    return p
+
+
+class TestExport:
+    def test_is_valid_xml(self, plan):
+        root = ET.fromstring(floorplan_to_svg(plan))
+        assert root.tag.endswith("svg")
+
+    def test_walls_exported_with_metadata(self, plan):
+        root = ET.fromstring(floorplan_to_svg(plan))
+        lines = [el for el in root.iter() if el.tag.endswith("line")]
+        assert len(lines) == 2
+        materials = {line.get("data-material") for line in lines}
+        assert materials == {"concrete", "glass"}
+
+    def test_markers_and_links_rendered(self, plan):
+        markers = [SvgMarker(Point(2, 2), "sensor", "s0"),
+                   SvgMarker(Point(18, 8), "sink")]
+        links = [(Point(2, 2), Point(18, 8))]
+        root = ET.fromstring(floorplan_to_svg(plan, markers, links))
+        circles = [el for el in root.iter() if el.tag.endswith("circle")]
+        assert len(circles) == 2
+        link_lines = [el for el in root.iter()
+                      if el.tag.endswith("line") and el.get("class") == "link"]
+        assert len(link_lines) == 1
+
+
+class TestRoundTrip:
+    def test_wall_count_preserved(self, plan):
+        restored = floorplan_from_svg(floorplan_to_svg(plan))
+        assert len(restored.walls) == len(plan.walls)
+
+    def test_bounds_preserved(self, plan):
+        restored = floorplan_from_svg(floorplan_to_svg(plan))
+        assert restored.bounds.width == pytest.approx(plan.bounds.width)
+        assert restored.bounds.height == pytest.approx(plan.bounds.height)
+
+    def test_explicit_loss_preserved(self, plan):
+        restored = floorplan_from_svg(floorplan_to_svg(plan))
+        losses = sorted(w.attenuation_db() for w in restored.walls)
+        assert losses == sorted(w.attenuation_db() for w in plan.walls)
+
+    def test_attenuation_queries_equivalent(self, plan):
+        restored = floorplan_from_svg(floorplan_to_svg(plan))
+        for a, b in [(Point(1, 1), Point(19, 9)), (Point(1, 1), Point(9, 4))]:
+            assert restored.wall_attenuation_db(a, b) == pytest.approx(
+                plan.wall_attenuation_db(a, b)
+            )
+
+    def test_office_plan_roundtrip(self):
+        plan = office_floorplan()
+        restored = floorplan_from_svg(floorplan_to_svg(plan))
+        assert len(restored.walls) == len(plan.walls)
+
+    def test_links_not_reimported_as_walls(self, plan):
+        text = floorplan_to_svg(plan, links=[(Point(0, 0), Point(20, 10))])
+        restored = floorplan_from_svg(text)
+        assert len(restored.walls) == len(plan.walls)

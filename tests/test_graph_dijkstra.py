@@ -1,0 +1,137 @@
+"""Dijkstra tests, including a cross-check against networkx."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DiGraph, NoPathError, shortest_path, shortest_path_tree
+
+
+def diamond() -> DiGraph:
+    g = DiGraph()
+    for u, v, w in [("s", "a", 1), ("s", "b", 4), ("a", "b", 1),
+                    ("a", "t", 5), ("b", "t", 1)]:
+        g.add_edge(u, v, w)
+    return g
+
+
+class TestShortestPath:
+    def test_finds_min_cost_path(self):
+        path, cost = shortest_path(diamond(), "s", "t")
+        assert path == ["s", "a", "b", "t"]
+        assert cost == 3.0
+
+    def test_source_equals_target(self):
+        path, cost = shortest_path(diamond(), "s", "s")
+        assert path == ["s"] and cost == 0.0
+
+    def test_unreachable_raises(self):
+        g = diamond()
+        g.add_node("island")
+        with pytest.raises(NoPathError):
+            shortest_path(g, "s", "island")
+
+    def test_missing_endpoint_raises(self):
+        with pytest.raises(KeyError):
+            shortest_path(diamond(), "s", "nope")
+
+    def test_banned_node_forces_detour(self):
+        path, cost = shortest_path(diamond(), "s", "t",
+                                   banned_nodes={"a"})
+        assert path == ["s", "b", "t"]
+        assert cost == 5.0
+
+    def test_banned_edge_forces_detour(self):
+        path, _ = shortest_path(diamond(), "s", "t",
+                                banned_edges={("a", "b")})
+        assert "b" not in path or path.index("b") == 1
+
+    def test_banned_endpoint_raises(self):
+        with pytest.raises(NoPathError):
+            shortest_path(diamond(), "s", "t", banned_nodes={"t"})
+
+    def test_masked_edges_ignored(self):
+        g = diamond()
+        g.mask_edge("a", "b")
+        path, cost = shortest_path(g, "s", "t")
+        assert cost == 5.0
+
+    def test_zero_weight_edges(self):
+        g = DiGraph()
+        g.add_edge("s", "a", 0.0)
+        g.add_edge("a", "t", 0.0)
+        path, cost = shortest_path(g, "s", "t")
+        assert cost == 0.0
+
+
+class TestShortestPathTree:
+    def test_distances(self):
+        dist = shortest_path_tree(diamond(), "s")
+        assert dist == {"s": 0.0, "a": 1.0, "b": 2.0, "t": 3.0}
+
+    def test_unreachable_absent(self):
+        g = diamond()
+        g.add_node("island")
+        assert "island" not in shortest_path_tree(g, "s")
+
+
+@st.composite
+def random_digraphs(draw):
+    """Random weighted digraphs, returned as edge lists."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.floats(0.1, 10.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    return n, [(u, v, w) for u, v, w in edges if u != v]
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_digraphs())
+def test_matches_networkx(data):
+    n, edges = data
+    ours = DiGraph()
+    theirs = nx.DiGraph()
+    for node in range(n):
+        ours.add_node(node)
+        theirs.add_node(node)
+    for u, v, w in edges:
+        ours.add_edge(u, v, w)
+        theirs.add_edge(u, v, weight=w)
+    try:
+        expected = nx.shortest_path_length(theirs, 0, n - 1, weight="weight")
+    except nx.NetworkXNoPath:
+        with pytest.raises(NoPathError):
+            shortest_path(ours, 0, n - 1)
+        return
+    _, cost = shortest_path(ours, 0, n - 1)
+    assert cost == pytest.approx(expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_digraphs())
+def test_tree_matches_networkx(data):
+    n, edges = data
+    ours = DiGraph()
+    theirs = nx.DiGraph()
+    for node in range(n):
+        ours.add_node(node)
+        theirs.add_node(node)
+    for u, v, w in edges:
+        ours.add_edge(u, v, w)
+        theirs.add_edge(u, v, weight=w)
+    expected = nx.single_source_dijkstra_path_length(theirs, 0)
+    ours_dist = shortest_path_tree(ours, 0)
+    assert set(ours_dist) == set(expected)
+    for node, dist in expected.items():
+        assert ours_dist[node] == pytest.approx(dist)

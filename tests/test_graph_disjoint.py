@@ -1,0 +1,102 @@
+"""Tests for path-disjointness utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    are_link_disjoint,
+    edges_shared,
+    max_disjoint_subset,
+    minimally_disjoint_path,
+    path_edges,
+)
+
+
+class TestPathEdges:
+    def test_edges(self):
+        assert path_edges([1, 2, 3]) == [(1, 2), (2, 3)]
+
+    def test_single_node_has_no_edges(self):
+        assert path_edges([7]) == []
+
+
+class TestSharedEdges:
+    def test_counts_shared_directed_edges(self):
+        assert edges_shared([1, 2, 3, 4], [0, 2, 3, 5]) == 1
+
+    def test_direction_matters(self):
+        assert edges_shared([1, 2], [2, 1]) == 0
+
+    def test_disjointness(self):
+        assert are_link_disjoint([1, 2, 3], [1, 4, 3])
+        assert not are_link_disjoint([1, 2, 3], [5, 1, 2])
+
+
+class TestMinimallyDisjoint:
+    def test_picks_most_overlapping(self):
+        pool = [
+            [1, 2, 3, 9],   # shares (1,2) with p2, (2,3) with p3 -> overlap 2
+            [1, 2, 5, 9],   # shares (1,2) -> overlap 1
+            [0, 2, 3, 9],   # shares (2,3) -> overlap 1
+        ]
+        assert minimally_disjoint_path(pool) == 0
+
+    def test_tie_breaks_to_earliest(self):
+        pool = [[1, 2, 3], [1, 2, 4], [5, 6, 7]]
+        assert minimally_disjoint_path(pool) == 0
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(ValueError):
+            minimally_disjoint_path([])
+
+    def test_all_disjoint_returns_first(self):
+        assert minimally_disjoint_path([[1, 2], [3, 4], [5, 6]]) == 0
+
+
+class TestMaxDisjointSubset:
+    def test_greedy_selection(self):
+        pool = [[1, 2, 3], [1, 2, 4], [5, 2, 6], [7, 8, 9]]
+        chosen = max_disjoint_subset(pool)
+        assert 0 in chosen and 3 in chosen
+        assert 1 not in chosen  # shares (1,2) with pool[0]
+
+    def test_selected_are_pairwise_disjoint(self):
+        pool = [[1, 2, 3], [3, 2, 1], [1, 4, 3], [1, 2, 5]]
+        chosen = max_disjoint_subset(pool)
+        for i_pos, i in enumerate(chosen):
+            for j in chosen[i_pos + 1:]:
+                assert are_link_disjoint(pool[i], pool[j])
+
+    def test_empty_pool(self):
+        assert max_disjoint_subset([]) == []
+
+
+paths_strategy = st.lists(
+    st.lists(st.integers(0, 8), min_size=2, max_size=5, unique=True),
+    min_size=1, max_size=8,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(paths_strategy)
+def test_max_disjoint_subset_invariants(pool):
+    chosen = max_disjoint_subset(pool)
+    # Indices valid and strictly increasing (greedy in order).
+    assert chosen == sorted(set(chosen))
+    for i_pos, i in enumerate(chosen):
+        for j in chosen[i_pos + 1:]:
+            assert are_link_disjoint(pool[i], pool[j])
+    # Greedy always takes the first path.
+    assert chosen and chosen[0] == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(paths_strategy)
+def test_minimally_disjoint_is_argmax(pool):
+    idx = minimally_disjoint_path(pool)
+    overlaps = [
+        sum(edges_shared(p, q) for j, q in enumerate(pool) if j != i)
+        for i, p in enumerate(pool)
+    ]
+    assert overlaps[idx] == max(overlaps)

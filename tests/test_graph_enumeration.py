@@ -1,0 +1,99 @@
+"""Tests for exhaustive simple-path enumeration."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DiGraph, all_simple_paths, count_simple_paths
+
+
+def grid3() -> DiGraph:
+    """A 3x3 directed grid (right/up moves only)."""
+    g = DiGraph()
+    for x in range(3):
+        for y in range(3):
+            if x < 2:
+                g.add_edge((x, y), (x + 1, y), 1.0)
+            if y < 2:
+                g.add_edge((x, y), (x, y + 1), 1.0)
+    return g
+
+
+class TestAllSimplePaths:
+    def test_count_on_grid(self):
+        # Monotone lattice paths in a 2x2 step grid: C(4, 2) = 6.
+        paths = list(all_simple_paths(grid3(), (0, 0), (2, 2)))
+        assert len(paths) == 6
+
+    def test_paths_are_simple_and_valid(self):
+        g = grid3()
+        for path in all_simple_paths(g, (0, 0), (2, 2)):
+            assert len(set(path)) == len(path)
+            for u, v in zip(path, path[1:]):
+                assert g.has_edge(u, v)
+
+    def test_max_hops_filters(self):
+        paths = list(all_simple_paths(grid3(), (0, 0), (2, 2), max_hops=3))
+        assert paths == []
+        paths = list(all_simple_paths(grid3(), (0, 0), (2, 2), max_hops=4))
+        assert len(paths) == 6
+
+    def test_limit_truncates(self):
+        paths = list(all_simple_paths(grid3(), (0, 0), (2, 2), limit=2))
+        assert len(paths) == 2
+
+    def test_missing_nodes_raise(self):
+        with pytest.raises(KeyError):
+            list(all_simple_paths(grid3(), (0, 0), "nope"))
+
+    def test_direct_edge_path(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        assert list(all_simple_paths(g, "a", "b")) == [["a", "b"]]
+
+    def test_deep_graph_no_recursion_error(self):
+        g = DiGraph()
+        n = 5000
+        for i in range(n):
+            g.add_edge(i, i + 1, 1.0)
+        paths = list(all_simple_paths(g, 0, n))
+        assert len(paths) == 1 and len(paths[0]) == n + 1
+
+
+class TestCountSimplePaths:
+    def test_exact_count(self):
+        assert count_simple_paths(grid3(), (0, 0), (2, 2)) == 6
+
+    def test_cap_saturates(self):
+        assert count_simple_paths(grid3(), (0, 0), (2, 2), cap=3) == 3
+
+
+@st.composite
+def random_digraphs(draw):
+    n = draw(st.integers(min_value=2, max_value=7))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=0, max_size=18,
+            unique=True,
+        )
+    )
+    return n, [(u, v) for u, v in edges if u != v]
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_digraphs())
+def test_matches_networkx(data):
+    n, edges = data
+    ours = DiGraph()
+    theirs = nx.DiGraph()
+    for node in range(n):
+        ours.add_node(node)
+        theirs.add_node(node)
+    for u, v in edges:
+        ours.add_edge(u, v, 1.0)
+        theirs.add_edge(u, v)
+    expected = {tuple(p) for p in nx.all_simple_paths(theirs, 0, n - 1)}
+    got = {tuple(p) for p in all_simple_paths(ours, 0, n - 1)}
+    assert got == expected

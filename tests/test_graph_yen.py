@@ -1,0 +1,116 @@
+"""Yen's K-shortest-paths tests, cross-checked against networkx."""
+
+import itertools
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DiGraph, k_shortest_paths
+
+
+def ladder() -> DiGraph:
+    """A graph with many distinct s-t paths of known costs."""
+    g = DiGraph()
+    for u, v, w in [
+        ("s", "a", 1), ("s", "b", 3), ("a", "b", 1), ("b", "a", 1),
+        ("a", "t", 4), ("b", "t", 2), ("s", "t", 9),
+    ]:
+        g.add_edge(u, v, w)
+    return g
+
+
+class TestKShortest:
+    def test_first_path_is_shortest(self):
+        paths = k_shortest_paths(ladder(), "s", "t", 1)
+        assert paths[0] == (["s", "a", "b", "t"], 4.0)
+
+    def test_costs_non_decreasing(self):
+        paths = k_shortest_paths(ladder(), "s", "t", 6)
+        costs = [c for _, c in paths]
+        assert costs == sorted(costs)
+
+    def test_paths_are_distinct(self):
+        paths = k_shortest_paths(ladder(), "s", "t", 6)
+        keys = [tuple(p) for p, _ in paths]
+        assert len(keys) == len(set(keys))
+
+    def test_paths_are_loopless(self):
+        for path, _ in k_shortest_paths(ladder(), "s", "t", 6):
+            assert len(path) == len(set(path))
+
+    def test_costs_match_edge_weights(self):
+        g = ladder()
+        for path, cost in k_shortest_paths(g, "s", "t", 6):
+            assert cost == pytest.approx(g.subgraph_weight(path))
+
+    def test_exhausts_finite_path_set(self):
+        # The ladder has exactly 5 simple s-t paths.
+        paths = k_shortest_paths(ladder(), "s", "t", 50)
+        assert len(paths) == 5
+
+    def test_unreachable_returns_empty(self):
+        g = ladder()
+        g.add_node("island")
+        assert k_shortest_paths(g, "s", "island", 3) == []
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            k_shortest_paths(ladder(), "s", "t", 0)
+
+    def test_respects_masks(self):
+        g = ladder()
+        g.mask_edge("s", "a")
+        for path, _ in k_shortest_paths(g, "s", "t", 10):
+            assert ("s", "a") not in zip(path, path[1:])
+
+
+@st.composite
+def random_digraphs(draw):
+    n = draw(st.integers(min_value=2, max_value=9))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.floats(0.1, 10.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+            unique_by=lambda e: (e[0], e[1]),
+        )
+    )
+    return n, [(u, v, w) for u, v, w in edges if u != v]
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_digraphs(), st.integers(1, 6))
+def test_matches_networkx_shortest_simple_paths(data, k):
+    """Cost sequence must equal networkx's (which implements Yen)."""
+    n, edges = data
+    ours = DiGraph()
+    theirs = nx.DiGraph()
+    for node in range(n):
+        ours.add_node(node)
+        theirs.add_node(node)
+    for u, v, w in edges:
+        ours.add_edge(u, v, w)
+        theirs.add_edge(u, v, weight=w)
+
+    try:
+        reference = list(
+            itertools.islice(
+                nx.shortest_simple_paths(theirs, 0, n - 1, weight="weight"), k
+            )
+        )
+    except nx.NetworkXNoPath:
+        assert k_shortest_paths(ours, 0, n - 1, k) == []
+        return
+    expected_costs = [
+        nx.path_weight(theirs, p, weight="weight") for p in reference
+    ]
+    result = k_shortest_paths(ours, 0, n - 1, k)
+    assert len(result) == len(reference)
+    for (_, cost), expected in zip(result, expected_costs):
+        assert cost == pytest.approx(expected)

@@ -1,0 +1,184 @@
+"""End-to-end integration tests across every subsystem.
+
+Each test exercises a full pipeline: spec text -> compiled requirements ->
+encoded MILP -> solver -> decoded architecture -> independent validation ->
+TDMA schedule -> discrete-event simulation (for data collection), or ->
+ranging/trilateration evaluation (for localization).
+"""
+
+import pytest
+
+from repro import (
+    ApproximatePathEncoder,
+    ArchitectureExplorer,
+    BranchAndBoundSolver,
+    DataCollectionSimulator,
+    FullPathEncoder,
+    LocalizationExplorer,
+    ReachabilityRequirement,
+    default_catalog,
+    localization_catalog,
+    localization_template,
+    small_grid_template,
+    synthetic_template,
+    validate,
+)
+from repro.localization import evaluate_localization
+from repro.network import RequirementSet
+from repro.protocols import build_schedule
+from repro.spec import compile_spec
+
+DC_SPEC = """
+has_paths(sensors, sink, replicas=2, disjoint=true)
+min_signal_to_noise(20)
+min_network_lifetime(5)
+tdma(slots=16, slot_ms=1, report_s=30)
+battery(mah=3000, packet_bytes=50)
+objective(cost)
+"""
+
+
+class TestDataCollectionPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        instance = small_grid_template(nx=5, ny=4, spacing=9.0)
+        compiled = compile_spec(DC_SPEC, instance.template)
+        result = ArchitectureExplorer(
+            instance.template, default_catalog(), compiled.requirements
+        ).solve(compiled.objective)
+        assert result.feasible
+        return instance, compiled, result
+
+    def test_design_validates(self, pipeline):
+        _, compiled, result = pipeline
+        report = validate(result.architecture, compiled.requirements)
+        assert report.ok, report.violations
+        assert report.min_lifetime_years >= 5.0
+
+    def test_schedule_exists_and_fits(self, pipeline):
+        _, compiled, result = pipeline
+        schedule = build_schedule(result.architecture,
+                                  compiled.requirements.tdma)
+        assert schedule.span_superframes >= 1
+        assert len(schedule.assignments) == sum(
+            r.hops for r in result.architecture.routes
+        )
+
+    def test_simulation_confirms_design(self, pipeline):
+        _, compiled, result = pipeline
+        sim = DataCollectionSimulator(
+            result.architecture, compiled.requirements, seed=42
+        )
+        outcome = sim.run(reports=50)
+        assert outcome.delivery_ratio >= 0.999
+        # Measured lifetimes respect the requirement too.
+        for node_id in result.architecture.used_nodes:
+            if result.architecture.template.node(node_id).role == "sink":
+                continue
+            years = outcome.lifetime_years(
+                node_id, compiled.requirements.power,
+                compiled.requirements.tdma,
+            )
+            assert years >= 5.0 * 0.95
+
+    def test_all_sensors_have_two_disjoint_routes(self, pipeline):
+        instance, _, result = pipeline
+        for sensor in instance.sensor_ids:
+            replicas = result.architecture.routes_for(sensor,
+                                                      instance.sink_id)
+            assert len(replicas) == 2
+            assert not set(replicas[0].edges) & set(replicas[1].edges)
+
+
+class TestSolverCross_Check:
+    """The from-scratch branch and bound agrees with HiGHS end to end."""
+
+    def test_same_optimal_cost(self):
+        instance = small_grid_template(nx=4, ny=2)
+        reqs = RequirementSet()
+        for s in instance.sensor_ids:
+            reqs.require_route(s, instance.sink_id)
+        lib = default_catalog()
+        highs = ArchitectureExplorer(
+            instance.template, lib, reqs,
+            encoder=ApproximatePathEncoder(k_star=4),
+        ).solve("cost")
+        bnb = ArchitectureExplorer(
+            instance.template, lib, reqs,
+            encoder=ApproximatePathEncoder(k_star=4),
+            solver=BranchAndBoundSolver(node_limit=200_000),
+        ).solve("cost")
+        assert highs.feasible and bnb.feasible
+        assert bnb.objective_value == pytest.approx(
+            highs.objective_value, abs=1e-5
+        )
+
+
+class TestEncoderCross_Check:
+    """Both encodings synthesize valid designs on a synthetic template."""
+
+    @pytest.mark.parametrize("encoder", [
+        ApproximatePathEncoder(k_star=8), FullPathEncoder(),
+    ], ids=["approx", "full"])
+    def test_synthetic_template_end_to_end(self, encoder):
+        instance = synthetic_template(30, 8, seed=5)
+        reqs = RequirementSet()
+        for s in instance.sensor_ids:
+            reqs.require_route(s, instance.sink_id, replicas=2,
+                               disjoint=True)
+        result = ArchitectureExplorer(
+            instance.template, default_catalog(), reqs, encoder=encoder
+        ).solve("cost")
+        assert result.feasible
+        report = validate(result.architecture, reqs)
+        assert report.ok, report.violations
+
+
+class TestLocalizationPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        instance = localization_template(60, 40)
+        requirement = ReachabilityRequirement(
+            test_points=instance.test_points, min_anchors=3,
+            min_rss_dbm=-80.0,
+        )
+        result = LocalizationExplorer(
+            instance.template, localization_catalog(), requirement,
+            instance.channel, k_star=15,
+        ).solve("cost")
+        assert result.feasible
+        return instance, requirement, result
+
+    def test_design_validates(self, pipeline):
+        instance, requirement, result = pipeline
+        reqs = RequirementSet(reachability=requirement)
+        report = validate(result.architecture, reqs, instance.channel)
+        assert report.ok, report.violations
+        assert report.average_reachable >= 3.0
+
+    def test_positions_recoverable_everywhere(self, pipeline):
+        instance, requirement, result = pipeline
+        evaluation = evaluate_localization(
+            result.architecture, requirement, instance.channel, seed=9
+        )
+        # A cost-minimal placement can leave a few points with (nearly)
+        # collinear anchor geometry where trilateration degenerates —
+        # precisely what the DSOD objective improves on.
+        assert evaluation.coverage >= 0.9
+        assert evaluation.mean_error_m < 12.0
+
+    def test_spec_language_drives_localization(self, pipeline):
+        instance, requirement, reference = pipeline
+        compiled = compile_spec(
+            "min_reachable_devices(3, -80)",
+            instance.template,
+            test_points=instance.test_points,
+        )
+        result = LocalizationExplorer(
+            instance.template, localization_catalog(),
+            compiled.requirements.reachability, instance.channel, k_star=15,
+        ).solve(compiled.objective)
+        assert result.feasible
+        assert result.architecture.dollar_cost == pytest.approx(
+            reference.architecture.dollar_cost
+        )

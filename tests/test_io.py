@@ -1,0 +1,162 @@
+"""Round-trip tests for JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.core import ArchitectureExplorer
+from repro.io import (
+    architecture_from_dict,
+    architecture_to_dict,
+    load_architecture,
+    save_architecture,
+    template_from_dict,
+    template_to_dict,
+)
+from repro.validation import validate
+
+
+def Architecture_factory(instance, library, rng, relay_names):
+    """A random (not necessarily feasible) architecture for round-trips."""
+    from repro.network import Architecture, Route
+
+    arch = Architecture(template=instance.template, library=library)
+    n_edges = instance.template.edge_count
+    edges = [(u, v) for u, v, _ in instance.template.edges()]
+    chosen = [edges[i] for i in
+              rng.choice(n_edges, size=min(6, n_edges), replace=False)]
+    arch.active_edges = set(chosen)
+    used = {n for e in chosen for n in e}
+    for node_id in used:
+        role = instance.template.node(node_id).role
+        if role == "relay":
+            arch.sizing[node_id] = str(rng.choice(relay_names))
+        elif role == "sensor":
+            arch.sizing[node_id] = "sensor-std"
+        else:
+            arch.sizing[node_id] = "sink-std"
+    if chosen:
+        u, v = chosen[0]
+        arch.routes = [Route(u, v, 0, (u, v))]
+    return arch
+
+
+@pytest.fixture(scope="module")
+def design(grid_instance, library, ):
+    from repro.network import (
+        LifetimeRequirement,
+        LinkQualityRequirement,
+        RequirementSet,
+    )
+
+    reqs = RequirementSet()
+    for s in grid_instance.sensor_ids:
+        reqs.require_route(s, grid_instance.sink_id, replicas=2,
+                           disjoint=True)
+    reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+    reqs.lifetime = LifetimeRequirement(years=5.0)
+    result = ArchitectureExplorer(
+        grid_instance.template, library, reqs
+    ).solve("cost")
+    assert result.feasible
+    return result.architecture, reqs
+
+
+class TestTemplateRoundTrip:
+    def test_structure_preserved(self, grid_instance):
+        template = grid_instance.template
+        restored = template_from_dict(template_to_dict(template))
+        assert restored.node_count == template.node_count
+        assert restored.edge_count == template.edge_count
+        for node in template.nodes:
+            copy = restored.node(node.id)
+            assert copy.location == node.location
+            assert copy.role == node.role
+            assert copy.fixed == node.fixed
+
+    def test_path_losses_preserved(self, grid_instance):
+        template = grid_instance.template
+        restored = template_from_dict(template_to_dict(template))
+        for u, v, pl in template.edges():
+            assert restored.path_loss(u, v) == pytest.approx(pl)
+
+    def test_link_type_preserved(self, grid_instance):
+        restored = template_from_dict(
+            template_to_dict(grid_instance.template)
+        )
+        assert restored.link_type == grid_instance.template.link_type
+
+    def test_json_serializable(self, grid_instance):
+        json.dumps(template_to_dict(grid_instance.template))
+
+    def test_bad_version_rejected(self, grid_instance):
+        data = template_to_dict(grid_instance.template)
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            template_from_dict(data)
+
+
+class TestArchitectureRoundTrip:
+    def test_dict_roundtrip_identical(self, design, library):
+        arch, _ = design
+        restored = architecture_from_dict(
+            architecture_to_dict(arch), library
+        )
+        assert restored.sizing == arch.sizing
+        assert restored.active_edges == arch.active_edges
+        assert [r.nodes for r in restored.routes] == [
+            r.nodes for r in arch.routes
+        ]
+        assert restored.dollar_cost == pytest.approx(arch.dollar_cost)
+
+    def test_restored_design_validates_identically(self, design, library):
+        arch, reqs = design
+        restored = architecture_from_dict(
+            architecture_to_dict(arch), library
+        )
+        original = validate(arch, reqs)
+        copy = validate(restored, reqs)
+        assert copy.ok == original.ok
+        assert copy.average_lifetime_years == pytest.approx(
+            original.average_lifetime_years
+        )
+        assert copy.total_charge_ma_ms == pytest.approx(
+            original.total_charge_ma_ms
+        )
+
+    def test_file_roundtrip(self, design, library, tmp_path):
+        arch, _ = design
+        path = tmp_path / "design.json"
+        save_architecture(arch, path)
+        restored = load_architecture(path, library)
+        assert restored.sizing == arch.sizing
+
+    def test_randomized_architectures_roundtrip(self, library):
+        """Property-style: arbitrary sizing/edge/route combinations survive
+        the JSON round trip bit-exactly."""
+        import numpy as np
+
+        from repro.network import Route, small_grid_template
+
+        instance = small_grid_template(nx=4, ny=3)
+        rng = np.random.default_rng(7)
+        relay_names = [d.name for d in library.for_role("relay")]
+        for _ in range(10):
+            arch = Architecture_factory(instance, library, rng, relay_names)
+            restored = architecture_from_dict(
+                architecture_to_dict(arch), library
+            )
+            assert restored.sizing == arch.sizing
+            assert restored.active_edges == arch.active_edges
+            assert [(r.source, r.dest, r.replica, r.nodes)
+                    for r in restored.routes] == [
+                (r.source, r.dest, r.replica, r.nodes) for r in arch.routes
+            ]
+
+    def test_unknown_device_rejected(self, design):
+        from repro.library import Library, device
+
+        arch, _ = design
+        empty = Library(devices=[device("other", ("relay",), cost=1.0)])
+        with pytest.raises(KeyError):
+            architecture_from_dict(architecture_to_dict(arch), empty)

@@ -1,0 +1,123 @@
+"""Tests for the component library substrate."""
+
+import pytest
+
+from repro.library import (
+    ZIGBEE_2_4GHZ,
+    Device,
+    Library,
+    LinkType,
+    default_catalog,
+    device,
+    localization_catalog,
+)
+
+
+class TestDevice:
+    def test_effective_tx(self):
+        d = device("d", ("relay",), cost=1.0, tx_power_dbm=4.5,
+                   antenna_gain_dbi=5.0)
+        assert d.effective_tx_dbm == pytest.approx(9.5)
+
+    def test_role_support(self):
+        d = device("d", ("relay", "sensor"), cost=1.0)
+        assert d.supports("relay") and d.supports("sensor")
+        assert not d.supports("sink")
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ValueError, match="unknown roles"):
+            device("d", ("quantum",), cost=1.0)
+
+    def test_empty_roles_rejected(self):
+        with pytest.raises(ValueError):
+            Device("d", frozenset(), 1.0, 0, 0, 1, 1, 1, 0.001)
+
+    def test_negative_attributes_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            device("d", ("relay",), cost=-1.0)
+        with pytest.raises(ValueError, match="negative"):
+            device("d", ("relay",), cost=1.0, radio_tx_ma=-5.0)
+
+
+class TestLinkType:
+    def test_airtime(self):
+        # 50 bytes at 250 kbps = 1.6 ms.
+        assert ZIGBEE_2_4GHZ.packet_airtime_ms(50) == pytest.approx(1.6)
+
+    def test_unknown_modulation_rejected(self):
+        with pytest.raises(ValueError, match="modulation"):
+            LinkType("x", modulation="64qam")
+
+    def test_invalid_bit_rate_rejected(self):
+        with pytest.raises(ValueError):
+            LinkType("x", bit_rate_bps=0)
+
+    def test_paper_parameters(self):
+        assert ZIGBEE_2_4GHZ.frequency_ghz == 2.4
+        assert ZIGBEE_2_4GHZ.modulation == "qpsk"
+        assert ZIGBEE_2_4GHZ.bit_rate_bps == 250_000
+        assert ZIGBEE_2_4GHZ.noise_dbm == -100.0
+
+
+class TestLibrary:
+    def test_duplicate_names_rejected(self):
+        lib = Library()
+        lib.add(device("a", ("relay",), cost=1.0))
+        with pytest.raises(ValueError, match="duplicate"):
+            lib.add(device("a", ("relay",), cost=2.0))
+
+    def test_by_name(self):
+        lib = default_catalog()
+        assert lib.by_name("relay-std").cost == 20.0
+        with pytest.raises(KeyError):
+            lib.by_name("nope")
+
+    def test_for_role(self):
+        lib = default_catalog()
+        assert all(d.supports("relay") for d in lib.for_role("relay"))
+        assert len(lib.for_role("sink")) == 1
+
+    def test_attribute_ranges_cover_all(self):
+        lib = default_catalog()
+        lo, hi = lib.tx_gain_range()
+        for d in lib.devices:
+            assert lo <= d.effective_tx_dbm <= hi
+
+    def test_default_link(self):
+        assert default_catalog().default_link is ZIGBEE_2_4GHZ
+        with pytest.raises(ValueError):
+            Library().default_link
+
+
+class TestDefaultCatalog:
+    def test_every_role_has_devices(self):
+        lib = default_catalog()
+        for role in ("sensor", "relay", "sink"):
+            assert lib.for_role(role), role
+
+    def test_sensors_have_a_free_baseline(self):
+        lib = default_catalog()
+        assert min(d.cost for d in lib.for_role("sensor")) == 0.0
+
+    def test_low_power_parts_cost_more_and_draw_less(self):
+        lib = default_catalog()
+        std = lib.by_name("relay-std")
+        lp = lib.by_name("relay-lp")
+        assert lp.cost > std.cost
+        assert lp.radio_tx_ma < std.radio_tx_ma
+        assert lp.sleep_ma < std.sleep_ma
+
+    def test_antenna_parts_have_gain(self):
+        lib = default_catalog()
+        assert lib.by_name("relay-ant").antenna_gain_dbi > 0
+        assert lib.by_name("relay-std").antenna_gain_dbi == 0
+
+    def test_localization_catalog_has_anchor_ladder(self):
+        lib = localization_catalog()
+        anchors = lib.for_role("anchor")
+        assert len(anchors) >= 3
+        costs = [d.cost for d in anchors]
+        strengths = [d.effective_tx_dbm for d in anchors]
+        # Stronger anchors cost more (the Table 2 trade-off).
+        assert sorted(costs) == costs
+        assert sorted(strengths) == strengths

@@ -1,0 +1,78 @@
+"""Cross-cutting invariants of the default catalogs.
+
+These guard the *relationships* the experiments depend on (not the point
+values, which are free to be retuned): price ladders, power trade-offs,
+and coverage of every role the templates produce.
+"""
+
+import pytest
+
+from repro.library import default_catalog, localization_catalog
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_catalog()
+
+
+class TestCatalogInvariants:
+    def test_upgrades_cost_money(self, lib):
+        """Within each role, any attribute improvement costs extra."""
+        for role in ("sensor", "relay"):
+            base = min(lib.for_role(role), key=lambda d: d.cost)
+            for dev in lib.for_role(role):
+                improves = (
+                    dev.effective_tx_dbm > base.effective_tx_dbm
+                    or dev.radio_tx_ma < base.radio_tx_ma
+                    or dev.sleep_ma < base.sleep_ma
+                )
+                if improves:
+                    assert dev.cost > base.cost, dev.name
+
+    def test_no_dominated_devices(self, lib):
+        """No device is at least as good as another in every attribute
+        while costing less — dominated parts would never be selected and
+        only bloat the MILP."""
+        for role in ("sensor", "relay"):
+            devices = lib.for_role(role)
+            for a in devices:
+                for b in devices:
+                    if a.name == b.name:
+                        continue
+                    dominates = (
+                        a.cost <= b.cost
+                        and a.effective_tx_dbm >= b.effective_tx_dbm
+                        and a.radio_tx_ma <= b.radio_tx_ma
+                        and a.radio_rx_ma <= b.radio_rx_ma
+                        and a.sleep_ma <= b.sleep_ma
+                        and a.active_ma <= b.active_ma
+                    )
+                    assert not dominates, f"{a.name} dominates {b.name}"
+
+    def test_pa_parts_draw_more_tx_current(self, lib):
+        """Power amplification is not free energy."""
+        for base_name, pa_name in (
+            ("sensor-std", "sensor-pa"), ("relay-std", "relay-pa"),
+        ):
+            base = lib.by_name(base_name)
+            pa = lib.by_name(pa_name)
+            assert pa.tx_power_dbm > base.tx_power_dbm
+            assert pa.radio_tx_ma > base.radio_tx_ma
+
+    def test_antennas_help_both_directions(self, lib):
+        """An external antenna adds gain to TX and RX alike (reciprocity),
+        unlike a PA which only helps transmit."""
+        ant = lib.by_name("relay-ant")
+        pa = lib.by_name("relay-pa")
+        assert ant.antenna_gain_dbi > 0
+        assert pa.antenna_gain_dbi == 0
+
+    def test_anchor_ladder_strictly_ordered(self):
+        lib = localization_catalog()
+        anchors = sorted(lib.for_role("anchor"), key=lambda d: d.cost)
+        for weaker, stronger in zip(anchors, anchors[1:]):
+            assert stronger.effective_tx_dbm > weaker.effective_tx_dbm
+
+    def test_catalog_devices_all_reachable_by_roles(self, lib):
+        covered = {role for dev in lib.devices for role in dev.roles}
+        assert covered == {"sensor", "relay", "sink"}

@@ -1,0 +1,131 @@
+"""Tests for ranging, trilateration and localization evaluation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import LogDistanceModel
+from repro.geometry import Point
+from repro.localization import (
+    RssRanger,
+    TrilaterationError,
+    geometric_dilution,
+    trilaterate,
+)
+
+coords = st.floats(1.0, 50.0, allow_nan=False)
+
+
+class TestRssRanger:
+    def test_inverts_log_distance_exactly(self):
+        model = LogDistanceModel(exponent=2.5)
+        ranger = RssRanger(exponent=2.5)
+        for d in (1.0, 5.0, 20.0):
+            pl = model.path_loss_db(Point(0, 0), Point(d, 0))
+            assert ranger.path_loss_to_distance(pl) == pytest.approx(d)
+
+    def test_estimate_without_noise(self):
+        ranger = RssRanger(exponent=2.0)
+        tx = 4.5
+        pl = 60.0
+        d = ranger.estimate(tx, tx - pl)
+        assert d == pytest.approx(ranger.path_loss_to_distance(pl))
+
+    def test_shadowing_perturbs(self):
+        ranger = RssRanger(exponent=2.0, shadowing_sigma_db=4.0)
+        rng = np.random.default_rng(0)
+        noisy = {ranger.estimate(0.0, -60.0, rng) for _ in range(10)}
+        assert len(noisy) > 1
+
+    def test_error_grows_with_distance(self):
+        ranger = RssRanger(exponent=2.0, shadowing_sigma_db=2.0)
+        assert ranger.error_stddev_m(20.0) > ranger.error_stddev_m(5.0)
+
+    def test_calibration_recovers_law(self):
+        true = LogDistanceModel(exponent=3.2)
+        samples = [
+            (d, true.path_loss_db(Point(0, 0), Point(d, 0)))
+            for d in np.linspace(1, 40, 25)
+        ]
+        fitted = RssRanger.calibrate(samples)
+        assert fitted.exponent == pytest.approx(3.2, rel=1e-3)
+        assert fitted.reference_db == pytest.approx(true.reference_db,
+                                                    abs=0.1)
+
+    def test_calibration_needs_samples(self):
+        with pytest.raises(ValueError):
+            RssRanger.calibrate([(1.0, 40.0)])
+
+
+class TestTrilateration:
+    def test_exact_recovery(self):
+        anchors = [Point(0, 0), Point(10, 0), Point(0, 10), Point(10, 10)]
+        target = Point(3.0, 7.0)
+        distances = [a.distance_to(target) for a in anchors]
+        estimate = trilaterate(anchors, distances)
+        assert estimate.distance_to(target) < 1e-9
+
+    def test_three_anchor_minimum(self):
+        anchors = [Point(0, 0), Point(10, 0)]
+        with pytest.raises(TrilaterationError):
+            trilaterate(anchors, [5.0, 5.0])
+
+    def test_collinear_anchors_rejected(self):
+        anchors = [Point(0, 0), Point(5, 0), Point(10, 0)]
+        target = Point(3, 4)
+        distances = [a.distance_to(target) for a in anchors]
+        with pytest.raises(TrilaterationError, match="collinear"):
+            trilaterate(anchors, distances)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            trilaterate([Point(0, 0)], [1.0, 2.0])
+
+    def test_negative_distances_rejected(self):
+        anchors = [Point(0, 0), Point(10, 0), Point(0, 10)]
+        with pytest.raises(ValueError):
+            trilaterate(anchors, [1.0, -2.0, 3.0])
+
+    @settings(max_examples=40, deadline=None)
+    @given(coords, coords)
+    def test_recovery_property(self, x, y):
+        anchors = [Point(0, 0), Point(60, 0), Point(0, 60), Point(60, 60)]
+        target = Point(x, y)
+        distances = [a.distance_to(target) for a in anchors]
+        estimate = trilaterate(anchors, distances)
+        assert estimate.distance_to(target) < 1e-6
+
+    def test_noisy_distances_give_bounded_error(self):
+        rng = np.random.default_rng(1)
+        anchors = [Point(0, 0), Point(40, 0), Point(0, 40), Point(40, 40)]
+        target = Point(17.0, 23.0)
+        errors = []
+        for _ in range(50):
+            distances = [
+                a.distance_to(target) * float(rng.normal(1.0, 0.05))
+                for a in anchors
+            ]
+            errors.append(trilaterate(anchors, distances).distance_to(target))
+        assert np.mean(errors) < 5.0
+
+
+class TestGeometricDilution:
+    def test_surrounding_beats_onesided(self):
+        target = Point(20, 20)
+        surrounding = [Point(0, 20), Point(40, 20), Point(20, 0),
+                       Point(20, 40)]
+        onesided = [Point(0, 18), Point(0, 20), Point(0, 22), Point(2, 20)]
+        assert geometric_dilution(surrounding, target) < geometric_dilution(
+            onesided, target
+        )
+
+    def test_degenerate_geometry_infinite(self):
+        target = Point(10, 10)
+        collinear = [Point(0, 0), Point(5, 5), Point(20, 20)]
+        assert math.isinf(geometric_dilution(collinear, target))
+
+    def test_single_anchor_infinite(self):
+        assert math.isinf(geometric_dilution([Point(0, 0)], Point(1, 1)))

@@ -1,0 +1,131 @@
+"""Property-based tests of the expression algebra against direct evaluation.
+
+Random expression trees built from +, -, and scalar * must evaluate, under
+random assignments, to the same value as the equivalent plain-Python
+computation — the algebra layer may never silently drop or double terms.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp import LinExpr, Model, lin_sum
+from repro.milp.solution import Solution, SolveStatus
+
+N_VARS = 5
+scalars = st.floats(-5.0, 5.0, allow_nan=False)
+assignments = st.lists(
+    st.floats(-3.0, 3.0, allow_nan=False), min_size=N_VARS, max_size=N_VARS,
+)
+
+
+def make_model():
+    m = Model()
+    xs = [m.continuous(f"x{i}", -10, 10) for i in range(N_VARS)]
+    return m, xs
+
+
+def evaluate(expr: LinExpr, values: list[float]) -> float:
+    total = expr.constant
+    for idx, coeff in expr.coeffs.items():
+        total += coeff * values[idx]
+    return total
+
+
+@st.composite
+def expr_programs(draw):
+    """A random sequence of algebra operations as (op, operand) steps."""
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add_var", "sub_var", "add_const", "scale",
+                                 "neg", "radd_const", "rsub_const"]),
+                st.integers(0, N_VARS - 1),
+                scalars,
+            ),
+            min_size=1, max_size=12,
+        )
+    )
+    return steps
+
+
+def run_program(steps, xs):
+    """Build (expr, reference_fn) by applying the steps."""
+    expr = LinExpr()
+    ops = []
+    for op, var_idx, value in steps:
+        if op == "add_var":
+            expr = expr + xs[var_idx]
+            ops.append(lambda vals, i=var_idx: vals[i])
+        elif op == "sub_var":
+            expr = expr - xs[var_idx]
+            ops.append(lambda vals, i=var_idx: -vals[i])
+        elif op == "add_const":
+            expr = expr + value
+            ops.append(lambda vals, c=value: c)
+        elif op == "radd_const":
+            expr = value + expr
+            ops.append(lambda vals, c=value: c)
+        elif op == "scale":
+            # Scaling applies to everything accumulated so far.
+            expr = expr * value
+            prior = ops
+            ops = [lambda vals, fs=tuple(prior), c=value: c * sum(
+                f(vals) for f in fs
+            )]
+        elif op == "neg":
+            expr = -expr
+            prior = ops
+            ops = [lambda vals, fs=tuple(prior): -sum(f(vals) for f in fs)]
+        elif op == "rsub_const":
+            expr = value - expr
+            prior = ops
+            ops = [lambda vals, fs=tuple(prior), c=value: c - sum(
+                f(vals) for f in fs
+            )]
+    return expr, (lambda vals: sum(f(vals) for f in ops))
+
+
+@settings(max_examples=200, deadline=None)
+@given(expr_programs(), assignments)
+def test_algebra_matches_reference(steps, values):
+    _, xs = make_model()
+    expr, reference = run_program(steps, xs)
+    assert evaluate(expr, values) == pytest.approx(
+        reference(values), rel=1e-9, abs=1e-9
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr_programs(), assignments)
+def test_solution_value_matches_manual_evaluation(steps, values):
+    _, xs = make_model()
+    expr, _ = run_program(steps, xs)
+    solution = Solution(
+        status=SolveStatus.OPTIMAL, objective=0.0,
+        x=np.array(values, dtype=float),
+    )
+    assert solution.value(expr) == pytest.approx(
+        evaluate(expr, values), rel=1e-9, abs=1e-9
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, N_VARS - 1), scalars),
+             min_size=0, max_size=20)
+)
+def test_lin_sum_equals_sequential_addition(terms):
+    _, xs = make_model()
+    sequential = LinExpr()
+    items = []
+    for var_idx, coeff in terms:
+        term = coeff * xs[var_idx]
+        sequential = sequential + term
+        items.append(term)
+    fast = lin_sum(items)
+    values = list(np.linspace(-2, 2, N_VARS))
+    assert evaluate(fast, values) == pytest.approx(
+        evaluate(sequential, values), rel=1e-9, abs=1e-9
+    )

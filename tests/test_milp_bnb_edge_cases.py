@@ -1,0 +1,113 @@
+"""Edge cases of the from-scratch branch-and-bound solver."""
+
+import pytest
+
+from repro.milp import BranchAndBoundSolver, Model, SolveStatus, lin_sum
+
+
+class TestTermination:
+    def test_unbounded_detected(self):
+        m = Model()
+        x = m.continuous("x", 0.0, float("inf"))
+        m.minimize(-1.0 * x)
+        assert BranchAndBoundSolver().solve(m).status == (
+            SolveStatus.UNBOUNDED
+        )
+
+    def test_empty_model(self):
+        m = Model()
+        sol = BranchAndBoundSolver().solve(m)
+        assert sol.status == SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(0.0)
+
+    def test_all_variables_fixed_by_bounds(self):
+        m = Model()
+        x = m.integer("x", 3, 3)
+        m.minimize(x)
+        sol = BranchAndBoundSolver().solve(m)
+        assert sol.value(x) == pytest.approx(3.0)
+
+    def test_time_limit_zero_returns_quickly(self):
+        m = Model()
+        xs = [m.binary(f"x{i}") for i in range(20)]
+        m.add(lin_sum(xs) >= 10)
+        m.minimize(lin_sum([(i + 1) * x for i, x in enumerate(xs)]))
+        sol = BranchAndBoundSolver(time_limit=0.0).solve(m)
+        # Either found nothing yet (timeout) or got lucky with the root.
+        assert sol.status in (
+            SolveStatus.TIMEOUT, SolveStatus.OPTIMAL, SolveStatus.FEASIBLE
+        )
+
+    def test_gap_reported_on_early_stop(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        m = Model()
+        xs = [m.binary(f"x{i}") for i in range(16)]
+        w = rng.uniform(1, 9, 16)
+        m.add(lin_sum([wi * x for wi, x in zip(w, xs)]) <= 25)
+        m.maximize(lin_sum([wi * 1.3 * x for wi, x in zip(w, xs)]))
+        sol = BranchAndBoundSolver(node_limit=5).solve(m)
+        if sol.status == SolveStatus.FEASIBLE:
+            assert sol.mip_gap >= 0.0
+
+
+class TestCorrectnessDetails:
+    def test_ranged_constraint(self):
+        m = Model()
+        x = m.integer("x", 0, 10)
+        m.add_range(x + 0.0, 2.5, 4.5)
+        m.minimize(x)
+        sol = BranchAndBoundSolver().solve(m)
+        assert sol.value(x) == pytest.approx(3.0)
+
+    def test_negative_lower_bounds(self):
+        m = Model()
+        x = m.integer("x", -5, 5)
+        m.add(2 * x >= -7)
+        m.minimize(x)
+        sol = BranchAndBoundSolver().solve(m)
+        assert sol.value(x) == pytest.approx(-3.0)
+
+    def test_fractional_lp_optimum_forces_branching(self):
+        m = Model()
+        x = m.integer("x", 0, 10)
+        y = m.integer("y", 0, 10)
+        m.add(2 * x + 3 * y >= 7)
+        m.minimize(x + y)
+        sol = BranchAndBoundSolver().solve(m)
+        assert sol.status == SolveStatus.OPTIMAL
+        # LP optimum is fractional (7/3); integer optimum costs 3.
+        assert sol.objective == pytest.approx(3.0)
+        assert sol.node_count >= 1
+
+    def test_mixed_integer_continuous(self):
+        m = Model()
+        x = m.integer("x", 0, 5)
+        y = m.continuous("y", 0.0, 5.0)
+        m.add(x + y >= 3.7)
+        m.minimize(2 * x + y)
+        sol = BranchAndBoundSolver().solve(m)
+        # Pure continuous fill is cheapest: x = 0, y = 3.7.
+        assert sol.value(x) == pytest.approx(0.0)
+        assert sol.value(y) == pytest.approx(3.7)
+
+    def test_equality_with_integers(self):
+        m = Model()
+        x = m.integer("x", 0, 9)
+        y = m.integer("y", 0, 9)
+        m.add(3 * x + 5 * y == 19)
+        m.minimize(x + y)
+        sol = BranchAndBoundSolver().solve(m)
+        assert sol.status == SolveStatus.OPTIMAL
+        assert 3 * sol.value(x) + 5 * sol.value(y) == pytest.approx(19.0)
+
+    def test_infeasible_integrality_gap(self):
+        # LP-feasible but integer-infeasible: 2x == 3 with integer x.
+        m = Model()
+        x = m.integer("x", 0, 5)
+        m.add(2 * x == 3)
+        m.minimize(x)
+        assert BranchAndBoundSolver().solve(m).status == (
+            SolveStatus.INFEASIBLE
+        )

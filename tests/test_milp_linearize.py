@@ -1,0 +1,157 @@
+"""Exhaustive correctness checks of the linearization gadgets.
+
+Each gadget is verified by enumerating every assignment of its binary
+inputs, fixing them via bounds, and solving — the gadget is correct iff
+the auxiliary variable takes the nonlinear product/logic value in every
+case.
+"""
+
+import itertools
+
+import pytest
+
+from repro.milp import (
+    HighsSolver,
+    Model,
+    indicator_ge,
+    indicator_le,
+    or_binary,
+    product_binary,
+    product_binary_continuous,
+    product_binary_many,
+)
+
+
+def _fix(var, value):
+    var.lower = var.upper = float(value)
+
+
+def _solve_min(model, expr):
+    model.minimize(expr)
+    sol = HighsSolver().solve(model)
+    assert sol.status.has_solution, sol.status
+    return sol
+
+
+class TestProductBinary:
+    @pytest.mark.parametrize("a,b", list(itertools.product([0, 1], [0, 1])))
+    def test_equals_and(self, a, b):
+        m = Model()
+        x, y = m.binary("x"), m.binary("y")
+        z = product_binary(m, x, y, "z")
+        _fix(x, a)
+        _fix(y, b)
+        # Both pushing z down and up must give the AND value.
+        down = _solve_min(m, z + 0.0).value(z)
+        up = _solve_min(m, -1.0 * z).value(z)
+        assert down == pytest.approx(a * b)
+        assert up == pytest.approx(a * b)
+
+    def test_requires_binaries(self):
+        m = Model()
+        x = m.continuous("x", 0, 1)
+        y = m.binary("y")
+        with pytest.raises(ValueError):
+            product_binary(m, x, y, "z")
+
+
+class TestProductBinaryMany:
+    @pytest.mark.parametrize(
+        "bits", list(itertools.product([0, 1], repeat=3))
+    )
+    def test_equals_and3(self, bits):
+        m = Model()
+        vars_ = [m.binary(f"x{i}") for i in range(3)]
+        z = product_binary_many(m, vars_, "z")
+        for var, bit in zip(vars_, bits):
+            _fix(var, bit)
+        expected = int(all(bits))
+        assert _solve_min(m, z + 0.0).value(z) == pytest.approx(expected)
+        assert _solve_min(m, -1.0 * z).value(z) == pytest.approx(expected)
+
+    def test_single_factor_passthrough(self):
+        m = Model()
+        x = m.binary("x")
+        assert product_binary_many(m, [x], "z") is x
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            product_binary_many(Model(), [], "z")
+
+
+class TestOrBinary:
+    @pytest.mark.parametrize(
+        "bits", list(itertools.product([0, 1], repeat=3))
+    )
+    def test_equals_or3(self, bits):
+        m = Model()
+        vars_ = [m.binary(f"x{i}") for i in range(3)]
+        z = or_binary(m, vars_, "z")
+        for var, bit in zip(vars_, bits):
+            _fix(var, bit)
+        expected = int(any(bits))
+        assert _solve_min(m, z + 0.0).value(z) == pytest.approx(expected)
+        assert _solve_min(m, -1.0 * z).value(z) == pytest.approx(expected)
+
+
+class TestProductBinaryContinuous:
+    @pytest.mark.parametrize("b", [0, 1])
+    @pytest.mark.parametrize("y_val", [-2.0, 0.0, 3.5])
+    def test_equals_product(self, b, y_val):
+        m = Model()
+        bvar = m.binary("b")
+        y = m.continuous("y", -4.0, 4.0)
+        w = product_binary_continuous(m, bvar, y, -4.0, 4.0, "w")
+        _fix(bvar, b)
+        _fix(y, y_val)
+        expected = b * y_val
+        assert _solve_min(m, w + 0.0).value(w) == pytest.approx(expected)
+        assert _solve_min(m, -1.0 * w).value(w) == pytest.approx(expected)
+
+    def test_crossed_bounds_rejected(self):
+        m = Model()
+        b = m.binary("b")
+        y = m.continuous("y", 0, 1)
+        with pytest.raises(ValueError):
+            product_binary_continuous(m, b, y, 2.0, 1.0, "w")
+
+
+class TestIndicators:
+    def test_indicator_ge_active(self):
+        m = Model()
+        b = m.binary("b")
+        x = m.continuous("x", -10.0, 10.0)
+        indicator_ge(m, b, x + 0.0, 3.0, -10.0, "ind")
+        _fix(b, 1)
+        assert _solve_min(m, x + 0.0).value(x) >= 3.0 - 1e-6
+
+    def test_indicator_ge_inactive_relaxed(self):
+        m = Model()
+        b = m.binary("b")
+        x = m.continuous("x", -10.0, 10.0)
+        indicator_ge(m, b, x + 0.0, 3.0, -10.0, "ind")
+        _fix(b, 0)
+        assert _solve_min(m, x + 0.0).value(x) == pytest.approx(-10.0)
+
+    def test_indicator_ge_vacuous_adds_nothing(self):
+        m = Model()
+        b = m.binary("b")
+        x = m.continuous("x", 5.0, 10.0)
+        indicator_ge(m, b, x + 0.0, 3.0, 5.0, "ind")
+        assert len(m.constraints) == 0
+
+    def test_indicator_le_active(self):
+        m = Model()
+        b = m.binary("b")
+        x = m.continuous("x", -10.0, 10.0)
+        indicator_le(m, b, x + 0.0, -3.0, 10.0, "ind")
+        _fix(b, 1)
+        assert _solve_min(m, -1.0 * x).value(x) <= -3.0 + 1e-6
+
+    def test_indicator_le_inactive_relaxed(self):
+        m = Model()
+        b = m.binary("b")
+        x = m.continuous("x", -10.0, 10.0)
+        indicator_le(m, b, x + 0.0, -3.0, 10.0, "ind")
+        _fix(b, 0)
+        assert _solve_min(m, -1.0 * x).value(x) == pytest.approx(10.0)

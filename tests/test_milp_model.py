@@ -1,0 +1,111 @@
+"""Tests for model assembly into standard form."""
+
+import numpy as np
+import pytest
+
+from repro.milp import Model
+
+
+@pytest.fixture()
+def model():
+    return Model("asm")
+
+
+class TestVariables:
+    def test_duplicate_names_rejected(self, model):
+        model.binary("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            model.binary("x")
+
+    def test_crossed_bounds_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.add_var("x", lower=2.0, upper=1.0)
+
+    def test_indices_sequential(self, model):
+        vars_ = [model.binary(f"x{i}") for i in range(5)]
+        assert [v.index for v in vars_] == list(range(5))
+
+    def test_var_by_name(self, model):
+        x = model.binary("x")
+        assert model.var_by_name("x") is x
+        with pytest.raises(KeyError):
+            model.var_by_name("y")
+
+
+class TestConstraints:
+    def test_add_requires_constraint(self, model):
+        with pytest.raises(TypeError):
+            model.add(True)  # e.g. accidental `x <= x` python-level bool
+
+    def test_add_range(self, model):
+        x = model.binary("x")
+        con = model.add_range(x + 0.0, 0.25, 0.75, name="rng")
+        assert con.lower == 0.25 and con.upper == 0.75
+        assert con.name == "rng"
+
+    def test_named_constraint(self, model):
+        x = model.binary("x")
+        con = model.add(x <= 1, name="cap")
+        assert con.name == "cap"
+
+
+class TestObjective:
+    def test_maximize_negates(self, model):
+        x = model.binary("x")
+        model.maximize(2 * x)
+        assert model.objective.coeffs[x.index] == -2.0
+
+    def test_minimize_var_directly(self, model):
+        x = model.continuous("x", 0, 1)
+        model.minimize(x)
+        assert model.objective.coeffs[x.index] == 1.0
+
+
+class TestStandardForm:
+    def test_matrix_shape_and_content(self, model):
+        x = model.binary("x")
+        y = model.continuous("y", -1.0, 2.0)
+        model.add(x + 2 * y <= 4)
+        model.add(x - y >= -1)
+        model.add(x + y == 1)
+        model.minimize(x + 3 * y)
+        form = model.to_standard_form()
+        assert form.a_matrix.shape == (3, 2)
+        np.testing.assert_allclose(form.c, [1.0, 3.0])
+        np.testing.assert_allclose(form.x_lower, [0.0, -1.0])
+        np.testing.assert_allclose(form.x_upper, [1.0, 2.0])
+        np.testing.assert_array_equal(form.integrality, [1, 0])
+        dense = form.a_matrix.toarray()
+        np.testing.assert_allclose(dense[0], [1.0, 2.0])
+        assert form.b_upper[0] == 4.0 and form.b_lower[0] == -np.inf
+        assert form.b_lower[1] == -1.0 and form.b_upper[1] == np.inf
+        assert form.b_lower[2] == form.b_upper[2] == 1.0
+
+    def test_constant_folded_into_bounds(self, model):
+        x = model.binary("x")
+        model.add(x + 5 <= 7)
+        form = model.to_standard_form()
+        assert form.b_upper[0] == pytest.approx(2.0)
+
+    def test_empty_model(self, model):
+        form = model.to_standard_form()
+        assert form.a_matrix.shape == (0, 0)
+
+    def test_zero_coefficients_dropped(self, model):
+        x, y = model.binary("x"), model.binary("y")
+        model.add(x + 0 * y <= 1)
+        form = model.to_standard_form()
+        assert form.a_matrix.nnz == 1
+
+
+class TestStats:
+    def test_counts(self, model):
+        x = model.binary("x")
+        y = model.continuous("y", 0, 1)
+        model.add(x + y <= 1)
+        stats = model.stats()
+        assert stats.num_vars == 2
+        assert stats.num_binary == 1
+        assert stats.num_constraints == 1
+        assert stats.num_nonzeros == 2
+        assert "2 vars" in str(stats)

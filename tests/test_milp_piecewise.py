@@ -1,0 +1,76 @@
+"""Tests for the convex piecewise-linear fitting and constraints."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp import HighsSolver, Model, convex_pwl_from_samples
+
+
+class TestFit:
+    def test_linear_data_single_segment(self):
+        xs = np.linspace(0, 10, 20)
+        pwl = convex_pwl_from_samples(xs, 2 * xs + 1)
+        assert len(pwl.segments) == 1
+        assert pwl.segments[0].slope == pytest.approx(2.0)
+        assert pwl.segments[0].intercept == pytest.approx(1.0)
+
+    def test_quadratic_chords_over_estimate_between_samples(self):
+        xs = np.linspace(-2, 2, 9)
+        pwl = convex_pwl_from_samples(xs, xs ** 2, max_segments=8)
+        for x in np.linspace(-2, 2, 101):
+            assert pwl.value_at(x) >= x * x - 1e-9
+
+    def test_exact_at_hull_sample_points(self):
+        xs = np.linspace(0, 4, 5)
+        ys = xs ** 2
+        pwl = convex_pwl_from_samples(xs, ys, max_segments=10)
+        for x, y in zip(xs, ys):
+            assert pwl.value_at(x) == pytest.approx(y, abs=1e-9)
+
+    def test_max_segments_respected(self):
+        xs = np.linspace(0, 10, 100)
+        pwl = convex_pwl_from_samples(xs, np.exp(xs / 3), max_segments=4)
+        assert len(pwl.segments) <= 4
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            convex_pwl_from_samples(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_too_few_samples_raise(self):
+        with pytest.raises(ValueError):
+            convex_pwl_from_samples(np.array([1.0]), np.array([1.0]))
+
+    def test_unsorted_input_handled(self):
+        xs = np.array([3.0, 0.0, 1.0, 2.0])
+        pwl = convex_pwl_from_samples(xs, xs ** 2, max_segments=5)
+        assert pwl.value_at(0.0) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestConstraints:
+    def test_constrain_above_enforces_hull(self):
+        xs = np.linspace(0, 4, 9)
+        pwl = convex_pwl_from_samples(xs, xs ** 2, max_segments=8)
+        for x_val in (0.5, 2.0, 3.7):
+            m = Model()
+            x = m.continuous("x", x_val, x_val)
+            y = m.continuous("y", 0.0, 100.0)
+            pwl.constrain_above(m, x, y, "pwl")
+            m.minimize(y)
+            sol = HighsSolver().solve(m)
+            assert sol.value(y) == pytest.approx(pwl.value_at(x_val), rel=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.floats(0.2, 3.0),
+    st.floats(-2.0, 2.0),
+    st.integers(3, 8),
+)
+def test_hull_never_below_convex_curve(scale, shift, segments):
+    xs = np.linspace(-3, 3, 40)
+    ys = scale * (xs - shift) ** 2
+    pwl = convex_pwl_from_samples(xs, ys, max_segments=segments)
+    for x in np.linspace(-3, 3, 61):
+        assert pwl.value_at(x) >= scale * (x - shift) ** 2 - 1e-6

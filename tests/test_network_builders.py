@@ -1,0 +1,112 @@
+"""Tests for the template builders (experiment workload generators)."""
+
+import pytest
+
+from repro.graph import shortest_path_tree
+from repro.network import (
+    data_collection_template,
+    localization_template,
+    small_grid_template,
+    synthetic_template,
+)
+
+
+class TestDataCollection:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return data_collection_template(n_sensors=12, n_relay_candidates=30)
+
+    def test_node_counts(self, instance):
+        template = instance.template
+        assert len(template.sensors) == 12
+        assert len(template.sinks) == 1
+        assert len(template.relays) == 30
+        assert template.node_count == 43
+
+    def test_paper_default_size(self):
+        instance = data_collection_template()
+        assert instance.template.node_count == 136  # 35 + 1 + 100
+
+    def test_fixed_flags(self, instance):
+        for node in instance.template.nodes:
+            assert node.fixed == (node.role in ("sensor", "sink"))
+
+    def test_all_sensors_can_reach_sink(self, instance):
+        reachable = set()
+        for sensor in instance.sensor_ids:
+            dist = shortest_path_tree(instance.template.graph, sensor)
+            if instance.sink_id in dist:
+                reachable.add(sensor)
+        assert reachable == set(instance.sensor_ids)
+
+    def test_nodes_inside_floor(self, instance):
+        for node in instance.template.nodes:
+            assert instance.plan.contains(node.location)
+
+
+class TestSynthetic:
+    def test_deterministic(self):
+        a = synthetic_template(40, 10, seed=7)
+        b = synthetic_template(40, 10, seed=7)
+        assert [n.location for n in a.template.nodes] == [
+            n.location for n in b.template.nodes
+        ]
+
+    def test_counts(self):
+        instance = synthetic_template(60, 25, seed=1)
+        template = instance.template
+        assert len(template.sensors) == 25
+        assert len(template.sinks) == 1
+        assert template.node_count == 60
+
+    def test_density_roughly_constant(self):
+        small = synthetic_template(50, 10, seed=0)
+        large = synthetic_template(200, 10, seed=0)
+        density_small = 50 / small.plan.bounds.area
+        density_large = 200 / large.plan.bounds.area
+        assert density_small == pytest.approx(density_large, rel=0.01)
+
+    def test_too_many_end_devices_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_template(10, 10)
+
+    def test_sensors_connected(self):
+        instance = synthetic_template(80, 20, seed=2)
+        for sensor in instance.sensor_ids:
+            dist = shortest_path_tree(instance.template.graph, sensor)
+            assert instance.sink_id in dist
+
+
+class TestLocalization:
+    def test_counts(self):
+        instance = localization_template(
+            n_anchor_candidates=40, n_test_points=25
+        )
+        assert len(instance.template.anchors) == 40
+        assert len(instance.test_points) == 25
+
+    def test_paper_default_size(self):
+        instance = localization_template()
+        assert len(instance.template.anchors) == 150
+        assert len(instance.test_points) == 135
+
+    def test_star_topology_has_no_links(self):
+        instance = localization_template(30, 10)
+        assert instance.template.edge_count == 0
+
+    def test_anchors_optional(self):
+        instance = localization_template(30, 10)
+        assert all(not n.fixed for n in instance.template.nodes)
+
+
+class TestSmallGrid:
+    def test_layout(self):
+        instance = small_grid_template(nx=4, ny=3)
+        assert len(instance.sensor_ids) == 3
+        assert instance.sink_id >= 0
+        assert instance.template.node_count == 12
+
+    def test_sensor_column_on_left(self):
+        instance = small_grid_template(nx=4, ny=3, spacing=8.0)
+        for sensor in instance.sensor_ids:
+            assert instance.template.node(sensor).location.x == 8.0

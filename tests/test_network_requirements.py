@@ -1,0 +1,105 @@
+"""Tests for requirement dataclasses."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.network import (
+    LifetimeRequirement,
+    LinkQualityRequirement,
+    PowerConfig,
+    ReachabilityRequirement,
+    RequirementSet,
+    RouteRequirement,
+    TdmaConfig,
+)
+
+
+class TestRouteRequirement:
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            RouteRequirement(1, 1)
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            RouteRequirement(0, 1, replicas=0)
+
+    def test_exact_hops_excludes_bounds(self):
+        with pytest.raises(ValueError):
+            RouteRequirement(0, 1, exact_hops=3, max_hops=4)
+
+    def test_pair(self):
+        assert RouteRequirement(3, 9).pair == (3, 9)
+
+
+class TestLinkQuality:
+    def test_needs_at_least_one_bound(self):
+        with pytest.raises(ValueError):
+            LinkQualityRequirement()
+
+    def test_accepts_either(self):
+        assert LinkQualityRequirement(min_rss_dbm=-80.0).min_snr_db is None
+        assert LinkQualityRequirement(min_snr_db=20.0).min_rss_dbm is None
+
+
+class TestLifetime:
+    def test_positive_years(self):
+        with pytest.raises(ValueError):
+            LifetimeRequirement(years=0.0)
+
+    def test_sink_mains_by_default(self):
+        assert "sink" in LifetimeRequirement(years=5.0).mains_roles
+
+
+class TestReachability:
+    def test_needs_test_points(self):
+        with pytest.raises(ValueError):
+            ReachabilityRequirement(test_points=())
+
+    def test_needs_positive_anchors(self):
+        with pytest.raises(ValueError):
+            ReachabilityRequirement(
+                test_points=(Point(0, 0),), min_anchors=0
+            )
+
+
+class TestTdmaConfig:
+    def test_superframe_duration(self):
+        cfg = TdmaConfig(slots=16, slot_ms=1.0)
+        assert cfg.superframe_ms == 16.0
+
+    def test_report_interval_ms(self):
+        assert TdmaConfig(report_interval_s=30.0).report_interval_ms == 30000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TdmaConfig(slots=0)
+        with pytest.raises(ValueError):
+            TdmaConfig(slot_ms=0.0)
+
+
+class TestPowerConfig:
+    def test_battery_charge_units(self):
+        # 3000 mAh = 3000 * 3600 * 1000 mA*ms.
+        assert PowerConfig(battery_mah=3000).battery_ma_ms == pytest.approx(
+            1.08e10
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerConfig(battery_mah=0)
+
+
+class TestRequirementSet:
+    def test_require_route_appends(self):
+        reqs = RequirementSet()
+        reqs.require_route(0, 5, replicas=2)
+        reqs.require_route(1, 5)
+        assert len(reqs.routes) == 2
+        assert reqs.total_replicas == 3
+
+    def test_defaults(self):
+        reqs = RequirementSet()
+        assert reqs.link_quality is None
+        assert reqs.lifetime is None
+        assert reqs.tdma.slots == 16
+        assert reqs.power.packet_bytes == 50.0

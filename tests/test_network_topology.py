@@ -1,0 +1,79 @@
+"""Tests for decoded architectures and candidate paths."""
+
+import pytest
+
+from repro.library import default_catalog
+from repro.network import Architecture, CandidatePath, Route, small_grid_template
+
+
+class TestCandidatePath:
+    def test_properties(self):
+        path = CandidatePath((1, 4, 7), loss_db=120.0)
+        assert path.source == 1 and path.dest == 7
+        assert path.hops == 2
+        assert path.edges == ((1, 4), (4, 7))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            CandidatePath((1,), 0.0)
+
+    def test_loops_rejected(self):
+        with pytest.raises(ValueError):
+            CandidatePath((1, 2, 1), 0.0)
+
+    def test_shares_edge(self):
+        a = CandidatePath((1, 2, 3), 0.0)
+        b = CandidatePath((0, 2, 3), 0.0)
+        c = CandidatePath((3, 2, 1), 0.0)
+        assert a.shares_edge_with(b)
+        assert not a.shares_edge_with(c)  # direction matters
+
+
+class TestRoute:
+    def test_edges_and_hops(self):
+        route = Route(0, 7, 0, (0, 3, 7))
+        assert route.edges == ((0, 3), (3, 7))
+        assert route.hops == 2
+
+
+@pytest.fixture()
+def arch():
+    instance = small_grid_template()
+    a = Architecture(template=instance.template, library=default_catalog())
+    a.sizing = {0: "sensor-std", 5: "relay-ant", 7: "sink-std"}
+    a.active_edges = {(0, 5), (5, 7)}
+    a.routes = [Route(0, 7, 0, (0, 5, 7)), Route(0, 7, 1, (0, 7))]
+    return a
+
+
+class TestArchitecture:
+    def test_node_count_and_cost(self, arch):
+        assert arch.node_count == 3
+        # sensor-std 0 + relay-ant 34 + sink-std 80.
+        assert arch.dollar_cost == pytest.approx(114.0)
+
+    def test_device_of(self, arch):
+        assert arch.device_of(5).name == "relay-ant"
+        with pytest.raises(KeyError):
+            arch.device_of(3)
+
+    def test_routes_for(self, arch):
+        assert len(arch.routes_for(0, 7)) == 2
+        assert arch.routes_for(1, 7) == []
+
+    def test_routes_through(self, arch):
+        assert len(arch.routes_through(5)) == 1
+        assert len(arch.routes_through(0)) == 2
+
+    def test_tx_rx_uses(self, arch):
+        assert arch.tx_uses(0) == [(0, 5), (0, 7)]
+        assert arch.tx_uses(5) == [(5, 7)]
+        assert arch.rx_uses(7) == [(5, 7), (0, 7)]
+        assert arch.rx_uses(0) == []
+
+    def test_duplicate_route_through_node_counts_twice(self, arch):
+        arch.routes.append(Route(4, 7, 0, (4, 5, 7)))
+        assert arch.tx_uses(5) == [(5, 7), (5, 7)]
+
+    def test_summary_mentions_cost(self, arch):
+        assert "$114" in arch.summary()

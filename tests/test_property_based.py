@@ -1,0 +1,111 @@
+"""Cross-cutting property-based tests over the whole pipeline.
+
+These pit independently implemented components against each other on
+randomized inputs: the two path encodings, the two MILP solvers, the
+analytic energy model vs the simulator, and Algorithm 1's pool generation
+invariants on random templates.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ApproximatePathEncoder,
+    ArchitectureExplorer,
+    default_catalog,
+    synthetic_template,
+    validate,
+)
+from repro.channel import expected_transmissions, packet_error_rate, snr_for_etx
+from repro.encoding import EncodingError
+from repro.encoding.approximate import budget_div, generate_candidate_pool
+from repro.graph import max_disjoint_subset
+from repro.network import RequirementSet, RouteRequirement
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SLOW
+@given(
+    seed=st.integers(0, 50),
+    n_total=st.integers(20, 45),
+    k_star=st.integers(2, 8),
+)
+def test_candidate_pools_always_valid(seed, n_total, k_star):
+    """Pool invariants hold on random templates: valid loopless paths
+    from source to destination, deduplicated, masks restored."""
+    instance = synthetic_template(n_total, max(2, n_total // 6), seed=seed)
+    graph = instance.template.graph
+    req = RouteRequirement(instance.sensor_ids[0], instance.sink_id,
+                           replicas=min(2, k_star), disjoint=True)
+    try:
+        pool = generate_candidate_pool(graph, req, k_star)
+    except EncodingError:
+        return  # legitimately impossible on this random template
+    assert graph.masked_edges == frozenset()
+    seen = set()
+    for path in pool:
+        assert path.nodes[0] == req.source
+        assert path.nodes[-1] == req.dest
+        assert len(set(path.nodes)) == len(path.nodes)
+        assert path.nodes not in seen
+        seen.add(path.nodes)
+        for u, v in path.edges:
+            assert graph.has_edge(u, v)
+    assert len(
+        max_disjoint_subset([p.nodes for p in pool])
+    ) >= req.replicas
+
+
+@given(k_star=st.integers(1, 100), replicas=st.integers(1, 10))
+def test_budget_div_invariant(k_star, replicas):
+    k, n_rep = budget_div(k_star, replicas)
+    assert n_rep == replicas
+    assert k >= 1
+    assert k * n_rep >= k_star
+    # The split is tight: one fewer candidate per round would not cover K*.
+    assert (k - 1) * n_rep < k_star or k == 1
+
+
+@SLOW
+@given(seed=st.integers(0, 30))
+def test_synthesized_designs_always_validate(seed):
+    """Whatever random template we synthesize on, the decoded design
+    passes the independent checker."""
+    instance = synthetic_template(25, 6, seed=seed)
+    reqs = RequirementSet()
+    for s in instance.sensor_ids:
+        reqs.require_route(s, instance.sink_id, replicas=1, disjoint=False)
+    try:
+        result = ArchitectureExplorer(
+            instance.template, default_catalog(), reqs,
+            encoder=ApproximatePathEncoder(k_star=4),
+        ).solve("cost")
+    except EncodingError:
+        return
+    if not result.feasible:
+        return
+    report = validate(result.architecture, reqs)
+    assert report.ok, report.violations
+
+
+@given(snr=st.floats(5.0, 35.0), size=st.floats(10.0, 150.0))
+def test_etx_per_consistency(snr, size):
+    """ETX and PER are two views of the same quantity."""
+    per = packet_error_rate(snr, size)
+    etx = expected_transmissions(snr, size)
+    if etx < 16.0:  # below the cap the relation is exact
+        assert etx == pytest.approx(1.0 / (1.0 - per), rel=1e-9)
+
+
+@given(target=st.floats(1.2, 10.0))
+def test_snr_for_etx_is_monotone_inverse(target):
+    snr = snr_for_etx(target, 50.0)
+    tighter_target = max(target * 0.9, 1.05)
+    tighter = snr_for_etx(tighter_target, 50.0)
+    assert tighter >= snr - 1e-6

@@ -1,0 +1,108 @@
+"""Tests for the contention-based (CSMA) energy model."""
+
+import math
+
+import pytest
+
+from repro.core import ArchitectureExplorer
+from repro.protocols import (
+    CsmaConfig,
+    collision_probability,
+    csma_energy,
+    csma_lifetime_years,
+)
+from repro.validation import node_charge_ma_ms
+
+
+@pytest.fixture(scope="module")
+def design(grid_instance, library):
+    from repro.network import (
+        LifetimeRequirement,
+        LinkQualityRequirement,
+        RequirementSet,
+    )
+
+    reqs = RequirementSet()
+    for s in grid_instance.sensor_ids:
+        reqs.require_route(s, grid_instance.sink_id, replicas=2,
+                           disjoint=True)
+    reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+    reqs.lifetime = LifetimeRequirement(years=5.0)
+    result = ArchitectureExplorer(
+        grid_instance.template, library, reqs
+    ).solve("cost")
+    assert result.feasible
+    return result.architecture, reqs
+
+
+class TestCollisionProbability:
+    def test_no_contenders_no_collisions(self):
+        assert collision_probability(0, 1.6, 30000.0, 1.0) == 0.0
+
+    def test_grows_with_contenders(self):
+        few = collision_probability(2, 1.6, 30000.0, 1.0)
+        many = collision_probability(20, 1.6, 30000.0, 1.0)
+        assert 0.0 < few < many < 1.0
+
+    def test_grows_with_airtime(self):
+        short = collision_probability(5, 0.5, 30000.0, 1.0)
+        long = collision_probability(5, 5.0, 30000.0, 1.0)
+        assert short < long
+
+    def test_poisson_form(self):
+        p = collision_probability(3, 2.0, 10000.0, 2.0)
+        rate = 3 * 2.0 / 10000.0
+        assert p == pytest.approx(1.0 - math.exp(-rate * 4.0))
+
+
+class TestCsmaConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CsmaConfig(max_attempts=0)
+        with pytest.raises(ValueError):
+            CsmaConfig(rx_duty_cycle=0.0)
+
+
+class TestCsmaEnergy:
+    def test_every_used_node_charged(self, design):
+        arch, reqs = design
+        report = csma_energy(arch, reqs)
+        assert set(report.node_charge_ma_ms) == set(arch.used_nodes)
+        assert all(c > 0 for c in report.node_charge_ma_ms.values())
+
+    def test_collision_probabilities_bounded(self, design):
+        arch, reqs = design
+        report = csma_energy(arch, reqs)
+        for route in arch.routes:
+            for edge in route.edges:
+                assert 0.0 <= report.collision_probability[edge] < 1.0
+
+    def test_duty_cycled_listening_dominates_vs_tdma(self, design):
+        """CSMA's idle listening makes it strictly more expensive than
+        the TDMA model on the same design — the reason the paper's
+        networks use TDMA."""
+        arch, reqs = design
+        report = csma_energy(arch, reqs)
+        for node_id in arch.used_nodes:
+            if arch.template.node(node_id).role == "sink":
+                continue
+            tdma_charge = node_charge_ma_ms(arch, reqs, node_id)
+            assert report.node_charge_ma_ms[node_id] > tdma_charge
+
+    def test_higher_duty_cycle_costs_more(self, design):
+        arch, reqs = design
+        low = csma_energy(arch, reqs, CsmaConfig(rx_duty_cycle=0.005))
+        high = csma_energy(arch, reqs, CsmaConfig(rx_duty_cycle=0.05))
+        assert high.total_charge_ma_ms > low.total_charge_ma_ms
+
+    def test_lifetime_shorter_than_tdma(self, design):
+        from repro.validation import lifetime_years
+
+        arch, reqs = design
+        node = next(
+            n for n in arch.used_nodes
+            if arch.template.node(n).role != "sink"
+        )
+        assert csma_lifetime_years(arch, reqs, node) < lifetime_years(
+            arch, reqs, node
+        )

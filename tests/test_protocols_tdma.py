@@ -1,0 +1,173 @@
+"""Tests for the TDMA slot scheduler."""
+
+import pytest
+
+from repro.core import ArchitectureExplorer
+from repro.network import RequirementSet, TdmaConfig
+from repro.protocols import SchedulingError, build_schedule, slot_demand
+
+
+@pytest.fixture()
+def arch(grid_instance, library, grid_requirements):
+    result = ArchitectureExplorer(
+        grid_instance.template, library, grid_requirements
+    ).solve("cost")
+    assert result.feasible
+    return result.architecture
+
+
+class TestBuildSchedule:
+    def test_every_hop_scheduled_once(self, arch):
+        schedule = build_schedule(arch, TdmaConfig())
+        total_hops = sum(r.hops for r in arch.routes)
+        assert len(schedule.assignments) == total_hops
+
+    def test_hops_in_route_order(self, arch):
+        schedule = build_schedule(arch, TdmaConfig())
+        by_route = {}
+        for a in schedule.assignments:
+            by_route.setdefault(a.route_index, []).append(a)
+        for assignments in by_route.values():
+            assignments.sort(key=lambda a: a.hop_index)
+            slots = [a.slot for a in assignments]
+            assert slots == sorted(slots)
+            assert len(set(slots)) == len(slots)
+
+    def test_no_node_double_booked(self, arch):
+        schedule = build_schedule(arch, TdmaConfig())
+        for slot in range(schedule.span_slots):
+            busy = []
+            for a in schedule.in_slot(slot):
+                busy.extend([a.tx, a.rx])
+            assert len(busy) == len(set(busy))
+
+    def test_no_interference_at_receivers(self, arch):
+        schedule = build_schedule(arch, TdmaConfig())
+        for slot in range(schedule.span_slots):
+            concurrent = schedule.in_slot(slot)
+            for i, a in enumerate(concurrent):
+                for b in concurrent[i + 1:]:
+                    # b's transmitter must not be audible at a's receiver.
+                    try:
+                        arch.template.path_loss(b.tx, a.rx)
+                        audible = True
+                    except KeyError:
+                        audible = False
+                    assert not audible
+
+    def test_slots_of_matches_demand(self, arch):
+        schedule = build_schedule(arch, TdmaConfig())
+        demand = slot_demand(arch.routes)
+        for node_id, count in demand.items():
+            assert len(schedule.slots_of(node_id)) == count
+
+    def test_budget_exceeded_raises(self, arch):
+        with pytest.raises(SchedulingError):
+            build_schedule(arch, TdmaConfig(), max_superframes=0)
+
+    def test_span_superframes(self, arch):
+        config = TdmaConfig(slots=16)
+        schedule = build_schedule(arch, config)
+        import math
+
+        assert schedule.span_superframes == math.ceil(
+            schedule.span_slots / config.slots
+        )
+
+
+class TestMultiSuperframe:
+    def test_small_superframes_spill_over(self, arch):
+        """With tiny superframes the schedule must span several of them
+        while staying conflict-free."""
+        config = TdmaConfig(slots=2, slot_ms=1.0)
+        schedule = build_schedule(arch, config)
+        assert schedule.span_superframes > 1
+        for slot in range(schedule.span_slots):
+            busy = []
+            for a in schedule.in_slot(slot):
+                busy.extend([a.tx, a.rx])
+            assert len(busy) == len(set(busy))
+
+    def test_simulator_handles_multi_superframe_schedules(
+        self, arch, grid_requirements
+    ):
+
+        from repro.network import RequirementSet
+        from repro.simulation import DataCollectionSimulator
+
+        reqs = RequirementSet(
+            routes=grid_requirements.routes,
+            link_quality=grid_requirements.link_quality,
+            lifetime=grid_requirements.lifetime,
+            tdma=TdmaConfig(slots=2, slot_ms=1.0, report_interval_s=30.0),
+            power=grid_requirements.power,
+        )
+        sim = DataCollectionSimulator(arch, reqs, seed=0)
+        assert sim.schedule.span_superframes > 1
+        outcome = sim.run(reports=20)
+        assert outcome.delivery_ratio == 1.0
+
+
+class TestScheduleProperties:
+    """Property-based: any valid route set schedules conflict-free."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 1000), n_routes=st.integers(1, 8))
+    def test_random_route_sets(self, seed, n_routes):
+        import numpy as np
+
+        from repro.graph import k_shortest_paths
+        from repro.library import default_catalog
+        from repro.network import (
+            Architecture,
+            Route,
+            small_grid_template,
+        )
+
+        instance = small_grid_template(nx=4, ny=3)
+        rng = np.random.default_rng(seed)
+        arch = Architecture(template=instance.template,
+                            library=default_catalog())
+        for i in range(n_routes):
+            sensor = int(rng.choice(instance.sensor_ids))
+            options = k_shortest_paths(
+                instance.template.graph, sensor, instance.sink_id, 4
+            )
+            path, _ = options[int(rng.integers(len(options)))]
+            arch.routes.append(Route(sensor, instance.sink_id, i,
+                                     tuple(path)))
+        arch.active_edges = {e for r in arch.routes for e in r.edges}
+
+        schedule = build_schedule(arch, TdmaConfig())
+        # Completeness.
+        assert len(schedule.assignments) == sum(r.hops for r in arch.routes)
+        # Causality within each route.
+        slots_by_route = {}
+        for a in schedule.assignments:
+            slots_by_route.setdefault(a.route_index, []).append(
+                (a.hop_index, a.slot)
+            )
+        for hops in slots_by_route.values():
+            hops.sort()
+            slot_seq = [s for _, s in hops]
+            assert slot_seq == sorted(slot_seq)
+            assert len(set(slot_seq)) == len(slot_seq)
+        # No node double-booked in any slot.
+        for slot in range(schedule.span_slots):
+            busy = []
+            for a in schedule.in_slot(slot):
+                busy.extend([a.tx, a.rx])
+            assert len(busy) == len(set(busy))
+
+
+class TestSlotDemand:
+    def test_counts_tx_and_rx(self, arch):
+        demand = slot_demand(arch.routes)
+        expected_total = 2 * sum(r.hops for r in arch.routes)
+        assert sum(demand.values()) == expected_total
+
+    def test_empty_routes(self):
+        assert slot_demand([]) == {}

@@ -1,0 +1,95 @@
+"""Tests for the shadowing-robustness analysis."""
+
+import pytest
+
+from repro.core import ArchitectureExplorer
+from repro.network import (
+    LinkQualityRequirement,
+    RequirementSet,
+    small_grid_template,
+)
+from repro.library import default_catalog
+from repro.validation import shadowing_robustness
+
+
+def synthesize(min_snr_db: float, replicas: int = 2):
+    instance = small_grid_template(nx=5, ny=4, spacing=9.0)
+    reqs = RequirementSet()
+    for s in instance.sensor_ids:
+        reqs.require_route(s, instance.sink_id, replicas=replicas,
+                           disjoint=(replicas > 1))
+    reqs.link_quality = LinkQualityRequirement(min_snr_db=min_snr_db)
+    result = ArchitectureExplorer(
+        instance.template, default_catalog(), reqs
+    ).solve("cost")
+    assert result.feasible
+    return result.architecture, reqs
+
+
+class TestShadowingRobustness:
+    def test_zero_sigma_always_survives(self):
+        arch, reqs = synthesize(min_snr_db=20.0)
+        report = shadowing_robustness(arch, reqs, sigma_db=0.0, draws=10)
+        assert report.worst_pair_survival == 1.0
+        assert all(r == 0.0 for r in report.link_failure_rate.values())
+
+    def test_deterministic_per_seed(self):
+        arch, reqs = synthesize(min_snr_db=15.0)
+        a = shadowing_robustness(arch, reqs, sigma_db=6.0, draws=50, seed=4)
+        b = shadowing_robustness(arch, reqs, sigma_db=6.0, draws=50, seed=4)
+        assert a.pair_survival == b.pair_survival
+
+    def test_margins_reflect_requirement(self):
+        tight_arch, tight_reqs = synthesize(min_snr_db=10.0)
+        wide_arch, wide_reqs = synthesize(min_snr_db=25.0)
+        tight = shadowing_robustness(tight_arch, tight_reqs, draws=10)
+        wide = shadowing_robustness(wide_arch, wide_reqs, draws=10)
+        assert wide.min_link_margin_db > tight.min_link_margin_db
+
+    def test_margin_buys_survival(self):
+        """Designs synthesized with more SNR headroom survive shadowing
+        better — the design-margin story.  Single routes (no replica
+        redundancy masking the effect) under heavy shadowing."""
+        tight_arch, tight_reqs = synthesize(min_snr_db=8.0, replicas=1)
+        wide_arch, wide_reqs = synthesize(min_snr_db=25.0, replicas=1)
+        sigma = 8.0
+        tight = shadowing_robustness(tight_arch, tight_reqs,
+                                     sigma_db=sigma, draws=400, seed=1)
+        wide = shadowing_robustness(wide_arch, wide_reqs,
+                                    sigma_db=sigma, draws=400, seed=1)
+        assert wide.min_link_margin_db > tight.min_link_margin_db
+        assert wide.mean_pair_survival > tight.mean_pair_survival
+
+    def test_replicas_buy_survival(self):
+        """Two disjoint replicas survive shadowing draws better than a
+        single route at the same quality bound."""
+        single_arch, single_reqs = synthesize(min_snr_db=10.0, replicas=1)
+        dual_arch, dual_reqs = synthesize(min_snr_db=10.0, replicas=2)
+        sigma = 7.0
+        single = shadowing_robustness(single_arch, single_reqs,
+                                      sigma_db=sigma, draws=300, seed=2)
+        dual = shadowing_robustness(dual_arch, dual_reqs,
+                                    sigma_db=sigma, draws=300, seed=2)
+        assert dual.mean_pair_survival >= single.mean_pair_survival
+
+    def test_survival_decreases_with_sigma(self):
+        arch, reqs = synthesize(min_snr_db=12.0)
+        calm = shadowing_robustness(arch, reqs, sigma_db=2.0, draws=200,
+                                    seed=3)
+        rough = shadowing_robustness(arch, reqs, sigma_db=10.0, draws=200,
+                                     seed=3)
+        assert rough.mean_pair_survival <= calm.mean_pair_survival
+
+    def test_empty_design(self):
+        from repro.network import Architecture
+
+        instance = small_grid_template()
+        arch = Architecture(template=instance.template,
+                            library=default_catalog())
+        report = shadowing_robustness(arch, RequirementSet(), draws=5)
+        assert report.worst_pair_survival == 1.0
+
+    def test_invalid_draws(self):
+        arch, reqs = synthesize(min_snr_db=15.0)
+        with pytest.raises(ValueError):
+            shadowing_robustness(arch, reqs, draws=0)

@@ -1,0 +1,157 @@
+"""Tests for the event engine and the data-collection simulator."""
+
+import pytest
+
+from repro.core import ArchitectureExplorer
+from repro.simulation import DataCollectionSimulator, EventQueue
+from repro.validation import lifetime_years, node_charge_ma_ms
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2.0, lambda: fired.append("b"))
+        queue.schedule(1.0, lambda: fired.append("a"))
+        queue.schedule(3.0, lambda: fired.append("c"))
+        queue.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_at_equal_times(self):
+        queue = EventQueue()
+        fired = []
+        for tag in "abc":
+            queue.schedule(1.0, lambda t=tag: fired.append(t))
+        queue.run_until(1.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_run_until_respects_horizon(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(5.0, lambda: fired.append("late"))
+        executed = queue.run_until(4.0)
+        assert executed == 0 and fired == []
+        assert queue.pending == 1
+        queue.run_until(5.0)
+        assert fired == ["late"]
+
+    def test_cancel(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.schedule(1.0, lambda: fired.append("x"))
+        queue.cancel(handle)
+        queue.run_until(2.0)
+        assert fired == []
+
+    def test_events_scheduling_events(self):
+        queue = EventQueue()
+        fired = []
+
+        def first():
+            fired.append(queue.now)
+            queue.schedule(1.0, lambda: fired.append(queue.now))
+
+        queue.schedule(1.0, first)
+        queue.run_until(5.0)
+        assert fired == [1.0, 2.0]
+
+    def test_past_scheduling_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule(-1.0, lambda: None)
+
+
+@pytest.fixture(scope="module")
+def synthesized(grid_instance, library):
+    from repro.network import (
+        LifetimeRequirement,
+        LinkQualityRequirement,
+        RequirementSet,
+    )
+
+    reqs = RequirementSet()
+    for s in grid_instance.sensor_ids:
+        reqs.require_route(s, grid_instance.sink_id, replicas=2,
+                           disjoint=True)
+    reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+    reqs.lifetime = LifetimeRequirement(years=5.0)
+    result = ArchitectureExplorer(
+        grid_instance.template, library, reqs
+    ).solve("cost")
+    assert result.feasible
+    return result.architecture, reqs
+
+
+class TestDataCollectionSimulator:
+    def test_high_snr_network_delivers_everything(self, synthesized):
+        arch, reqs = synthesized
+        sim = DataCollectionSimulator(arch, reqs, seed=0)
+        result = sim.run(reports=50)
+        assert result.packets_injected == 50 * len(arch.routes)
+        assert result.delivery_ratio == 1.0
+        assert result.packets_dropped == 0
+
+    def test_deterministic_given_seed(self, synthesized):
+        arch, reqs = synthesized
+        a = DataCollectionSimulator(arch, reqs, seed=3).run(reports=20)
+        b = DataCollectionSimulator(arch, reqs, seed=3).run(reports=20)
+        assert a.packets_delivered == b.packets_delivered
+        for node_id in a.ledgers:
+            assert a.ledgers[node_id].charge_ma_ms == pytest.approx(
+                b.ledgers[node_id].charge_ma_ms
+            )
+
+    def test_simulated_charge_matches_analytic(self, synthesized):
+        """On a loss-free network the simulator's measured burn rate must
+        equal the validator's analytic model almost exactly (ETX ~ 1)."""
+        arch, reqs = synthesized
+        sim = DataCollectionSimulator(arch, reqs, seed=1)
+        result = sim.run(reports=100)
+        for node_id in arch.used_nodes:
+            if arch.template.node(node_id).role == "sink":
+                continue
+            analytic = node_charge_ma_ms(arch, reqs, node_id)
+            simulated = result.charge_per_report(node_id)
+            assert simulated == pytest.approx(analytic, rel=0.02)
+
+    def test_lifetime_extrapolation_close_to_analytic(self, synthesized):
+        arch, reqs = synthesized
+        result = DataCollectionSimulator(arch, reqs, seed=1).run(reports=100)
+        for node_id in arch.used_nodes:
+            if arch.template.node(node_id).role == "sink":
+                continue
+            analytic = lifetime_years(arch, reqs, node_id)
+            simulated = result.lifetime_years(node_id, reqs.power, reqs.tdma)
+            assert simulated == pytest.approx(analytic, rel=0.05)
+
+    def test_lossy_network_retransmits_or_drops(self, grid_instance, library):
+        """Force marginal links by relaxing quality bounds: the simulator
+        must observe retransmissions and/or drops."""
+        from repro.network import LinkQualityRequirement, RequirementSet
+        from repro.channel import snr_for_etx
+
+        reqs = RequirementSet()
+        for s in grid_instance.sensor_ids:
+            reqs.require_route(s, grid_instance.sink_id, replicas=1,
+                               disjoint=False)
+        # Permit links right at ETX ~ 2 (PER ~ 0.5).
+        marginal_snr = snr_for_etx(2.0, reqs.power.packet_bytes)
+        reqs.link_quality = LinkQualityRequirement(min_snr_db=marginal_snr)
+        result = ArchitectureExplorer(
+            grid_instance.template, library, reqs
+        ).solve("cost")
+        assert result.feasible
+        arch = result.architecture
+        # Degrade every used link artificially to the marginal SNR by
+        # simulating with a noise-raised link type is not possible here;
+        # instead check the mechanism: per-link PER drives retries.
+        sim = DataCollectionSimulator(arch, reqs, seed=5)
+        sim._per_cache = {
+            edge: 0.5 for route in arch.routes for edge in route.edges
+        }
+        outcome = sim.run(reports=50)
+        total_retx = sum(
+            ledger.retransmissions for ledger in outcome.ledgers.values()
+        )
+        assert total_retx > 0
+        assert outcome.delivery_ratio < 1.0 or total_retx > 0

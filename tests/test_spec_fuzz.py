@@ -1,0 +1,65 @@
+"""Fuzz tests: the spec parser must reject garbage gracefully.
+
+Whatever text arrives, `parse_spec`/`compile_spec` must either succeed or
+raise :class:`SpecError` with a line-numbered message — never crash with
+an arbitrary exception (the spec file is user input to the CLI).
+"""
+
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.spec import SpecError, compile_spec, parse_spec
+
+spec_chars = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("L", "N", "P", "S", "Z"),
+        whitelist_characters="\n\t #(),=*+-[]_",
+    ),
+    max_size=300,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(spec_chars)
+@example("has_path(")
+@example("p = ")
+@example("objective()")
+@example("min_rss(--80)")
+@example("has_paths(sensors, sink, replicas=x)")
+@example("max_hops(p, 1.5, 2)")
+@example("= min_rss(-80)")
+def test_parser_never_crashes(text):
+    try:
+        parse_spec(text)
+    except SpecError:
+        pass  # the designed failure mode
+
+
+@settings(max_examples=100, deadline=None)
+@given(spec_chars)
+def test_compile_never_crashes(text):
+    from repro.network import small_grid_template
+
+    template = small_grid_template().template
+    try:
+        compile_spec(text, template)
+    except SpecError:
+        pass
+
+
+class TestErrorMessages:
+    def test_line_numbers_reported(self):
+        with pytest.raises(SpecError, match="line 3"):
+            parse_spec("min_rss(-80)\n\n???")
+
+    def test_wrong_arity_reported(self):
+        with pytest.raises(SpecError, match="two node references"):
+            parse_spec("p = has_path(a)")
+
+    def test_valid_tokens_wrong_types(self):
+        from repro.network import small_grid_template
+
+        template = small_grid_template().template
+        with pytest.raises(SpecError):
+            compile_spec("p = has_path(1.5, sink)", template)

@@ -1,0 +1,120 @@
+"""Tests for the pattern-language parser."""
+
+import pytest
+
+from repro.spec import SpecError, parse_spec
+from repro.spec.patterns import (
+    Battery,
+    DisjointLinks,
+    HasPath,
+    HasPaths,
+    HopBound,
+    MinLifetime,
+    MinReachable,
+    MinRss,
+    MinSnr,
+    Objective,
+    Tdma,
+)
+
+
+class TestParseBasics:
+    def test_comments_and_blanks_ignored(self):
+        text = """
+        # a comment
+        min_rss(-80)   # trailing comment
+
+        """
+        (stmt,) = parse_spec(text)
+        assert stmt == MinRss(-80.0)
+
+    def test_named_has_path(self):
+        (stmt,) = parse_spec("p1 = has_path(sensor[0], sink)")
+        assert stmt == HasPath("p1", "sensor[0]", "sink")
+
+    def test_has_path_without_name_rejected(self):
+        with pytest.raises(SpecError, match="needs a name"):
+            parse_spec("has_path(a, b)")
+
+    def test_name_on_other_pattern_rejected(self):
+        with pytest.raises(SpecError, match="does not take a name"):
+            parse_spec("x = min_rss(-80)")
+
+    def test_unparseable_line_reports_number(self):
+        with pytest.raises(SpecError, match="line 2"):
+            parse_spec("min_rss(-80)\nthis is not a pattern")
+
+    def test_unknown_pattern(self):
+        with pytest.raises(SpecError, match="unknown pattern"):
+            parse_spec("frobnicate(1)")
+
+
+class TestPatternArguments:
+    def test_has_paths_kwargs(self):
+        (stmt,) = parse_spec("has_paths(sensors, sink, replicas=2, disjoint=true)")
+        assert stmt == HasPaths("sensors", "sink", replicas=2, disjoint=True)
+
+    def test_has_paths_defaults(self):
+        (stmt,) = parse_spec("has_paths(sensors, sink)")
+        assert stmt.replicas == 1 and stmt.disjoint is True
+
+    def test_disjoint_links(self):
+        (stmt,) = parse_spec("disjoint_links(p1, p2, p3)")
+        assert stmt == DisjointLinks(("p1", "p2", "p3"))
+
+    def test_disjoint_links_needs_two(self):
+        with pytest.raises(SpecError):
+            parse_spec("disjoint_links(p1)")
+
+    def test_hop_bounds(self):
+        stmts = parse_spec("max_hops(p, 4)\nmin_hops(q, 2)\nexact_hops(r, 3)")
+        assert stmts[0] == HopBound("max", "p", 4)
+        assert stmts[1] == HopBound("min", "q", 2)
+        assert stmts[2] == HopBound("exact", "r", 3)
+
+    def test_quality_patterns(self):
+        stmts = parse_spec("min_signal_to_noise(20)\nmin_rss(-75.5)")
+        assert stmts[0] == MinSnr(20.0)
+        assert stmts[1] == MinRss(-75.5)
+
+    def test_lifetime(self):
+        (stmt,) = parse_spec("min_network_lifetime(5)")
+        assert stmt == MinLifetime(5.0)
+
+    def test_reachable_positional_rss(self):
+        (stmt,) = parse_spec("min_reachable_devices(3, -80)")
+        assert stmt == MinReachable(3, -80.0)
+
+    def test_reachable_kwarg_rss(self):
+        (stmt,) = parse_spec("min_reachable_devices(4, rss=-75)")
+        assert stmt == MinReachable(4, -75.0)
+
+    def test_tdma_and_battery(self):
+        stmts = parse_spec(
+            "tdma(slots=32, slot_ms=2, report_s=60)\n"
+            "battery(mah=1500, packet_bytes=100)"
+        )
+        assert stmts[0] == Tdma(slots=32, slot_ms=2.0, report_s=60.0)
+        assert stmts[1] == Battery(mah=1500.0, packet_bytes=100.0)
+
+    def test_positional_after_keyword_rejected(self):
+        with pytest.raises(SpecError, match="positional"):
+            parse_spec("has_paths(sensors, sink, replicas=2, extra)")
+
+
+class TestObjective:
+    def test_single_term(self):
+        (stmt,) = parse_spec("objective(cost)")
+        assert stmt == Objective((("cost", 1.0),))
+
+    def test_weighted_sum(self):
+        (stmt,) = parse_spec("objective(0.5*cost + 0.5*energy)")
+        assert stmt == Objective((("cost", 0.5), ("energy", 0.5)))
+
+    def test_mixed_weights(self):
+        (stmt,) = parse_spec("objective(cost + 2*energy)")
+        assert stmt == Objective((("cost", 1.0), ("energy", 2.0)))
+
+    def test_bad_term_rejected(self):
+        with pytest.raises(SpecError, match="objective term"):
+            parse_spec("objective(cost * energy)")

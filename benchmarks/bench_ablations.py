@@ -18,7 +18,7 @@ import pytest
 from conftest import write_table
 from repro import (
     ApproximatePathEncoder,
-    ArchitectureExplorer,
+    DataCollectionExplorer,
     default_catalog,
     synthetic_template,
 )
@@ -106,7 +106,7 @@ def test_ablation_disconnect_solution_quality(benchmark, instance):
     reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
 
     def solve(strategy):
-        explorer = ArchitectureExplorer(
+        explorer = DataCollectionExplorer(
             instance.template, default_catalog(), reqs,
             encoder=ApproximatePathEncoder(k_star=6, disconnect=strategy),
         )
@@ -143,7 +143,7 @@ def test_ablation_localization_kstar(benchmark):
     """
     from repro import (
         HighsSolver,
-        LocalizationExplorer,
+        AnchorPlacementExplorer,
         ReachabilityRequirement,
         localization_catalog,
         localization_template,
@@ -157,7 +157,7 @@ def test_ablation_localization_kstar(benchmark):
     def sweep():
         outcomes = {}
         for k in (3, 5, 10, 20, 40):
-            result = LocalizationExplorer(
+            result = AnchorPlacementExplorer(
                 instance.template, localization_catalog(), requirement,
                 instance.channel, k_star=k,
                 solver=HighsSolver(time_limit=120.0, mip_rel_gap=0.01),

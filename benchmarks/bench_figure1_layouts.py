@@ -22,9 +22,9 @@ import pytest
 from conftest import RESULTS_DIR, paper_scale
 from repro import (
     ApproximatePathEncoder,
-    ArchitectureExplorer,
+    DataCollectionExplorer,
     HighsSolver,
-    LocalizationExplorer,
+    AnchorPlacementExplorer,
     ReachabilityRequirement,
     data_collection_template,
     default_catalog,
@@ -51,7 +51,7 @@ def dc_instance():
 @pytest.fixture(scope="module")
 def dc_solution(dc_instance):
     compiled = compile_spec(SPEC, dc_instance.template)
-    explorer = ArchitectureExplorer(
+    explorer = DataCollectionExplorer(
         dc_instance.template, default_catalog(), compiled.requirements,
         encoder=ApproximatePathEncoder(k_star=10),
         solver=HighsSolver(time_limit=300.0, mip_rel_gap=0.02),
@@ -128,7 +128,7 @@ def test_figure1c_anchor_placement(benchmark):
     )
 
     def synthesize_and_render():
-        result = LocalizationExplorer(
+        result = AnchorPlacementExplorer(
             instance.template, localization_catalog(), requirement,
             instance.channel, k_star=40,
             solver=HighsSolver(time_limit=300.0, mip_rel_gap=0.01),

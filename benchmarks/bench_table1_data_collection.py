@@ -17,7 +17,7 @@ import pytest
 from conftest import paper_scale, write_table
 from repro import (
     ApproximatePathEncoder,
-    ArchitectureExplorer,
+    DataCollectionExplorer,
     HighsSolver,
     ObjectiveSpec,
     data_collection_template,
@@ -55,7 +55,7 @@ def rows(instance, compiled):
 
 def _solve(instance, compiled, objective):
     time_limit = 600.0 if paper_scale() else 120.0
-    explorer = ArchitectureExplorer(
+    explorer = DataCollectionExplorer(
         instance.template, default_catalog(), compiled.requirements,
         encoder=ApproximatePathEncoder(k_star=10),
         solver=HighsSolver(time_limit=time_limit, mip_rel_gap=0.02),

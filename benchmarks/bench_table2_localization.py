@@ -20,7 +20,7 @@ import pytest
 from conftest import paper_scale, write_table
 from repro import (
     HighsSolver,
-    LocalizationExplorer,
+    AnchorPlacementExplorer,
     ObjectiveSpec,
     ReachabilityRequirement,
     localization_catalog,
@@ -53,7 +53,7 @@ def rows():
 
 
 def _solve(instance, requirement, objective):
-    explorer = LocalizationExplorer(
+    explorer = AnchorPlacementExplorer(
         instance.template, localization_catalog(), requirement,
         instance.channel, k_star=K_STAR,
         solver=HighsSolver(time_limit=300.0, mip_rel_gap=0.01),

@@ -22,7 +22,7 @@ import pytest
 from conftest import paper_scale, write_table
 from repro import (
     ApproximatePathEncoder,
-    ArchitectureExplorer,
+    DataCollectionExplorer,
     FullPathEncoder,
     HighsSolver,
     default_catalog,
@@ -60,7 +60,7 @@ def make_problem(n_total, n_end):
 
 
 def solve_approx(instance, reqs):
-    explorer = ArchitectureExplorer(
+    explorer = DataCollectionExplorer(
         instance.template, default_catalog(), reqs,
         encoder=ApproximatePathEncoder(k_star=10),
         solver=HighsSolver(time_limit=600.0, mip_rel_gap=0.02),
@@ -94,7 +94,7 @@ def test_table3_row(benchmark, n_total, n_end, table_rows):
     # Only the smallest instance gets a full-encoding solve attempt.
     full_time = "TO"
     if (n_total, n_end) == SMALL_LADDER[0]:
-        full_result = ArchitectureExplorer(
+        full_result = DataCollectionExplorer(
             instance.template, default_catalog(), reqs,
             encoder=FullPathEncoder(),
             solver=HighsSolver(time_limit=FULL_SOLVE_TIMEOUT),

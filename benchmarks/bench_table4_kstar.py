@@ -8,6 +8,13 @@ Expected shape: cost is non-increasing in K* (the candidate pool only
 grows); time increases steeply with K*; the exhaustive optimum is the
 cheapest and by far the slowest; K* in 3-10 is the knee of the trade-off
 (the paper's guideline).
+
+The ladder runs through the :mod:`repro.runtime` subsystem: every rung
+shares one :class:`~repro.runtime.EncodeCache` (so rungs after the first
+reuse the path-loss-weighted graph instead of re-deriving it), and the
+dedicated parallel test pushes the whole T1 ladder through a two-worker
+:class:`~repro.runtime.BatchRunner` and checks the objectives match the
+sequential solves bit for bit.
 """
 
 import pytest
@@ -15,9 +22,12 @@ import pytest
 from conftest import paper_scale, write_table
 from repro import (
     ApproximatePathEncoder,
-    ArchitectureExplorer,
+    BatchRunner,
+    DataCollectionExplorer,
+    EncodeCache,
     FullPathEncoder,
     HighsSolver,
+    Trial,
     default_catalog,
     synthetic_template,
 )
@@ -58,12 +68,19 @@ def collected():
     return {"T1": {}, "T2": {}}
 
 
-def _solve(problem, k_star):
+@pytest.fixture(scope="module")
+def ladder_caches():
+    """One shared encode cache per template, for the sequential rungs."""
+    return {"T1": EncodeCache(), "T2": EncodeCache()}
+
+
+def _solve(problem, k_star, cache=None):
     instance, reqs = problem
-    explorer = ArchitectureExplorer(
+    explorer = DataCollectionExplorer(
         instance.template, default_catalog(), reqs,
         encoder=ApproximatePathEncoder(k_star=k_star),
         solver=HighsSolver(time_limit=600.0, mip_rel_gap=0.01),
+        cache=cache,
     )
     result = explorer.solve("cost")
     assert result.feasible, f"K*={k_star} infeasible"
@@ -71,24 +88,58 @@ def _solve(problem, k_star):
 
 
 @pytest.mark.parametrize("k_star", K_LADDER)
-def test_table4_t1_kstar(benchmark, t1, k_star, collected):
+def test_table4_t1_kstar(benchmark, t1, k_star, collected, ladder_caches):
     result = benchmark.pedantic(
-        lambda: _solve(t1, k_star), rounds=1, iterations=1
+        lambda: _solve(t1, k_star, ladder_caches["T1"]), rounds=1, iterations=1
     )
     collected["T1"][k_star] = result
 
 
 @pytest.mark.parametrize("k_star", K_LADDER)
-def test_table4_t2_kstar(benchmark, t2, k_star, collected):
+def test_table4_t2_kstar(benchmark, t2, k_star, collected, ladder_caches):
     result = benchmark.pedantic(
-        lambda: _solve(t2, k_star), rounds=1, iterations=1
+        lambda: _solve(t2, k_star, ladder_caches["T2"]), rounds=1, iterations=1
     )
     collected["T2"][k_star] = result
 
 
+def test_table4_cache_reused_across_rungs(collected, ladder_caches):
+    """Rungs after the first score nonzero hits on the shared cache."""
+    for name in ("T1", "T2"):
+        cache = ladder_caches[name]
+        assert cache.counters.hit_count("pathloss") >= len(K_LADDER) - 1, (
+            f"{name}: later rungs did not reuse the weighted graph"
+        )
+        # Per-rung attribution: every rung but the first saw cache hits.
+        rungs = [collected[name][k] for k in K_LADDER]
+        assert sum(
+            1 for r in rungs if r.run_stats.cache.hit_count() > 0
+        ) >= len(K_LADDER) - 1
+
+
+def test_table4_t1_parallel_ladder(benchmark, t1, collected):
+    """The T1 ladder on a two-worker runner matches the sequential costs."""
+    cache = EncodeCache()
+    runner = BatchRunner(workers=2, mode="thread")
+
+    def run_ladder():
+        outcomes = runner.run([
+            Trial(_solve, (t1, k, cache), label=f"K*={k}") for k in K_LADDER
+        ])
+        return [o.unwrap() for o in outcomes]
+
+    results = benchmark.pedantic(run_ladder, rounds=1, iterations=1)
+    assert cache.counters.hit_count("pathloss") >= len(K_LADDER) - 1
+    for k, parallel_result in zip(K_LADDER, results):
+        sequential_result = collected["T1"][k]
+        assert parallel_result.objective_value == pytest.approx(
+            sequential_result.objective_value
+        ), f"parallel K*={k} diverged from the sequential solve"
+
+
 def test_table4_t1_full_optimum(benchmark, t1, collected):
     instance, reqs = t1
-    explorer = ArchitectureExplorer(
+    explorer = DataCollectionExplorer(
         instance.template, default_catalog(), reqs,
         encoder=FullPathEncoder(),
         solver=HighsSolver(time_limit=FULL_TIMEOUT, mip_rel_gap=0.01),

@@ -15,7 +15,7 @@ from collections import Counter
 
 from repro import (
     ApproximatePathEncoder,
-    ArchitectureExplorer,
+    DataCollectionExplorer,
     HighsSolver,
     ObjectiveSpec,
     data_collection_template,
@@ -77,7 +77,7 @@ def main() -> None:
     library = default_catalog()
 
     def run(objective):
-        explorer = ArchitectureExplorer(
+        explorer = DataCollectionExplorer(
             instance.template, library, compiled.requirements,
             encoder=ApproximatePathEncoder(k_star=args.k),
             solver=HighsSolver(time_limit=args.time_limit),

@@ -9,7 +9,7 @@ problem is stated in the pattern language.
 Run:  python examples/dual_use_network.py
 """
 
-from repro import ArchitectureExplorer, default_catalog, small_grid_template
+from repro import DataCollectionExplorer, default_catalog, small_grid_template
 from repro.geometry import grid_for_count
 from repro.spec import compile_spec
 from repro.validation import validate
@@ -32,7 +32,7 @@ def main() -> None:
     test_points = tuple(grid_for_count(instance.plan.bounds, 12, margin=6.0))
     compiled = compile_spec(SPEC, instance.template, test_points=test_points)
 
-    explorer = ArchitectureExplorer(
+    explorer = DataCollectionExplorer(
         instance.template, default_catalog(), compiled.requirements,
         channel=instance.channel, reach_k_star=10,
     )
@@ -53,7 +53,7 @@ def main() -> None:
         SPEC.replace("min_reachable_devices(2, rss=-78, role=relay)", ""),
         instance.template,
     )
-    base = ArchitectureExplorer(
+    base = DataCollectionExplorer(
         instance.template, default_catalog(), routing_only.requirements
     ).solve(routing_only.objective)
     delta = arch.dollar_cost - base.architecture.dollar_cost

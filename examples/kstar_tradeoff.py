@@ -12,7 +12,8 @@ import argparse
 
 from repro import (
     ApproximatePathEncoder,
-    ArchitectureExplorer,
+    DataCollectionExplorer,
+    EncodeCache,
     FullPathEncoder,
     HighsSolver,
     LinkQualityRequirement,
@@ -48,7 +49,7 @@ def main() -> None:
 
     print(f"{'K*':>4} {'Cost ($)':>9} {'Time (s)':>9}")
     for k in (1, 3, 5, 10, 20):
-        explorer = ArchitectureExplorer(
+        explorer = DataCollectionExplorer(
             instance.template, library, requirements,
             encoder=ApproximatePathEncoder(k_star=k),
         )
@@ -58,7 +59,7 @@ def main() -> None:
         print(f"{k:>4} {cost:>9.0f} {result.total_seconds:>9.2f}")
 
     # The exhaustive-encoding optimum (Table 4's last column).
-    explorer = ArchitectureExplorer(
+    explorer = DataCollectionExplorer(
         instance.template, library, requirements,
         encoder=FullPathEncoder(),
         solver=HighsSolver(time_limit=args.full_time_limit),
@@ -72,16 +73,22 @@ def main() -> None:
         print(f"{'opt':>4} {'-':>9} {result.total_seconds:>9.2f}  "
               f"(full enumeration: {result.status.value})")
 
-    # Automatic K* selection.
+    # Automatic K* selection: rungs solved concurrently over one encode
+    # cache; the stop rules still apply in ladder order.
+    cache = EncodeCache()
     search = kstar_search(
-        lambda k: ArchitectureExplorer(
+        lambda k: DataCollectionExplorer(
             instance.template, library, requirements,
             encoder=ApproximatePathEncoder(k_star=k),
         ),
         objective="cost",
+        parallel=2,
+        cache=cache,
     )
     print(f"\nautomatic search picked K* = {search.best.k_star} "
           f"(${search.best.objective:.0f}; stopped: {search.stop_reason})")
+    print(f"encode cache: {cache.counters.hit_count()} hits / "
+          f"{cache.counters.miss_count()} misses across the ladder")
 
 
 if __name__ == "__main__":

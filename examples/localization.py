@@ -15,7 +15,7 @@ import argparse
 from collections import Counter
 
 from repro import (
-    LocalizationExplorer,
+    AnchorPlacementExplorer,
     ObjectiveSpec,
     ReachabilityRequirement,
     localization_catalog,
@@ -44,7 +44,7 @@ def main() -> None:
     library = localization_catalog()
 
     def run(objective):
-        explorer = LocalizationExplorer(
+        explorer = AnchorPlacementExplorer(
             instance.template, library, requirement, instance.channel,
             k_star=args.k,
         )

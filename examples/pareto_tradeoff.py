@@ -9,7 +9,7 @@ Run:  python examples/pareto_tradeoff.py
 """
 
 from repro import (
-    ArchitectureExplorer,
+    DataCollectionExplorer,
     LifetimeRequirement,
     LinkQualityRequirement,
     RequirementSet,
@@ -28,7 +28,7 @@ def main() -> None:
                                    replicas=2, disjoint=True)
     requirements.link_quality = LinkQualityRequirement(min_snr_db=20.0)
     requirements.lifetime = LifetimeRequirement(years=5.0)
-    explorer = ArchitectureExplorer(
+    explorer = DataCollectionExplorer(
         instance.template, default_catalog(), requirements
     )
 

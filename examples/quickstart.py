@@ -8,8 +8,8 @@ replays it in the discrete-event simulator.
 Run:  python examples/quickstart.py
 """
 
+import repro
 from repro import (
-    ArchitectureExplorer,
     DataCollectionSimulator,
     LifetimeRequirement,
     LinkQualityRequirement,
@@ -37,9 +37,10 @@ def main() -> None:
     requirements.link_quality = LinkQualityRequirement(min_snr_db=20.0)
     requirements.lifetime = LifetimeRequirement(years=5.0)
 
-    # 3. Solve for minimum dollar cost.
-    explorer = ArchitectureExplorer(template, default_catalog(), requirements)
-    result = explorer.solve("cost")
+    # 3. Solve for minimum dollar cost through the one-call facade.
+    result = repro.explore(
+        template, default_catalog(), requirements, objective="cost"
+    )
     print(f"status: {result.status.value}")
     print(f"result: {result.summary()}")
 

@@ -10,7 +10,7 @@ Run:  python examples/resiliency_and_protocols.py
 """
 
 from repro import (
-    ArchitectureExplorer,
+    DataCollectionExplorer,
     LifetimeRequirement,
     LinkQualityRequirement,
     RequirementSet,
@@ -30,7 +30,7 @@ def main() -> None:
     requirements.link_quality = LinkQualityRequirement(min_snr_db=20.0)
     requirements.lifetime = LifetimeRequirement(years=5.0)
 
-    result = ArchitectureExplorer(
+    result = DataCollectionExplorer(
         instance.template, default_catalog(), requirements
     ).solve("cost")
     arch = result.architecture

@@ -15,7 +15,7 @@ Run:  python examples/simulation_validation.py
 """
 
 from repro import (
-    ArchitectureExplorer,
+    DataCollectionExplorer,
     DataCollectionSimulator,
     LifetimeRequirement,
     LinkQualityRequirement,
@@ -36,7 +36,7 @@ def main() -> None:
     requirements.link_quality = LinkQualityRequirement(min_snr_db=15.0)
     requirements.lifetime = LifetimeRequirement(years=5.0)
 
-    result = ArchitectureExplorer(
+    result = DataCollectionExplorer(
         instance.template, default_catalog(), requirements
     ).solve("cost")
     arch = result.architecture

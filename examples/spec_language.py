@@ -10,7 +10,7 @@ the fine-grained form the `has_paths` macro expands to.
 Run:  python examples/spec_language.py
 """
 
-from repro import ArchitectureExplorer, default_catalog, small_grid_template, validate
+from repro import DataCollectionExplorer, default_catalog, small_grid_template, validate
 from repro.spec import compile_spec
 
 SPEC = """
@@ -49,7 +49,7 @@ def main() -> None:
               f"(replicas={req.replicas}, disjoint={req.disjoint}, "
               f"max_hops={req.max_hops})")
 
-    explorer = ArchitectureExplorer(
+    explorer = DataCollectionExplorer(
         instance.template, default_catalog(), compiled.requirements
     )
     result = explorer.solve(compiled.objective)

@@ -9,23 +9,27 @@ Algorithm 1) making realistic sizes tractable.
 
 Quickstart::
 
-    from repro import (
-        ArchitectureExplorer, RequirementSet, LinkQualityRequirement,
-        default_catalog, small_grid_template,
-    )
+    import repro
 
-    inst = small_grid_template()
-    reqs = RequirementSet()
+    inst = repro.small_grid_template()
+    reqs = repro.RequirementSet()
     for sensor in inst.sensor_ids:
         reqs.require_route(sensor, inst.sink_id, replicas=2)
-    reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
-    result = ArchitectureExplorer(
-        inst.template, default_catalog(), reqs
-    ).solve("cost")
+    reqs.link_quality = repro.LinkQualityRequirement(min_snr_db=20.0)
+    result = repro.explore(
+        inst.template, repro.default_catalog(), reqs, objective="cost"
+    )
     print(result.summary())
 """
 
-from repro.core.explorer import ArchitectureExplorer, LocalizationExplorer
+from repro.core.explorer import (
+    AnchorPlacementExplorer,
+    ArchitectureExplorer,
+    DataCollectionExplorer,
+    ExplorerBase,
+    LocalizationExplorer,
+)
+from repro.core.facade import build_explorer, explore
 from repro.core.kstar_search import kstar_search
 from repro.core.objectives import ObjectiveSpec
 from repro.core.results import SynthesisResult
@@ -54,6 +58,7 @@ from repro.network.requirements import (
 )
 from repro.network.template import NetworkNode, Template
 from repro.network.topology import Architecture, Route
+from repro.runtime import BatchRunner, EncodeCache, RunStats, Trial, TrialOutcome
 from repro.io import load_architecture, save_architecture
 from repro.simulation.datacollection import DataCollectionSimulator
 from repro.spec.problem import compile_spec
@@ -63,13 +68,18 @@ from repro.validation.resiliency import ResiliencyReport, analyze_resiliency
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnchorPlacementExplorer",
     "ApproximatePathEncoder",
     "Architecture",
     "ArchitectureExplorer",
+    "BatchRunner",
     "BranchAndBoundSolver",
+    "DataCollectionExplorer",
     "DataCollectionSimulator",
     "Device",
+    "EncodeCache",
     "EncodingError",
+    "ExplorerBase",
     "FullPathEncoder",
     "HighsSolver",
     "Library",
@@ -84,16 +94,21 @@ __all__ = [
     "ResiliencyReport",
     "Route",
     "RouteRequirement",
+    "RunStats",
     "SolveStatus",
     "SynthesisResult",
     "TdmaConfig",
     "Template",
+    "Trial",
+    "TrialOutcome",
     "ValidationReport",
     "analyze_resiliency",
+    "build_explorer",
     "compile_spec",
     "data_collection_template",
     "default_catalog",
     "device",
+    "explore",
     "kstar_search",
     "load_architecture",
     "localization_catalog",

@@ -8,15 +8,22 @@ components and a floor plan"; this CLI is that front door:
 * ``localize``   — anchor-placement synthesis;
 * ``catalog``    — print the component library;
 * ``kstar``      — run the K* trade-off sweep of Section 4.3.
+
+Every synthesis command accepts ``--stats-json`` to emit the runtime
+instrumentation (per-phase timings, cache hit/miss counters) as
+structured JSON, and the sweep commands accept ``--parallel`` to run
+independent trials through the :mod:`repro.runtime` batch runner.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from repro.core.explorer import ArchitectureExplorer, LocalizationExplorer
+from repro.core.explorer import DataCollectionExplorer
+from repro.core.facade import explore
 from repro.core.kstar_search import kstar_search
 from repro.encoding.approximate import ApproximatePathEncoder
 from repro.geometry.svg import SvgMarker, floorplan_from_svg, floorplan_to_svg
@@ -32,6 +39,7 @@ from repro.network.requirements import (
     ReachabilityRequirement,
     RequirementSet,
 )
+from repro.runtime.cache import EncodeCache
 from repro.spec.problem import compile_spec
 from repro.validation.checker import validate
 
@@ -65,6 +73,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the synthesized topology as SVG")
     syn.add_argument("--json-out", type=Path,
                      help="persist the synthesized design as JSON")
+    syn.add_argument("--stats-json", type=Path,
+                     help="write runtime instrumentation (phase timings, "
+                          "cache counters) as JSON; '-' for stdout")
 
     loc = sub.add_parser("localize", help="anchor-placement synthesis")
     loc.add_argument("--anchors", type=int, default=100)
@@ -75,6 +86,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      choices=["cost", "dsod"])
     loc.add_argument("--k-star", type=int, default=20)
     loc.add_argument("--svg-out", type=Path)
+    loc.add_argument("--stats-json", type=Path,
+                     help="write runtime instrumentation as JSON; "
+                          "'-' for stdout")
 
     sub.add_parser("catalog", help="print the component library")
 
@@ -91,7 +105,25 @@ def _build_parser() -> argparse.ArgumentParser:
     kst.add_argument("--devices", type=int, default=20)
     kst.add_argument("--ladder", type=int, nargs="+",
                      default=[1, 3, 5, 10, 20])
+    kst.add_argument("--parallel", type=int, default=1,
+                     help="solve ladder rungs concurrently through the "
+                          "batch runner (stop rules still apply in order)")
+    kst.add_argument("--stats-json", type=Path,
+                     help="write per-rung instrumentation and shared "
+                          "cache counters as JSON; '-' for stdout")
     return parser
+
+
+def _emit_stats(payload: dict, target: Path | None) -> None:
+    """Write an instrumentation payload as JSON ('-' means stdout)."""
+    if target is None:
+        return
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    if str(target) == "-":
+        print(text)
+    else:
+        target.write_text(text + "\n")
+        print(f"wrote {target}")
 
 
 def _cmd_synthesize(args) -> int:
@@ -104,15 +136,16 @@ def _cmd_synthesize(args) -> int:
     )
     spec_text = args.spec.read_text() if args.spec else DEFAULT_SPEC
     compiled = compile_spec(spec_text, instance.template)
-    explorer = ArchitectureExplorer(
+    result = explore(
         instance.template, default_catalog(), compiled.requirements,
-        encoder=ApproximatePathEncoder(k_star=args.k_star),
+        objective=compiled.objective,
+        k_star=args.k_star,
         solver=HighsSolver(time_limit=args.time_limit,
                            mip_rel_gap=args.mip_gap),
     )
-    result = explorer.solve(compiled.objective)
     print(f"status:  {result.status.value}")
     print(f"model:   {result.model_stats}")
+    _emit_stats(result.stats_dict(), args.stats_json)
     if not result.feasible:
         return 1
     arch = result.architecture
@@ -181,11 +214,13 @@ def _cmd_localize(args) -> int:
         min_anchors=args.min_anchors,
         min_rss_dbm=args.min_rss,
     )
-    result = LocalizationExplorer(
+    result = explore(
         instance.template, localization_catalog(), requirement,
-        instance.channel, k_star=args.k_star,
-    ).solve(args.objective)
+        objective=args.objective,
+        channel=instance.channel, k_star=args.k_star,
+    )
     print(f"status: {result.status.value}")
+    _emit_stats(result.stats_dict(), args.stats_json)
     if not result.feasible:
         return 1
     arch = result.architecture
@@ -226,17 +261,40 @@ def _cmd_kstar(args) -> int:
                            disjoint=True)
     reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
 
+    cache = EncodeCache()
     search = kstar_search(
-        lambda k: ArchitectureExplorer(
+        lambda k: DataCollectionExplorer(
             instance.template, default_catalog(), reqs,
             encoder=ApproximatePathEncoder(k_star=k),
         ),
         ladder=tuple(args.ladder),
+        parallel=args.parallel,
+        cache=cache,
     )
     print(f"{'K*':>4} {'cost ($)':>9} {'time (s)':>9}")
     for k, objective, seconds in search.table_rows():
         print(f"{k:>4} {objective:>9.0f} {seconds:>9.2f}")
     print(f"selected K* = {search.best.k_star} ({search.stop_reason})")
+    summary = cache.summary()
+    print(f"cache:  {cache.counters.hit_count()} hits / "
+          f"{cache.counters.miss_count()} misses "
+          f"({summary['entries']} entries)")
+    _emit_stats(
+        {
+            "ladder": [
+                {
+                    "k_star": trial.k_star,
+                    "objective": trial.objective,
+                    **trial.result.stats_dict(),
+                }
+                for trial in search.trials
+            ],
+            "selected_k_star": search.best.k_star if search.best else None,
+            "stop_reason": search.stop_reason,
+            "cache": summary,
+        },
+        args.stats_json,
+    )
     return 0
 
 

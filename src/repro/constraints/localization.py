@@ -30,6 +30,7 @@ from repro.milp.expr import LinExpr, Var, lin_sum
 from repro.milp.model import Model
 from repro.network.requirements import ReachabilityRequirement
 from repro.network.template import Template
+from repro.runtime.instrumentation import timings_of
 
 
 @dataclass
@@ -87,6 +88,9 @@ def build_localization(
     requirement: ReachabilityRequirement,
     channel: ChannelModel,
     k_star: int = 20,
+    *,
+    cache=None,
+    stats=None,
 ) -> LocalizationVars:
     """Create pruned reachability variables and the coverage rows.
 
@@ -94,6 +98,11 @@ def build_localization(
     ranging anchors — ``"anchor"`` for dedicated localization networks,
     or ``"relay"`` for dual-use designs where the data-collection relays
     double as anchors.
+
+    The anchor-to-test-point path-loss rankings (one channel-model
+    evaluation per anchor x test point — the expensive part on multi-wall
+    channels) are memoized in ``cache`` when one is supplied; one cached
+    ranking serves every pruning level ``k_star``.
     """
     if k_star < requirement.min_anchors:
         raise ValueError(
@@ -109,18 +118,30 @@ def build_localization(
             f"(nodes with role {requirement.anchor_role!r})"
         )
 
+    timings = timings_of(stats)
+    with timings.phase("pathloss"):
+        if cache is not None:
+            rankings = cache.reach_rankings(
+                channel, anchors, requirement.test_points, stats=stats
+            )
+        else:
+            rankings = [
+                sorted(
+                    (channel.path_loss_db(a.location, point), a.id)
+                    for a in anchors
+                )
+                for point in requirement.test_points
+            ]
+
+    by_id = {a.id: a for a in anchors}
     loc = LocalizationVars(
         test_points=requirement.test_points,
         node_used={a.id: mapping.node_used[a.id] for a in anchors},
     )
     for j, point in enumerate(requirement.test_points):
-        ranked = sorted(
-            anchors, key=lambda a: channel.path_loss_db(a.location, point)
-        )
-        candidates = ranked[:k_star]
         reach_vars: list[Var] = []
-        for anchor in candidates:
-            pl = channel.path_loss_db(anchor.location, point)
+        for pl, anchor_id in rankings[j][:k_star]:
+            anchor = by_id[anchor_id]
             rss = (
                 mapping.tx_strength_expr(anchor.id)
                 + requirement.mobile_gain_dbi

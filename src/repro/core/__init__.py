@@ -1,16 +1,21 @@
 """Core explorers, objectives, results and the K* search."""
 
 from repro.core.explorer import (
+    AnchorPlacementExplorer,
     ArchitectureExplorer,
     BuiltProblem,
+    DataCollectionExplorer,
+    ExplorerBase,
     LocalizationExplorer,
     decode_architecture,
 )
+from repro.core.facade import build_explorer, explore
 from repro.core.kstar_search import (
     DEFAULT_K_LADDER,
     KStarSearchResult,
     KStarTrial,
     kstar_search,
+    scan_ladder,
 )
 from repro.core.objectives import ObjectiveSpec, parse_objective
 from repro.core.pareto import ParetoFront, ParetoPoint, explore_pareto
@@ -18,8 +23,11 @@ from repro.core.results import SynthesisResult
 
 __all__ = [
     "DEFAULT_K_LADDER",
+    "AnchorPlacementExplorer",
     "ArchitectureExplorer",
     "BuiltProblem",
+    "DataCollectionExplorer",
+    "ExplorerBase",
     "KStarSearchResult",
     "KStarTrial",
     "LocalizationExplorer",
@@ -27,8 +35,11 @@ __all__ = [
     "ParetoFront",
     "ParetoPoint",
     "SynthesisResult",
-    "explore_pareto",
+    "build_explorer",
     "decode_architecture",
+    "explore",
+    "explore_pareto",
     "kstar_search",
     "parse_objective",
+    "scan_ladder",
 ]

@@ -1,17 +1,29 @@
-"""The architecture explorers — the toolbox's public entry points.
+"""The architecture explorers — the toolbox's problem-assembly layer.
 
-:class:`ArchitectureExplorer` assembles a data-collection exploration
+:class:`ExplorerBase` owns the single build → solve → decode pipeline
+every exploration runs through, including runtime instrumentation
+(per-phase timings, cache counters) and the optional
+:class:`~repro.runtime.cache.EncodeCache` that lets sweeps reuse encode
+work across trials.
+
+:class:`DataCollectionExplorer` assembles a data-collection exploration
 problem (template + library + requirements) into one MILP — sizing,
-routing (via a pluggable path encoder), link quality and energy — solves
-it and decodes an :class:`~repro.network.topology.Architecture`.
-
-:class:`LocalizationExplorer` does the same for localization networks
+routing (via a pluggable path encoder), link quality and energy.
+:class:`AnchorPlacementExplorer` does the same for localization networks
 (sizing + pruned reachability constraints, no routing).
+
+Most callers should not instantiate explorers directly: the
+:func:`repro.explore` facade picks the right one and routes execution
+through the runtime.  The former entry points
+:class:`ArchitectureExplorer` and :class:`LocalizationExplorer` remain as
+deprecated shims.
 """
 
 from __future__ import annotations
 
+import abc
 import time
+import warnings
 from dataclasses import dataclass
 
 from repro.channel.base import ChannelModel
@@ -31,6 +43,8 @@ from repro.milp.solution import Solution
 from repro.network.requirements import ReachabilityRequirement, RequirementSet
 from repro.network.template import Template
 from repro.network.topology import Architecture
+from repro.runtime.cache import EncodeCache
+from repro.runtime.instrumentation import RunStats
 
 
 @dataclass
@@ -46,7 +60,93 @@ class BuiltProblem:
     objective_exprs: dict[str, LinExpr]
 
 
-class ArchitectureExplorer:
+class ExplorerBase(abc.ABC):
+    """Shared build → solve → decode pipeline of every explorer.
+
+    Subclasses implement :meth:`build` (problem assembly into a MILP) and
+    :attr:`encoder_name`; the base class owns solving, decoding, timing
+    and result assembly, so every explorer reports uniform
+    :class:`~repro.core.results.SynthesisResult`\\ s.
+
+    Parameters (keyword-only)
+    -------------------------
+    solver:
+        MILP backend; defaults to :class:`~repro.milp.highs.HighsSolver`.
+    cache:
+        Optional shared :class:`~repro.runtime.cache.EncodeCache`; when
+        set, encode-phase artifacts (path-loss graphs, Yen candidate
+        pools, anchor rankings) are reused across trials that share the
+        cache.
+    """
+
+    def __init__(
+        self,
+        template: Template,
+        library: Library,
+        *,
+        solver=None,
+        cache: EncodeCache | None = None,
+    ) -> None:
+        self.template = template
+        self.library = library
+        self.solver = solver or HighsSolver()
+        self.cache = cache
+
+    @abc.abstractmethod
+    def build(
+        self,
+        objective: "str | dict | ObjectiveSpec" = "cost",
+        *,
+        stats: RunStats | None = None,
+    ) -> BuiltProblem:
+        """Encode the exploration problem into a MILP."""
+
+    @property
+    @abc.abstractmethod
+    def encoder_name(self) -> str:
+        """Name of the encoding reported in results."""
+
+    def solve(
+        self, objective: "str | dict | ObjectiveSpec" = "cost",
+    ) -> SynthesisResult:
+        """Build, solve and decode in one call."""
+        stats = RunStats()
+        t0 = time.perf_counter()
+        built = self.build(objective, stats=stats)
+        encode_seconds = time.perf_counter() - t0
+        stats.timings.add("encode", encode_seconds)
+        solution = self.solver.solve(built.model)
+        stats.timings.add("solve", solution.solve_time)
+        architecture, terms = self._decode(solution, built)
+        return SynthesisResult(
+            status=solution.status,
+            architecture=architecture,
+            solution=solution,
+            model_stats=built.model.stats(),
+            encode_seconds=encode_seconds,
+            solve_seconds=solution.solve_time,
+            encoder_name=self.encoder_name,
+            objective_terms=terms,
+            run_stats=stats,
+        )
+
+    def _decode(
+        self, solution: Solution, built: BuiltProblem
+    ) -> tuple[Architecture | None, dict[str, float]]:
+        """Decode a solution (when one exists) plus its objective terms."""
+        if not solution.status.has_solution:
+            return None, {}
+        architecture = decode_architecture(
+            solution, built, self.template, self.library
+        )
+        terms = {
+            name: solution.value(expr)
+            for name, expr in built.objective_exprs.items()
+        }
+        return architecture, terms
+
+
+class DataCollectionExplorer(ExplorerBase):
     """Joint topology + sizing synthesis for data-collection networks.
 
     When the requirement set additionally carries a
@@ -55,6 +155,9 @@ class ArchitectureExplorer:
     network); this needs the ``channel`` model to estimate anchor-to-test-
     point path losses, and ``reach_k_star`` prunes the candidate anchors
     per test point as in Section 4.2.
+
+    All configuration beyond the problem triple (template, library,
+    requirements) is keyword-only.
     """
 
     def __init__(
@@ -62,20 +165,30 @@ class ArchitectureExplorer:
         template: Template,
         library: Library,
         requirements: RequirementSet,
+        *,
         encoder: RoutingEncoder | None = None,
         solver=None,
         channel=None,
         reach_k_star: int = 20,
+        cache: EncodeCache | None = None,
     ) -> None:
-        self.template = template
-        self.library = library
+        super().__init__(template, library, solver=solver, cache=cache)
         self.requirements = requirements
         self.encoder = encoder or ApproximatePathEncoder(k_star=10)
-        self.solver = solver or HighsSolver()
         self.channel = channel
         self.reach_k_star = reach_k_star
 
-    def build(self, objective: "str | dict | ObjectiveSpec" = "cost") -> BuiltProblem:
+    @property
+    def encoder_name(self) -> str:
+        """The routing encoder's name."""
+        return self.encoder.name
+
+    def build(
+        self,
+        objective: "str | dict | ObjectiveSpec" = "cost",
+        *,
+        stats: RunStats | None = None,
+    ) -> BuiltProblem:
         """Encode the exploration problem into a MILP."""
         spec = parse_objective(objective)
         reqs = self.requirements
@@ -83,7 +196,8 @@ class ArchitectureExplorer:
 
         mapping = build_mapping(model, self.template, self.library)
         encoding = self.encoder.encode(
-            model, self.template, reqs.routes, mapping.node_used
+            model, self.template, reqs.routes, mapping.node_used,
+            cache=self.cache, stats=stats,
         )
         lq = build_link_quality(
             model, self.template, mapping, encoding, reqs.link_quality
@@ -101,11 +215,12 @@ class ArchitectureExplorer:
             if self.channel is None:
                 raise ValueError(
                     "a reachability requirement needs the channel model; "
-                    "pass channel= to ArchitectureExplorer"
+                    "pass channel= to the explorer"
                 )
             localization = build_localization(
                 model, self.template, mapping, reqs.reachability,
                 self.channel, self.reach_k_star,
+                cache=self.cache, stats=stats,
             )
 
         cost = mapping.cost_expr()
@@ -129,37 +244,8 @@ class ArchitectureExplorer:
             objective_exprs=objective_exprs,
         )
 
-    def solve(
-        self, objective: "str | dict | ObjectiveSpec" = "cost",
-    ) -> SynthesisResult:
-        """Build, solve and decode in one call."""
-        t0 = time.perf_counter()
-        built = self.build(objective)
-        encode_seconds = time.perf_counter() - t0
-        solution = self.solver.solve(built.model)
-        architecture = None
-        terms: dict[str, float] = {}
-        if solution.status.has_solution:
-            architecture = decode_architecture(
-                solution, built, self.template, self.library
-            )
-            terms = {
-                name: solution.value(expr)
-                for name, expr in built.objective_exprs.items()
-            }
-        return SynthesisResult(
-            status=solution.status,
-            architecture=architecture,
-            solution=solution,
-            model_stats=built.model.stats(),
-            encode_seconds=encode_seconds,
-            solve_seconds=solution.solve_time,
-            encoder_name=self.encoder.name,
-            objective_terms=terms,
-        )
 
-
-class LocalizationExplorer:
+class AnchorPlacementExplorer(ExplorerBase):
     """Anchor placement + sizing synthesis for localization networks."""
 
     def __init__(
@@ -168,17 +254,27 @@ class LocalizationExplorer:
         library: Library,
         requirement: ReachabilityRequirement,
         channel: ChannelModel,
+        *,
         k_star: int = 20,
         solver=None,
+        cache: EncodeCache | None = None,
     ) -> None:
-        self.template = template
-        self.library = library
+        super().__init__(template, library, solver=solver, cache=cache)
         self.requirement = requirement
         self.channel = channel
         self.k_star = k_star
-        self.solver = solver or HighsSolver()
 
-    def build(self, objective: "str | dict | ObjectiveSpec" = "cost") -> BuiltProblem:
+    @property
+    def encoder_name(self) -> str:
+        """Reachability-pruned encoding at the configured K*."""
+        return f"reach-pruned-k{self.k_star}"
+
+    def build(
+        self,
+        objective: "str | dict | ObjectiveSpec" = "cost",
+        *,
+        stats: RunStats | None = None,
+    ) -> BuiltProblem:
         """Encode the localization problem into a MILP."""
         spec = parse_objective(objective)
         model = Model(f"{self.template.name}:loc")
@@ -186,6 +282,7 @@ class LocalizationExplorer:
         loc = build_localization(
             model, self.template, mapping, self.requirement,
             self.channel, self.k_star,
+            cache=self.cache, stats=stats,
         )
         objective_exprs = {
             "cost": mapping.cost_expr(),
@@ -210,33 +307,66 @@ class LocalizationExplorer:
             objective_exprs=objective_exprs,
         )
 
-    def solve(
-        self, objective: "str | dict | ObjectiveSpec" = "cost",
-    ) -> SynthesisResult:
-        """Build, solve and decode in one call."""
-        t0 = time.perf_counter()
-        built = self.build(objective)
-        encode_seconds = time.perf_counter() - t0
-        solution = self.solver.solve(built.model)
-        architecture = None
-        terms: dict[str, float] = {}
-        if solution.status.has_solution:
-            architecture = decode_architecture(
-                solution, built, self.template, self.library
-            )
-            terms = {
-                name: solution.value(expr)
-                for name, expr in built.objective_exprs.items()
-            }
-        return SynthesisResult(
-            status=solution.status,
-            architecture=architecture,
-            solution=solution,
-            model_stats=built.model.stats(),
-            encode_seconds=encode_seconds,
-            solve_seconds=solution.solve_time,
-            encoder_name=f"reach-pruned-k{self.k_star}",
-            objective_terms=terms,
+
+class ArchitectureExplorer(DataCollectionExplorer):
+    """Deprecated alias of :class:`DataCollectionExplorer`.
+
+    Kept so pre-runtime call sites (including positional ``encoder``)
+    continue to work; new code should use :func:`repro.explore` or
+    :class:`DataCollectionExplorer`.
+    """
+
+    def __init__(
+        self,
+        template: Template,
+        library: Library,
+        requirements: RequirementSet,
+        encoder: RoutingEncoder | None = None,
+        solver=None,
+        channel=None,
+        reach_k_star: int = 20,
+        **options,
+    ) -> None:
+        warnings.warn(
+            "ArchitectureExplorer is deprecated; use repro.explore() or "
+            "DataCollectionExplorer",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(
+            template, library, requirements,
+            encoder=encoder, solver=solver, channel=channel,
+            reach_k_star=reach_k_star, **options,
+        )
+
+
+class LocalizationExplorer(AnchorPlacementExplorer):
+    """Deprecated alias of :class:`AnchorPlacementExplorer`.
+
+    Kept so pre-runtime call sites (including positional ``channel`` /
+    ``k_star``) continue to work; new code should use
+    :func:`repro.explore` or :class:`AnchorPlacementExplorer`.
+    """
+
+    def __init__(
+        self,
+        template: Template,
+        library: Library,
+        requirement: ReachabilityRequirement,
+        channel: ChannelModel,
+        k_star: int = 20,
+        solver=None,
+        **options,
+    ) -> None:
+        warnings.warn(
+            "LocalizationExplorer is deprecated; use repro.explore() or "
+            "AnchorPlacementExplorer",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(
+            template, library, requirement, channel,
+            k_star=k_star, solver=solver, **options,
         )
 
 

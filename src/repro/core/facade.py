@@ -1,0 +1,133 @@
+"""The top-level :func:`explore` facade.
+
+One entry point for both problem families: hand it a template, a
+component library and requirements; it picks the right explorer
+(data-collection vs. anchor placement), attaches a shared
+:class:`~repro.runtime.cache.EncodeCache`, and routes execution through
+the :class:`~repro.runtime.batch.BatchRunner` — so a list of objectives
+is swept in parallel and every result carries runtime instrumentation.
+
+    import repro
+
+    result = repro.explore(template, library, requirements)
+    cost, energy = repro.explore(
+        template, library, requirements,
+        objective=("cost", "energy"), parallel=2,
+    )
+"""
+
+from __future__ import annotations
+
+from repro.core.explorer import (
+    AnchorPlacementExplorer,
+    DataCollectionExplorer,
+    ExplorerBase,
+)
+from repro.core.objectives import ObjectiveSpec
+from repro.core.results import SynthesisResult
+from repro.encoding.approximate import ApproximatePathEncoder
+from repro.library.catalog import Library
+from repro.network.requirements import ReachabilityRequirement, RequirementSet
+from repro.network.template import Template
+from repro.runtime.batch import BatchRunner, Trial
+from repro.runtime.cache import EncodeCache
+
+
+def build_explorer(
+    template: Template,
+    library: Library,
+    requirements: "RequirementSet | ReachabilityRequirement",
+    *,
+    encoder=None,
+    solver=None,
+    channel=None,
+    k_star: int | None = None,
+    reach_k_star: int = 20,
+    cache: EncodeCache | None = None,
+) -> ExplorerBase:
+    """The right explorer for ``requirements``.
+
+    A bare :class:`~repro.network.requirements.ReachabilityRequirement`
+    describes an anchor-placement (localization) problem and needs
+    ``channel``; a :class:`~repro.network.requirements.RequirementSet`
+    describes a data-collection problem (optionally dual-use, when it
+    carries a reachability requirement of its own).
+    """
+    if isinstance(requirements, ReachabilityRequirement):
+        if channel is None:
+            raise ValueError(
+                "an anchor-placement problem needs the channel model; "
+                "pass channel= to repro.explore"
+            )
+        return AnchorPlacementExplorer(
+            template, library, requirements, channel,
+            k_star=20 if k_star is None else k_star,
+            solver=solver, cache=cache,
+        )
+    if isinstance(requirements, RequirementSet):
+        if encoder is None:
+            encoder = ApproximatePathEncoder(
+                k_star=10 if k_star is None else k_star
+            )
+        elif k_star is not None:
+            raise ValueError("pass either encoder= or k_star=, not both")
+        return DataCollectionExplorer(
+            template, library, requirements,
+            encoder=encoder, solver=solver, channel=channel,
+            reach_k_star=reach_k_star, cache=cache,
+        )
+    raise TypeError(
+        f"requirements must be a RequirementSet or a "
+        f"ReachabilityRequirement, got {type(requirements).__name__}"
+    )
+
+
+def explore(
+    template: Template,
+    library: Library,
+    requirements: "RequirementSet | ReachabilityRequirement",
+    *,
+    objective="cost",
+    parallel: int = 1,
+    encoder=None,
+    solver=None,
+    channel=None,
+    k_star: int | None = None,
+    reach_k_star: int = 20,
+    cache: EncodeCache | None = None,
+    runner: BatchRunner | None = None,
+    timeout_s: float | None = None,
+) -> "SynthesisResult | list[SynthesisResult]":
+    """Synthesize an architecture (or several) for a problem.
+
+    ``objective`` is a single objective (string, weighted-term dict or
+    :class:`~repro.core.objectives.ObjectiveSpec`) — returning one
+    :class:`~repro.core.results.SynthesisResult` — or a sequence of them,
+    returning one result per objective, solved through the runtime with
+    up to ``parallel`` workers over a shared encode cache.
+
+    ``k_star`` tunes the candidate pruning budget of whichever explorer
+    is picked (the routing encoder's pool size, or the per-test-point
+    anchor budget).  ``timeout_s`` bounds each trial when running on a
+    pool.  Pass a prebuilt ``runner``/``cache`` to share them across
+    calls.
+    """
+    if cache is None:
+        cache = EncodeCache()
+    explorer = build_explorer(
+        template, library, requirements,
+        encoder=encoder, solver=solver, channel=channel,
+        k_star=k_star, reach_k_star=reach_k_star, cache=cache,
+    )
+    single = isinstance(objective, (str, dict, ObjectiveSpec))
+    objectives = [objective] if single else list(objective)
+    if not objectives:
+        raise ValueError("need at least one objective")
+    if runner is None:
+        runner = BatchRunner(workers=max(1, parallel), timeout_s=timeout_s)
+    outcomes = runner.run([
+        Trial(explorer.solve, (obj,), label=f"explore:{obj}", timeout_s=timeout_s)
+        for obj in objectives
+    ])
+    results = [outcome.unwrap() for outcome in outcomes]
+    return results[0] if single else results

@@ -4,15 +4,28 @@
 multiple topologies for different values of K* and terminates once the
 execution time becomes higher than a predefined threshold or there is no
 further improvement in the objective."
+
+The ladder can run sequentially (solve a rung, apply the stop rules,
+maybe solve the next) or speculatively in parallel through the
+:class:`~repro.runtime.batch.BatchRunner` — all rungs are solved
+concurrently and the *same* stop rules are then applied in ladder order,
+so the selected rung, the reported trials and the stop reason match the
+sequential scan exactly (only wall-clock time differs).  A shared
+:class:`~repro.runtime.cache.EncodeCache` lets rungs reuse the
+path-loss-weighted graph and Yen candidate pools instead of re-deriving
+them per rung.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
-from repro.core.explorer import ArchitectureExplorer
+from repro.core.explorer import ExplorerBase
 from repro.core.results import SynthesisResult
+from repro.runtime.batch import BatchRunner, Trial
+from repro.runtime.cache import EncodeCache
 
 #: The paper's default ladder (Table 4) and its K* guideline range (3-10).
 DEFAULT_K_LADDER = (1, 3, 5, 10, 20)
@@ -52,29 +65,88 @@ class KStarSearchResult:
 
 
 def kstar_search(
-    make_explorer: Callable[[int], ArchitectureExplorer],
+    make_explorer: Callable[[int], ExplorerBase],
     objective: str = "cost",
     ladder: Sequence[int] = DEFAULT_K_LADDER,
     time_threshold_s: float | None = None,
     min_relative_gain: float = 1e-3,
+    *,
+    parallel: int = 1,
+    runner: BatchRunner | None = None,
+    cache: EncodeCache | None = None,
 ) -> KStarSearchResult:
     """Climb the K* ladder until time or improvement runs out.
 
     ``make_explorer`` builds an explorer for a given K* (so the caller
     controls template, requirements and solver).  The search stops when a
     trial exceeds ``time_threshold_s`` or fails to improve the best
-    objective by at least ``min_relative_gain`` relatively.
+    objective by at least ``min_relative_gain`` relatively; a rung that
+    turns an infeasible ladder feasible always counts as an improvement.
+
+    With ``parallel > 1`` (or an explicit ``runner``) the rungs are
+    solved speculatively through the runtime and the stop rules applied
+    afterwards; the outcome is identical to the sequential scan, rungs
+    past the stop point are simply discarded.  ``cache`` is injected
+    into every explorer that does not already carry one, so rungs share
+    encode work.
     """
-    trials: list[KStarTrial] = []
+    ladder = tuple(ladder)
+    if parallel > 1 or runner is not None:
+        runner = runner or BatchRunner(workers=parallel)
+        outcomes = runner.run([
+            Trial(
+                _solve_rung, (make_explorer, k, objective, cache),
+                label=f"kstar:K={k}",
+            )
+            for k in ladder
+        ])
+        trials: Iterable[KStarTrial] = (o.unwrap() for o in outcomes)
+    else:
+        trials = (
+            _solve_rung(make_explorer, k, objective, cache) for k in ladder
+        )
+    return scan_ladder(
+        trials,
+        time_threshold_s=time_threshold_s,
+        min_relative_gain=min_relative_gain,
+    )
+
+
+def _solve_rung(
+    make_explorer: Callable[[int], ExplorerBase],
+    k: int,
+    objective: str,
+    cache: EncodeCache | None,
+) -> KStarTrial:
+    explorer = make_explorer(k)
+    if cache is not None and getattr(explorer, "cache", None) is None:
+        explorer.cache = cache
+    return KStarTrial(k_star=k, result=explorer.solve(objective))
+
+
+def scan_ladder(
+    trials: Iterable[KStarTrial],
+    *,
+    time_threshold_s: float | None = None,
+    min_relative_gain: float = 1e-3,
+) -> KStarSearchResult:
+    """Apply the Section 4.3 stop rules to a stream of ladder trials.
+
+    Consumes ``trials`` lazily — the sequential search hands it a
+    generator so rungs past the stop point are never solved; the parallel
+    search hands it already-solved rungs and discards the tail.
+    """
+    kept: list[KStarTrial] = []
     best: KStarTrial | None = None
     stop_reason = "ladder exhausted"
-    for k in ladder:
-        result = make_explorer(k).solve(objective)
-        trial = KStarTrial(k_star=k, result=result)
-        trials.append(trial)
+    for trial in trials:
+        kept.append(trial)
         if best is None or trial.objective < best.objective:
             improved = (
                 best is None
+                # Turning an infeasible ladder feasible is always progress,
+                # even though inf - x > gain * inf cannot hold numerically.
+                or math.isinf(best.objective)
                 or best.objective - trial.objective
                 > min_relative_gain * max(abs(best.objective), 1e-12)
             )
@@ -89,4 +161,4 @@ def kstar_search(
         if time_threshold_s is not None and trial.seconds > time_threshold_s:
             stop_reason = "time threshold exceeded"
             break
-    return KStarSearchResult(trials=trials, best=best, stop_reason=stop_reason)
+    return KStarSearchResult(trials=kept, best=best, stop_reason=stop_reason)

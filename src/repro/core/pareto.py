@@ -6,6 +6,11 @@ reach the convex hull of the trade-off; the epsilon-constraint sweep here
 recovers the full Pareto front: minimize the primary term subject to a
 budget on the secondary term, sweeping the budget between the two
 single-objective extremes.
+
+The budget solves are independent of each other, so they can run through
+the :class:`~repro.runtime.batch.BatchRunner` (``parallel=``); an
+explorer carrying an :class:`~repro.runtime.cache.EncodeCache` then
+shares the path-loss/Yen encode work across every sweep point.
 """
 
 from __future__ import annotations
@@ -14,9 +19,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.explorer import ArchitectureExplorer, decode_architecture
+from repro.core.explorer import ExplorerBase
 from repro.core.results import SynthesisResult
-from repro.milp.solution import SolveStatus
+from repro.runtime.batch import BatchRunner, Trial
+from repro.runtime.instrumentation import RunStats
 
 
 @dataclass
@@ -62,10 +68,13 @@ class ParetoFront:
 
 
 def explore_pareto(
-    explorer: ArchitectureExplorer,
+    explorer: ExplorerBase,
     primary: str = "cost",
     secondary: str = "energy",
     points: int = 6,
+    *,
+    parallel: int = 1,
+    runner: BatchRunner | None = None,
 ) -> ParetoFront:
     """Sweep the epsilon-constraint front between the two extremes.
 
@@ -73,6 +82,11 @@ def explore_pareto(
     achievable range, then re-solves the primary objective under
     ``points`` evenly spaced budgets on the secondary term.  Infeasible
     budgets (possible at the tight end with MIP-gap slack) are skipped.
+
+    With ``parallel > 1`` (or an explicit ``runner``) the budget solves
+    run concurrently; the front is identical either way because each
+    budget is an independent MILP.  The default runner uses threads so
+    the explorer's encode cache is shared across sweep points.
     """
     if points < 2:
         raise ValueError("need at least two sweep points")
@@ -88,40 +102,63 @@ def explore_pareto(
     if hi < lo:
         lo, hi = hi, lo
 
-    front = ParetoFront(primary, secondary, [])
-    for budget in np.linspace(lo, hi, points):
-        built = explorer.build(primary)
-        built.model.add(
-            built.objective_exprs[secondary] <= float(budget) * (1 + 1e-9),
-            name=f"pareto:{secondary}_budget",
-        )
-        solution = explorer.solver.solve(built.model)
-        if not solution.status.has_solution:
-            continue
-        arch = decode_architecture(
-            solution, built, explorer.template, explorer.library
-        )
-        terms = {
-            name: solution.value(expr)
-            for name, expr in built.objective_exprs.items()
-        }
-        result = SynthesisResult(
-            status=solution.status,
-            architecture=arch,
-            solution=solution,
-            model_stats=built.model.stats(),
-            encode_seconds=0.0,
-            solve_seconds=solution.solve_time,
-            encoder_name=explorer.encoder.name,
-            objective_terms=terms,
-        )
-        front.points.append(
-            ParetoPoint(
-                primary=terms[primary],
-                secondary=terms[secondary],
-                secondary_budget=float(budget),
-                result=result,
+    budgets = [float(b) for b in np.linspace(lo, hi, points)]
+    if parallel > 1 or runner is not None:
+        # Threads keep the explorer (and its cache) shared; the MILP
+        # solves release the GIL inside HiGHS.
+        runner = runner or BatchRunner(workers=parallel, mode="thread")
+        outcomes = runner.run([
+            Trial(
+                _solve_budget, (explorer, primary, secondary, budget),
+                label=f"pareto:{secondary}<={budget:.3g}",
             )
-        )
+            for budget in budgets
+        ])
+        solved = [outcome.unwrap() for outcome in outcomes]
+    else:
+        solved = [
+            _solve_budget(explorer, primary, secondary, budget)
+            for budget in budgets
+        ]
+
+    front = ParetoFront(primary, secondary, [p for p in solved if p])
     front.points.sort(key=lambda p: (p.primary, p.secondary))
     return front
+
+
+def _solve_budget(
+    explorer: ExplorerBase,
+    primary: str,
+    secondary: str,
+    budget: float,
+) -> ParetoPoint | None:
+    """One epsilon-constraint solve: min primary s.t. secondary <= budget."""
+    stats = RunStats()
+    with stats.timings.phase("encode"):
+        built = explorer.build(primary, stats=stats)
+    built.model.add(
+        built.objective_exprs[secondary] <= budget * (1 + 1e-9),
+        name=f"pareto:{secondary}_budget",
+    )
+    solution = explorer.solver.solve(built.model)
+    stats.timings.add("solve", solution.solve_time)
+    if not solution.status.has_solution:
+        return None
+    architecture, terms = explorer._decode(solution, built)
+    result = SynthesisResult(
+        status=solution.status,
+        architecture=architecture,
+        solution=solution,
+        model_stats=built.model.stats(),
+        encode_seconds=stats.timings.get("encode"),
+        solve_seconds=solution.solve_time,
+        encoder_name=explorer.encoder_name,
+        objective_terms=terms,
+        run_stats=stats,
+    )
+    return ParetoPoint(
+        primary=terms[primary],
+        secondary=terms[secondary],
+        secondary_budget=budget,
+        result=result,
+    )

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.milp.model import ModelStats
 from repro.milp.solution import Solution, SolveStatus
 from repro.network.topology import Architecture
+from repro.runtime.instrumentation import RunStats
 
 
 @dataclass
@@ -23,6 +24,8 @@ class SynthesisResult:
     objective_terms: dict[str, float] = field(default_factory=dict)
     #: Post-hoc metrics filled by the validator (lifetime, reachability...).
     metrics: dict[str, float] = field(default_factory=dict)
+    #: Runtime instrumentation: per-phase timings plus cache counters.
+    run_stats: RunStats | None = None
 
     @property
     def feasible(self) -> bool:
@@ -53,3 +56,31 @@ class SynthesisResult:
         for key, value in self.metrics.items():
             parts.append(f"{key}={value:.3g}")
         return ", ".join(parts)
+
+    def stats_dict(self) -> dict:
+        """Structured (JSON-ready) statistics for this run.
+
+        Combines the model-size statistics of the paper's tables with the
+        runtime's per-phase timings and cache counters; this is what the
+        CLI emits under ``--stats-json``.
+        """
+        payload: dict = {
+            "status": self.status.value,
+            "encoder": self.encoder_name,
+            "feasible": self.feasible,
+            "encode_seconds": round(self.encode_seconds, 6),
+            "solve_seconds": round(self.solve_seconds, 6),
+            "model": {
+                "num_vars": self.model_stats.num_vars,
+                "num_binary": self.model_stats.num_binary,
+                "num_constraints": self.model_stats.num_constraints,
+                "num_nonzeros": self.model_stats.num_nonzeros,
+            },
+            "objective_terms": dict(self.objective_terms),
+            "metrics": dict(self.metrics),
+        }
+        if self.feasible:
+            payload["objective"] = self.objective_value
+        if self.run_stats is not None:
+            payload.update(self.run_stats.to_dict())
+        return payload

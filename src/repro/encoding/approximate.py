@@ -31,6 +31,8 @@ from repro.encoding.base import Edge, EncodingError, RoutingEncoder, RoutingEnco
 from repro.graph.digraph import DiGraph
 from repro.graph.disjoint import max_disjoint_subset, minimally_disjoint_path
 from repro.graph.yen import k_shortest_paths
+from repro.runtime.cache import build_sparsified_graph, build_weighted_graph
+from repro.runtime.instrumentation import timings_of
 from repro.milp.expr import Var, lin_sum
 from repro.milp.model import Model
 from repro.milp.solution import Solution
@@ -72,6 +74,8 @@ def generate_candidate_pool(
     k_star: int,
     max_extra_rounds: int = 4,
     disconnect: str = "min-disjoint",
+    *,
+    yen=None,
 ) -> list[CandidatePath]:
     """Algorithm 1's candidate generation for one requirement.
 
@@ -83,12 +87,19 @@ def generate_candidate_pool(
     ``disconnect`` selects what gets masked between rounds (see
     :data:`DISCONNECT_STRATEGIES`); anything but the default
     ``"min-disjoint"`` exists for ablation studies.
+
+    ``yen`` overrides the K-shortest-paths routine — the runtime passes a
+    memoized one (:meth:`repro.runtime.cache.EncodeCache.yen_paths`) so
+    repeated sweeps reuse candidate pools.  It must behave exactly like
+    :func:`repro.graph.yen.k_shortest_paths`.
     """
     if disconnect not in DISCONNECT_STRATEGIES:
         raise ValueError(
             f"unknown disconnect strategy {disconnect!r}; "
             f"choose from {DISCONNECT_STRATEGIES}"
         )
+    if yen is None:
+        yen = k_shortest_paths
     k_per_round, n_rep = budget_div(k_star, req.replicas)
     pool: list[CandidatePath] = []
     seen: set[tuple[int, ...]] = set()
@@ -96,7 +107,7 @@ def generate_candidate_pool(
     try:
         while rounds < n_rep + max_extra_rounds:
             rounds += 1
-            found = k_shortest_paths(graph, req.source, req.dest, k_per_round)
+            found = yen(graph, req.source, req.dest, k_per_round)
             round_paths = []
             for nodes, cost in found:
                 if not _hops_ok(nodes, req):
@@ -205,10 +216,22 @@ class ApproximatePathEncoder(RoutingEncoder):
         template: Template,
         routes: list[RouteRequirement],
         node_used: dict[int, Var],
+        *,
+        cache=None,
+        stats=None,
     ) -> RoutingEncoding:
-        """Generate candidate pools and the selection constraints."""
-        graph = self._working_graph(template)
-        sparse = self._sparsified(graph)
+        """Generate candidate pools and the selection constraints.
+
+        With a ``cache``, the path-loss-weighted working graph and every
+        Yen query are memoized across trials; each call still works on a
+        private copy of the graph, so concurrent trials can mask edges
+        (Algorithm 1's disconnection rounds) without interfering.
+        """
+        timings = timings_of(stats)
+        with timings.phase("pathloss"):
+            graph, graph_key = self._working_graph(template, cache, stats)
+            sparse, sparse_key = self._sparsified(graph, graph_key, cache, stats)
+        yen_on = self._yen_routine(cache, stats, timings)
         blocks: list[_RequirementBlock] = []
         edge_uses: dict[Edge, list[Var]] = {}
         path_var_count = 0
@@ -218,13 +241,15 @@ class ApproximatePathEncoder(RoutingEncoder):
             if sparse is not None:
                 try:
                     pool = generate_candidate_pool(
-                        sparse, req, self.k_star, disconnect=self.disconnect
+                        sparse, req, self.k_star, disconnect=self.disconnect,
+                        yen=yen_on(sparse, sparse_key),
                     )
                 except EncodingError:
                     pool = None  # fall back to the full graph below
             if pool is None:
                 pool = generate_candidate_pool(
-                    graph, req, self.k_star, disconnect=self.disconnect
+                    graph, req, self.k_star, disconnect=self.disconnect,
+                    yen=yen_on(graph, graph_key),
                 )
             pick = [
                 model.binary(f"y[p{req_index}][{k}]") for k in range(len(pool))
@@ -254,30 +279,51 @@ class ApproximatePathEncoder(RoutingEncoder):
         self._wire_topology_consistency(model, template, node_used, encoding)
         return encoding
 
-    def _working_graph(self, template: Template) -> DiGraph:
-        """The path-loss-weighted graph candidates are generated on."""
-        if self.max_path_loss_db is None:
-            return template.graph
-        graph = DiGraph()
-        for node in template.nodes:
-            graph.add_node(node.id)
-        for u, v, pl in template.edges():
-            if pl <= self.max_path_loss_db:
-                graph.add_edge(u, v, pl)
-        return graph
+    def _working_graph(
+        self, template: Template, cache, stats
+    ) -> tuple[DiGraph, str | None]:
+        """A trial-private path-loss-weighted graph plus its content key.
 
-    def _sparsified(self, graph: DiGraph) -> DiGraph | None:
+        Always a fresh (or fresh-copied) graph — never ``template.graph``
+        itself — because the disconnection rounds mask edges on it, and
+        concurrent trials share the template.
+        """
+        if cache is not None:
+            shared, key = cache.weighted_graph(
+                template, self.max_path_loss_db, stats=stats
+            )
+            return shared.copy(), key
+        return build_weighted_graph(template, self.max_path_loss_db), None
+
+    def _sparsified(
+        self, graph: DiGraph, graph_key: str | None, cache, stats
+    ) -> tuple[DiGraph | None, str | None]:
         """The degree-limited copy of the working graph, if configured."""
         if self.max_out_degree is None:
-            return None
-        sparse = DiGraph()
-        for node in graph.nodes():
-            sparse.add_node(node)
-        for node in graph.nodes():
-            best = sorted(graph.successors(node), key=lambda it: it[1])
-            for v, w in best[: self.max_out_degree]:
-                sparse.add_edge(node, v, w)
-        return sparse
+            return None, None
+        if cache is not None and graph_key is not None:
+            shared, key = cache.sparsified_graph(
+                graph_key, graph, self.max_out_degree, stats=stats
+            )
+            return shared.copy(), key
+        return build_sparsified_graph(graph, self.max_out_degree), None
+
+    @staticmethod
+    def _yen_routine(cache, stats, timings):
+        """Per-graph Yen routines: memoized when a cache is available."""
+
+        def bind(graph: DiGraph, graph_key: str | None):
+            def yen(g: DiGraph, source, target, k: int):
+                with timings.phase("yen"):
+                    if cache is not None and graph_key is not None:
+                        return cache.yen_paths(
+                            graph_key, g, source, target, k, stats=stats
+                        )
+                    return k_shortest_paths(g, source, target, k)
+
+            return yen
+
+        return bind
 
     @staticmethod
     def _add_disjointness_rows(

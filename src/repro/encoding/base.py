@@ -65,7 +65,13 @@ class RoutingEncoding:
 
 
 class RoutingEncoder(abc.ABC):
-    """Builds routing variables/constraints for a set of route requirements."""
+    """Builds routing variables/constraints for a set of route requirements.
+
+    ``encode`` accepts an optional :class:`~repro.runtime.cache.EncodeCache`
+    (to reuse path-loss graphs and Yen candidate pools across trials) and
+    an optional :class:`~repro.runtime.instrumentation.RunStats` sink for
+    per-phase timings; encoders that do no cacheable work may ignore both.
+    """
 
     name: str = "abstract"
 
@@ -76,6 +82,9 @@ class RoutingEncoder(abc.ABC):
         template: Template,
         routes: list[RouteRequirement],
         node_used: dict[int, Var],
+        *,
+        cache=None,
+        stats=None,
     ) -> RoutingEncoding:
         """Add routing structure to ``model`` and return the encoding."""
 

@@ -29,8 +29,15 @@ class FullPathEncoder(RoutingEncoder):
         template: Template,
         routes: list[RouteRequirement],
         node_used: dict[int, Var],
+        *,
+        cache=None,
+        stats=None,
     ) -> RoutingEncoding:
-        """Add (1a)-(1e) for every replica over all template edges."""
+        """Add (1a)-(1e) for every replica over all template edges.
+
+        The exhaustive encoding derives no reusable artifacts, so
+        ``cache``/``stats`` are accepted for interface uniformity only.
+        """
         edges: list[Edge] = [(u, v) for u, v, _ in template.edges()]
         edge_active: dict[Edge, Var] = {
             (u, v): model.binary(f"e[{u},{v}]") for u, v in edges

@@ -20,7 +20,7 @@ from repro.channel.log_distance import LogDistanceModel
 from repro.channel.multiwall import MultiWallModel
 from repro.geometry.floorplan import FloorPlan, office_floorplan, open_floorplan
 from repro.geometry.grid import grid_for_count, scattered_locations
-from repro.geometry.primitives import Point, Rectangle
+from repro.geometry.primitives import Point
 from repro.library.links import ZIGBEE_2_4GHZ, LinkType
 from repro.network.template import NetworkNode, Template
 

@@ -1,0 +1,246 @@
+"""Parallel execution of independent exploration trials.
+
+A :class:`BatchRunner` runs a list of :class:`Trial`\\ s on a
+``concurrent.futures`` pool with per-trial timeouts, one retry on crash,
+and deterministic result ordering (outcomes always come back in
+submission order, whatever the completion order was).
+
+Execution modes
+---------------
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor`.  True CPU
+    parallelism, but every trial (function *and* arguments) must be
+    picklable, and in-memory state — notably a shared
+    :class:`~repro.runtime.cache.EncodeCache` — is **not** shared back
+    from workers.
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  Trials share one
+    address space, so a common ``EncodeCache`` works across trials; the
+    heavy solver calls release enough of the GIL for useful overlap.
+``sequential``
+    Runs inline on the caller's thread.  This is the ``parallel=1``
+    fallback and is bit-for-bit equivalent to the parallel modes apart
+    from wall-clock time (per-trial timeouts are not enforced inline).
+``auto`` (default)
+    ``sequential`` for one worker; otherwise ``process`` when every
+    trial pickles, else ``thread``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+MODES = ("auto", "process", "thread", "sequential")
+
+
+@dataclass
+class Trial:
+    """One independent unit of work."""
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    label: str = ""
+    #: Per-trial timeout override (seconds); ``None`` uses the runner's.
+    timeout_s: float | None = None
+
+
+@dataclass
+class TrialOutcome:
+    """The result slot for one trial, in submission order."""
+
+    index: int
+    label: str
+    value: Any = None
+    error: BaseException | None = None
+    seconds: float = 0.0
+    attempts: int = 0
+    timed_out: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the trial produced a value."""
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        """The value, re-raising the trial's error if it failed."""
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+def _timed_call(fn: Callable, args: tuple, kwargs: dict) -> tuple[Any, float]:
+    """Run ``fn`` and measure it inside the worker (module-level so it
+    pickles for process pools)."""
+    start = time.perf_counter()
+    value = fn(*args, **kwargs)
+    return value, time.perf_counter() - start
+
+
+def _picklable(trial: Trial) -> bool:
+    try:
+        pickle.dumps((trial.fn, trial.args, trial.kwargs))
+        return True
+    except Exception:
+        return False
+
+
+class BatchRunner:
+    """Execute independent trials with bounded parallelism.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to ``os.cpu_count()`` capped at 8.  One
+        worker means sequential inline execution.
+    mode:
+        One of :data:`MODES`; see the module docstring.
+    timeout_s:
+        Default per-trial timeout.  A timed-out trial yields an outcome
+        with ``timed_out=True`` and a :class:`TimeoutError`; it is not
+        retried.  (Pool-based modes only — a timed-out process trial may
+        keep occupying its worker until it finishes.)
+    retries:
+        How many times a *crashed* trial (one that raised, or whose
+        worker process died) is resubmitted.  The default retries once.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int | None = None,
+        mode: str = "auto",
+        timeout_s: float | None = None,
+        retries: int = 1,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be positive")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.workers = workers or min(os.cpu_count() or 2, 8)
+        self.mode = mode
+        self.timeout_s = timeout_s
+        self.retries = retries
+
+    # -- public API ---------------------------------------------------------
+
+    def map(self, fn: Callable, items: Sequence, label: str = "") -> list[TrialOutcome]:
+        """Run ``fn(item)`` for every item; a convenience over :meth:`run`."""
+        return self.run(
+            [Trial(fn, (item,), label=f"{label}[{i}]") for i, item in enumerate(items)]
+        )
+
+    def run(self, trials: Sequence[Trial | Callable]) -> list[TrialOutcome]:
+        """Execute ``trials`` and return outcomes in submission order."""
+        normalized = [
+            t if isinstance(t, Trial) else Trial(t) for t in trials
+        ]
+        if not normalized:
+            return []
+        mode = self._resolve_mode(normalized)
+        if mode == "sequential":
+            return self._run_sequential(normalized)
+        return self._run_pooled(normalized, mode)
+
+    def _resolve_mode(self, trials: list[Trial]) -> str:
+        if self.workers == 1 or len(trials) == 1:
+            return "sequential"
+        if self.mode != "auto":
+            return self.mode
+        if all(_picklable(t) for t in trials):
+            return "process"
+        return "thread"
+
+    # -- sequential ---------------------------------------------------------
+
+    def _run_sequential(self, trials: list[Trial]) -> list[TrialOutcome]:
+        outcomes = []
+        for index, trial in enumerate(trials):
+            outcome = TrialOutcome(index=index, label=trial.label)
+            for attempt in range(self.retries + 1):
+                outcome.attempts = attempt + 1
+                start = time.perf_counter()
+                try:
+                    outcome.value = trial.fn(*trial.args, **trial.kwargs)
+                    outcome.error = None
+                    outcome.seconds = time.perf_counter() - start
+                    break
+                except Exception as exc:  # noqa: BLE001 - reported per trial
+                    outcome.error = exc
+                    outcome.seconds = time.perf_counter() - start
+            outcomes.append(outcome)
+        return outcomes
+
+    # -- pooled -------------------------------------------------------------
+
+    def _make_executor(self, mode: str):
+        if mode == "process":
+            return ProcessPoolExecutor(max_workers=self.workers)
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+    def _submit(self, executor, trial: Trial) -> Future:
+        return executor.submit(_timed_call, trial.fn, trial.args, trial.kwargs)
+
+    def _run_pooled(self, trials: list[Trial], mode: str) -> list[TrialOutcome]:
+        outcomes = [
+            TrialOutcome(index=i, label=t.label) for i, t in enumerate(trials)
+        ]
+        executor = self._make_executor(mode)
+        try:
+            futures = [self._submit(executor, t) for t in trials]
+            for index, trial in enumerate(trials):
+                outcome = outcomes[index]
+                future = futures[index]
+                timeout = (
+                    trial.timeout_s
+                    if trial.timeout_s is not None
+                    else self.timeout_s
+                )
+                attempt = 0
+                while True:
+                    attempt += 1
+                    outcome.attempts = attempt
+                    try:
+                        outcome.value, outcome.seconds = future.result(timeout)
+                        outcome.error = None
+                        break
+                    except FutureTimeoutError:
+                        future.cancel()
+                        outcome.error = TimeoutError(
+                            f"trial {trial.label or index} exceeded "
+                            f"{timeout:.1f}s"
+                        )
+                        outcome.timed_out = True
+                        break
+                    except (BrokenExecutor, CancelledError) as exc:
+                        # The pool itself died (e.g. a worker crashed hard)
+                        # and took this future with it: rebuild the pool
+                        # before retrying, or give up.
+                        executor.shutdown(wait=False, cancel_futures=True)
+                        executor = self._make_executor(mode)
+                        if attempt > self.retries:
+                            outcome.error = exc
+                            break
+                        future = self._submit(executor, trial)
+                    except Exception as exc:  # noqa: BLE001 - reported per trial
+                        if attempt > self.retries:
+                            outcome.error = exc
+                            break
+                        future = self._submit(executor, trial)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return outcomes

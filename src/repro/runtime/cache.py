@@ -1,0 +1,296 @@
+"""Content-keyed memoization of encode-time work.
+
+The expensive, *repeated* parts of encoding an exploration problem are
+
+* the path-loss-weighted candidate graph derived from a template (one
+  channel-model evaluation per candidate link),
+* Yen candidate-path queries — per (weights, source, dest, K, masked-edge
+  set) — which Algorithm 1 re-issues for every route requirement on every
+  ladder rung and every Pareto point, and
+* the per-test-point anchor rankings of the localization constraints (one
+  channel evaluation per anchor x test point).
+
+An :class:`EncodeCache` memoizes all three under content-derived keys, so
+K* ladder rungs, epsilon-constraint sweep points and repeated facade calls
+reuse encode work instead of recomputing it.  The cache is thread-safe and
+stampede-protected: when several trials request the same key concurrently,
+exactly one computes while the rest block and then score a hit — which
+also makes hit accounting deterministic under parallel execution.
+
+Cached values are shared objects and must be treated as immutable;
+callers that need to mutate (e.g. mask edges for Yen rounds) copy first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import is_dataclass
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+from repro.graph.digraph import DiGraph
+from repro.graph.yen import k_shortest_paths
+from repro.runtime.instrumentation import CacheCounters, RunStats
+
+#: Cache regions, used for counter attribution.
+REGION_PATHLOSS = "pathloss"
+REGION_YEN = "yen"
+
+
+def digest(*parts: Any) -> str:
+    """A short stable content digest of ``parts`` (via their reprs)."""
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        h.update(repr(part).encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def channel_key(channel: Any) -> str:
+    """A content key for a channel model.
+
+    Prefers an explicit ``cache_key()`` hook, then the auto-generated
+    ``repr`` of dataclass models (content-complete for the built-in
+    models); falls back to object identity for opaque channels, which is
+    always safe — at worst it forfeits sharing.
+    """
+    hook = getattr(channel, "cache_key", None)
+    if callable(hook):
+        return str(hook())
+    if is_dataclass(channel):
+        return digest(type(channel).__qualname__, repr(channel))
+    return f"{type(channel).__module__}.{type(channel).__qualname__}@{id(channel)}"
+
+
+class _InFlight:
+    """Marker for a key whose value is being computed by another thread."""
+
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+
+
+class EncodeCache:
+    """Thread-safe, content-keyed store for encode-phase artifacts.
+
+    One instance is typically shared across all trials of a sweep (the
+    K* ladder, a Pareto front, a ``repro.explore`` call).  ``counters``
+    aggregates hits/misses across every user; per-trial attribution goes
+    through the ``stats`` argument of the lookup methods.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[Hashable, Any] = {}
+        self.counters = CacheCounters()
+
+    # -- generic lookup -----------------------------------------------------
+
+    def get_or_compute(
+        self,
+        region: str,
+        key: Hashable,
+        compute: Callable[[], Any],
+        stats: RunStats | None = None,
+    ) -> Any:
+        """Return the cached value for ``key``, computing it at most once.
+
+        Concurrent requests for the same key block on the first computer
+        and count as hits (the work *was* reused).  A failed compute
+        removes the in-flight marker so the next request retries.
+        """
+        while True:
+            waiter = None
+            with self._lock:
+                entry = self._entries.get(key, _MISSING)
+                if entry is _MISSING:
+                    marker = _InFlight()
+                    self._entries[key] = marker
+                    break
+                if isinstance(entry, _InFlight):
+                    waiter = entry
+            if waiter is None:
+                # Recording happens outside the lock: _record re-acquires it.
+                self._record(region, True, stats)
+                return entry
+            waiter.event.wait()
+            # Loop: the value is now present (hit) or was evicted after a
+            # failed compute (retry as a fresh miss).
+
+        self._record(region, False, stats)
+        try:
+            value = compute()
+        except BaseException:
+            with self._lock:
+                self._entries.pop(key, None)
+            marker.event.set()
+            raise
+        with self._lock:
+            self._entries[key] = value
+        marker.event.set()
+        return value
+
+    def _record(self, region: str, hit: bool, stats: RunStats | None) -> None:
+        with self._lock:
+            self.counters.record(region, hit)
+        if stats is not None:
+            stats.cache.record(region, hit)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(
+                1 for v in self._entries.values()
+                if not isinstance(v, _InFlight)
+            )
+
+    def clear(self) -> None:
+        """Drop every cached value (in-flight computes are unaffected)."""
+        with self._lock:
+            self._entries = {
+                k: v for k, v in self._entries.items()
+                if isinstance(v, _InFlight)
+            }
+
+    def summary(self) -> dict:
+        """JSON-ready aggregate counters plus the entry count."""
+        with self._lock:
+            counters = self.counters.to_dict()
+            size = sum(
+                1 for v in self._entries.values()
+                if not isinstance(v, _InFlight)
+            )
+        return {"entries": size, **counters}
+
+    # -- path-loss weighted graphs ------------------------------------------
+
+    @staticmethod
+    def template_graph_key(
+        template, max_path_loss_db: float | None = None
+    ) -> str:
+        """Content key of a template's path-loss-weighted graph."""
+        edges = sorted(template.edges())
+        return digest(
+            "weighted-graph", template.node_count, max_path_loss_db, edges
+        )
+
+    def weighted_graph(
+        self,
+        template,
+        max_path_loss_db: float | None = None,
+        stats: RunStats | None = None,
+    ) -> tuple[DiGraph, str]:
+        """The candidate graph with path-loss weights, plus its key.
+
+        Applies the optional per-link loss prefilter.  The returned graph
+        is shared — copy before masking edges.
+        """
+        key = self.template_graph_key(template, max_path_loss_db)
+
+        def compute() -> DiGraph:
+            return build_weighted_graph(template, max_path_loss_db)
+
+        return self.get_or_compute(REGION_PATHLOSS, key, compute, stats), key
+
+    def sparsified_graph(
+        self,
+        graph_key: str,
+        graph: DiGraph,
+        max_out_degree: int,
+        stats: RunStats | None = None,
+    ) -> tuple[DiGraph, str]:
+        """The degree-limited copy of ``graph``, plus its key."""
+        key = digest("sparse", graph_key, max_out_degree)
+
+        def compute() -> DiGraph:
+            return build_sparsified_graph(graph, max_out_degree)
+
+        return self.get_or_compute(REGION_PATHLOSS, key, compute, stats), key
+
+    # -- Yen candidate paths ------------------------------------------------
+
+    def yen_paths(
+        self,
+        graph_key: str,
+        graph: DiGraph,
+        source: Hashable,
+        target: Hashable,
+        k: int,
+        stats: RunStats | None = None,
+    ) -> list[tuple[list, float]]:
+        """Yen's K shortest paths, keyed by (weights, route, K, masks).
+
+        ``graph_key`` must identify the *unmasked* content of ``graph``;
+        the current masked-edge set is folded into the key here, so every
+        disconnection round of Algorithm 1 gets its own entry.
+        """
+        masks = tuple(sorted(graph.masked_edges))
+        key = digest("yen", graph_key, source, target, k, masks)
+
+        def compute() -> list[tuple[list, float]]:
+            return k_shortest_paths(graph, source, target, k)
+
+        return self.get_or_compute(REGION_YEN, key, compute, stats)
+
+    # -- localization anchor rankings ---------------------------------------
+
+    def reach_rankings(
+        self,
+        channel,
+        anchors: Sequence,
+        test_points: Iterable,
+        stats: RunStats | None = None,
+    ) -> list[list[tuple[float, int]]]:
+        """Per-test-point anchor rankings by estimated path loss.
+
+        Returns, for every test point (in order), the full list of
+        ``(path_loss_db, anchor_id)`` pairs sorted ascending; callers
+        slice their own K* prefix, so one entry serves every pruning
+        level.
+        """
+        points = tuple(test_points)
+        key = digest(
+            "reach",
+            channel_key(channel),
+            [(a.id, a.location) for a in anchors],
+            points,
+        )
+
+        def compute() -> list[list[tuple[float, int]]]:
+            return [
+                sorted(
+                    (channel.path_loss_db(a.location, point), a.id)
+                    for a in anchors
+                )
+                for point in points
+            ]
+
+        return self.get_or_compute(REGION_PATHLOSS, key, compute, stats)
+
+
+_MISSING = object()
+
+
+def build_weighted_graph(
+    template, max_path_loss_db: float | None = None
+) -> DiGraph:
+    """A fresh path-loss-weighted candidate graph for ``template``."""
+    graph = DiGraph()
+    for node in template.nodes:
+        graph.add_node(node.id)
+    for u, v, pl in template.edges():
+        if max_path_loss_db is None or pl <= max_path_loss_db:
+            graph.add_edge(u, v, pl)
+    return graph
+
+
+def build_sparsified_graph(graph: DiGraph, max_out_degree: int) -> DiGraph:
+    """Keep only the ``max_out_degree`` lowest-loss out-links per node."""
+    sparse = DiGraph()
+    for node in graph.nodes():
+        sparse.add_node(node)
+    for node in graph.nodes():
+        best = sorted(graph.successors(node), key=lambda it: it[1])
+        for v, w in best[:max_out_degree]:
+            sparse.add_edge(node, v, w)
+    return sparse

@@ -5,7 +5,7 @@ import pytest
 from repro.constraints import build_localization, build_mapping
 from repro.core import LocalizationExplorer
 from repro.library import localization_catalog
-from repro.milp import HighsSolver, Model
+from repro.milp import Model
 from repro.network import ReachabilityRequirement, RequirementSet
 from repro.validation import validate
 

@@ -1,8 +1,11 @@
 """Tests for the K* search procedure (Section 4.3)."""
 
+from types import SimpleNamespace
+
 import pytest
 
-from repro.core import ArchitectureExplorer, kstar_search
+from repro.core import DataCollectionExplorer, kstar_search
+from repro.core.kstar_search import KStarTrial, scan_ladder
 from repro.encoding import ApproximatePathEncoder
 from repro.library import default_catalog
 from repro.network import (
@@ -10,6 +13,7 @@ from repro.network import (
     RequirementSet,
     small_grid_template,
 )
+from repro.runtime import EncodeCache
 
 
 @pytest.fixture(scope="module")
@@ -26,12 +30,23 @@ def make_factory(problem):
     instance, reqs = problem
 
     def factory(k):
-        return ArchitectureExplorer(
+        return DataCollectionExplorer(
             instance.template, default_catalog(), reqs,
             encoder=ApproximatePathEncoder(k_star=k),
         )
 
     return factory
+
+
+def stub_trial(k, objective, seconds=0.1):
+    """A ladder rung with a stand-in result (inf objective = infeasible)."""
+    feasible = objective != float("inf")
+    result = SimpleNamespace(
+        feasible=feasible,
+        objective_value=objective if feasible else None,
+        total_seconds=seconds,
+    )
+    return KStarTrial(k_star=k, result=result)
 
 
 class TestKStarSearch:
@@ -72,3 +87,83 @@ class TestKStarSearch:
             assert k in (1, 3)
             assert objective > 0
             assert seconds >= 0
+
+    def test_parallel_matches_sequential(self, problem):
+        ladder = (1, 3, 5, 8)
+        sequential = kstar_search(make_factory(problem), ladder=ladder)
+        parallel = kstar_search(
+            make_factory(problem), ladder=ladder,
+            parallel=2, cache=EncodeCache(),
+        )
+        assert parallel.stop_reason == sequential.stop_reason
+        assert parallel.best.k_star == sequential.best.k_star
+        assert [t.objective for t in parallel.trials] == [
+            t.objective for t in sequential.trials
+        ]
+
+    def test_shared_cache_hits_after_first_rung(self, problem):
+        cache = EncodeCache()
+        kstar_search(make_factory(problem), ladder=(1, 3, 5), cache=cache)
+        # Later rungs reuse the path-loss-weighted graph of the first.
+        assert cache.counters.hit_count("pathloss") >= 2
+
+
+class TestScanLadderStopRules:
+    """Unit coverage of the Section 4.3 stop conditions on stub rungs."""
+
+    def test_ladder_exhausted(self):
+        trials = [stub_trial(1, 100.0), stub_trial(3, 50.0)]
+        result = scan_ladder(iter(trials))
+        assert result.stop_reason == "ladder exhausted"
+        assert result.best.k_star == 3
+        assert len(result.trials) == 2
+
+    def test_time_threshold(self):
+        trials = [stub_trial(1, 100.0, seconds=2.0), stub_trial(3, 50.0)]
+        result = scan_ladder(iter(trials), time_threshold_s=1.0)
+        assert result.stop_reason == "time threshold exceeded"
+        assert len(result.trials) == 1
+
+    def test_no_improvement_on_equal_objective(self):
+        trials = [stub_trial(1, 100.0), stub_trial(3, 100.0),
+                  stub_trial(5, 10.0)]
+        result = scan_ladder(iter(trials))
+        assert result.stop_reason == "no further improvement"
+        assert len(result.trials) == 2
+        assert result.best.k_star == 1
+
+    def test_tiny_gain_counts_as_no_improvement(self):
+        trials = [stub_trial(1, 100.0), stub_trial(3, 100.0 - 1e-6)]
+        result = scan_ladder(iter(trials), min_relative_gain=1e-3)
+        assert result.stop_reason == "no further improvement"
+
+    def test_infeasible_first_rung_does_not_stop_search(self):
+        # Regression: inf - x > gain * inf is numerically False, which
+        # used to read as "no improvement" on the first feasible rung.
+        trials = [
+            stub_trial(1, float("inf")),
+            stub_trial(3, 80.0),
+            stub_trial(5, 40.0),
+        ]
+        result = scan_ladder(iter(trials))
+        assert result.stop_reason == "ladder exhausted"
+        assert result.best.k_star == 5
+        assert len(result.trials) == 3
+
+    def test_all_infeasible_keeps_climbing(self):
+        trials = [stub_trial(k, float("inf")) for k in (1, 3, 5)]
+        result = scan_ladder(iter(trials))
+        assert result.stop_reason == "ladder exhausted"
+        assert len(result.trials) == 3
+        assert result.best.objective == float("inf")
+
+    def test_lazy_consumption_stops_solving(self):
+        solved = []
+
+        def rungs():
+            for k, obj in ((1, 100.0), (3, 100.0), (5, 1.0)):
+                solved.append(k)
+                yield stub_trial(k, obj)
+
+        scan_ladder(rungs())
+        assert solved == [1, 3]

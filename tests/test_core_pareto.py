@@ -76,6 +76,19 @@ class TestExplorePareto:
         with pytest.raises(ValueError):
             explore_pareto(explorer, "cost", "cost")
 
+    def test_parallel_sweep_matches_sequential(self, front, explorer):
+        parallel = explore_pareto(
+            explorer, "cost", "energy", points=5, parallel=2
+        )
+        assert [
+            (p.primary, pytest.approx(p.secondary)) for p in parallel.points
+        ] == [(p.primary, p.secondary) for p in front.points]
+
+    def test_points_carry_run_stats(self, front):
+        for point in front.points:
+            assert point.result.run_stats is not None
+            assert point.result.encode_seconds >= 0
+
 
 class TestKnee:
     def test_small_fronts(self):

@@ -10,7 +10,6 @@ import pytest
 
 from repro.core import ArchitectureExplorer
 from repro.geometry import grid_for_count
-from repro.library import default_catalog
 from repro.network import (
     LifetimeRequirement,
     LinkQualityRequirement,

@@ -10,7 +10,7 @@ from repro.encoding import (
 )
 from repro.graph import are_link_disjoint, max_disjoint_subset
 from repro.milp import HighsSolver, Model
-from repro.network import RequirementSet, RouteRequirement, small_grid_template
+from repro.network import RouteRequirement, small_grid_template
 from repro.constraints.mapping import build_mapping
 from repro.library import default_catalog
 

@@ -5,6 +5,7 @@ at reduced scale to stay fast; the assertions check they exit cleanly and
 print their headline output.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,12 +13,20 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 
 def run_example(name: str, *args: str, timeout: float = 600.0):
+    # The child does not inherit an importable ``repro`` from the test
+    # process (which may run from src/ via PYTHONPATH or an editable
+    # install), so put src/ on the child's path explicitly.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
-        capture_output=True, text=True, timeout=timeout,
+        capture_output=True, text=True, timeout=timeout, env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     return result.stdout

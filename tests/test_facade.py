@@ -1,0 +1,182 @@
+"""Tests for the ``repro.explore`` facade and the explorer API redesign."""
+
+import pytest
+
+import repro
+from repro.core.explorer import (
+    AnchorPlacementExplorer,
+    ArchitectureExplorer,
+    DataCollectionExplorer,
+    LocalizationExplorer,
+)
+from repro.core.facade import build_explorer
+from repro.library import default_catalog, localization_catalog
+from repro.network import (
+    LinkQualityRequirement,
+    ReachabilityRequirement,
+    RequirementSet,
+    localization_template,
+    small_grid_template,
+)
+from repro.runtime import EncodeCache
+
+
+@pytest.fixture(scope="module")
+def data_problem():
+    instance = small_grid_template(nx=4, ny=3)
+    reqs = RequirementSet()
+    for s in instance.sensor_ids:
+        reqs.require_route(s, instance.sink_id, replicas=2, disjoint=True)
+    reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+    return instance, reqs
+
+
+@pytest.fixture(scope="module")
+def loc_problem():
+    instance = localization_template(n_anchor_candidates=30, n_test_points=12)
+    requirement = ReachabilityRequirement(
+        test_points=instance.test_points, min_anchors=3, min_rss_dbm=-80.0
+    )
+    return instance, requirement
+
+
+class TestBuildExplorer:
+    def test_picks_data_collection(self, data_problem):
+        instance, reqs = data_problem
+        explorer = build_explorer(instance.template, default_catalog(), reqs)
+        assert isinstance(explorer, DataCollectionExplorer)
+
+    def test_picks_anchor_placement(self, loc_problem):
+        instance, requirement = loc_problem
+        explorer = build_explorer(
+            instance.template, localization_catalog(), requirement,
+            channel=instance.channel,
+        )
+        assert isinstance(explorer, AnchorPlacementExplorer)
+
+    def test_localization_needs_channel(self, loc_problem):
+        instance, requirement = loc_problem
+        with pytest.raises(ValueError, match="channel"):
+            build_explorer(
+                instance.template, localization_catalog(), requirement
+            )
+
+    def test_encoder_and_k_star_are_exclusive(self, data_problem):
+        instance, reqs = data_problem
+        with pytest.raises(ValueError, match="not both"):
+            build_explorer(
+                instance.template, default_catalog(), reqs,
+                encoder=repro.ApproximatePathEncoder(k_star=5), k_star=5,
+            )
+
+    def test_rejects_other_requirement_types(self, data_problem):
+        instance, _ = data_problem
+        with pytest.raises(TypeError):
+            build_explorer(instance.template, default_catalog(), ["route"])
+
+
+class TestExplore:
+    def test_data_collection_end_to_end(self, data_problem):
+        instance, reqs = data_problem
+        result = repro.explore(
+            instance.template, default_catalog(), reqs, objective="cost"
+        )
+        assert result.feasible
+        assert result.run_stats is not None
+        assert result.stats_dict()["phase_seconds"]["encode"] >= 0
+
+    def test_localization_end_to_end(self, loc_problem):
+        instance, requirement = loc_problem
+        result = repro.explore(
+            instance.template, localization_catalog(), requirement,
+            objective="cost", channel=instance.channel,
+        )
+        assert result.feasible
+        assert result.encoder_name.startswith("reach-pruned")
+
+    def test_matches_direct_explorer(self, data_problem):
+        instance, reqs = data_problem
+        via_facade = repro.explore(
+            instance.template, default_catalog(), reqs, objective="cost"
+        )
+        direct = DataCollectionExplorer(
+            instance.template, default_catalog(), reqs
+        ).solve("cost")
+        assert via_facade.objective_value == pytest.approx(
+            direct.objective_value
+        )
+
+    def test_objective_list_parallel_equals_sequential(self, data_problem):
+        instance, reqs = data_problem
+        objectives = ("cost", {"cost": 1.0, "energy": 0.2})
+        sequential = repro.explore(
+            instance.template, default_catalog(), reqs,
+            objective=objectives, parallel=1,
+        )
+        parallel = repro.explore(
+            instance.template, default_catalog(), reqs,
+            objective=objectives, parallel=2,
+        )
+        assert isinstance(sequential, list) and len(sequential) == 2
+        for seq, par in zip(sequential, parallel):
+            assert par.objective_value == pytest.approx(seq.objective_value)
+
+    def test_empty_objective_list_rejected(self, data_problem):
+        instance, reqs = data_problem
+        with pytest.raises(ValueError, match="objective"):
+            repro.explore(
+                instance.template, default_catalog(), reqs, objective=[]
+            )
+
+    def test_shared_cache_reports_hits(self, data_problem):
+        instance, reqs = data_problem
+        cache = EncodeCache()
+        repro.explore(
+            instance.template, default_catalog(), reqs, cache=cache
+        )
+        assert cache.counters.miss_count() > 0
+        repro.explore(
+            instance.template, default_catalog(), reqs, cache=cache
+        )
+        assert cache.counters.hit_count() > 0
+
+
+class TestKeywordOnlyConstructors:
+    def test_data_collection_rejects_positional_options(self, data_problem):
+        instance, reqs = data_problem
+        with pytest.raises(TypeError):
+            DataCollectionExplorer(
+                instance.template, default_catalog(), reqs,
+                repro.ApproximatePathEncoder(k_star=5),
+            )
+
+    def test_anchor_placement_rejects_positional_options(self, loc_problem):
+        instance, requirement = loc_problem
+        with pytest.raises(TypeError):
+            AnchorPlacementExplorer(
+                instance.template, localization_catalog(), requirement,
+                instance.channel, 10,
+            )
+
+
+class TestDeprecatedShims:
+    def test_architecture_explorer_warns_and_solves(self, data_problem):
+        instance, reqs = data_problem
+        with pytest.warns(DeprecationWarning, match="ArchitectureExplorer"):
+            explorer = ArchitectureExplorer(
+                instance.template, default_catalog(), reqs
+            )
+        result = explorer.solve("cost")
+        assert result.feasible
+
+    def test_localization_explorer_warns_and_accepts_positional(
+        self, loc_problem
+    ):
+        instance, requirement = loc_problem
+        with pytest.warns(DeprecationWarning, match="LocalizationExplorer"):
+            explorer = LocalizationExplorer(
+                instance.template, localization_catalog(), requirement,
+                instance.channel, 10,
+            )
+        assert explorer.k_star == 10
+        assert isinstance(explorer, AnchorPlacementExplorer)

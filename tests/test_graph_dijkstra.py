@@ -1,6 +1,5 @@
 """Dijkstra tests, including a cross-check against networkx."""
 
-import math
 
 import networkx as nx
 import pytest

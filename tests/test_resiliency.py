@@ -1,6 +1,5 @@
 """Tests for the fault-resiliency analysis."""
 
-import pytest
 
 from repro.core import ArchitectureExplorer
 from repro.library import default_catalog

@@ -1,0 +1,136 @@
+"""Tests for the batch runner (process/thread pools, retries, ordering)."""
+
+import time
+
+import pytest
+
+from repro.runtime import MODES, BatchRunner, Trial
+
+
+def square(x):
+    return x * x
+
+
+def sleepy_identity(x, delay=0.0):
+    time.sleep(delay)
+    return x
+
+
+def fail_until_sentinel(path):
+    """Raise on the first call, succeed once the sentinel file exists.
+
+    File-based state survives both process and thread retries.
+    """
+    if path.exists():
+        return "recovered"
+    path.write_text("crashed once")
+    raise RuntimeError("transient crash")
+
+
+def always_fails():
+    raise ValueError("permanent")
+
+
+class TestModes:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            BatchRunner(mode="fork")
+        assert "process" in MODES
+
+    def test_invalid_workers_and_retries(self):
+        with pytest.raises(ValueError):
+            BatchRunner(workers=0)
+        with pytest.raises(ValueError):
+            BatchRunner(retries=-1)
+
+    def test_one_worker_is_sequential(self):
+        runner = BatchRunner(workers=1, mode="auto")
+        assert runner._resolve_mode([Trial(square, (2,))] * 3) == "sequential"
+
+    def test_auto_picks_process_for_picklable(self):
+        runner = BatchRunner(workers=2, mode="auto")
+        trials = [Trial(square, (i,)) for i in range(3)]
+        assert runner._resolve_mode(trials) == "process"
+
+    def test_auto_falls_back_to_threads_for_closures(self):
+        runner = BatchRunner(workers=2, mode="auto")
+        captured = {"x": 1}
+        trials = [Trial(lambda: captured["x"]) for _ in range(2)]
+        assert runner._resolve_mode(trials) == "thread"
+
+
+class TestExecution:
+    def test_empty_run(self):
+        assert BatchRunner(workers=2).run([]) == []
+
+    def test_map_preserves_order_process(self):
+        runner = BatchRunner(workers=2, mode="process")
+        outcomes = runner.map(square, [3, 1, 4, 1, 5])
+        assert [o.value for o in outcomes] == [9, 1, 16, 1, 25]
+        assert [o.index for o in outcomes] == [0, 1, 2, 3, 4]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+    def test_thread_mode_preserves_order_despite_delays(self):
+        runner = BatchRunner(workers=4, mode="thread")
+        # The first trial finishes last; ordering must not follow completion.
+        outcomes = runner.run([
+            Trial(sleepy_identity, (0,), {"delay": 0.2}),
+            Trial(sleepy_identity, (1,)),
+            Trial(sleepy_identity, (2,)),
+        ])
+        assert [o.value for o in outcomes] == [0, 1, 2]
+
+    def test_sequential_matches_pooled_results(self):
+        items = list(range(8))
+        pooled = BatchRunner(workers=4, mode="process").map(square, items)
+        inline = BatchRunner(workers=1).map(square, items)
+        assert [o.value for o in pooled] == [o.value for o in inline]
+
+    def test_bare_callables_are_coerced(self):
+        outcomes = BatchRunner(workers=1).run([lambda: 7, lambda: 8])
+        assert [o.value for o in outcomes] == [7, 8]
+
+
+class TestFailureHandling:
+    def test_crash_retried_once(self, tmp_path):
+        sentinel = tmp_path / "crashed"
+        runner = BatchRunner(workers=2, mode="thread", retries=1)
+        (outcome,) = runner.run(
+            [Trial(fail_until_sentinel, (sentinel,)), ]
+        )
+        assert outcome.ok
+        assert outcome.value == "recovered"
+        assert outcome.attempts == 2
+
+    def test_crash_retried_once_sequential(self, tmp_path):
+        sentinel = tmp_path / "crashed"
+        runner = BatchRunner(workers=1, retries=1)
+        (outcome,) = runner.run([Trial(fail_until_sentinel, (sentinel,))])
+        assert outcome.ok and outcome.attempts == 2
+
+    def test_permanent_failure_reported_not_raised(self):
+        runner = BatchRunner(workers=2, mode="thread", retries=1)
+        good, bad = runner.run([Trial(square, (6,)), Trial(always_fails)])
+        assert good.value == 36
+        assert not bad.ok
+        assert bad.attempts == 2
+        with pytest.raises(ValueError, match="permanent"):
+            bad.unwrap()
+
+    def test_timeout_marks_outcome(self):
+        runner = BatchRunner(workers=2, mode="thread", timeout_s=0.05)
+        slow, fast = runner.run([
+            Trial(sleepy_identity, (0,), {"delay": 2.0}, label="slow"),
+            Trial(sleepy_identity, (1,)),
+        ])
+        assert slow.timed_out and not slow.ok
+        assert isinstance(slow.error, TimeoutError)
+        assert fast.value == 1
+
+    def test_per_trial_timeout_overrides_runner(self):
+        runner = BatchRunner(workers=2, mode="thread", timeout_s=0.05)
+        (outcome,) = runner.run([
+            Trial(sleepy_identity, (9,), {"delay": 0.2}, timeout_s=5.0),
+            Trial(square, (1,)),  # second trial forces pooled mode
+        ])[:1]
+        assert outcome.ok and outcome.value == 9

@@ -1,0 +1,150 @@
+"""Tests for the content-keyed encode cache."""
+
+import threading
+import time
+
+import pytest
+
+from repro.graph.yen import k_shortest_paths
+from repro.network import localization_template, small_grid_template
+from repro.runtime import EncodeCache, RunStats
+from repro.runtime.cache import build_weighted_graph
+
+
+class TestGetOrCompute:
+    def test_miss_then_hit(self):
+        cache = EncodeCache()
+        stats = RunStats()
+        calls = []
+        value = cache.get_or_compute(
+            "yen", "k1", lambda: calls.append(1) or 42, stats
+        )
+        again = cache.get_or_compute("yen", "k1", lambda: 99, stats)
+        assert value == again == 42
+        assert len(calls) == 1
+        assert cache.counters.miss_count("yen") == 1
+        assert cache.counters.hit_count("yen") == 1
+        assert stats.cache.hit_count() == 1 and stats.cache.miss_count() == 1
+
+    def test_stampede_computes_once_and_waiters_hit(self):
+        cache = EncodeCache()
+        calls = []
+        barrier = threading.Barrier(6)
+
+        def compute():
+            calls.append(1)
+            time.sleep(0.05)
+            return "value"
+
+        results = []
+
+        def worker():
+            barrier.wait()
+            results.append(cache.get_or_compute("pathloss", "k", compute))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == ["value"] * 6
+        assert len(calls) == 1
+        assert cache.counters.miss_count("pathloss") == 1
+        assert cache.counters.hit_count("pathloss") == 5
+
+    def test_failed_compute_evicts_and_retries(self):
+        cache = EncodeCache()
+        attempts = []
+
+        def failing():
+            attempts.append(1)
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("yen", "k", failing)
+        assert len(cache) == 0
+        assert cache.get_or_compute("yen", "k", lambda: "ok") == "ok"
+        assert cache.counters.miss_count("yen") == 2
+
+    def test_clear_and_len(self):
+        cache = EncodeCache()
+        cache.get_or_compute("yen", "a", lambda: 1)
+        cache.get_or_compute("yen", "b", lambda: 2)
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestWeightedGraph:
+    def test_same_template_shares_one_entry(self):
+        instance = small_grid_template(nx=4, ny=3)
+        cache = EncodeCache()
+        g1, key1 = cache.weighted_graph(instance.template)
+        g2, key2 = cache.weighted_graph(instance.template)
+        assert g1 is g2 and key1 == key2
+        assert cache.counters.hit_count("pathloss") == 1
+
+    def test_content_key_tracks_link_changes(self):
+        instance = small_grid_template(nx=4, ny=3)
+        cache = EncodeCache()
+        _, key_before = cache.weighted_graph(instance.template)
+        u, v, pl = next(iter(instance.template.edges()))
+        instance.template.set_link(u, v, pl + 7.5)
+        graph_after, key_after = cache.weighted_graph(instance.template)
+        assert key_after != key_before
+        assert graph_after.weight(u, v) == pytest.approx(pl + 7.5)
+
+    def test_matches_uncached_builder(self):
+        instance = small_grid_template(nx=3, ny=3)
+        cached, _ = EncodeCache().weighted_graph(instance.template)
+        direct = build_weighted_graph(instance.template)
+        assert sorted(cached.edges()) == sorted(direct.edges())
+
+
+class TestYenPaths:
+    def test_equivalent_to_direct_call_and_cached(self):
+        instance = small_grid_template(nx=4, ny=3)
+        cache = EncodeCache()
+        graph, key = cache.weighted_graph(instance.template)
+        source = instance.sensor_ids[0]
+        paths = cache.yen_paths(key, graph, source, instance.sink_id, 3)
+        direct = k_shortest_paths(graph, source, instance.sink_id, 3)
+        assert paths == direct
+        again = cache.yen_paths(key, graph, source, instance.sink_id, 3)
+        assert again is paths
+        assert cache.counters.hit_count("yen") == 1
+
+    def test_masked_edges_get_their_own_entry(self):
+        instance = small_grid_template(nx=4, ny=3)
+        cache = EncodeCache()
+        graph, key = cache.weighted_graph(instance.template)
+        source = instance.sensor_ids[0]
+        baseline = cache.yen_paths(key, graph, source, instance.sink_id, 2)
+        masked = graph.copy()
+        first_hop = baseline[0][0]
+        masked.mask_edge(first_hop[0], first_hop[1])
+        rerouted = cache.yen_paths(key, masked, source, instance.sink_id, 2)
+        assert rerouted != baseline
+        assert cache.counters.miss_count("yen") == 2
+
+
+class TestReachRankings:
+    def test_rankings_match_inline_computation(self):
+        instance = localization_template(
+            n_anchor_candidates=12, n_test_points=5
+        )
+        anchors = instance.template.anchors
+        cache = EncodeCache()
+        rankings = cache.reach_rankings(
+            instance.channel, anchors, instance.test_points
+        )
+        inline = [
+            sorted(
+                (instance.channel.path_loss_db(a.location, p), a.id)
+                for a in anchors
+            )
+            for p in instance.test_points
+        ]
+        assert rankings == inline
+        cache.reach_rankings(instance.channel, anchors, instance.test_points)
+        assert cache.counters.hit_count("pathloss") == 1

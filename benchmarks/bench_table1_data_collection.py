@@ -130,5 +130,5 @@ def test_table1_combined_objective(benchmark, instance, compiled, rows):
             <= comb_rep.average_lifetime_years
             <= energy_rep.average_lifetime_years * 1.05)
     # Every design meets the 5-year bound.
-    for res, rep in rows.values():
+    for _res, rep in rows.values():
         assert rep.min_lifetime_years >= 5.0

@@ -144,6 +144,6 @@ def test_table2_combined_objective(benchmark, instance, requirement, rows):
                 >= cost_res.architecture.dollar_cost * 0.99)
     # Every placement localizes: near-full coverage (occasional collinear
     # anchor geometry degenerates), errors in metres not tens.
-    for res, rep, ev in rows.values():
+    for _res, _rep, ev in rows.values():
         assert ev.coverage >= 0.9
         assert ev.mean_error_m < 15.0

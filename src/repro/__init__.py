@@ -22,6 +22,14 @@ Quickstart::
     print(result.summary())
 """
 
+from repro.analysis import (
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    analyze_model,
+    analyze_problem,
+)
 from repro.core.explorer import (
     AnchorPlacementExplorer,
     ArchitectureExplorer,
@@ -68,6 +76,8 @@ from repro.validation.resiliency import ResiliencyReport, analyze_resiliency
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisError",
+    "AnalysisReport",
     "AnchorPlacementExplorer",
     "ApproximatePathEncoder",
     "Architecture",
@@ -77,6 +87,7 @@ __all__ = [
     "DataCollectionExplorer",
     "DataCollectionSimulator",
     "Device",
+    "Diagnostic",
     "EncodeCache",
     "EncodingError",
     "ExplorerBase",
@@ -95,6 +106,7 @@ __all__ = [
     "Route",
     "RouteRequirement",
     "RunStats",
+    "Severity",
     "SolveStatus",
     "SynthesisResult",
     "TdmaConfig",
@@ -102,6 +114,8 @@ __all__ = [
     "Trial",
     "TrialOutcome",
     "ValidationReport",
+    "analyze_model",
+    "analyze_problem",
     "analyze_resiliency",
     "build_explorer",
     "compile_spec",

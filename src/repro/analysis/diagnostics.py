@@ -1,0 +1,179 @@
+"""Structured diagnostics emitted by the pre-solve static analyzer.
+
+A :class:`Diagnostic` is one finding of one rule: a stable rule id
+(``spec.route-connectivity``, ``model.loose-big-m``, ...), a severity, a
+human-readable message, the location (object path) it anchors to, and a
+fix hint.  An :class:`AnalysisReport` aggregates the findings of an
+analyzer pass; :class:`AnalysisError` carries a report out of
+:meth:`repro.core.explorer.ExplorerBase.build` when blocking errors are
+found, and subclasses :class:`repro.encoding.base.EncodingError` so
+existing "this problem cannot be encoded" handlers keep working.
+
+The full rule catalog (trigger examples, fix hints) is documented in
+``docs/diagnostics.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.encoding.base import EncodingError
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make :meth:`ExplorerBase.build` refuse the problem
+    (the solve would be wasted); ``WARNING`` findings are recorded on the
+    result but do not block; ``INFO`` findings are informational only.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def blocking(self) -> bool:
+        """Whether findings at this severity abort the build."""
+        return self is Severity.ERROR
+
+
+@dataclass(frozen=True, eq=False)
+class Diagnostic:
+    """One finding of one analysis rule."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    #: Object path the finding anchors to (``route[2]``, ``row lq[3,4]:rss``).
+    location: str = ""
+    #: Actionable fix suggestion.
+    hint: str = ""
+    #: Machine-readable extras (route index, tightest big-M value, ...).
+    data: dict[str, object] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """One-line rendering: ``severity[rule] location: message``."""
+        where = f" {self.location}" if self.location else ""
+        line = f"{self.severity.value}[{self.rule_id}]{where}: {self.message}"
+        if self.hint:
+            line += f" (hint: {self.hint})"
+        return line
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation."""
+        payload: dict[str, object] = {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.location:
+            payload["location"] = self.location
+        if self.hint:
+            payload["hint"] = self.hint
+        if self.data:
+            payload["data"] = dict(self.data)
+        return payload
+
+
+@dataclass
+class AnalysisReport:
+    """The findings of an analyzer pass (or of several merged passes)."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Wall-clock seconds spent producing the findings.
+    seconds: float = 0.0
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        """Append one finding."""
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        """Append many findings."""
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: AnalysisReport) -> None:
+        """Fold another report into this one (findings and timing)."""
+        self.diagnostics.extend(other.diagnostics)
+        self.seconds += other.seconds
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Blocking findings."""
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        """Non-blocking findings worth surfacing."""
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        """Informational findings."""
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the pass found no blocking errors."""
+        return not self.errors
+
+    @property
+    def rule_ids(self) -> set[str]:
+        """The distinct rule ids that fired."""
+        return {d.rule_id for d in self.diagnostics}
+
+    def summary(self) -> str:
+        """One line: counts by severity plus analysis time."""
+        return (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info(s) from {len(self.rule_ids)} rule(s) "
+            f"in {self.seconds * 1000.0:.1f} ms"
+        )
+
+    def render(self) -> str:
+        """Multi-line rendering of every finding plus the summary."""
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (what ``repro lint --json`` emits)."""
+        return {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+            "rules": sorted(self.rule_ids),
+            "seconds": round(self.seconds, 6),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def raise_for_errors(self, context: str = "") -> None:
+        """Raise :class:`AnalysisError` when blocking findings exist."""
+        if not self.ok:
+            raise AnalysisError(self, context=context)
+
+
+class AnalysisError(EncodingError):
+    """A blocking analyzer finding: the problem would be wasted solver time.
+
+    Subclasses :class:`~repro.encoding.base.EncodingError` because every
+    blocking spec finding is a statement that the requirements cannot be
+    (usefully) encoded on this template — callers that already handle
+    encoding failures handle this too.  The offending report rides along
+    as :attr:`report`.
+    """
+
+    def __init__(self, report: AnalysisReport, context: str = "") -> None:
+        self.report = report
+        self.context = context
+        errors = report.errors
+        head = f"{context}: " if context else ""
+        detail = "; ".join(d.format() for d in errors[:5])
+        if len(errors) > 5:
+            detail += f"; ... ({len(errors) - 5} more)"
+        super().__init__(
+            f"{head}static analysis found {len(errors)} blocking "
+            f"diagnostic(s): {detail}"
+        )

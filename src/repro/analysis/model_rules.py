@@ -1,0 +1,358 @@
+"""Model-level analysis rules: a built MILP before the solver sees it.
+
+All rules here are interval-arithmetic passes over the variable bounds
+and constraint rows — O(nonzeros) each, no LP relaxation required.  They
+catch the model-construction bugs that otherwise surface as an opaque
+``infeasible`` (or as silent slack): contradictory bounds, rows no
+assignment can satisfy, rows implied by the bounds alone, variables the
+model never constrains, big-M constants larger than the tightest value
+the bounds imply, and duplicated left-hand sides.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.rules import ModelRule, model_rule
+from repro.milp.expr import Constraint, Var
+from repro.milp.model import Model
+
+_INF = float("inf")
+
+
+def _tol(reference: float) -> float:
+    """Feasibility tolerance scaled to the magnitude of ``reference``."""
+    if math.isinf(reference):
+        return 1e-9
+    return 1e-9 * max(1.0, abs(reference))
+
+
+def _row_location(index: int, constraint: Constraint) -> str:
+    if constraint.name:
+        return f"row {constraint.name!r}"
+    return f"row #{index}"
+
+
+def _valid_indices(coeffs: dict[int, float], n: int) -> bool:
+    return all(0 <= idx < n for idx in coeffs)
+
+
+def _activity(
+    coeffs: dict[int, float], variables: list[Var]
+) -> tuple[float, float]:
+    """Interval of ``sum(coeff * var)`` over the variable bounds."""
+    lo = hi = 0.0
+    for idx, coeff in coeffs.items():
+        if coeff == 0.0:
+            continue
+        var = variables[idx]
+        if coeff > 0.0:
+            lo += coeff * var.lower
+            hi += coeff * var.upper
+        else:
+            lo += coeff * var.upper
+            hi += coeff * var.lower
+    return lo, hi
+
+
+@model_rule
+class VariableBoundsRule(ModelRule):
+    """Variable bounds must be orderable and finite where integrality needs."""
+
+    rule_id = "model.variable-bounds"
+    default_severity = Severity.ERROR
+    title = "variable bounds are contradictory or missing"
+    example = (
+        "a variable with ``lower=1, upper=0`` (empty domain) or a general "
+        "integer left unbounded above"
+    )
+    hint = "fix the bounds where the variable is created"
+
+    def check(self, model: Model) -> Iterator[Diagnostic]:
+        for var in model.variables:
+            if math.isnan(var.lower) or math.isnan(var.upper):
+                yield self.diagnostic(
+                    f"bound is NaN: [{var.lower}, {var.upper}]",
+                    location=f"var {var.name!r}", variable=var.name,
+                )
+            elif var.lower > var.upper:
+                yield self.diagnostic(
+                    f"lower bound {var.lower:g} exceeds upper bound "
+                    f"{var.upper:g}: the domain is empty",
+                    location=f"var {var.name!r}", variable=var.name,
+                )
+            elif var.is_integer and not var.is_binary and (
+                math.isinf(var.lower) or math.isinf(var.upper)
+            ):
+                yield self.diagnostic(
+                    f"general integer variable is unbounded "
+                    f"([{var.lower:g}, {var.upper:g}]); branch-and-bound "
+                    f"cannot enumerate an infinite lattice efficiently",
+                    location=f"var {var.name!r}",
+                    severity=Severity.INFO,
+                    hint="give integer variables finite bounds",
+                    variable=var.name,
+                )
+
+
+@model_rule
+class ForeignVariableRule(ModelRule):
+    """Rows and objective may only reference registered variables."""
+
+    rule_id = "model.foreign-variable"
+    default_severity = Severity.ERROR
+    title = "a row references a variable the model does not own"
+    example = (
+        "building a constraint from variables of one ``Model`` and adding "
+        "it to another — the index resolves to a different column there"
+    )
+    hint = "create all variables on the model the constraint is added to"
+
+    def check(self, model: Model) -> Iterator[Diagnostic]:
+        n = len(model.variables)
+        for i, constraint in enumerate(model.constraints):
+            bad = sorted(
+                idx for idx in constraint.expr.coeffs if not 0 <= idx < n
+            )
+            if bad:
+                yield self.diagnostic(
+                    f"references variable index(es) {bad} but the model "
+                    f"has {n} variable(s)",
+                    location=_row_location(i, constraint),
+                    indices=bad,
+                )
+        bad = sorted(idx for idx in model.objective.coeffs if not 0 <= idx < n)
+        if bad:
+            yield self.diagnostic(
+                f"objective references variable index(es) {bad} but the "
+                f"model has {n} variable(s)",
+                location="objective",
+                indices=bad,
+            )
+
+
+@model_rule
+class TrivialInfeasibilityRule(ModelRule):
+    """No row may be unsatisfiable for every assignment within bounds."""
+
+    rule_id = "model.trivial-infeasibility"
+    default_severity = Severity.WARNING
+    title = "a row cannot be satisfied by any assignment within bounds"
+    example = (
+        "``x + y >= 3`` over two binaries, or a coverage row demanding "
+        "more anchors than it has candidate variables"
+    )
+    hint = (
+        "the whole model is infeasible because of this row alone; fix the "
+        "requirement or the bounds that make it impossible"
+    )
+
+    def check(self, model: Model) -> Iterator[Diagnostic]:
+        n = len(model.variables)
+        for i, constraint in enumerate(model.constraints):
+            coeffs, lo, hi = constraint.normalized()
+            if not _valid_indices(coeffs, n):
+                continue  # model.foreign-variable already fired
+            where = _row_location(i, constraint)
+            if lo > hi + _tol(hi):
+                yield self.diagnostic(
+                    f"row bounds are crossed: lower {lo:g} > upper {hi:g}",
+                    location=where, row=i,
+                )
+                continue
+            act_lo, act_hi = _activity(coeffs, model.variables)
+            if math.isnan(act_lo) or math.isnan(act_hi):
+                continue
+            if act_lo > hi + _tol(hi):
+                yield self.diagnostic(
+                    f"smallest attainable activity {act_lo:g} already "
+                    f"exceeds the upper bound {hi:g}",
+                    location=where, row=i, activity=(act_lo, act_hi),
+                )
+            elif act_hi < lo - _tol(lo):
+                yield self.diagnostic(
+                    f"largest attainable activity {act_hi:g} cannot reach "
+                    f"the lower bound {lo:g}",
+                    location=where, row=i, activity=(act_lo, act_hi),
+                )
+
+
+@model_rule
+class VacuousConstraintRule(ModelRule):
+    """Rows implied by the variable bounds alone are dead weight."""
+
+    rule_id = "model.vacuous-constraint"
+    default_severity = Severity.INFO
+    title = "a row is implied by the variable bounds alone"
+    example = (
+        "``x + y >= 0`` over two binaries — every assignment within "
+        "bounds already satisfies it"
+    )
+    hint = "drop the row; it only inflates the matrix"
+
+    def check(self, model: Model) -> Iterator[Diagnostic]:
+        n = len(model.variables)
+        for i, constraint in enumerate(model.constraints):
+            coeffs, lo, hi = constraint.normalized()
+            if not coeffs or not _valid_indices(coeffs, n):
+                continue
+            act_lo, act_hi = _activity(coeffs, model.variables)
+            if math.isnan(act_lo) or math.isnan(act_hi):
+                continue
+            lower_ok = lo == -_INF or act_lo >= lo - _tol(lo)
+            upper_ok = hi == _INF or act_hi <= hi + _tol(hi)
+            if lower_ok and upper_ok:
+                yield self.diagnostic(
+                    f"activity range [{act_lo:g}, {act_hi:g}] always lies "
+                    f"within the row bounds [{lo:g}, {hi:g}]",
+                    location=_row_location(i, constraint), row=i,
+                )
+
+
+@model_rule
+class UnusedVariableRule(ModelRule):
+    """Every variable should appear in a row or the objective."""
+
+    rule_id = "model.unused-variable"
+    default_severity = Severity.WARNING
+    title = "variables appear in no row and no objective term"
+    example = (
+        "a binary created by an encoder but never wired into any "
+        "constraint — the solver branches on pure noise"
+    )
+    hint = "remove the variables or wire them into the model"
+
+    def check(self, model: Model) -> Iterator[Diagnostic]:
+        used: set[int] = {
+            idx for idx, coeff in model.objective.coeffs.items()
+            if coeff != 0.0
+        }
+        for constraint in model.constraints:
+            for idx, coeff in constraint.expr.coeffs.items():
+                if coeff != 0.0:
+                    used.add(idx)
+        unused = [var.name for var in model.variables if var.index not in used]
+        if unused:
+            shown = ", ".join(unused[:8])
+            if len(unused) > 8:
+                shown += f", ... ({len(unused) - 8} more)"
+            yield self.diagnostic(
+                f"{len(unused)} variable(s) unused: {shown}",
+                location=f"model {model.name!r}",
+                variables=unused,
+            )
+
+
+@model_rule
+class LooseBigMRule(ModelRule):
+    """Indicator big-M constants should be as tight as the bounds allow."""
+
+    rule_id = "model.loose-big-m"
+    default_severity = Severity.WARNING
+    title = "an indicator's big-M is larger than the bounds require"
+    example = (
+        "``c >= 5 - 50*(1 - b)`` with ``c in [0, 10]`` — M=50 where M=5 "
+        "suffices, which weakens the LP relaxation"
+    )
+    hint = "shrink the constant to the reported tightest implied value"
+
+    #: Report only when the slack is material (absolute and relative);
+    #: micro-coefficient indicator rows (piecewise tails) are numerical
+    #: noise, not modelling bugs.
+    _ABS_SLACK = 1e-4
+    _REL_SLACK = 0.01
+
+    def check(self, model: Model) -> Iterator[Diagnostic]:
+        n = len(model.variables)
+        for i, constraint in enumerate(model.constraints):
+            coeffs, lo, hi = constraint.normalized()
+            if not _valid_indices(coeffs, n):
+                continue
+            # Normalize one-sided rows to `sum(d * x) >= bound` form.
+            if lo != -_INF and hi == _INF:
+                d, bound = coeffs, lo
+            elif lo == -_INF and hi != _INF:
+                d = {idx: -c for idx, c in coeffs.items()}
+                bound = -hi
+            else:
+                continue
+            # Big-M analysis targets the classic indicator shape: exactly
+            # one binary relaxing a bound over a continuous expression.
+            # Rows with several binaries (device-selection hulls) or none
+            # couple through other constraints (assignment equalities),
+            # which interval analysis cannot see, so they are skipped to
+            # avoid false positives.
+            binaries = []
+            has_continuous = False
+            for idx, coeff in d.items():
+                if coeff == 0.0:
+                    continue
+                var = model.variables[idx]
+                if var.is_binary:
+                    binaries.append((var, coeff))
+                else:
+                    has_continuous = True
+            if len(binaries) != 1 or not has_continuous:
+                continue
+            act_lo, _ = _activity(d, model.variables)
+            if not math.isfinite(act_lo) or not math.isfinite(bound):
+                continue
+            for var, coeff in binaries:
+                # At the binary's relaxing value the row must hold for
+                # every assignment; slack beyond that proves the constant
+                # is larger than needed.
+                slack = act_lo + abs(coeff) - bound
+                tightest = abs(coeff) - slack
+                if (slack > max(self._ABS_SLACK, self._REL_SLACK * abs(coeff))
+                        and tightest > self._ABS_SLACK):
+                    yield self.diagnostic(
+                        f"coefficient {abs(coeff):g} on binary "
+                        f"{var.name!r} exceeds the tightest implied "
+                        f"big-M {tightest:g}",
+                        location=_row_location(i, constraint),
+                        row=i,
+                        variable=var.name,
+                        coefficient=abs(coeff),
+                        tightest=tightest,
+                    )
+
+
+@model_rule
+class DuplicateRowRule(ModelRule):
+    """Rows sharing one left-hand side should be merged."""
+
+    rule_id = "model.duplicate-row"
+    default_severity = Severity.INFO
+    title = "several rows share the same left-hand side"
+    example = (
+        "adding ``x + y <= 1`` and ``x + y >= 1`` as separate rows instead "
+        "of one equality (or one range row)"
+    )
+    hint = "merge the rows into a single range constraint"
+
+    def check(self, model: Model) -> Iterator[Diagnostic]:
+        groups: dict[tuple[tuple[int, float], ...], list[int]] = {}
+        rows = model.constraints
+        for i, constraint in enumerate(rows):
+            coeffs = constraint.normalized()[0]
+            signature = tuple(
+                sorted((idx, c) for idx, c in coeffs.items() if c != 0.0)
+            )
+            if signature:
+                groups.setdefault(signature, []).append(i)
+        for indices in groups.values():
+            if len(indices) < 2:
+                continue
+            names = [
+                rows[i].name or f"#{i}" for i in indices[:4]
+            ]
+            shown = ", ".join(names)
+            if len(indices) > 4:
+                shown += f", ... ({len(indices) - 4} more)"
+            yield self.diagnostic(
+                f"{len(indices)} rows share one left-hand side: {shown}",
+                location=_row_location(indices[0], rows[indices[0]]),
+                rows=list(indices),
+            )

@@ -6,6 +6,7 @@ components and a floor plan"; this CLI is that front door:
 * ``synthesize`` — data-collection synthesis from a pattern-language spec
   file over a built-in (or SVG) floor plan;
 * ``localize``   — anchor-placement synthesis;
+* ``lint``      — pre-solve static analysis of a spec file (no solving);
 * ``catalog``    — print the component library;
 * ``kstar``      — run the K* trade-off sweep of Section 4.3.
 
@@ -18,11 +19,22 @@ independent trials through the :mod:`repro.runtime` batch runner.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
 
+from repro.analysis import (
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    analyze_model,
+    analyze_problem,
+)
+from repro.constraints.mapping import MappingError
 from repro.core.explorer import DataCollectionExplorer
+from repro.encoding.base import EncodingError
 from repro.core.facade import explore
 from repro.core.kstar_search import kstar_search
 from repro.encoding.approximate import ApproximatePathEncoder
@@ -40,6 +52,7 @@ from repro.network.requirements import (
     RequirementSet,
 )
 from repro.runtime.cache import EncodeCache
+from repro.spec.patterns import SpecError
 from repro.spec.problem import compile_spec
 from repro.validation.checker import validate
 
@@ -90,6 +103,21 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write runtime instrumentation as JSON; "
                           "'-' for stdout")
 
+    lint = sub.add_parser(
+        "lint", help="pre-solve static analysis of a spec file (no solving)"
+    )
+    lint.add_argument("spec", type=Path,
+                      help="pattern-language spec file to analyze")
+    lint.add_argument("--sensors", type=int, default=12)
+    lint.add_argument("--relays", type=int, default=24)
+    lint.add_argument("--floorplan", type=Path,
+                      help="SVG floor plan (default: built-in office floor)")
+    lint.add_argument("--k-star", type=int, default=5)
+    lint.add_argument("--no-model", action="store_true",
+                      help="run spec-level rules only; skip building the MILP")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the full report as JSON on stdout")
+
     sub.add_parser("catalog", help="print the component library")
 
     sim = sub.add_parser(
@@ -126,6 +154,23 @@ def _emit_stats(payload: dict, target: Path | None) -> None:
         print(f"wrote {target}")
 
 
+def _print_analysis_failure(exc: AnalysisError) -> None:
+    """Render a blocking analyzer report the way ``repro lint`` would."""
+    print(f"analysis: {exc.context} found "
+          f"{len(exc.report.errors)} blocking finding(s)")
+    for diag in exc.report.errors + exc.report.warnings:
+        print(f"  {diag.format()}")
+    print("hint: run `repro lint <spec>` for the full report")
+
+
+def _print_result_diagnostics(result) -> None:
+    """Explain an infeasible result with the analyzer findings, if any."""
+    for diag in result.diagnostics[:10]:
+        print(f"  {diag.format()}")
+    if len(result.diagnostics) > 10:
+        print(f"  ... ({len(result.diagnostics) - 10} more)")
+
+
 def _cmd_synthesize(args) -> int:
     if args.floorplan:
         plan = floorplan_from_svg(args.floorplan.read_text())
@@ -136,17 +181,22 @@ def _cmd_synthesize(args) -> int:
     )
     spec_text = args.spec.read_text() if args.spec else DEFAULT_SPEC
     compiled = compile_spec(spec_text, instance.template)
-    result = explore(
-        instance.template, default_catalog(), compiled.requirements,
-        objective=compiled.objective,
-        k_star=args.k_star,
-        solver=HighsSolver(time_limit=args.time_limit,
-                           mip_rel_gap=args.mip_gap),
-    )
+    try:
+        result = explore(
+            instance.template, default_catalog(), compiled.requirements,
+            objective=compiled.objective,
+            k_star=args.k_star,
+            solver=HighsSolver(time_limit=args.time_limit,
+                               mip_rel_gap=args.mip_gap),
+        )
+    except AnalysisError as exc:
+        _print_analysis_failure(exc)
+        return 1
     print(f"status:  {result.status.value}")
     print(f"model:   {result.model_stats}")
     _emit_stats(result.stats_dict(), args.stats_json)
     if not result.feasible:
+        _print_result_diagnostics(result)
         return 1
     arch = result.architecture
     report = validate(arch, compiled.requirements)
@@ -214,14 +264,19 @@ def _cmd_localize(args) -> int:
         min_anchors=args.min_anchors,
         min_rss_dbm=args.min_rss,
     )
-    result = explore(
-        instance.template, localization_catalog(), requirement,
-        objective=args.objective,
-        channel=instance.channel, k_star=args.k_star,
-    )
+    try:
+        result = explore(
+            instance.template, localization_catalog(), requirement,
+            objective=args.objective,
+            channel=instance.channel, k_star=args.k_star,
+        )
+    except AnalysisError as exc:
+        _print_analysis_failure(exc)
+        return 1
     print(f"status: {result.status.value}")
     _emit_stats(result.stats_dict(), args.stats_json)
     if not result.feasible:
+        _print_result_diagnostics(result)
         return 1
     arch = result.architecture
     reqs = RequirementSet(reachability=requirement)
@@ -236,6 +291,80 @@ def _cmd_localize(args) -> int:
         args.svg_out.write_text(floorplan_to_svg(instance.plan, markers))
         print(f"wrote {args.svg_out}")
     return 0 if report.ok else 2
+
+
+def _emit_lint_report(args, report: AnalysisReport) -> int:
+    """Print a lint report (text or ``--json``); exit 1 on errors."""
+    if args.json:
+        payload = report.to_dict()
+        payload["spec"] = str(args.spec)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for diag in report.errors + report.warnings:
+            print(diag.format())
+        print(report.summary())
+    return 1 if report.errors else 0
+
+
+def _cmd_lint(args) -> int:
+    """Run the pre-solve analyzers over a spec without invoking a solver.
+
+    Spec-level rules always run; unless ``--no-model`` is given, the spec
+    is also encoded (with error-flagged routes dropped so the encoder
+    does not choke on them) and the model-level rules run on the result.
+    """
+    report = AnalysisReport()
+    if args.floorplan:
+        plan = floorplan_from_svg(args.floorplan.read_text())
+    else:
+        plan = None
+    instance = data_collection_template(
+        n_sensors=args.sensors, n_relay_candidates=args.relays, plan=plan
+    )
+    library = default_catalog()
+    try:
+        compiled = compile_spec(args.spec.read_text(), instance.template)
+    except SpecError as exc:
+        report.add(Diagnostic(
+            rule_id="spec.parse", severity=Severity.ERROR,
+            message=str(exc), location=str(args.spec),
+            hint="fix the specification syntax "
+                 "(see docs/pattern_language.md)",
+        ))
+        return _emit_lint_report(args, report)
+    report.merge(analyze_problem(
+        instance.template, compiled.requirements, library
+    ))
+    if not args.no_model:
+        requirements = compiled.requirements
+        # Routes flagged by a blocking spec rule cannot be encoded (Yen
+        # finds no paths); drop them so the model-level rules still get a
+        # model to inspect for everything else.
+        bad_routes = {d.data.get("route") for d in report.errors}
+        bad_routes.discard(None)
+        if bad_routes:
+            requirements = dataclasses.replace(
+                requirements,
+                routes=[r for i, r in enumerate(requirements.routes)
+                        if i not in bad_routes],
+            )
+        explorer = DataCollectionExplorer(
+            instance.template, library, requirements,
+            encoder=ApproximatePathEncoder(k_star=args.k_star),
+            channel=instance.channel, analyze=False,
+        )
+        try:
+            built = explorer.build(compiled.objective)
+        except (EncodingError, MappingError, ValueError) as exc:
+            report.add(Diagnostic(
+                rule_id="spec.encoding", severity=Severity.ERROR,
+                message=str(exc), location="encoder",
+                hint="the spec could not be encoded into a model; fix "
+                     "the findings above first",
+            ))
+        else:
+            report.merge(analyze_model(built.model))
+    return _emit_lint_report(args, report)
 
 
 def _cmd_catalog(_args) -> int:
@@ -304,6 +433,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "synthesize": _cmd_synthesize,
         "localize": _cmd_localize,
+        "lint": _cmd_lint,
         "catalog": _cmd_catalog,
         "kstar": _cmd_kstar,
         "simulate": _cmd_simulate,

@@ -26,6 +26,8 @@ import time
 import warnings
 from dataclasses import dataclass
 
+from repro.analysis.analyzer import analyze_model, analyze_problem
+from repro.analysis.diagnostics import AnalysisReport
 from repro.channel.base import ChannelModel
 from repro.constraints.energy import EnergyVars, build_energy
 from repro.constraints.link_quality import LinkQualityVars, build_link_quality
@@ -44,7 +46,7 @@ from repro.network.requirements import ReachabilityRequirement, RequirementSet
 from repro.network.template import Template
 from repro.network.topology import Architecture
 from repro.runtime.cache import EncodeCache
-from repro.runtime.instrumentation import RunStats
+from repro.runtime.instrumentation import RunStats, timings_of
 
 
 @dataclass
@@ -58,15 +60,26 @@ class BuiltProblem:
     energy: EnergyVars | None
     localization: LocalizationVars | None
     objective_exprs: dict[str, LinExpr]
+    #: Findings of the pre-solve static analyzer (None when disabled).
+    analysis: AnalysisReport | None = None
 
 
 class ExplorerBase(abc.ABC):
-    """Shared build → solve → decode pipeline of every explorer.
+    """Shared analyze → build → solve → decode pipeline of every explorer.
 
-    Subclasses implement :meth:`build` (problem assembly into a MILP) and
-    :attr:`encoder_name`; the base class owns solving, decoding, timing
-    and result assembly, so every explorer reports uniform
+    Subclasses implement :meth:`_assemble` (problem assembly into a MILP)
+    and :attr:`encoder_name`; the base class owns the pre-solve static
+    analysis gate, solving, decoding, timing and result assembly, so
+    every explorer reports uniform
     :class:`~repro.core.results.SynthesisResult`\\ s.
+
+    :meth:`build` is a fail-fast gate: the spec-level analyzer runs over
+    the problem inputs before any encoding work, and the model-level
+    analyzer over the built MILP before any solver call.  Blocking
+    findings raise :class:`~repro.analysis.diagnostics.AnalysisError`
+    (an :class:`~repro.encoding.base.EncodingError`) carrying the full
+    diagnostic list; warnings ride along on the
+    :attr:`BuiltProblem.analysis` report and surface on the result.
 
     Parameters (keyword-only)
     -------------------------
@@ -77,6 +90,10 @@ class ExplorerBase(abc.ABC):
         set, encode-phase artifacts (path-loss graphs, Yen candidate
         pools, anchor rankings) are reused across trials that share the
         cache.
+    analyze:
+        Run the pre-solve static analyzer in :meth:`build` (default).
+        Disable only to reproduce raw encoder/solver behaviour on inputs
+        the analyzer would refuse.
     """
 
     def __init__(
@@ -86,20 +103,57 @@ class ExplorerBase(abc.ABC):
         *,
         solver=None,
         cache: EncodeCache | None = None,
+        analyze: bool = True,
     ) -> None:
         self.template = template
         self.library = library
         self.solver = solver or HighsSolver()
         self.cache = cache
+        self.analyze = analyze
 
-    @abc.abstractmethod
     def build(
         self,
-        objective: "str | dict | ObjectiveSpec" = "cost",
+        objective: str | dict | ObjectiveSpec = "cost",
         *,
         stats: RunStats | None = None,
     ) -> BuiltProblem:
-        """Encode the exploration problem into a MILP."""
+        """Analyze and encode the exploration problem into a MILP.
+
+        Raises :class:`~repro.analysis.diagnostics.AnalysisError` when a
+        blocking diagnostic fires — before encoding for spec-level
+        findings, before any solver call for model-level findings.
+        """
+        timings = timings_of(stats)
+        report = AnalysisReport()
+        if self.analyze:
+            with timings.phase("analyze"):
+                report.merge(analyze_problem(
+                    self.template, self._analysis_requirements(),
+                    self.library,
+                ))
+            report.raise_for_errors(f"{type(self).__name__} spec analysis")
+        built = self._assemble(objective, stats=stats)
+        if self.analyze:
+            with timings.phase("analyze"):
+                report.merge(analyze_model(built.model))
+            report.raise_for_errors(f"{type(self).__name__} model analysis")
+        built.analysis = report if self.analyze else None
+        return built
+
+    @abc.abstractmethod
+    def _assemble(
+        self,
+        objective: str | dict | ObjectiveSpec = "cost",
+        *,
+        stats: RunStats | None = None,
+    ) -> BuiltProblem:
+        """Encode the exploration problem into a MILP (no analysis)."""
+
+    def _analysis_requirements(
+        self,
+    ) -> RequirementSet | ReachabilityRequirement | None:
+        """The requirements object handed to the spec-level analyzer."""
+        return None
 
     @property
     @abc.abstractmethod
@@ -107,17 +161,25 @@ class ExplorerBase(abc.ABC):
         """Name of the encoding reported in results."""
 
     def solve(
-        self, objective: "str | dict | ObjectiveSpec" = "cost",
+        self, objective: str | dict | ObjectiveSpec = "cost",
     ) -> SynthesisResult:
         """Build, solve and decode in one call."""
         stats = RunStats()
         t0 = time.perf_counter()
         built = self.build(objective, stats=stats)
         encode_seconds = time.perf_counter() - t0
-        stats.timings.add("encode", encode_seconds)
+        # Keep the phase breakdown disjoint: "encode" excludes the
+        # analyzer time already booked under "analyze".
+        stats.timings.add(
+            "encode",
+            max(0.0, encode_seconds - stats.timings.get("analyze")),
+        )
         solution = self.solver.solve(built.model)
         stats.timings.add("solve", solution.solve_time)
         architecture, terms = self._decode(solution, built)
+        diagnostics = []
+        if built.analysis is not None:
+            diagnostics = built.analysis.errors + built.analysis.warnings
         return SynthesisResult(
             status=solution.status,
             architecture=architecture,
@@ -128,6 +190,7 @@ class ExplorerBase(abc.ABC):
             encoder_name=self.encoder_name,
             objective_terms=terms,
             run_stats=stats,
+            diagnostics=diagnostics,
         )
 
     def _decode(
@@ -171,8 +234,11 @@ class DataCollectionExplorer(ExplorerBase):
         channel=None,
         reach_k_star: int = 20,
         cache: EncodeCache | None = None,
+        analyze: bool = True,
     ) -> None:
-        super().__init__(template, library, solver=solver, cache=cache)
+        super().__init__(
+            template, library, solver=solver, cache=cache, analyze=analyze
+        )
         self.requirements = requirements
         self.encoder = encoder or ApproximatePathEncoder(k_star=10)
         self.channel = channel
@@ -183,9 +249,13 @@ class DataCollectionExplorer(ExplorerBase):
         """The routing encoder's name."""
         return self.encoder.name
 
-    def build(
+    def _analysis_requirements(self) -> RequirementSet:
+        """Data-collection problems are analyzed against the full set."""
+        return self.requirements
+
+    def _assemble(
         self,
-        objective: "str | dict | ObjectiveSpec" = "cost",
+        objective: str | dict | ObjectiveSpec = "cost",
         *,
         stats: RunStats | None = None,
     ) -> BuiltProblem:
@@ -258,8 +328,11 @@ class AnchorPlacementExplorer(ExplorerBase):
         k_star: int = 20,
         solver=None,
         cache: EncodeCache | None = None,
+        analyze: bool = True,
     ) -> None:
-        super().__init__(template, library, solver=solver, cache=cache)
+        super().__init__(
+            template, library, solver=solver, cache=cache, analyze=analyze
+        )
         self.requirement = requirement
         self.channel = channel
         self.k_star = k_star
@@ -269,9 +342,13 @@ class AnchorPlacementExplorer(ExplorerBase):
         """Reachability-pruned encoding at the configured K*."""
         return f"reach-pruned-k{self.k_star}"
 
-    def build(
+    def _analysis_requirements(self) -> ReachabilityRequirement:
+        """Anchor placement is analyzed against the bare requirement."""
+        return self.requirement
+
+    def _assemble(
         self,
-        objective: "str | dict | ObjectiveSpec" = "cost",
+        objective: str | dict | ObjectiveSpec = "cost",
         *,
         stats: RunStats | None = None,
     ) -> BuiltProblem:

@@ -36,7 +36,7 @@ from repro.runtime.cache import EncodeCache
 def build_explorer(
     template: Template,
     library: Library,
-    requirements: "RequirementSet | ReachabilityRequirement",
+    requirements: RequirementSet | ReachabilityRequirement,
     *,
     encoder=None,
     solver=None,
@@ -85,7 +85,7 @@ def build_explorer(
 def explore(
     template: Template,
     library: Library,
-    requirements: "RequirementSet | ReachabilityRequirement",
+    requirements: RequirementSet | ReachabilityRequirement,
     *,
     objective="cost",
     parallel: int = 1,
@@ -97,7 +97,7 @@ def explore(
     cache: EncodeCache | None = None,
     runner: BatchRunner | None = None,
     timeout_s: float | None = None,
-) -> "SynthesisResult | list[SynthesisResult]":
+) -> SynthesisResult | list[SynthesisResult]:
     """Synthesize an architecture (or several) for a problem.
 
     ``objective`` is a single objective (string, weighted-term dict or

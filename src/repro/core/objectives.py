@@ -41,14 +41,14 @@ class ObjectiveSpec:
                 raise ValueError(f"non-positive scale for {name!r}")
 
     @classmethod
-    def single(cls, name: str) -> "ObjectiveSpec":
+    def single(cls, name: str) -> ObjectiveSpec:
         """An objective minimizing one term."""
         return cls(weights={name: 1.0})
 
     @classmethod
     def combine(
         cls, weights: dict[str, float], scales: dict[str, float] | None = None,
-    ) -> "ObjectiveSpec":
+    ) -> ObjectiveSpec:
         """A weighted multi-term objective."""
         return cls(weights=dict(weights), scales=dict(scales or {}))
 
@@ -74,7 +74,7 @@ class ObjectiveSpec:
         return total
 
 
-def parse_objective(spec: "str | dict[str, float] | ObjectiveSpec") -> ObjectiveSpec:
+def parse_objective(spec: str | dict[str, float] | ObjectiveSpec) -> ObjectiveSpec:
     """Accept ``"cost"``, ``{"cost": .5, "energy": .5}`` or a spec."""
     if isinstance(spec, ObjectiveSpec):
         return spec

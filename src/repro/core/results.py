@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.diagnostics import Diagnostic
 from repro.milp.model import ModelStats
 from repro.milp.solution import Solution, SolveStatus
 from repro.network.topology import Architecture
@@ -26,6 +27,9 @@ class SynthesisResult:
     metrics: dict[str, float] = field(default_factory=dict)
     #: Runtime instrumentation: per-phase timings plus cache counters.
     run_stats: RunStats | None = None
+    #: Pre-solve analyzer findings (errors and warnings) that rode along;
+    #: on infeasible runs these usually explain *why* (see CLI output).
+    diagnostics: list[Diagnostic] = field(default_factory=list)
 
     @property
     def feasible(self) -> bool:
@@ -45,7 +49,13 @@ class SynthesisResult:
     def summary(self) -> str:
         """One human-readable line (roughly a paper table row)."""
         if not self.feasible:
-            return f"{self.status.value} after {self.total_seconds:.1f}s"
+            line = f"{self.status.value} after {self.total_seconds:.1f}s"
+            if self.diagnostics:
+                line += (
+                    f" ({len(self.diagnostics)} analyzer diagnostic(s); "
+                    f"see result.diagnostics)"
+                )
+            return line
         arch = self.architecture
         parts = [
             f"{arch.node_count} nodes",
@@ -83,4 +93,6 @@ class SynthesisResult:
             payload["objective"] = self.objective_value
         if self.run_stats is not None:
             payload.update(self.run_stats.to_dict())
+        if self.diagnostics:
+            payload["diagnostics"] = [d.to_dict() for d in self.diagnostics]
         return payload

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 from repro.milp.expr import Var, lin_sum
 from repro.milp.model import Model

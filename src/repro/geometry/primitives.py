@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 #: Tolerance for geometric predicates, in metres.  Floor plans are specified
 #: with centimetre-scale coordinates, so 1e-9 m is far below meaningful scale.
@@ -32,15 +32,15 @@ class Point:
     x: float
     y: float
 
-    def distance_to(self, other: "Point") -> float:
+    def distance_to(self, other: Point) -> float:
         """Euclidean distance to ``other`` in metres."""
         return math.hypot(self.x - other.x, self.y - other.y)
 
-    def midpoint(self, other: "Point") -> "Point":
+    def midpoint(self, other: Point) -> Point:
         """The point halfway between ``self`` and ``other``."""
         return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
 
-    def translated(self, dx: float, dy: float) -> "Point":
+    def translated(self, dx: float, dy: float) -> Point:
         """A copy of this point shifted by ``(dx, dy)``."""
         return Point(self.x + dx, self.y + dy)
 
@@ -83,7 +83,7 @@ class Segment:
         """Segment length in metres."""
         return self.start.distance_to(self.end)
 
-    def intersects(self, other: "Segment") -> bool:
+    def intersects(self, other: Segment) -> bool:
         """Whether this segment and ``other`` share at least one point.
 
         Uses the standard orientation predicate, with collinear-overlap

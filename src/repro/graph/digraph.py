@@ -10,7 +10,7 @@ hot paths dependency-free and lets Algorithm 1 cheaply mask edges (the
 from __future__ import annotations
 
 import math
-from typing import Hashable, Iterable, Iterator
+from collections.abc import Hashable, Iterable, Iterator
 
 Node = Hashable
 Edge = tuple[Node, Node]
@@ -148,7 +148,7 @@ class DiGraph:
 
     # -- convenience -------------------------------------------------------
 
-    def copy(self) -> "DiGraph":
+    def copy(self) -> DiGraph:
         """A structural copy (masks are copied too)."""
         g = DiGraph()
         for node in self.nodes():

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.graph.digraph import DiGraph
 

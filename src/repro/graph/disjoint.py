@@ -9,7 +9,7 @@ independent alternative.
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from collections.abc import Hashable, Sequence
 
 Node = Hashable
 Path = Sequence[Node]

@@ -8,7 +8,7 @@ both a hop bound and a count cap to keep baselines runnable.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator
+from collections.abc import Hashable, Iterator
 
 from repro.graph.digraph import DiGraph
 

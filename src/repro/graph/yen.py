@@ -11,7 +11,7 @@ an already-accepted path with the previously used continuations banned.
 from __future__ import annotations
 
 import heapq
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.graph.digraph import DiGraph
 from repro.graph.dijkstra import NoPathError, shortest_path

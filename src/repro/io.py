@@ -118,12 +118,12 @@ def architecture_from_dict(data: dict, library: Library) -> Architecture:
     )
 
 
-def save_architecture(arch: Architecture, path: "str | Path") -> None:
+def save_architecture(arch: Architecture, path: str | Path) -> None:
     """Write an architecture to a JSON file."""
     Path(path).write_text(json.dumps(architecture_to_dict(arch), indent=2))
 
 
-def load_architecture(path: "str | Path", library: Library) -> Architecture:
+def load_architecture(path: str | Path, library: Library) -> Architecture:
     """Read an architecture from a JSON file."""
     return architecture_from_dict(
         json.loads(Path(path).read_text()), library

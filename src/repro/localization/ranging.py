@@ -37,9 +37,9 @@ class RssRanger:
     @classmethod
     def calibrate(
         cls,
-        samples: "list[tuple[float, float]]",
+        samples: list[tuple[float, float]],
         shadowing_sigma_db: float = 0.0,
-    ) -> "RssRanger":
+    ) -> RssRanger:
         """Fit exponent and reference loss to (distance, path loss) samples.
 
         Ordinary least squares on ``PL = ref + 10 n log10(d)`` — the

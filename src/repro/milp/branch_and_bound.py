@@ -21,8 +21,10 @@ import heapq
 import math
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 from scipy import sparse
 from scipy.optimize import linprog
 
@@ -37,11 +39,13 @@ class _Node:
     bound: float
     depth: int = field(compare=True)
     serial: int = field(compare=True)
-    lower: np.ndarray = field(compare=False, default=None)
-    upper: np.ndarray = field(compare=False, default=None)
+    lower: npt.NDArray[np.float64] = field(compare=False)
+    upper: npt.NDArray[np.float64] = field(compare=False)
 
 
-def _split_rows(form: StandardForm):
+def _split_rows(
+    form: StandardForm,
+) -> tuple[Any, npt.NDArray[np.float64] | None, Any, npt.NDArray[np.float64] | None]:
     """Convert two-sided rows into linprog's A_ub/b_ub and A_eq/b_eq."""
     a = form.a_matrix.tocsr()
     eq_rows: list[int] = []
@@ -106,7 +110,9 @@ class BranchAndBoundSolver:
         int_idx = np.flatnonzero(form.integrality == 1)
         start = time.perf_counter()
 
-        def lp(lower: np.ndarray, upper: np.ndarray):
+        def lp(
+            lower: npt.NDArray[np.float64], upper: npt.NDArray[np.float64],
+        ) -> Any:
             res = linprog(
                 form.c,
                 A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
@@ -126,7 +132,7 @@ class BranchAndBoundSolver:
             return Solution(SolveStatus.ERROR, message=str(root.message),
                             solve_time=time.perf_counter() - start)
 
-        incumbent_x: np.ndarray | None = None
+        incumbent_x: npt.NDArray[np.float64] | None = None
         incumbent_obj = math.inf
         serial = 0
         heap: list[_Node] = [

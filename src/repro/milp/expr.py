@@ -10,9 +10,9 @@ constraints — so expressions are plain coefficient dictionaries with
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Union
+from collections.abc import Iterable, Mapping
 
-Number = Union[int, float]
+Number = int | float
 
 
 class Var:
@@ -44,35 +44,35 @@ class Var:
 
     # Arithmetic delegates to LinExpr so `2 * x + y - 3 <= z` just works.
 
-    def _as_expr(self) -> "LinExpr":
+    def _as_expr(self) -> LinExpr:
         return LinExpr({self.index: 1.0})
 
-    def __add__(self, other: object) -> "LinExpr":
+    def __add__(self, other: object) -> LinExpr:
         return self._as_expr() + other
 
     __radd__ = __add__
 
-    def __sub__(self, other: object) -> "LinExpr":
+    def __sub__(self, other: object) -> LinExpr:
         return self._as_expr() - other
 
-    def __rsub__(self, other: object) -> "LinExpr":
+    def __rsub__(self, other: object) -> LinExpr:
         return (-1.0) * self._as_expr() + other
 
-    def __mul__(self, other: object) -> "LinExpr":
+    def __mul__(self, other: object) -> LinExpr:
         return self._as_expr() * other
 
     __rmul__ = __mul__
 
-    def __neg__(self) -> "LinExpr":
+    def __neg__(self) -> LinExpr:
         return self._as_expr() * -1.0
 
-    def __le__(self, other: object) -> "Constraint":
+    def __le__(self, other: object) -> Constraint:
         return self._as_expr() <= other
 
-    def __ge__(self, other: object) -> "Constraint":
+    def __ge__(self, other: object) -> Constraint:
         return self._as_expr() >= other
 
-    def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]
+    def __eq__(self, other: object) -> Constraint:  # type: ignore[override]
         return self._as_expr() == other
 
     def __hash__(self) -> int:
@@ -91,7 +91,7 @@ class LinExpr:
         self.constant = float(constant)
 
     @staticmethod
-    def _coerce(value: object) -> "LinExpr":
+    def _coerce(value: object) -> LinExpr:
         if isinstance(value, LinExpr):
             return value
         if isinstance(value, Var):
@@ -100,13 +100,13 @@ class LinExpr:
             return LinExpr(constant=float(value))
         raise TypeError(f"cannot use {type(value).__name__} in a linear expression")
 
-    def copy(self) -> "LinExpr":
+    def copy(self) -> LinExpr:
         """An independent copy of the expression."""
         return LinExpr(self.coeffs, self.constant)
 
     # -- arithmetic ---------------------------------------------------------
 
-    def __add__(self, other: object) -> "LinExpr":
+    def __add__(self, other: object) -> LinExpr:
         rhs = self._coerce(other)
         out = self.copy()
         for idx, coeff in rhs.coeffs.items():
@@ -116,13 +116,13 @@ class LinExpr:
 
     __radd__ = __add__
 
-    def __sub__(self, other: object) -> "LinExpr":
+    def __sub__(self, other: object) -> LinExpr:
         return self + self._coerce(other) * -1.0
 
-    def __rsub__(self, other: object) -> "LinExpr":
+    def __rsub__(self, other: object) -> LinExpr:
         return self * -1.0 + other
 
-    def __mul__(self, other: object) -> "LinExpr":
+    def __mul__(self, other: object) -> LinExpr:
         if not isinstance(other, (int, float)):
             raise TypeError("linear expressions can only be scaled by numbers")
         scale = float(other)
@@ -133,7 +133,7 @@ class LinExpr:
 
     __rmul__ = __mul__
 
-    def __neg__(self) -> "LinExpr":
+    def __neg__(self) -> LinExpr:
         return self * -1.0
 
     def add_term(self, var: Var, coeff: float) -> None:
@@ -142,15 +142,15 @@ class LinExpr:
 
     # -- comparisons build constraints ---------------------------------------
 
-    def __le__(self, other: object) -> "Constraint":
+    def __le__(self, other: object) -> Constraint:
         diff = self - self._coerce(other)
         return Constraint(diff, lower=float("-inf"), upper=0.0)
 
-    def __ge__(self, other: object) -> "Constraint":
+    def __ge__(self, other: object) -> Constraint:
         diff = self - self._coerce(other)
         return Constraint(diff, lower=0.0, upper=float("inf"))
 
-    def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]
+    def __eq__(self, other: object) -> Constraint:  # type: ignore[override]
         diff = self - self._coerce(other)
         return Constraint(diff, lower=0.0, upper=0.0)
 
@@ -162,7 +162,7 @@ class LinExpr:
         return f"LinExpr({terms or '0'} + {self.constant:g})"
 
 
-def lin_sum(items: Iterable[Union[Var, LinExpr, Number]]) -> LinExpr:
+def lin_sum(items: Iterable[Var | LinExpr | Number]) -> LinExpr:
     """Sum of variables/expressions, much faster than ``sum(...)``.
 
     Python's builtin ``sum`` creates a fresh :class:`LinExpr` per addition

@@ -50,7 +50,7 @@ class HighsSolver:
     def solve(self, model: Model) -> Solution:
         """Run HiGHS on ``model`` and return a :class:`Solution`."""
         form = model.to_standard_form()
-        options: dict = {"mip_rel_gap": self.mip_rel_gap}
+        options: dict[str, float] = {"mip_rel_gap": self.mip_rel_gap}
         if self.time_limit is not None:
             options["time_limit"] = float(self.time_limit)
 

@@ -18,7 +18,7 @@ returns the variable representing the nonlinear term.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.milp.expr import LinExpr, Var, lin_sum
 from repro.milp.model import Model

@@ -14,9 +14,11 @@ because the paper's Tables 3-4 report them directly.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 from scipy import sparse
 
 from repro.milp.expr import Constraint, LinExpr, Var
@@ -26,13 +28,13 @@ from repro.milp.expr import Constraint, LinExpr, Var
 class StandardForm:
     """Matrix standard form of a model, ready for a solver backend."""
 
-    c: np.ndarray
+    c: npt.NDArray[np.float64]
     a_matrix: sparse.csr_matrix
-    b_lower: np.ndarray
-    b_upper: np.ndarray
-    x_lower: np.ndarray
-    x_upper: np.ndarray
-    integrality: np.ndarray  # 1 where the variable is integer, else 0
+    b_lower: npt.NDArray[np.float64]
+    b_upper: npt.NDArray[np.float64]
+    x_lower: npt.NDArray[np.float64]
+    x_upper: npt.NDArray[np.float64]
+    integrality: npt.NDArray[np.int8]  # 1 where the variable is integer, else 0
 
 
 @dataclass(frozen=True)
@@ -75,6 +77,11 @@ class Model:
         Names must be unique; encoders build names from structured keys
         (e.g. ``x[path3][4,7]``) so a collision indicates an encoder bug.
         """
+        if math.isnan(lower) or math.isnan(upper):
+            raise ValueError(
+                f"variable {name!r}: bounds must not be NaN "
+                f"([{lower}, {upper}])"
+            )
         if lower > upper:
             raise ValueError(f"variable {name!r}: lower {lower} > upper {upper}")
         if name in self._names_seen:
@@ -102,6 +109,22 @@ class Model:
 
     # -- constraints and objective --------------------------------------------
 
+    def _check_registered(self, expr: LinExpr, what: str) -> None:
+        """Reject expressions referencing variables this model doesn't own.
+
+        Constraints are stored by variable *index*; an index from another
+        model (or a hand-built one) would silently alias an unrelated
+        column in the standard form, so it is rejected here instead.
+        """
+        n = len(self._vars)
+        for idx in expr.coeffs:
+            if not 0 <= idx < n:
+                raise ValueError(
+                    f"{what} references variable index {idx}, but model "
+                    f"{self.name!r} has {n} variable(s); was the variable "
+                    f"created on a different model?"
+                )
+
     def add(self, constraint: Constraint, name: str = "") -> Constraint:
         """Add a constraint built from expression comparisons."""
         if not isinstance(constraint, Constraint):
@@ -110,6 +133,9 @@ class Model:
             )
         if name:
             constraint.name = name
+        self._check_registered(
+            constraint.expr, f"constraint {constraint.name!r}"
+        )
         self._constraints.append(constraint)
         return constraint
 
@@ -117,8 +143,13 @@ class Model:
         self, expr: LinExpr | Var, lower: float, upper: float, name: str = "",
     ) -> Constraint:
         """Add ``lower <= expr <= upper`` in one row."""
+        if lower > upper:
+            raise ValueError(
+                f"range row {name!r}: lower {lower} > upper {upper}"
+            )
         if isinstance(expr, Var):
             expr = expr + 0.0
+        self._check_registered(expr, f"range row {name!r}")
         constraint = Constraint(expr, lower, upper, name)
         self._constraints.append(constraint)
         return constraint
@@ -127,12 +158,14 @@ class Model:
         """Set the (minimized) objective."""
         if isinstance(objective, Var):
             objective = objective + 0.0
+        self._check_registered(objective, "objective")
         self._objective = objective
 
     def maximize(self, objective: LinExpr | Var) -> None:
         """Set a maximized objective (stored negated)."""
         if isinstance(objective, Var):
             objective = objective + 0.0
+        self._check_registered(objective, "objective")
         self._objective = objective * -1.0
 
     @property

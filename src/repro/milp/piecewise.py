@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.milp.expr import LinExpr, Var
 from repro.milp.model import Model
@@ -56,7 +57,8 @@ class ConvexPwl:
 
 
 def convex_pwl_from_samples(
-    xs: np.ndarray, ys: np.ndarray, max_segments: int = 6,
+    xs: npt.NDArray[np.float64], ys: npt.NDArray[np.float64],
+    max_segments: int = 6,
 ) -> ConvexPwl:
     """Fit a convex PWL over-approximation to a sampled convex curve.
 

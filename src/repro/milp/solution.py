@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.milp.expr import LinExpr, Var
 
@@ -32,12 +34,12 @@ class Solution:
 
     status: SolveStatus
     objective: float = float("nan")
-    x: np.ndarray | None = None
+    x: npt.NDArray[np.float64] | None = None
     solve_time: float = 0.0
     mip_gap: float = float("nan")
     node_count: int = 0
     message: str = ""
-    extra: dict = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
 
     def value(self, item: Var | LinExpr) -> float:
         """Evaluate a variable or expression under this assignment."""

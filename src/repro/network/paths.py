@@ -42,6 +42,6 @@ class CandidatePath:
         """The directed edge sequence."""
         return tuple(zip(self.nodes, self.nodes[1:]))
 
-    def shares_edge_with(self, other: "CandidatePath") -> bool:
+    def shares_edge_with(self, other: CandidatePath) -> bool:
         """Whether the two paths have any directed edge in common."""
         return bool(set(self.edges) & set(other.edges))

@@ -40,7 +40,8 @@ from concurrent.futures import (
 )
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 MODES = ("auto", "process", "thread", "sequential")
 

@@ -26,7 +26,8 @@ from __future__ import annotations
 import hashlib
 import threading
 from dataclasses import is_dataclass
-from typing import Any, Callable, Hashable, Iterable, Sequence
+from collections.abc import Callable, Hashable, Iterable, Sequence
+from typing import Any
 
 from repro.graph.digraph import DiGraph
 from repro.graph.yen import k_shortest_paths

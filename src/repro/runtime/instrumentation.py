@@ -1,7 +1,8 @@
 """Per-run instrumentation: phase timings and cache counters.
 
 Every exploration trial carries a :class:`RunStats` — wall-clock seconds
-per pipeline phase (``pathloss``, ``yen``, ``encode``, ``solve``) plus
+per pipeline phase (``analyze``, ``pathloss``, ``yen``, ``encode``,
+``solve``) plus
 per-region :class:`EncodeCache <repro.runtime.cache.EncodeCache>` hit/miss
 counts — threaded from the encoders up into
 :attr:`repro.core.results.SynthesisResult.run_stats` and emitted as
@@ -18,10 +19,10 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 #: Canonical phase names, in pipeline order (other names are allowed).
-PHASES = ("pathloss", "yen", "encode", "solve")
+PHASES = ("analyze", "pathloss", "yen", "encode", "solve")
 
 
 @dataclass
@@ -48,7 +49,7 @@ class CacheCounters:
             return self.misses.get(region, 0)
         return sum(self.misses.values())
 
-    def merge(self, other: "CacheCounters") -> None:
+    def merge(self, other: CacheCounters) -> None:
         """Fold another counter set into this one."""
         for region, n in other.hits.items():
             self.hits[region] = self.hits.get(region, 0) + n
@@ -83,7 +84,7 @@ class PhaseTimings:
         """Seconds recorded against ``phase`` (0.0 when never timed)."""
         return self.seconds.get(phase, 0.0)
 
-    def merge(self, other: "PhaseTimings") -> None:
+    def merge(self, other: PhaseTimings) -> None:
         """Fold another timing set into this one."""
         for phase, elapsed in other.seconds.items():
             self.add(phase, elapsed)
@@ -104,7 +105,7 @@ class RunStats:
     timings: PhaseTimings = field(default_factory=PhaseTimings)
     cache: CacheCounters = field(default_factory=CacheCounters)
 
-    def merge(self, other: "RunStats") -> None:
+    def merge(self, other: RunStats) -> None:
         """Fold another trial's stats into this one (for aggregates)."""
         self.timings.merge(other.timings)
         self.cache.merge(other.cache)

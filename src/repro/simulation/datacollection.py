@@ -125,7 +125,7 @@ class DataCollectionSimulator:
             # Packet state per route: index of the next hop still pending;
             # None marks a dropped packet.
             pending: dict[int, int | None] = {}
-            for route_index, route in enumerate(self.arch.routes):
+            for route_index, _route in enumerate(self.arch.routes):
                 pending[route_index] = 0
                 result.packets_injected += 1
             # Schedule every hop at its slot time; each hop event checks at

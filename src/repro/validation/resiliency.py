@@ -24,7 +24,7 @@ from repro.network.topology import Architecture
 class FaultImpact:
     """Consequences of one injected fault."""
 
-    fault: "str"
+    fault: str
     #: (source, dest) pairs that lost every realized route.
     disconnected_pairs: list[tuple[int, int]] = field(default_factory=list)
 

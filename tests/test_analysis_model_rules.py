@@ -1,0 +1,200 @@
+"""Unit tests for the model-level analyzer rules.
+
+Each rule gets a positive case (the finding fires) and a negative case
+(a sound model stays silent), on tiny hand-built MILPs.
+"""
+
+from repro.analysis import Severity, analyze_model
+from repro.analysis.model_rules import (
+    DuplicateRowRule,
+    ForeignVariableRule,
+    LooseBigMRule,
+    TrivialInfeasibilityRule,
+    UnusedVariableRule,
+    VacuousConstraintRule,
+    VariableBoundsRule,
+)
+from repro.analysis.rules import model_rules
+from repro.milp.expr import Constraint, LinExpr
+from repro.milp.model import Model
+
+
+def sound_model() -> Model:
+    """A small healthy MILP no rule should complain about."""
+    m = Model("sound")
+    x = m.binary("x")
+    y = m.binary("y")
+    c = m.continuous("c", 0.0, 10.0)
+    m.add(x + y >= 1, name="pick")
+    m.add(c >= 5 - 5 * (1 - x), name="indicator")  # tight big-M
+    m.minimize(c + x + y)
+    return m
+
+
+class TestVariableBounds:
+    def test_fires_on_crossed_bounds(self):
+        m = Model()
+        var = m.continuous("bad", 0.0, 1.0)
+        var.lower, var.upper = 2.0, 1.0  # corrupt post-construction
+        finds = list(VariableBoundsRule().check(m))
+        assert len(finds) == 1
+        assert finds[0].severity is Severity.ERROR
+
+    def test_fires_on_nan_bound(self):
+        m = Model()
+        var = m.continuous("nan", 0.0, 1.0)
+        var.upper = float("nan")
+        finds = list(VariableBoundsRule().check(m))
+        assert len(finds) == 1
+        assert "NaN" in finds[0].message
+
+    def test_unbounded_general_integer_is_info(self):
+        m = Model()
+        m.integer("n")  # default upper is +inf
+        finds = list(VariableBoundsRule().check(m))
+        assert len(finds) == 1
+        assert finds[0].severity is Severity.INFO
+
+    def test_silent_on_sound_model(self):
+        assert not list(VariableBoundsRule().check(sound_model()))
+
+
+class TestForeignVariable:
+    def test_fires_on_alien_row_and_objective(self):
+        m = Model()
+        m.binary("x")
+        # Bypass Model.add's validation to simulate a pre-validation model.
+        m._constraints.append(
+            Constraint(LinExpr({7: 1.0}), 0.0, 1.0, "alien")
+        )
+        m._objective = LinExpr({9: 1.0})
+        finds = list(ForeignVariableRule().check(m))
+        assert len(finds) == 2
+        assert {f.location for f in finds} == {"row 'alien'", "objective"}
+
+    def test_silent_on_sound_model(self):
+        assert not list(ForeignVariableRule().check(sound_model()))
+
+
+class TestTrivialInfeasibility:
+    def test_fires_when_activity_cannot_reach_bound(self):
+        m = Model()
+        x = m.binary("x")
+        y = m.binary("y")
+        m.add(x + y >= 3, name="impossible")
+        finds = list(TrivialInfeasibilityRule().check(m))
+        assert len(finds) == 1
+        assert finds[0].severity is Severity.WARNING
+        assert "cannot reach" in finds[0].message
+
+    def test_fires_on_crossed_row_bounds(self):
+        m = Model()
+        x = m.binary("x")
+        m._constraints.append(
+            Constraint(x + 0.0, 2.0, 1.0, "crossed")
+        )
+        finds = list(TrivialInfeasibilityRule().check(m))
+        assert len(finds) == 1
+        assert "crossed" in finds[0].message
+
+    def test_silent_on_sound_model(self):
+        assert not list(TrivialInfeasibilityRule().check(sound_model()))
+
+
+class TestVacuousConstraint:
+    def test_fires_on_row_implied_by_bounds(self):
+        m = Model()
+        x = m.binary("x")
+        y = m.binary("y")
+        m.add(x + y >= 0, name="vacuous")
+        finds = list(VacuousConstraintRule().check(m))
+        assert len(finds) == 1
+        assert finds[0].severity is Severity.INFO
+
+    def test_silent_on_sound_model(self):
+        assert not list(VacuousConstraintRule().check(sound_model()))
+
+
+class TestUnusedVariable:
+    def test_fires_once_with_aggregate_list(self):
+        m = Model()
+        x = m.binary("x")
+        for i in range(3):
+            m.binary(f"dead{i}")
+        m.add(x >= 0.5, name="use-x")
+        finds = list(UnusedVariableRule().check(m))
+        assert len(finds) == 1
+        assert finds[0].data["variables"] == ["dead0", "dead1", "dead2"]
+
+    def test_silent_on_sound_model(self):
+        assert not list(UnusedVariableRule().check(sound_model()))
+
+
+class TestLooseBigM:
+    def test_fires_with_tightest_value(self):
+        m = Model()
+        b = m.binary("b")
+        c = m.continuous("c", 0.0, 10.0)
+        # c >= 5 - 50*(1-b): M=50 where the bounds imply M=5 suffices.
+        m.add(c >= 5 - 50 * (1 - b), name="loose")
+        finds = list(LooseBigMRule().check(m))
+        assert len(finds) == 1
+        assert abs(finds[0].data["tightest"] - 5.0) < 1e-9
+
+    def test_silent_when_tight(self):
+        assert not list(LooseBigMRule().check(sound_model()))
+
+    def test_skips_multi_binary_rows(self):
+        m = Model()
+        b1 = m.binary("b1")
+        b2 = m.binary("b2")
+        c = m.continuous("c", 0.0, 10.0)
+        # The binaries couple elsewhere (e.g. b1 + b2 == 1), which
+        # interval analysis cannot see; the rule must stay out.
+        m.add(c >= 5 - 50 * (1 - b1) - 50 * (1 - b2), name="hull")
+        assert not list(LooseBigMRule().check(m))
+
+
+class TestDuplicateRow:
+    def test_fires_on_shared_left_hand_side(self):
+        m = Model()
+        x = m.binary("x")
+        y = m.binary("y")
+        m.add(x + y <= 1, name="le")
+        m.add(x + y >= 1, name="ge")
+        m.minimize(x + y)
+        finds = list(DuplicateRowRule().check(m))
+        assert len(finds) == 1
+        assert finds[0].data["rows"] == [0, 1]
+
+    def test_silent_on_sound_model(self):
+        assert not list(DuplicateRowRule().check(sound_model()))
+
+
+class TestAnalyzeModel:
+    def test_registry_has_every_rule(self):
+        ids = {rule.rule_id for rule in model_rules()}
+        assert {
+            "model.variable-bounds", "model.foreign-variable",
+            "model.trivial-infeasibility", "model.vacuous-constraint",
+            "model.unused-variable", "model.loose-big-m",
+            "model.duplicate-row",
+        } <= ids
+
+    def test_sound_model_is_clean(self):
+        report = analyze_model(sound_model())
+        assert report.ok
+        assert not report.diagnostics
+        assert report.seconds > 0.0
+
+    def test_report_aggregates_all_findings(self):
+        m = Model()
+        x = m.binary("x")
+        y = m.binary("y")
+        m.binary("dead")
+        m.add(x + y >= 3, name="impossible")
+        m.add(x + y >= 0, name="vacuous")
+        report = analyze_model(m)
+        assert {"model.trivial-infeasibility", "model.vacuous-constraint",
+                "model.unused-variable"} <= set(report.rule_ids)
+        assert report.ok  # warnings and infos only: nothing blocking

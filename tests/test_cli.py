@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -80,6 +83,68 @@ class TestSimulate:
         assert code == 0, out
         assert "ratio 1.000" in out
         assert "lifetime: worst battery node" in out
+
+
+class TestLint:
+    EXAMPLES = Path(__file__).parent.parent / "examples" / "specs"
+
+    def test_disconnected_spec_fails_with_many_rules(self, capsys):
+        code = main(["lint", str(self.EXAMPLES / "disconnected.spec")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "error[spec.route-connectivity]" in out
+        assert "error[spec.route-min-cut]" in out
+        assert "error[spec.hop-bounds]" in out
+        assert "warning[spec.unit-consistency]" in out
+        assert "warning[spec.quality-pruned-connectivity]" in out
+
+    def test_disconnected_spec_json_report(self, capsys):
+        code = main([
+            "lint", str(self.EXAMPLES / "disconnected.spec"), "--json",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["errors"] > 0
+        assert len(payload["rules"]) >= 3
+        assert payload["spec"].endswith("disconnected.spec")
+        assert all("rule" in d for d in payload["diagnostics"])
+
+    def test_office_spec_is_clean(self, capsys):
+        code = main(["lint", str(self.EXAMPLES / "office.spec")])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_spec_only_mode_skips_the_model(self, capsys):
+        code = main([
+            "lint", str(self.EXAMPLES / "office.spec"), "--no-model",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "0 info(s)" in out  # model rules (the info source) never ran
+
+    def test_parse_error_becomes_a_diagnostic(self, capsys, tmp_path):
+        bad = tmp_path / "bad.spec"
+        bad.write_text("objective(\n")
+        code = main(["lint", str(bad), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["rules"] == ["spec.parse"]
+
+    def test_synthesize_refuses_doomed_spec(self, capsys, tmp_path):
+        spec = tmp_path / "doomed.spec"
+        spec.write_text(
+            "p = has_path(sink, sensor[0])\nobjective(cost)\n"
+        )
+        code = main([
+            "synthesize", "--spec", str(spec),
+            "--sensors", "5", "--relays", "12", "--k-star", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "spec.route-connectivity" in out
+        assert "repro lint" in out
 
 
 class TestKstar:

@@ -58,7 +58,7 @@ class TestRssExpressions:
     def test_expressions_built_even_without_requirement(self, grid):
         _, _, lq = solve_with_lq(grid, None)
         assert lq.rss
-        for edge, (lo, hi) in lq.rss_bounds.items():
+        for _edge, (lo, hi) in lq.rss_bounds.items():
             assert lo <= hi
 
     def test_snr_offsets_noise(self, grid):

@@ -31,8 +31,54 @@ class TestVariables:
         with pytest.raises(KeyError):
             model.var_by_name("y")
 
+    def test_nan_bounds_rejected(self, model):
+        with pytest.raises(ValueError, match="NaN"):
+            model.add_var("x", lower=float("nan"))
+        with pytest.raises(ValueError, match="NaN"):
+            model.add_var("y", upper=float("nan"))
+
+
+class TestForeignVariables:
+    def test_add_rejects_variable_from_another_model(self, model):
+        other = Model("other")
+        for _ in range(3):
+            other.binary(f"pad{_}")
+        alien = other.binary("alien")  # index 3; `model` owns none
+        with pytest.raises(ValueError, match="different model"):
+            model.add(alien + 0.0 >= 1, name="bad")
+
+    def test_add_range_rejects_foreign_expression(self, model):
+        other = Model("other")
+        other.binary("pad")
+        alien = other.binary("alien")
+        with pytest.raises(ValueError, match="different model"):
+            model.add_range(alien + 0.0, 0.0, 1.0, name="bad")
+
+    def test_objective_rejects_foreign_expression(self, model):
+        other = Model("other")
+        other.binary("pad")
+        alien = other.binary("alien")
+        with pytest.raises(ValueError, match="different model"):
+            model.minimize(alien + 0.0)
+        with pytest.raises(ValueError, match="different model"):
+            model.maximize(alien + 0.0)
+
+    def test_same_index_from_another_model_is_accepted(self, model):
+        # Index-aliasing across models is undetectable by construction
+        # checks; only out-of-range indexes can be rejected here.
+        x = model.binary("x")
+        other = Model("other")
+        other_x = other.binary("ox")
+        assert other_x.index == x.index
+        model.add(other_x + 0.0 <= 1)
+
 
 class TestConstraints:
+    def test_add_range_rejects_crossed_bounds(self, model):
+        x = model.binary("x")
+        with pytest.raises(ValueError, match="lower"):
+            model.add_range(x, 2.0, 1.0, name="crossed")
+
     def test_add_requires_constraint(self, model):
         with pytest.raises(TypeError):
             model.add(True)  # e.g. accidental `x <= x` python-level bool

@@ -2,6 +2,7 @@
 
 from repro.channel.base import ChannelModel, MeasuredChannel
 from repro.channel.etx import EtxCurve, build_etx_curve
+from repro.channel.matrix import CHANNEL_BACKENDS, path_loss_matrix
 from repro.channel.log_distance import (
     FSPL_1M_2_4GHZ,
     LogDistanceModel,
@@ -21,6 +22,7 @@ from repro.channel.multiwall import MultiWallModel
 from repro.channel.shadowing import ShadowedChannel
 
 __all__ = [
+    "CHANNEL_BACKENDS",
     "ETX_CAP",
     "FSPL_1M_2_4GHZ",
     "ChannelModel",
@@ -34,6 +36,7 @@ __all__ = [
     "expected_transmissions",
     "free_space_reference_db",
     "packet_error_rate",
+    "path_loss_matrix",
     "rss_dbm",
     "snr_db",
     "snr_for_ber",

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.channel.base import ChannelModel
 from repro.geometry.primitives import Point
 
@@ -51,5 +53,22 @@ class LogDistanceModel(ChannelModel):
         """Log-distance path loss, clamped at the reference distance."""
         d = max(tx.distance_to(rx), self.reference_distance)
         return self.reference_db + 10.0 * self.exponent * math.log10(
+            d / self.reference_distance
+        )
+
+    def path_loss_matrix(self, tx_xy: np.ndarray, rx_xy: np.ndarray) -> np.ndarray:
+        """Batch hook for :func:`repro.channel.matrix.path_loss_matrix`.
+
+        ``tx_xy``/``rx_xy`` are ``(T, 2)``/``(R, 2)`` coordinate arrays;
+        returns the ``(T, R)`` dB matrix.  Matches the scalar method to
+        ~1 ulp (numpy's ``hypot``/``log10`` may round differently from
+        :mod:`math` on the last bit).
+        """
+        d = np.hypot(
+            tx_xy[:, None, 0] - rx_xy[None, :, 0],
+            tx_xy[:, None, 1] - rx_xy[None, :, 1],
+        )
+        np.maximum(d, self.reference_distance, out=d)
+        return self.reference_db + 10.0 * self.exponent * np.log10(
             d / self.reference_distance
         )

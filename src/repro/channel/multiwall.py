@@ -13,10 +13,13 @@ model would, because obstruction is modeled explicitly by the wall terms.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.channel.base import ChannelModel
 from repro.channel.log_distance import FSPL_1M_2_4GHZ, LogDistanceModel
 from repro.geometry.floorplan import FloorPlan
 from repro.geometry.primitives import Point
+from repro.geometry.vectorized import wall_attenuation_matrix
 
 
 class MultiWallModel(ChannelModel):
@@ -42,6 +45,19 @@ class MultiWallModel(ChannelModel):
         wall_loss = self.plan.wall_attenuation_db(tx, rx)
         if self.max_wall_loss_db is not None:
             wall_loss = min(wall_loss, self.max_wall_loss_db)
+        return loss + wall_loss
+
+    def path_loss_matrix(self, tx_xy: np.ndarray, rx_xy: np.ndarray) -> np.ndarray:
+        """Batch hook for :func:`repro.channel.matrix.path_loss_matrix`.
+
+        The wall term is computed by the vectorized crossing kernel
+        (bitwise-identical to the scalar geometry); the distance term
+        matches the scalar method to ~1 ulp.
+        """
+        loss = self._distance_model.path_loss_matrix(tx_xy, rx_xy)
+        wall_loss = wall_attenuation_matrix(self.plan, tx_xy, rx_xy)
+        if self.max_wall_loss_db is not None:
+            np.minimum(wall_loss, self.max_wall_loss_db, out=wall_loss)
         return loss + wall_loss
 
     def wall_count(self, tx: Point, rx: Point) -> int:

@@ -14,6 +14,8 @@ from __future__ import annotations
 import hashlib
 import struct
 
+import numpy as np
+
 from repro.channel.base import ChannelModel
 from repro.geometry.primitives import Point
 
@@ -51,6 +53,28 @@ class ShadowedChannel(ChannelModel):
     def path_loss_db(self, tx: Point, rx: Point) -> float:
         """Base-model loss plus this link's fixed shadowing offset."""
         return self.base.path_loss_db(tx, rx) + self._offset_db(tx, rx)
+
+    def path_loss_matrix(self, tx_xy: np.ndarray, rx_xy: np.ndarray) -> np.ndarray:
+        """Batch hook for :func:`repro.channel.matrix.path_loss_matrix`.
+
+        The base term is batched through the base model's own hook when it
+        has one; the hash-derived shadowing offsets are inherently scalar
+        and are added per pair (they are cheap next to the geometry).
+        """
+        base_hook = getattr(self.base, "path_loss_matrix", None)
+        tx_points = [Point(float(x), float(y)) for x, y in tx_xy]
+        rx_points = [Point(float(x), float(y)) for x, y in rx_xy]
+        if base_hook is not None:
+            out = np.asarray(base_hook(tx_xy, rx_xy), dtype=np.float64)
+        else:
+            out = np.empty((len(tx_points), len(rx_points)), dtype=np.float64)
+            for i, tx in enumerate(tx_points):
+                for j, rx in enumerate(rx_points):
+                    out[i, j] = self.base.path_loss_db(tx, rx)
+        for i, tx in enumerate(tx_points):
+            for j, rx in enumerate(rx_points):
+                out[i, j] += self._offset_db(tx, rx)
+        return out
 
     def is_symmetric(self) -> bool:
         """Shadowing offsets are pair-keyed, so symmetry follows the base."""

@@ -13,7 +13,10 @@ so the selected rung, the reported trials and the stop reason match the
 sequential scan exactly (only wall-clock time differs).  A shared
 :class:`~repro.runtime.cache.EncodeCache` lets rungs reuse the
 path-loss-weighted graph and Yen candidate pools instead of re-deriving
-them per rung.
+them per rung; those Yen queries run on the selected graph kernel backend
+(the array-backed CSR kernels of :mod:`repro.graph.kernels` by default —
+see :func:`repro.graph.api.resolve_backend`), and the cache keys are
+backend-aware so pools from different backends never mix.
 """
 
 from __future__ import annotations

@@ -28,9 +28,9 @@ import math
 from dataclasses import dataclass
 
 from repro.encoding.base import Edge, EncodingError, RoutingEncoder, RoutingEncoding
+from repro.graph.api import k_shortest_paths, resolve_backend
 from repro.graph.digraph import DiGraph
 from repro.graph.disjoint import max_disjoint_subset, minimally_disjoint_path
-from repro.graph.yen import k_shortest_paths
 from repro.runtime.cache import build_sparsified_graph, build_weighted_graph
 from repro.runtime.instrumentation import timings_of
 from repro.milp.expr import Var, lin_sum
@@ -76,6 +76,7 @@ def generate_candidate_pool(
     disconnect: str = "min-disjoint",
     *,
     yen=None,
+    backend: str | None = None,
 ) -> list[CandidatePath]:
     """Algorithm 1's candidate generation for one requirement.
 
@@ -91,7 +92,10 @@ def generate_candidate_pool(
     ``yen`` overrides the K-shortest-paths routine — the runtime passes a
     memoized one (:meth:`repro.runtime.cache.EncodeCache.yen_paths`) so
     repeated sweeps reuse candidate pools.  It must behave exactly like
-    :func:`repro.graph.yen.k_shortest_paths`.
+    :func:`repro.graph.yen.k_shortest_paths`.  ``backend`` selects the
+    graph kernel backend for the default routine (see
+    :func:`repro.graph.api.resolve_backend`); it is ignored when ``yen``
+    is given, since the override already embodies a backend choice.
     """
     if disconnect not in DISCONNECT_STRATEGIES:
         raise ValueError(
@@ -99,7 +103,10 @@ def generate_candidate_pool(
             f"choose from {DISCONNECT_STRATEGIES}"
         )
     if yen is None:
-        yen = k_shortest_paths
+        resolved = resolve_backend(backend)
+
+        def yen(g: DiGraph, source, target, k: int):
+            return k_shortest_paths(g, source, target, k, backend=resolved)
     k_per_round, n_rep = budget_div(k_star, req.replicas)
     pool: list[CandidatePath] = []
     seen: set[tuple[int, ...]] = set()
@@ -185,6 +192,11 @@ class ApproximatePathEncoder(RoutingEncoder):
     disconnect:
         Between-round disconnection strategy (ablation hook); see
         :data:`DISCONNECT_STRATEGIES`.
+    backend:
+        Graph kernel backend for the Yen queries (``"auto"``, ``"csr"``
+        or ``"reference"``; see :func:`repro.graph.api.resolve_backend`).
+        ``None`` defers to the ``REPRO_GRAPH_BACKEND`` environment
+        variable at query time.
     """
 
     name = "approximate"
@@ -195,6 +207,7 @@ class ApproximatePathEncoder(RoutingEncoder):
         max_path_loss_db: float | None = None,
         max_out_degree: int | None = None,
         disconnect: str = "min-disjoint",
+        backend: str | None = None,
     ) -> None:
         if k_star < 1:
             raise ValueError("K* must be positive")
@@ -205,10 +218,12 @@ class ApproximatePathEncoder(RoutingEncoder):
                 f"unknown disconnect strategy {disconnect!r}; "
                 f"choose from {DISCONNECT_STRATEGIES}"
             )
+        resolve_backend(backend)  # validate eagerly; resolve per query
         self.k_star = k_star
         self.max_path_loss_db = max_path_loss_db
         self.max_out_degree = max_out_degree
         self.disconnect = disconnect
+        self.backend = backend
 
     def encode(
         self,
@@ -308,18 +323,19 @@ class ApproximatePathEncoder(RoutingEncoder):
             return shared.copy(), key
         return build_sparsified_graph(graph, self.max_out_degree), None
 
-    @staticmethod
-    def _yen_routine(cache, stats, timings):
+    def _yen_routine(self, cache, stats, timings):
         """Per-graph Yen routines: memoized when a cache is available."""
+        backend = self.backend
 
         def bind(graph: DiGraph, graph_key: str | None):
             def yen(g: DiGraph, source, target, k: int):
                 with timings.phase("yen"):
                     if cache is not None and graph_key is not None:
                         return cache.yen_paths(
-                            graph_key, g, source, target, k, stats=stats
+                            graph_key, g, source, target, k,
+                            stats=stats, backend=backend,
                         )
-                    return k_shortest_paths(g, source, target, k)
+                    return k_shortest_paths(g, source, target, k, backend=backend)
 
             return yen
 

@@ -10,6 +10,11 @@ from repro.geometry.floorplan import (
 from repro.geometry.grid import grid_for_count, grid_locations, scattered_locations
 from repro.geometry.primitives import EPSILON, Point, Rectangle, Segment
 from repro.geometry.svg import SvgMarker, floorplan_from_svg, floorplan_to_svg
+from repro.geometry.vectorized import (
+    points_to_array,
+    segments_intersect_matrix,
+    wall_attenuation_matrix,
+)
 
 __all__ = [
     "EPSILON",
@@ -26,5 +31,8 @@ __all__ = [
     "grid_locations",
     "office_floorplan",
     "open_floorplan",
+    "points_to_array",
     "scattered_locations",
+    "segments_intersect_matrix",
+    "wall_attenuation_matrix",
 ]

@@ -1,0 +1,127 @@
+"""Vectorized geometric predicates for batch channel evaluation.
+
+The multi-wall channel model asks, for every candidate link, which walls
+the transmitter->receiver ray crosses.  Weighting a template therefore
+evaluates O(nodes^2 * walls) segment-intersection tests — the dominant
+cost of building large templates.  This module batches those tests with
+numpy while mirroring the *exact* floating-point expressions of the
+scalar predicates in :mod:`repro.geometry.primitives` (same operand
+order, same :data:`~repro.geometry.primitives.EPSILON` comparisons), so
+the boolean outcomes are bitwise-identical to ``Segment.intersects``.
+
+Memory note: :func:`wall_attenuation_matrix` loops over walls, holding
+``(T, R)`` intermediates per wall rather than a ``(T*R, W)`` tensor —
+a 500-point, 30-wall plan peaks at a few MB instead of hundreds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.floorplan import FloorPlan
+from repro.geometry.primitives import EPSILON, Point
+
+
+def points_to_array(points: list[Point] | tuple[Point, ...]) -> np.ndarray:
+    """Pack points into an ``(n, 2)`` float64 coordinate array."""
+    out = np.empty((len(points), 2), dtype=np.float64)
+    for i, p in enumerate(points):
+        out[i, 0] = p.x
+        out[i, 1] = p.y
+    return out
+
+
+def _orientation_sign(
+    ax: np.ndarray, ay: np.ndarray,
+    bx: np.ndarray, by: np.ndarray,
+    cx: np.ndarray, cy: np.ndarray,
+) -> np.ndarray:
+    """Broadcasted mirror of ``primitives._orientation`` (+1/-1/0 as int8)."""
+    cross = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    return (cross > EPSILON).astype(np.int8) - (cross < -EPSILON).astype(np.int8)
+
+
+def _on_segment_mask(
+    px: np.ndarray, py: np.ndarray,
+    qx: np.ndarray, qy: np.ndarray,
+    rx: np.ndarray, ry: np.ndarray,
+) -> np.ndarray:
+    """Broadcasted mirror of ``primitives._on_segment``."""
+    return (
+        (np.minimum(px, rx) - EPSILON <= qx)
+        & (qx <= np.maximum(px, rx) + EPSILON)
+        & (np.minimum(py, ry) - EPSILON <= qy)
+        & (qy <= np.maximum(py, ry) + EPSILON)
+    )
+
+
+def _intersect_broadcast(
+    p1x: np.ndarray, p1y: np.ndarray, q1x: np.ndarray, q1y: np.ndarray,
+    p2x: np.ndarray, p2y: np.ndarray, q2x: np.ndarray, q2y: np.ndarray,
+) -> np.ndarray:
+    """Broadcasted mirror of ``Segment.intersects`` on coordinate arrays.
+
+    Segment 1 is ``p1``–``q1``, segment 2 is ``p2``–``q2``; all eight
+    arrays broadcast together and the result has the broadcast shape.
+    """
+    o1 = _orientation_sign(p1x, p1y, q1x, q1y, p2x, p2y)
+    o2 = _orientation_sign(p1x, p1y, q1x, q1y, q2x, q2y)
+    o3 = _orientation_sign(p2x, p2y, q2x, q2y, p1x, p1y)
+    o4 = _orientation_sign(p2x, p2y, q2x, q2y, q1x, q1y)
+    hit = (o1 != o2) & (o3 != o4)
+    hit |= (o1 == 0) & _on_segment_mask(p1x, p1y, p2x, p2y, q1x, q1y)
+    hit |= (o2 == 0) & _on_segment_mask(p1x, p1y, q2x, q2y, q1x, q1y)
+    hit |= (o3 == 0) & _on_segment_mask(p2x, p2y, p1x, p1y, q2x, q2y)
+    hit |= (o4 == 0) & _on_segment_mask(p2x, p2y, q1x, q1y, q2x, q2y)
+    return hit
+
+
+def segments_intersect_matrix(
+    a_start: np.ndarray, a_end: np.ndarray,
+    b_start: np.ndarray, b_end: np.ndarray,
+) -> np.ndarray:
+    """Pairwise intersection tests between two segment families.
+
+    ``a_start``/``a_end`` are ``(A, 2)`` arrays, ``b_start``/``b_end`` are
+    ``(B, 2)``; the result is an ``(A, B)`` boolean matrix whose entries
+    equal ``Segment.intersects`` for the corresponding pair exactly.
+    """
+    a_start = np.asarray(a_start, dtype=np.float64)
+    a_end = np.asarray(a_end, dtype=np.float64)
+    b_start = np.asarray(b_start, dtype=np.float64)
+    b_end = np.asarray(b_end, dtype=np.float64)
+    return _intersect_broadcast(
+        a_start[:, None, 0], a_start[:, None, 1],
+        a_end[:, None, 0], a_end[:, None, 1],
+        b_start[None, :, 0], b_start[None, :, 1],
+        b_end[None, :, 0], b_end[None, :, 1],
+    )
+
+
+def wall_attenuation_matrix(
+    plan: FloorPlan, tx_xy: np.ndarray, rx_xy: np.ndarray
+) -> np.ndarray:
+    """Total wall penetration loss for every (tx, rx) ray, in dB.
+
+    ``tx_xy`` is ``(T, 2)``, ``rx_xy`` is ``(R, 2)``; the result is a
+    ``(T, R)`` float matrix matching ``plan.wall_attenuation_db`` for each
+    pair bitwise (the per-wall accumulation below adds each wall's loss in
+    wall-list order, exactly as the scalar sum does — adding 0.0 for
+    non-crossing walls leaves the float sum unchanged).
+    """
+    tx_xy = np.asarray(tx_xy, dtype=np.float64)
+    rx_xy = np.asarray(rx_xy, dtype=np.float64)
+    p1x = tx_xy[:, None, 0]
+    p1y = tx_xy[:, None, 1]
+    q1x = rx_xy[None, :, 0]
+    q1y = rx_xy[None, :, 1]
+    total = np.zeros((tx_xy.shape[0], rx_xy.shape[0]), dtype=np.float64)
+    for wall in plan.walls:
+        seg = wall.segment
+        hits = _intersect_broadcast(
+            np.float64(seg.start.x), np.float64(seg.start.y),
+            np.float64(seg.end.x), np.float64(seg.end.y),
+            p1x, p1y, q1x, q1y,
+        )
+        total += np.where(hits, wall.attenuation_db(), 0.0)
+    return total

@@ -1,7 +1,22 @@
-"""Graph algorithm substrate: digraph, Dijkstra, Yen's K-shortest paths."""
+"""Graph algorithm substrate: digraph, Dijkstra, Yen's K-shortest paths.
 
+``shortest_path`` and ``k_shortest_paths`` are backend dispatchers
+(:mod:`repro.graph.api`): they run on the array-backed CSR kernels
+(:mod:`repro.graph.kernels`) when numpy is available and fall back to the
+pure-Python reference implementations otherwise.  Pass
+``backend="reference"`` (or set ``REPRO_GRAPH_BACKEND=reference``) to
+force the dict-based originals at any call site.
+"""
+
+from repro.graph.api import (
+    BACKEND_ENV_VAR,
+    GRAPH_BACKENDS,
+    k_shortest_paths,
+    resolve_backend,
+    shortest_path,
+)
 from repro.graph.digraph import INFINITY, DiGraph
-from repro.graph.dijkstra import NoPathError, shortest_path, shortest_path_tree
+from repro.graph.dijkstra import NoPathError, shortest_path_tree
 from repro.graph.disjoint import (
     are_link_disjoint,
     edges_shared,
@@ -10,9 +25,10 @@ from repro.graph.disjoint import (
     path_edges,
 )
 from repro.graph.enumeration import all_simple_paths, count_simple_paths
-from repro.graph.yen import k_shortest_paths
 
 __all__ = [
+    "BACKEND_ENV_VAR",
+    "GRAPH_BACKENDS",
     "INFINITY",
     "DiGraph",
     "NoPathError",
@@ -24,6 +40,7 @@ __all__ = [
     "max_disjoint_subset",
     "minimally_disjoint_path",
     "path_edges",
+    "resolve_backend",
     "shortest_path",
     "shortest_path_tree",
 ]

@@ -32,13 +32,20 @@ class DiGraph:
         self._succ: dict[Node, dict[Node, float]] = {}
         self._pred: dict[Node, dict[Node, float]] = {}
         self._masked: set[Edge] = set()
+        #: Bumped on every structural/weight mutation (NOT on mask changes);
+        #: the CSR kernel keys its per-graph compiled view on this, so
+        #: Algorithm 1's mask/unmask rounds reuse one compiled graph.
+        self._version = 0
+        self._csr_cache: tuple[int, object] | None = None
 
     # -- construction -----------------------------------------------------
 
     def add_node(self, node: Node) -> None:
         """Add ``node`` (a no-op when already present)."""
-        self._succ.setdefault(node, {})
-        self._pred.setdefault(node, {})
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._pred[node] = {}
+            self._version += 1
 
     def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
         """Add edge ``u``->``v``; re-adding overwrites the weight."""
@@ -50,6 +57,33 @@ class DiGraph:
         self.add_node(v)
         self._succ[u][v] = weight
         self._pred[v][u] = weight
+        self._version += 1
+
+    def add_edges(self, edges: Iterable[tuple[Node, Node, float]]) -> None:
+        """Bulk :meth:`add_edge`: same per-edge validation, one version bump.
+
+        The per-call overhead of :meth:`add_edge` (two method calls plus a
+        version bump per edge) dominates template construction on large
+        instances; this path amortizes it across the whole batch.
+        """
+        succ = self._succ
+        pred = self._pred
+        for u, v, weight in edges:
+            if weight < 0:
+                raise ValueError(
+                    f"negative weight {weight} on edge ({u!r}, {v!r})"
+                )
+            if u == v:
+                raise ValueError(f"self-loop on node {u!r} not allowed")
+            if u not in succ:
+                succ[u] = {}
+                pred[u] = {}
+            if v not in succ:
+                succ[v] = {}
+                pred[v] = {}
+            succ[u][v] = weight
+            pred[v][u] = weight
+        self._version += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Structurally remove edge ``u``->``v``."""
@@ -59,6 +93,7 @@ class DiGraph:
         except KeyError:
             raise KeyError(f"edge ({u!r}, {v!r}) not in graph") from None
         self._masked.discard((u, v))
+        self._version += 1
 
     # -- queries ----------------------------------------------------------
 
@@ -149,13 +184,20 @@ class DiGraph:
     # -- convenience -------------------------------------------------------
 
     def copy(self) -> DiGraph:
-        """A structural copy (masks are copied too)."""
+        """A structural copy (masks are copied too).
+
+        The copy shares the original's compiled CSR view when one exists —
+        it is structurally identical, and the compiled view is immutable —
+        so the runtime's copy-then-mask trial pattern never recompiles.
+        """
         g = DiGraph()
         for node in self.nodes():
             g.add_node(node)
         for u, v, w in self.edges():
             g.add_edge(u, v, w)
         g._masked = set(self._masked)
+        g._version = self._version
+        g._csr_cache = self._csr_cache
         return g
 
     def subgraph_weight(self, path: Iterable[Node]) -> float:

@@ -4,6 +4,11 @@ Yen's algorithm (the engine of the paper's Algorithm 1) calls this routine
 once per spur node per candidate path, so it supports the two restrictions
 Yen needs without graph copies: a set of *banned nodes* (nodes already on
 the root path) and a set of *banned edges* (edges removed for this spur).
+
+This is the pure-Python **reference** implementation; the array-backed CSR
+kernel in :mod:`repro.graph.kernels` is the default production backend
+(see :mod:`repro.graph.api` for backend selection) and is cross-checked
+against this module property-by-property.
 """
 
 from __future__ import annotations
@@ -34,6 +39,11 @@ def shortest_path(
     both endpoints.  Raises :class:`NoPathError` when target is unreachable
     under the given restrictions, and :class:`KeyError` when either endpoint
     is not a graph node.
+
+    The search short-circuits as soon as ``target`` is popped (its distance
+    is final then), and prunes stale heap entries on pop: an entry whose
+    recorded distance exceeds the current best for its node is a leftover
+    from before a better relaxation and is skipped without expansion.
     """
     if not graph.has_node(source):
         raise KeyError(f"source {source!r} not in graph")
@@ -52,8 +62,8 @@ def shortest_path(
 
     while heap:
         d, _, u = heapq.heappop(heap)
-        if u in done:
-            continue
+        if u in done or d > dist.get(u, math.inf):
+            continue  # already finalized, or a stale (superseded) entry
         if u == target:
             break
         done.add(u)
@@ -84,6 +94,19 @@ def shortest_path_tree(graph: DiGraph, source: Node) -> dict[Node, float]:
 
     Used by template builders to check that required pairs are connected
     before handing a template to the (expensive) MILP stage.
+
+    Notes
+    -----
+    This routine intentionally has no ``target`` early exit: callers want
+    the full distance map.  When only a single target's distance is needed,
+    :func:`shortest_path` is the right call — it short-circuits the moment
+    the target is finalized and does strictly less work.
+
+    The CSR kernel's equivalent (:func:`repro.graph.kernels.CSRGraph`
+    Dijkstra) keeps ``dist``/``prev``/``visited`` as flat arrays, which a
+    repeated caller (Yen's spur loop) reuses without re-hashing nodes; this
+    dict-based reference rebuilds its containers per call by design, to
+    stay obviously correct.
     """
     if not graph.has_node(source):
         raise KeyError(f"source {source!r} not in graph")
@@ -93,8 +116,8 @@ def shortest_path_tree(graph: DiGraph, source: Node) -> dict[Node, float]:
     heap: list[tuple[float, int, Node]] = [(0.0, counter, source)]
     while heap:
         d, _, u = heapq.heappop(heap)
-        if u in done:
-            continue
+        if u in done or d > dist.get(u, math.inf):
+            continue  # finalized, or stale after a better relaxation
         done.add(u)
         for v, w in graph.successors(u):
             if v in done or math.isinf(w):

@@ -6,11 +6,17 @@ source and a destination in non-decreasing order of total weight.  Yen's
 method generalizes Dijkstra: the best path comes from a plain shortest-path
 query; each subsequent candidate is found by *spurring* off every prefix of
 an already-accepted path with the previously used continuations banned.
+
+This module is the pure-Python **reference** implementation.  The
+production backend is the Lawler-optimized CSR kernel in
+:mod:`repro.graph.kernels`; :func:`repro.graph.api.k_shortest_paths`
+selects between the two.
 """
 
 from __future__ import annotations
 
 import heapq
+import itertools
 from collections.abc import Hashable
 
 from repro.graph.digraph import DiGraph
@@ -36,18 +42,21 @@ def k_shortest_paths(
         return []
 
     accepted: list[tuple[list[Node], float]] = [first]
-    # Candidate heap entries: (cost, tie_breaker, path).  The tie-breaker is
-    # the node sequence as a tuple of reprs so ordering is deterministic
-    # even with equal costs and unorderable node types.
-    candidates: list[tuple[float, tuple[str, ...], list[Node]]] = []
+    # Candidate heap entries: (cost, tie_breaker, path).  The tie-breaker
+    # is a monotonic counter: push order is deterministic, so pop order is
+    # too, without building an O(path-len) repr tuple per push.
+    counter = itertools.count()
+    candidates: list[tuple[float, int, list[Node]]] = []
     seen_candidates: set[tuple[Node, ...]] = {tuple(first[0])}
 
     while len(accepted) < k:
         prev_path = accepted[-1][0]
+        # Root-path prefix costs are carried incrementally along prev_path
+        # instead of rescanning the prefix with subgraph_weight per spur.
+        root_cost = 0.0
         for i in range(len(prev_path) - 1):
             spur_node = prev_path[i]
             root_path = prev_path[: i + 1]
-            root_cost = graph.subgraph_weight(root_path)
 
             banned_edges: set[tuple[Node, Node]] = set()
             for path, _ in accepted:
@@ -65,17 +74,17 @@ def k_shortest_paths(
                     banned_nodes=banned_nodes, banned_edges=banned_edges,
                 )
             except NoPathError:
-                continue
-            total_path = root_path[:-1] + spur_path
-            key = tuple(total_path)
-            if key in seen_candidates:
-                continue
-            seen_candidates.add(key)
-            total_cost = root_cost + spur_cost
-            heapq.heappush(
-                candidates,
-                (total_cost, tuple(repr(n) for n in total_path), total_path),
-            )
+                pass
+            else:
+                total_path = root_path[:-1] + spur_path
+                key = tuple(total_path)
+                if key not in seen_candidates:
+                    seen_candidates.add(key)
+                    heapq.heappush(
+                        candidates,
+                        (root_cost + spur_cost, next(counter), total_path),
+                    )
+            root_cost += graph.weight(prev_path[i], prev_path[i + 1])
         if not candidates:
             break
         cost, _, path = heapq.heappop(candidates)

@@ -29,8 +29,8 @@ from dataclasses import is_dataclass
 from collections.abc import Callable, Hashable, Iterable, Sequence
 from typing import Any
 
+from repro.graph.api import k_shortest_paths, resolve_backend
 from repro.graph.digraph import DiGraph
-from repro.graph.yen import k_shortest_paths
 from repro.runtime.instrumentation import CacheCounters, RunStats
 
 #: Cache regions, used for counter attribution.
@@ -218,18 +218,24 @@ class EncodeCache:
         target: Hashable,
         k: int,
         stats: RunStats | None = None,
+        *,
+        backend: str | None = None,
     ) -> list[tuple[list, float]]:
         """Yen's K shortest paths, keyed by (weights, route, K, masks).
 
         ``graph_key`` must identify the *unmasked* content of ``graph``;
         the current masked-edge set is folded into the key here, so every
-        disconnection round of Algorithm 1 gets its own entry.
+        disconnection round of Algorithm 1 gets its own entry.  The
+        *resolved* graph backend (see :func:`repro.graph.api.
+        resolve_backend`) is part of the key too: backends may order
+        equal-cost paths differently, so their pools never alias.
         """
+        resolved = resolve_backend(backend)
         masks = tuple(sorted(graph.masked_edges))
-        key = digest("yen", graph_key, source, target, k, masks)
+        key = digest("yen", resolved, graph_key, source, target, k, masks)
 
         def compute() -> list[tuple[list, float]]:
-            return k_shortest_paths(graph, source, target, k)
+            return k_shortest_paths(graph, source, target, k, backend=resolved)
 
         return self.get_or_compute(REGION_YEN, key, compute, stats)
 

@@ -131,3 +131,85 @@ class TestTemplate:
             and channel.path_loss_db(a.location, b.location) <= 70.0
         }
         assert {(u, v) for u, v, _ in fast.edges()} == expected
+
+
+class TestBackendEquality:
+    """Vectorized and reference link generation must build the same template."""
+
+    @staticmethod
+    def _clone_and_link(nodes, channel, cutoff, rule, backend):
+        template = Template(nodes)
+        added = template.add_candidate_links(
+            channel, cutoff, link_rule=rule, backend=backend
+        )
+        return template, added
+
+    @staticmethod
+    def _assert_same(ref, vec):
+        ref_t, ref_added = ref
+        vec_t, vec_added = vec
+        assert vec_added == ref_added
+        ref_edges = list(ref_t.edges())
+        vec_edges = list(vec_t.edges())
+        # Same edges, in the same insertion order.
+        assert [(u, v) for u, v, _ in vec_edges] == [
+            (u, v) for u, v, _ in ref_edges
+        ]
+        for (_, _, wv), (_, _, wr) in zip(vec_edges, ref_edges):
+            assert wv == pytest.approx(wr, abs=1e-9)
+
+    def _grid_nodes(self, nx=5, ny=4, spacing=9.0):
+        import itertools
+
+        nodes = []
+        for i, (gx, gy) in enumerate(
+            itertools.product(range(nx), range(ny))
+        ):
+            role = "sink" if i == 0 else ("sensor" if i % 3 == 0 else "relay")
+            nodes.append(
+                NetworkNode(i, Point(gx * spacing, gy * spacing), role, i == 0)
+            )
+        return nodes
+
+    def test_log_distance_mesh(self):
+        nodes = self._grid_nodes()
+        channel = LogDistanceModel(exponent=3.0)
+        self._assert_same(
+            self._clone_and_link(nodes, channel, 85.0, mesh_link_rule, "reference"),
+            self._clone_and_link(nodes, channel, 85.0, mesh_link_rule, "vectorized"),
+        )
+
+    def test_multiwall_office_data_collection(self):
+        from repro.channel import MultiWallModel
+        from repro.geometry import office_floorplan
+
+        nodes = self._grid_nodes(6, 4, 11.0)
+        channel = MultiWallModel(office_floorplan())
+        self._assert_same(
+            self._clone_and_link(nodes, channel, 92.0, None, "reference"),
+            self._clone_and_link(nodes, channel, 92.0, None, "vectorized"),
+        )
+
+    def test_auto_uses_the_hook_and_matches(self):
+        nodes = self._grid_nodes(4, 3)
+        channel = LogDistanceModel(exponent=2.5)
+        self._assert_same(
+            self._clone_and_link(nodes, channel, 80.0, mesh_link_rule, "reference"),
+            self._clone_and_link(nodes, channel, 80.0, mesh_link_rule, "auto"),
+        )
+
+    def test_unknown_backend_rejected(self):
+        template = Template(make_nodes())
+        with pytest.raises(ValueError, match="unknown channel backend"):
+            template.add_candidate_links(
+                LogDistanceModel(), 90.0, backend="gpu"
+            )
+
+    def test_vectorized_requires_hook(self):
+        from repro.channel import MeasuredChannel
+
+        template = Template(make_nodes())
+        with pytest.raises(ValueError, match="path_loss_matrix hook"):
+            template.add_candidate_links(
+                MeasuredChannel({}), 90.0, backend="vectorized"
+            )

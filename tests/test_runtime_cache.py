@@ -5,7 +5,7 @@ import time
 
 import pytest
 
-from repro.graph.yen import k_shortest_paths
+from repro.graph import k_shortest_paths
 from repro.network import localization_template, small_grid_template
 from repro.runtime import EncodeCache, RunStats
 from repro.runtime.cache import build_weighted_graph

@@ -66,6 +66,18 @@ from repro.network.requirements import (
 )
 from repro.network.template import NetworkNode, Template
 from repro.network.topology import Architecture, Route
+from repro.resilience import (
+    Checkpoint,
+    CheckpointError,
+    DeadlineBudget,
+    FaultError,
+    FaultPlan,
+    ResilientSolver,
+    RetryPolicy,
+    SolveAttempt,
+    SolveFailure,
+    injected_faults,
+)
 from repro.runtime import BatchRunner, EncodeCache, RunStats, Trial, TrialOutcome
 from repro.io import load_architecture, save_architecture
 from repro.simulation.datacollection import DataCollectionSimulator
@@ -84,13 +96,18 @@ __all__ = [
     "ArchitectureExplorer",
     "BatchRunner",
     "BranchAndBoundSolver",
+    "Checkpoint",
+    "CheckpointError",
     "DataCollectionExplorer",
     "DataCollectionSimulator",
+    "DeadlineBudget",
     "Device",
     "Diagnostic",
     "EncodeCache",
     "EncodingError",
     "ExplorerBase",
+    "FaultError",
+    "FaultPlan",
     "FullPathEncoder",
     "HighsSolver",
     "Library",
@@ -103,10 +120,14 @@ __all__ = [
     "ReachabilityRequirement",
     "RequirementSet",
     "ResiliencyReport",
+    "ResilientSolver",
+    "RetryPolicy",
     "Route",
     "RouteRequirement",
     "RunStats",
     "Severity",
+    "SolveAttempt",
+    "SolveFailure",
     "SolveStatus",
     "SynthesisResult",
     "TdmaConfig",
@@ -123,6 +144,7 @@ __all__ = [
     "default_catalog",
     "device",
     "explore",
+    "injected_faults",
     "kstar_search",
     "load_architecture",
     "localization_catalog",

@@ -51,6 +51,9 @@ from repro.network.requirements import (
     ReachabilityRequirement,
     RequirementSet,
 )
+from repro.resilience.checkpoint import CheckpointError
+from repro.resilience.faults import FaultError
+from repro.resilience.policy import RetryPolicy
 from repro.runtime.cache import EncodeCache
 from repro.spec.patterns import SpecError
 from repro.spec.problem import compile_spec
@@ -89,6 +92,13 @@ def _build_parser() -> argparse.ArgumentParser:
     syn.add_argument("--stats-json", type=Path,
                      help="write runtime instrumentation (phase timings, "
                           "cache counters) as JSON; '-' for stdout")
+    syn.add_argument("--deadline", type=float, metavar="SECONDS",
+                     help="overall wall-clock budget; solver attempts are "
+                          "clipped to the remaining time")
+    syn.add_argument("--max-retries", type=int, metavar="N",
+                     help="retry crashed/errored solves up to N times "
+                          "before falling back (enables the solver "
+                          "watchdog; see docs/robustness.md)")
 
     loc = sub.add_parser("localize", help="anchor-placement synthesis")
     loc.add_argument("--anchors", type=int, default=100)
@@ -102,6 +112,11 @@ def _build_parser() -> argparse.ArgumentParser:
     loc.add_argument("--stats-json", type=Path,
                      help="write runtime instrumentation as JSON; "
                           "'-' for stdout")
+    loc.add_argument("--deadline", type=float, metavar="SECONDS",
+                     help="overall wall-clock budget for the solve")
+    loc.add_argument("--max-retries", type=int, metavar="N",
+                     help="retry crashed/errored solves up to N times "
+                          "(enables the solver watchdog)")
 
     lint = sub.add_parser(
         "lint", help="pre-solve static analysis of a spec file (no solving)"
@@ -139,6 +154,18 @@ def _build_parser() -> argparse.ArgumentParser:
     kst.add_argument("--stats-json", type=Path,
                      help="write per-rung instrumentation and shared "
                           "cache counters as JSON; '-' for stdout")
+    kst.add_argument("--deadline", type=float, metavar="SECONDS",
+                     help="wall-clock budget for the whole ladder; the "
+                          "scan stops with 'deadline exhausted' once spent")
+    kst.add_argument("--max-retries", type=int, metavar="N",
+                     help="retry crashed/errored rung solves up to N times "
+                          "(enables the solver watchdog)")
+    kst.add_argument("--checkpoint", type=Path, metavar="FILE",
+                     help="persist each completed rung to a JSONL "
+                          "checkpoint so a killed sweep can resume")
+    kst.add_argument("--resume", action="store_true",
+                     help="replay rungs recorded in --checkpoint instead "
+                          "of re-solving them")
     return parser
 
 
@@ -188,6 +215,8 @@ def _cmd_synthesize(args) -> int:
             k_star=args.k_star,
             solver=HighsSolver(time_limit=args.time_limit,
                                mip_rel_gap=args.mip_gap),
+            deadline_s=args.deadline,
+            max_retries=args.max_retries,
         )
     except AnalysisError as exc:
         _print_analysis_failure(exc)
@@ -269,6 +298,8 @@ def _cmd_localize(args) -> int:
             instance.template, localization_catalog(), requirement,
             objective=args.objective,
             channel=instance.channel, k_star=args.k_star,
+            deadline_s=args.deadline,
+            max_retries=args.max_retries,
         )
     except AnalysisError as exc:
         _print_analysis_failure(exc)
@@ -390,20 +421,43 @@ def _cmd_kstar(args) -> int:
                            disjoint=True)
     reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
 
+    retry = None
+    if args.max_retries is not None:
+        retry = RetryPolicy(max_retries=args.max_retries)
     cache = EncodeCache()
-    search = kstar_search(
-        lambda k: DataCollectionExplorer(
-            instance.template, default_catalog(), reqs,
-            encoder=ApproximatePathEncoder(k_star=k),
-        ),
-        ladder=tuple(args.ladder),
-        parallel=args.parallel,
-        cache=cache,
-    )
+    try:
+        search = kstar_search(
+            lambda k: DataCollectionExplorer(
+                instance.template, default_catalog(), reqs,
+                encoder=ApproximatePathEncoder(k_star=k),
+            ),
+            ladder=tuple(args.ladder),
+            parallel=args.parallel,
+            cache=cache,
+            deadline_s=args.deadline,
+            retry=retry,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+    except CheckpointError as exc:
+        print(f"checkpoint: {exc}")
+        return 1
+    except FaultError as exc:
+        # Injected abort (REPRO_FAULTS kstar.abort): completed rungs are
+        # already on disk, so a --resume run picks up where this died.
+        print(f"aborted by injected fault: {exc}")
+        if args.checkpoint:
+            print(f"checkpoint saved: {args.checkpoint} (rerun with "
+                  f"--resume to continue)")
+        return 3
     print(f"{'K*':>4} {'cost ($)':>9} {'time (s)':>9}")
     for k, objective, seconds in search.table_rows():
         print(f"{k:>4} {objective:>9.0f} {seconds:>9.2f}")
-    print(f"selected K* = {search.best.k_star} ({search.stop_reason})")
+    selected = search.best.k_star if search.best else None
+    print(f"selected K* = {selected} ({search.stop_reason})")
+    if search.restored_ks:
+        print(f"resumed: {len(search.restored_ks)} rung(s) replayed from "
+              f"{args.checkpoint}")
     summary = cache.summary()
     print(f"cache:  {cache.counters.hit_count()} hits / "
           f"{cache.counters.miss_count()} misses "
@@ -418,8 +472,9 @@ def _cmd_kstar(args) -> int:
                 }
                 for trial in search.trials
             ],
-            "selected_k_star": search.best.k_star if search.best else None,
+            "selected_k_star": selected,
             "stop_reason": search.stop_reason,
+            "resumed_rungs": len(search.restored_ks),
             "cache": summary,
         },
         args.stats_json,

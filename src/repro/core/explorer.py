@@ -191,6 +191,11 @@ class ExplorerBase(abc.ABC):
             objective_terms=terms,
             run_stats=stats,
             diagnostics=diagnostics,
+            # The watchdog's per-attempt log (retries, fallbacks,
+            # degradation) rides the Solution's extra dict; surface it.
+            solve_attempts=list(
+                solution.extra.get("solve_attempts", ())
+            ),
         )
 
     def _decode(

@@ -29,6 +29,8 @@ from repro.encoding.approximate import ApproximatePathEncoder
 from repro.library.catalog import Library
 from repro.network.requirements import ReachabilityRequirement, RequirementSet
 from repro.network.template import Template
+from repro.resilience.policy import DeadlineBudget, RetryPolicy
+from repro.resilience.watchdog import ResilientSolver
 from repro.runtime.batch import BatchRunner, Trial
 from repro.runtime.cache import EncodeCache
 
@@ -97,6 +99,9 @@ def explore(
     cache: EncodeCache | None = None,
     runner: BatchRunner | None = None,
     timeout_s: float | None = None,
+    deadline_s: float | None = None,
+    budget: DeadlineBudget | None = None,
+    max_retries: int | None = None,
 ) -> SynthesisResult | list[SynthesisResult]:
     """Synthesize an architecture (or several) for a problem.
 
@@ -111,9 +116,24 @@ def explore(
     anchor budget).  ``timeout_s`` bounds each trial when running on a
     pool.  Pass a prebuilt ``runner``/``cache`` to share them across
     calls.
+
+    ``deadline_s``/``budget`` bound the whole call's wall clock and
+    ``max_retries`` caps solver retries; setting any of them wraps the
+    solver in a :class:`~repro.resilience.watchdog.ResilientSolver`
+    (retry on ``ERROR``/crash, fallback chain, incumbent acceptance at
+    the deadline — see docs/robustness.md), and each result then carries
+    its per-attempt log under ``result.solve_attempts``.
     """
     if cache is None:
         cache = EncodeCache()
+    if budget is None and deadline_s is not None:
+        budget = DeadlineBudget(deadline_s)
+    resilient = budget is not None or max_retries is not None
+    if resilient and not isinstance(solver, ResilientSolver):
+        retry = RetryPolicy() if max_retries is None else RetryPolicy(
+            max_retries=max_retries
+        )
+        solver = ResilientSolver(solver, budget=budget, retry=retry)
     explorer = build_explorer(
         template, library, requirements,
         encoder=encoder, solver=solver, channel=channel,
@@ -124,7 +144,9 @@ def explore(
     if not objectives:
         raise ValueError("need at least one objective")
     if runner is None:
-        runner = BatchRunner(workers=max(1, parallel), timeout_s=timeout_s)
+        runner = BatchRunner(
+            workers=max(1, parallel), timeout_s=timeout_s, budget=budget
+        )
     outcomes = runner.run([
         Trial(explorer.solve, (obj,), label=f"explore:{obj}", timeout_s=timeout_s)
         for obj in objectives

@@ -17,16 +17,39 @@ them per rung; those Yen queries run on the selected graph kernel backend
 (the array-backed CSR kernels of :mod:`repro.graph.kernels` by default —
 see :func:`repro.graph.api.resolve_backend`), and the cache keys are
 backend-aware so pools from different backends never mix.
+
+Resilience (see :mod:`repro.resilience` and docs/robustness.md):
+
+* ``budget`` / ``deadline_s`` bound the whole ladder — every rung's
+  solver attempt is clipped to the remaining time and the scan stops
+  with ``"deadline exhausted"`` once the budget is spent;
+* ``retry`` wraps each rung's solver in a
+  :class:`~repro.resilience.watchdog.ResilientSolver` (retry on
+  ``ERROR``/crash, fallback chain, incumbent acceptance);
+* ``checkpoint`` persists every completed rung as a JSONL record; with
+  ``resume=True`` a killed ladder replays the recorded rungs (skipping
+  their solves entirely) and — because the stop rules run over the exact
+  recorded objectives — selects the identical best rung.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Callable, Iterable, Iterator, Sequence
 
 from repro.core.explorer import ExplorerBase
 from repro.core.results import SynthesisResult
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    RestoredResult,
+    restored_result,
+    result_record,
+)
+from repro.resilience.faults import maybe_fire
+from repro.resilience.policy import DeadlineBudget, RetryPolicy
+from repro.resilience.watchdog import ResilientSolver
 from repro.runtime.batch import BatchRunner, Trial
 from repro.runtime.cache import EncodeCache
 
@@ -36,10 +59,15 @@ DEFAULT_K_LADDER = (1, 3, 5, 10, 20)
 
 @dataclass
 class KStarTrial:
-    """One rung of the K* ladder."""
+    """One rung of the K* ladder.
+
+    ``result`` is a full :class:`SynthesisResult` for freshly solved
+    rungs, or a :class:`~repro.resilience.checkpoint.RestoredResult`
+    for rungs replayed from a checkpoint.
+    """
 
     k_star: int
-    result: SynthesisResult
+    result: SynthesisResult | RestoredResult
 
     @property
     def objective(self) -> float:
@@ -53,6 +81,11 @@ class KStarTrial:
         """Total encode+solve time."""
         return self.result.total_seconds
 
+    @property
+    def restored(self) -> bool:
+        """Whether this rung was replayed from a checkpoint."""
+        return getattr(self.result, "restored", False)
+
 
 @dataclass
 class KStarSearchResult:
@@ -61,6 +94,8 @@ class KStarSearchResult:
     trials: list[KStarTrial]
     best: KStarTrial | None
     stop_reason: str
+    #: Rungs that were replayed from a checkpoint instead of solved.
+    restored_ks: tuple[int, ...] = field(default=())
 
     def table_rows(self) -> list[tuple[int, float, float]]:
         """(K*, objective, seconds) rows, the shape of Table 4."""
@@ -77,6 +112,11 @@ def kstar_search(
     parallel: int = 1,
     runner: BatchRunner | None = None,
     cache: EncodeCache | None = None,
+    deadline_s: float | None = None,
+    budget: DeadlineBudget | None = None,
+    retry: RetryPolicy | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
 ) -> KStarSearchResult:
     """Climb the K* ladder until time or improvement runs out.
 
@@ -92,27 +132,93 @@ def kstar_search(
     past the stop point are simply discarded.  ``cache`` is injected
     into every explorer that does not already carry one, so rungs share
     encode work.
+
+    ``deadline_s``/``budget`` cap the ladder's wall clock; ``retry``
+    turns every rung's solver into a
+    :class:`~repro.resilience.watchdog.ResilientSolver`.  ``checkpoint``
+    names a JSONL file receiving one record per completed rung;
+    ``resume=True`` replays recorded rungs instead of re-solving them
+    (the file must describe the same ladder and objective, else
+    :class:`~repro.resilience.checkpoint.CheckpointError`).
     """
     ladder = tuple(ladder)
+    if budget is None and deadline_s is not None:
+        budget = DeadlineBudget(deadline_s)
+
+    ckpt: Checkpoint | None = None
+    restored: dict[int, KStarTrial] = {}
+    if checkpoint is not None:
+        ckpt = Checkpoint(
+            checkpoint, "kstar",
+            {"ladder": list(ladder), "objective": objective},
+        )
+        if resume:
+            for record in ckpt.load():
+                k = int(record["k_star"])
+                restored[k] = KStarTrial(
+                    k_star=k, result=restored_result(record)
+                )
+
+    deadline_hit = False
+
+    def checkpointed(trial: KStarTrial) -> KStarTrial:
+        if ckpt is not None:
+            ckpt.append({"k_star": trial.k_star, **result_record(trial.result)})
+            # Fault site "kstar.abort": simulates a kill landing right
+            # after a rung checkpointed — the record above survives.
+            maybe_fire("kstar.abort")
+        return trial
+
     if parallel > 1 or runner is not None:
-        runner = runner or BatchRunner(workers=parallel)
+        runner = runner or BatchRunner(workers=parallel, budget=budget)
+        pending = [k for k in ladder if k not in restored]
         outcomes = runner.run([
             Trial(
-                _solve_rung, (make_explorer, k, objective, cache),
+                _solve_rung, (make_explorer, k, objective, cache, budget, retry),
                 label=f"kstar:K={k}",
             )
-            for k in ladder
+            for k in pending
         ])
-        trials: Iterable[KStarTrial] = (o.unwrap() for o in outcomes)
+        solved = {
+            k: outcome.unwrap() for k, outcome in zip(pending, outcomes)
+        }
+
+        def ordered() -> Iterator[KStarTrial]:
+            for k in ladder:
+                if k in restored:
+                    yield restored[k]
+                else:
+                    yield checkpointed(solved[k])
+
+        trials: Iterable[KStarTrial] = ordered()
     else:
-        trials = (
-            _solve_rung(make_explorer, k, objective, cache) for k in ladder
-        )
-    return scan_ladder(
+
+        def sequential() -> Iterator[KStarTrial]:
+            nonlocal deadline_hit
+            for k in ladder:
+                if k in restored:
+                    yield restored[k]
+                    continue
+                if budget is not None and budget.expired:
+                    deadline_hit = True
+                    return
+                yield checkpointed(
+                    _solve_rung(make_explorer, k, objective, cache,
+                                budget, retry)
+                )
+
+        trials = sequential()
+    result = scan_ladder(
         trials,
         time_threshold_s=time_threshold_s,
         min_relative_gain=min_relative_gain,
     )
+    if deadline_hit and result.stop_reason == "ladder exhausted":
+        result.stop_reason = "deadline exhausted"
+    result.restored_ks = tuple(
+        t.k_star for t in result.trials if t.restored
+    )
+    return result
 
 
 def _solve_rung(
@@ -120,11 +226,28 @@ def _solve_rung(
     k: int,
     objective: str,
     cache: EncodeCache | None,
+    budget: DeadlineBudget | None = None,
+    retry: RetryPolicy | None = None,
 ) -> KStarTrial:
     explorer = make_explorer(k)
     if cache is not None and getattr(explorer, "cache", None) is None:
         explorer.cache = cache
+    if budget is not None or retry is not None:
+        explorer.solver = _resilient(explorer.solver, budget, retry)
     return KStarTrial(k_star=k, result=explorer.solve(objective))
+
+
+def _resilient(
+    solver, budget: DeadlineBudget | None, retry: RetryPolicy | None
+):
+    """``solver`` under the watchdog (idempotent for wrapped solvers)."""
+    if isinstance(solver, ResilientSolver):
+        if budget is not None and solver.budget is None:
+            solver.budget = budget
+        return solver
+    return ResilientSolver(
+        solver, budget=budget, retry=retry or RetryPolicy()
+    )
 
 
 def scan_ladder(

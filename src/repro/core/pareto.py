@@ -11,28 +11,44 @@ The budget solves are independent of each other, so they can run through
 the :class:`~repro.runtime.batch.BatchRunner` (``parallel=``); an
 explorer carrying an :class:`~repro.runtime.cache.EncodeCache` then
 shares the path-loss/Yen encode work across every sweep point.
+
+Resilience (see :mod:`repro.resilience` and docs/robustness.md): a
+``deadline_s``/``budget`` clips every solve to the sweep's remaining
+wall clock; ``retry`` puts each solve under the
+:class:`~repro.resilience.watchdog.ResilientSolver`; ``checkpoint``
+persists the two extremes and every completed sweep point as JSONL so a
+killed sweep resumes (``resume=True``) without re-solving them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.explorer import ExplorerBase
 from repro.core.results import SynthesisResult
+from repro.resilience.checkpoint import Checkpoint, RestoredResult
+from repro.resilience.policy import DeadlineBudget, RetryPolicy
+from repro.resilience.watchdog import ResilientSolver
 from repro.runtime.batch import BatchRunner, Trial
 from repro.runtime.instrumentation import RunStats
 
 
 @dataclass
 class ParetoPoint:
-    """One point of the trade-off front."""
+    """One point of the trade-off front.
+
+    ``result`` is a full :class:`SynthesisResult` for freshly solved
+    points, or a :class:`~repro.resilience.checkpoint.RestoredResult`
+    for points replayed from a checkpoint.
+    """
 
     primary: float
     secondary: float
     secondary_budget: float
-    result: SynthesisResult
+    result: SynthesisResult | RestoredResult
 
 
 @dataclass
@@ -75,6 +91,11 @@ def explore_pareto(
     *,
     parallel: int = 1,
     runner: BatchRunner | None = None,
+    deadline_s: float | None = None,
+    budget: DeadlineBudget | None = None,
+    retry: RetryPolicy | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
 ) -> ParetoFront:
     """Sweep the epsilon-constraint front between the two extremes.
 
@@ -87,43 +108,177 @@ def explore_pareto(
     run concurrently; the front is identical either way because each
     budget is an independent MILP.  The default runner uses threads so
     the explorer's encode cache is shared across sweep points.
+
+    ``deadline_s``/``budget`` bound the whole sweep, ``retry`` puts every
+    solve under the solver watchdog, and ``checkpoint``/``resume``
+    persist and replay the extremes and completed sweep points (the
+    checkpoint must describe the same primary/secondary/points triple).
     """
     if points < 2:
         raise ValueError("need at least two sweep points")
     if primary == secondary:
         raise ValueError("primary and secondary objectives must differ")
-    # The extremes define the budget range.
-    best_secondary = explorer.solve(secondary)
-    if not best_secondary.feasible:
-        raise ValueError(f"no feasible design exists ({secondary} extreme)")
-    best_primary = explorer.solve(primary)
-    lo = best_secondary.objective_terms[secondary]
-    hi = best_primary.objective_terms[secondary]
-    if hi < lo:
-        lo, hi = hi, lo
+    if budget is None and deadline_s is not None:
+        budget = DeadlineBudget(deadline_s)
 
+    ckpt: Checkpoint | None = None
+    restored_extremes: dict[str, dict] = {}
+    restored_points: dict[int, dict] = {}
+    if checkpoint is not None:
+        ckpt = Checkpoint(
+            checkpoint, "pareto",
+            {"primary": primary, "secondary": secondary, "points": points},
+        )
+        if resume:
+            for record in ckpt.load():
+                if record.get("stage") == "extreme":
+                    restored_extremes[record["objective"]] = record
+                elif record.get("stage") == "point":
+                    restored_points[int(record["index"])] = record
+
+    original_solver = explorer.solver
+    if budget is not None or retry is not None:
+        explorer.solver = _resilient(original_solver, budget, retry)
+    try:
+        return _sweep(
+            explorer, primary, secondary, points,
+            parallel=parallel, runner=runner, budget=budget,
+            ckpt=ckpt, restored_extremes=restored_extremes,
+            restored_points=restored_points,
+        )
+    finally:
+        explorer.solver = original_solver
+
+
+def _resilient(
+    solver, budget: DeadlineBudget | None, retry: RetryPolicy | None
+):
+    """``solver`` under the watchdog (idempotent for wrapped solvers)."""
+    if isinstance(solver, ResilientSolver):
+        if budget is not None and solver.budget is None:
+            solver.budget = budget
+        return solver
+    return ResilientSolver(
+        solver, budget=budget, retry=retry or RetryPolicy()
+    )
+
+
+def _sweep(
+    explorer: ExplorerBase,
+    primary: str,
+    secondary: str,
+    points: int,
+    *,
+    parallel: int,
+    runner: BatchRunner | None,
+    budget: DeadlineBudget | None,
+    ckpt: Checkpoint | None,
+    restored_extremes: dict[str, dict],
+    restored_points: dict[int, dict],
+) -> ParetoFront:
+    # The extremes define the budget range.
+    lo, hi = _extreme_range(
+        explorer, primary, secondary, ckpt, restored_extremes
+    )
     budgets = [float(b) for b in np.linspace(lo, hi, points)]
+    pending = [
+        (i, b) for i, b in enumerate(budgets) if i not in restored_points
+    ]
     if parallel > 1 or runner is not None:
         # Threads keep the explorer (and its cache) shared; the MILP
         # solves release the GIL inside HiGHS.
-        runner = runner or BatchRunner(workers=parallel, mode="thread")
+        runner = runner or BatchRunner(
+            workers=parallel, mode="thread", budget=budget
+        )
         outcomes = runner.run([
             Trial(
-                _solve_budget, (explorer, primary, secondary, budget),
-                label=f"pareto:{secondary}<={budget:.3g}",
+                _solve_budget, (explorer, primary, secondary, b),
+                label=f"pareto:{secondary}<={b:.3g}",
             )
-            for budget in budgets
+            for _, b in pending
         ])
-        solved = [outcome.unwrap() for outcome in outcomes]
+        fresh = {
+            i: outcome.unwrap()
+            for (i, _), outcome in zip(pending, outcomes)
+        }
     else:
-        solved = [
-            _solve_budget(explorer, primary, secondary, budget)
-            for budget in budgets
-        ]
+        fresh = {
+            i: _solve_budget(explorer, primary, secondary, b)
+            for i, b in pending
+        }
+
+    solved: list[ParetoPoint | None] = []
+    for index, b in enumerate(budgets):
+        if index in restored_points:
+            solved.append(_restore_point(restored_points[index], b))
+            continue
+        point = fresh[index]
+        if ckpt is not None:
+            ckpt.append(_point_record(index, b, point))
+        solved.append(point)
 
     front = ParetoFront(primary, secondary, [p for p in solved if p])
     front.points.sort(key=lambda p: (p.primary, p.secondary))
     return front
+
+
+def _extreme_range(
+    explorer: ExplorerBase,
+    primary: str,
+    secondary: str,
+    ckpt: Checkpoint | None,
+    restored: dict[str, dict],
+) -> tuple[float, float]:
+    """The secondary term's achievable [lo, hi] from the two extremes,
+    replaying checkpointed extremes instead of re-solving them."""
+    values: dict[str, float] = {}
+    for objective in (secondary, primary):
+        record = restored.get(objective)
+        if record is not None:
+            values[objective] = float(record["secondary_term"])
+            continue
+        result = explorer.solve(objective)
+        if objective == secondary and not result.feasible:
+            raise ValueError(
+                f"no feasible design exists ({secondary} extreme)"
+            )
+        values[objective] = result.objective_terms[secondary]
+        if ckpt is not None:
+            ckpt.append({
+                "stage": "extreme",
+                "objective": objective,
+                "secondary_term": values[objective],
+            })
+    lo, hi = values[secondary], values[primary]
+    return (hi, lo) if hi < lo else (lo, hi)
+
+
+def _point_record(index: int, budget: float, point: ParetoPoint | None) -> dict:
+    record: dict = {"stage": "point", "index": index, "budget": budget}
+    if point is None:
+        record["feasible"] = False
+    else:
+        record.update(
+            feasible=True, primary=point.primary, secondary=point.secondary,
+        )
+    return record
+
+
+def _restore_point(record: dict, budget: float) -> ParetoPoint | None:
+    if not record.get("feasible"):
+        return None
+    from repro.milp.solution import SolveStatus
+
+    return ParetoPoint(
+        primary=float(record["primary"]),
+        secondary=float(record["secondary"]),
+        secondary_budget=budget,
+        result=RestoredResult(
+            status=SolveStatus.FEASIBLE,
+            objective_value=float(record["primary"]),
+            objective_terms={},
+        ),
+    )
 
 
 def _solve_budget(
@@ -155,6 +310,7 @@ def _solve_budget(
         encoder_name=explorer.encoder_name,
         objective_terms=terms,
         run_stats=stats,
+        solve_attempts=list(solution.extra.get("solve_attempts", ())),
     )
     return ParetoPoint(
         primary=terms[primary],

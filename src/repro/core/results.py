@@ -8,6 +8,7 @@ from repro.analysis.diagnostics import Diagnostic
 from repro.milp.model import ModelStats
 from repro.milp.solution import Solution, SolveStatus
 from repro.network.topology import Architecture
+from repro.resilience.watchdog import SolveAttempt, attempt_counters
 from repro.runtime.instrumentation import RunStats
 
 
@@ -30,6 +31,15 @@ class SynthesisResult:
     #: Pre-solve analyzer findings (errors and warnings) that rode along;
     #: on infeasible runs these usually explain *why* (see CLI output).
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Per-attempt log of the resilient solve (empty when the solver was
+    #: not wrapped in a :class:`~repro.resilience.watchdog.ResilientSolver`).
+    solve_attempts: list[SolveAttempt] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the result rests on an unproven incumbent accepted at
+        a deadline (graceful degradation by the solver watchdog)."""
+        return any(a.degraded for a in self.solve_attempts)
 
     @property
     def feasible(self) -> bool:
@@ -95,4 +105,9 @@ class SynthesisResult:
             payload.update(self.run_stats.to_dict())
         if self.diagnostics:
             payload["diagnostics"] = [d.to_dict() for d in self.diagnostics]
+        if self.solve_attempts:
+            payload["resilience"] = {
+                **attempt_counters(self.solve_attempts),
+                "attempt_log": [a.to_dict() for a in self.solve_attempts],
+            }
         return payload

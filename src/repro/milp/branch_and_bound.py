@@ -30,6 +30,7 @@ from scipy.optimize import linprog
 
 from repro.milp.model import Model, StandardForm
 from repro.milp.solution import Solution, SolveStatus
+from repro.resilience.faults import fires, maybe_fire
 
 _INT_TOL = 1e-6
 
@@ -95,8 +96,23 @@ class BranchAndBoundSolver:
         self.node_limit = node_limit
         self.mip_rel_gap = mip_rel_gap
 
+    def with_time_limit(self, time_limit: float | None) -> BranchAndBoundSolver:
+        """A copy of this solver with a different wall-clock limit
+        (the watchdog uses this to clip attempts to a deadline budget)."""
+        return BranchAndBoundSolver(
+            time_limit=time_limit,
+            node_limit=self.node_limit,
+            mip_rel_gap=self.mip_rel_gap,
+        )
+
     def solve(self, model: Model) -> Solution:
         """Run branch and bound on ``model``."""
+        maybe_fire("solver.hang")
+        if fires("solver.error"):
+            return Solution(
+                status=SolveStatus.ERROR,
+                message="injected solver error (REPRO_FAULTS solver.error)",
+            )
         form = model.to_standard_form()
         if len(form.c) == 0:
             # Variable-free model: trivially optimal at the objective's

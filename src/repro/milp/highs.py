@@ -8,13 +8,17 @@ result into a solver-independent :class:`~repro.milp.solution.Solution`.
 
 from __future__ import annotations
 
+import copy
+import math
 import time
+from typing import Any
 
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from repro.milp.model import Model
 from repro.milp.solution import Solution, SolveStatus
+from repro.resilience.faults import fires, maybe_fire
 
 #: Map from scipy.optimize.milp status codes to our statuses when no
 #: assignment is attached.
@@ -24,6 +28,35 @@ _STATUS_NO_X = {
     3: SolveStatus.UNBOUNDED,
     4: SolveStatus.ERROR,
 }
+
+
+def normalized_gap(raw: object, status: SolveStatus) -> float:
+    """The documented ``mip_gap`` convention, from whatever scipy reports.
+
+    Depending on the scipy version, ``result.mip_gap`` may be missing,
+    ``None``, or NaN — and NaN is truthy, so an ``x or 0.0`` guard lets
+    it through.  The convention is: the gap is **never NaN**; it is the
+    solver-reported relative gap when that is a finite non-negative
+    number (tiny negative rounding clamps to 0.0), else ``0.0`` for a
+    proven-``OPTIMAL`` solve and ``+inf`` for an incumbent whose bound
+    was not proven (``FEASIBLE``).
+    """
+    try:
+        gap = float(raw)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        gap = float("nan")
+    if math.isfinite(gap):
+        return max(gap, 0.0)
+    return 0.0 if status is SolveStatus.OPTIMAL else float("inf")
+
+
+def normalized_node_count(raw: object) -> int:
+    """Branch-and-bound node count as a non-negative int (0 if absent)."""
+    try:
+        count = int(float(raw))  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return 0
+    return max(count, 0)
 
 
 class HighsSolver:
@@ -47,8 +80,21 @@ class HighsSolver:
         self.time_limit = time_limit
         self.mip_rel_gap = mip_rel_gap
 
+    def with_time_limit(self, time_limit: float | None) -> HighsSolver:
+        """A copy of this solver with a different wall-clock limit
+        (the watchdog uses this to clip attempts to a deadline budget)."""
+        clone = copy.copy(self)
+        clone.time_limit = time_limit
+        return clone
+
     def solve(self, model: Model) -> Solution:
         """Run HiGHS on ``model`` and return a :class:`Solution`."""
+        maybe_fire("solver.hang")
+        if fires("solver.error"):
+            return Solution(
+                status=SolveStatus.ERROR,
+                message="injected solver error (REPRO_FAULTS solver.error)",
+            )
         form = model.to_standard_form()
         options: dict[str, float] = {"mip_rel_gap": self.mip_rel_gap}
         if self.time_limit is not None:
@@ -75,14 +121,17 @@ class HighsSolver:
             status = (
                 SolveStatus.OPTIMAL if result.status == 0 else SolveStatus.FEASIBLE
             )
+            raw_gap: Any = getattr(result, "mip_gap", None)
             return Solution(
                 status=status,
                 # result.fun is c @ x; fold the objective's constant back in.
                 objective=float(result.fun) + model.objective.constant,
                 x=np.asarray(result.x, dtype=float),
                 solve_time=elapsed,
-                mip_gap=float(getattr(result, "mip_gap", float("nan")) or 0.0),
-                node_count=int(getattr(result, "mip_node_count", 0) or 0),
+                mip_gap=normalized_gap(raw_gap, status),
+                node_count=normalized_node_count(
+                    getattr(result, "mip_node_count", None)
+                ),
                 message=str(result.message),
             )
         status = _STATUS_NO_X.get(result.status, SolveStatus.ERROR)

@@ -1,0 +1,78 @@
+"""Resilient solve runtime: budgets, watchdog, checkpoints, faults.
+
+``repro.resilience`` makes the solve stack survive the failures MILP
+practice actually hits — unpredictable solve times, solver ``ERROR``
+statuses, crashed or hung workers, killed runs:
+
+* :mod:`~repro.resilience.policy` — hierarchical
+  :class:`DeadlineBudget`\\ s (facade → ladder → rung → solver
+  ``time_limit``) and deterministic :class:`RetryPolicy` backoff;
+* :mod:`~repro.resilience.watchdog` — :class:`ResilientSolver`, which
+  wraps any MILP backend with per-attempt timeouts, retry-on-error, a
+  fallback chain and incumbent acceptance at the deadline, logging every
+  :class:`SolveAttempt`;
+* :mod:`~repro.resilience.checkpoint` — schema-versioned JSONL
+  :class:`Checkpoint`\\ s with atomic writes, so killed K*/Pareto sweeps
+  resume and select the identical winner;
+* :mod:`~repro.resilience.faults` — a deterministic :class:`FaultPlan`
+  that triggers named failure sites on demand (``REPRO_FAULTS``), with
+  zero overhead when inactive.
+
+See ``docs/robustness.md`` for the full picture.
+"""
+
+from repro.resilience.checkpoint import (
+    SCHEMA_VERSION,
+    Checkpoint,
+    CheckpointError,
+    RestoredResult,
+    restored_result,
+    result_record,
+)
+from repro.resilience.faults import (
+    ENV_VAR,
+    SITES,
+    FaultError,
+    FaultPlan,
+    InjectedFault,
+    InjectedHang,
+    injected_faults,
+)
+from repro.resilience.policy import (
+    NO_RETRY,
+    DeadlineBudget,
+    RetryPolicy,
+)
+from repro.resilience.watchdog import (
+    ResilientSolver,
+    SolveAttempt,
+    SolveFailure,
+    SolverHang,
+    attempt_counters,
+    default_fallbacks,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "NO_RETRY",
+    "SCHEMA_VERSION",
+    "SITES",
+    "Checkpoint",
+    "CheckpointError",
+    "DeadlineBudget",
+    "FaultError",
+    "FaultPlan",
+    "InjectedFault",
+    "InjectedHang",
+    "ResilientSolver",
+    "RestoredResult",
+    "RetryPolicy",
+    "SolveAttempt",
+    "SolveFailure",
+    "SolverHang",
+    "attempt_counters",
+    "default_fallbacks",
+    "injected_faults",
+    "restored_result",
+    "result_record",
+]

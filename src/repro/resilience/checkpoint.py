@@ -1,0 +1,236 @@
+"""Schema-versioned JSONL checkpoints for long sweeps.
+
+A killed K* ladder or Pareto sweep should not forfeit its completed
+solves.  A :class:`Checkpoint` persists one JSON record per completed
+unit of work (a ladder rung, a sweep budget) under a header that pins the
+schema version, the checkpoint kind and the sweep's identity metadata;
+on resume the completed records are replayed as
+:class:`RestoredResult`\\ s so the selection logic runs over the exact
+recorded objectives and the resumed run selects the same winner as an
+uninterrupted one.
+
+Every write rewrites the whole file to a sibling temp file and
+``os.replace``\\ s it into place, so the file on disk is always a
+complete, parseable snapshot — a kill between writes loses at most the
+in-flight record, never the file.  Loading tolerates a truncated final
+line (an interrupted non-atomic copy); any other damage — a mangled
+interior record, a bad header, mismatched identity metadata — raises the
+typed :class:`CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.milp.solution import SolveStatus
+from repro.resilience import faults
+
+#: Bump when the record layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is unusable (corrupt, wrong kind, wrong meta)."""
+
+
+@dataclass
+class RestoredResult:
+    """Stand-in for a :class:`~repro.core.results.SynthesisResult` whose
+    solve was recorded in a checkpoint.
+
+    Carries exactly what the sweeps' selection rules consume — status,
+    objective value, wall-clock seconds — plus ``restored=True`` so
+    reports can tell replayed rungs from fresh ones.  The decoded
+    architecture is not checkpointed; re-solve the selected rung (its
+    encode work is cache-hot) when the design itself is needed.
+    """
+
+    status: SolveStatus
+    objective_value: float = float("nan")
+    total_seconds: float = 0.0
+    objective_terms: dict[str, float] = field(default_factory=dict)
+    restored: bool = True
+    architecture: Any = None
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the recorded solve produced a usable design."""
+        return self.status.has_solution
+
+    def stats_dict(self) -> dict:
+        """JSON-ready statistics (mirrors ``SynthesisResult.stats_dict``)."""
+        payload: dict = {
+            "status": self.status.value,
+            "feasible": self.feasible,
+            "restored": True,
+            "total_seconds": round(self.total_seconds, 6),
+        }
+        if self.feasible:
+            payload["objective"] = self.objective_value
+        if self.objective_terms:
+            payload["objective_terms"] = dict(self.objective_terms)
+        return payload
+
+
+class Checkpoint:
+    """One JSONL checkpoint file: a header plus completed-work records.
+
+    ``kind`` names the producing sweep (``"kstar"``, ``"pareto"``);
+    ``meta`` pins the sweep's identity (ladder, objective, point count).
+    :meth:`load` refuses a file whose header disagrees on either — a
+    checkpoint must never silently resume a *different* problem.
+    """
+
+    def __init__(self, path: str | Path, kind: str, meta: dict) -> None:
+        self.path = Path(path)
+        self.kind = kind
+        self.meta = dict(meta)
+        self._records: list[dict] = []
+
+    @property
+    def records(self) -> list[dict]:
+        """The records appended or loaded so far (shared list; do not
+        mutate)."""
+        return self._records
+
+    def load(self) -> list[dict]:
+        """Read the file's records (``[]`` when the file does not exist).
+
+        Raises :class:`CheckpointError` on schema/kind/meta mismatch or
+        interior corruption; a truncated *final* line is dropped (it is
+        the normal signature of a killed writer on non-atomic storage).
+        """
+        if not self.path.exists():
+            self._records = []
+            return self._records
+        lines = [
+            line for line in
+            self.path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        if not lines:
+            self._records = []
+            return self._records
+        header = self._parse_line(lines[0], index=0, last=len(lines) == 1)
+        if header is None:
+            raise CheckpointError(
+                f"{self.path}: unreadable checkpoint header"
+            )
+        self._check_header(header)
+        records: list[dict] = []
+        for index, line in enumerate(lines[1:], start=1):
+            record = self._parse_line(
+                line, index=index, last=index == len(lines) - 1
+            )
+            if record is None:
+                break  # tolerated truncated tail
+            records.append(record)
+        self._records = records
+        return records
+
+    def append(self, record: dict) -> None:
+        """Persist ``record`` (the whole file is atomically rewritten)."""
+        self._records.append(dict(record))
+        self._flush()
+
+    # -- internals ----------------------------------------------------------
+
+    def _header(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION, "kind": self.kind, "meta": self.meta,
+        }
+
+    def _check_header(self, header: dict) -> None:
+        schema = header.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise CheckpointError(
+                f"{self.path}: schema {schema!r} is not the supported "
+                f"version {SCHEMA_VERSION}"
+            )
+        if header.get("kind") != self.kind:
+            raise CheckpointError(
+                f"{self.path}: checkpoint kind {header.get('kind')!r} does "
+                f"not match expected {self.kind!r}"
+            )
+        if header.get("meta") != self.meta:
+            raise CheckpointError(
+                f"{self.path}: checkpoint metadata {header.get('meta')!r} "
+                f"does not match this run's {self.meta!r}; refusing to "
+                f"resume a different sweep"
+            )
+
+    def _parse_line(self, line: str, *, index: int, last: bool) -> dict | None:
+        try:
+            value = json.loads(line)
+            if not isinstance(value, dict):
+                raise ValueError("record is not an object")
+            return value
+        except ValueError as exc:
+            if last:
+                return None
+            raise CheckpointError(
+                f"{self.path}: corrupted checkpoint record on line "
+                f"{index + 1}: {exc}"
+            ) from exc
+
+    def _flush(self) -> None:
+        lines = [json.dumps(self._header(), sort_keys=True)]
+        lines += [json.dumps(r, sort_keys=True) for r in self._records]
+        if faults.fires("checkpoint.corrupt") and lines:
+            # Simulate external damage: chop the last record mid-JSON and
+            # mangle an interior one so the next load must notice.
+            lines[-1] = lines[-1][: max(len(lines[-1]) // 2, 1)] + "#"
+        text = "\n".join(lines) + "\n"
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, self.path)
+
+
+def restored_result(record: dict) -> RestoredResult:
+    """Rebuild a :class:`RestoredResult` from a checkpoint record.
+
+    The record must carry ``status``; ``objective``, ``seconds`` and
+    ``terms`` are optional.  Raises :class:`CheckpointError` on a record
+    that does not round-trip.
+    """
+    try:
+        status = SolveStatus(record["status"])
+        objective = record.get("objective")
+        return RestoredResult(
+            status=status,
+            objective_value=(
+                float("nan") if objective is None else float(objective)
+            ),
+            total_seconds=float(record.get("seconds", 0.0)),
+            objective_terms={
+                str(k): float(v)
+                for k, v in (record.get("terms") or {}).items()
+            },
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint record {record!r} is not restorable: {exc}"
+        ) from exc
+
+
+def result_record(result: Any) -> dict:
+    """The checkpoint payload for a finished solve's result.
+
+    Works for both :class:`~repro.core.results.SynthesisResult` and
+    :class:`RestoredResult` (re-checkpointing restored rungs is allowed).
+    """
+    record: dict = {
+        "status": result.status.value,
+        "seconds": round(float(result.total_seconds), 6),
+    }
+    if result.feasible:
+        record["objective"] = float(result.objective_value)
+    terms = getattr(result, "objective_terms", None)
+    if terms:
+        record["terms"] = {k: float(v) for k, v in terms.items()}
+    return record

@@ -1,0 +1,338 @@
+"""The solver watchdog: retries, fallback chain, graceful degradation.
+
+MILP solve times are unpredictable and solvers fail in practice — they
+time out, return ``ERROR``, or crash outright.  :class:`ResilientSolver`
+wraps any MILP backend with the standard MILP-practice response ladder:
+
+1. **Per-attempt time limits** derived from a hierarchical
+   :class:`~repro.resilience.policy.DeadlineBudget` (never exceed the
+   run's deadline, never exceed the backend's own configured limit);
+2. **Retry with exponential backoff** on ``ERROR``/crash/hang, under an
+   injectable :class:`~repro.resilience.policy.RetryPolicy`;
+3. **A fallback chain** — when the primary backend is out of attempts,
+   the next backend gets the model (default:
+   :class:`~repro.milp.highs.HighsSolver` →
+   :class:`~repro.milp.branch_and_bound.BranchAndBoundSolver`);
+4. **Graceful degradation** — a ``FEASIBLE`` incumbent at the deadline
+   is accepted (and flagged ``degraded``) instead of failing the run.
+
+Every attempt is recorded as a :class:`SolveAttempt`; the log rides on
+``Solution.extra["solve_attempts"]`` and surfaces as
+``SynthesisResult.solve_attempts`` with retry/fallback counters in
+``--stats-json``.  ``INFEASIBLE``/``UNBOUNDED`` are definitive answers,
+never retried.  The clock and sleep are injectable so tests run
+instantly and deterministically.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from dataclasses import dataclass
+from collections.abc import Sequence
+from typing import Any
+
+from repro.milp.model import Model
+from repro.milp.solution import Solution, SolveStatus
+from repro.resilience.policy import (
+    Clock,
+    DeadlineBudget,
+    RetryPolicy,
+    Sleep,
+)
+
+#: Statuses that end the solve immediately (a definitive answer or a
+#: usable design) — retrying them cannot improve the outcome.
+_DEFINITIVE = (
+    SolveStatus.OPTIMAL,
+    SolveStatus.FEASIBLE,
+    SolveStatus.INFEASIBLE,
+    SolveStatus.UNBOUNDED,
+)
+
+
+@dataclass
+class SolveAttempt:
+    """One solver attempt in a :class:`ResilientSolver` run."""
+
+    solver: str
+    attempt: int  # 1-based attempt count on this backend
+    status: str  # a SolveStatus value, or "crash" / "hang"
+    seconds: float = 0.0
+    message: str = ""
+    fallback: bool = False  # True when not the primary backend
+    degraded: bool = False  # True when an unproven incumbent was accepted
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (for ``--stats-json``)."""
+        return {
+            "solver": self.solver,
+            "attempt": self.attempt,
+            "status": self.status,
+            "seconds": round(self.seconds, 6),
+            "message": self.message,
+            "fallback": self.fallback,
+            "degraded": self.degraded,
+        }
+
+
+def attempt_counters(attempts: Sequence[SolveAttempt]) -> dict:
+    """Aggregate retry/fallback counters over an attempt log."""
+    return {
+        "attempts": len(attempts),
+        "retries": sum(1 for a in attempts if a.attempt > 1),
+        "fallbacks": len({a.solver for a in attempts if a.fallback}),
+        "degraded": any(a.degraded for a in attempts),
+    }
+
+
+class SolveFailure(RuntimeError):
+    """Every backend of a :class:`ResilientSolver` chain failed.
+
+    Carries the full attempt log for post-mortems.
+    """
+
+    def __init__(self, message: str, attempts: list[SolveAttempt]) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class SolverHang(TimeoutError):
+    """A backend exceeded the watchdog's hang guard and was abandoned."""
+
+
+def default_fallbacks() -> tuple[Any, ...]:
+    """The standard fallback chain behind the primary backend.
+
+    The from-scratch branch-and-bound solver shares no code with HiGHS,
+    so an input that trips a HiGHS bug (or an injected fault plan aimed
+    at it) still has an independent path to an answer; its node limit
+    bounds the worst case.
+    """
+    # Imported here, not at module level: the solver modules import the
+    # fault-injection hooks from this package, so a top-level import
+    # would close a cycle through the two package __init__ modules.
+    from repro.milp.branch_and_bound import BranchAndBoundSolver
+
+    return (BranchAndBoundSolver(node_limit=20_000),)
+
+
+class ResilientSolver:
+    """Wrap a MILP backend with timeouts, retries and a fallback chain.
+
+    Parameters
+    ----------
+    solver:
+        Primary backend; defaults to :class:`HighsSolver`.
+    fallbacks:
+        Backends tried in order once the primary is out of attempts.
+        ``None`` selects :func:`default_fallbacks`; pass ``()`` for no
+        fallback.
+    retry:
+        Backoff schedule per backend (default: two retries).
+    budget:
+        A shared :class:`DeadlineBudget` spanning *every* solve routed
+        through this instance (a ladder- or facade-level deadline).
+    deadline_s:
+        Convenience alternative to ``budget``: each ``solve()`` call
+        gets its own fresh deadline of this many seconds.
+    hang_timeout_s:
+        When set, each attempt runs on a guard thread and is abandoned
+        (status ``"hang"``) once it exceeds its time limit by this grace
+        period — protection against a backend that ignores its
+        ``time_limit``.  ``None`` (default) calls the backend inline.
+    raise_on_failure:
+        Raise :class:`SolveFailure` instead of returning a status-only
+        ``ERROR``/``TIMEOUT`` solution when the whole chain fails.
+    clock / sleep:
+        Injectable time sources (tests pass fakes; production uses
+        ``time.monotonic`` / ``time.sleep``).
+    """
+
+    name = "resilient"
+
+    def __init__(
+        self,
+        solver: Any = None,
+        *,
+        fallbacks: Sequence[Any] | None = None,
+        retry: RetryPolicy | None = None,
+        budget: DeadlineBudget | None = None,
+        deadline_s: float | None = None,
+        hang_timeout_s: float | None = None,
+        raise_on_failure: bool = False,
+        clock: Clock = time.monotonic,
+        sleep: Sleep = time.sleep,
+    ) -> None:
+        if solver is None:
+            # Deferred import (see default_fallbacks for the cycle note).
+            from repro.milp.highs import HighsSolver
+
+            solver = HighsSolver()
+        self.solver = solver
+        self.fallbacks = (
+            default_fallbacks() if fallbacks is None else tuple(fallbacks)
+        )
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.budget = budget
+        self.deadline_s = deadline_s
+        self.hang_timeout_s = hang_timeout_s
+        self.raise_on_failure = raise_on_failure
+        self._clock = clock
+        self._sleep = sleep
+
+    # -- public API ---------------------------------------------------------
+
+    def solve(self, model: Model) -> Solution:
+        """Run the chain on ``model``; always returns a :class:`Solution`
+        carrying the attempt log (unless ``raise_on_failure``)."""
+        budget = self._solve_budget()
+        attempts: list[SolveAttempt] = []
+        for index, backend in enumerate((self.solver, *self.fallbacks)):
+            is_fallback = index > 0
+            for attempt in range(1, self.retry.attempts + 1):
+                if budget.expired:
+                    return self._give_up(model, attempts, budget)
+                solution, record = self._attempt(
+                    backend, model, budget, attempt, is_fallback
+                )
+                attempts.append(record)
+                if solution is not None and solution.status in _DEFINITIVE:
+                    return self._finish(solution, attempts)
+                if (
+                    solution is not None
+                    and solution.status is SolveStatus.TIMEOUT
+                ):
+                    # A deterministic timeout with no incumbent: retrying
+                    # the same backend with the same limit is futile —
+                    # move down the chain (or give up at the deadline).
+                    break
+                if attempt < self.retry.attempts and not budget.expired:
+                    self.retry.backoff(
+                        attempt, sleep=self._sleep, budget=budget
+                    )
+        return self._give_up(model, attempts, budget)
+
+    def with_time_limit(self, seconds: float | None) -> ResilientSolver:
+        """A copy whose every solve is additionally bounded by
+        ``seconds`` (keeps the watchdog nestable where a plain solver is
+        expected)."""
+        clone = copy.copy(self)
+        clone.deadline_s = seconds
+        clone.budget = None
+        return clone
+
+    # -- internals ----------------------------------------------------------
+
+    def _solve_budget(self) -> DeadlineBudget:
+        if self.budget is not None:
+            return self.budget
+        return DeadlineBudget(self.deadline_s, clock=self._clock)
+
+    def _attempt(
+        self,
+        backend: Any,
+        model: Model,
+        budget: DeadlineBudget,
+        attempt: int,
+        is_fallback: bool,
+    ) -> tuple[Solution | None, SolveAttempt]:
+        limit = budget.solver_time_limit(
+            cap=getattr(backend, "time_limit", None)
+        )
+        configured = _with_time_limit(backend, limit)
+        name = getattr(backend, "name", type(backend).__name__)
+        record = SolveAttempt(
+            solver=name, attempt=attempt, status="crash", fallback=is_fallback
+        )
+        start = self._clock()
+        try:
+            solution = self._call(configured, model, limit)
+        except TimeoutError as exc:  # includes InjectedHang / SolverHang
+            record.status = "hang"
+            record.message = str(exc)
+            record.seconds = self._clock() - start
+            return None, record
+        except Exception as exc:  # noqa: BLE001 - any backend crash retries
+            record.message = f"{type(exc).__name__}: {exc}"
+            record.seconds = self._clock() - start
+            return None, record
+        record.seconds = self._clock() - start
+        record.status = solution.status.value
+        record.message = solution.message
+        if solution.status is SolveStatus.FEASIBLE:
+            # Graceful degradation: accept the incumbent at the limit
+            # rather than failing the rung; flag it for the stats.
+            record.degraded = True
+        return solution, record
+
+    def _call(self, backend: Any, model: Model, limit: float | None) -> Solution:
+        if self.hang_timeout_s is None:
+            return backend.solve(model)
+        box: dict[str, Any] = {}
+
+        def run() -> None:
+            try:
+                box["solution"] = backend.solve(model)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                box["error"] = exc
+
+        thread = threading.Thread(
+            target=run, name="repro-solve-guard", daemon=True
+        )
+        thread.start()
+        grace = self.hang_timeout_s + (limit or 0.0)
+        thread.join(grace)
+        if thread.is_alive():
+            raise SolverHang(
+                f"{getattr(backend, 'name', backend)} still running after "
+                f"{grace:.1f}s; abandoning the attempt"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["solution"]
+
+    def _finish(
+        self, solution: Solution, attempts: list[SolveAttempt]
+    ) -> Solution:
+        solution.extra["solve_attempts"] = attempts
+        return solution
+
+    def _give_up(
+        self,
+        model: Model,
+        attempts: list[SolveAttempt],
+        budget: DeadlineBudget,
+    ) -> Solution:
+        deadline = budget.expired
+        message = (
+            f"deadline exhausted after {len(attempts)} attempt(s)"
+            if deadline
+            else f"every backend failed after {len(attempts)} attempt(s)"
+        )
+        if self.raise_on_failure:
+            raise SolveFailure(f"{model.name}: {message}", attempts)
+        status = SolveStatus.TIMEOUT if deadline else SolveStatus.ERROR
+        return self._finish(
+            Solution(status=status, message=message), attempts
+        )
+
+
+def _with_time_limit(backend: Any, limit: float | None) -> Any:
+    """``backend`` configured to stop after ``limit`` seconds.
+
+    Prefers the backend's own ``with_time_limit`` hook; falls back to a
+    shallow copy with ``time_limit`` set, and leaves opaque backends
+    untouched (the hang guard is then the only protection).
+    """
+    if limit is None or getattr(backend, "time_limit", None) == limit:
+        return backend
+    hook = getattr(backend, "with_time_limit", None)
+    if callable(hook):
+        return hook(limit)
+    if hasattr(backend, "time_limit"):
+        clone = copy.copy(backend)
+        clone.time_limit = limit
+        return clone
+    return backend

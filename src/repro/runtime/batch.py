@@ -1,9 +1,9 @@
 """Parallel execution of independent exploration trials.
 
 A :class:`BatchRunner` runs a list of :class:`Trial`\\ s on a
-``concurrent.futures`` pool with per-trial timeouts, one retry on crash,
-and deterministic result ordering (outcomes always come back in
-submission order, whatever the completion order was).
+``concurrent.futures`` pool with per-trial timeouts, retry with optional
+backoff on crash, and deterministic result ordering (outcomes always come
+back in submission order, whatever the completion order was).
 
 Execution modes
 ---------------
@@ -24,10 +24,33 @@ Execution modes
 ``auto`` (default)
     ``sequential`` for one worker; otherwise ``process`` when every
     trial pickles, else ``thread``.
+
+Timeouts and worker recycling
+-----------------------------
+A timed-out trial yields an outcome with ``timed_out=True``, a
+:class:`TimeoutError` and the *measured* wall clock spent waiting.  The
+pool is then **recycled** so the overdue worker cannot squat on a slot
+forever: process pools have their worker processes terminated; thread
+pools are abandoned and replaced (a Python thread cannot be killed — the
+hung thread is left to finish on its own, but it no longer occupies a
+pool slot).  Unfinished trials are resubmitted to the fresh pool, so one
+runaway trial costs its own slot, not the batch.
+
+Resilience hooks
+----------------
+``retry_policy`` adds exponential backoff between crash retries (the
+sleep is injectable, so tests are instant); ``budget`` threads a
+:class:`~repro.resilience.policy.DeadlineBudget` through — the effective
+per-trial timeout is the minimum of the trial/runner timeout and the
+budget's remaining time, and trials that start after expiry fail fast
+with a :class:`TimeoutError` without running.  The ``worker.crash``
+fault site (see :mod:`repro.resilience.faults`) fires inside the worker
+wrapper, so injected crashes exercise the same retry path as real ones.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
 import time
@@ -42,6 +65,9 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
 from typing import Any
+
+from repro.resilience.faults import maybe_fire
+from repro.resilience.policy import DeadlineBudget, RetryPolicy
 
 MODES = ("auto", "process", "thread", "sequential")
 
@@ -84,7 +110,10 @@ class TrialOutcome:
 
 def _timed_call(fn: Callable, args: tuple, kwargs: dict) -> tuple[Any, float]:
     """Run ``fn`` and measure it inside the worker (module-level so it
-    pickles for process pools)."""
+    pickles for process pools).  Carries the ``worker.crash`` fault site:
+    under an active plan (installed, or ``REPRO_FAULTS`` inherited across
+    fork) the injected crash surfaces exactly like a real one."""
+    maybe_fire("worker.crash")
     start = time.perf_counter()
     value = fn(*args, **kwargs)
     return value, time.perf_counter() - start
@@ -110,12 +139,22 @@ class BatchRunner:
         One of :data:`MODES`; see the module docstring.
     timeout_s:
         Default per-trial timeout.  A timed-out trial yields an outcome
-        with ``timed_out=True`` and a :class:`TimeoutError`; it is not
-        retried.  (Pool-based modes only — a timed-out process trial may
-        keep occupying its worker until it finishes.)
+        with ``timed_out=True``, a :class:`TimeoutError` and the measured
+        wall clock; it is not retried, and the pool is recycled so the
+        overdue worker does not keep occupying a slot (pool-based modes
+        only).
     retries:
         How many times a *crashed* trial (one that raised, or whose
         worker process died) is resubmitted.  The default retries once.
+    retry_policy:
+        Optional backoff schedule between crash retries (no backoff when
+        ``None``, matching the historical behaviour).
+    budget:
+        Optional :class:`DeadlineBudget`; per-trial timeouts are clipped
+        to its remaining time and trials dispatched after expiry fail
+        fast with a :class:`TimeoutError`.
+    sleep:
+        Injectable sleep used for retry backoff (tests pass a fake).
     """
 
     def __init__(
@@ -125,6 +164,9 @@ class BatchRunner:
         mode: str = "auto",
         timeout_s: float | None = None,
         retries: int = 1,
+        retry_policy: RetryPolicy | None = None,
+        budget: DeadlineBudget | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
@@ -136,6 +178,12 @@ class BatchRunner:
         self.mode = mode
         self.timeout_s = timeout_s
         self.retries = retries
+        self.retry_policy = retry_policy
+        self.budget = budget
+        self._sleep = sleep
+        #: How many times a pool was torn down to reclaim a timed-out
+        #: worker (observability for --stats-json and tests).
+        self.recycled_pools = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -166,12 +214,45 @@ class BatchRunner:
             return "process"
         return "thread"
 
+    # -- shared helpers -----------------------------------------------------
+
+    def _effective_timeout(self, trial: Trial) -> float | None:
+        """The trial's timeout clipped to the budget's remaining time."""
+        timeout = (
+            trial.timeout_s if trial.timeout_s is not None else self.timeout_s
+        )
+        if self.budget is not None and self.budget.limited:
+            remaining = self.budget.remaining()
+            timeout = remaining if timeout is None else min(timeout, remaining)
+        return timeout
+
+    def _deadline_expired(self, outcome: TrialOutcome) -> bool:
+        """Fail ``outcome`` fast when the budget is already spent."""
+        if self.budget is None or not self.budget.expired:
+            return False
+        outcome.error = TimeoutError(
+            f"trial {outcome.label or outcome.index} not started: "
+            f"deadline budget exhausted"
+        )
+        outcome.timed_out = True
+        return True
+
+    def _backoff(self, attempt: int) -> None:
+        if self.retry_policy is not None:
+            self.retry_policy.backoff(
+                attempt, sleep=self._sleep, budget=self.budget
+            )
+
     # -- sequential ---------------------------------------------------------
 
     def _run_sequential(self, trials: list[Trial]) -> list[TrialOutcome]:
         outcomes = []
         for index, trial in enumerate(trials):
             outcome = TrialOutcome(index=index, label=trial.label)
+            outcomes.append(outcome)
+            if self._deadline_expired(outcome):
+                outcome.attempts = 0
+                continue
             for attempt in range(self.retries + 1):
                 outcome.attempts = attempt + 1
                 start = time.perf_counter()
@@ -183,7 +264,8 @@ class BatchRunner:
                 except Exception as exc:  # noqa: BLE001 - reported per trial
                     outcome.error = exc
                     outcome.seconds = time.perf_counter() - start
-            outcomes.append(outcome)
+                    if attempt < self.retries:
+                        self._backoff(attempt + 1)
         return outcomes
 
     # -- pooled -------------------------------------------------------------
@@ -196,6 +278,57 @@ class BatchRunner:
     def _submit(self, executor, trial: Trial) -> Future:
         return executor.submit(_timed_call, trial.fn, trial.args, trial.kwargs)
 
+    def _recycle_pool(self, executor, mode: str):
+        """Tear the pool down (reclaiming its workers) and build a fresh
+        one.
+
+        Process pools get their workers terminated outright — a
+        timed-out solve must not keep burning a CPU forever.  Thread
+        pools are abandoned and replaced: the hung thread cannot be
+        killed, but the replacement pool restores the configured
+        concurrency immediately.
+        """
+        self.recycled_pools += 1
+        if isinstance(executor, ProcessPoolExecutor):
+            # Kill workers *before* shutdown: shutdown(wait=False) hands
+            # the process table to the management thread (nulling
+            # ``_processes``), after which the hung worker can no longer
+            # be reached — it would survive the recycle and block
+            # interpreter exit.  Joining reaps the zombies so the
+            # management thread can wind down.
+            processes = getattr(executor, "_processes", None) or {}
+            for process in list(processes.values()):
+                process.terminate()
+            for process in list(processes.values()):
+                process.join()
+        executor.shutdown(wait=False, cancel_futures=True)
+        return self._make_executor(mode)
+
+    def _resubmit_unfinished(
+        self,
+        executor,
+        trials: list[Trial],
+        futures: list[Future],
+        start_index: int,
+    ) -> None:
+        """Re-place every not-yet-finished trial on a fresh pool (their
+        previous futures were cancelled or killed with the old pool).
+
+        Recycling cancels pending futures (``shutdown(cancel_futures=
+        True)``), which marks them *done*; those must be resubmitted too,
+        so the check is cancelled-or-unfinished rather than just
+        unfinished.  A process pool whose workers were just terminated
+        may instead fail its pending futures with ``BrokenExecutor``
+        before the cancel lands — those are equally unfinished."""
+        for j in range(start_index, len(trials)):
+            future = futures[j]
+            pending = future.cancelled() or not future.done()
+            if not pending and future.exception() is not None:
+                pending = isinstance(future.exception(), BrokenExecutor)
+            if pending:
+                future.cancel()
+                futures[j] = self._submit(executor, trials[j])
+
     def _run_pooled(self, trials: list[Trial], mode: str) -> list[TrialOutcome]:
         outcomes = [
             TrialOutcome(index=i, label=t.label) for i, t in enumerate(trials)
@@ -205,43 +338,56 @@ class BatchRunner:
             futures = [self._submit(executor, t) for t in trials]
             for index, trial in enumerate(trials):
                 outcome = outcomes[index]
-                future = futures[index]
-                timeout = (
-                    trial.timeout_s
-                    if trial.timeout_s is not None
-                    else self.timeout_s
-                )
+                if self._deadline_expired(outcome):
+                    futures[index].cancel()
+                    continue
+                timeout = self._effective_timeout(trial)
                 attempt = 0
+                wait_start = time.perf_counter()
                 while True:
                     attempt += 1
                     outcome.attempts = attempt
+                    future = futures[index]
                     try:
                         outcome.value, outcome.seconds = future.result(timeout)
                         outcome.error = None
                         break
                     except FutureTimeoutError:
                         future.cancel()
+                        waited = time.perf_counter() - wait_start
+                        shown = math.inf if timeout is None else timeout
                         outcome.error = TimeoutError(
                             f"trial {trial.label or index} exceeded "
-                            f"{timeout:.1f}s"
+                            f"{shown:.1f}s (waited {waited:.1f}s)"
                         )
                         outcome.timed_out = True
+                        outcome.seconds = waited
+                        # Reclaim the overdue worker: kill/abandon the
+                        # pool, then move every unfinished later trial
+                        # onto the replacement.
+                        executor = self._recycle_pool(executor, mode)
+                        self._resubmit_unfinished(
+                            executor, trials, futures, index + 1
+                        )
                         break
                     except (BrokenExecutor, CancelledError) as exc:
                         # The pool itself died (e.g. a worker crashed hard)
                         # and took this future with it: rebuild the pool
                         # before retrying, or give up.
-                        executor.shutdown(wait=False, cancel_futures=True)
-                        executor = self._make_executor(mode)
+                        executor = self._recycle_pool(executor, mode)
+                        self._resubmit_unfinished(
+                            executor, trials, futures, index + 1
+                        )
                         if attempt > self.retries:
                             outcome.error = exc
                             break
-                        future = self._submit(executor, trial)
+                        futures[index] = self._submit(executor, trial)
                     except Exception as exc:  # noqa: BLE001 - reported per trial
                         if attempt > self.retries:
                             outcome.error = exc
                             break
-                        future = self._submit(executor, trial)
+                        self._backoff(attempt)
+                        futures[index] = self._submit(executor, trial)
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
         return outcomes

@@ -31,6 +31,7 @@ from typing import Any
 
 from repro.graph.api import k_shortest_paths, resolve_backend
 from repro.graph.digraph import DiGraph
+from repro.resilience.faults import maybe_fire
 from repro.runtime.instrumentation import CacheCounters, RunStats
 
 #: Cache regions, used for counter attribution.
@@ -121,6 +122,10 @@ class EncodeCache:
 
         self._record(region, False, stats)
         try:
+            # Fault site "cache.compute": an injected failure takes the
+            # same cleanup path as a real one — the in-flight marker is
+            # evicted so the key stays retryable as a fresh miss.
+            maybe_fire("cache.compute")
             value = compute()
         except BaseException:
             with self._lock:

@@ -3,6 +3,14 @@
 import pytest
 
 from repro.library import default_catalog, localization_catalog
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_plan_leaks():
+    """Fault plans are process-global; never let one outlive its test."""
+    yield
+    faults.uninstall()
 from repro.network import (
     LifetimeRequirement,
     LinkQualityRequirement,

@@ -1,0 +1,188 @@
+"""Checkpoint/resume and deadline behaviour of the K* ladder search.
+
+Uses scripted fake explorers (no MILP solves), so an interrupted ladder
+can be replayed exactly and the resumed run compared rung for rung.
+"""
+
+import pytest
+
+from repro.milp.solution import Solution, SolveStatus
+from repro.resilience import DeadlineBudget, injected_faults
+from repro.resilience.faults import InjectedFault
+from repro.core.kstar_search import kstar_search
+
+#: K* -> (objective, seconds); chosen so K=5 wins and K=10 stops the scan.
+OBJECTIVES = {1: 120.0, 3: 100.0, 5: 80.0, 10: 80.0, 20: 80.0}
+
+
+class FakeResult:
+    """Quacks like a SynthesisResult as far as the ladder scan needs."""
+
+    def __init__(self, objective, seconds=0.5):
+        self.status = SolveStatus.OPTIMAL
+        self.feasible = True
+        self.objective_value = objective
+        self.total_seconds = seconds
+        self.objective_terms = {"cost": objective}
+        self.solution = Solution(
+            status=SolveStatus.OPTIMAL, objective=objective
+        )
+
+    def stats_dict(self):
+        return {"status": "optimal", "objective": self.objective_value}
+
+
+class FakeExplorer:
+    def __init__(self, k, log=None):
+        self.k = k
+        self.cache = None
+        self.solver = None
+        self.log = log if log is not None else []
+
+    def solve(self, objective):
+        self.log.append(self.k)
+        return FakeResult(OBJECTIVES[self.k])
+
+
+def make_factory(log):
+    return lambda k: FakeExplorer(k, log)
+
+
+class TestCheckpointResume:
+    def test_uninterrupted_run_with_checkpoint(self, tmp_path):
+        path = tmp_path / "ladder.jsonl"
+        log = []
+        search = kstar_search(
+            make_factory(log), ladder=(1, 3, 5, 10), checkpoint=path
+        )
+        assert search.best.k_star == 5
+        assert search.restored_ks == ()
+        assert path.exists()
+
+    def test_killed_ladder_resumes_and_selects_same_rung(self, tmp_path):
+        path = tmp_path / "ladder.jsonl"
+        baseline = kstar_search(make_factory([]), ladder=(1, 3, 5, 10))
+
+        # Kill the run right after the second rung checkpoints.
+        with injected_faults({"kstar.abort": [1]}):
+            with pytest.raises(InjectedFault):
+                kstar_search(
+                    make_factory([]), ladder=(1, 3, 5, 10), checkpoint=path
+                )
+
+        log = []
+        resumed = kstar_search(
+            make_factory(log), ladder=(1, 3, 5, 10),
+            checkpoint=path, resume=True,
+        )
+        # Completed rungs were replayed, not re-solved.
+        assert resumed.restored_ks == (1, 3)
+        assert log == [5, 10]
+        # Identical selection and identical recorded numbers.
+        assert resumed.best.k_star == baseline.best.k_star
+        assert resumed.best.objective == baseline.best.objective
+        assert resumed.stop_reason == baseline.stop_reason
+        assert [t.k_star for t in resumed.trials] == [
+            t.k_star for t in baseline.trials
+        ]
+        assert [t.objective for t in resumed.trials] == [
+            t.objective for t in baseline.trials
+        ]
+
+    def test_fully_checkpointed_run_resolves_nothing(self, tmp_path):
+        path = tmp_path / "ladder.jsonl"
+        kstar_search(make_factory([]), ladder=(1, 3, 5, 10), checkpoint=path)
+        log = []
+        resumed = kstar_search(
+            make_factory(log), ladder=(1, 3, 5, 10),
+            checkpoint=path, resume=True,
+        )
+        assert log == []
+        assert resumed.best.k_star == 5
+        assert set(resumed.restored_ks) == {1, 3, 5, 10}
+
+    def test_without_resume_flag_checkpoint_is_overwritten(self, tmp_path):
+        path = tmp_path / "ladder.jsonl"
+        kstar_search(make_factory([]), ladder=(1, 3), checkpoint=path)
+        log = []
+        kstar_search(make_factory(log), ladder=(1, 3), checkpoint=path)
+        assert log == [1, 3]  # solved fresh, no replay
+
+    def test_mismatched_ladder_refused(self, tmp_path):
+        from repro.resilience import CheckpointError
+
+        path = tmp_path / "ladder.jsonl"
+        kstar_search(make_factory([]), ladder=(1, 3), checkpoint=path)
+        with pytest.raises(CheckpointError):
+            kstar_search(
+                make_factory([]), ladder=(1, 3, 5),
+                checkpoint=path, resume=True,
+            )
+
+    def test_parallel_resume_matches_sequential(self, tmp_path):
+        path = tmp_path / "ladder.jsonl"
+        with injected_faults({"kstar.abort": [0]}):
+            with pytest.raises(InjectedFault):
+                kstar_search(
+                    make_factory([]), ladder=(1, 3, 5, 10), checkpoint=path
+                )
+        resumed = kstar_search(
+            make_factory([]), ladder=(1, 3, 5, 10),
+            checkpoint=path, resume=True, parallel=2,
+        )
+        assert resumed.restored_ks == (1,)
+        assert resumed.best.k_star == 5
+
+
+class TestDeadline:
+    def test_expired_budget_stops_ladder(self):
+        clock_now = [0.0]
+        budget = DeadlineBudget(1.0, clock=lambda: clock_now[0])
+        solved = []
+
+        def factory(k):
+            explorer = FakeExplorer(k, solved)
+            original = explorer.solve
+
+            def timed_solve(objective):
+                clock_now[0] += 0.6  # each rung burns 0.6 s
+                return original(objective)
+
+            explorer.solve = timed_solve
+            return explorer
+
+        search = kstar_search(factory, ladder=(1, 3, 5, 10), budget=budget)
+        # Rung 1 (0.6 s) and rung 3 (1.2 s total) run; rung 5 starts
+        # after expiry and is skipped.
+        assert solved == [1, 3]
+        assert search.stop_reason == "deadline exhausted"
+        assert search.best.k_star == 3
+
+    def test_deadline_does_not_mask_improvement_stop(self):
+        budget = DeadlineBudget(1e9)
+        search = kstar_search(
+            make_factory([]), ladder=(1, 3, 5, 10), budget=budget
+        )
+        assert search.stop_reason == "no further improvement"
+
+
+class TestResilientWiring:
+    def test_retry_wraps_rung_solver(self):
+        from repro.resilience import ResilientSolver, RetryPolicy
+
+        seen = []
+
+        def factory(k):
+            explorer = FakeExplorer(k)
+            explorer.solver = object()
+            original = explorer.solve
+
+            def check_solve(objective):
+                seen.append(type(explorer.solver))
+                return original(objective)
+
+            explorer.solve = check_solve
+            return explorer
+
+        kstar_search(factory, ladder=(1, 3), retry=RetryPolicy(max_retries=1))
+        assert all(cls is ResilientSolver for cls in seen)

@@ -181,3 +181,67 @@ class TestObjectiveConstant:
         sol = solver.solve(m)
         assert sol.objective == pytest.approx(10.5)
         assert sol.value(m.objective) == pytest.approx(10.5)
+
+
+class TestGapNormalization:
+    """The documented mip_gap convention: never NaN, never negative."""
+
+    def test_nan_with_feasible_becomes_inf(self):
+        from repro.milp.highs import normalized_gap
+
+        gap = normalized_gap(float("nan"), SolveStatus.FEASIBLE)
+        assert gap == float("inf")
+
+    def test_nan_with_optimal_becomes_zero(self):
+        from repro.milp.highs import normalized_gap
+
+        assert normalized_gap(float("nan"), SolveStatus.OPTIMAL) == 0.0
+
+    def test_missing_report_follows_status(self):
+        from repro.milp.highs import normalized_gap
+
+        assert normalized_gap(None, SolveStatus.OPTIMAL) == 0.0
+        assert normalized_gap(None, SolveStatus.FEASIBLE) == float("inf")
+
+    def test_finite_gap_passes_through(self):
+        from repro.milp.highs import normalized_gap
+
+        assert normalized_gap(0.015, SolveStatus.FEASIBLE) == 0.015
+        assert normalized_gap(0.0, SolveStatus.OPTIMAL) == 0.0
+
+    def test_tiny_negative_rounding_clamps_to_zero(self):
+        from repro.milp.highs import normalized_gap
+
+        assert normalized_gap(-1e-12, SolveStatus.OPTIMAL) == 0.0
+
+    def test_solved_gap_is_finite_and_nonnegative(self):
+        m, _ = knapsack_model()
+        sol = HighsSolver().solve(m)
+        assert np.isfinite(sol.mip_gap)
+        assert sol.mip_gap >= 0.0
+
+    def test_node_count_normalization(self):
+        from repro.milp.highs import normalized_node_count
+
+        assert normalized_node_count(None) == 0
+        assert normalized_node_count(float("nan")) == 0
+        assert normalized_node_count(17.0) == 17
+        assert normalized_node_count(-3) == 0
+
+
+class TestWithTimeLimit:
+    def test_highs_copy_keeps_original(self):
+        solver = HighsSolver(time_limit=300.0, mip_rel_gap=0.02)
+        clone = solver.with_time_limit(5.0)
+        assert clone is not solver
+        assert clone.time_limit == 5.0
+        assert clone.mip_rel_gap == 0.02
+        assert solver.time_limit == 300.0
+
+    def test_branch_and_bound_copy_keeps_original(self):
+        solver = BranchAndBoundSolver(time_limit=60.0, node_limit=100)
+        clone = solver.with_time_limit(2.0)
+        assert clone is not solver
+        assert clone.time_limit == 2.0
+        assert clone.node_limit == 100
+        assert solver.time_limit == 60.0

@@ -1,0 +1,136 @@
+"""Tests for JSONL checkpoint persistence, salvage and validation."""
+
+import json
+
+import pytest
+
+from repro.milp.solution import SolveStatus
+from repro.resilience import Checkpoint, CheckpointError
+from repro.resilience.checkpoint import (
+    SCHEMA_VERSION,
+    RestoredResult,
+    restored_result,
+    result_record,
+)
+
+META = {"ladder": [1, 3, 5], "objective": "cost"}
+
+
+def make(path):
+    return Checkpoint(path / "run.jsonl", "kstar", META)
+
+
+class TestRoundTrip:
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert make(tmp_path).load() == []
+
+    def test_append_then_load(self, tmp_path):
+        ckpt = make(tmp_path)
+        ckpt.append({"k_star": 1, "status": "optimal", "objective": 10.0})
+        ckpt.append({"k_star": 3, "status": "optimal", "objective": 8.0})
+        loaded = make(tmp_path).load()
+        assert [r["k_star"] for r in loaded] == [1, 3]
+        assert loaded[1]["objective"] == 8.0
+
+    def test_header_written_first(self, tmp_path):
+        ckpt = make(tmp_path)
+        ckpt.append({"k_star": 1, "status": "optimal"})
+        first = json.loads(
+            (tmp_path / "run.jsonl").read_text().splitlines()[0]
+        )
+        assert first == {"schema": SCHEMA_VERSION, "kind": "kstar",
+                         "meta": META}
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        ckpt = make(tmp_path)
+        ckpt.append({"k_star": 1, "status": "optimal"})
+        assert not (tmp_path / "run.jsonl.tmp").exists()
+
+
+class TestSalvageAndCorruption:
+    def test_truncated_final_line_dropped(self, tmp_path):
+        ckpt = make(tmp_path)
+        ckpt.append({"k_star": 1, "status": "optimal", "objective": 10.0})
+        ckpt.append({"k_star": 3, "status": "optimal", "objective": 8.0})
+        path = tmp_path / "run.jsonl"
+        text = path.read_text()
+        path.write_text(text[: len(text) - 12])  # kill signature
+        loaded = make(tmp_path).load()
+        assert [r["k_star"] for r in loaded] == [1]
+
+    def test_interior_corruption_raises(self, tmp_path):
+        ckpt = make(tmp_path)
+        ckpt.append({"k_star": 1, "status": "optimal"})
+        ckpt.append({"k_star": 3, "status": "optimal"})
+        path = tmp_path / "run.jsonl"
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:5] + "#garbage"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="line 2"):
+            make(tmp_path).load()
+
+    def test_unreadable_header_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("not json\n" + json.dumps({"k_star": 1}) + "\n")
+        with pytest.raises(CheckpointError):
+            make(tmp_path).load()
+
+
+class TestIdentityChecks:
+    def test_kind_mismatch(self, tmp_path):
+        make(tmp_path).append({"k_star": 1, "status": "optimal"})
+        other = Checkpoint(tmp_path / "run.jsonl", "pareto", META)
+        with pytest.raises(CheckpointError, match="kind"):
+            other.load()
+
+    def test_meta_mismatch(self, tmp_path):
+        make(tmp_path).append({"k_star": 1, "status": "optimal"})
+        other = Checkpoint(
+            tmp_path / "run.jsonl", "kstar",
+            {"ladder": [1, 2], "objective": "cost"},
+        )
+        with pytest.raises(CheckpointError, match="metadata"):
+            other.load()
+
+    def test_schema_mismatch(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        header = {"schema": SCHEMA_VERSION + 1, "kind": "kstar", "meta": META}
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(CheckpointError, match="schema"):
+            make(tmp_path).load()
+
+
+class TestRestoredResult:
+    def test_roundtrip_via_record(self):
+        restored = RestoredResult(
+            status=SolveStatus.OPTIMAL, objective_value=42.0,
+            total_seconds=1.5, objective_terms={"cost": 42.0},
+        )
+        record = result_record(restored)
+        back = restored_result(record)
+        assert back.status is SolveStatus.OPTIMAL
+        assert back.objective_value == 42.0
+        assert back.total_seconds == 1.5
+        assert back.objective_terms == {"cost": 42.0}
+        assert back.restored and back.feasible
+
+    def test_infeasible_record_has_no_objective(self):
+        restored = RestoredResult(status=SolveStatus.INFEASIBLE)
+        record = result_record(restored)
+        assert "objective" not in record
+        back = restored_result(record)
+        assert not back.feasible
+
+    def test_bad_record_raises_typed_error(self):
+        with pytest.raises(CheckpointError):
+            restored_result({"objective": 3.0})  # no status
+        with pytest.raises(CheckpointError):
+            restored_result({"status": "no-such-status"})
+
+    def test_stats_dict_flags_restored(self):
+        restored = RestoredResult(
+            status=SolveStatus.FEASIBLE, objective_value=7.0
+        )
+        payload = restored.stats_dict()
+        assert payload["restored"] is True
+        assert payload["objective"] == 7.0

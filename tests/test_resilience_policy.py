@@ -1,0 +1,129 @@
+"""Tests for deadline budgets and retry policies (fake clock, no sleeps)."""
+
+import math
+
+import pytest
+
+from repro.resilience import DeadlineBudget, RetryPolicy
+from repro.resilience.policy import NO_RETRY
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestDeadlineBudget:
+    def test_unlimited_never_expires(self):
+        clock = FakeClock()
+        budget = DeadlineBudget.unlimited(clock=clock)
+        clock.advance(1e9)
+        assert not budget.limited
+        assert not budget.expired
+        assert budget.remaining() == math.inf
+        assert budget.solver_time_limit() is None
+
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        budget = DeadlineBudget(10.0, clock=clock)
+        assert budget.remaining() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert budget.remaining() == pytest.approx(6.0)
+        assert not budget.expired
+        clock.advance(7.0)
+        assert budget.remaining() == 0.0
+        assert budget.expired
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            DeadlineBudget(-1.0)
+
+    def test_sub_budget_is_min_of_chain(self):
+        clock = FakeClock()
+        run = DeadlineBudget(100.0, clock=clock)
+        rung = run.sub(10.0)
+        assert rung.remaining() == pytest.approx(10.0)
+        # The child cannot outlive the parent.
+        clock.advance(95.0)
+        late = run.sub(10.0)
+        assert late.remaining() == pytest.approx(5.0)
+
+    def test_unlimited_child_of_limited_parent(self):
+        clock = FakeClock()
+        run = DeadlineBudget(8.0, clock=clock)
+        child = run.sub()  # no own deadline
+        assert child.limited
+        assert child.remaining() == pytest.approx(8.0)
+        clock.advance(9.0)
+        assert child.expired
+
+    def test_solver_time_limit_caps_and_floors(self):
+        clock = FakeClock()
+        budget = DeadlineBudget(30.0, clock=clock)
+        # Remaining below the solver's own cap wins.
+        assert budget.solver_time_limit(cap=300.0) == pytest.approx(30.0)
+        # The solver's cap wins when tighter.
+        assert budget.solver_time_limit(cap=5.0) == pytest.approx(5.0)
+        # Nearly expired budgets still yield a positive limit.
+        clock.advance(30.0)
+        assert budget.solver_time_limit(cap=300.0) == pytest.approx(1e-3)
+
+    def test_solver_time_limit_unlimited_with_cap(self):
+        budget = DeadlineBudget.unlimited(clock=FakeClock())
+        assert budget.solver_time_limit(cap=12.0) == pytest.approx(12.0)
+
+
+class TestRetryPolicy:
+    def test_attempts_counts_first_try(self):
+        assert RetryPolicy(max_retries=2).attempts == 3
+        assert NO_RETRY.attempts == 1
+
+    def test_exponential_delays_capped(self):
+        policy = RetryPolicy(
+            max_retries=5, base_delay_s=0.1, multiplier=2.0, max_delay_s=0.35
+        )
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.35)  # capped
+        assert policy.delay(4) == pytest.approx(0.35)
+
+    def test_delay_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_backoff_uses_injected_sleep(self):
+        slept = []
+        policy = RetryPolicy(base_delay_s=0.5, multiplier=2.0)
+        pause = policy.backoff(2, sleep=slept.append)
+        assert pause == pytest.approx(1.0)
+        assert slept == [pytest.approx(1.0)]
+
+    def test_backoff_clipped_to_budget(self):
+        clock = FakeClock()
+        budget = DeadlineBudget(0.3, clock=clock)
+        slept = []
+        policy = RetryPolicy(base_delay_s=1.0)
+        pause = policy.backoff(1, sleep=slept.append, budget=budget)
+        assert pause == pytest.approx(0.3)
+        assert slept == [pytest.approx(0.3)]
+
+    def test_zero_delay_skips_sleep(self):
+        slept = []
+        NO_RETRY.backoff(1, sleep=slept.append)
+        assert slept == []

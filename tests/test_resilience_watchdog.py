@@ -1,0 +1,293 @@
+"""Tests for the resilient solver watchdog (scripted backends, no sleeps)."""
+
+import threading
+
+import pytest
+
+from repro.milp.model import Model
+from repro.milp.solution import Solution, SolveStatus
+from repro.resilience import (
+    DeadlineBudget,
+    ResilientSolver,
+    RetryPolicy,
+    SolveAttempt,
+    SolveFailure,
+)
+from repro.resilience.policy import NO_RETRY
+from repro.resilience.watchdog import attempt_counters
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class ScriptedSolver:
+    """Replays a fixed sequence of outcomes.
+
+    Each script entry is a Solution, an Exception to raise, or a float:
+    seconds to advance the fake clock before returning OPTIMAL.
+    """
+
+    name = "scripted"
+
+    def __init__(self, script, clock=None, time_limit=None):
+        self.script = list(script)
+        self.calls = 0
+        self.clock = clock
+        self.time_limit = time_limit
+        self.seen_limits = []
+
+    def with_time_limit(self, seconds):
+        clone = ScriptedSolver(self.script, self.clock, seconds)
+        # Share mutable state so assertions see every call.
+        clone.script = self.script
+        clone.seen_limits = self.seen_limits
+        return clone
+
+    def solve(self, model):
+        self.seen_limits.append(self.time_limit)
+        self.calls += 1
+        step = self.script.pop(0)
+        if isinstance(step, tuple):  # (seconds_to_burn, outcome)
+            burn, step = step
+            if self.clock is not None:
+                self.clock.advance(burn)
+        if isinstance(step, BaseException):
+            raise step
+        if isinstance(step, (int, float)):
+            if self.clock is not None:
+                self.clock.advance(step)
+            return Solution(status=SolveStatus.OPTIMAL, objective=1.0)
+        return step
+
+
+def model():
+    m = Model(name="watchdog-test")
+    m.binary("x")
+    return m
+
+
+def make_solver(script, clock, **kwargs):
+    kwargs.setdefault("fallbacks", ())
+    kwargs.setdefault("retry", RetryPolicy(max_retries=2, base_delay_s=0.01))
+    backend = ScriptedSolver(script, clock)
+    solver = ResilientSolver(
+        backend, clock=clock, sleep=lambda s: clock.advance(s), **kwargs
+    )
+    return solver, backend
+
+
+class TestRetryAndFallback:
+    def test_error_then_optimal_retries(self):
+        clock = FakeClock()
+        solver, backend = make_solver(
+            [Solution(status=SolveStatus.ERROR, message="boom"), 0.5], clock
+        )
+        solution = solver.solve(model())
+        assert solution.status is SolveStatus.OPTIMAL
+        assert backend.calls == 2
+        log = solution.extra["solve_attempts"]
+        assert [a.status for a in log] == ["error", "optimal"]
+        assert log[0].attempt == 1 and log[1].attempt == 2
+
+    def test_crash_then_optimal_retries(self):
+        clock = FakeClock()
+        solver, backend = make_solver([RuntimeError("segv"), 0.1], clock)
+        solution = solver.solve(model())
+        assert solution.status is SolveStatus.OPTIMAL
+        log = solution.extra["solve_attempts"]
+        assert log[0].status == "crash"
+        assert "segv" in log[0].message
+
+    def test_hang_recorded_and_retried(self):
+        clock = FakeClock()
+        solver, _ = make_solver([TimeoutError("stuck"), 0.1], clock)
+        solution = solver.solve(model())
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.extra["solve_attempts"][0].status == "hang"
+
+    def test_fallback_chain_engaged(self):
+        clock = FakeClock()
+        primary = ScriptedSolver([RuntimeError("a"), RuntimeError("b")], clock)
+        backup = ScriptedSolver([0.2], clock)
+        backup.name = "backup"
+        solver = ResilientSolver(
+            primary, fallbacks=(backup,),
+            retry=RetryPolicy(max_retries=1, base_delay_s=0.01),
+            clock=clock, sleep=lambda s: clock.advance(s),
+        )
+        solution = solver.solve(model())
+        assert solution.status is SolveStatus.OPTIMAL
+        log = solution.extra["solve_attempts"]
+        assert [a.solver for a in log] == ["scripted", "scripted", "backup"]
+        assert [a.fallback for a in log] == [False, False, True]
+        counters = attempt_counters(log)
+        assert counters["retries"] == 1
+        assert counters["fallbacks"] == 1
+
+    def test_feasible_incumbent_accepted_as_degraded(self):
+        clock = FakeClock()
+        solver, _ = make_solver(
+            [Solution(status=SolveStatus.FEASIBLE, objective=9.0)], clock
+        )
+        solution = solver.solve(model())
+        assert solution.status is SolveStatus.FEASIBLE
+        log = solution.extra["solve_attempts"]
+        assert log[0].degraded
+        assert attempt_counters(log)["degraded"]
+
+    def test_infeasible_is_definitive_no_retry(self):
+        clock = FakeClock()
+        solver, backend = make_solver(
+            [Solution(status=SolveStatus.INFEASIBLE), 1.0], clock
+        )
+        solution = solver.solve(model())
+        assert solution.status is SolveStatus.INFEASIBLE
+        assert backend.calls == 1
+
+    def test_timeout_without_incumbent_moves_down_chain(self):
+        clock = FakeClock()
+        primary = ScriptedSolver([Solution(status=SolveStatus.TIMEOUT)], clock)
+        backup = ScriptedSolver([0.2], clock)
+        solver = ResilientSolver(
+            primary, fallbacks=(backup,), retry=RetryPolicy(max_retries=2),
+            clock=clock, sleep=lambda s: clock.advance(s),
+        )
+        solution = solver.solve(model())
+        assert solution.status is SolveStatus.OPTIMAL
+        # No second attempt on the primary: its deterministic timeout
+        # would just repeat.
+        assert primary.calls == 1 and backup.calls == 1
+
+
+class TestFailureAndDeadline:
+    def test_all_backends_fail_returns_error(self):
+        clock = FakeClock()
+        solver, _ = make_solver(
+            [RuntimeError("1"), RuntimeError("2"), RuntimeError("3")], clock,
+            retry=RetryPolicy(max_retries=2, base_delay_s=0.01),
+        )
+        solution = solver.solve(model())
+        assert solution.status is SolveStatus.ERROR
+        assert len(solution.extra["solve_attempts"]) == 3
+
+    def test_raise_on_failure(self):
+        clock = FakeClock()
+        solver, _ = make_solver(
+            [RuntimeError("x")], clock, retry=NO_RETRY, raise_on_failure=True
+        )
+        with pytest.raises(SolveFailure) as excinfo:
+            solver.solve(model())
+        assert len(excinfo.value.attempts) == 1
+
+    def test_deadline_expiry_returns_timeout(self):
+        clock = FakeClock()
+        budget = DeadlineBudget(1.0, clock=clock)
+        # The first attempt burns 2 s before crashing, so the second
+        # attempt starts expired and the watchdog gives up.
+        solver, backend = make_solver(
+            [(2.0, RuntimeError("slow")), (2.0, RuntimeError("slow")), 0.1],
+            clock, budget=budget,
+        )
+        solution = solver.solve(model())
+        assert solution.status is SolveStatus.TIMEOUT
+        assert len(backend.seen_limits) == 1
+        assert "deadline" in solution.message
+
+    def test_backoff_clipped_to_remaining_budget(self):
+        clock = FakeClock()
+        budget = DeadlineBudget(10.0, clock=clock)
+        slept = []
+        backend = ScriptedSolver([RuntimeError("x"), 0.1], clock)
+        solver = ResilientSolver(
+            backend, fallbacks=(), budget=budget,
+            retry=RetryPolicy(max_retries=1, base_delay_s=0.25),
+            clock=clock, sleep=lambda s: (slept.append(s), clock.advance(s)),
+        )
+        solution = solver.solve(model())
+        assert solution.status is SolveStatus.OPTIMAL
+        assert slept == [pytest.approx(0.25)]
+
+    def test_per_attempt_limit_clipped_to_budget(self):
+        clock = FakeClock()
+        budget = DeadlineBudget(5.0, clock=clock)
+        backend = ScriptedSolver([0.1], clock, time_limit=300.0)
+        solver = ResilientSolver(
+            backend, fallbacks=(), budget=budget, retry=NO_RETRY,
+            clock=clock, sleep=lambda s: clock.advance(s),
+        )
+        solver.solve(model())
+        assert backend.seen_limits == [pytest.approx(5.0)]
+
+    def test_deadline_s_builds_fresh_budget_per_solve(self):
+        clock = FakeClock()
+        backend = ScriptedSolver([0.1, 0.1], clock, time_limit=None)
+        solver = ResilientSolver(
+            backend, fallbacks=(), deadline_s=4.0, retry=NO_RETRY,
+            clock=clock, sleep=lambda s: clock.advance(s),
+        )
+        solver.solve(model())
+        clock.advance(100.0)  # a stale shared budget would be expired now
+        solution = solver.solve(model())
+        assert solution.status is SolveStatus.OPTIMAL
+        assert backend.seen_limits == [pytest.approx(4.0)] * 2
+
+    def test_with_time_limit_copy(self):
+        solver = ResilientSolver(ScriptedSolver([]), fallbacks=())
+        clone = solver.with_time_limit(7.0)
+        assert clone is not solver
+        assert clone.deadline_s == 7.0
+        assert solver.deadline_s is None
+
+
+class TestHangGuard:
+    def test_hung_backend_abandoned(self):
+        release = threading.Event()
+
+        class Hanger:
+            name = "hanger"
+
+            def solve(self, m):
+                release.wait(5.0)
+                return Solution(status=SolveStatus.OPTIMAL)
+
+        quick = ScriptedSolver([Solution(status=SolveStatus.OPTIMAL,
+                                         objective=2.0)])
+        solver = ResilientSolver(
+            Hanger(), fallbacks=(quick,), retry=NO_RETRY,
+            hang_timeout_s=0.05,
+        )
+        try:
+            solution = solver.solve(model())
+        finally:
+            release.set()
+        assert solution.status is SolveStatus.OPTIMAL
+        log = solution.extra["solve_attempts"]
+        assert log[0].status == "hang"
+        assert log[0].solver == "hanger"
+        assert log[1].solver == "scripted"
+
+
+class TestIntegration:
+    def test_wraps_real_solver_end_to_end(self, grid_instance, library,
+                                          grid_requirements):
+        import repro
+
+        result = repro.explore(
+            grid_instance.template, library, grid_requirements,
+            objective="cost", deadline_s=120.0, max_retries=1,
+        )
+        assert result.feasible
+        assert len(result.solve_attempts) == 1
+        assert isinstance(result.solve_attempts[0], SolveAttempt)
+        payload = result.stats_dict()["resilience"]
+        assert payload["attempts"] == 1
+        assert payload["retries"] == 0
+        assert payload["attempt_log"][0]["solver"] == "highs"

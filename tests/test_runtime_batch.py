@@ -134,3 +134,117 @@ class TestFailureHandling:
             Trial(square, (1,)),  # second trial forces pooled mode
         ])[:1]
         assert outcome.ok and outcome.value == 9
+
+
+def blocked_until(path, poll=0.01):
+    """Busy-wait until the sentinel file exists (hung-worker stand-in)."""
+    while not path.exists():
+        time.sleep(poll)
+    return "finally done"
+
+
+class TestWorkerRecycling:
+    """A timed-out trial must not keep squatting on a pool slot."""
+
+    def test_thread_timeout_recycles_and_later_trials_complete(self, tmp_path):
+        release = tmp_path / "release"
+        runner = BatchRunner(workers=2, mode="thread", timeout_s=0.1)
+        try:
+            outcomes = runner.run([
+                Trial(blocked_until, (release,), label="hung"),
+                Trial(sleepy_identity, (1,)),
+                Trial(sleepy_identity, (2,)),
+                Trial(sleepy_identity, (3,)),
+            ])
+        finally:
+            release.write_text("go")  # unblock the abandoned thread
+        hung, *rest = outcomes
+        assert hung.timed_out and not hung.ok
+        assert isinstance(hung.error, TimeoutError)
+        # The outcome reports measured wall clock, not a placeholder.
+        assert hung.seconds >= 0.1
+        assert "waited" in str(hung.error)
+        assert [o.value for o in rest] == [1, 2, 3]
+        assert runner.recycled_pools == 1
+
+    def test_process_timeout_terminates_worker(self, tmp_path):
+        release = tmp_path / "never"
+        runner = BatchRunner(workers=2, mode="process", timeout_s=0.2)
+        outcomes = runner.run([
+            Trial(blocked_until, (release,), label="hung"),
+            Trial(square, (4,)),
+            Trial(square, (5,)),
+        ])
+        hung, a, b = outcomes
+        assert hung.timed_out and hung.seconds >= 0.2
+        assert (a.value, b.value) == (16, 25)
+        assert runner.recycled_pools == 1
+        # The sentinel never appeared: only a terminated worker explains
+        # the run finishing at all.
+
+    def test_no_recycle_when_nothing_times_out(self):
+        runner = BatchRunner(workers=2, mode="thread", timeout_s=5.0)
+        runner.run([Trial(square, (2,)), Trial(square, (3,))])
+        assert runner.recycled_pools == 0
+
+
+class TestResilienceHooks:
+    def test_backoff_between_crash_retries(self, tmp_path):
+        from repro.resilience import RetryPolicy
+
+        slept = []
+        sentinel = tmp_path / "crashed"
+        runner = BatchRunner(
+            workers=1, retries=1,
+            retry_policy=RetryPolicy(base_delay_s=0.125, multiplier=2.0),
+            sleep=slept.append,
+        )
+        (outcome,) = runner.run([Trial(fail_until_sentinel, (sentinel,))])
+        assert outcome.ok and outcome.attempts == 2
+        assert slept == [pytest.approx(0.125)]
+
+    def test_backoff_pooled_mode(self, tmp_path):
+        from repro.resilience import RetryPolicy
+
+        slept = []
+        sentinel = tmp_path / "crashed"
+        runner = BatchRunner(
+            workers=2, mode="thread", retries=1,
+            retry_policy=RetryPolicy(base_delay_s=0.25),
+            sleep=slept.append,
+        )
+        outcomes = runner.run([
+            Trial(fail_until_sentinel, (sentinel,)),
+            Trial(square, (3,)),
+        ])
+        assert outcomes[0].ok and outcomes[1].value == 9
+        assert slept == [pytest.approx(0.25)]
+
+    def test_expired_budget_fails_trials_fast(self):
+        from repro.resilience import DeadlineBudget
+
+        clock = [0.0]
+        budget = DeadlineBudget(1.0, clock=lambda: clock[0])
+        clock[0] = 2.0  # already past the deadline
+        runner = BatchRunner(workers=1, budget=budget)
+        started = []
+        (outcome,) = runner.run([Trial(lambda: started.append(1))])
+        assert not outcome.ok and outcome.timed_out
+        assert isinstance(outcome.error, TimeoutError)
+        assert started == []  # never dispatched
+
+    def test_budget_clips_effective_timeout(self):
+        from repro.resilience import DeadlineBudget
+
+        clock = [0.0]
+        budget = DeadlineBudget(0.4, clock=lambda: clock[0])
+        runner = BatchRunner(
+            workers=2, mode="thread", timeout_s=60.0, budget=budget
+        )
+        assert runner._effective_timeout(Trial(square, (1,))) == (
+            pytest.approx(0.4)
+        )
+        clock[0] = 0.3
+        assert runner._effective_timeout(Trial(square, (1,))) == (
+            pytest.approx(0.1)
+        )

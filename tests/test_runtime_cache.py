@@ -148,3 +148,64 @@ class TestReachRankings:
         assert rankings == inline
         cache.reach_rankings(instance.channel, anchors, instance.test_points)
         assert cache.counters.hit_count("pathloss") == 1
+
+
+class TestFailedComputeRecovery:
+    """A failed compute must leave the key retryable as a fresh miss."""
+
+    def test_concurrent_waiters_recover_after_failure(self):
+        cache = EncodeCache()
+        release = threading.Event()
+        outcomes = []
+
+        def failing():
+            release.wait(5.0)
+            raise RuntimeError("first computer dies")
+
+        def first():
+            try:
+                cache.get_or_compute("yen", "shared", failing)
+            except RuntimeError as exc:
+                outcomes.append(("error", str(exc)))
+
+        def waiter():
+            # Blocks on the in-flight marker; once the first computer
+            # fails, retries the compute itself and succeeds.
+            outcomes.append(("ok", cache.get_or_compute(
+                "yen", "shared", lambda: "recovered"
+            )))
+
+        t1 = threading.Thread(target=first)
+        t1.start()
+        time.sleep(0.05)  # let the first computer claim the marker
+        t2 = threading.Thread(target=waiter)
+        t2.start()
+        time.sleep(0.05)  # let the waiter block on the marker
+        release.set()
+        t1.join()
+        t2.join()
+        assert ("ok", "recovered") in outcomes
+        assert ("error", "first computer dies") in outcomes
+        assert cache.get_or_compute("yen", "shared", lambda: "x") == "recovered"
+
+    def test_injected_compute_fault_keeps_key_retryable(self):
+        from repro.resilience import injected_faults
+        from repro.resilience.faults import InjectedFault
+
+        cache = EncodeCache()
+        with injected_faults({"cache.compute": 1}):
+            with pytest.raises(InjectedFault):
+                cache.get_or_compute("yen", "k", lambda: "never")
+            assert len(cache) == 0
+            # Same key, next request: fresh miss, computes normally.
+            assert cache.get_or_compute("yen", "k", lambda: "ok") == "ok"
+        assert cache.counters.miss_count("yen") == 2
+
+    def test_failure_does_not_poison_other_keys(self):
+        cache = EncodeCache()
+        with pytest.raises(ValueError):
+            cache.get_or_compute("yen", "bad", lambda: (_ for _ in ()).throw(
+                ValueError("boom")
+            ))
+        assert cache.get_or_compute("yen", "good", lambda: 7) == 7
+        assert len(cache) == 1

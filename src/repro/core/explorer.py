@@ -111,6 +111,25 @@ class ExplorerBase(abc.ABC):
         self.cache = cache
         self.analyze = analyze
 
+    def fingerprint(self) -> str:
+        """A short stable hash of the problem identity (template,
+        library, requirements, channel — not solver/encoder tuning).
+
+        Checkpoints pin this in their header so a resume against a
+        different problem instance is refused instead of silently
+        replaying another problem's objectives (see
+        :mod:`repro.resilience.checkpoint`).
+        """
+        from repro.resilience.checkpoint import problem_fingerprint
+
+        return problem_fingerprint(
+            self.template,
+            self.library,
+            getattr(self, "requirements", None)
+            or getattr(self, "requirement", None),
+            getattr(self, "channel", None),
+        )
+
     def build(
         self,
         objective: str | dict | ObjectiveSpec = "cost",

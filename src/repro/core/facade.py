@@ -25,6 +25,8 @@ from repro.core.explorer import (
 )
 from repro.core.objectives import ObjectiveSpec
 from repro.core.results import SynthesisResult
+from repro.milp.model import ModelStats
+from repro.milp.solution import Solution, SolveStatus
 from repro.encoding.approximate import ApproximatePathEncoder
 from repro.library.catalog import Library
 from repro.network.requirements import ReachabilityRequirement, RequirementSet
@@ -122,7 +124,10 @@ def explore(
     solver in a :class:`~repro.resilience.watchdog.ResilientSolver`
     (retry on ``ERROR``/crash, fallback chain, incumbent acceptance at
     the deadline — see docs/robustness.md), and each result then carries
-    its per-attempt log under ``result.solve_attempts``.
+    its per-attempt log under ``result.solve_attempts``.  An objective
+    whose trial runs out of deadline (or never starts because the budget
+    is spent) degrades gracefully to an infeasible ``TIMEOUT`` result in
+    its slot rather than raising; any other trial failure is re-raised.
     """
     if cache is None:
         cache = EncodeCache()
@@ -151,5 +156,30 @@ def explore(
         Trial(explorer.solve, (obj,), label=f"explore:{obj}", timeout_s=timeout_s)
         for obj in objectives
     ])
-    results = [outcome.unwrap() for outcome in outcomes]
+    results = []
+    for outcome in outcomes:
+        if outcome.ok:
+            results.append(outcome.value)
+        elif outcome.timed_out:
+            # Deadline exhausted (or per-trial timeout): degrade to a
+            # status-only TIMEOUT result instead of blowing up the call.
+            results.append(_timeout_result(explorer, outcome))
+        else:
+            raise outcome.error
     return results[0] if single else results
+
+
+def _timeout_result(explorer: ExplorerBase, outcome) -> SynthesisResult:
+    """A status-only ``TIMEOUT`` result for a trial the runtime gave up
+    on (deadline budget spent, or the per-trial timeout fired)."""
+    return SynthesisResult(
+        status=SolveStatus.TIMEOUT,
+        architecture=None,
+        solution=Solution(
+            status=SolveStatus.TIMEOUT, message=str(outcome.error)
+        ),
+        model_stats=ModelStats(0, 0, 0, 0),
+        encode_seconds=0.0,
+        solve_seconds=outcome.seconds,
+        encoder_name=getattr(explorer, "encoder_name", "unknown"),
+    )

@@ -136,9 +136,11 @@ def kstar_search(
     ``deadline_s``/``budget`` cap the ladder's wall clock; ``retry``
     turns every rung's solver into a
     :class:`~repro.resilience.watchdog.ResilientSolver`.  ``checkpoint``
-    names a JSONL file receiving one record per completed rung;
+    names a JSONL file receiving one record per completed rung, written
+    as each rung's solve lands (also under ``parallel``);
     ``resume=True`` replays recorded rungs instead of re-solving them
-    (the file must describe the same ladder and objective, else
+    (the file must describe the same ladder, objective and problem
+    fingerprint, else
     :class:`~repro.resilience.checkpoint.CheckpointError`).
     """
     ladder = tuple(ladder)
@@ -150,7 +152,14 @@ def kstar_search(
     if checkpoint is not None:
         ckpt = Checkpoint(
             checkpoint, "kstar",
-            {"ladder": list(ladder), "objective": objective},
+            {
+                "ladder": list(ladder),
+                "objective": objective,
+                # Pin the checkpoint to the problem itself, not just the
+                # sweep shape, so a file from a different template or
+                # requirement set is refused instead of silently replayed.
+                "problem": _problem_of(make_explorer(ladder[0])),
+            },
         )
         if resume:
             for record in ckpt.load():
@@ -172,23 +181,44 @@ def kstar_search(
     if parallel > 1 or runner is not None:
         runner = runner or BatchRunner(workers=parallel, budget=budget)
         pending = [k for k in ladder if k not in restored]
+        solved: dict[int, KStarTrial] = {}
+        timed_out: set[int] = set()
+
+        def collect(outcome) -> None:
+            # Checkpoint each rung the moment its solve lands, so a kill
+            # mid-batch keeps every completed rung, not just the ones a
+            # later scan would have consumed.
+            if outcome.ok:
+                solved[outcome.value.k_star] = checkpointed(outcome.value)
+            elif outcome.timed_out:
+                timed_out.add(pending[outcome.index])
+
         outcomes = runner.run([
             Trial(
                 _solve_rung, (make_explorer, k, objective, cache, budget, retry),
                 label=f"kstar:K={k}",
             )
             for k in pending
-        ])
-        solved = {
-            k: outcome.unwrap() for k, outcome in zip(pending, outcomes)
-        }
+        ], on_outcome=collect)
 
         def ordered() -> Iterator[KStarTrial]:
+            nonlocal deadline_hit
+            for k, outcome in zip(pending, outcomes):
+                # A rung that crashed for a non-deadline reason (even
+                # after the runner's retries) still aborts the search.
+                if not outcome.ok and not outcome.timed_out:
+                    outcome.unwrap()
             for k in ladder:
                 if k in restored:
                     yield restored[k]
+                elif k in timed_out:
+                    # The budget ran out before this rung finished; the
+                    # ladder stops here, exactly as a sequential scan
+                    # that hit the deadline would.
+                    deadline_hit = True
+                    return
                 else:
-                    yield checkpointed(solved[k])
+                    yield solved[k]
 
         trials: Iterable[KStarTrial] = ordered()
     else:
@@ -219,6 +249,13 @@ def kstar_search(
         t.k_star for t in result.trials if t.restored
     )
     return result
+
+
+def _problem_of(explorer: ExplorerBase) -> str | None:
+    """The explorer's problem fingerprint (``None`` for explorers that
+    cannot identify their problem, e.g. hand-rolled test doubles)."""
+    fingerprint = getattr(explorer, "fingerprint", None)
+    return fingerprint() if callable(fingerprint) else None
 
 
 def _solve_rung(

@@ -109,10 +109,14 @@ def explore_pareto(
     budget is an independent MILP.  The default runner uses threads so
     the explorer's encode cache is shared across sweep points.
 
-    ``deadline_s``/``budget`` bound the whole sweep, ``retry`` puts every
-    solve under the solver watchdog, and ``checkpoint``/``resume``
-    persist and replay the extremes and completed sweep points (the
-    checkpoint must describe the same primary/secondary/points triple).
+    ``deadline_s``/``budget`` bound the whole sweep; points the deadline
+    cuts off are omitted from the front (and left out of the checkpoint,
+    so a resume re-solves them) rather than failing the sweep.
+    ``retry`` puts every solve under the solver watchdog, and
+    ``checkpoint``/``resume`` persist and replay the extremes and
+    completed sweep points, each written the moment its solve lands (the
+    checkpoint must describe the same primary/secondary/points triple
+    and the same problem fingerprint).
     """
     if points < 2:
         raise ValueError("need at least two sweep points")
@@ -125,9 +129,18 @@ def explore_pareto(
     restored_extremes: dict[str, dict] = {}
     restored_points: dict[int, dict] = {}
     if checkpoint is not None:
+        fingerprint = getattr(explorer, "fingerprint", None)
         ckpt = Checkpoint(
             checkpoint, "pareto",
-            {"primary": primary, "secondary": secondary, "points": points},
+            {
+                "primary": primary, "secondary": secondary, "points": points,
+                # Pin the problem itself, not just the sweep shape, so a
+                # checkpoint from a different template/requirement set is
+                # refused instead of silently replayed.
+                "problem": (
+                    fingerprint() if callable(fingerprint) else None
+                ),
+            },
         )
         if resume:
             for record in ckpt.load():
@@ -184,38 +197,58 @@ def _sweep(
     pending = [
         (i, b) for i, b in enumerate(budgets) if i not in restored_points
     ]
+    fresh: dict[int, ParetoPoint | None] = {}
+
+    def finish(index: int, b: float, point: ParetoPoint | None) -> None:
+        """Record a completed point the moment its solve lands, so a
+        kill mid-sweep keeps every finished point on disk."""
+        fresh[index] = point
+        if ckpt is not None:
+            ckpt.append(_point_record(index, b, point))
+
     if parallel > 1 or runner is not None:
         # Threads keep the explorer (and its cache) shared; the MILP
         # solves release the GIL inside HiGHS.
         runner = runner or BatchRunner(
             workers=parallel, mode="thread", budget=budget
         )
+
+        def collect(outcome) -> None:
+            if outcome.ok:
+                index, b = pending[outcome.index]
+                finish(index, b, outcome.value)
+
         outcomes = runner.run([
             Trial(
                 _solve_budget, (explorer, primary, secondary, b),
                 label=f"pareto:{secondary}<={b:.3g}",
             )
             for _, b in pending
-        ])
-        fresh = {
-            i: outcome.unwrap()
-            for (i, _), outcome in zip(pending, outcomes)
-        }
+        ], on_outcome=collect)
+        for (index, _), outcome in zip(pending, outcomes):
+            if outcome.ok or outcome.timed_out:
+                # Deadline-expired points are simply omitted (and not
+                # checkpointed, so a resume re-solves them); anything
+                # else is a genuine failure the caller must see.
+                continue
+            raise outcome.error
     else:
-        fresh = {
-            i: _solve_budget(explorer, primary, secondary, b)
-            for i, b in pending
-        }
+        for index, b in pending:
+            if budget is not None and budget.expired:
+                break  # deadline spent: leave the tail for a resume
+            point = _solve_budget(explorer, primary, secondary, b)
+            if point is None and budget is not None and budget.expired:
+                # The solve ran into the deadline rather than proving
+                # infeasibility — do not checkpoint it as infeasible.
+                continue
+            finish(index, b, point)
 
     solved: list[ParetoPoint | None] = []
     for index, b in enumerate(budgets):
         if index in restored_points:
             solved.append(_restore_point(restored_points[index], b))
-            continue
-        point = fresh[index]
-        if ckpt is not None:
-            ckpt.append(_point_record(index, b, point))
-        solved.append(point)
+        elif index in fresh:
+            solved.append(fresh[index])
 
     front = ParetoFront(primary, secondary, [p for p in solved if p])
     front.points.sort(key=lambda p: (p.primary, p.secondary))

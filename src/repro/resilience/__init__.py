@@ -26,6 +26,7 @@ from repro.resilience.checkpoint import (
     Checkpoint,
     CheckpointError,
     RestoredResult,
+    problem_fingerprint,
     restored_result,
     result_record,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "attempt_counters",
     "default_fallbacks",
     "injected_faults",
+    "problem_fingerprint",
     "restored_result",
     "result_record",
 ]

@@ -20,9 +20,12 @@ typed :class:`CheckpointError`.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 import os
 from dataclasses import dataclass, field
+from collections.abc import Mapping
 from pathlib import Path
 from typing import Any
 
@@ -156,9 +159,22 @@ class Checkpoint:
                 f"{self.path}: checkpoint kind {header.get('kind')!r} does "
                 f"not match expected {self.kind!r}"
             )
-        if header.get("meta") != self.meta:
+        recorded = header.get("meta")
+        if recorded != self.meta:
+            if (
+                isinstance(recorded, dict)
+                and {
+                    k: v for k, v in recorded.items() if k != "problem"
+                } == {k: v for k, v in self.meta.items() if k != "problem"}
+            ):
+                raise CheckpointError(
+                    f"{self.path}: checkpoint was written for a different "
+                    f"problem (fingerprint {recorded.get('problem')!r}, "
+                    f"this run is {self.meta.get('problem')!r}); refusing "
+                    f"to silently resume it"
+                )
             raise CheckpointError(
-                f"{self.path}: checkpoint metadata {header.get('meta')!r} "
+                f"{self.path}: checkpoint metadata {recorded!r} "
                 f"does not match this run's {self.meta!r}; refusing to "
                 f"resume a different sweep"
             )
@@ -216,6 +232,75 @@ def restored_result(record: dict) -> RestoredResult:
         raise CheckpointError(
             f"checkpoint record {record!r} is not restorable: {exc}"
         ) from exc
+
+
+def problem_fingerprint(*parts: Any) -> str:
+    """A short stable hash identifying a problem instance.
+
+    Hashes a structural description of ``parts`` (typically template,
+    library, requirements, channel) so checkpoint headers can pin the
+    *problem*, not just the sweep shape — two sweeps sharing a ladder and
+    objective but posed over different templates get different
+    fingerprints.  The description covers dataclass fields, mappings,
+    sequences and plain attribute dicts recursively; callables (e.g.
+    link rules) contribute their qualified name.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(_describe(part, set()).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+def _describe(obj: Any, seen: set[int], depth: int = 0) -> str:
+    """A deterministic structural description of ``obj`` for hashing."""
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return repr(obj)
+    if depth > 10:
+        return f"<deep:{type(obj).__name__}>"
+    if id(obj) in seen:
+        return "<cycle>"
+    seen.add(id(obj))
+    try:
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            fields = ",".join(
+                f"{f.name}="
+                f"{_describe(getattr(obj, f.name), seen, depth + 1)}"
+                for f in dataclasses.fields(obj)
+            )
+            return f"{type(obj).__name__}({fields})"
+        if callable(obj):
+            name = getattr(obj, "__qualname__", type(obj).__name__)
+            return f"callable:{name}"
+        if isinstance(obj, Mapping):
+            items = sorted(
+                f"{_describe(k, seen, depth + 1)}:"
+                f"{_describe(v, seen, depth + 1)}"
+                for k, v in obj.items()
+            )
+            return "{" + ",".join(items) + "}"
+        if isinstance(obj, (list, tuple)):
+            return "[" + ",".join(
+                _describe(v, seen, depth + 1) for v in obj
+            ) + "]"
+        if isinstance(obj, (set, frozenset)):
+            return "{" + ",".join(sorted(
+                _describe(v, seen, depth + 1) for v in obj
+            )) + "}"
+        tolist = getattr(obj, "tolist", None)
+        if callable(tolist):  # numpy arrays and scalars
+            return f"{type(obj).__name__}:{_describe(tolist(), seen, depth + 1)}"
+        try:
+            attrs = vars(obj)
+        except TypeError:
+            return f"<{type(obj).__name__}>"
+        items = sorted(
+            f"{name}={_describe(value, seen, depth + 1)}"
+            for name, value in attrs.items()
+        )
+        return f"{type(obj).__name__}(" + ",".join(items) + ")"
+    finally:
+        seen.discard(id(obj))
 
 
 def result_record(result: Any) -> dict:

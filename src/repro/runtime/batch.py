@@ -33,8 +33,12 @@ pool is then **recycled** so the overdue worker cannot squat on a slot
 forever: process pools have their worker processes terminated; thread
 pools are abandoned and replaced (a Python thread cannot be killed — the
 hung thread is left to finish on its own, but it no longer occupies a
-pool slot).  Unfinished trials are resubmitted to the fresh pool, so one
-runaway trial costs its own slot, not the batch.
+pool slot and is detached from the interpreter's exit hook so it cannot
+block process exit).  Unfinished trials are resubmitted to the fresh
+pool, so one runaway trial costs its own slot, not the batch.  A hung
+*thread* does keep executing its trial until it returns; use process
+mode when a hung trial must not keep touching shared state (e.g. a
+shared explorer or cache).
 
 Resilience hooks
 ----------------
@@ -193,8 +197,20 @@ class BatchRunner:
             [Trial(fn, (item,), label=f"{label}[{i}]") for i, item in enumerate(items)]
         )
 
-    def run(self, trials: Sequence[Trial | Callable]) -> list[TrialOutcome]:
-        """Execute ``trials`` and return outcomes in submission order."""
+    def run(
+        self,
+        trials: Sequence[Trial | Callable],
+        *,
+        on_outcome: Callable[[TrialOutcome], None] | None = None,
+    ) -> list[TrialOutcome]:
+        """Execute ``trials`` and return outcomes in submission order.
+
+        ``on_outcome`` is invoked on the caller's thread as soon as each
+        outcome is finalized (still in submission order), so callers can
+        persist completed work incrementally — e.g. checkpoint a sweep
+        point the moment its solve lands instead of after the whole
+        batch.  An exception raised by the callback aborts the run.
+        """
         normalized = [
             t if isinstance(t, Trial) else Trial(t) for t in trials
         ]
@@ -202,8 +218,8 @@ class BatchRunner:
             return []
         mode = self._resolve_mode(normalized)
         if mode == "sequential":
-            return self._run_sequential(normalized)
-        return self._run_pooled(normalized, mode)
+            return self._run_sequential(normalized, on_outcome)
+        return self._run_pooled(normalized, mode, on_outcome)
 
     def _resolve_mode(self, trials: list[Trial]) -> str:
         if self.workers == 1 or len(trials) == 1:
@@ -245,13 +261,19 @@ class BatchRunner:
 
     # -- sequential ---------------------------------------------------------
 
-    def _run_sequential(self, trials: list[Trial]) -> list[TrialOutcome]:
+    def _run_sequential(
+        self,
+        trials: list[Trial],
+        on_outcome: Callable[[TrialOutcome], None] | None = None,
+    ) -> list[TrialOutcome]:
         outcomes = []
         for index, trial in enumerate(trials):
             outcome = TrialOutcome(index=index, label=trial.label)
             outcomes.append(outcome)
             if self._deadline_expired(outcome):
                 outcome.attempts = 0
+                if on_outcome is not None:
+                    on_outcome(outcome)
                 continue
             for attempt in range(self.retries + 1):
                 outcome.attempts = attempt + 1
@@ -266,6 +288,8 @@ class BatchRunner:
                     outcome.seconds = time.perf_counter() - start
                     if attempt < self.retries:
                         self._backoff(attempt + 1)
+            if on_outcome is not None:
+                on_outcome(outcome)
         return outcomes
 
     # -- pooled -------------------------------------------------------------
@@ -286,7 +310,11 @@ class BatchRunner:
         timed-out solve must not keep burning a CPU forever.  Thread
         pools are abandoned and replaced: the hung thread cannot be
         killed, but the replacement pool restores the configured
-        concurrency immediately.
+        concurrency immediately, and the abandoned workers are detached
+        from the interpreter's exit handler so a permanently hung solve
+        cannot block process exit.  (The hung thread does keep running
+        until its solve returns — prefer process mode for trials that
+        may hang while mutating shared state.)
         """
         self.recycled_pools += 1
         if isinstance(executor, ProcessPoolExecutor):
@@ -301,6 +329,18 @@ class BatchRunner:
                 process.terminate()
             for process in list(processes.values()):
                 process.join()
+        else:
+            # ThreadPoolExecutor workers are non-daemon and joined by an
+            # atexit hook; unregister the abandoned pool's threads from
+            # that hook so the one hung worker cannot stall interpreter
+            # exit.  The healthy workers still drain and exit on their
+            # own once shutdown() feeds them their wake-up sentinels.
+            import concurrent.futures.thread as _cf_thread
+
+            queues = getattr(_cf_thread, "_threads_queues", None)
+            if queues is not None:
+                for thread in list(getattr(executor, "_threads", ())):
+                    queues.pop(thread, None)
         executor.shutdown(wait=False, cancel_futures=True)
         return self._make_executor(mode)
 
@@ -329,7 +369,12 @@ class BatchRunner:
                 future.cancel()
                 futures[j] = self._submit(executor, trials[j])
 
-    def _run_pooled(self, trials: list[Trial], mode: str) -> list[TrialOutcome]:
+    def _run_pooled(
+        self,
+        trials: list[Trial],
+        mode: str,
+        on_outcome: Callable[[TrialOutcome], None] | None = None,
+    ) -> list[TrialOutcome]:
         outcomes = [
             TrialOutcome(index=i, label=t.label) for i, t in enumerate(trials)
         ]
@@ -340,6 +385,8 @@ class BatchRunner:
                 outcome = outcomes[index]
                 if self._deadline_expired(outcome):
                     futures[index].cancel()
+                    if on_outcome is not None:
+                        on_outcome(outcome)
                     continue
                 timeout = self._effective_timeout(trial)
                 attempt = 0
@@ -388,6 +435,8 @@ class BatchRunner:
                             break
                         self._backoff(attempt)
                         futures[index] = self._submit(executor, trial)
+                if on_outcome is not None:
+                    on_outcome(outcome)
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
         return outcomes

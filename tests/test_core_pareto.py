@@ -109,3 +109,178 @@ class TestKnee:
         front = ParetoFront("a", "b", points)
         knee = front.knee()
         assert knee.primary == 1.0 and knee.secondary == 1.0
+
+
+class ScriptedResult:
+    def __init__(self, energy):
+        self.feasible = True
+        self.objective_terms = {"cost": 0.0, "energy": energy}
+
+
+class ScriptedExplorer:
+    """Quacks like an explorer as far as explore_pareto's plumbing needs
+    (extreme solves + a solver slot); sweep points are monkeypatched."""
+
+    def __init__(self, fingerprint=None):
+        self.solver = None
+        self._fingerprint = fingerprint
+        if fingerprint is not None:
+            self.fingerprint = lambda: fingerprint
+
+    def solve(self, objective):
+        return ScriptedResult({"energy": 2.0, "cost": 8.0}[objective])
+
+
+def scripted_point(budget):
+    from repro.core.pareto import ParetoPoint
+
+    return ParetoPoint(
+        primary=10.0 - budget, secondary=budget, secondary_budget=budget,
+        result=ScriptedResult(budget),
+    )
+
+
+class TestCheckpointStreaming:
+    def test_sequential_kill_keeps_completed_points(self, tmp_path, monkeypatch):
+        """A sweep killed mid-run persists every finished point, not just
+        the extremes; resume re-solves only the missing ones."""
+        import json
+
+        import repro.core.pareto as pareto_mod
+
+        path = tmp_path / "front.jsonl"
+        calls = []
+
+        def dying_solve(explorer, primary, secondary, budget):
+            if len(calls) == 2:
+                raise KeyboardInterrupt  # simulated kill on point 3
+            calls.append(budget)
+            return scripted_point(budget)
+
+        monkeypatch.setattr(pareto_mod, "_solve_budget", dying_solve)
+        with pytest.raises(KeyboardInterrupt):
+            explore_pareto(
+                ScriptedExplorer(), "cost", "energy", points=4,
+                checkpoint=path,
+            )
+        records = [json.loads(l) for l in path.read_text().splitlines()[1:]]
+        stages = [r["stage"] for r in records]
+        assert stages == ["extreme", "extreme", "point", "point"]
+        assert [r["index"] for r in records if r["stage"] == "point"] == [0, 1]
+
+        resumed_calls = []
+
+        def resumed_solve(explorer, primary, secondary, budget):
+            resumed_calls.append(budget)
+            return scripted_point(budget)
+
+        monkeypatch.setattr(pareto_mod, "_solve_budget", resumed_solve)
+        front = explore_pareto(
+            ScriptedExplorer(), "cost", "energy", points=4,
+            checkpoint=path, resume=True,
+        )
+        assert len(resumed_calls) == 2  # only the two missing points
+        assert len(front.points) == 4
+
+    def test_parallel_kill_keeps_completed_points(self, tmp_path, monkeypatch):
+        import json
+
+        import repro.core.pareto as pareto_mod
+        from repro.runtime import BatchRunner
+
+        path = tmp_path / "front.jsonl"
+        calls = []
+
+        def dying_solve(explorer, primary, secondary, budget):
+            if len(calls) == 2:
+                raise RuntimeError("worker died")
+            calls.append(budget)
+            return scripted_point(budget)
+
+        monkeypatch.setattr(pareto_mod, "_solve_budget", dying_solve)
+        with pytest.raises(RuntimeError):
+            explore_pareto(
+                ScriptedExplorer(), "cost", "energy", points=4,
+                checkpoint=path, runner=BatchRunner(workers=1, retries=0),
+            )
+        points = [
+            json.loads(l) for l in path.read_text().splitlines()[1:]
+            if json.loads(l).get("stage") == "point"
+        ]
+        assert [p["index"] for p in points] == [0, 1]
+
+
+class TestDeadlineGraceful:
+    def test_sequential_deadline_omits_tail_without_checkpointing(
+        self, tmp_path, monkeypatch
+    ):
+        """Points the deadline cuts off are skipped — not raised, and not
+        recorded as infeasible (a resume must re-solve them)."""
+        import json
+
+        import repro.core.pareto as pareto_mod
+        from repro.resilience import DeadlineBudget
+
+        clock = [0.0]
+        budget = DeadlineBudget(1.0, clock=lambda: clock[0])
+        path = tmp_path / "front.jsonl"
+
+        def timed_solve(explorer, primary, secondary, b):
+            clock[0] += 0.6  # two points fit in the budget
+            return scripted_point(b)
+
+        monkeypatch.setattr(pareto_mod, "_solve_budget", timed_solve)
+        front = explore_pareto(
+            ScriptedExplorer(), "cost", "energy", points=5,
+            budget=budget, checkpoint=path,
+        )
+        assert len(front.points) == 2
+        points = [
+            json.loads(l) for l in path.read_text().splitlines()[1:]
+            if json.loads(l).get("stage") == "point"
+        ]
+        assert len(points) == 2
+        assert all(p["feasible"] for p in points)
+
+    def test_parallel_expired_budget_returns_empty_front(self, monkeypatch):
+        """All trials failing fast on a spent budget must degrade to an
+        empty front, not raise TimeoutError through unwrap()."""
+        import repro.core.pareto as pareto_mod
+        from repro.resilience import DeadlineBudget
+        from repro.runtime import BatchRunner
+
+        clock = [0.0]
+        budget = DeadlineBudget(1.0, clock=lambda: clock[0])
+        clock[0] = 5.0  # spent before the sweep starts
+
+        monkeypatch.setattr(
+            pareto_mod, "_solve_budget",
+            lambda *a: pytest.fail("no point should be solved"),
+        )
+        front = explore_pareto(
+            ScriptedExplorer(), "cost", "energy", points=4,
+            budget=budget, runner=BatchRunner(workers=1, budget=budget),
+        )
+        assert front.points == []
+
+
+class TestProblemPinning:
+    def test_resume_with_other_problem_refused(self, tmp_path, monkeypatch):
+        from repro.resilience import CheckpointError
+
+        import repro.core.pareto as pareto_mod
+
+        monkeypatch.setattr(
+            pareto_mod, "_solve_budget",
+            lambda e, p, s, b: scripted_point(b),
+        )
+        path = tmp_path / "front.jsonl"
+        explore_pareto(
+            ScriptedExplorer(fingerprint="aaaa"), "cost", "energy",
+            points=3, checkpoint=path,
+        )
+        with pytest.raises(CheckpointError, match="different problem"):
+            explore_pareto(
+                ScriptedExplorer(fingerprint="bbbb"), "cost", "energy",
+                points=3, checkpoint=path, resume=True,
+            )

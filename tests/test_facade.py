@@ -180,3 +180,53 @@ class TestDeprecatedShims:
             )
         assert explorer.k_star == 10
         assert isinstance(explorer, AnchorPlacementExplorer)
+
+
+class TestDeadlineGraceful:
+    def test_spent_deadline_returns_timeout_results(self, data_problem):
+        """explore() with several objectives and a spent deadline must
+        degrade to TIMEOUT results, not raise TimeoutError mid-run."""
+        from repro.milp.solution import SolveStatus
+        from repro.resilience import DeadlineBudget
+
+        instance, reqs = data_problem
+        clock = [0.0]
+        budget = DeadlineBudget(1.0, clock=lambda: clock[0])
+        clock[0] = 5.0  # budget spent before any trial starts
+        results = repro.explore(
+            instance.template, default_catalog(), reqs,
+            objective=["cost", "energy"], parallel=2, budget=budget,
+        )
+        assert [r.status for r in results] == [SolveStatus.TIMEOUT] * 2
+        assert not any(r.feasible for r in results)
+        # The degraded results still render and serialize.
+        for result in results:
+            assert "timeout" in result.summary()
+            assert result.stats_dict()["status"] == "timeout"
+
+    def test_fingerprint_pins_problem_identity(self, data_problem, loc_problem):
+        """Same problem -> same fingerprint; different problem -> different."""
+        instance, reqs = data_problem
+        a = build_explorer(instance.template, default_catalog(), reqs)
+        b = build_explorer(instance.template, default_catalog(), reqs)
+        assert a.fingerprint() == b.fingerprint()
+
+        other = small_grid_template(nx=5, ny=3)
+        other_reqs = RequirementSet()
+        for s in other.sensor_ids:
+            other_reqs.require_route(s, other.sink_id, replicas=2,
+                                     disjoint=True)
+        other_reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+        c = build_explorer(other.template, default_catalog(), other_reqs)
+        assert a.fingerprint() != c.fingerprint()
+
+        loc_instance, loc_req = loc_problem
+        d = build_explorer(
+            loc_instance.template, localization_catalog(), loc_req,
+            channel=loc_instance.channel,
+        )
+        assert d.fingerprint() != a.fingerprint()
+        assert d.fingerprint() == build_explorer(
+            loc_instance.template, localization_catalog(), loc_req,
+            channel=loc_instance.channel,
+        ).fingerprint()

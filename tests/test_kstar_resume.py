@@ -186,3 +186,84 @@ class TestResilientWiring:
 
         kstar_search(factory, ladder=(1, 3), retry=RetryPolicy(max_retries=1))
         assert all(cls is ResilientSolver for cls in seen)
+
+
+class TestParallelDeadline:
+    def test_parallel_deadline_degrades_gracefully(self):
+        """A budget spent mid-ladder must yield 'deadline exhausted', not
+        an uncaught TimeoutError from outcome.unwrap()."""
+        clock_now = [0.0]
+        budget = DeadlineBudget(1.0, clock=lambda: clock_now[0])
+        solved = []
+
+        def factory(k):
+            explorer = FakeExplorer(k, solved)
+            original = explorer.solve
+
+            def timed_solve(objective):
+                clock_now[0] += 0.6  # each rung burns 0.6 s
+                return original(objective)
+
+            explorer.solve = timed_solve
+            return explorer
+
+        from repro.runtime import BatchRunner
+
+        # Two sequential inline workers would be nondeterministic under a
+        # real pool; a workers=1 runner drives the *parallel* code path
+        # deterministically (runner is not None => parallel branch).
+        runner = BatchRunner(workers=1, budget=budget)
+        search = kstar_search(
+            factory, ladder=(1, 3, 5, 10), budget=budget, runner=runner
+        )
+        assert solved == [1, 3]  # rung 5 started after expiry
+        assert search.stop_reason == "deadline exhausted"
+        assert search.best.k_star == 3
+
+    def test_parallel_checkpoint_streams_per_rung(self, tmp_path):
+        """Each rung's record lands on disk as its solve completes, so a
+        kill mid-batch keeps the finished rungs (not just the extremes)."""
+        import json
+
+        from repro.runtime import BatchRunner
+
+        path = tmp_path / "ladder.jsonl"
+        kstar_search(
+            make_factory([]), ladder=(1, 3, 5, 10), checkpoint=path,
+            runner=BatchRunner(workers=1),
+        )
+        # All consumed rungs are recorded...
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        header, records = lines[0], lines[1:]
+        assert header["meta"]["ladder"] == [1, 3, 5, 10]
+        assert [r["k_star"] for r in records] == [1, 3, 5, 10]
+        # ...and a crash on rung 3 of a fresh run still persists rung 1.
+        path2 = tmp_path / "killed.jsonl"
+
+        def crashing_factory(k):
+            explorer = FakeExplorer(k)
+            if k == 5:
+                def boom(objective):
+                    raise RuntimeError("worker died")
+                explorer.solve = boom
+            return explorer
+
+        with pytest.raises(RuntimeError):
+            kstar_search(
+                crashing_factory, ladder=(1, 3, 5, 10), checkpoint=path2,
+                runner=BatchRunner(workers=1, retries=0),
+            )
+        recorded = [
+            json.loads(l)["k_star"]
+            for l in path2.read_text().splitlines()[1:]
+        ]
+        # Every *completed* rung persisted — including 10, which finished
+        # after the crash of rung 5; only the crashed rung is missing.
+        assert recorded == [1, 3, 10]
+        log = []
+        resumed = kstar_search(
+            make_factory(log), ladder=(1, 3, 5, 10),
+            checkpoint=path2, resume=True,
+        )
+        assert log == [5]  # only the crashed rung is re-solved
+        assert resumed.best.k_star == 5

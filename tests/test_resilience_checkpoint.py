@@ -134,3 +134,54 @@ class TestRestoredResult:
         payload = restored.stats_dict()
         assert payload["restored"] is True
         assert payload["objective"] == 7.0
+
+
+class TestProblemFingerprint:
+    def test_meta_problem_mismatch_has_dedicated_message(self, tmp_path):
+        from repro.resilience import problem_fingerprint
+
+        meta_a = dict(META, problem="aaaa1111")
+        Checkpoint(tmp_path / "run.jsonl", "kstar", meta_a).append(
+            {"k_star": 1, "status": "optimal"}
+        )
+        other = Checkpoint(
+            tmp_path / "run.jsonl", "kstar", dict(META, problem="bbbb2222")
+        )
+        with pytest.raises(CheckpointError, match="different problem"):
+            other.load()
+
+    def test_fingerprint_deterministic_and_sensitive(self):
+        from dataclasses import dataclass
+
+        from repro.resilience import problem_fingerprint
+
+        @dataclass(frozen=True)
+        class Node:
+            id: int
+            role: str
+
+        a = problem_fingerprint([Node(0, "sink"), Node(1, "sensor")],
+                                {"snr": 20.0})
+        b = problem_fingerprint([Node(0, "sink"), Node(1, "sensor")],
+                                {"snr": 20.0})
+        c = problem_fingerprint([Node(0, "sink"), Node(1, "relay")],
+                                {"snr": 20.0})
+        d = problem_fingerprint([Node(0, "sink"), Node(1, "sensor")],
+                                {"snr": 25.0})
+        assert a == b
+        assert len({a, c, d}) == 3
+
+    def test_fingerprint_handles_callables_cycles_and_arrays(self):
+        import numpy as np
+
+        from repro.resilience import problem_fingerprint
+
+        def rule(tx, rx):
+            return True
+
+        loop = {}
+        loop["self"] = loop
+        a = problem_fingerprint(rule, loop, np.array([1.0, 2.0]))
+        b = problem_fingerprint(rule, loop, np.array([1.0, 2.0]))
+        c = problem_fingerprint(rule, loop, np.array([1.0, 3.0]))
+        assert a == b != c

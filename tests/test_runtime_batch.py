@@ -248,3 +248,70 @@ class TestResilienceHooks:
         assert runner._effective_timeout(Trial(square, (1,))) == (
             pytest.approx(0.1)
         )
+
+
+class TestOutcomeStreaming:
+    """run(on_outcome=...) surfaces each outcome as soon as it settles."""
+
+    def test_sequential_callback_order_and_content(self):
+        seen = []
+        runner = BatchRunner(workers=1)
+        outcomes = runner.run(
+            [Trial(square, (i,)) for i in range(4)],
+            on_outcome=seen.append,
+        )
+        assert seen == outcomes
+        assert [o.value for o in seen] == [0, 1, 4, 9]
+
+    def test_pooled_callback_fires_per_outcome(self):
+        seen = []
+        runner = BatchRunner(workers=2, mode="thread")
+        outcomes = runner.run(
+            [Trial(sleepy_identity, (i,), {"delay": 0.01}) for i in range(5)],
+            on_outcome=seen.append,
+        )
+        assert seen == outcomes
+        assert [o.index for o in seen] == [0, 1, 2, 3, 4]
+
+    def test_callback_sees_failed_and_fast_failed_outcomes(self):
+        from repro.resilience import DeadlineBudget
+
+        clock = [0.0]
+        budget = DeadlineBudget(1.0, clock=lambda: clock[0])
+        clock[0] = 5.0  # already past the deadline
+        seen = []
+        runner = BatchRunner(workers=1, budget=budget)
+        runner.run(
+            [Trial(square, (2,)), Trial(always_fails)],
+            on_outcome=seen.append,
+        )
+        assert len(seen) == 2
+        assert all(o.timed_out for o in seen)  # budget already spent
+
+
+class TestAbandonedThreadDetach:
+    def test_recycled_threads_leave_the_exit_hook(self, tmp_path):
+        """The abandoned pool's workers must not be joined at interpreter
+        exit — a permanently hung solve would block process shutdown."""
+        import concurrent.futures.thread as cf_thread
+        import threading
+
+        release = tmp_path / "release"
+        runner = BatchRunner(workers=2, mode="thread", timeout_s=0.1)
+        try:
+            runner.run([
+                Trial(blocked_until, (release,), label="hung"),
+                Trial(sleepy_identity, (1,)),
+            ])
+            assert runner.recycled_pools == 1
+            # The hung worker is still alive but no longer registered
+            # with the atexit join hook.
+            detached = [
+                t for t in threading.enumerate()
+                if t.is_alive()
+                and t.name.startswith("ThreadPoolExecutor")
+                and t not in cf_thread._threads_queues
+            ]
+            assert detached, "hung worker should be alive but detached"
+        finally:
+            release.write_text("go")

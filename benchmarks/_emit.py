@@ -1,0 +1,69 @@
+"""Shared JSON report emitter for the ``bench_*`` modules.
+
+Every benchmark persists a machine-readable report next to its
+human-readable table: ``benchmarks/results/BENCH_<name>.json`` with the
+envelope established by ``bench_kernels.py``::
+
+    {
+      "meta":  {"python": ..., "machine": ..., ...},   # environment + knobs
+      "cases": [{"name": ..., ...}, ...],              # one dict per case
+      "gate":  {"passed": true, ...} | null            # CI gate, if any
+    }
+
+``meta`` always carries the interpreter version and machine type; callers
+add their own knobs (mode, repeats, sizes).  ``gate`` is ``null`` for
+report-only benchmarks; gated ones include ``passed`` plus whatever
+numbers the verdict was computed from (see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_meta(**extra) -> dict:
+    """The standard ``meta`` block: environment plus caller knobs."""
+    meta: dict = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    meta.update(extra)
+    return meta
+
+
+def write_report(path: Path, report: dict) -> Path:
+    """Write a report dict as JSON, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def emit_report(
+    name: str,
+    cases: list[dict],
+    *,
+    gate: dict | None = None,
+    meta: dict | None = None,
+    results_dir: Path | None = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` in the standard envelope."""
+    out_dir = Path(results_dir) if results_dir is not None else RESULTS_DIR
+    report = {
+        "meta": bench_meta(**(meta or {})),
+        "cases": list(cases),
+        "gate": gate,
+    }
+    return write_report(out_dir / f"BENCH_{name}.json", report)
+
+
+def table_cases(name: str, rows: list[str]) -> list[dict]:
+    """Cases for a paper-style text table: one dict per printed row."""
+    return [
+        {"name": f"{name}[{index}]", "text": row}
+        for index, row in enumerate(rows)
+    ]

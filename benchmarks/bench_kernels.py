@@ -28,12 +28,11 @@ collection; it defines no test functions on purpose.
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
 import time
 from pathlib import Path
 
+from _emit import bench_meta, write_report
 from repro.encoding.approximate import generate_candidate_pool
 from repro.network.builders import (
     DEFAULT_MAX_LINK_PL_DB,
@@ -203,14 +202,12 @@ def run_benchmarks(quick: bool) -> dict:
         "passed": gate_times["csr_s"] <= gate_times["reference_s"],
     }
     return {
-        "meta": {
-            "mode": "quick" if quick else "full",
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "k_star": K_STAR,
-            "pool_routes": POOL_ROUTES,
-            "repeats": repeats,
-        },
+        "meta": bench_meta(
+            mode="quick" if quick else "full",
+            k_star=K_STAR,
+            pool_routes=POOL_ROUTES,
+            repeats=repeats,
+        ),
         "cases": cases,
         "gate": gate,
     }
@@ -233,8 +230,7 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"kernel benchmarks ({'quick' if args.quick else 'full'} mode)")
     report = run_benchmarks(args.quick)
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    write_report(args.out, report)
     print(f"wrote {args.out}")
 
     gate = report["gate"]

@@ -1,0 +1,189 @@
+"""Telemetry overhead benchmark: traced vs untraced synthesis.
+
+The telemetry subsystem (:mod:`repro.telemetry`) promises to be cheap
+enough to leave on in production: a disabled ``span()`` is one attribute
+load and a null object, and an enabled one is a dict build plus one
+buffered JSONL write.  This benchmark puts a number on that promise by
+running the office-example data-collection synthesis twice — tracing
+disabled vs tracing to a real JSONL sink — and comparing best-of-N wall
+clock.
+
+Each timed sample loops several full ``explore`` calls (fresh encode
+cache each time, so the cache-compute spans fire every iteration) to
+push a sample above the timer-noise floor; best-of-N over samples then
+discards scheduler interference.
+
+Results go to ``benchmarks/results/BENCH_telemetry.json`` in the shared
+report envelope (see ``_emit.py``).  ``--quick`` *gates*: the process
+exits non-zero when the traced run is more than ``GATE_LIMIT_PCT``
+slower than the untraced one — CI runs this as a regression tripwire
+for anyone who fattens the span hot path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py [--quick] [--out PATH]
+
+This module is imported (not executed) by pytest's benchmark collection;
+it defines no test functions on purpose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from _emit import bench_meta, write_report
+from repro.core.facade import explore
+from repro.library.catalog import default_catalog
+from repro.network.builders import data_collection_template
+from repro.runtime.cache import EncodeCache
+from repro.spec.problem import compile_spec
+from repro.telemetry import JsonlSink, configure, shutdown
+from repro.telemetry.trace import span
+
+#: Maximum tolerated slowdown of the traced run, in percent.
+GATE_LIMIT_PCT = 3.0
+
+SPEC = """
+has_paths(sensors, sink, replicas=2, disjoint=true)
+min_signal_to_noise(20)
+objective(cost)
+"""
+
+#: Office-example workload knobs (a scaled-down ``repro synthesize``).
+SENSORS = 12
+RELAYS = 36
+K_STAR = 5
+
+
+def _workload(instance, compiled) -> None:
+    """One full office synthesis on a fresh cache (all phases traced)."""
+    explore(
+        instance.template, default_catalog(), compiled.requirements,
+        objective=compiled.objective, k_star=K_STAR, cache=EncodeCache(),
+    )
+
+
+def _time(fn, inner: int, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``inner`` back-to-back ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _span_fastpath_ns(iterations: int) -> float:
+    """Average cost of a *disabled* ``span()`` round-trip, nanoseconds."""
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with span("bench.noop", k=1):
+            pass
+    return (time.perf_counter() - start) / iterations * 1e9
+
+
+def run_benchmarks(quick: bool) -> dict:
+    """Run the traced/untraced comparison and return the report."""
+    inner = 5 if quick else 10
+    repeats = 7 if quick else 15
+    instance = data_collection_template(
+        n_sensors=SENSORS, n_relay_candidates=RELAYS
+    )
+    compiled = compile_spec(SPEC, instance.template)
+
+    # Warm-up (JIT-free, but imports, allocator pools and the path-loss
+    # tables all settle on the first call).
+    _workload(instance, compiled)
+
+    shutdown()  # make sure no sink is armed from a previous caller
+    disabled_s = _time(lambda: _workload(instance, compiled), inner, repeats)
+
+    with tempfile.TemporaryDirectory(prefix="bench-telemetry-") as tmp:
+        configure([JsonlSink(Path(tmp) / "trace.jsonl")])
+        try:
+            enabled_s = _time(
+                lambda: _workload(instance, compiled), inner, repeats
+            )
+        finally:
+            shutdown()
+
+    overhead_pct = (enabled_s / disabled_s - 1.0) * 100.0
+    fastpath_ns = _span_fastpath_ns(50_000 if quick else 200_000)
+
+    cases = [
+        {
+            "name": "office_explore",
+            "inner_iterations": inner,
+            "disabled_s": disabled_s,
+            "enabled_s": enabled_s,
+            "overhead_pct": overhead_pct,
+        },
+        {
+            "name": "span_disabled_fastpath",
+            "per_call_ns": fastpath_ns,
+        },
+    ]
+    gate = {
+        "workload": "office_explore",
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "overhead_pct": overhead_pct,
+        "limit_pct": GATE_LIMIT_PCT,
+        "passed": overhead_pct <= GATE_LIMIT_PCT,
+    }
+    return {
+        "meta": bench_meta(
+            mode="quick" if quick else "full",
+            sensors=SENSORS,
+            relays=RELAYS,
+            k_star=K_STAR,
+            inner_iterations=inner,
+            repeats=repeats,
+        ),
+        "cases": cases,
+        "gate": gate,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sample counts + regression gate "
+             "(non-zero exit when overhead exceeds the limit)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).parent / "results" / "BENCH_telemetry.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"telemetry overhead benchmark ({'quick' if args.quick else 'full'} mode)")
+    report = run_benchmarks(args.quick)
+    write_report(args.out, report)
+    print(f"wrote {args.out}")
+
+    gate = report["gate"]
+    fastpath = report["cases"][1]["per_call_ns"]
+    print(f"  disabled span fast path: {fastpath:.0f} ns/call")
+    status = "PASS" if gate["passed"] else "FAIL"
+    print(
+        f"gate [{status}] office explore: untraced {gate['disabled_s']:.3f}s "
+        f"vs traced {gate['enabled_s']:.3f}s "
+        f"({gate['overhead_pct']:+.2f}% , limit {gate['limit_pct']:.1f}%)"
+    )
+    if args.quick and not gate["passed"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

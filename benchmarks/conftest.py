@@ -12,6 +12,8 @@ from pathlib import Path
 
 import pytest
 
+from _emit import emit_report, table_cases
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: "small" (default, minutes) or "paper" (the publication's sizes, hours).
@@ -24,11 +26,22 @@ def paper_scale() -> bool:
 
 
 def write_table(name: str, header: str, rows: list[str]) -> Path:
-    """Persist a paper-style table under benchmarks/results/ and echo it."""
+    """Persist a paper-style table under benchmarks/results/ and echo it.
+
+    Besides the human-readable ``<name>.txt``, the table is mirrored as a
+    machine-readable ``BENCH_<name>.json`` in the shared report envelope
+    (see ``_emit.py``) so downstream tooling reads every benchmark the
+    same way.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     lines = [header] + rows
     path.write_text("\n".join(lines) + "\n")
+    emit_report(
+        name,
+        table_cases(name, rows),
+        meta={"format": "table", "header": header, "scale": SCALE},
+    )
     print(f"\n=== {name} ===")
     for line in lines:
         print(line)

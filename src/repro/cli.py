@@ -14,6 +14,11 @@ Every synthesis command accepts ``--stats-json`` to emit the runtime
 instrumentation (per-phase timings, cache hit/miss counters) as
 structured JSON, and the sweep commands accept ``--parallel`` to run
 independent trials through the :mod:`repro.runtime` batch runner.
+
+``synthesize``/``localize``/``kstar`` additionally accept ``--trace
+PATH`` (hierarchical span/event log as JSONL — see
+:mod:`repro.telemetry` and docs/observability.md) and ``--metrics PATH``
+(the process-wide metrics registry in Prometheus text exposition).
 """
 
 from __future__ import annotations
@@ -55,6 +60,14 @@ from repro.resilience.checkpoint import CheckpointError
 from repro.resilience.faults import FaultError
 from repro.resilience.policy import RetryPolicy
 from repro.runtime.cache import EncodeCache
+from repro.runtime.instrumentation import STATS_SCHEMA_VERSION
+from repro.telemetry import (
+    JsonlSink,
+    configure as configure_tracing,
+    get_registry,
+    prometheus_text,
+    shutdown as shutdown_tracing,
+)
 from repro.spec.patterns import SpecError
 from repro.spec.problem import compile_spec
 from repro.validation.checker import validate
@@ -65,6 +78,21 @@ min_signal_to_noise(20)
 min_network_lifetime(5)
 objective(cost)
 """
+
+
+def _add_telemetry_args(command: argparse.ArgumentParser) -> None:
+    """The shared ``--trace``/``--metrics`` flags (see repro.telemetry)."""
+    command.add_argument(
+        "--trace", type=Path, metavar="FILE",
+        help="write a hierarchical span/event trace as JSONL "
+             "(schema: docs/observability.md; validate with "
+             "python -m repro.telemetry.schema FILE)",
+    )
+    command.add_argument(
+        "--metrics", type=Path, metavar="FILE",
+        help="write the process-wide metrics registry in Prometheus "
+             "text exposition format; '-' for stdout",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -99,6 +127,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="retry crashed/errored solves up to N times "
                           "before falling back (enables the solver "
                           "watchdog; see docs/robustness.md)")
+    _add_telemetry_args(syn)
 
     loc = sub.add_parser("localize", help="anchor-placement synthesis")
     loc.add_argument("--anchors", type=int, default=100)
@@ -117,6 +146,7 @@ def _build_parser() -> argparse.ArgumentParser:
     loc.add_argument("--max-retries", type=int, metavar="N",
                      help="retry crashed/errored solves up to N times "
                           "(enables the solver watchdog)")
+    _add_telemetry_args(loc)
 
     lint = sub.add_parser(
         "lint", help="pre-solve static analysis of a spec file (no solving)"
@@ -166,13 +196,19 @@ def _build_parser() -> argparse.ArgumentParser:
     kst.add_argument("--resume", action="store_true",
                      help="replay rungs recorded in --checkpoint instead "
                           "of re-solving them")
+    _add_telemetry_args(kst)
     return parser
 
 
 def _emit_stats(payload: dict, target: Path | None) -> None:
-    """Write an instrumentation payload as JSON ('-' means stdout)."""
+    """Write an instrumentation payload as JSON ('-' means stdout).
+
+    Every payload carries a top-level ``schema_version`` (see
+    docs/observability.md for the version history).
+    """
     if target is None:
         return
+    payload = {"schema_version": STATS_SCHEMA_VERSION, **payload}
     text = json.dumps(payload, indent=2, sort_keys=True, default=str)
     if str(target) == "-":
         print(text)
@@ -493,7 +529,23 @@ def main(argv: list[str] | None = None) -> int:
         "kstar": _cmd_kstar,
         "simulate": _cmd_simulate,
     }
-    return handlers[args.command](args)
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path is not None:
+        configure_tracing([JsonlSink(trace_path)])
+    try:
+        return handlers[args.command](args)
+    finally:
+        if trace_path is not None:
+            shutdown_tracing()
+            print(f"wrote {trace_path}")
+        if metrics_path is not None:
+            text = prometheus_text(get_registry())
+            if str(metrics_path) == "-":
+                print(text, end="")
+            else:
+                metrics_path.write_text(text)
+                print(f"wrote {metrics_path}")
 
 
 if __name__ == "__main__":

@@ -27,7 +27,7 @@ import warnings
 from dataclasses import dataclass
 
 from repro.analysis.analyzer import analyze_model, analyze_problem
-from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
 from repro.channel.base import ChannelModel
 from repro.constraints.energy import EnergyVars, build_energy
 from repro.constraints.link_quality import LinkQualityVars, build_link_quality
@@ -47,6 +47,26 @@ from repro.network.template import Template
 from repro.network.topology import Architecture
 from repro.runtime.cache import EncodeCache
 from repro.runtime.instrumentation import RunStats, timings_of
+from repro.telemetry.trace import drain_drop_warnings, span
+
+
+def _telemetry_diagnostics() -> list[Diagnostic]:
+    """Sink-failure warnings queued by the tracer, as result diagnostics.
+
+    Telemetry never fails a solve — a raising sink only drops events —
+    but silently losing a trace is not acceptable either, so the drop
+    warnings surface on the next ``SynthesisResult``.
+    """
+    return [
+        Diagnostic(
+            rule_id="telemetry.dropped-events",
+            severity=Severity.WARNING,
+            message=message,
+            hint="check the --trace/--metrics target (disk space, "
+            "permissions); the solve itself is unaffected",
+        )
+        for message in drain_drop_warnings()
+    ]
 
 
 @dataclass
@@ -142,22 +162,34 @@ class ExplorerBase(abc.ABC):
         blocking diagnostic fires — before encoding for spec-level
         findings, before any solver call for model-level findings.
         """
-        timings = timings_of(stats)
-        report = AnalysisReport()
-        if self.analyze:
-            with timings.phase("analyze"):
-                report.merge(analyze_problem(
-                    self.template, self._analysis_requirements(),
-                    self.library,
-                ))
-            report.raise_for_errors(f"{type(self).__name__} spec analysis")
-        built = self._assemble(objective, stats=stats)
-        if self.analyze:
-            with timings.phase("analyze"):
-                report.merge(analyze_model(built.model))
-            report.raise_for_errors(f"{type(self).__name__} model analysis")
-        built.analysis = report if self.analyze else None
-        return built
+        with span(
+            "explorer.build", explorer=type(self).__name__
+        ) as build_span:
+            timings = timings_of(stats)
+            report = AnalysisReport()
+            if self.analyze:
+                with timings.phase("analyze"):
+                    report.merge(analyze_problem(
+                        self.template, self._analysis_requirements(),
+                        self.library,
+                    ))
+                report.raise_for_errors(
+                    f"{type(self).__name__} spec analysis"
+                )
+            built = self._assemble(objective, stats=stats)
+            if self.analyze:
+                with timings.phase("analyze"):
+                    report.merge(analyze_model(built.model))
+                report.raise_for_errors(
+                    f"{type(self).__name__} model analysis"
+                )
+            built.analysis = report if self.analyze else None
+            model_stats = built.model.stats()
+            build_span.set_attributes(
+                variables=model_stats.num_vars,
+                constraints=model_stats.num_constraints,
+            )
+            return built
 
     @abc.abstractmethod
     def _assemble(
@@ -183,39 +215,44 @@ class ExplorerBase(abc.ABC):
         self, objective: str | dict | ObjectiveSpec = "cost",
     ) -> SynthesisResult:
         """Build, solve and decode in one call."""
-        stats = RunStats()
-        t0 = time.perf_counter()
-        built = self.build(objective, stats=stats)
-        encode_seconds = time.perf_counter() - t0
-        # Keep the phase breakdown disjoint: "encode" excludes the
-        # analyzer time already booked under "analyze".
-        stats.timings.add(
-            "encode",
-            max(0.0, encode_seconds - stats.timings.get("analyze")),
-        )
-        solution = self.solver.solve(built.model)
-        stats.timings.add("solve", solution.solve_time)
-        architecture, terms = self._decode(solution, built)
-        diagnostics = []
-        if built.analysis is not None:
-            diagnostics = built.analysis.errors + built.analysis.warnings
-        return SynthesisResult(
-            status=solution.status,
-            architecture=architecture,
-            solution=solution,
-            model_stats=built.model.stats(),
-            encode_seconds=encode_seconds,
-            solve_seconds=solution.solve_time,
-            encoder_name=self.encoder_name,
-            objective_terms=terms,
-            run_stats=stats,
-            diagnostics=diagnostics,
-            # The watchdog's per-attempt log (retries, fallbacks,
-            # degradation) rides the Solution's extra dict; surface it.
-            solve_attempts=list(
-                solution.extra.get("solve_attempts", ())
-            ),
-        )
+        with span(
+            "explorer.solve", explorer=type(self).__name__
+        ) as solve_span:
+            stats = RunStats()
+            t0 = time.perf_counter()
+            built = self.build(objective, stats=stats)
+            encode_seconds = time.perf_counter() - t0
+            # Keep the phase breakdown disjoint: "encode" excludes the
+            # analyzer time already booked under "analyze".
+            stats.timings.add(
+                "encode",
+                max(0.0, encode_seconds - stats.timings.get("analyze")),
+            )
+            solution = self.solver.solve(built.model)
+            stats.timings.add("solve", solution.solve_time)
+            architecture, terms = self._decode(solution, built)
+            diagnostics = []
+            if built.analysis is not None:
+                diagnostics = built.analysis.errors + built.analysis.warnings
+            diagnostics = diagnostics + _telemetry_diagnostics()
+            solve_span.set_attribute("status", solution.status.name)
+            return SynthesisResult(
+                status=solution.status,
+                architecture=architecture,
+                solution=solution,
+                model_stats=built.model.stats(),
+                encode_seconds=encode_seconds,
+                solve_seconds=solution.solve_time,
+                encoder_name=self.encoder_name,
+                objective_terms=terms,
+                run_stats=stats,
+                diagnostics=diagnostics,
+                # The watchdog's per-attempt log (retries, fallbacks,
+                # degradation) rides the Solution's extra dict; surface it.
+                solve_attempts=list(
+                    solution.extra.get("solve_attempts", ())
+                ),
+            )
 
     def _decode(
         self, solution: Solution, built: BuiltProblem

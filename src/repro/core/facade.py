@@ -35,6 +35,7 @@ from repro.resilience.policy import DeadlineBudget, RetryPolicy
 from repro.resilience.watchdog import ResilientSolver
 from repro.runtime.batch import BatchRunner, Trial
 from repro.runtime.cache import EncodeCache
+from repro.telemetry.trace import span
 
 
 def build_explorer(
@@ -152,10 +153,18 @@ def explore(
         runner = BatchRunner(
             workers=max(1, parallel), timeout_s=timeout_s, budget=budget
         )
-    outcomes = runner.run([
-        Trial(explorer.solve, (obj,), label=f"explore:{obj}", timeout_s=timeout_s)
-        for obj in objectives
-    ])
+    with span(
+        "explore",
+        objectives=[str(obj) for obj in objectives],
+        parallel=parallel,
+    ):
+        outcomes = runner.run([
+            Trial(
+                explorer.solve, (obj,),
+                label=f"explore:{obj}", timeout_s=timeout_s,
+            )
+            for obj in objectives
+        ])
     results = []
     for outcome in outcomes:
         if outcome.ok:

@@ -52,6 +52,8 @@ from repro.resilience.policy import DeadlineBudget, RetryPolicy
 from repro.resilience.watchdog import ResilientSolver
 from repro.runtime.batch import BatchRunner, Trial
 from repro.runtime.cache import EncodeCache
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.trace import span
 
 #: The paper's default ladder (Table 4) and its K* guideline range (3-10).
 DEFAULT_K_LADDER = (1, 3, 5, 10, 20)
@@ -142,8 +144,59 @@ def kstar_search(
     (the file must describe the same ladder, objective and problem
     fingerprint, else
     :class:`~repro.resilience.checkpoint.CheckpointError`).
+
+    Under an armed tracer the whole scan is one ``kstar.search`` span
+    with a ``kstar.rung`` child per solved rung (also across
+    ``parallel`` workers) and a ``checkpoint.restore`` child when
+    resuming.
     """
     ladder = tuple(ladder)
+    with span(
+        "kstar.search",
+        objective=objective,
+        ladder=list(ladder),
+        parallel=parallel,
+        resume=resume,
+    ) as search_span:
+        result = _kstar_search_impl(
+            make_explorer,
+            objective,
+            ladder,
+            time_threshold_s,
+            min_relative_gain,
+            parallel=parallel,
+            runner=runner,
+            cache=cache,
+            budget=budget,
+            deadline_s=deadline_s,
+            retry=retry,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+        search_span.set_attributes(
+            stop_reason=result.stop_reason,
+            best_k=result.best.k_star if result.best is not None else None,
+            trials=len(result.trials),
+        )
+        return result
+
+
+def _kstar_search_impl(
+    make_explorer: Callable[[int], ExplorerBase],
+    objective: str,
+    ladder: tuple[int, ...],
+    time_threshold_s: float | None,
+    min_relative_gain: float,
+    *,
+    parallel: int,
+    runner: BatchRunner | None,
+    cache: EncodeCache | None,
+    deadline_s: float | None,
+    budget: DeadlineBudget | None,
+    retry: RetryPolicy | None,
+    checkpoint: str | Path | None,
+    resume: bool,
+) -> KStarSearchResult:
     if budget is None and deadline_s is not None:
         budget = DeadlineBudget(deadline_s)
 
@@ -162,10 +215,14 @@ def kstar_search(
             },
         )
         if resume:
-            for record in ckpt.load():
-                k = int(record["k_star"])
-                restored[k] = KStarTrial(
-                    k_star=k, result=restored_result(record)
+            with span("checkpoint.restore", kind="kstar") as restore_span:
+                for record in ckpt.load():
+                    k = int(record["k_star"])
+                    restored[k] = KStarTrial(
+                        k_star=k, result=restored_result(record)
+                    )
+                restore_span.set_attributes(
+                    restored=len(restored), path=str(checkpoint)
                 )
 
     deadline_hit = False
@@ -266,12 +323,20 @@ def _solve_rung(
     budget: DeadlineBudget | None = None,
     retry: RetryPolicy | None = None,
 ) -> KStarTrial:
-    explorer = make_explorer(k)
-    if cache is not None and getattr(explorer, "cache", None) is None:
-        explorer.cache = cache
-    if budget is not None or retry is not None:
-        explorer.solver = _resilient(explorer.solver, budget, retry)
-    return KStarTrial(k_star=k, result=explorer.solve(objective))
+    with span("kstar.rung", k=k) as rung_span:
+        explorer = make_explorer(k)
+        if cache is not None and getattr(explorer, "cache", None) is None:
+            explorer.cache = cache
+        if budget is not None or retry is not None:
+            explorer.solver = _resilient(explorer.solver, budget, retry)
+        trial = KStarTrial(k_star=k, result=explorer.solve(objective))
+        rung_span.set_attributes(
+            feasible=trial.result.feasible, objective=trial.objective
+        )
+        _metrics.counter("kstar.rungs_solved").inc()
+        _metrics.gauge("kstar.rung_size").set(k)
+        _metrics.histogram("kstar.rung_seconds").observe(trial.seconds)
+        return trial
 
 
 def _resilient(

@@ -34,6 +34,7 @@ from repro.resilience.policy import DeadlineBudget, RetryPolicy
 from repro.resilience.watchdog import ResilientSolver
 from repro.runtime.batch import BatchRunner, Trial
 from repro.runtime.instrumentation import RunStats
+from repro.telemetry.trace import span
 
 
 @dataclass
@@ -143,22 +144,37 @@ def explore_pareto(
             },
         )
         if resume:
-            for record in ckpt.load():
-                if record.get("stage") == "extreme":
-                    restored_extremes[record["objective"]] = record
-                elif record.get("stage") == "point":
-                    restored_points[int(record["index"])] = record
+            with span("checkpoint.restore", kind="pareto") as restore_span:
+                for record in ckpt.load():
+                    if record.get("stage") == "extreme":
+                        restored_extremes[record["objective"]] = record
+                    elif record.get("stage") == "point":
+                        restored_points[int(record["index"])] = record
+                restore_span.set_attributes(
+                    extremes=len(restored_extremes),
+                    points=len(restored_points),
+                    path=str(checkpoint),
+                )
 
     original_solver = explorer.solver
     if budget is not None or retry is not None:
         explorer.solver = _resilient(original_solver, budget, retry)
     try:
-        return _sweep(
-            explorer, primary, secondary, points,
-            parallel=parallel, runner=runner, budget=budget,
-            ckpt=ckpt, restored_extremes=restored_extremes,
-            restored_points=restored_points,
-        )
+        with span(
+            "pareto.sweep",
+            primary=primary,
+            secondary=secondary,
+            points=points,
+            parallel=parallel,
+        ) as sweep_span:
+            front = _sweep(
+                explorer, primary, secondary, points,
+                parallel=parallel, runner=runner, budget=budget,
+                ckpt=ckpt, restored_extremes=restored_extremes,
+                restored_points=restored_points,
+            )
+            sweep_span.set_attribute("front_size", len(front.points))
+            return front
     finally:
         explorer.solver = original_solver
 
@@ -270,7 +286,8 @@ def _extreme_range(
         if record is not None:
             values[objective] = float(record["secondary_term"])
             continue
-        result = explorer.solve(objective)
+        with span("pareto.extreme", objective=objective):
+            result = explorer.solve(objective)
         if objective == secondary and not result.feasible:
             raise ValueError(
                 f"no feasible design exists ({secondary} extreme)"
@@ -321,33 +338,35 @@ def _solve_budget(
     budget: float,
 ) -> ParetoPoint | None:
     """One epsilon-constraint solve: min primary s.t. secondary <= budget."""
-    stats = RunStats()
-    with stats.timings.phase("encode"):
-        built = explorer.build(primary, stats=stats)
-    built.model.add(
-        built.objective_exprs[secondary] <= budget * (1 + 1e-9),
-        name=f"pareto:{secondary}_budget",
-    )
-    solution = explorer.solver.solve(built.model)
-    stats.timings.add("solve", solution.solve_time)
-    if not solution.status.has_solution:
-        return None
-    architecture, terms = explorer._decode(solution, built)
-    result = SynthesisResult(
-        status=solution.status,
-        architecture=architecture,
-        solution=solution,
-        model_stats=built.model.stats(),
-        encode_seconds=stats.timings.get("encode"),
-        solve_seconds=solution.solve_time,
-        encoder_name=explorer.encoder_name,
-        objective_terms=terms,
-        run_stats=stats,
-        solve_attempts=list(solution.extra.get("solve_attempts", ())),
-    )
-    return ParetoPoint(
-        primary=terms[primary],
-        secondary=terms[secondary],
-        secondary_budget=budget,
-        result=result,
-    )
+    with span("pareto.point", budget=budget) as point_span:
+        stats = RunStats()
+        with stats.timings.phase("encode"):
+            built = explorer.build(primary, stats=stats)
+        built.model.add(
+            built.objective_exprs[secondary] <= budget * (1 + 1e-9),
+            name=f"pareto:{secondary}_budget",
+        )
+        solution = explorer.solver.solve(built.model)
+        stats.timings.add("solve", solution.solve_time)
+        point_span.set_attribute("status", solution.status.name)
+        if not solution.status.has_solution:
+            return None
+        architecture, terms = explorer._decode(solution, built)
+        result = SynthesisResult(
+            status=solution.status,
+            architecture=architecture,
+            solution=solution,
+            model_stats=built.model.stats(),
+            encode_seconds=stats.timings.get("encode"),
+            solve_seconds=solution.solve_time,
+            encoder_name=explorer.encoder_name,
+            objective_terms=terms,
+            run_stats=stats,
+            solve_attempts=list(solution.extra.get("solve_attempts", ())),
+        )
+        return ParetoPoint(
+            primary=terms[primary],
+            secondary=terms[secondary],
+            secondary_budget=budget,
+            result=result,
+        )

@@ -31,6 +31,8 @@ from scipy.optimize import linprog
 from repro.milp.model import Model, StandardForm
 from repro.milp.solution import Solution, SolveStatus
 from repro.resilience.faults import fires, maybe_fire
+from repro.telemetry.progress import SolveProgress
+from repro.telemetry.trace import span
 
 _INT_TOL = 1e-6
 
@@ -106,7 +108,23 @@ class BranchAndBoundSolver:
         )
 
     def solve(self, model: Model) -> Solution:
-        """Run branch and bound on ``model``."""
+        """Run branch and bound on ``model``.
+
+        The solve records an incumbent trajectory (see
+        :mod:`repro.telemetry.progress`): one event per new incumbent
+        plus a terminal summary, exposed as
+        ``Solution.incumbent_trajectory`` and mirrored onto the
+        enclosing trace span when tracing is armed.
+        """
+        with span("solver.solve", solver=self.name) as solve_span:
+            solution = self._solve(model)
+            solve_span.set_attributes(
+                status=solution.status.name,
+                nodes=solution.node_count,
+            )
+            return solution
+
+    def _solve(self, model: Model) -> Solution:
         maybe_fire("solver.hang")
         if fires("solver.error"):
             return Solution(
@@ -148,6 +166,11 @@ class BranchAndBoundSolver:
             return Solution(SolveStatus.ERROR, message=str(root.message),
                             solve_time=time.perf_counter() - start)
 
+        # LP objectives are c @ x; the trajectory reports user-space
+        # objectives, so the model's constant term is folded into every
+        # recorded incumbent/bound.
+        constant = model.objective.constant
+        progress = SolveProgress(self.name)
         incumbent_x: npt.NDArray[np.float64] | None = None
         incumbent_obj = math.inf
         serial = 0
@@ -184,6 +207,11 @@ class BranchAndBoundSolver:
                     incumbent_x = x.copy()
                     if len(int_idx):
                         incumbent_x[int_idx] = np.round(incumbent_x[int_idx])
+                    progress.incumbent(
+                        nodes_explored,
+                        incumbent_obj + constant,
+                        bound=best_bound + constant,
+                    )
                 continue
             # Branch on the most fractional integer variable.
             j = int(int_idx[int(np.argmax(frac))])
@@ -204,12 +232,20 @@ class BranchAndBoundSolver:
                 )
 
         elapsed = time.perf_counter() - start
+        progress.done(
+            nodes_explored,
+            None if incumbent_x is None else incumbent_obj + constant,
+            best_bound + constant if math.isfinite(best_bound) else None,
+        )
+        extra: dict[str, Any] = {
+            "incumbent_trajectory": progress.trajectory()
+        }
         if incumbent_x is None:
             if heap or nodes_explored >= self.node_limit:
                 return Solution(SolveStatus.TIMEOUT, solve_time=elapsed,
-                                node_count=nodes_explored)
+                                node_count=nodes_explored, extra=extra)
             return Solution(SolveStatus.INFEASIBLE, solve_time=elapsed,
-                            node_count=nodes_explored)
+                            node_count=nodes_explored, extra=extra)
 
         if heap:
             gap_ref = max(abs(incumbent_obj), 1e-9)
@@ -224,9 +260,10 @@ class BranchAndBoundSolver:
         return Solution(
             status=status,
             # LP objectives are c @ x; fold the constant term back in.
-            objective=incumbent_obj + model.objective.constant,
+            objective=incumbent_obj + constant,
             x=incumbent_x,
             solve_time=elapsed,
             mip_gap=gap,
             node_count=nodes_explored,
+            extra=extra,
         )

@@ -19,6 +19,7 @@ from scipy.optimize import Bounds, LinearConstraint, milp
 from repro.milp.model import Model
 from repro.milp.solution import Solution, SolveStatus
 from repro.resilience.faults import fires, maybe_fire
+from repro.telemetry.trace import span
 
 #: Map from scipy.optimize.milp status codes to our statuses when no
 #: assignment is attached.
@@ -88,7 +89,21 @@ class HighsSolver:
         return clone
 
     def solve(self, model: Model) -> Solution:
-        """Run HiGHS on ``model`` and return a :class:`Solution`."""
+        """Run HiGHS on ``model`` and return a :class:`Solution`.
+
+        The whole backend call is one ``solver.solve`` span (scipy's
+        ``milp`` exposes no progress callback, so unlike the
+        branch-and-bound backend there is no incumbent trajectory).
+        """
+        with span("solver.solve", solver=self.name) as solve_span:
+            solution = self._solve(model)
+            solve_span.set_attributes(
+                status=solution.status.name,
+                nodes=solution.node_count,
+            )
+            return solution
+
+    def _solve(self, model: Model) -> Solution:
         maybe_fire("solver.hang")
         if fires("solver.error"):
             return Solution(

@@ -41,6 +41,17 @@ class Solution:
     message: str = ""
     extra: dict[str, Any] = field(default_factory=dict)
 
+    @property
+    def incumbent_trajectory(self) -> list[dict[str, Any]]:
+        """Convergence events recorded during the solve.
+
+        Each entry is a :meth:`repro.telemetry.progress.ProgressEvent.
+        to_dict` payload (kind/nodes/incumbent/bound/elapsed_s).  Empty
+        for backends that do not report progress (e.g. HiGHS through
+        scipy, which exposes no callback).
+        """
+        return list(self.extra.get("incumbent_trajectory", ()))
+
     def value(self, item: Var | LinExpr) -> float:
         """Evaluate a variable or expression under this assignment."""
         if self.x is None:

@@ -41,6 +41,7 @@ from repro.resilience.policy import (
     RetryPolicy,
     Sleep,
 )
+from repro.telemetry.trace import span
 
 #: Statuses that end the solve immediately (a definitive answer or a
 #: usable design) — retrying them cannot improve the outcome.
@@ -63,6 +64,9 @@ class SolveAttempt:
     message: str = ""
     fallback: bool = False  # True when not the primary backend
     degraded: bool = False  # True when an unproven incumbent was accepted
+    #: The attempt's ``solve.attempt`` trace span (empty when untraced);
+    #: cross-links the stats-json attempt log to the JSONL trace.
+    span_id: str = ""
 
     def to_dict(self) -> dict:
         """JSON-ready representation (for ``--stats-json``)."""
@@ -74,6 +78,7 @@ class SolveAttempt:
             "message": self.message,
             "fallback": self.fallback,
             "degraded": self.degraded,
+            "span_id": self.span_id,
         }
 
 
@@ -246,26 +251,40 @@ class ResilientSolver:
         record = SolveAttempt(
             solver=name, attempt=attempt, status="crash", fallback=is_fallback
         )
-        start = self._clock()
-        try:
-            solution = self._call(configured, model, limit)
-        except TimeoutError as exc:  # includes InjectedHang / SolverHang
-            record.status = "hang"
-            record.message = str(exc)
+        if attempt > 1:
+            from repro.telemetry.metrics import counter
+
+            counter("solver.retries", solver=name).inc()
+        with span(
+            "solve.attempt",
+            solver=name,
+            attempt=attempt,
+            fallback=is_fallback,
+        ) as attempt_span:
+            record.span_id = attempt_span.span_id
+            start = self._clock()
+            try:
+                solution = self._call(configured, model, limit)
+            except TimeoutError as exc:  # includes InjectedHang / SolverHang
+                record.status = "hang"
+                record.message = str(exc)
+                record.seconds = self._clock() - start
+                attempt_span.set_attribute("outcome", record.status)
+                return None, record
+            except Exception as exc:  # noqa: BLE001 - backend crash retries
+                record.message = f"{type(exc).__name__}: {exc}"
+                record.seconds = self._clock() - start
+                attempt_span.set_attribute("outcome", record.status)
+                return None, record
             record.seconds = self._clock() - start
-            return None, record
-        except Exception as exc:  # noqa: BLE001 - any backend crash retries
-            record.message = f"{type(exc).__name__}: {exc}"
-            record.seconds = self._clock() - start
-            return None, record
-        record.seconds = self._clock() - start
-        record.status = solution.status.value
-        record.message = solution.message
-        if solution.status is SolveStatus.FEASIBLE:
-            # Graceful degradation: accept the incumbent at the limit
-            # rather than failing the rung; flag it for the stats.
-            record.degraded = True
-        return solution, record
+            record.status = solution.status.value
+            record.message = solution.message
+            if solution.status is SolveStatus.FEASIBLE:
+                # Graceful degradation: accept the incumbent at the limit
+                # rather than failing the rung; flag it for the stats.
+                record.degraded = True
+            attempt_span.set_attribute("outcome", record.status)
+            return solution, record
 
     def _call(self, backend: Any, model: Model, limit: float | None) -> Solution:
         if self.hang_timeout_s is None:

@@ -50,6 +50,16 @@ budget's remaining time, and trials that start after expiry fail fast
 with a :class:`TimeoutError` without running.  The ``worker.crash``
 fault site (see :mod:`repro.resilience.faults`) fires inside the worker
 wrapper, so injected crashes exercise the same retry path as real ones.
+
+Telemetry
+---------
+When tracing is armed (:mod:`repro.telemetry.trace`), the caller's span
+context is captured once per batch and re-established inside every
+worker, so spans opened by trial functions parent correctly even though
+pool workers do not inherit contextvars.  Thread workers emit straight
+into the shared tracer; process workers buffer their records and return
+them with the result, and the parent re-ingests them — either way a
+parallel sweep reconstructs into one span tree.
 """
 
 from __future__ import annotations
@@ -72,6 +82,7 @@ from typing import Any
 
 from repro.resilience.faults import maybe_fire
 from repro.resilience.policy import DeadlineBudget, RetryPolicy
+from repro.telemetry.trace import SpanContext, adopt, capture, ingest
 
 MODES = ("auto", "process", "thread", "sequential")
 
@@ -112,15 +123,31 @@ class TrialOutcome:
         return self.value
 
 
-def _timed_call(fn: Callable, args: tuple, kwargs: dict) -> tuple[Any, float]:
+def _timed_call(
+    fn: Callable,
+    args: tuple,
+    kwargs: dict,
+    span_ctx: SpanContext | None = None,
+) -> tuple[Any, float, tuple]:
     """Run ``fn`` and measure it inside the worker (module-level so it
     pickles for process pools).  Carries the ``worker.crash`` fault site:
     under an active plan (installed, or ``REPRO_FAULTS`` inherited across
-    fork) the injected crash surfaces exactly like a real one."""
+    fork) the injected crash surfaces exactly like a real one.
+
+    ``span_ctx`` re-parents the worker's spans under the submitting
+    span (pool threads and processes do not inherit the caller's
+    contextvars).  The third return element is the records buffered in a
+    *process* worker, for the parent to re-ingest; it is always empty
+    in-process.
+    """
     maybe_fire("worker.crash")
     start = time.perf_counter()
-    value = fn(*args, **kwargs)
-    return value, time.perf_counter() - start
+    if span_ctx is None:
+        value = fn(*args, **kwargs)
+        return value, time.perf_counter() - start, ()
+    with adopt(span_ctx) as scope:
+        value = fn(*args, **kwargs)
+    return value, time.perf_counter() - start, scope.records()
 
 
 def _picklable(trial: Trial) -> bool:
@@ -299,8 +326,15 @@ class BatchRunner:
             return ProcessPoolExecutor(max_workers=self.workers)
         return ThreadPoolExecutor(max_workers=self.workers)
 
-    def _submit(self, executor, trial: Trial) -> Future:
-        return executor.submit(_timed_call, trial.fn, trial.args, trial.kwargs)
+    def _submit(
+        self,
+        executor,
+        trial: Trial,
+        span_ctx: SpanContext | None = None,
+    ) -> Future:
+        return executor.submit(
+            _timed_call, trial.fn, trial.args, trial.kwargs, span_ctx
+        )
 
     def _recycle_pool(self, executor, mode: str):
         """Tear the pool down (reclaiming its workers) and build a fresh
@@ -350,6 +384,7 @@ class BatchRunner:
         trials: list[Trial],
         futures: list[Future],
         start_index: int,
+        span_ctx: SpanContext | None = None,
     ) -> None:
         """Re-place every not-yet-finished trial on a fresh pool (their
         previous futures were cancelled or killed with the old pool).
@@ -367,7 +402,7 @@ class BatchRunner:
                 pending = isinstance(future.exception(), BrokenExecutor)
             if pending:
                 future.cancel()
-                futures[j] = self._submit(executor, trials[j])
+                futures[j] = self._submit(executor, trials[j], span_ctx)
 
     def _run_pooled(
         self,
@@ -378,9 +413,12 @@ class BatchRunner:
         outcomes = [
             TrialOutcome(index=i, label=t.label) for i, t in enumerate(trials)
         ]
+        # Snapshot the caller's span context once: pool workers do not
+        # inherit contextvars, so it rides along with every submission.
+        span_ctx = capture()
         executor = self._make_executor(mode)
         try:
-            futures = [self._submit(executor, t) for t in trials]
+            futures = [self._submit(executor, t, span_ctx) for t in trials]
             for index, trial in enumerate(trials):
                 outcome = outcomes[index]
                 if self._deadline_expired(outcome):
@@ -396,8 +434,14 @@ class BatchRunner:
                     outcome.attempts = attempt
                     future = futures[index]
                     try:
-                        outcome.value, outcome.seconds = future.result(timeout)
+                        outcome.value, outcome.seconds, records = (
+                            future.result(timeout)
+                        )
                         outcome.error = None
+                        if records:
+                            # Spans buffered in a process worker: re-emit
+                            # them here so the parent's sinks see one tree.
+                            ingest(records)
                         break
                     except FutureTimeoutError:
                         future.cancel()
@@ -414,7 +458,7 @@ class BatchRunner:
                         # onto the replacement.
                         executor = self._recycle_pool(executor, mode)
                         self._resubmit_unfinished(
-                            executor, trials, futures, index + 1
+                            executor, trials, futures, index + 1, span_ctx
                         )
                         break
                     except (BrokenExecutor, CancelledError) as exc:
@@ -423,18 +467,18 @@ class BatchRunner:
                         # before retrying, or give up.
                         executor = self._recycle_pool(executor, mode)
                         self._resubmit_unfinished(
-                            executor, trials, futures, index + 1
+                            executor, trials, futures, index + 1, span_ctx
                         )
                         if attempt > self.retries:
                             outcome.error = exc
                             break
-                        futures[index] = self._submit(executor, trial)
+                        futures[index] = self._submit(executor, trial, span_ctx)
                     except Exception as exc:  # noqa: BLE001 - reported per trial
                         if attempt > self.retries:
                             outcome.error = exc
                             break
                         self._backoff(attempt)
-                        futures[index] = self._submit(executor, trial)
+                        futures[index] = self._submit(executor, trial, span_ctx)
                 if on_outcome is not None:
                     on_outcome(outcome)
         finally:

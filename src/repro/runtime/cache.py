@@ -33,6 +33,7 @@ from repro.graph.api import k_shortest_paths, resolve_backend
 from repro.graph.digraph import DiGraph
 from repro.resilience.faults import maybe_fire
 from repro.runtime.instrumentation import CacheCounters, RunStats
+from repro.telemetry.trace import span
 
 #: Cache regions, used for counter attribution.
 REGION_PATHLOSS = "pathloss"
@@ -125,8 +126,11 @@ class EncodeCache:
             # Fault site "cache.compute": an injected failure takes the
             # same cleanup path as a real one — the in-flight marker is
             # evicted so the key stays retryable as a fresh miss.
-            maybe_fire("cache.compute")
-            value = compute()
+            # Only misses get a span: hits are far too hot to trace
+            # individually (they are counted in the metrics registry).
+            with span("cache.compute", region=region):
+                maybe_fire("cache.compute")
+                value = compute()
         except BaseException:
             with self._lock:
                 self._entries.pop(key, None)

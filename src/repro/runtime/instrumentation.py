@@ -11,6 +11,14 @@ structured JSON by the CLI (``--stats-json``).
 The counters are cheap plain dicts; a trial owns its ``RunStats`` while
 the cache itself is shared, so per-trial attribution works even when many
 trials run concurrently on one cache.
+
+Since the :mod:`repro.telemetry` subsystem landed, ``RunStats`` is a thin
+compatibility shim over the process-wide metrics registry: every phase
+timing and cache lookup recorded here is mirrored into
+:mod:`repro.telemetry.metrics` (``phase.seconds`` histograms,
+``cache.lookups`` counters), so ``--metrics`` exports aggregate across
+all trials while the per-trial dicts — and the ``--stats-json`` payload
+built from them — stay exactly as before.
 """
 
 from __future__ import annotations
@@ -21,8 +29,14 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from collections.abc import Iterator
 
+from repro.telemetry import metrics as _metrics
+
 #: Canonical phase names, in pipeline order (other names are allowed).
 PHASES = ("analyze", "pathloss", "yen", "encode", "solve")
+
+#: Version of the ``--stats-json`` payload (bumped when keys change).
+#: v1: implicit/unversioned (PR 1-4).  v2: adds ``schema_version``.
+STATS_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -33,9 +47,12 @@ class CacheCounters:
     misses: dict[str, int] = field(default_factory=dict)
 
     def record(self, region: str, hit: bool) -> None:
-        """Count one lookup against ``region``."""
+        """Count one lookup against ``region`` (mirrored to metrics)."""
         table = self.hits if hit else self.misses
         table[region] = table.get(region, 0) + 1
+        _metrics.counter(
+            "cache.lookups", region=region, result="hit" if hit else "miss"
+        ).inc()
 
     def hit_count(self, region: str | None = None) -> int:
         """Total hits, optionally restricted to one region."""
@@ -68,8 +85,9 @@ class PhaseTimings:
     seconds: dict[str, float] = field(default_factory=dict)
 
     def add(self, phase: str, elapsed: float) -> None:
-        """Accumulate ``elapsed`` seconds against ``phase``."""
+        """Accumulate ``elapsed`` seconds against ``phase`` (mirrored)."""
         self.seconds[phase] = self.seconds.get(phase, 0.0) + elapsed
+        _metrics.histogram("phase.seconds", phase=phase).observe(elapsed)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -85,9 +103,13 @@ class PhaseTimings:
         return self.seconds.get(phase, 0.0)
 
     def merge(self, other: PhaseTimings) -> None:
-        """Fold another timing set into this one."""
+        """Fold another timing set into this one.
+
+        Bypasses :meth:`add` so already-mirrored observations are not
+        double-counted in the metrics registry.
+        """
         for phase, elapsed in other.seconds.items():
-            self.add(phase, elapsed)
+            self.seconds[phase] = self.seconds.get(phase, 0.0) + elapsed
 
     def to_dict(self) -> dict:
         """JSON-ready representation."""

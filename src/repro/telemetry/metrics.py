@@ -1,0 +1,312 @@
+"""A process-wide metrics registry: counters, gauges, histograms.
+
+The registry is the always-on half of the telemetry subsystem: cache hit
+ratios, retry counts, rung sizes and solve-time distributions accumulate
+here whether or not a trace sink is armed, and the CLI's ``--metrics``
+flag exports the whole registry as Prometheus text exposition (see
+:func:`repro.telemetry.sinks.prometheus_text`).
+
+Updates are cheap and thread-safe: instruments live in a read-mostly
+dict (lock-free lookup on the hot path, double-checked creation under a
+registry lock) and each instrument carries one of a small pool of
+*striped* locks, so concurrent trials updating different instruments do
+not serialize on a single registry lock.
+
+Instrument identity is ``(name, labels)`` — ``counter("cache.lookups",
+region="yen", result="hit")`` and the same name with ``result="miss"``
+are independent time series, exactly like Prometheus labels.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from collections.abc import Iterable, Sequence
+from typing import Any, Union
+
+#: Default histogram buckets: solve/encode times from 1 ms to 5 minutes.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
+    60.0, 300.0,
+)
+
+_STRIPES = 16
+
+LabelValue = Union[str, int, float, bool]
+Key = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _key(name: str, labels: dict[str, LabelValue]) -> Key:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, labels: dict[str, str], lock: threading.Lock
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current count."""
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready state."""
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (pool sizes, rung counts)."""
+
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, labels: dict[str, str], lock: threading.Lock
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the current value by ``amount``."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Adjust the current value by ``-amount``."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """The current value."""
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready state."""
+        return {"value": self.value}
+
+
+class Histogram:
+    """A fixed-bucket distribution (cumulative, Prometheus-style).
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket catches the
+    tail.  ``observe`` is O(log buckets) plus one striped-lock hold.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "_lock", "_counts", "_sum", "_count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict[str, str],
+        lock: threading.Lock,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self._lock = lock
+        self._counts = [0] * (len(bounds) + 1)  # +Inf tail
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect_right(self.buckets, value)
+        # bisect_right puts value == bound into the *next* bucket; the
+        # Prometheus convention is le (inclusive upper bound).
+        if index > 0 and value <= self.buckets[index - 1]:
+            index -= 1
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observations."""
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready state: cumulative ``le`` counts plus sum/count."""
+        with self._lock:
+            counts = list(self._counts)
+            total, n = self._sum, self._count
+        cumulative: dict[str, int] = {}
+        running = 0
+        for bound, c in zip(self.buckets, counts):
+            running += c
+            cumulative[repr(bound)] = running
+        cumulative["+Inf"] = running + counts[-1]
+        return {"buckets": cumulative, "sum": total, "count": n}
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Process-wide instrument store with lock-striped updates."""
+
+    def __init__(self, stripes: int = _STRIPES) -> None:
+        self._create_lock = threading.Lock()
+        self._stripes = [threading.Lock() for _ in range(max(1, stripes))]
+        self._instruments: dict[Key, Instrument] = {}
+
+    def _stripe(self, key: Key) -> threading.Lock:
+        return self._stripes[hash(key) % len(self._stripes)]
+
+    def _get_or_create(
+        self, cls: type, key: Key, **kwargs: Any
+    ) -> Instrument:
+        # Lock-free fast path: dict reads are atomic in CPython, and
+        # instruments are never removed outside reset().
+        found = self._instruments.get(key)
+        if found is not None:
+            if not isinstance(found, cls):
+                raise TypeError(
+                    f"metric {key[0]!r} already registered as "
+                    f"{found.kind}, not {cls.__name__.lower()}"
+                )
+            return found
+        with self._create_lock:
+            found = self._instruments.get(key)
+            if found is None:
+                name, label_items = key
+                found = cls(
+                    name, dict(label_items), self._stripe(key), **kwargs
+                )
+                self._instruments[key] = found
+        if not isinstance(found, cls):
+            raise TypeError(
+                f"metric {key[0]!r} already registered as "
+                f"{found.kind}, not {cls.__name__.lower()}"
+            )
+        return found
+
+    def counter(self, name: str, **labels: LabelValue) -> Counter:
+        """Get or create the counter ``name`` with ``labels``."""
+        instrument = self._get_or_create(Counter, _key(name, labels))
+        assert isinstance(instrument, Counter)
+        return instrument
+
+    def gauge(self, name: str, **labels: LabelValue) -> Gauge:
+        """Get or create the gauge ``name`` with ``labels``."""
+        instrument = self._get_or_create(Gauge, _key(name, labels))
+        assert isinstance(instrument, Gauge)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] | None = None,
+        **labels: LabelValue,
+    ) -> Histogram:
+        """Get or create the histogram ``name`` with ``labels``.
+
+        ``buckets`` only applies on first creation; later lookups return
+        the existing instrument unchanged.
+        """
+        instrument = self._get_or_create(
+            Histogram,
+            _key(name, labels),
+            buckets=tuple(buckets) if buckets is not None else DEFAULT_BUCKETS,
+        )
+        assert isinstance(instrument, Histogram)
+        return instrument
+
+    def instruments(self) -> list[Instrument]:
+        """Every registered instrument, sorted by (name, labels)."""
+        with self._create_lock:
+            items = sorted(self._instruments.items(), key=lambda kv: kv[0])
+        return [instrument for _, instrument in items]
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready dump of the whole registry."""
+        out: dict[str, Any] = {}
+        for instrument in self.instruments():
+            series = out.setdefault(
+                instrument.name, {"kind": instrument.kind, "series": []}
+            )
+            series["series"].append(
+                {"labels": dict(instrument.labels), **instrument.snapshot()}
+            )
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh CLI runs)."""
+        with self._create_lock:
+            self._instruments = {}
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _registry
+
+
+def counter(name: str, **labels: LabelValue) -> Counter:
+    """Shorthand for ``get_registry().counter(...)``."""
+    return _registry.counter(name, **labels)
+
+
+def gauge(name: str, **labels: LabelValue) -> Gauge:
+    """Shorthand for ``get_registry().gauge(...)``."""
+    return _registry.gauge(name, **labels)
+
+
+def histogram(
+    name: str,
+    buckets: Iterable[float] | None = None,
+    **labels: LabelValue,
+) -> Histogram:
+    """Shorthand for ``get_registry().histogram(...)``."""
+    return _registry.histogram(
+        name, buckets=tuple(buckets) if buckets is not None else None,
+        **labels,
+    )
+
+
+def reset() -> None:
+    """Reset the default registry (tests and fresh CLI runs)."""
+    _registry.reset()

@@ -1,0 +1,127 @@
+"""Solver progress events: incumbent/bound/node-count trajectories.
+
+Branch-and-bound quality is a *curve*, not a number — how fast the
+incumbent objective and the dual bound converge tells you far more than
+the final optimum (D'Andreagiovanni et al. justify their MILP primal
+heuristic entirely from such trajectories).  :class:`SolveProgress` is a
+tiny recorder the solvers drive: each update is kept in-process (it ends
+up on ``Solution.extra["incumbent_trajectory"]`` and the
+``Solution.incumbent_trajectory`` property) and, when tracing is armed,
+mirrored as an event on the enclosing span so the JSONL trace shows
+incumbents inline with rungs and attempts.
+
+Recording is O(1) per update and allocation-light; solvers may also
+thin their updates (only on incumbent improvement) to keep trajectories
+small on big trees.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.telemetry.metrics import counter
+from repro.telemetry.trace import add_event
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One point on a solve's convergence curve."""
+
+    #: What triggered the update: ``"incumbent"`` (new best feasible),
+    #: ``"bound"`` (dual bound moved), or ``"done"`` (terminal summary).
+    kind: str
+    #: Nodes explored when the event fired.
+    nodes: int
+    #: Best feasible objective so far (``None`` before any incumbent).
+    incumbent: float | None
+    #: Best dual bound so far (``None`` if the solver does not track one).
+    bound: float | None
+    #: Seconds since the recorder was created.
+    elapsed_s: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (rides on ``Solution.extra``)."""
+        return {
+            "kind": self.kind,
+            "nodes": self.nodes,
+            "incumbent": self.incumbent,
+            "bound": self.bound,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+class SolveProgress:
+    """Accumulate :class:`ProgressEvent` points during one solve.
+
+    Not thread-safe: each solver call owns its recorder.  ``solver`` is
+    a short backend label ("branch-and-bound", "highs") used for the
+    trace events and the ``solver.incumbent_updates`` counter.
+    """
+
+    __slots__ = ("solver", "_events", "_start")
+
+    def __init__(self, solver: str) -> None:
+        self.solver = solver
+        self._events: list[ProgressEvent] = []
+        self._start = time.perf_counter()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> tuple[ProgressEvent, ...]:
+        """Everything recorded so far, in order."""
+        return tuple(self._events)
+
+    def _record(
+        self,
+        kind: str,
+        nodes: int,
+        incumbent: float | None,
+        bound: float | None,
+    ) -> ProgressEvent:
+        event = ProgressEvent(
+            kind=kind,
+            nodes=nodes,
+            incumbent=incumbent,
+            bound=bound,
+            elapsed_s=round(time.perf_counter() - self._start, 9),
+        )
+        self._events.append(event)
+        add_event(
+            f"solve.{kind}",
+            solver=self.solver,
+            nodes=nodes,
+            incumbent=incumbent,
+            bound=bound,
+            elapsed_s=event.elapsed_s,
+        )
+        return event
+
+    def incumbent(
+        self, nodes: int, objective: float, bound: float | None = None
+    ) -> ProgressEvent:
+        """A new best feasible solution was found."""
+        counter("solver.incumbent_updates", solver=self.solver).inc()
+        return self._record("incumbent", nodes, objective, bound)
+
+    def bound(
+        self, nodes: int, bound: float, incumbent: float | None = None
+    ) -> ProgressEvent:
+        """The dual bound improved (without a new incumbent)."""
+        return self._record("bound", nodes, incumbent, bound)
+
+    def done(
+        self,
+        nodes: int,
+        incumbent: float | None,
+        bound: float | None,
+    ) -> ProgressEvent:
+        """Terminal summary once the solve finishes."""
+        return self._record("done", nodes, incumbent, bound)
+
+    def trajectory(self) -> list[dict[str, Any]]:
+        """JSON-ready event list for ``Solution.extra``."""
+        return [event.to_dict() for event in self._events]

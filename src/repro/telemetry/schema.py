@@ -1,0 +1,245 @@
+"""Published JSONL trace schema and a dependency-free validator.
+
+The trace log written by :class:`repro.telemetry.sinks.JsonlSink` is a
+public artifact — CI validates it, and downstream tooling may parse it —
+so its shape is pinned here: :data:`TRACE_RECORD_SCHEMA` is the
+JSON-Schema document we publish (``docs/observability.md`` embeds it),
+and :func:`validate_record` / :func:`validate_file` are a hand-rolled
+validator for exactly that schema (CI images do not ship ``jsonschema``,
+and telemetry must not grow dependencies).
+
+Beyond per-record shape, :func:`check_tree` asserts structural
+well-formedness of the whole log: every trace has exactly one root span,
+no span references a parent that never appears, and every event belongs
+to a recorded span.
+
+Run as a module for the CI smoke gate::
+
+    python -m repro.telemetry.schema trace.jsonl
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Iterable, Mapping, Sequence
+from pathlib import Path
+from typing import Any
+
+from repro.telemetry.sinks import read_jsonl
+from repro.telemetry.trace import TRACE_SCHEMA_VERSION
+
+#: JSON Schema (draft-07 style) for one line of a trace JSONL file.
+TRACE_RECORD_SCHEMA: dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro telemetry trace record",
+    "oneOf": [
+        {
+            "type": "object",
+            "required": [
+                "schema", "type", "trace", "span", "parent", "name",
+                "t", "duration_s", "status", "message", "attrs",
+                "pid", "thread",
+            ],
+            "properties": {
+                "schema": {"const": TRACE_SCHEMA_VERSION},
+                "type": {"const": "span"},
+                "trace": {"type": "string", "minLength": 1},
+                "span": {"type": "string", "minLength": 1},
+                "parent": {"type": ["string", "null"]},
+                "name": {"type": "string", "minLength": 1},
+                "t": {"type": "number"},
+                "duration_s": {"type": "number", "minimum": 0},
+                "status": {"enum": ["ok", "error"]},
+                "message": {"type": "string"},
+                "attrs": {"type": "object"},
+                "pid": {"type": "integer"},
+                "thread": {"type": "integer"},
+            },
+        },
+        {
+            "type": "object",
+            "required": ["schema", "type", "trace", "span", "name", "t", "attrs"],
+            "properties": {
+                "schema": {"const": TRACE_SCHEMA_VERSION},
+                "type": {"const": "event"},
+                "trace": {"type": "string", "minLength": 1},
+                "span": {"type": "string", "minLength": 1},
+                "name": {"type": "string", "minLength": 1},
+                "t": {"type": "number"},
+                "attrs": {"type": "object"},
+            },
+        },
+    ],
+}
+
+_SPAN_REQUIRED: dict[str, tuple[type, ...]] = {
+    "trace": (str,),
+    "span": (str,),
+    "name": (str,),
+    "t": (int, float),
+    "duration_s": (int, float),
+    "status": (str,),
+    "message": (str,),
+    "attrs": (dict,),
+    "pid": (int,),
+    "thread": (int,),
+}
+
+_EVENT_REQUIRED: dict[str, tuple[type, ...]] = {
+    "trace": (str,),
+    "span": (str,),
+    "name": (str,),
+    "t": (int, float),
+    "attrs": (dict,),
+}
+
+
+def _check_fields(
+    record: Mapping[str, Any],
+    required: Mapping[str, tuple[type, ...]],
+    where: str,
+) -> list[str]:
+    errors: list[str] = []
+    for key, types in required.items():
+        if key not in record:
+            errors.append(f"{where}: missing required field {key!r}")
+            continue
+        value = record[key]
+        # bool is an int subclass; keep booleans out of numeric fields.
+        if isinstance(value, bool) and bool not in types:
+            errors.append(f"{where}: field {key!r} must not be a bool")
+        elif not isinstance(value, types):
+            expected = "/".join(t.__name__ for t in types)
+            errors.append(
+                f"{where}: field {key!r} has type "
+                f"{type(value).__name__}, expected {expected}"
+            )
+    return errors
+
+
+def validate_record(record: Any, where: str = "record") -> list[str]:
+    """Validate one parsed JSONL line; return error strings (empty = ok)."""
+    if not isinstance(record, dict):
+        return [f"{where}: not a JSON object"]
+    errors: list[str] = []
+    if record.get("schema") != TRACE_SCHEMA_VERSION:
+        errors.append(
+            f"{where}: schema {record.get('schema')!r} != "
+            f"{TRACE_SCHEMA_VERSION}"
+        )
+    kind = record.get("type")
+    if kind == "span":
+        errors.extend(_check_fields(record, _SPAN_REQUIRED, where))
+        if "parent" not in record:
+            errors.append(f"{where}: missing required field 'parent'")
+        elif record["parent"] is not None and not isinstance(
+            record["parent"], str
+        ):
+            errors.append(f"{where}: field 'parent' must be string or null")
+        status = record.get("status")
+        if isinstance(status, str) and status not in ("ok", "error"):
+            errors.append(f"{where}: status {status!r} not in (ok, error)")
+        duration = record.get("duration_s")
+        if isinstance(duration, (int, float)) and duration < 0:
+            errors.append(f"{where}: duration_s {duration} is negative")
+    elif kind == "event":
+        errors.extend(_check_fields(record, _EVENT_REQUIRED, where))
+    else:
+        errors.append(f"{where}: type {kind!r} not in (span, event)")
+    for field in ("trace", "span", "name"):
+        value = record.get(field)
+        if isinstance(value, str) and not value:
+            errors.append(f"{where}: field {field!r} is empty")
+    return errors
+
+
+def check_tree(records: Iterable[Mapping[str, Any]]) -> list[str]:
+    """Assert structural well-formedness of a whole trace log.
+
+    Per trace id: exactly one root span (``parent: null``), every
+    non-null parent id appears as a span in the same trace, and every
+    event's span id is a recorded span.
+    """
+    spans_by_trace: dict[str, list[Mapping[str, Any]]] = {}
+    events_by_trace: dict[str, list[Mapping[str, Any]]] = {}
+    for record in records:
+        trace = record.get("trace", "")
+        if record.get("type") == "span":
+            spans_by_trace.setdefault(trace, []).append(record)
+        elif record.get("type") == "event":
+            events_by_trace.setdefault(trace, []).append(record)
+
+    errors: list[str] = []
+    for trace, spans in sorted(spans_by_trace.items()):
+        ids = {s["span"] for s in spans}
+        roots = [s for s in spans if s.get("parent") is None]
+        if len(roots) != 1:
+            names = sorted(str(s.get("name")) for s in roots)
+            errors.append(
+                f"trace {trace}: expected exactly 1 root span, found "
+                f"{len(roots)} ({names})"
+            )
+        for s in spans:
+            parent = s.get("parent")
+            if parent is not None and parent not in ids:
+                errors.append(
+                    f"trace {trace}: span {s['span']} "
+                    f"({s.get('name')}) has orphan parent {parent}"
+                )
+        for ev in events_by_trace.get(trace, []):
+            if ev.get("span") not in ids:
+                errors.append(
+                    f"trace {trace}: event {ev.get('name')!r} references "
+                    f"unknown span {ev.get('span')}"
+                )
+    for trace, events in sorted(events_by_trace.items()):
+        if trace not in spans_by_trace:
+            errors.append(
+                f"trace {trace}: {len(events)} event(s) but no spans"
+            )
+    return errors
+
+
+def validate_file(
+    path: str | Path,
+) -> tuple[list[dict[str, Any]], list[str]]:
+    """Load + validate a JSONL trace file; return (records, errors)."""
+    records = read_jsonl(path)
+    errors: list[str] = []
+    for i, record in enumerate(records, start=1):
+        errors.extend(validate_record(record, where=f"line {i}"))
+    if not errors:
+        errors.extend(check_tree(records))
+    return records, errors
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: validate each given trace file; 0 iff all pass."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print(
+            "usage: python -m repro.telemetry.schema TRACE.jsonl [...]",
+            file=sys.stderr,
+        )
+        return 2
+    status = 0
+    for path in args:
+        records, errors = validate_file(path)
+        spans = sum(1 for r in records if r.get("type") == "span")
+        events = len(records) - spans
+        if errors:
+            status = 1
+            print(f"{path}: INVALID ({spans} spans, {events} events)")
+            for error in errors:
+                print(f"  {error}")
+        else:
+            traces = len({r.get("trace") for r in records})
+            print(
+                f"{path}: ok ({spans} spans, {events} events, "
+                f"{traces} trace(s))"
+            )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,13 +4,8 @@ import pytest
 
 from repro.library import default_catalog, localization_catalog
 from repro.resilience import faults
-
-
-@pytest.fixture(autouse=True)
-def _no_fault_plan_leaks():
-    """Fault plans are process-global; never let one outlive its test."""
-    yield
-    faults.uninstall()
+from repro.telemetry import metrics as telemetry_metrics
+from repro.telemetry import trace as telemetry_trace
 from repro.network import (
     LifetimeRequirement,
     LinkQualityRequirement,
@@ -19,6 +14,23 @@ from repro.network import (
     localization_template,
     small_grid_template,
 )
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_plan_leaks():
+    """Fault plans are process-global; never let one outlive its test."""
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture(autouse=True)
+def _no_telemetry_leaks():
+    """The tracer and metrics registry are process-global; reset both."""
+    yield
+    telemetry_trace.shutdown()
+    telemetry_trace.drain_drop_warnings()
+    telemetry_trace.get_tracer().dropped_events = 0
+    telemetry_metrics.reset()
 
 
 @pytest.fixture(scope="session")

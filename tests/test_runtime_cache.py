@@ -7,7 +7,13 @@ import pytest
 
 from repro.graph import k_shortest_paths
 from repro.network import localization_template, small_grid_template
-from repro.runtime import EncodeCache, RunStats
+from repro.runtime import (
+    BatchRunner,
+    CacheCounters,
+    EncodeCache,
+    RunStats,
+    Trial,
+)
 from repro.runtime.cache import build_weighted_graph
 
 
@@ -148,6 +154,80 @@ class TestReachRankings:
         assert rankings == inline
         cache.reach_rankings(instance.channel, anchors, instance.test_points)
         assert cache.counters.hit_count("pathloss") == 1
+
+
+class TestCacheCounters:
+    def test_merge_folds_per_region_counts(self):
+        a = CacheCounters()
+        a.record("yen", True)
+        a.record("yen", False)
+        a.record("pathloss", True)
+        b = CacheCounters()
+        b.record("yen", True)
+        b.record("reach", False)
+        a.merge(b)
+        assert a.hit_count("yen") == 2
+        assert a.miss_count("yen") == 1
+        assert a.hit_count("pathloss") == 1
+        assert a.miss_count("reach") == 1
+        assert a.hit_count() == 3 and a.miss_count() == 2
+
+    def test_merge_into_empty_equals_source(self):
+        source = CacheCounters()
+        source.record("yen", True)
+        source.record("pathloss", False)
+        target = CacheCounters()
+        target.merge(source)
+        assert target.to_dict() == source.to_dict()
+        # The merge copies counts, not dict references.
+        target.record("yen", True)
+        assert source.hit_count("yen") == 1
+
+    def test_merge_empty_is_identity(self):
+        counters = CacheCounters()
+        counters.record("yen", False)
+        before = counters.to_dict()
+        counters.merge(CacheCounters())
+        assert counters.to_dict() == before
+
+
+class TestPerTrialAttribution:
+    """Concurrent trials sharing one cache: per-trial stats must add up
+    exactly to the shared counters — no lookup lost, none double-counted."""
+
+    def test_threaded_trials_attribute_every_lookup(self):
+        n_trials, keys = 4, [f"k{i}" for i in range(8)]
+        cache = EncodeCache()
+        barrier = threading.Barrier(n_trials)
+
+        def trial(stats):
+            # All trials release together so the shared keys contend.
+            barrier.wait(timeout=10.0)
+            for key in keys:
+                cache.get_or_compute(
+                    "yen", key, lambda key=key: key.upper(), stats
+                )
+            return stats
+
+        per_trial = [RunStats() for _ in range(n_trials)]
+        runner = BatchRunner(workers=n_trials, mode="thread", retries=0)
+        outcomes = runner.run([Trial(trial, (s,)) for s in per_trial])
+        assert all(o.ok for o in outcomes)
+
+        # Stampede protection makes the split deterministic: each key is
+        # computed exactly once, every other lookup scores a hit.
+        total = n_trials * len(keys)
+        assert cache.counters.miss_count("yen") == len(keys)
+        assert cache.counters.hit_count("yen") == total - len(keys)
+
+        merged = CacheCounters()
+        for stats in per_trial:
+            merged.merge(stats.cache)
+        assert merged.to_dict() == cache.counters.to_dict()
+        assert sum(
+            s.cache.hit_count("yen") + s.cache.miss_count("yen")
+            for s in per_trial
+        ) == total
 
 
 class TestFailedComputeRecovery:

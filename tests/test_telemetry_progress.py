@@ -1,0 +1,204 @@
+"""Tests for solver progress trajectories and the attempt cross-links."""
+
+import pytest
+
+from repro.milp import (
+    BranchAndBoundSolver,
+    HighsSolver,
+    Model,
+    SolveStatus,
+    lin_sum,
+)
+from repro.milp.solution import Solution
+from repro.resilience.watchdog import ResilientSolver
+from repro.telemetry.metrics import counter
+from repro.telemetry.progress import ProgressEvent, SolveProgress
+from repro.telemetry.sinks import CollectorSink
+from repro.telemetry.trace import configure, span
+
+
+def knapsack_model():
+    m = Model("knapsack")
+    values = [6, 5, 4, 3]
+    weights = [4, 3, 2, 1.5]
+    xs = [m.binary(f"x{i}") for i in range(4)]
+    m.add(lin_sum([w * x for w, x in zip(weights, xs)]) <= 6)
+    m.maximize(lin_sum([v * x for v, x in zip(values, xs)]))
+    return m
+
+
+class TestSolveProgress:
+    def test_records_in_order(self):
+        progress = SolveProgress("test-solver")
+        progress.incumbent(3, 10.0, bound=8.0)
+        progress.incumbent(7, 9.0, bound=8.5)
+        progress.done(12, 9.0, 9.0)
+        kinds = [e.kind for e in progress.events]
+        assert kinds == ["incumbent", "incumbent", "done"]
+        assert len(progress) == 3
+        assert progress.events[0] == ProgressEvent(
+            "incumbent", 3, 10.0, 8.0, progress.events[0].elapsed_s
+        )
+
+    def test_trajectory_is_json_ready(self):
+        progress = SolveProgress("s")
+        progress.bound(1, 5.0)
+        (entry,) = progress.trajectory()
+        assert entry == {
+            "kind": "bound", "nodes": 1, "incumbent": None,
+            "bound": 5.0, "elapsed_s": entry["elapsed_s"],
+        }
+
+    def test_incumbent_increments_metric(self):
+        base = counter("solver.incumbent_updates", solver="s").value
+        SolveProgress("s").incumbent(1, 2.0)
+        assert (
+            counter("solver.incumbent_updates", solver="s").value == base + 1
+        )
+
+    def test_events_mirrored_onto_enclosing_span(self):
+        sink = CollectorSink()
+        configure([sink])
+        with span("solver.solve", solver="s") as solve_span:
+            progress = SolveProgress("s")
+            progress.incumbent(4, 2.5, bound=2.0)
+        events = [r for r in sink.records if r["type"] == "event"]
+        (event,) = events
+        assert event["name"] == "solve.incumbent"
+        assert event["span"] == solve_span.span_id
+        assert event["attrs"]["incumbent"] == 2.5
+        assert event["attrs"]["nodes"] == 4
+
+
+class TestBranchAndBoundTrajectory:
+    def test_solution_carries_incumbent_trajectory(self):
+        solution = BranchAndBoundSolver().solve(knapsack_model())
+        assert solution.status == SolveStatus.OPTIMAL
+        trajectory = solution.incumbent_trajectory
+        kinds = [e["kind"] for e in trajectory]
+        assert kinds.count("incumbent") >= 1
+        assert kinds[-1] == "done"
+        incumbents = [
+            e["incumbent"] for e in trajectory if e["kind"] == "incumbent"
+        ]
+        # Minimization: each new incumbent improves on the last.
+        assert incumbents == sorted(incumbents, reverse=True)
+        # The trajectory reports user-space objectives: the final
+        # incumbent is exactly the solution objective.
+        assert incumbents[-1] == pytest.approx(solution.objective)
+        assert trajectory[-1]["incumbent"] == pytest.approx(
+            solution.objective
+        )
+
+    def test_integer_infeasible_trajectory_is_terminal_only(self):
+        # LP-feasible (x = 0.5) but integer-infeasible: the search runs
+        # and the trajectory records a terminal summary with no incumbent.
+        m = Model()
+        x = m.binary("x")
+        m.add(2 * x >= 1)
+        m.add(2 * x <= 1)
+        m.minimize(x)
+        solution = BranchAndBoundSolver().solve(m)
+        assert solution.status == SolveStatus.INFEASIBLE
+        assert [e["kind"] for e in solution.incumbent_trajectory] == ["done"]
+        assert solution.incumbent_trajectory[-1]["incumbent"] is None
+
+    def test_root_infeasible_has_no_trajectory(self):
+        # Root-LP infeasibility is detected before the search starts;
+        # the property degrades to an empty list.
+        m = Model()
+        x = m.binary("x")
+        m.add(x >= 1)
+        m.add(x <= 0)
+        m.minimize(x)
+        solution = BranchAndBoundSolver().solve(m)
+        assert solution.status == SolveStatus.INFEASIBLE
+        assert solution.incumbent_trajectory == []
+
+    def test_traced_solve_emits_incumbent_events_under_solver_span(self):
+        sink = CollectorSink()
+        configure([sink])
+        BranchAndBoundSolver().solve(knapsack_model())
+        spans = [r for r in sink.records if r["type"] == "span"]
+        (solver_span,) = [s for s in spans if s["name"] == "solver.solve"]
+        assert solver_span["attrs"]["solver"] == "branch-and-bound"
+        assert solver_span["attrs"]["status"] == "OPTIMAL"
+        events = [r for r in sink.records if r["type"] == "event"]
+        assert all(e["span"] == solver_span["span"] for e in events)
+        names = [e["name"] for e in events]
+        assert "solve.incumbent" in names
+        assert names[-1] == "solve.done"
+
+    def test_plain_solution_has_empty_trajectory(self):
+        assert Solution(SolveStatus.ERROR).incumbent_trajectory == []
+
+
+class TestHighsSpan:
+    def test_solve_wrapped_in_span_without_trajectory(self):
+        sink = CollectorSink()
+        configure([sink])
+        solution = HighsSolver().solve(knapsack_model())
+        assert solution.status == SolveStatus.OPTIMAL
+        # scipy's milp has no progress callback: span yes, trajectory no.
+        assert solution.incumbent_trajectory == []
+        (record,) = [r for r in sink.records if r["type"] == "span"]
+        assert record["name"] == "solver.solve"
+        assert record["attrs"] == {
+            "solver": "highs", "status": "OPTIMAL",
+            "nodes": solution.node_count,
+        }
+
+
+class TestSolveAttemptCrossLink:
+    def test_attempt_span_id_links_stats_to_trace(self):
+        sink = CollectorSink()
+        configure([sink])
+        solver = ResilientSolver(HighsSolver())
+        solution = solver.solve(knapsack_model())
+        attempts = solution.extra["solve_attempts"]
+        assert len(attempts) == 1
+        attempt_spans = {
+            r["span"]: r for r in sink.records
+            if r["type"] == "span" and r["name"] == "solve.attempt"
+        }
+        assert attempts[0].span_id in attempt_spans
+        linked = attempt_spans[attempts[0].span_id]
+        assert linked["attrs"]["solver"] == "highs"
+        assert linked["attrs"]["outcome"] == "optimal"
+        assert linked["attrs"]["fallback"] is False
+        # The backend's solver.solve span nests inside the attempt span.
+        nested = [
+            r for r in sink.records
+            if r["type"] == "span" and r["name"] == "solver.solve"
+        ]
+        assert nested[0]["parent"] == attempts[0].span_id
+
+    def test_untraced_attempts_have_empty_span_id(self):
+        solution = ResilientSolver(HighsSolver()).solve(knapsack_model())
+        assert solution.extra["solve_attempts"][0].span_id == ""
+
+    def test_retry_increments_counter_and_spans_every_attempt(self):
+        class FlakySolver:
+            name = "flaky"
+            calls = 0
+
+            def solve(self, model):
+                type(self).calls += 1
+                if type(self).calls == 1:
+                    raise RuntimeError("transient")
+                return HighsSolver().solve(model)
+
+        sink = CollectorSink()
+        configure([sink])
+        base = counter("solver.retries", solver="flaky").value
+        solver = ResilientSolver(FlakySolver(), fallbacks=(), sleep=lambda s: None)
+        solution = solver.solve(knapsack_model())
+        assert solution.status == SolveStatus.OPTIMAL
+        assert counter("solver.retries", solver="flaky").value == base + 1
+        attempt_spans = [
+            r for r in sink.records
+            if r["type"] == "span" and r["name"] == "solve.attempt"
+        ]
+        assert [s["attrs"]["attempt"] for s in attempt_spans] == [1, 2]
+        assert attempt_spans[0]["attrs"]["outcome"] == "crash"
+        assert attempt_spans[1]["attrs"]["outcome"] == "optimal"

@@ -1,0 +1,219 @@
+"""Tests for the JSONL sink, Prometheus exposition and tree rendering."""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.schema import check_tree, validate_file, validate_record
+from repro.telemetry.sinks import (
+    JsonlSink,
+    prometheus_text,
+    read_jsonl,
+    render_span_tree,
+)
+from repro.telemetry.trace import TRACE_SCHEMA_VERSION, configure, span, shutdown
+
+
+def _span_record(**overrides):
+    record = {
+        "schema": TRACE_SCHEMA_VERSION,
+        "type": "span",
+        "trace": "t" * 32,
+        "span": "a" * 16,
+        "parent": None,
+        "name": "root",
+        "t": 1000.0,
+        "duration_s": 0.5,
+        "status": "ok",
+        "message": "",
+        "attrs": {},
+        "pid": 1,
+        "thread": 1,
+    }
+    record.update(overrides)
+    return record
+
+
+class TestJsonlSink:
+    def test_appends_one_line_per_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"a": 1})
+        sink.emit({"b": 2})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(l) for l in lines] == [{"a": 1}, {"b": 2}]
+
+    def test_appends_never_truncates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"old": true}\n')
+        sink = JsonlSink(path)
+        sink.emit({"new": True})
+        sink.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_lazy_open_creates_parents(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "trace.jsonl"
+        sink = JsonlSink(path)
+        assert not path.parent.exists()  # nothing until first emit
+        sink.emit({"x": 1})
+        sink.close()
+        assert path.exists()
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.emit({"x": 1})
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit({"x": 2})
+
+    def test_read_jsonl_salvages_clipped_final_line(self, tmp_path):
+        path = tmp_path / "clipped.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}\n{"c": tru')
+        assert read_jsonl(path) == [{"a": 1}, {"b": 2}]
+
+    def test_read_jsonl_raises_on_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('{"a": 1}\nnot json\n{"b": 2}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path)
+
+
+class TestPrometheusText:
+    def test_counter_gauge_histogram_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.lookups", region="yen", result="hit").inc(3)
+        registry.gauge("rung.size").set(4)
+        registry.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        text = prometheus_text(registry)
+        assert "# TYPE cache_lookups counter" in text
+        assert 'cache_lookups{region="yen",result="hit"} 3' in text
+        assert "rung_size 4" in text
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum 0.05" in text
+        assert "lat_count 1" in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path='a"b\\c\nd').inc()
+        text = prometheus_text(registry)
+        assert r'path="a\"b\\c\nd"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestRenderSpanTree:
+    def test_indentation_follows_parentage(self):
+        records = [
+            _span_record(span="c" * 16, parent="a" * 16, name="child",
+                         attrs={"k": 2}),
+            _span_record(name="root"),
+        ]
+        text = render_span_tree(records)
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
+        assert "k=2" in lines[1]
+
+    def test_orphans_promoted_and_flagged(self):
+        records = [_span_record(parent="f" * 16, name="lost")]
+        text = render_span_tree(records)
+        assert "lost" in text and "(orphan)" in text
+
+    def test_events_render_under_their_span(self):
+        records = [
+            _span_record(),
+            {"schema": TRACE_SCHEMA_VERSION, "type": "event",
+             "trace": "t" * 32, "span": "a" * 16,
+             "name": "solve.incumbent", "t": 1000.5,
+             "attrs": {"incumbent": 42.0}},
+        ]
+        text = render_span_tree(records)
+        assert "* solve.incumbent" in text and "incumbent=42.0" in text
+        assert "solve.incumbent" not in render_span_tree(
+            records, events=False
+        )
+
+
+class TestSchemaValidation:
+    def test_valid_span_and_event_pass(self):
+        assert validate_record(_span_record()) == []
+        event = {"schema": TRACE_SCHEMA_VERSION, "type": "event",
+                 "trace": "t" * 32, "span": "a" * 16, "name": "e",
+                 "t": 1.0, "attrs": {}}
+        assert validate_record(event) == []
+
+    @pytest.mark.parametrize("mutation, fragment", [
+        ({"schema": 99}, "schema"),
+        ({"type": "blob"}, "type"),
+        ({"status": "weird"}, "status"),
+        ({"duration_s": -1.0}, "duration_s"),
+        ({"parent": 7}, "parent"),
+        ({"name": ""}, "name"),
+        ({"t": "yesterday"}, "t"),
+    ])
+    def test_bad_fields_rejected(self, mutation, fragment):
+        errors = validate_record(_span_record(**mutation))
+        assert errors, mutation
+        assert any(fragment in e for e in errors), errors
+
+    def test_missing_field_rejected(self):
+        record = _span_record()
+        del record["trace"]
+        assert validate_record(record)
+
+    def test_check_tree_happy_path(self):
+        records = [
+            _span_record(),
+            _span_record(span="b" * 16, parent="a" * 16, name="child"),
+        ]
+        assert check_tree(records) == []
+
+    def test_check_tree_flags_multiple_roots(self):
+        records = [
+            _span_record(),
+            _span_record(span="b" * 16, name="second-root"),
+        ]
+        errors = check_tree(records)
+        assert any("root" in e for e in errors)
+
+    def test_check_tree_flags_orphan_parent_and_unknown_event_span(self):
+        records = [
+            _span_record(parent="f" * 16),
+            {"schema": TRACE_SCHEMA_VERSION, "type": "event",
+             "trace": "t" * 32, "span": "9" * 16, "name": "e",
+             "t": 1.0, "attrs": {}},
+        ]
+        errors = check_tree(records)
+        assert any("orphan" in e or "parent" in e for e in errors)
+        assert any("event" in e for e in errors)
+
+    def test_validate_file_end_to_end(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        configure([JsonlSink(path)])
+        try:
+            with span("root"):
+                with span("child"):
+                    pass
+        finally:
+            shutdown()
+        records, errors = validate_file(path)
+        assert errors == []
+        assert len(records) == 2
+
+    def test_schema_cli_exit_codes(self, tmp_path, capsys):
+        from repro.telemetry.schema import main
+
+        good = tmp_path / "good.jsonl"
+        good.write_text(json.dumps(_span_record()) + "\n")
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps(_span_record(status="weird")) + "\n")
+        assert main([str(good)]) == 0
+        assert main([str(bad)]) == 1
+        assert main([]) == 2
+        out = capsys.readouterr().out
+        assert "ok" in out and "INVALID" in out

@@ -1,0 +1,233 @@
+"""Service benchmark: concurrent clients against ``repro serve``.
+
+Spins up the in-process :class:`~repro.server.service.SynthesisService`
+plus its asyncio HTTP front end on an ephemeral port, then drives it
+with N concurrent clients (N >= 8), each submitting a stream of small
+kstar sweeps over HTTP and tailing the job's chunked event stream to
+completion.  Per-job latency is submit-to-terminal wall clock as a
+*client* sees it — request parsing, fair-queue wait, solve, result
+envelope and stream teardown all included; the shared warm
+:class:`~repro.runtime.cache.EncodeCache` is exactly the production
+configuration, so repeat problems ride the encode cache.
+
+Reports p50/p99 latency and aggregate throughput to
+``benchmarks/results/BENCH_service.json`` in the shared envelope (see
+``_emit.py``).  ``--quick`` *gates*: non-zero exit if any job fails or
+the stream/state machinery wedges — CI's smoke that the service keeps
+its submit→stream→result contract under concurrency.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick] [--out PATH]
+
+This module is imported (not executed) by pytest's benchmark collection;
+it defines no test functions on purpose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import math
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from _emit import bench_meta, write_report
+from repro.server.http import HttpFrontend
+from repro.server.service import SynthesisService
+
+#: Concurrent clients (the acceptance floor is 8).
+CLIENTS = 8
+#: The per-job workload: a small kstar ladder; repeats share the
+#: service's encode cache like a production sweep farm would.
+JOB = {"kind": "kstar", "problem": {"nodes": 12, "devices": 5, "ladder": [1, 2]}}
+#: Generous per-job latency ceiling for the quick gate — catches wedged
+#: streams and scheduler starvation, not machine-speed variance.
+GATE_P99_LIMIT_S = 120.0
+
+
+class _Server:
+    """The service + front end on an ephemeral port, in this process."""
+
+    def __init__(self, workers: int) -> None:
+        self.service = SynthesisService(workers=workers)
+        self.frontend = HttpFrontend(self.service, "127.0.0.1", 0)
+        self._loop = asyncio.new_event_loop()
+        self._task: asyncio.Task | None = None
+        started = threading.Event()
+
+        async def _run() -> None:
+            await self.frontend.start()
+            started.set()
+            try:
+                await self.frontend.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await self.frontend.stop()
+
+        def _thread() -> None:
+            asyncio.set_event_loop(self._loop)
+            self._task = self._loop.create_task(_run())
+            try:
+                self._loop.run_until_complete(self._task)
+            finally:
+                self._loop.close()
+
+        self._thread = threading.Thread(target=_thread, daemon=True)
+        self._thread.start()
+        if not started.wait(10.0):
+            raise RuntimeError("frontend never bound")
+        self.base = f"http://127.0.0.1:{self.frontend.port}"
+
+    def close(self) -> None:
+        self._loop.call_soon_threadsafe(self._task.cancel)
+        self._thread.join(timeout=10.0)
+        self.service.shutdown(timeout=30.0)
+
+
+def _run_one_job(base: str) -> tuple[float, bool]:
+    """Submit one job, tail its stream to the end; (latency_s, ok)."""
+    start = time.perf_counter()
+    request = urllib.request.Request(
+        f"{base}/v1/jobs", data=json.dumps(JOB).encode(), method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60.0) as resp:
+        job_id = json.loads(resp.read())["id"]
+    # The event stream ends exactly when the job's root span lands, so
+    # draining it is the client-side "wait for completion".
+    with urllib.request.urlopen(
+        f"{base}/v1/jobs/{job_id}/events", timeout=300.0
+    ) as stream:
+        for _ in stream:
+            pass
+    with urllib.request.urlopen(
+        f"{base}/v1/jobs/{job_id}", timeout=60.0
+    ) as resp:
+        view = json.loads(resp.read())
+    ok = view["state"] == "done" and view["result"]["ok"]
+    return time.perf_counter() - start, bool(ok)
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ranked = sorted(samples)
+    index = max(0, min(len(ranked) - 1, math.ceil(q * len(ranked)) - 1))
+    return ranked[index]
+
+
+def run_benchmarks(quick: bool) -> dict:
+    jobs_per_client = 2 if quick else 6
+    workers = 4
+    server = _Server(workers)
+    latencies: list[float] = []
+    failures = 0
+    lock = threading.Lock()
+    try:
+        _run_one_job(server.base)  # warm the shared encode cache
+
+        def client(_n: int) -> None:
+            nonlocal failures
+            for _ in range(jobs_per_client):
+                latency, ok = _run_one_job(server.base)
+                with lock:
+                    latencies.append(latency)
+                    if not ok:
+                        failures += 1
+
+        threads = [
+            threading.Thread(target=client, args=(n,)) for n in range(CLIENTS)
+        ]
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - wall_start
+    finally:
+        server.close()
+
+    total = CLIENTS * jobs_per_client
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+    throughput = total / wall_s if wall_s > 0 else 0.0
+    cases = [
+        {
+            "name": "concurrent_kstar_jobs",
+            "clients": CLIENTS,
+            "jobs": total,
+            "workers": workers,
+            "failures": failures,
+            "p50_s": p50,
+            "p99_s": p99,
+            "wall_s": wall_s,
+            "throughput_jobs_per_s": throughput,
+        },
+    ]
+    gate = {
+        "clients": CLIENTS,
+        "jobs": total,
+        "failures": failures,
+        "p99_s": p99,
+        "p99_limit_s": GATE_P99_LIMIT_S,
+        "passed": failures == 0 and p99 <= GATE_P99_LIMIT_S,
+    }
+    return {
+        "meta": bench_meta(
+            mode="quick" if quick else "full",
+            clients=CLIENTS,
+            jobs_per_client=jobs_per_client,
+            workers=workers,
+            job=JOB,
+        ),
+        "cases": cases,
+        "gate": gate,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer jobs per client + CI gate "
+             "(non-zero exit on any failed job or a wedged stream)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).parent / "results" / "BENCH_service.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"service benchmark ({'quick' if args.quick else 'full'} mode)")
+    report = run_benchmarks(args.quick)
+    write_report(args.out, report)
+    print(f"wrote {args.out}")
+
+    case = report["cases"][0]
+    print(
+        f"  {case['clients']} clients x {case['jobs'] // case['clients']} "
+        f"jobs over {case['workers']} workers: "
+        f"p50 {case['p50_s']:.3f}s  p99 {case['p99_s']:.3f}s  "
+        f"{case['throughput_jobs_per_s']:.2f} jobs/s  "
+        f"({case['failures']} failed)"
+    )
+    gate = report["gate"]
+    status = "PASS" if gate["passed"] else "FAIL"
+    print(
+        f"gate [{status}] {gate['failures']} failures, "
+        f"p99 {gate['p99_s']:.3f}s (limit {gate['p99_limit_s']:.0f}s)"
+    )
+    if args.quick and not gate["passed"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

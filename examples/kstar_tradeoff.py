@@ -18,6 +18,7 @@ from repro import (
     HighsSolver,
     LinkQualityRequirement,
     RequirementSet,
+    SolveOptions,
     default_catalog,
     kstar_search,
     synthetic_template,
@@ -82,7 +83,7 @@ def main() -> None:
             encoder=ApproximatePathEncoder(k_star=k),
         ),
         objective="cost",
-        parallel=2,
+        options=SolveOptions(parallel=2),
         cache=cache,
     )
     print(f"\nautomatic search picked K* = {search.best.k_star} "

@@ -30,16 +30,22 @@ from repro.analysis import (
     analyze_model,
     analyze_problem,
 )
+from repro.core.api import (
+    JobRequest,
+    JobResult,
+    result_from_dict,
+    result_to_dict,
+)
 from repro.core.explorer import (
     AnchorPlacementExplorer,
-    ArchitectureExplorer,
     DataCollectionExplorer,
     ExplorerBase,
-    LocalizationExplorer,
 )
 from repro.core.facade import build_explorer, explore
-from repro.core.kstar_search import kstar_search
+from repro.core.kstar_search import KStarSearchResult, kstar_search
 from repro.core.objectives import ObjectiveSpec
+from repro.core.options import SolveOptions
+from repro.core.pareto import ParetoFront, ParetoPoint, explore_pareto
 from repro.core.results import SynthesisResult
 from repro.encoding.approximate import ApproximatePathEncoder
 from repro.encoding.base import EncodingError
@@ -93,7 +99,6 @@ __all__ = [
     "AnchorPlacementExplorer",
     "ApproximatePathEncoder",
     "Architecture",
-    "ArchitectureExplorer",
     "BatchRunner",
     "BranchAndBoundSolver",
     "Checkpoint",
@@ -110,12 +115,16 @@ __all__ = [
     "FaultPlan",
     "FullPathEncoder",
     "HighsSolver",
+    "JobRequest",
+    "JobResult",
+    "KStarSearchResult",
     "Library",
     "LifetimeRequirement",
     "LinkQualityRequirement",
-    "LocalizationExplorer",
     "NetworkNode",
     "ObjectiveSpec",
+    "ParetoFront",
+    "ParetoPoint",
     "PowerConfig",
     "ReachabilityRequirement",
     "RequirementSet",
@@ -128,6 +137,7 @@ __all__ = [
     "Severity",
     "SolveAttempt",
     "SolveFailure",
+    "SolveOptions",
     "SolveStatus",
     "SynthesisResult",
     "TdmaConfig",
@@ -144,11 +154,14 @@ __all__ = [
     "default_catalog",
     "device",
     "explore",
+    "explore_pareto",
     "injected_faults",
     "kstar_search",
     "load_architecture",
     "localization_catalog",
     "localization_template",
+    "result_from_dict",
+    "result_to_dict",
     "save_architecture",
     "small_grid_template",
     "synthetic_template",

@@ -8,7 +8,8 @@ components and a floor plan"; this CLI is that front door:
 * ``localize``   — anchor-placement synthesis;
 * ``lint``      — pre-solve static analysis of a spec file (no solving);
 * ``catalog``    — print the component library;
-* ``kstar``      — run the K* trade-off sweep of Section 4.3.
+* ``kstar``      — run the K* trade-off sweep of Section 4.3;
+* ``serve``      — run the HTTP job service (see docs/service.md).
 
 Every synthesis command accepts ``--stats-json`` to emit the runtime
 instrumentation (per-phase timings, cache hit/miss counters) as
@@ -38,10 +39,12 @@ from repro.analysis import (
     analyze_problem,
 )
 from repro.constraints.mapping import MappingError
+from repro.core.api import DEFAULT_SPEC
 from repro.core.explorer import DataCollectionExplorer
 from repro.encoding.base import EncodingError
 from repro.core.facade import explore
 from repro.core.kstar_search import kstar_search
+from repro.core.options import SolveOptions
 from repro.encoding.approximate import ApproximatePathEncoder
 from repro.geometry.svg import SvgMarker, floorplan_from_svg, floorplan_to_svg
 from repro.library.catalog import default_catalog, localization_catalog
@@ -58,7 +61,6 @@ from repro.network.requirements import (
 )
 from repro.resilience.checkpoint import CheckpointError
 from repro.resilience.faults import FaultError
-from repro.resilience.policy import RetryPolicy
 from repro.runtime.cache import EncodeCache
 from repro.runtime.instrumentation import STATS_SCHEMA_VERSION
 from repro.telemetry import (
@@ -71,13 +73,6 @@ from repro.telemetry import (
 from repro.spec.patterns import SpecError
 from repro.spec.problem import compile_spec
 from repro.validation.checker import validate
-
-DEFAULT_SPEC = """
-has_paths(sensors, sink, replicas=2, disjoint=true)
-min_signal_to_noise(20)
-min_network_lifetime(5)
-objective(cost)
-"""
 
 
 def _add_telemetry_args(command: argparse.ArgumentParser) -> None:
@@ -197,6 +192,20 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="replay rungs recorded in --checkpoint instead "
                           "of re-solving them")
     _add_telemetry_args(kst)
+
+    srv = sub.add_parser(
+        "serve", help="run the HTTP job service (docs/service.md)"
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8765,
+                     help="TCP port (0 picks a free ephemeral port)")
+    srv.add_argument("--workers", type=int, default=2,
+                     help="concurrent job workers")
+    srv.add_argument("--state-dir", type=Path, metavar="DIR",
+                     help="persist job state here; a restarted server "
+                          "re-queues every job that was in flight and "
+                          "resumes its sweep from the checkpoint")
+    _add_telemetry_args(srv)
     return parser
 
 
@@ -251,8 +260,8 @@ def _cmd_synthesize(args) -> int:
             k_star=args.k_star,
             solver=HighsSolver(time_limit=args.time_limit,
                                mip_rel_gap=args.mip_gap),
-            deadline_s=args.deadline,
-            max_retries=args.max_retries,
+            options=SolveOptions(deadline_s=args.deadline,
+                                 max_retries=args.max_retries),
         )
     except AnalysisError as exc:
         _print_analysis_failure(exc)
@@ -334,8 +343,8 @@ def _cmd_localize(args) -> int:
             instance.template, localization_catalog(), requirement,
             objective=args.objective,
             channel=instance.channel, k_star=args.k_star,
-            deadline_s=args.deadline,
-            max_retries=args.max_retries,
+            options=SolveOptions(deadline_s=args.deadline,
+                                 max_retries=args.max_retries),
         )
     except AnalysisError as exc:
         _print_analysis_failure(exc)
@@ -457,9 +466,6 @@ def _cmd_kstar(args) -> int:
                            disjoint=True)
     reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
 
-    retry = None
-    if args.max_retries is not None:
-        retry = RetryPolicy(max_retries=args.max_retries)
     cache = EncodeCache()
     try:
         search = kstar_search(
@@ -468,12 +474,14 @@ def _cmd_kstar(args) -> int:
                 encoder=ApproximatePathEncoder(k_star=k),
             ),
             ladder=tuple(args.ladder),
-            parallel=args.parallel,
             cache=cache,
-            deadline_s=args.deadline,
-            retry=retry,
-            checkpoint=args.checkpoint,
-            resume=args.resume,
+            options=SolveOptions(
+                parallel=args.parallel,
+                deadline_s=args.deadline,
+                max_retries=args.max_retries,
+                checkpoint=args.checkpoint,
+                resume=bool(args.resume and args.checkpoint),
+            ),
         )
     except CheckpointError as exc:
         print(f"checkpoint: {exc}")
@@ -499,22 +507,31 @@ def _cmd_kstar(args) -> int:
           f"{cache.counters.miss_count()} misses "
           f"({summary['entries']} entries)")
     _emit_stats(
-        {
-            "ladder": [
-                {
-                    "k_star": trial.k_star,
-                    "objective": trial.objective,
-                    **trial.result.stats_dict(),
-                }
-                for trial in search.trials
-            ],
-            "selected_k_star": selected,
-            "stop_reason": search.stop_reason,
-            "resumed_rungs": len(search.restored_ks),
-            "cache": summary,
-        },
+        {**search.to_dict(), "cache": summary},
         args.stats_json,
     )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.server import SynthesisService
+    from repro.server.http import serve as serve_http
+
+    service = SynthesisService(
+        state_dir=args.state_dir, workers=args.workers
+    )
+    if service.recovered:
+        print(f"recovered {len(service.recovered)} in-flight job(s) "
+              f"from {args.state_dir}", flush=True)
+
+    def ready(frontend) -> None:
+        print(f"serving on http://{frontend.host}:{frontend.port}",
+              flush=True)
+
+    try:
+        serve_http(service, host=args.host, port=args.port, ready=ready)
+    finally:
+        service.shutdown()
     return 0
 
 
@@ -528,6 +545,7 @@ def main(argv: list[str] | None = None) -> int:
         "catalog": _cmd_catalog,
         "kstar": _cmd_kstar,
         "simulate": _cmd_simulate,
+        "serve": _cmd_serve,
     }
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)

@@ -1,5 +1,17 @@
-"""Core explorers, objectives, results and the K* search."""
+"""Core explorers, objectives, results, options and the K* search.
 
+The deprecated ``ArchitectureExplorer``/``LocalizationExplorer`` shims
+remain importable from here (only) until their removal; new code uses
+:func:`repro.explore` or the concrete explorer classes.
+"""
+
+from repro.core.api import (
+    JOB_SCHEMA_VERSION,
+    JobRequest,
+    JobResult,
+    result_from_dict,
+    result_to_dict,
+)
 from repro.core.explorer import (
     AnchorPlacementExplorer,
     ArchitectureExplorer,
@@ -18,22 +30,34 @@ from repro.core.kstar_search import (
     scan_ladder,
 )
 from repro.core.objectives import ObjectiveSpec, parse_objective
+from repro.core.options import (
+    DEFAULT_OPTIONS,
+    OPTIONS_SCHEMA_VERSION,
+    SolveOptions,
+    resolve_options,
+)
 from repro.core.pareto import ParetoFront, ParetoPoint, explore_pareto
 from repro.core.results import SynthesisResult
 
 __all__ = [
     "DEFAULT_K_LADDER",
+    "DEFAULT_OPTIONS",
+    "JOB_SCHEMA_VERSION",
+    "OPTIONS_SCHEMA_VERSION",
     "AnchorPlacementExplorer",
     "ArchitectureExplorer",
     "BuiltProblem",
     "DataCollectionExplorer",
     "ExplorerBase",
+    "JobRequest",
+    "JobResult",
     "KStarSearchResult",
     "KStarTrial",
     "LocalizationExplorer",
     "ObjectiveSpec",
     "ParetoFront",
     "ParetoPoint",
+    "SolveOptions",
     "SynthesisResult",
     "build_explorer",
     "decode_architecture",
@@ -41,5 +65,8 @@ __all__ = [
     "explore_pareto",
     "kstar_search",
     "parse_objective",
+    "resolve_options",
+    "result_from_dict",
+    "result_to_dict",
     "scan_ladder",
 ]

@@ -466,8 +466,11 @@ class ArchitectureExplorer(DataCollectionExplorer):
         **options,
     ) -> None:
         warnings.warn(
-            "ArchitectureExplorer is deprecated; use repro.explore() or "
-            "DataCollectionExplorer",
+            "ArchitectureExplorer is deprecated and no longer exported "
+            "from the top-level repro package; use repro.explore() (or "
+            "repro.JobRequest for the service surface), or import "
+            "repro.core.DataCollectionExplorer directly — see "
+            "docs/formulation.md for the migration",
             DeprecationWarning,
             stacklevel=2,
         )
@@ -497,8 +500,11 @@ class LocalizationExplorer(AnchorPlacementExplorer):
         **options,
     ) -> None:
         warnings.warn(
-            "LocalizationExplorer is deprecated; use repro.explore() or "
-            "AnchorPlacementExplorer",
+            "LocalizationExplorer is deprecated and no longer exported "
+            "from the top-level repro package; use repro.explore() (or "
+            "repro.JobRequest for the service surface), or import "
+            "repro.core.AnchorPlacementExplorer directly — see "
+            "docs/formulation.md for the migration",
             DeprecationWarning,
             stacklevel=2,
         )

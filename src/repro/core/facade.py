@@ -12,7 +12,8 @@ is swept in parallel and every result carries runtime instrumentation.
     result = repro.explore(template, library, requirements)
     cost, energy = repro.explore(
         template, library, requirements,
-        objective=("cost", "energy"), parallel=2,
+        objective=("cost", "energy"),
+        options=repro.SolveOptions(parallel=2),
     )
 """
 
@@ -24,6 +25,7 @@ from repro.core.explorer import (
     ExplorerBase,
 )
 from repro.core.objectives import ObjectiveSpec
+from repro.core.options import SolveOptions, resolve_options
 from repro.core.results import SynthesisResult
 from repro.milp.model import ModelStats
 from repro.milp.solution import Solution, SolveStatus
@@ -93,7 +95,6 @@ def explore(
     requirements: RequirementSet | ReachabilityRequirement,
     *,
     objective="cost",
-    parallel: int = 1,
     encoder=None,
     solver=None,
     channel=None,
@@ -102,9 +103,9 @@ def explore(
     cache: EncodeCache | None = None,
     runner: BatchRunner | None = None,
     timeout_s: float | None = None,
-    deadline_s: float | None = None,
     budget: DeadlineBudget | None = None,
-    max_retries: int | None = None,
+    options: SolveOptions | None = None,
+    **legacy,
 ) -> SynthesisResult | list[SynthesisResult]:
     """Synthesize an architecture (or several) for a problem.
 
@@ -120,25 +121,38 @@ def explore(
     pool.  Pass a prebuilt ``runner``/``cache`` to share them across
     calls.
 
-    ``deadline_s``/``budget`` bound the whole call's wall clock and
-    ``max_retries`` caps solver retries; setting any of them wraps the
-    solver in a :class:`~repro.resilience.watchdog.ResilientSolver`
-    (retry on ``ERROR``/crash, fallback chain, incumbent acceptance at
-    the deadline — see docs/robustness.md), and each result then carries
+    Runtime behaviour — deadline, retries, parallelism — comes in one
+    :class:`~repro.core.options.SolveOptions` object::
+
+        repro.explore(..., options=SolveOptions(deadline_s=30, parallel=2))
+
+    (the bare ``parallel=``/``deadline_s=``/``max_retries=`` keywords
+    still work but are deprecated).  ``options.deadline_s`` (or an
+    explicit ``budget``) bounds the whole call's wall clock and
+    ``options.max_retries`` caps solver retries; setting either wraps
+    the solver in a
+    :class:`~repro.resilience.watchdog.ResilientSolver` (retry on
+    ``ERROR``/crash, fallback chain, incumbent acceptance at the
+    deadline — see docs/robustness.md), and each result then carries
     its per-attempt log under ``result.solve_attempts``.  An objective
     whose trial runs out of deadline (or never starts because the budget
     is spent) degrades gracefully to an infeasible ``TIMEOUT`` result in
     its slot rather than raising; any other trial failure is re-raised.
     """
-    if cache is None:
-        cache = EncodeCache()
-    if budget is None and deadline_s is not None:
-        budget = DeadlineBudget(deadline_s)
-    resilient = budget is not None or max_retries is not None
-    if resilient and not isinstance(solver, ResilientSolver):
-        retry = RetryPolicy() if max_retries is None else RetryPolicy(
-            max_retries=max_retries
+    opts = resolve_options(options, legacy, where="explore()")
+    if opts.checkpoint is not None or opts.resume:
+        raise ValueError(
+            "explore() does not checkpoint single solves; use "
+            "kstar_search() or explore_pareto() for resumable sweeps"
         )
+    parallel = opts.parallel
+    if cache is None and opts.cache:
+        cache = EncodeCache()
+    if budget is None:
+        budget = opts.budget()
+    resilient = budget is not None or opts.max_retries is not None
+    if resilient and not isinstance(solver, ResilientSolver):
+        retry = opts.retry_policy() or RetryPolicy()
         solver = ResilientSolver(solver, budget=budget, retry=retry)
     explorer = build_explorer(
         template, library, requirements,

@@ -40,6 +40,7 @@ from pathlib import Path
 from collections.abc import Callable, Iterable, Iterator, Sequence
 
 from repro.core.explorer import ExplorerBase
+from repro.core.options import SolveOptions, resolve_options
 from repro.core.results import SynthesisResult
 from repro.resilience.checkpoint import (
     Checkpoint,
@@ -47,6 +48,7 @@ from repro.resilience.checkpoint import (
     restored_result,
     result_record,
 )
+from repro.runtime.instrumentation import STATS_SCHEMA_VERSION
 from repro.resilience.faults import maybe_fire
 from repro.resilience.policy import DeadlineBudget, RetryPolicy
 from repro.resilience.watchdog import ResilientSolver
@@ -103,6 +105,62 @@ class KStarSearchResult:
         """(K*, objective, seconds) rows, the shape of Table 4."""
         return [(t.k_star, t.objective, t.seconds) for t in self.trials]
 
+    def to_dict(self) -> dict:
+        """The versioned result envelope for a whole ladder scan.
+
+        One codec for the CLI ``--stats-json`` payload, checkpoint-style
+        replay and the server wire format; non-finite objectives
+        (infeasible rungs) serialize as ``null`` so the payload is
+        strict JSON.  Decode with :meth:`from_dict`.
+        """
+        return {
+            "schema_version": STATS_SCHEMA_VERSION,
+            "kind": "kstar",
+            "ladder": [
+                {
+                    "k_star": trial.k_star,
+                    "objective": (
+                        trial.objective
+                        if math.isfinite(trial.objective) else None
+                    ),
+                    **trial.result.stats_dict(),
+                }
+                for trial in self.trials
+            ],
+            "selected_k_star": (
+                self.best.k_star if self.best is not None else None
+            ),
+            "stop_reason": self.stop_reason,
+            "resumed_rungs": len(self.restored_ks),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> KStarSearchResult:
+        """Decode a :meth:`to_dict` payload.
+
+        Each rung comes back as a
+        :class:`~repro.resilience.checkpoint.RestoredResult` (the
+        architectures are not serialized); the selected rung and stop
+        reason are taken from the payload verbatim.
+        """
+        trials = [
+            KStarTrial(k_star=int(row["k_star"]), result=restored_result(row))
+            for row in payload.get("ladder", ())
+        ]
+        selected = payload.get("selected_k_star")
+        best = next(
+            (t for t in trials if t.k_star == selected), None
+        )
+        return cls(
+            trials=trials,
+            best=best,
+            stop_reason=str(payload.get("stop_reason", "")),
+            restored_ks=tuple(
+                row["k_star"] for row in payload.get("ladder", ())
+                if row.get("restored")
+            ),
+        )
+
 
 def kstar_search(
     make_explorer: Callable[[int], ExplorerBase],
@@ -111,14 +169,12 @@ def kstar_search(
     time_threshold_s: float | None = None,
     min_relative_gain: float = 1e-3,
     *,
-    parallel: int = 1,
     runner: BatchRunner | None = None,
     cache: EncodeCache | None = None,
-    deadline_s: float | None = None,
     budget: DeadlineBudget | None = None,
     retry: RetryPolicy | None = None,
-    checkpoint: str | Path | None = None,
-    resume: bool = False,
+    options: SolveOptions | None = None,
+    **legacy,
 ) -> KStarSearchResult:
     """Climb the K* ladder until time or improvement runs out.
 
@@ -128,28 +184,44 @@ def kstar_search(
     objective by at least ``min_relative_gain`` relatively; a rung that
     turns an infeasible ladder feasible always counts as an improvement.
 
-    With ``parallel > 1`` (or an explicit ``runner``) the rungs are
-    solved speculatively through the runtime and the stop rules applied
-    afterwards; the outcome is identical to the sequential scan, rungs
-    past the stop point are simply discarded.  ``cache`` is injected
-    into every explorer that does not already carry one, so rungs share
-    encode work.
-
-    ``deadline_s``/``budget`` cap the ladder's wall clock; ``retry``
-    turns every rung's solver into a
-    :class:`~repro.resilience.watchdog.ResilientSolver`.  ``checkpoint``
-    names a JSONL file receiving one record per completed rung, written
-    as each rung's solve lands (also under ``parallel``);
-    ``resume=True`` replays recorded rungs instead of re-solving them
-    (the file must describe the same ladder, objective and problem
-    fingerprint, else
+    ``options`` is the unified :class:`~repro.core.options.SolveOptions`
+    surface: with ``options.parallel > 1`` (or an explicit ``runner``)
+    the rungs are solved speculatively through the runtime and the stop
+    rules applied afterwards — the outcome is identical to the
+    sequential scan, rungs past the stop point are simply discarded.
+    ``options.deadline_s`` (or an explicit ``budget``) caps the ladder's
+    wall clock; ``options.max_retries`` (or an explicit ``retry``
+    policy) turns every rung's solver into a
+    :class:`~repro.resilience.watchdog.ResilientSolver`.
+    ``options.checkpoint`` names a JSONL file receiving one record per
+    completed rung, written as each rung's solve lands (also under
+    ``parallel``); ``options.resume`` replays recorded rungs instead of
+    re-solving them (the file must describe the same ladder, objective
+    and problem fingerprint, else
     :class:`~repro.resilience.checkpoint.CheckpointError`).
+    ``cache`` is injected into every explorer that does not already
+    carry one, so rungs share encode work (``options.cache=False``
+    disables sharing).
+
+    The pre-options keywords (``parallel=``, ``deadline_s=``,
+    ``checkpoint=``, ``resume=``) still work but are deprecated; they
+    normalize into an equivalent ``SolveOptions``.
 
     Under an armed tracer the whole scan is one ``kstar.search`` span
     with a ``kstar.rung`` child per solved rung (also across
     ``parallel`` workers) and a ``checkpoint.restore`` child when
     resuming.
     """
+    opts = resolve_options(options, legacy, where="kstar_search()")
+    parallel = opts.parallel
+    resume = opts.resume
+    checkpoint: str | Path | None = opts.checkpoint
+    if budget is None:
+        budget = opts.budget()
+    if retry is None:
+        retry = opts.retry_policy()
+    if opts.cache is False:
+        cache = None
     ladder = tuple(ladder)
     with span(
         "kstar.search",
@@ -168,7 +240,6 @@ def kstar_search(
             runner=runner,
             cache=cache,
             budget=budget,
-            deadline_s=deadline_s,
             retry=retry,
             checkpoint=checkpoint,
             resume=resume,
@@ -191,15 +262,11 @@ def _kstar_search_impl(
     parallel: int,
     runner: BatchRunner | None,
     cache: EncodeCache | None,
-    deadline_s: float | None,
     budget: DeadlineBudget | None,
     retry: RetryPolicy | None,
     checkpoint: str | Path | None,
     resume: bool,
 ) -> KStarSearchResult:
-    if budget is None and deadline_s is not None:
-        budget = DeadlineBudget(deadline_s)
-
     ckpt: Checkpoint | None = None
     restored: dict[int, KStarTrial] = {}
     if checkpoint is not None:

@@ -1,0 +1,193 @@
+"""The unified solve-options surface of the exploration API.
+
+:func:`repro.explore`, :func:`repro.kstar_search` and
+:func:`repro.explore_pareto` historically grew divergent keyword
+surfaces for the same cross-cutting concerns — deadlines, retries,
+parallelism, checkpoint/resume, cache sharing, telemetry targets.  A
+:class:`SolveOptions` is the one typed, frozen, JSON-serializable
+options object all three accept (``options=``), and the same object
+rides the ``repro.server`` wire protocol inside a
+:class:`~repro.core.api.JobRequest` — so the in-process facade and the
+HTTP service speak one dialect.
+
+The old per-function keywords still work as a deprecated path: every
+entry point funnels them through :func:`resolve_options`, which warns
+once per call site and folds them into a :class:`SolveOptions`.
+
+Fields that a particular entry point cannot honour are ignored there
+(``checkpoint``/``resume`` only apply to the sweeps; ``trace``/
+``metrics`` are consumed by the transports — the CLI and the server —
+which arm telemetry around the call).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.resilience.policy import DeadlineBudget, RetryPolicy
+
+#: Bump when the serialized options layout changes incompatibly.
+OPTIONS_SCHEMA_VERSION = 1
+
+#: The deprecated per-function keywords :func:`resolve_options` accepts.
+LEGACY_OPTION_KEYS = (
+    "deadline_s",
+    "max_retries",
+    "parallel",
+    "checkpoint",
+    "resume",
+    "cache",
+    "trace",
+    "metrics",
+)
+
+
+@dataclass(frozen=True)
+class SolveOptions:
+    """Cross-cutting options for one exploration call (or service job).
+
+    Everything here is JSON-scalar so the object round-trips through
+    :meth:`to_dict`/:meth:`from_dict` unchanged — the server's job
+    protocol embeds exactly this payload.
+    """
+
+    #: Wall-clock budget for the whole call (``None`` = unlimited).
+    deadline_s: float | None = None
+    #: Solver retry cap (enables the resilient solver watchdog when set).
+    max_retries: int | None = None
+    #: Worker count for sweeps routed through the batch runner.
+    parallel: int = 1
+    #: JSONL checkpoint path for sweeps (kstar / Pareto).
+    checkpoint: str | None = None
+    #: Replay completed work recorded in ``checkpoint`` instead of
+    #: re-solving it.
+    resume: bool = False
+    #: Share encode work through an :class:`~repro.runtime.cache
+    #: .EncodeCache` (``False`` disables caching entirely).
+    cache: bool = True
+    #: JSONL trace target, consumed by the CLI/server transport.
+    trace: str | None = None
+    #: Prometheus-text metrics target, consumed by the transport.
+    metrics: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ValueError("deadline_s must be non-negative")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.parallel < 1:
+            raise ValueError("parallel must be positive")
+        if self.resume and self.checkpoint is None:
+            raise ValueError("resume=True needs a checkpoint path")
+        # Path objects are accepted for convenience; normalize so the
+        # frozen value is wire-ready.
+        if isinstance(self.checkpoint, Path):
+            object.__setattr__(self, "checkpoint", str(self.checkpoint))
+
+    # -- derived runtime objects -------------------------------------------
+
+    def budget(self) -> DeadlineBudget | None:
+        """A fresh :class:`DeadlineBudget` for this call's deadline
+        (``None`` when unlimited)."""
+        if self.deadline_s is None:
+            return None
+        return DeadlineBudget(self.deadline_s)
+
+    def retry_policy(self) -> RetryPolicy | None:
+        """The retry policy implied by ``max_retries`` (``None`` when
+        unset, leaving each entry point's default in force)."""
+        if self.max_retries is None:
+            return None
+        return RetryPolicy(max_retries=self.max_retries)
+
+    @property
+    def resilient(self) -> bool:
+        """Whether any field asks for the solver watchdog."""
+        return self.deadline_s is not None or self.max_retries is not None
+
+    # -- serialization ------------------------------------------------------
+
+    def replace(self, **changes: Any) -> SolveOptions:
+        """A copy with ``changes`` applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready payload (field names are the wire schema)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> SolveOptions:
+        """Rebuild from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`ValueError` — the wire protocol must
+        fail loudly on a client speaking a newer dialect.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"options payload must be an object, got "
+                f"{type(payload).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown option field(s): {', '.join(unknown)}")
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise ValueError(f"bad options payload: {exc}") from exc
+
+
+#: The neutral defaults every entry point starts from.
+DEFAULT_OPTIONS = SolveOptions()
+
+
+def resolve_options(
+    options: SolveOptions | None,
+    legacy: dict[str, Any],
+    *,
+    where: str = "this call",
+) -> SolveOptions:
+    """The single normalization helper behind every entry point.
+
+    ``legacy`` is the ``**kwargs`` catch-all of an entry point; keys
+    must come from :data:`LEGACY_OPTION_KEYS`.  Values equal to the
+    :class:`SolveOptions` default are dropped silently (they change
+    nothing); anything else triggers one :class:`DeprecationWarning`
+    and is folded into the returned options.  Passing both ``options=``
+    and an effective legacy keyword is an error — two sources of truth
+    would be ambiguous.
+    """
+    unknown = sorted(set(legacy) - set(LEGACY_OPTION_KEYS))
+    if unknown:
+        raise TypeError(
+            f"{where} got unexpected keyword argument(s): "
+            f"{', '.join(unknown)}"
+        )
+    defaults = {
+        f.name: f.default for f in dataclasses.fields(SolveOptions)
+    }
+    provided = {
+        key: (str(value) if isinstance(value, Path) else value)
+        for key, value in legacy.items()
+        if (str(value) if isinstance(value, Path) else value)
+        != defaults[key]
+    }
+    if not provided:
+        return options if options is not None else DEFAULT_OPTIONS
+    if options is not None:
+        raise ValueError(
+            f"{where}: pass either options=SolveOptions(...) or the "
+            f"deprecated keyword(s) {sorted(provided)}, not both"
+        )
+    warnings.warn(
+        f"{where}: the keyword(s) {sorted(provided)} are deprecated; "
+        f"pass options=SolveOptions({', '.join(sorted(provided))}=...) "
+        f"instead (see docs/formulation.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return SolveOptions(**provided)

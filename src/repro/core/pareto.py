@@ -28,12 +28,17 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.explorer import ExplorerBase
+from repro.core.options import SolveOptions, resolve_options
 from repro.core.results import SynthesisResult
-from repro.resilience.checkpoint import Checkpoint, RestoredResult
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    RestoredResult,
+    restored_result,
+)
 from repro.resilience.policy import DeadlineBudget, RetryPolicy
 from repro.resilience.watchdog import ResilientSolver
 from repro.runtime.batch import BatchRunner, Trial
-from repro.runtime.instrumentation import RunStats
+from repro.runtime.instrumentation import STATS_SCHEMA_VERSION, RunStats
 from repro.telemetry.trace import span
 
 
@@ -83,6 +88,55 @@ class ParetoFront:
         ) / chord
         return self.points[int(np.argmax(distance))]
 
+    def to_dict(self) -> dict:
+        """The versioned result envelope for a swept front.
+
+        One codec for CLI JSON, checkpoint-style replay and the server
+        wire format.  Decode with :meth:`from_dict`.
+        """
+        knee = self.knee()
+        return {
+            "schema_version": STATS_SCHEMA_VERSION,
+            "kind": "pareto",
+            "primary": self.primary_name,
+            "secondary": self.secondary_name,
+            "points": [
+                {
+                    "primary": p.primary,
+                    "secondary": p.secondary,
+                    "secondary_budget": p.secondary_budget,
+                    **p.result.stats_dict(),
+                }
+                for p in self.points
+            ],
+            "knee": (
+                None if knee is None
+                else {"primary": knee.primary, "secondary": knee.secondary}
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> ParetoFront:
+        """Decode a :meth:`to_dict` payload.
+
+        Each point comes back with a
+        :class:`~repro.resilience.checkpoint.RestoredResult` (the
+        architectures are not serialized).
+        """
+        return cls(
+            primary_name=str(payload.get("primary", "cost")),
+            secondary_name=str(payload.get("secondary", "energy")),
+            points=[
+                ParetoPoint(
+                    primary=float(row["primary"]),
+                    secondary=float(row["secondary"]),
+                    secondary_budget=float(row["secondary_budget"]),
+                    result=restored_result(row),
+                )
+                for row in payload.get("points", ())
+            ],
+        )
+
 
 def explore_pareto(
     explorer: ExplorerBase,
@@ -90,13 +144,11 @@ def explore_pareto(
     secondary: str = "energy",
     points: int = 6,
     *,
-    parallel: int = 1,
     runner: BatchRunner | None = None,
-    deadline_s: float | None = None,
     budget: DeadlineBudget | None = None,
     retry: RetryPolicy | None = None,
-    checkpoint: str | Path | None = None,
-    resume: bool = False,
+    options: SolveOptions | None = None,
+    **legacy,
 ) -> ParetoFront:
     """Sweep the epsilon-constraint front between the two extremes.
 
@@ -105,26 +157,37 @@ def explore_pareto(
     ``points`` evenly spaced budgets on the secondary term.  Infeasible
     budgets (possible at the tight end with MIP-gap slack) are skipped.
 
-    With ``parallel > 1`` (or an explicit ``runner``) the budget solves
-    run concurrently; the front is identical either way because each
-    budget is an independent MILP.  The default runner uses threads so
-    the explorer's encode cache is shared across sweep points.
+    Runtime behaviour comes in one
+    :class:`~repro.core.options.SolveOptions` object (the bare
+    ``parallel=``/``deadline_s=``/``checkpoint=``/``resume=`` keywords
+    still work but are deprecated).  With ``options.parallel > 1`` (or
+    an explicit ``runner``) the budget solves run concurrently; the
+    front is identical either way because each budget is an independent
+    MILP.  The default runner uses threads so the explorer's encode
+    cache is shared across sweep points.
 
-    ``deadline_s``/``budget`` bound the whole sweep; points the deadline
-    cuts off are omitted from the front (and left out of the checkpoint,
-    so a resume re-solves them) rather than failing the sweep.
-    ``retry`` puts every solve under the solver watchdog, and
-    ``checkpoint``/``resume`` persist and replay the extremes and
-    completed sweep points, each written the moment its solve lands (the
-    checkpoint must describe the same primary/secondary/points triple
-    and the same problem fingerprint).
+    ``options.deadline_s`` (or an explicit ``budget``) bounds the whole
+    sweep; points the deadline cuts off are omitted from the front (and
+    left out of the checkpoint, so a resume re-solves them) rather than
+    failing the sweep.  ``retry`` (or ``options.max_retries``) puts
+    every solve under the solver watchdog, and
+    ``options.checkpoint``/``options.resume`` persist and replay the
+    extremes and completed sweep points, each written the moment its
+    solve lands (the checkpoint must describe the same
+    primary/secondary/points triple and the same problem fingerprint).
     """
+    opts = resolve_options(options, legacy, where="explore_pareto()")
+    parallel = opts.parallel
+    resume = opts.resume
+    checkpoint: str | Path | None = opts.checkpoint
+    if budget is None:
+        budget = opts.budget()
+    if retry is None:
+        retry = opts.retry_policy()
     if points < 2:
         raise ValueError("need at least two sweep points")
     if primary == secondary:
         raise ValueError("primary and secondary objectives must differ")
-    if budget is None and deadline_s is not None:
-        budget = DeadlineBudget(deadline_s)
 
     ckpt: Checkpoint | None = None
     restored_extremes: dict[str, dict] = {}

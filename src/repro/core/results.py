@@ -8,8 +8,9 @@ from repro.analysis.diagnostics import Diagnostic
 from repro.milp.model import ModelStats
 from repro.milp.solution import Solution, SolveStatus
 from repro.network.topology import Architecture
+from repro.resilience.checkpoint import RestoredResult, restored_result
 from repro.resilience.watchdog import SolveAttempt, attempt_counters
-from repro.runtime.instrumentation import RunStats
+from repro.runtime.instrumentation import STATS_SCHEMA_VERSION, RunStats
 
 
 @dataclass
@@ -111,3 +112,31 @@ class SynthesisResult:
                 "attempt_log": [a.to_dict() for a in self.solve_attempts],
             }
         return payload
+
+    def to_dict(self) -> dict:
+        """The versioned result envelope: the ``--stats-json`` v2 payload
+        under an explicit ``schema_version`` and result ``kind``.
+
+        This is the *one* serialization of a synthesis outcome — the CLI
+        emits it, checkpoints record a compact subset of it, and the
+        server returns it on the wire.  Decode with :meth:`from_dict`.
+        """
+        return {
+            "schema_version": STATS_SCHEMA_VERSION,
+            "kind": "synthesis",
+            **self.stats_dict(),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> RestoredResult:
+        """Decode a :meth:`to_dict` payload.
+
+        The decoded architecture and model are not serialized, so the
+        round-trip yields a
+        :class:`~repro.resilience.checkpoint.RestoredResult` — status,
+        objective value, objective terms and wall-clock seconds — the
+        same stand-in checkpoint replay uses.  Raises
+        :class:`~repro.resilience.checkpoint.CheckpointError` on a
+        payload that does not round-trip.
+        """
+        return restored_result(payload)

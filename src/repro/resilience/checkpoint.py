@@ -78,6 +78,17 @@ class RestoredResult:
             payload["objective_terms"] = dict(self.objective_terms)
         return payload
 
+    def to_dict(self) -> dict:
+        """The versioned result envelope (mirrors
+        :meth:`repro.core.results.SynthesisResult.to_dict`)."""
+        from repro.runtime.instrumentation import STATS_SCHEMA_VERSION
+
+        return {
+            "schema_version": STATS_SCHEMA_VERSION,
+            "kind": "synthesis",
+            **self.stats_dict(),
+        }
+
 
 class Checkpoint:
     """One JSONL checkpoint file: a header plus completed-work records.
@@ -208,30 +219,84 @@ class Checkpoint:
 
 
 def restored_result(record: dict) -> RestoredResult:
-    """Rebuild a :class:`RestoredResult` from a checkpoint record.
+    """Rebuild a :class:`RestoredResult` from a recorded result payload.
 
-    The record must carry ``status``; ``objective``, ``seconds`` and
-    ``terms`` are optional.  Raises :class:`CheckpointError` on a record
-    that does not round-trip.
+    This is the *one* decode codec for recorded solves: it accepts both
+    the compact checkpoint layout (``status``/``objective``/``seconds``/
+    ``terms``) and the ``--stats-json`` v2 envelope that
+    :meth:`repro.core.results.SynthesisResult.to_dict` emits
+    (``encode_seconds``+``solve_seconds``, ``objective_terms``) — so
+    checkpoint replay, CLI JSON and the server wire format all restore
+    through the same function.  The record must carry ``status``; raises
+    :class:`CheckpointError` on a record that does not round-trip.
     """
     try:
         status = SolveStatus(record["status"])
         objective = record.get("objective")
+        if "seconds" in record:
+            seconds = float(record["seconds"])
+        elif "total_seconds" in record:
+            seconds = float(record["total_seconds"])
+        else:
+            seconds = float(record.get("encode_seconds", 0.0)) + float(
+                record.get("solve_seconds", 0.0)
+            )
+        terms = record.get("terms")
+        if terms is None:
+            terms = record.get("objective_terms")
         return RestoredResult(
             status=status,
             objective_value=(
                 float("nan") if objective is None else float(objective)
             ),
-            total_seconds=float(record.get("seconds", 0.0)),
+            total_seconds=seconds,
             objective_terms={
-                str(k): float(v)
-                for k, v in (record.get("terms") or {}).items()
+                str(k): float(v) for k, v in (terms or {}).items()
             },
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError(
             f"checkpoint record {record!r} is not restorable: {exc}"
         ) from exc
+
+
+def read_checkpoint(path: str | Path) -> tuple[str, dict, list[dict]]:
+    """Read a checkpoint file *without* knowing its identity up front.
+
+    Returns ``(kind, meta, records)``.  The :class:`Checkpoint` class
+    verifies a known identity on load; this helper is for consumers that
+    discover checkpoints on disk — the ``repro.server`` job store scans
+    its state directory on restart and only learns each job's identity
+    *from* the header.  Raises :class:`CheckpointError` on a missing
+    file, unreadable header or unsupported schema; interior corruption
+    and truncated tails are handled exactly as :meth:`Checkpoint.load`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"{path}: no such checkpoint")
+    lines = [
+        line for line in path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    if not lines:
+        raise CheckpointError(f"{path}: empty checkpoint file")
+    try:
+        header = json.loads(lines[0])
+        if not isinstance(header, dict):
+            raise ValueError("header is not an object")
+    except ValueError as exc:
+        raise CheckpointError(
+            f"{path}: unreadable checkpoint header"
+        ) from exc
+    if header.get("schema") != SCHEMA_VERSION:
+        raise CheckpointError(
+            f"{path}: schema {header.get('schema')!r} is not the "
+            f"supported version {SCHEMA_VERSION}"
+        )
+    kind = str(header.get("kind", ""))
+    meta = header.get("meta") or {}
+    checkpoint = Checkpoint(path, kind, meta)
+    return kind, dict(meta), checkpoint.load()
 
 
 def problem_fingerprint(*parts: Any) -> str:

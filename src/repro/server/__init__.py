@@ -1,0 +1,37 @@
+"""Synthesis-as-a-service: a job queue over the unified request API.
+
+The library's entry points are synchronous; this package turns them
+into a long-running service:
+
+- :class:`~repro.server.service.SynthesisService` — worker-pool job
+  queue.  Jobs arrive as :class:`~repro.core.api.JobRequest` objects,
+  are scheduled fairly across tenants
+  (:class:`~repro.server.jobs.FairJobQueue`), share one warm
+  :class:`~repro.runtime.cache.EncodeCache`, and persist their state
+  through the :mod:`repro.resilience.checkpoint` format so a restarted
+  server resumes every in-flight sweep.
+- :class:`~repro.server.hub.ProgressHub` — a telemetry sink giving
+  every job a live, ordered stream of its own span/event records
+  (incumbent trajectories included), keyed by the job's root trace id.
+- :class:`~repro.server.http.HttpFrontend` — a stdlib-only asyncio
+  HTTP/1.1 front end (``repro serve``): ``POST /v1/jobs``,
+  ``GET /v1/jobs/{id}``, chunked ``GET /v1/jobs/{id}/events``,
+  ``GET /metrics``.
+
+See docs/service.md for the wire protocol and resume semantics.
+"""
+
+from repro.server.http import HttpFrontend
+from repro.server.hub import JobEventBuffer, ProgressHub
+from repro.server.jobs import FairJobQueue, Job, JobState
+from repro.server.service import SynthesisService
+
+__all__ = [
+    "FairJobQueue",
+    "HttpFrontend",
+    "Job",
+    "JobEventBuffer",
+    "JobState",
+    "ProgressHub",
+    "SynthesisService",
+]

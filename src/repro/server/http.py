@@ -1,0 +1,300 @@
+"""Stdlib-only asyncio HTTP/1.1 front end for the job service.
+
+Endpoints (see docs/service.md for payload schemas):
+
+- ``POST /v1/jobs``            — submit a job request JSON; 202 + id.
+- ``GET  /v1/jobs``            — list jobs (id, state, kind, tenant).
+- ``GET  /v1/jobs/{id}``       — state, and the result once terminal.
+- ``GET  /v1/jobs/{id}/events``— the job's telemetry stream (spans,
+  solver progress events) as chunked JSONL; tails live jobs and ends
+  when the job's root span lands.  The completed stream is valid
+  against the trace schema (``python -m repro.telemetry.schema``).
+- ``GET  /metrics``            — process metrics, Prometheus text.
+- ``GET  /healthz``            — liveness.
+
+The protocol support is deliberately minimal (one request per
+connection, ``Connection: close``): the front end exists so sweeps can
+be driven and observed remotely, not to win HTTP benchmarks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.server.service import SynthesisService
+from repro.telemetry.metrics import counter, get_registry
+from repro.telemetry.sinks import prometheus_text
+
+_MAX_BODY = 4 * 1024 * 1024
+#: How long one events-poll blocks in the buffer before yielding back
+#: to the event loop (keeps shutdown and disconnects responsive).
+_POLL_S = 0.25
+
+
+class HttpError(Exception):
+    """An error with an HTTP status (rendered as a JSON body)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpFrontend:
+    """One asyncio server bound to a :class:`SynthesisService`."""
+
+    def __init__(
+        self,
+        service: SynthesisService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        """Bind and start accepting (``port=0`` picks a free port)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except HttpError as exc:
+                await self._respond_error(writer, exc)
+                return
+            counter("server.http_requests").inc()
+            try:
+                await self._route(method, path, body, writer)
+            except HttpError as exc:
+                await self._respond_error(writer, exc)
+            except Exception as exc:  # noqa: BLE001 - connection boundary
+                await self._respond_error(
+                    writer,
+                    HttpError(500, f"{type(exc).__name__}: {exc}"),
+                )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise HttpError(400, "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            raise HttpError(413, f"body exceeds {_MAX_BODY} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method, target.split("?", 1)[0], body
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if path == "/healthz" and method == "GET":
+            await self._respond_json(writer, 200, {"ok": True})
+        elif path == "/metrics" and method == "GET":
+            await self._respond(
+                writer, 200, prometheus_text(get_registry()).encode(),
+                content_type="text/plain; version=0.0.4",
+            )
+        elif path == "/v1/jobs" and method == "POST":
+            await self._submit(writer, body)
+        elif path == "/v1/jobs" and method == "GET":
+            await self._respond_json(writer, 200, {
+                "jobs": [job.to_dict() for job in self.service.jobs()],
+            })
+        elif path.startswith("/v1/jobs/"):
+            if method != "GET":
+                raise HttpError(405, f"{method} not allowed here")
+            rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/events"):
+                await self._stream_events(writer, rest[:-len("/events")].strip("/"))
+            else:
+                await self._job_status(writer, rest.strip("/"))
+        else:
+            raise HttpError(404, f"no route for {method} {path}")
+
+    # -- endpoints ------------------------------------------------------
+
+    async def _submit(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise HttpError(400, "job request must be a JSON object")
+        try:
+            job = self.service.submit(payload)
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, str(exc)) from exc
+        except RuntimeError as exc:
+            raise HttpError(500, str(exc)) from exc
+        await self._respond_json(writer, 202, job.to_dict())
+
+    async def _job_status(
+        self, writer: asyncio.StreamWriter, job_id: str
+    ) -> None:
+        job = self.service.job(job_id)
+        if job is None:
+            raise HttpError(404, f"unknown job {job_id!r}")
+        await self._respond_json(writer, 200, job.to_dict())
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, job_id: str
+    ) -> None:
+        job = self.service.job(job_id)
+        if job is None:
+            raise HttpError(404, f"unknown job {job_id!r}")
+        buffer = self.service.hub.buffer(job_id)
+        if buffer is None:
+            raise HttpError(404, f"job {job_id!r} has no event stream")
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        loop = asyncio.get_running_loop()
+        cursor = 0
+        done = False
+        while not done:
+            fresh, done = await loop.run_in_executor(
+                None, buffer.next_after, cursor, _POLL_S
+            )
+            cursor += len(fresh)
+            if fresh:
+                payload = b"".join(
+                    json.dumps(r, separators=(",", ":"), sort_keys=True)
+                    .encode() + b"\n"
+                    for r in fresh
+                )
+                writer.write(self._chunk(payload))
+                await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    # -- response plumbing ---------------------------------------------
+
+    @staticmethod
+    def _chunk(payload: bytes) -> bytes:
+        return f"{len(payload):x}\r\n".encode() + payload + b"\r\n"
+
+    async def _respond_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: Any
+    ) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True).encode()
+        await self._respond(writer, status, body + b"\n")
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        *,
+        content_type: str = "application/json",
+    ) -> None:
+        reason = _REASONS.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode() + body)
+        await writer.drain()
+
+    async def _respond_error(
+        self, writer: asyncio.StreamWriter, exc: HttpError
+    ) -> None:
+        try:
+            await self._respond_json(
+                writer, exc.status, {"error": str(exc)}
+            )
+        except (ConnectionError, OSError):
+            pass
+
+
+def serve(
+    service: SynthesisService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    ready: Any | None = None,
+) -> None:
+    """Blocking entry point used by ``repro serve``.
+
+    ``ready`` (a callable) is invoked with the frontend once the socket
+    is bound — the CLI prints the address from it, and tests grab the
+    ephemeral port.
+    """
+
+    async def _main() -> None:
+        frontend = HttpFrontend(service, host, port)
+        await frontend.start()
+        if ready is not None:
+            ready(frontend)
+        try:
+            await frontend.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await frontend.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,141 @@
+"""Per-job progress streams over the process-wide telemetry bus.
+
+One server process runs many jobs concurrently, all emitting into one
+tracer.  The :class:`ProgressHub` is a telemetry sink that
+demultiplexes that stream: when a job's worker opens its root span it
+binds the span's trace id to the job, and from then on every record of
+that trace — child spans, solver progress events, checkpoint restores —
+lands in the job's own :class:`JobEventBuffer` in emission order.
+
+A buffer is an append-only log with blocking reads
+(:meth:`JobEventBuffer.next_after`), so an HTTP handler can tail it as
+chunked JSONL while the job is still solving.  The stream stays valid
+against the trace schema (``python -m repro.telemetry.schema``) once
+the job finishes, because the root span record itself is the last thing
+routed before the buffer closes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.telemetry.metrics import counter
+from repro.telemetry.sinks import TraceRouter
+
+
+class JobEventBuffer:
+    """Ordered, append-only record log of one job, with blocking tails.
+
+    ``emit`` is the sink interface the router drives; readers follow
+    with :meth:`next_after`, which blocks until records past their
+    cursor exist (or the buffer closes).  Many readers may tail one
+    buffer — each keeps its own cursor.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[dict[str, Any]] = []
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def emit(self, record: dict[str, Any]) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._records.append(record)
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """No further records; wake every blocked reader."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._records)
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Everything buffered so far."""
+        with self._cond:
+            return list(self._records)
+
+    def next_after(
+        self, cursor: int, timeout: float | None = None
+    ) -> tuple[list[dict[str, Any]], bool]:
+        """Records past ``cursor``, blocking up to ``timeout`` seconds.
+
+        Returns ``(records, done)``: ``done`` is True once the buffer
+        is closed *and* the cursor has drained it — the reader's signal
+        to stop tailing.  A timeout with nothing new returns
+        ``([], False)``.
+        """
+        with self._cond:
+            if len(self._records) <= cursor and not self._closed:
+                self._cond.wait(timeout)
+            fresh = self._records[cursor:]
+            done = self._closed and cursor + len(fresh) >= len(self._records)
+            return fresh, done
+
+
+class ProgressHub:
+    """The server's telemetry sink: one live event stream per job.
+
+    Install with :func:`repro.telemetry.add_sink`.  Lifecycle per job:
+    :meth:`open_job` before the job can emit, :meth:`bind` as soon as
+    the job's root trace id is known (inside the worker, right after
+    the root span opens), :meth:`close_job` after the root span closed.
+    Records of traces no hub buffer claims are counted by the
+    underlying :class:`~repro.telemetry.sinks.TraceRouter`, not stored.
+    """
+
+    def __init__(self) -> None:
+        self._router = TraceRouter()
+        self._buffers: dict[str, JobEventBuffer] = {}
+        self._traces: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self._router.emit(record)
+
+    def open_job(self, job_id: str) -> JobEventBuffer:
+        """Create (or return) the event buffer for ``job_id``."""
+        with self._lock:
+            buffer = self._buffers.get(job_id)
+            if buffer is None:
+                buffer = self._buffers[job_id] = JobEventBuffer()
+            return buffer
+
+    def bind(self, job_id: str, trace_id: str) -> None:
+        """Route the records of ``trace_id`` into ``job_id``'s buffer."""
+        buffer = self.open_job(job_id)
+        with self._lock:
+            self._traces[job_id] = trace_id
+        self._router.bind(trace_id, buffer)
+        counter("server.streams_bound").inc()
+
+    def close_job(self, job_id: str) -> None:
+        """Seal the job's stream (after its root span record landed)."""
+        with self._lock:
+            trace_id = self._traces.pop(job_id, None)
+            buffer = self._buffers.get(job_id)
+        if trace_id is not None:
+            self._router.release(trace_id)
+        if buffer is not None:
+            buffer.close()
+
+    def buffer(self, job_id: str) -> JobEventBuffer | None:
+        """The job's event buffer, if the job ever opened one."""
+        with self._lock:
+            return self._buffers.get(job_id)
+
+    def forget(self, job_id: str) -> None:
+        """Drop a job's buffer (memory reclamation for retired jobs)."""
+        self.close_job(job_id)
+        with self._lock:
+            self._buffers.pop(job_id, None)

@@ -1,0 +1,133 @@
+"""Job model and the tenant-fair scheduler.
+
+A :class:`Job` is one submitted :class:`~repro.core.api.JobRequest`
+plus its lifecycle state; the :class:`FairJobQueue` hands queued jobs
+to workers in round-robin order *across tenants*, so a tenant that
+dumps fifty sweeps cannot starve another tenant's single solve — each
+dispatch takes the next tenant in rotation that has work, and a
+tenant's own jobs stay FIFO.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.api import JobRequest, JobResult
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle of a job: queued -> running -> done | failed."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED)
+
+
+_seq = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One submitted request and everything the server knows about it."""
+
+    id: str
+    request: JobRequest
+    state: JobState = JobState.QUEUED
+    result: JobResult | None = None
+    #: Whether this run resumes a sweep recovered from a prior process.
+    resumed: bool = False
+    #: Monotone submission sequence (FIFO order within a tenant).
+    seq: int = field(default_factory=lambda: next(_seq))
+    #: Set once the job reaches a terminal state.
+    finished: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def tenant(self) -> str:
+        return self.request.tenant
+
+    def to_dict(self) -> dict:
+        """The job's public (wire) view."""
+        payload: dict = {
+            "id": self.id,
+            "state": self.state.value,
+            "kind": self.request.kind,
+            "tenant": self.tenant,
+            "resumed": self.resumed,
+        }
+        if self.result is not None:
+            payload["result"] = self.result.to_dict()
+        return payload
+
+
+class FairJobQueue:
+    """Round-robin-across-tenants dispatch over per-tenant FIFO queues.
+
+    ``push`` enqueues under the job's tenant; ``pop`` blocks until a
+    job is available (or the queue closes) and serves tenants in strict
+    rotation, skipping tenants with nothing queued.  The rotation
+    cursor persists across pops, so interleaving is fair over time, not
+    just per call.
+    """
+
+    def __init__(self) -> None:
+        self._queues: dict[str, deque[Job]] = {}
+        self._rotation: deque[str] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def push(self, job: Job) -> None:
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            queue = self._queues.get(job.tenant)
+            if queue is None:
+                queue = self._queues[job.tenant] = deque()
+                self._rotation.append(job.tenant)
+            queue.append(job)
+            self._cond.notify()
+
+    def pop(self, timeout: float | None = None) -> Job | None:
+        """The next job in tenant rotation; None on timeout or close."""
+        with self._cond:
+            while True:
+                job = self._take()
+                if job is not None:
+                    return job
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout):
+                    return None
+
+    def _take(self) -> Job | None:
+        for _ in range(len(self._rotation)):
+            tenant = self._rotation[0]
+            self._rotation.rotate(-1)
+            queue = self._queues[tenant]
+            if queue:
+                return queue.popleft()
+        return None
+
+    def close(self) -> None:
+        """Refuse new jobs and wake every blocked ``pop``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return sum(len(q) for q in self._queues.values())
+
+    def pending(self, tenant: str) -> int:
+        """Jobs queued (not yet dispatched) for one tenant."""
+        with self._cond:
+            queue = self._queues.get(tenant)
+            return len(queue) if queue else 0

@@ -37,6 +37,7 @@ from repro.telemetry.progress import ProgressEvent, SolveProgress
 from repro.telemetry.sinks import (
     CollectorSink,
     JsonlSink,
+    TraceRouter,
     prometheus_text,
     read_jsonl,
     render_span_tree,
@@ -49,6 +50,7 @@ from repro.telemetry.trace import (
     SpanHandle,
     Tracer,
     add_event,
+    add_sink,
     adopt,
     capture,
     configure,
@@ -57,6 +59,7 @@ from repro.telemetry.trace import (
     enabled,
     get_tracer,
     ingest,
+    remove_sink,
     shutdown,
     span,
 )
@@ -75,8 +78,10 @@ __all__ = [
     "SolveProgress",
     "SpanContext",
     "SpanHandle",
+    "TraceRouter",
     "Tracer",
     "add_event",
+    "add_sink",
     "adopt",
     "capture",
     "configure",
@@ -91,6 +96,7 @@ __all__ = [
     "ingest",
     "prometheus_text",
     "read_jsonl",
+    "remove_sink",
     "render_span_tree",
     "shutdown",
     "span",

@@ -16,6 +16,9 @@ Provided sinks/exporters:
 - :class:`CollectorSink` — in-memory buffer; used by
   :func:`repro.telemetry.trace.adopt` to carry records out of process
   workers, and handy in tests.
+- :class:`TraceRouter` — demultiplexes the process-wide record stream
+  into per-trace sinks; the server uses it to give every job its own
+  live event stream.
 - :func:`prometheus_text` — text exposition of a
   :class:`~repro.telemetry.metrics.MetricsRegistry` for the CLI's
   ``--metrics PATH``.
@@ -51,6 +54,56 @@ class CollectorSink:
         """Drop everything buffered so far."""
         with self._lock:
             self.records = []
+
+
+class TraceRouter:
+    """Demultiplex one record stream into per-trace sinks.
+
+    A process emits one interleaved stream of span/event records; the
+    router forwards each record to whatever sink its ``trace`` id is
+    bound to (:meth:`bind`), falling back to ``default`` for unbound
+    traces.  This is how :mod:`repro.server` gives every job its own
+    live event stream while jobs from many tenants run concurrently in
+    one process: each job binds its root trace id the moment it opens
+    its root span.
+
+    Thread-safe; routing an unbound trace with no default counts it in
+    ``unrouted`` rather than raising (the tracer treats sinks as
+    best-effort anyway).
+    """
+
+    def __init__(self, default: Any | None = None) -> None:
+        self.default = default
+        self.unrouted = 0
+        self._routes: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def bind(self, trace_id: str, sink: Any) -> None:
+        """Route all subsequent records of ``trace_id`` to ``sink``."""
+        with self._lock:
+            self._routes[trace_id] = sink
+
+    def release(self, trace_id: str) -> Any | None:
+        """Stop routing ``trace_id``; returns the sink it had, if any."""
+        with self._lock:
+            return self._routes.pop(trace_id, None)
+
+    def emit(self, record: dict[str, Any]) -> None:
+        """Forward one record to its trace's sink (or the default)."""
+        with self._lock:
+            sink = self._routes.get(record.get("trace", ""), self.default)
+            if sink is None:
+                self.unrouted += 1
+                return
+        sink.emit(record)
+
+    def flush(self) -> None:
+        with self._lock:
+            sinks = [*self._routes.values(), self.default]
+        for sink in sinks:
+            flush = getattr(sink, "flush", None)
+            if flush is not None:
+                flush()
 
 
 class JsonlSink:

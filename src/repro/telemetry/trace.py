@@ -198,6 +198,23 @@ class Tracer:
             self._sinks = list(sinks)
             self.enabled = bool(self._sinks)
 
+    def add_sink(self, sink: Any) -> None:
+        """Attach one more sink without disturbing the configured ones.
+
+        Arms the tracer if it was disarmed.  This is how a long-lived
+        embedder (the job server) taps the record stream while the CLI's
+        ``--trace`` sink keeps writing its file.
+        """
+        with self._lock:
+            self._sinks.append(sink)
+            self.enabled = True
+
+    def remove_sink(self, sink: Any) -> None:
+        """Detach ``sink`` (idempotent); disarms when none remain."""
+        with self._lock:
+            self._sinks = [s for s in self._sinks if s is not sink]
+            self.enabled = bool(self._sinks)
+
     def shutdown(self) -> None:
         """Flush and close every sink, then disable tracing."""
         with self._lock:
@@ -255,6 +272,16 @@ def get_tracer() -> Tracer:
 def configure(sinks: Sequence[Any]) -> None:
     """Enable tracing into ``sinks`` (see :mod:`repro.telemetry.sinks`)."""
     _tracer.configure(sinks)
+
+
+def add_sink(sink: Any) -> None:
+    """Attach one more sink to the process tracer (arming it)."""
+    _tracer.add_sink(sink)
+
+
+def remove_sink(sink: Any) -> None:
+    """Detach a sink added with :func:`add_sink` (idempotent)."""
+    _tracer.remove_sink(sink)
 
 
 def shutdown() -> None:

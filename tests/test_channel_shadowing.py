@@ -94,7 +94,7 @@ class TestBerRequirement:
             LinkQualityRequirement(max_ber=0.7)
 
     def test_ber_bound_enforced_end_to_end(self, grid_instance, library):
-        from repro.core import ArchitectureExplorer
+        from repro.core import DataCollectionExplorer
         from repro.network import RequirementSet
         from repro.validation import link_rss_dbm, validate
 
@@ -102,7 +102,7 @@ class TestBerRequirement:
         for s in grid_instance.sensor_ids:
             reqs.require_route(s, grid_instance.sink_id)
         reqs.link_quality = LinkQualityRequirement(max_ber=1e-9)
-        result = ArchitectureExplorer(
+        result = DataCollectionExplorer(
             grid_instance.template, library, reqs
         ).solve("cost")
         assert result.feasible

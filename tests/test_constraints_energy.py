@@ -8,7 +8,7 @@ from repro.constraints import (
     build_mapping,
     lifetime_budget_ma_ms,
 )
-from repro.core import ArchitectureExplorer
+from repro.core import DataCollectionExplorer
 from repro.encoding import ApproximatePathEncoder
 from repro.library import default_catalog
 from repro.milp import HighsSolver, Model
@@ -59,7 +59,7 @@ class TestEnergyModel:
         """The MILP's (PWL, big-M) charge must dominate the validator's
         exact nonlinear recomputation on the decoded design."""
         reqs = make_requirements(grid)
-        explorer = ArchitectureExplorer(
+        explorer = DataCollectionExplorer(
             grid.template, default_catalog(), reqs,
             encoder=ApproximatePathEncoder(k_star=6),
         )
@@ -80,7 +80,7 @@ class TestEnergyModel:
 
     def test_lifetime_requirement_validated(self, grid):
         reqs = make_requirements(grid, years=5.0)
-        result = ArchitectureExplorer(
+        result = DataCollectionExplorer(
             grid.template, default_catalog(), reqs
         ).solve("cost")
         assert result.feasible
@@ -89,10 +89,10 @@ class TestEnergyModel:
         assert report.min_lifetime_years >= 5.0
 
     def test_stricter_lifetime_costs_more(self, grid):
-        cheap = ArchitectureExplorer(
+        cheap = DataCollectionExplorer(
             grid.template, default_catalog(), make_requirements(grid, 2.0)
         ).solve("cost")
-        strict = ArchitectureExplorer(
+        strict = DataCollectionExplorer(
             grid.template, default_catalog(), make_requirements(grid, 10.0)
         ).solve("cost")
         assert cheap.feasible and strict.feasible
@@ -104,14 +104,14 @@ class TestEnergyModel:
     def test_impossible_lifetime_infeasible(self, grid):
         # Even an idle low-power node cannot last 200 years on 2xAA.
         reqs = make_requirements(grid, years=200.0)
-        result = ArchitectureExplorer(
+        result = DataCollectionExplorer(
             grid.template, default_catalog(), reqs
         ).solve("cost")
         assert not result.feasible
 
     def test_energy_objective_prefers_low_power_parts(self, grid):
         reqs = make_requirements(grid)
-        explorer = ArchitectureExplorer(
+        explorer = DataCollectionExplorer(
             grid.template, default_catalog(), reqs
         )
         cost_opt = explorer.solve("cost")
@@ -126,7 +126,7 @@ class TestEnergyModel:
 
     def test_sink_exempt_from_lifetime(self, grid):
         reqs = make_requirements(grid)
-        result = ArchitectureExplorer(
+        result = DataCollectionExplorer(
             grid.template, default_catalog(), reqs
         ).solve("cost")
         report = validate(result.architecture, reqs)
@@ -135,7 +135,7 @@ class TestEnergyModel:
     def test_slot_demand_counted_per_route_use(self, grid):
         """Node slot counts in the MILP equal the decoded route uses."""
         reqs = make_requirements(grid)
-        explorer = ArchitectureExplorer(
+        explorer = DataCollectionExplorer(
             grid.template, default_catalog(), reqs,
         )
         built = explorer.build("cost")

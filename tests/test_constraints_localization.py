@@ -3,7 +3,7 @@
 import pytest
 
 from repro.constraints import build_localization, build_mapping
-from repro.core import LocalizationExplorer
+from repro.core import AnchorPlacementExplorer
 from repro.library import localization_catalog
 from repro.milp import Model
 from repro.network import ReachabilityRequirement, RequirementSet
@@ -73,10 +73,10 @@ class TestBuildLocalization:
             )
 
 
-class TestLocalizationExplorer:
+class TestAnchorPlacementExplorer:
     def test_coverage_satisfied(self, loc_instance, loc_requirement,
                                 loc_library):
-        result = LocalizationExplorer(
+        result = AnchorPlacementExplorer(
             loc_instance.template, loc_library, loc_requirement,
             loc_instance.channel, k_star=10,
         ).solve("cost")
@@ -89,7 +89,7 @@ class TestLocalizationExplorer:
     def test_dsod_objective_improves_distance(
         self, loc_instance, loc_requirement, loc_library
     ):
-        explorer = LocalizationExplorer(
+        explorer = AnchorPlacementExplorer(
             loc_instance.template, loc_library, loc_requirement,
             loc_instance.channel, k_star=10,
         )
@@ -107,7 +107,7 @@ class TestLocalizationExplorer:
             min_anchors=3,
             min_rss_dbm=-20.0,  # absurdly strong signal demanded
         )
-        result = LocalizationExplorer(
+        result = AnchorPlacementExplorer(
             loc_instance.template, loc_library, requirement,
             loc_instance.channel, k_star=10,
         ).solve("cost")
@@ -121,7 +121,7 @@ class TestLocalizationExplorer:
                 test_points=loc_instance.test_points,
                 min_anchors=n, min_rss_dbm=-80.0,
             )
-            return LocalizationExplorer(
+            return AnchorPlacementExplorer(
                 loc_instance.template, loc_library, requirement,
                 loc_instance.channel, k_star=12,
             ).solve("cost")

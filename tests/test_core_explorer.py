@@ -2,18 +2,18 @@
 
 import pytest
 
-from repro.core import ArchitectureExplorer, LocalizationExplorer
+from repro.core import DataCollectionExplorer, AnchorPlacementExplorer
 from repro.encoding import ApproximatePathEncoder, FullPathEncoder
 from repro.milp import BranchAndBoundSolver, HighsSolver, SolveStatus
 from repro.network import RequirementSet
 from repro.validation import validate
 
 
-class TestArchitectureExplorer:
+class TestDataCollectionExplorer:
     def test_solve_returns_validated_architecture(
         self, grid_instance, library, grid_requirements
     ):
-        result = ArchitectureExplorer(
+        result = DataCollectionExplorer(
             grid_instance.template, library, grid_requirements
         ).solve("cost")
         assert result.status == SolveStatus.OPTIMAL
@@ -24,7 +24,7 @@ class TestArchitectureExplorer:
     def test_objective_terms_recorded(
         self, grid_instance, library, grid_requirements
     ):
-        result = ArchitectureExplorer(
+        result = DataCollectionExplorer(
             grid_instance.template, library, grid_requirements
         ).solve("cost")
         assert result.objective_terms["cost"] == pytest.approx(
@@ -38,7 +38,7 @@ class TestArchitectureExplorer:
         reqs = RequirementSet()
         for s in grid_instance.sensor_ids:
             reqs.require_route(s, grid_instance.sink_id)
-        built = ArchitectureExplorer(
+        built = DataCollectionExplorer(
             grid_instance.template, library, reqs
         ).build("cost")
         assert built.energy is None
@@ -50,7 +50,7 @@ class TestArchitectureExplorer:
         reqs = RequirementSet()
         for s in grid_instance.sensor_ids:
             reqs.require_route(s, grid_instance.sink_id)
-        built = ArchitectureExplorer(
+        built = DataCollectionExplorer(
             grid_instance.template, library, reqs
         ).build("energy")
         assert built.energy is not None
@@ -58,7 +58,7 @@ class TestArchitectureExplorer:
     def test_custom_solver_used(self, grid_instance, library):
         reqs = RequirementSet()
         reqs.require_route(grid_instance.sensor_ids[0], grid_instance.sink_id)
-        result = ArchitectureExplorer(
+        result = DataCollectionExplorer(
             grid_instance.template, library, reqs,
             encoder=ApproximatePathEncoder(k_star=3),
             solver=BranchAndBoundSolver(node_limit=50_000),
@@ -72,10 +72,10 @@ class TestArchitectureExplorer:
         for s in grid_instance.sensor_ids[:2]:
             reqs.require_route(s, grid_instance.sink_id, replicas=2,
                                disjoint=True)
-        full = ArchitectureExplorer(
+        full = DataCollectionExplorer(
             grid_instance.template, library, reqs, encoder=FullPathEncoder()
         ).solve("cost")
-        approx = ArchitectureExplorer(
+        approx = DataCollectionExplorer(
             grid_instance.template, library, reqs,
             encoder=ApproximatePathEncoder(k_star=30),
         ).solve("cost")
@@ -83,7 +83,7 @@ class TestArchitectureExplorer:
 
     def test_model_stats_reported(self, grid_instance, library,
                                   grid_requirements):
-        result = ArchitectureExplorer(
+        result = DataCollectionExplorer(
             grid_instance.template, library, grid_requirements
         ).solve("cost")
         assert result.model_stats.num_vars > 0
@@ -100,7 +100,7 @@ class TestArchitectureExplorer:
         from repro.network import LinkQualityRequirement
 
         reqs.link_quality = LinkQualityRequirement(min_snr_db=90.0)
-        result = ArchitectureExplorer(
+        result = DataCollectionExplorer(
             grid_instance.template, library, reqs
         ).solve("cost")
         assert not result.feasible
@@ -110,7 +110,7 @@ class TestArchitectureExplorer:
     def test_combined_objective_between_extremes(
         self, grid_instance, library, grid_requirements
     ):
-        explorer = ArchitectureExplorer(
+        explorer = DataCollectionExplorer(
             grid_instance.template, library, grid_requirements
         )
         cost_r = explorer.solve("cost")
@@ -154,7 +154,7 @@ class TestLinkCosts:
         for s in instance.sensor_ids:
             reqs.require_route(s, instance.sink_id)
         library = default_catalog()
-        result = ArchitectureExplorer(template, library, reqs).solve("cost")
+        result = DataCollectionExplorer(template, library, reqs).solve("cost")
         assert result.feasible
         arch = result.architecture
         node_cost = sum(
@@ -171,10 +171,10 @@ class TestLinkCosts:
         assert len(arch.active_edges) <= sum(r.hops for r in arch.routes)
 
 
-class TestLocalizationExplorerEnd2End:
+class TestAnchorPlacementExplorerEnd2End:
     def test_solve_and_summary(self, loc_instance, loc_requirement,
                                loc_library):
-        result = LocalizationExplorer(
+        result = AnchorPlacementExplorer(
             loc_instance.template, loc_library, loc_requirement,
             loc_instance.channel, k_star=10,
         ).solve("cost")

@@ -4,7 +4,7 @@ from types import SimpleNamespace
 
 import pytest
 
-from repro.core import DataCollectionExplorer, kstar_search
+from repro.core import DataCollectionExplorer, SolveOptions, kstar_search
 from repro.core.kstar_search import KStarTrial, scan_ladder
 from repro.encoding import ApproximatePathEncoder
 from repro.library import default_catalog
@@ -93,7 +93,7 @@ class TestKStarSearch:
         sequential = kstar_search(make_factory(problem), ladder=ladder)
         parallel = kstar_search(
             make_factory(problem), ladder=ladder,
-            parallel=2, cache=EncodeCache(),
+            options=SolveOptions(parallel=2), cache=EncodeCache(),
         )
         assert parallel.stop_reason == sequential.stop_reason
         assert parallel.best.k_star == sequential.best.k_star

@@ -1,0 +1,150 @@
+"""Tests for :class:`SolveOptions` and legacy-keyword normalization."""
+
+import warnings
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.options import (
+    DEFAULT_OPTIONS,
+    SolveOptions,
+    resolve_options,
+)
+from repro.resilience.policy import DeadlineBudget, RetryPolicy
+
+
+class TestSolveOptions:
+    def test_defaults(self):
+        opts = SolveOptions()
+        assert opts.deadline_s is None
+        assert opts.parallel == 1
+        assert opts.cache is True
+        assert opts.resume is False
+        assert opts == DEFAULT_OPTIONS
+
+    @pytest.mark.parametrize("bad", [
+        {"deadline_s": -1.0},
+        {"max_retries": -2},
+        {"parallel": 0},
+        {"resume": True},  # resume without checkpoint
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            SolveOptions(**bad)
+
+    def test_checkpoint_path_normalized(self, tmp_path):
+        opts = SolveOptions(checkpoint=tmp_path / "c.jsonl")
+        assert isinstance(opts.checkpoint, str)
+        assert opts.checkpoint == str(tmp_path / "c.jsonl")
+
+    def test_round_trip(self, tmp_path):
+        opts = SolveOptions(
+            deadline_s=12.5, max_retries=2, parallel=3,
+            checkpoint=str(tmp_path / "c.jsonl"), resume=True,
+            cache=False, trace="t.jsonl", metrics="m.prom",
+        )
+        assert SolveOptions.from_dict(opts.to_dict()) == opts
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown option"):
+            SolveOptions.from_dict({"deadline_s": 1.0, "bogus": True})
+
+    def test_derived_runtime_objects(self):
+        opts = SolveOptions(deadline_s=5.0, max_retries=3)
+        assert isinstance(opts.budget(), DeadlineBudget)
+        policy = opts.retry_policy()
+        assert isinstance(policy, RetryPolicy)
+        assert policy.max_retries == 3
+        assert opts.resilient
+        assert SolveOptions().budget() is None
+        assert SolveOptions().retry_policy() is None
+        assert not SolveOptions().resilient
+
+    def test_replace(self):
+        opts = SolveOptions(parallel=2)
+        changed = opts.replace(deadline_s=1.0)
+        assert changed.parallel == 2
+        assert changed.deadline_s == 1.0
+        assert opts.deadline_s is None  # frozen original untouched
+
+
+class TestResolveOptions:
+    def test_no_legacy_returns_options_or_defaults(self):
+        opts = SolveOptions(parallel=4)
+        assert resolve_options(opts, {}) is opts
+        assert resolve_options(None, {}) is DEFAULT_OPTIONS
+
+    def test_default_valued_legacy_dropped_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resolved = resolve_options(
+                None, {"parallel": 1, "deadline_s": None, "resume": False}
+            )
+        assert resolved == DEFAULT_OPTIONS
+
+    def test_effective_legacy_warns_and_folds(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            resolved = resolve_options(
+                None, {"parallel": 2, "deadline_s": 9.0}, where="f()"
+            )
+        assert resolved.parallel == 2
+        assert resolved.deadline_s == 9.0
+
+    def test_both_sources_is_an_error(self):
+        with pytest.raises(ValueError, match="not both"):
+            resolve_options(SolveOptions(), {"parallel": 2})
+
+    def test_unknown_keyword_is_type_error(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            resolve_options(None, {"paralell": 2}, where="f()")
+
+    def test_path_values_normalized(self, tmp_path):
+        with pytest.warns(DeprecationWarning):
+            resolved = resolve_options(
+                None, {"checkpoint": tmp_path / "c.jsonl"}
+            )
+        assert resolved.checkpoint == str(tmp_path / "c.jsonl")
+
+
+class TestEntryPointsAcceptOptions:
+    def test_explore_with_options_parallel(
+        self, grid_instance, library, grid_requirements
+    ):
+        results = repro.explore(
+            grid_instance.template, library, grid_requirements,
+            objective=("cost", "energy"),
+            options=SolveOptions(parallel=2),
+        )
+        assert len(results) == 2
+        assert all(r.feasible for r in results)
+
+    def test_explore_rejects_checkpoint_options(
+        self, grid_instance, library, grid_requirements, tmp_path
+    ):
+        with pytest.raises(ValueError, match="checkpoint"):
+            repro.explore(
+                grid_instance.template, library, grid_requirements,
+                options=SolveOptions(
+                    checkpoint=str(tmp_path / "c.jsonl")
+                ),
+            )
+
+    def test_explore_legacy_keyword_warns(
+        self, grid_instance, library, grid_requirements
+    ):
+        with pytest.warns(DeprecationWarning, match="explore\\(\\)"):
+            result = repro.explore(
+                grid_instance.template, library, grid_requirements,
+                parallel=2,
+            )
+        assert result.feasible
+
+    def test_explore_unknown_keyword_rejected(
+        self, grid_instance, library, grid_requirements
+    ):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            repro.explore(
+                grid_instance.template, library, grid_requirements,
+                paralel=2,
+            )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ArchitectureExplorer, explore_pareto
+from repro.core import DataCollectionExplorer, SolveOptions, explore_pareto
 from repro.core.pareto import ParetoFront, ParetoPoint
 from repro.core.results import SynthesisResult
 from repro.validation import validate
@@ -22,7 +22,7 @@ def explorer(grid_instance, library):
                            disjoint=True)
     reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
     reqs.lifetime = LifetimeRequirement(years=5.0)
-    return ArchitectureExplorer(grid_instance.template, library, reqs)
+    return DataCollectionExplorer(grid_instance.template, library, reqs)
 
 
 @pytest.fixture(scope="module")
@@ -78,7 +78,7 @@ class TestExplorePareto:
 
     def test_parallel_sweep_matches_sequential(self, front, explorer):
         parallel = explore_pareto(
-            explorer, "cost", "energy", points=5, parallel=2
+            explorer, "cost", "energy", points=5, options=SolveOptions(parallel=2)
         )
         assert [
             (p.primary, pytest.approx(p.secondary)) for p in parallel.points
@@ -161,7 +161,7 @@ class TestCheckpointStreaming:
         with pytest.raises(KeyboardInterrupt):
             explore_pareto(
                 ScriptedExplorer(), "cost", "energy", points=4,
-                checkpoint=path,
+                options=SolveOptions(checkpoint=path),
             )
         records = [json.loads(l) for l in path.read_text().splitlines()[1:]]
         stages = [r["stage"] for r in records]
@@ -177,7 +177,7 @@ class TestCheckpointStreaming:
         monkeypatch.setattr(pareto_mod, "_solve_budget", resumed_solve)
         front = explore_pareto(
             ScriptedExplorer(), "cost", "energy", points=4,
-            checkpoint=path, resume=True,
+            options=SolveOptions(checkpoint=path, resume=True),
         )
         assert len(resumed_calls) == 2  # only the two missing points
         assert len(front.points) == 4
@@ -201,7 +201,8 @@ class TestCheckpointStreaming:
         with pytest.raises(RuntimeError):
             explore_pareto(
                 ScriptedExplorer(), "cost", "energy", points=4,
-                checkpoint=path, runner=BatchRunner(workers=1, retries=0),
+                options=SolveOptions(checkpoint=path),
+                runner=BatchRunner(workers=1, retries=0),
             )
         points = [
             json.loads(l) for l in path.read_text().splitlines()[1:]
@@ -232,7 +233,7 @@ class TestDeadlineGraceful:
         monkeypatch.setattr(pareto_mod, "_solve_budget", timed_solve)
         front = explore_pareto(
             ScriptedExplorer(), "cost", "energy", points=5,
-            budget=budget, checkpoint=path,
+            budget=budget, options=SolveOptions(checkpoint=path),
         )
         assert len(front.points) == 2
         points = [
@@ -277,10 +278,11 @@ class TestProblemPinning:
         path = tmp_path / "front.jsonl"
         explore_pareto(
             ScriptedExplorer(fingerprint="aaaa"), "cost", "energy",
-            points=3, checkpoint=path,
+            points=3, options=SolveOptions(checkpoint=path),
         )
         with pytest.raises(CheckpointError, match="different problem"):
             explore_pareto(
                 ScriptedExplorer(fingerprint="bbbb"), "cost", "energy",
-                points=3, checkpoint=path, resume=True,
+                points=3,
+                options=SolveOptions(checkpoint=path, resume=True),
             )

@@ -8,7 +8,7 @@ places.
 
 import pytest
 
-from repro.core import ArchitectureExplorer
+from repro.core import DataCollectionExplorer
 from repro.geometry import grid_for_count
 from repro.network import (
     LifetimeRequirement,
@@ -41,13 +41,13 @@ def dual_use():
 class TestDualUseSynthesis:
     def test_channel_required(self, dual_use, library):
         instance, reqs = dual_use
-        explorer = ArchitectureExplorer(instance.template, library, reqs)
+        explorer = DataCollectionExplorer(instance.template, library, reqs)
         with pytest.raises(ValueError, match="channel"):
             explorer.build("cost")
 
     def test_all_requirements_hold_together(self, dual_use, library):
         instance, reqs = dual_use
-        result = ArchitectureExplorer(
+        result = DataCollectionExplorer(
             instance.template, library, reqs,
             channel=instance.channel, reach_k_star=10,
         ).solve("cost")
@@ -67,10 +67,10 @@ class TestDualUseSynthesis:
             link_quality=reqs.link_quality,
             lifetime=reqs.lifetime,
         )
-        base = ArchitectureExplorer(
+        base = DataCollectionExplorer(
             instance.template, library, routing_only
         ).solve("cost")
-        combined = ArchitectureExplorer(
+        combined = DataCollectionExplorer(
             instance.template, library, reqs,
             channel=instance.channel, reach_k_star=10,
         ).solve("cost")
@@ -82,7 +82,7 @@ class TestDualUseSynthesis:
         """Relays that carry routes but serve no test point must survive
         the anchor-filter during decoding."""
         instance, reqs = dual_use
-        result = ArchitectureExplorer(
+        result = DataCollectionExplorer(
             instance.template, library, reqs,
             channel=instance.channel, reach_k_star=10,
         ).solve("cost")
@@ -93,7 +93,7 @@ class TestDualUseSynthesis:
 
     def test_dsod_objective_available(self, dual_use, library):
         instance, reqs = dual_use
-        built = ArchitectureExplorer(
+        built = DataCollectionExplorer(
             instance.template, library, reqs,
             channel=instance.channel, reach_k_star=10,
         ).build("cost")

@@ -111,11 +111,11 @@ class TestExplore:
         objectives = ("cost", {"cost": 1.0, "energy": 0.2})
         sequential = repro.explore(
             instance.template, default_catalog(), reqs,
-            objective=objectives, parallel=1,
+            objective=objectives,
         )
         parallel = repro.explore(
             instance.template, default_catalog(), reqs,
-            objective=objectives, parallel=2,
+            objective=objectives, options=repro.SolveOptions(parallel=2),
         )
         assert isinstance(sequential, list) and len(sequential) == 2
         for seq, par in zip(sequential, parallel):
@@ -195,7 +195,8 @@ class TestDeadlineGraceful:
         clock[0] = 5.0  # budget spent before any trial starts
         results = repro.explore(
             instance.template, default_catalog(), reqs,
-            objective=["cost", "energy"], parallel=2, budget=budget,
+            objective=["cost", "energy"],
+            options=repro.SolveOptions(parallel=2), budget=budget,
         )
         assert [r.status for r in results] == [SolveStatus.TIMEOUT] * 2
         assert not any(r.feasible for r in results)

@@ -10,11 +10,9 @@ import pytest
 
 from repro import (
     ApproximatePathEncoder,
-    ArchitectureExplorer,
     BranchAndBoundSolver,
     DataCollectionSimulator,
     FullPathEncoder,
-    LocalizationExplorer,
     ReachabilityRequirement,
     default_catalog,
     localization_catalog,
@@ -23,6 +21,7 @@ from repro import (
     synthetic_template,
     validate,
 )
+from repro.core import DataCollectionExplorer, AnchorPlacementExplorer
 from repro.localization import evaluate_localization
 from repro.network import RequirementSet
 from repro.protocols import build_schedule
@@ -43,7 +42,7 @@ class TestDataCollectionPipeline:
     def pipeline(self):
         instance = small_grid_template(nx=5, ny=4, spacing=9.0)
         compiled = compile_spec(DC_SPEC, instance.template)
-        result = ArchitectureExplorer(
+        result = DataCollectionExplorer(
             instance.template, default_catalog(), compiled.requirements
         ).solve(compiled.objective)
         assert result.feasible
@@ -99,11 +98,11 @@ class TestSolverCross_Check:
         for s in instance.sensor_ids:
             reqs.require_route(s, instance.sink_id)
         lib = default_catalog()
-        highs = ArchitectureExplorer(
+        highs = DataCollectionExplorer(
             instance.template, lib, reqs,
             encoder=ApproximatePathEncoder(k_star=4),
         ).solve("cost")
-        bnb = ArchitectureExplorer(
+        bnb = DataCollectionExplorer(
             instance.template, lib, reqs,
             encoder=ApproximatePathEncoder(k_star=4),
             solver=BranchAndBoundSolver(node_limit=200_000),
@@ -126,7 +125,7 @@ class TestEncoderCross_Check:
         for s in instance.sensor_ids:
             reqs.require_route(s, instance.sink_id, replicas=2,
                                disjoint=True)
-        result = ArchitectureExplorer(
+        result = DataCollectionExplorer(
             instance.template, default_catalog(), reqs, encoder=encoder
         ).solve("cost")
         assert result.feasible
@@ -142,7 +141,7 @@ class TestLocalizationPipeline:
             test_points=instance.test_points, min_anchors=3,
             min_rss_dbm=-80.0,
         )
-        result = LocalizationExplorer(
+        result = AnchorPlacementExplorer(
             instance.template, localization_catalog(), requirement,
             instance.channel, k_star=15,
         ).solve("cost")
@@ -174,7 +173,7 @@ class TestLocalizationPipeline:
             instance.template,
             test_points=instance.test_points,
         )
-        result = LocalizationExplorer(
+        result = AnchorPlacementExplorer(
             instance.template, localization_catalog(),
             compiled.requirements.reachability, instance.channel, k_star=15,
         ).solve(compiled.objective)

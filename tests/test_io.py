@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.core import ArchitectureExplorer
+from repro.core import DataCollectionExplorer
 from repro.io import (
     architecture_from_dict,
     architecture_to_dict,
@@ -55,7 +55,7 @@ def design(grid_instance, library, ):
                            disjoint=True)
     reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
     reqs.lifetime = LifetimeRequirement(years=5.0)
-    result = ArchitectureExplorer(
+    result = DataCollectionExplorer(
         grid_instance.template, library, reqs
     ).solve("cost")
     assert result.feasible

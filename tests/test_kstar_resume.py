@@ -10,6 +10,7 @@ from repro.milp.solution import Solution, SolveStatus
 from repro.resilience import DeadlineBudget, injected_faults
 from repro.resilience.faults import InjectedFault
 from repro.core.kstar_search import kstar_search
+from repro.core.options import SolveOptions
 
 #: K* -> (objective, seconds); chosen so K=5 wins and K=10 stops the scan.
 OBJECTIVES = {1: 120.0, 3: 100.0, 5: 80.0, 10: 80.0, 20: 80.0}
@@ -53,7 +54,8 @@ class TestCheckpointResume:
         path = tmp_path / "ladder.jsonl"
         log = []
         search = kstar_search(
-            make_factory(log), ladder=(1, 3, 5, 10), checkpoint=path
+            make_factory(log), ladder=(1, 3, 5, 10),
+            options=SolveOptions(checkpoint=path),
         )
         assert search.best.k_star == 5
         assert search.restored_ks == ()
@@ -67,13 +69,14 @@ class TestCheckpointResume:
         with injected_faults({"kstar.abort": [1]}):
             with pytest.raises(InjectedFault):
                 kstar_search(
-                    make_factory([]), ladder=(1, 3, 5, 10), checkpoint=path
+                    make_factory([]), ladder=(1, 3, 5, 10),
+                    options=SolveOptions(checkpoint=path),
                 )
 
         log = []
         resumed = kstar_search(
             make_factory(log), ladder=(1, 3, 5, 10),
-            checkpoint=path, resume=True,
+            options=SolveOptions(checkpoint=path, resume=True),
         )
         # Completed rungs were replayed, not re-solved.
         assert resumed.restored_ks == (1, 3)
@@ -91,11 +94,12 @@ class TestCheckpointResume:
 
     def test_fully_checkpointed_run_resolves_nothing(self, tmp_path):
         path = tmp_path / "ladder.jsonl"
-        kstar_search(make_factory([]), ladder=(1, 3, 5, 10), checkpoint=path)
+        kstar_search(make_factory([]), ladder=(1, 3, 5, 10),
+                     options=SolveOptions(checkpoint=path))
         log = []
         resumed = kstar_search(
             make_factory(log), ladder=(1, 3, 5, 10),
-            checkpoint=path, resume=True,
+            options=SolveOptions(checkpoint=path, resume=True),
         )
         assert log == []
         assert resumed.best.k_star == 5
@@ -103,20 +107,23 @@ class TestCheckpointResume:
 
     def test_without_resume_flag_checkpoint_is_overwritten(self, tmp_path):
         path = tmp_path / "ladder.jsonl"
-        kstar_search(make_factory([]), ladder=(1, 3), checkpoint=path)
+        kstar_search(make_factory([]), ladder=(1, 3),
+                     options=SolveOptions(checkpoint=path))
         log = []
-        kstar_search(make_factory(log), ladder=(1, 3), checkpoint=path)
+        kstar_search(make_factory(log), ladder=(1, 3),
+                     options=SolveOptions(checkpoint=path))
         assert log == [1, 3]  # solved fresh, no replay
 
     def test_mismatched_ladder_refused(self, tmp_path):
         from repro.resilience import CheckpointError
 
         path = tmp_path / "ladder.jsonl"
-        kstar_search(make_factory([]), ladder=(1, 3), checkpoint=path)
+        kstar_search(make_factory([]), ladder=(1, 3),
+                     options=SolveOptions(checkpoint=path))
         with pytest.raises(CheckpointError):
             kstar_search(
                 make_factory([]), ladder=(1, 3, 5),
-                checkpoint=path, resume=True,
+                options=SolveOptions(checkpoint=path, resume=True),
             )
 
     def test_parallel_resume_matches_sequential(self, tmp_path):
@@ -124,11 +131,12 @@ class TestCheckpointResume:
         with injected_faults({"kstar.abort": [0]}):
             with pytest.raises(InjectedFault):
                 kstar_search(
-                    make_factory([]), ladder=(1, 3, 5, 10), checkpoint=path
+                    make_factory([]), ladder=(1, 3, 5, 10),
+                    options=SolveOptions(checkpoint=path),
                 )
         resumed = kstar_search(
             make_factory([]), ladder=(1, 3, 5, 10),
-            checkpoint=path, resume=True, parallel=2,
+            options=SolveOptions(checkpoint=path, resume=True, parallel=2),
         )
         assert resumed.restored_ks == (1,)
         assert resumed.best.k_star == 5
@@ -229,7 +237,8 @@ class TestParallelDeadline:
 
         path = tmp_path / "ladder.jsonl"
         kstar_search(
-            make_factory([]), ladder=(1, 3, 5, 10), checkpoint=path,
+            make_factory([]), ladder=(1, 3, 5, 10),
+            options=SolveOptions(checkpoint=path),
             runner=BatchRunner(workers=1),
         )
         # All consumed rungs are recorded...
@@ -250,7 +259,8 @@ class TestParallelDeadline:
 
         with pytest.raises(RuntimeError):
             kstar_search(
-                crashing_factory, ladder=(1, 3, 5, 10), checkpoint=path2,
+                crashing_factory, ladder=(1, 3, 5, 10),
+                options=SolveOptions(checkpoint=path2),
                 runner=BatchRunner(workers=1, retries=0),
             )
         recorded = [
@@ -263,7 +273,7 @@ class TestParallelDeadline:
         log = []
         resumed = kstar_search(
             make_factory(log), ladder=(1, 3, 5, 10),
-            checkpoint=path2, resume=True,
+            options=SolveOptions(checkpoint=path2, resume=True),
         )
         assert log == [5]  # only the crashed rung is re-solved
         assert resumed.best.k_star == 5

@@ -12,11 +12,11 @@ from hypothesis import strategies as st
 
 from repro import (
     ApproximatePathEncoder,
-    ArchitectureExplorer,
     default_catalog,
     synthetic_template,
     validate,
 )
+from repro.core import DataCollectionExplorer
 from repro.channel import expected_transmissions, packet_error_rate, snr_for_etx
 from repro.encoding import EncodingError
 from repro.encoding.approximate import budget_div, generate_candidate_pool
@@ -82,7 +82,7 @@ def test_synthesized_designs_always_validate(seed):
     for s in instance.sensor_ids:
         reqs.require_route(s, instance.sink_id, replicas=1, disjoint=False)
     try:
-        result = ArchitectureExplorer(
+        result = DataCollectionExplorer(
             instance.template, default_catalog(), reqs,
             encoder=ApproximatePathEncoder(k_star=4),
         ).solve("cost")

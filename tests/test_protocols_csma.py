@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core import ArchitectureExplorer
+from repro.core import DataCollectionExplorer
 from repro.protocols import (
     CsmaConfig,
     collision_probability,
@@ -28,7 +28,7 @@ def design(grid_instance, library):
                            disjoint=True)
     reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
     reqs.lifetime = LifetimeRequirement(years=5.0)
-    result = ArchitectureExplorer(
+    result = DataCollectionExplorer(
         grid_instance.template, library, reqs
     ).solve("cost")
     assert result.feasible

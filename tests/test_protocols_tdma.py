@@ -2,14 +2,14 @@
 
 import pytest
 
-from repro.core import ArchitectureExplorer
+from repro.core import DataCollectionExplorer
 from repro.network import RequirementSet, TdmaConfig
 from repro.protocols import SchedulingError, build_schedule, slot_demand
 
 
 @pytest.fixture()
 def arch(grid_instance, library, grid_requirements):
-    result = ArchitectureExplorer(
+    result = DataCollectionExplorer(
         grid_instance.template, library, grid_requirements
     ).solve("cost")
     assert result.feasible

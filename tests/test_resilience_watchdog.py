@@ -282,7 +282,8 @@ class TestIntegration:
 
         result = repro.explore(
             grid_instance.template, library, grid_requirements,
-            objective="cost", deadline_s=120.0, max_retries=1,
+            objective="cost",
+            options=repro.SolveOptions(deadline_s=120.0, max_retries=1),
         )
         assert result.feasible
         assert len(result.solve_attempts) == 1

@@ -1,7 +1,7 @@
 """Tests for the fault-resiliency analysis."""
 
 
-from repro.core import ArchitectureExplorer
+from repro.core import DataCollectionExplorer
 from repro.library import default_catalog
 from repro.network import Architecture, RequirementSet, Route, small_grid_template
 from repro.validation import analyze_resiliency
@@ -62,7 +62,7 @@ class TestSynthesizedDesign:
     def test_disjoint_synthesis_survives_link_faults(
         self, grid_instance, library, grid_requirements
     ):
-        result = ArchitectureExplorer(
+        result = DataCollectionExplorer(
             grid_instance.template, library, grid_requirements
         ).solve("cost")
         assert result.feasible

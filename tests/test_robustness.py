@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ArchitectureExplorer
+from repro.core import DataCollectionExplorer
 from repro.network import (
     LinkQualityRequirement,
     RequirementSet,
@@ -19,7 +19,7 @@ def synthesize(min_snr_db: float, replicas: int = 2):
         reqs.require_route(s, instance.sink_id, replicas=replicas,
                            disjoint=(replicas > 1))
     reqs.link_quality = LinkQualityRequirement(min_snr_db=min_snr_db)
-    result = ArchitectureExplorer(
+    result = DataCollectionExplorer(
         instance.template, default_catalog(), reqs
     ).solve("cost")
     assert result.feasible

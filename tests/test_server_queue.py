@@ -1,0 +1,83 @@
+"""Tests for the fair cross-tenant job queue (:mod:`repro.server.jobs`)."""
+
+import threading
+
+import pytest
+
+from repro.core.api import JobRequest
+from repro.server.jobs import FairJobQueue, Job, JobState
+
+
+def _job(job_id, tenant="default"):
+    return Job(
+        id=job_id,
+        request=JobRequest(kind="kstar", tenant=tenant),
+    )
+
+
+class TestJobState:
+    def test_terminal(self):
+        assert JobState.DONE.terminal
+        assert JobState.FAILED.terminal
+        assert not JobState.QUEUED.terminal
+        assert not JobState.RUNNING.terminal
+
+
+class TestFairJobQueue:
+    def test_fifo_within_one_tenant(self):
+        queue = FairJobQueue()
+        for i in range(4):
+            queue.push(_job(f"j{i}"))
+        order = [queue.pop(timeout=1.0).id for _ in range(4)]
+        assert order == ["j0", "j1", "j2", "j3"]
+
+    def test_round_robin_across_tenants(self):
+        queue = FairJobQueue()
+        # Tenant A floods the queue first, then B and C each submit one.
+        for i in range(3):
+            queue.push(_job(f"a{i}", tenant="a"))
+        queue.push(_job("b0", tenant="b"))
+        queue.push(_job("c0", tenant="c"))
+        order = [queue.pop(timeout=1.0).id for _ in range(5)]
+        # B's and C's single jobs must not wait behind A's whole backlog.
+        assert order.index("b0") <= 3
+        assert order.index("c0") <= 3
+        assert [j for j in order if j.startswith("a")] == ["a0", "a1", "a2"]
+
+    def test_pop_timeout_returns_none(self):
+        queue = FairJobQueue()
+        assert queue.pop(timeout=0.05) is None
+
+    def test_close_wakes_blocked_pop(self):
+        queue = FairJobQueue()
+        popped = []
+        done = threading.Event()
+
+        def worker():
+            popped.append(queue.pop(timeout=10.0))
+            done.set()
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        queue.close()
+        assert done.wait(2.0)
+        assert popped == [None]
+        thread.join(timeout=2.0)
+
+    def test_push_after_close_rejected(self):
+        queue = FairJobQueue()
+        queue.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            queue.push(_job("late"))
+
+    def test_len_and_pending(self):
+        queue = FairJobQueue()
+        queue.push(_job("a0", tenant="a"))
+        queue.push(_job("a1", tenant="a"))
+        queue.push(_job("b0", tenant="b"))
+        assert len(queue) == 3
+        assert queue.pending("a") == 2
+        assert queue.pending("b") == 1
+        assert queue.pending("ghost") == 0
+        queue.pop(timeout=1.0)
+        assert len(queue) == 2

@@ -1,0 +1,215 @@
+"""Tests for the in-process job service (:mod:`repro.server.service`)."""
+
+import contextlib
+import threading
+import time
+
+import pytest
+
+from repro.core.api import JobRequest
+from repro.resilience.checkpoint import Checkpoint
+from repro.server.jobs import JobState
+from repro.server.service import SynthesisService
+from repro.telemetry.schema import check_tree, validate_record
+
+SMALL_KSTAR = {"nodes": 12, "devices": 5, "ladder": [1, 2]}
+
+
+@contextlib.contextmanager
+def service(**kwargs):
+    svc = SynthesisService(**kwargs)
+    try:
+        yield svc
+    finally:
+        svc.shutdown(timeout=30.0)
+
+
+class TestLifecycle:
+    def test_submit_wait_result(self):
+        with service(workers=1) as svc:
+            job = svc.submit(
+                JobRequest(kind="kstar", problem=dict(SMALL_KSTAR))
+            )
+            assert svc.job(job.id) is job
+            done = svc.wait(job.id, timeout=60.0)
+            assert done.state is JobState.DONE
+            assert done.result is not None and done.result.ok
+            assert done.result.result["kind"] == "kstar"
+            assert done.result.seconds > 0
+            view = done.to_dict()
+            assert view["state"] == "done"
+            assert view["result"]["ok"] is True
+
+    def test_submit_accepts_wire_dict(self):
+        with service(workers=1) as svc:
+            job = svc.submit(
+                {"kind": "kstar", "problem": dict(SMALL_KSTAR)}
+            )
+            assert svc.wait(job.id, timeout=60.0).result.ok
+
+    def test_duplicate_job_id_rejected(self):
+        with service(workers=1) as svc:
+            svc.submit(JobRequest(kind="kstar"), job_id="twin")
+            with pytest.raises(ValueError, match="already exists"):
+                svc.submit(JobRequest(kind="kstar"), job_id="twin")
+            svc.wait("twin", timeout=60.0)
+
+    def test_wait_unknown_job(self):
+        with service(workers=1) as svc:
+            with pytest.raises(KeyError):
+                svc.wait("nope", timeout=0.1)
+
+    def test_failed_job_carries_error(self):
+        with service(workers=1) as svc:
+            job = svc.submit(
+                JobRequest(
+                    kind="synthesize",
+                    problem={
+                        "sensors": 4, "relays": 8,
+                        "spec": "this is not a spec(",
+                    },
+                )
+            )
+            done = svc.wait(job.id, timeout=60.0)
+            assert done.state is JobState.FAILED
+            assert not done.result.ok
+            assert done.result.error
+            assert done.to_dict()["state"] == "failed"
+
+
+class TestStreaming:
+    def test_stream_is_schema_valid(self):
+        with service(workers=1) as svc:
+            job = svc.submit(
+                JobRequest(kind="kstar", problem=dict(SMALL_KSTAR))
+            )
+            svc.wait(job.id, timeout=60.0)
+            buffer = svc.hub.buffer(job.id)
+            assert buffer is not None and buffer.closed
+            records = buffer.snapshot()
+            assert records, "job emitted no telemetry"
+            problems = []
+            for i, record in enumerate(records):
+                problems += validate_record(record, where=f"record {i}")
+            problems += check_tree(records)
+            assert problems == [], problems
+            roots = [
+                r for r in records
+                if r.get("type") == "span" and r.get("parent") is None
+            ]
+            assert len(roots) == 1
+            assert roots[0]["name"] == "server.job"
+            # The root span record seals the stream.
+            assert records[-1] is roots[0]
+
+    def test_streams_are_isolated_per_job(self):
+        with service(workers=2) as svc:
+            first = svc.submit(
+                JobRequest(kind="kstar", problem=dict(SMALL_KSTAR))
+            )
+            second = svc.submit(
+                JobRequest(kind="kstar", problem=dict(SMALL_KSTAR))
+            )
+            svc.wait(first.id, timeout=60.0)
+            svc.wait(second.id, timeout=60.0)
+            traces_a = {
+                r["trace"] for r in svc.hub.buffer(first.id).snapshot()
+            }
+            traces_b = {
+                r["trace"] for r in svc.hub.buffer(second.id).snapshot()
+            }
+            assert len(traces_a) == 1 and len(traces_b) == 1
+            assert traces_a.isdisjoint(traces_b)
+
+
+class TestFairness:
+    def test_single_job_not_starved_by_backlog(self, monkeypatch):
+        """With one worker, tenant B's single job runs before tenant A
+        drains a backlog submitted ahead of it."""
+        order = []
+        release = threading.Event()
+
+        class _StubResult:
+            def to_dict(self):
+                return {"kind": "kstar", "stub": True}
+
+        def fake_run(self, **kwargs):
+            release.wait(10.0)
+            order.append((self.tenant, self.problem.get("seed")))
+            return _StubResult()
+
+        monkeypatch.setattr(JobRequest, "run", fake_run)
+        with service(workers=1) as svc:
+            head = svc.submit(
+                JobRequest(kind="kstar", problem={"seed": 0}, tenant="a")
+            )
+            # Let the lone worker pick up A's first job and block in it.
+            deadline = time.monotonic() + 5.0
+            while head.state is not JobState.RUNNING:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            backlog = [
+                svc.submit(
+                    JobRequest(
+                        kind="kstar", problem={"seed": s}, tenant="a"
+                    )
+                )
+                for s in (1, 2)
+            ]
+            single = svc.submit(
+                JobRequest(kind="kstar", problem={"seed": 9}, tenant="b")
+            )
+            release.set()
+            for job in [head, *backlog, single]:
+                svc.wait(job.id, timeout=30.0)
+        assert order.index(("b", 9)) < order.index(("a", 2))
+        assert [s for t, s in order if t == "a"] == [0, 1, 2]
+
+
+class TestRecovery:
+    def test_completed_jobs_come_back_as_history(self, tmp_path):
+        with service(workers=1, state_dir=tmp_path) as svc:
+            job = svc.submit(
+                JobRequest(kind="kstar", problem=dict(SMALL_KSTAR))
+            )
+            svc.wait(job.id, timeout=60.0)
+        with service(workers=1, state_dir=tmp_path) as svc2:
+            assert svc2.recovered == []
+            back = svc2.job(job.id)
+            assert back is not None
+            assert back.state is JobState.DONE
+            assert back.result.ok
+            assert back.result.result["kind"] == "kstar"
+
+    def test_in_flight_job_resumes_from_sweep(self, tmp_path):
+        """A state file whose last record is non-terminal is re-enqueued
+        with resume=True, so checkpointed rungs replay instead of
+        re-solving."""
+        request = JobRequest(kind="kstar", problem=dict(SMALL_KSTAR))
+        job_id = "crashed00job"
+        sweep = tmp_path / f"job-{job_id}.sweep.jsonl"
+        # Pre-bake the sweep a dying process would have left behind.
+        full = request.run(checkpoint=str(sweep))
+        assert sweep.exists()
+        state = Checkpoint(
+            tmp_path / f"job-{job_id}.state.jsonl", "job",
+            {"job_id": job_id, "request": request.to_dict()},
+        )
+        state.append({"state": "queued"})
+        state.append({"state": "running"})
+
+        with service(workers=1, state_dir=tmp_path) as svc:
+            assert [j.id for j in svc.recovered] == [job_id]
+            job = svc.job(job_id)
+            assert job.resumed
+            done = svc.wait(job_id, timeout=60.0)
+            assert done.state is JobState.DONE
+            payload = done.result.result
+            assert payload["resumed_rungs"] >= 1
+            assert payload["selected_k_star"] == full.best.k_star
+
+    def test_unreadable_state_files_are_skipped(self, tmp_path):
+        (tmp_path / "job-garbage.state.jsonl").write_text("{not json\n")
+        with service(workers=1, state_dir=tmp_path) as svc:
+            assert svc.recovered == []
+            assert svc.jobs() == []

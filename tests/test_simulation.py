@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ArchitectureExplorer
+from repro.core import DataCollectionExplorer
 from repro.simulation import DataCollectionSimulator, EventQueue
 from repro.validation import lifetime_years, node_charge_ma_ms
 
@@ -75,7 +75,7 @@ def synthesized(grid_instance, library):
                            disjoint=True)
     reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
     reqs.lifetime = LifetimeRequirement(years=5.0)
-    result = ArchitectureExplorer(
+    result = DataCollectionExplorer(
         grid_instance.template, library, reqs
     ).solve("cost")
     assert result.feasible
@@ -137,7 +137,7 @@ class TestDataCollectionSimulator:
         # Permit links right at ETX ~ 2 (PER ~ 0.5).
         marginal_snr = snr_for_etx(2.0, reqs.power.packet_bytes)
         reqs.link_quality = LinkQualityRequirement(min_snr_db=marginal_snr)
-        result = ArchitectureExplorer(
+        result = DataCollectionExplorer(
             grid_instance.template, library, reqs
         ).solve("cost")
         assert result.feasible

@@ -10,7 +10,7 @@ import json
 import os
 
 from repro.analysis.diagnostics import Severity
-from repro.core import DataCollectionExplorer, explore_pareto
+from repro.core import DataCollectionExplorer, SolveOptions, explore_pareto
 from repro.encoding import ApproximatePathEncoder
 from repro.milp import BranchAndBoundSolver, SolveStatus
 from repro.network import LifetimeRequirement, RequirementSet
@@ -50,7 +50,8 @@ class TestParallelSweepTrace:
         try:
             front = explore_pareto(
                 _bnb_explorer(grid_instance, library),
-                "cost", "energy", points=4, parallel=4,
+                "cost", "energy", points=4,
+                options=SolveOptions(parallel=4),
             )
         finally:
             shutdown()

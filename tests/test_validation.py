@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ArchitectureExplorer
+from repro.core import DataCollectionExplorer
 from repro.network import Architecture, Route, small_grid_template
 from repro.network.requirements import (
     LifetimeRequirement,
@@ -14,7 +14,7 @@ from repro.validation import lifetime_years, link_rss_dbm, validate
 
 @pytest.fixture()
 def solved(grid_instance, library, grid_requirements):
-    result = ArchitectureExplorer(
+    result = DataCollectionExplorer(
         grid_instance.template, library, grid_requirements
     ).solve("cost")
     assert result.feasible

@@ -1,0 +1,243 @@
+"""Presolve benchmark: reduced-vs-raw solve time on Table 3 instances.
+
+Builds the data-collection MILP for the synthetic Table 3 families (see
+``bench_table3_scalability.py``), then solves each instance twice with
+the same HiGHS configuration:
+
+* **raw** — the model exactly as the encoder built it;
+* **presolved** — through :func:`repro.analysis.presolve.presolve`
+  (mode ``reduce``), solving the transformed model and postsolving the
+  assignment back to the original space.
+
+Per case the report records the presolve reductions (rows/cols/nnz
+removed, bounds tightened, coefficients strengthened), both wall-clock
+times, and both objectives — which must agree exactly (presolve is
+objective-exact by construction; ``restores_cleanly`` cross-checks the
+postsolved assignment against the original objective).
+
+``--quick`` runs a two-size subset and *gates*: the process exits
+non-zero if any case shows zero reductions, an objective mismatch, or —
+on the largest quick instance — a reduced-model solve slower than
+``GATE_SLACK``x the raw solve (the presolve pass itself is reported
+separately: it runs once while its reductions pay on every re-solve of
+the sweep loops).  CI runs this as a regression tripwire;
+docs/performance.md describes the envelope.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_presolve.py [--quick] [--out PATH]
+
+This module is also imported (not executed) by pytest's benchmark
+collection; it defines no test functions on purpose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _emit import emit_report  # noqa: E402
+
+from repro import (  # noqa: E402
+    ApproximatePathEncoder,
+    DataCollectionExplorer,
+    HighsSolver,
+    default_catalog,
+    synthetic_template,
+)
+from repro.analysis.presolve import presolve, restores_cleanly  # noqa: E402
+from repro.network import (  # noqa: E402
+    LifetimeRequirement,
+    LinkQualityRequirement,
+    RequirementSet,
+)
+
+#: The quick subset still ends on an instance big enough for the raw
+#: solve to take tens of seconds — on smaller models HiGHS is done in
+#: fractions of a second either way and the comparison is pure noise.
+SIZES_QUICK = [(50, 20), (100, 50)]
+SIZES_FULL = [(50, 20), (100, 20), (100, 50), (150, 50)]
+K_STAR = 10
+TIME_LIMIT = 600.0
+#: Relative tolerance of the objective-equality check.
+OBJ_TOL = 1e-6
+#: The reduced-model solve may be at most this factor of the raw solve
+#: on the gated (largest) instance; small instances solve in fractions
+#: of a second where run-to-run solver noise dominates, so only the
+#: largest is gated and (in full mode) each solve is timed as the best
+#: of two runs.
+GATE_SLACK = 1.10
+
+
+def build_model(n_total: int, n_end: int):
+    """The Table 3 data-collection MILP for one synthetic family."""
+    instance = synthetic_template(n_total, n_end, seed=11)
+    reqs = RequirementSet()
+    for s in instance.sensor_ids:
+        reqs.require_route(s, instance.sink_id, replicas=2, disjoint=True)
+    reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+    reqs.lifetime = LifetimeRequirement(years=5.0)
+    explorer = DataCollectionExplorer(
+        instance.template, default_catalog(), reqs,
+        encoder=ApproximatePathEncoder(k_star=K_STAR),
+        analyze=False,
+    )
+    return explorer.build("cost").model
+
+
+def _timed_solve(solver: HighsSolver, model, repeats: int):
+    """Best-of-``repeats`` wall clock for one solve (same solution)."""
+    best_s = float("inf")
+    solution = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        solution = solver.solve(model)
+        best_s = min(best_s, time.perf_counter() - start)
+    return solution, best_s
+
+
+def run_case(n_total: int, n_end: int, repeats: int = 1) -> dict:
+    """Solve one instance raw and presolved; return the case record."""
+    model = build_model(n_total, n_end)
+    solver = HighsSolver(time_limit=TIME_LIMIT)
+
+    raw, raw_s = _timed_solve(solver, model, repeats)
+
+    start = time.perf_counter()
+    result = presolve(model, mode="reduce")
+    presolve_s = time.perf_counter() - start
+    reduced, reduced_s = _timed_solve(solver, result.model, repeats)
+    restored = result.postsolve.restore(reduced)
+
+    report = result.report
+    objective_delta = abs(restored.objective - raw.objective)
+    scale = max(1.0, abs(raw.objective))
+    return {
+        "name": f"presolve_{n_total}x{n_end}",
+        "grid": [n_total, n_end],
+        "raw": {
+            "status": raw.status.value,
+            "objective": raw.objective,
+            "solve_s": raw_s,
+            "rows": report.rows_before,
+            "cols": report.cols_before,
+            "nonzeros": report.nonzeros_before,
+        },
+        "presolved": {
+            "status": restored.status.value,
+            "objective": restored.objective,
+            "presolve_s": presolve_s,
+            "solve_s": reduced_s,
+            "total_s": presolve_s + reduced_s,
+            "rows": report.rows_after,
+            "cols": report.cols_after,
+            "nonzeros": report.nonzeros_after,
+        },
+        "reductions": {
+            "rows_removed": report.rows_reduced,
+            "cols_removed": report.cols_reduced,
+            "nonzeros_removed": report.nonzeros_reduced,
+            "bounds_tightened": report.bounds_tightened,
+            "coefficients_strengthened": report.coefficients_strengthened,
+            "vars_fixed": report.vars_fixed,
+        },
+        "objective_exact": objective_delta <= OBJ_TOL * scale,
+        "objective_delta": objective_delta,
+        "restores_cleanly": restores_cleanly(result.postsolve, reduced),
+        "speedup": raw_s / (presolve_s + reduced_s)
+        if (presolve_s + reduced_s) > 0 else float("inf"),
+    }
+
+
+def evaluate_gate(cases: list[dict]) -> dict:
+    """The CI verdict: reductions everywhere, exact objectives, and no
+    slowdown beyond ``GATE_SLACK`` on the largest instance."""
+    failures: list[str] = []
+    for case in cases:
+        red = case["reductions"]
+        if not (red["rows_removed"] or red["cols_removed"]
+                or red["nonzeros_removed"] or red["bounds_tightened"]
+                or red["coefficients_strengthened"]):
+            failures.append(f"{case['name']}: presolve removed nothing")
+        if not case["objective_exact"]:
+            failures.append(
+                f"{case['name']}: objective drifted by "
+                f"{case['objective_delta']:.3g}"
+            )
+        if not case["restores_cleanly"]:
+            failures.append(f"{case['name']}: postsolve restore is inexact")
+    largest = max(cases, key=lambda c: tuple(c["grid"]))
+    raw_s = largest["raw"]["solve_s"]
+    reduced_s = largest["presolved"]["solve_s"]
+    if reduced_s > raw_s * GATE_SLACK:
+        failures.append(
+            f"{largest['name']}: reduced-model solve {reduced_s:.3f}s vs "
+            f"raw {raw_s:.3f}s exceeds {GATE_SLACK}x slack"
+        )
+    return {
+        "passed": not failures,
+        "failures": failures,
+        "gated_case": largest["name"],
+        "raw_solve_s": raw_s,
+        "reduced_solve_s": reduced_s,
+        "slack": GATE_SLACK,
+    }
+
+
+def run_benchmarks(quick: bool) -> dict:
+    sizes = SIZES_QUICK if quick else SIZES_FULL
+    repeats = 1 if quick else 2
+    cases = [run_case(n_total, n_end, repeats) for n_total, n_end in sizes]
+    gate = evaluate_gate(cases)
+    return {
+        "cases": cases,
+        "gate": gate,
+        "meta": {
+            "mode": "quick" if quick else "full",
+            "k_star": K_STAR,
+            "sizes": [list(s) for s in sizes],
+            "gate_slack": GATE_SLACK,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="two-size subset + CI gate")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="report path (default: "
+                             "benchmarks/results/BENCH_presolve.json)")
+    args = parser.parse_args(argv)
+    report = run_benchmarks(args.quick)
+
+    print(f"{'case':<20} {'rows':>12} {'cols':>12} {'raw s':>8} "
+          f"{'pre+solve s':>12} {'speedup':>8} {'exact':>6}")
+    for case in report["cases"]:
+        raw, pre = case["raw"], case["presolved"]
+        print(f"{case['name']:<20} "
+              f"{raw['rows']:>5}->{pre['rows']:<6} "
+              f"{raw['cols']:>5}->{pre['cols']:<6} "
+              f"{raw['solve_s']:>8.3f} {pre['total_s']:>12.3f} "
+              f"{case['speedup']:>8.2f} "
+              f"{'yes' if case['objective_exact'] else 'NO':>6}")
+    gate = report["gate"]
+    emit_report(
+        "presolve", report["cases"], gate=gate, meta=report["meta"],
+        results_dir=args.out.parent if args.out else None,
+    )
+    if gate["failures"]:
+        for failure in gate["failures"]:
+            print(f"GATE FAIL: {failure}")
+    print(f"gate: {'passed' if gate['passed'] else 'FAILED'} "
+          f"({gate['gated_case']}: raw solve {gate['raw_solve_s']:.3f}s, "
+          f"reduced solve {gate['reduced_solve_s']:.3f}s)")
+    return 0 if gate["passed"] or not args.quick else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

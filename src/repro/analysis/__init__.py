@@ -17,6 +17,12 @@ from repro.analysis.diagnostics import (
     Diagnostic,
     Severity,
 )
+from repro.analysis.presolve import (
+    PRESOLVE_MODES,
+    PresolveReport,
+    PresolveResult,
+    presolve,
+)
 from repro.analysis.rules import (
     ModelRule,
     Rule,
@@ -30,10 +36,13 @@ from repro.analysis.rules import (
 )
 
 __all__ = [
+    "PRESOLVE_MODES",
     "AnalysisError",
     "AnalysisReport",
     "Diagnostic",
     "ModelRule",
+    "PresolveReport",
+    "PresolveResult",
     "Rule",
     "Severity",
     "SpecContext",
@@ -42,6 +51,7 @@ __all__ = [
     "analyze_problem",
     "model_rule",
     "model_rules",
+    "presolve",
     "rule_catalog",
     "spec_rule",
     "spec_rules",

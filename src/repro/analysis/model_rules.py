@@ -247,7 +247,19 @@ class UnusedVariableRule(ModelRule):
 
 @model_rule
 class LooseBigMRule(ModelRule):
-    """Indicator big-M constants should be as tight as the bounds allow."""
+    """Indicator big-M constants should be as tight as the bounds allow.
+
+    The activity analysis runs over *fixpoint-propagated* bounds
+    (:func:`repro.analysis.presolve.propagated_bounds`), not the raw
+    declared bounds.  This retires a whole class of false positives: a
+    row like ``c - 50*b >= -44`` looks like a loose M=50 against
+    ``c in [0, 10]``, but when another row forces ``c >= 6`` the
+    indicator side is *vacuous* — the row is implied for both values of
+    ``b``, the correct fix is deleting it (``model.vacuous-constraint``
+    territory), and no M-shrinking advice applies.  With propagated
+    bounds the tightest implied constant collapses to ~0 there and the
+    rule stays silent.
+    """
 
     rule_id = "model.loose-big-m"
     default_severity = Severity.WARNING
@@ -265,7 +277,15 @@ class LooseBigMRule(ModelRule):
     _REL_SLACK = 0.01
 
     def check(self, model: Model) -> Iterator[Diagnostic]:
+        # Deferred import: the presolve package imports the diagnostics
+        # types from this package's siblings.
+        from repro.analysis.presolve import propagated_bounds
+
         n = len(model.variables)
+        if n:
+            prop_lower, prop_upper, _ = propagated_bounds(model)
+        else:
+            prop_lower, prop_upper = [], []
         for i, constraint in enumerate(model.constraints):
             coeffs, lo, hi = constraint.normalized()
             if not _valid_indices(coeffs, n):
@@ -297,14 +317,34 @@ class LooseBigMRule(ModelRule):
             if len(binaries) != 1 or not has_continuous:
                 continue
             act_lo, _ = _activity(d, model.variables)
+            prop_act_lo = 0.0
+            for idx, coeff in d.items():
+                if coeff == 0.0:
+                    continue
+                prop_act_lo += coeff * (
+                    prop_lower[idx] if coeff > 0.0 else prop_upper[idx]
+                )
             if not math.isfinite(act_lo) or not math.isfinite(bound):
                 continue
             for var, coeff in binaries:
                 # At the binary's relaxing value the row must hold for
                 # every assignment; slack beyond that proves the constant
-                # is larger than needed.
+                # is larger than needed.  The *declared* bounds decide
+                # whether the constant looks like a modelling bug; the
+                # propagated bounds can only acquit — when they show the
+                # indicator side is vacuous (the row holds for either
+                # binary value given what the other rows force), the
+                # right fix is deleting the row, not shrinking M, so the
+                # finding is suppressed as a false positive.
                 slack = act_lo + abs(coeff) - bound
                 tightest = abs(coeff) - slack
+                prop_tightest = abs(coeff) - (
+                    prop_act_lo + abs(coeff) - bound
+                )
+                if math.isfinite(prop_act_lo) and (
+                    prop_tightest <= self._ABS_SLACK
+                ):
+                    continue
                 if (slack > max(self._ABS_SLACK, self._REL_SLACK * abs(coeff))
                         and tightest > self._ABS_SLACK):
                     yield self.diagnostic(

@@ -1,0 +1,45 @@
+"""repro.analysis.presolve — static analysis that transforms the MILP.
+
+Where :mod:`repro.analysis` *reports* on models, this package *acts* on
+what it proves: a fixpoint of activity-based bound propagation, big-M
+strengthening, constant fixing, duplicate-row / parallel-column merging,
+implied integrality, symmetry breaking, and an LP-free combinatorial
+objective bound — producing a smaller, tighter model plus the
+:class:`PostsolveMap` that lifts its solutions back to the original
+variable space with the exact same objective value.
+
+Entry point::
+
+    from repro.analysis.presolve import presolve
+
+    result = presolve(model, mode="full")
+    solution = solver.solve(result.model)
+    original_space = result.postsolve.restore(solution)
+
+See ``docs/diagnostics.md`` for the reduction catalog and
+``docs/formulation.md`` for the ``SolveOptions(presolve=...)`` wiring.
+"""
+
+from repro.analysis.presolve.bounds import combinatorial_lower_bound
+from repro.analysis.presolve.engine import PRESOLVE_MODES, presolve
+from repro.analysis.presolve.postsolve import (
+    ColumnMerge,
+    PostsolveMap,
+    restores_cleanly,
+)
+from repro.analysis.presolve.propagation import propagated_bounds
+from repro.analysis.presolve.report import PresolveReport, PresolveResult
+from repro.analysis.presolve.symmetry import find_orbits
+
+__all__ = [
+    "PRESOLVE_MODES",
+    "ColumnMerge",
+    "PostsolveMap",
+    "PresolveReport",
+    "PresolveResult",
+    "combinatorial_lower_bound",
+    "find_orbits",
+    "presolve",
+    "propagated_bounds",
+    "restores_cleanly",
+]

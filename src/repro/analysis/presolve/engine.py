@@ -1,0 +1,185 @@
+"""The presolve fixpoint driver.
+
+``presolve(model)`` runs the pass pipeline to a fixpoint:
+
+1. bound propagation (+ redundant/infeasible row detection),
+2. coefficient / big-M strengthening,
+3. constant-column fixing and substitution,
+4. duplicate-row and parallel-column merging,
+5. implied-integrality detection,
+
+repeating while any pass changes the model (bounded by ``max_rounds``),
+then — once, after the loop — symmetry breaking (``mode="full"`` only)
+and the combinatorial lower-bound derivation, and finally extraction of
+the reduced :class:`~repro.milp.model.Model` + postsolve recipe.
+
+The reduced model carries the combinatorial bound as the
+``objective_lower_bound`` entry of ``Model.hints`` so branch-and-bound
+can terminate early; HiGHS simply ignores hints.
+
+Modes
+-----
+``"off"``     return the model untouched (identity postsolve).
+``"reduce"``  all transformations except symmetry lex rows.
+``"full"``    everything, including symmetry breaking.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.presolve.bounds import combinatorial_lower_bound
+from repro.analysis.presolve.postsolve import PostsolveMap
+from repro.analysis.presolve.propagation import (
+    propagate,
+    strengthen_coefficients,
+)
+from repro.analysis.presolve.reductions import (
+    detect_implied_integrality,
+    fix_constant_columns,
+    merge_duplicate_rows,
+    merge_parallel_columns,
+)
+from repro.analysis.presolve.report import PresolveReport, PresolveResult
+from repro.analysis.presolve.state import PresolveState
+from repro.analysis.presolve.symmetry import break_symmetry
+from repro.milp.expr import LinExpr
+from repro.milp.model import Model
+from repro.telemetry import counter, span
+
+PRESOLVE_MODES = ("off", "reduce", "full")
+
+
+def _identity_result(model: Model, mode: str) -> PresolveResult:
+    """An untouched-model result (mode "off" or nothing to do)."""
+    stats = model.stats()
+    report = PresolveReport(
+        mode=mode,
+        rows_before=stats.num_constraints,
+        cols_before=stats.num_vars,
+        nonzeros_before=stats.num_nonzeros,
+        rows_after=stats.num_constraints,
+        cols_after=stats.num_vars,
+        nonzeros_after=stats.num_nonzeros,
+    )
+    postsolve = PostsolveMap(
+        n_original=stats.num_vars,
+        fixed={},
+        column_of={j: j for j in range(stats.num_vars)},
+        merges=[],
+        original_objective=LinExpr(
+            model.objective.coeffs, model.objective.constant,
+        ),
+    )
+    return PresolveResult(model=model, postsolve=postsolve, report=report)
+
+
+def presolve(
+    model: Model, *, mode: str = "full", max_rounds: int = 10,
+) -> PresolveResult:
+    """Statically analyze and transform ``model``; never mutates it.
+
+    Returns a :class:`PresolveResult` whose ``model`` is the reduced
+    model (identical shape to the input only when nothing fired), whose
+    ``postsolve`` lifts reduced solutions back, and whose ``report``
+    accounts for every reduction.  A proved-infeasible model comes back
+    with the *original* model and ``report.infeasible_reason`` set — the
+    caller decides whether to trust the proof or solve anyway.
+    """
+    if mode not in PRESOLVE_MODES:
+        raise ValueError(
+            f"unknown presolve mode {mode!r}; expected one of "
+            f"{', '.join(PRESOLVE_MODES)}"
+        )
+    if mode == "off":
+        return _identity_result(model, mode)
+    started = time.perf_counter()
+    stats = model.stats()
+    with span(
+        "presolve.run",
+        mode=mode,
+        rows=stats.num_constraints,
+        cols=stats.num_vars,
+        nonzeros=stats.num_nonzeros,
+    ) as run_span:
+        state = PresolveState(model)
+        report = PresolveReport(
+            mode=mode,
+            rows_before=stats.num_constraints,
+            cols_before=stats.num_vars,
+            nonzeros_before=stats.num_nonzeros,
+        )
+        for round_no in range(1, max_rounds + 1):
+            changed = 0
+            tightened, removed = propagate(state)
+            report.bounds_tightened += tightened
+            report.rows_removed += removed
+            changed += tightened + removed
+            if state.infeasible is None:
+                strengthened = strengthen_coefficients(state)
+                report.coefficients_strengthened += strengthened
+                changed += strengthened
+            if state.infeasible is None:
+                fixed = fix_constant_columns(state)
+                report.vars_fixed += fixed
+                changed += fixed
+            if state.infeasible is None:
+                merged_rows = merge_duplicate_rows(state)
+                report.duplicate_rows_merged += merged_rows
+                report.rows_removed += merged_rows
+                changed += merged_rows
+            if state.infeasible is None:
+                merged_cols = merge_parallel_columns(state)
+                report.parallel_cols_merged += merged_cols
+                changed += merged_cols
+            if state.infeasible is None:
+                implied = detect_implied_integrality(state)
+                report.implied_integral += implied
+                changed += implied
+            report.rounds = round_no
+            if state.infeasible is not None or changed == 0:
+                break
+        if state.infeasible is not None:
+            report.infeasible_reason = state.infeasible
+            report.rows_after = report.rows_before
+            report.cols_after = report.cols_before
+            report.nonzeros_after = report.nonzeros_before
+            report.elapsed_s = time.perf_counter() - started
+            run_span.set_attribute("infeasible", True)
+            counter("presolve.runs", mode=mode, outcome="infeasible").inc()
+            return PresolveResult(
+                model=model,
+                postsolve=_identity_result(model, mode).postsolve,
+                report=report,
+            )
+        if mode == "full":
+            found, broken, added = break_symmetry(state)
+            report.orbits_found = found
+            report.orbits_broken = broken
+            report.lex_rows_added = added
+        report.combinatorial_lower_bound = combinatorial_lower_bound(state)
+        reduced, postsolve = state.extract()
+        if report.combinatorial_lower_bound is not None:
+            reduced.hints["objective_lower_bound"] = (
+                report.combinatorial_lower_bound
+            )
+        reduced_stats = reduced.stats()
+        report.rows_after = reduced_stats.num_constraints
+        report.cols_after = reduced_stats.num_vars
+        report.nonzeros_after = reduced_stats.num_nonzeros
+        report.elapsed_s = time.perf_counter() - started
+        run_span.set_attribute("rows_after", report.rows_after)
+        run_span.set_attribute("cols_after", report.cols_after)
+        run_span.set_attribute("rounds", report.rounds)
+        counter("presolve.runs", mode=mode, outcome="ok").inc()
+        counter("presolve.rows_removed").inc(report.rows_reduced)
+        counter("presolve.cols_removed").inc(report.cols_reduced)
+        counter("presolve.bounds_tightened").inc(report.bounds_tightened)
+        if report.lex_rows_added:
+            counter("presolve.lex_rows_added").inc(report.lex_rows_added)
+        return PresolveResult(
+            model=reduced, postsolve=postsolve, report=report,
+        )
+
+
+__all__ = ["PRESOLVE_MODES", "presolve"]

@@ -1,0 +1,145 @@
+"""Postsolve: lift a reduced-model solution back to the original space.
+
+Presolve shrinks the variable space three ways — fixing columns,
+dropping them (merged parallel columns), and reindexing the survivors —
+so a solver assignment over the reduced model means nothing to the
+caller's decoders.  A :class:`PostsolveMap` is the recorded recipe that
+undoes all three: :meth:`PostsolveMap.restore` produces a
+:class:`~repro.milp.solution.Solution` whose ``x`` lives in the original
+index space and whose objective value is *exactly* the reduced model's
+(presolve is objective-exact by construction: fixed contributions are
+folded into the reduced objective constant and merged columns share one
+coefficient).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.milp.expr import LinExpr
+from repro.milp.solution import Solution
+
+
+@dataclass(frozen=True)
+class ColumnMerge:
+    """One parallel-column merge: ``dropped`` absorbed into ``kept``.
+
+    After the merge, the ``kept`` column represents the *sum* of both
+    originals; the bounds recorded here are the bounds at merge time,
+    which :meth:`PostsolveMap.restore` uses to split the aggregate value
+    back into two in-bounds parts.
+    """
+
+    kept: int
+    dropped: int
+    dropped_lower: float
+    dropped_upper: float
+    #: Bounds of the aggregate *before* this merge widened it.
+    rest_lower: float
+    rest_upper: float
+    integer: bool
+
+
+@dataclass(frozen=True)
+class PostsolveMap:
+    """The recipe restoring reduced-model solutions to the original space."""
+
+    #: Variable count of the original model.
+    n_original: int
+    #: Original index -> fixed value, for columns presolve proved constant.
+    fixed: dict[int, float]
+    #: Original index -> reduced-model column, for surviving columns.
+    column_of: dict[int, int]
+    #: Parallel-column merges in application order (undone in reverse).
+    merges: list[ColumnMerge] = field(default_factory=list)
+    #: The original objective, kept so callers can cross-check exactness.
+    original_objective: LinExpr = field(default_factory=LinExpr)
+
+    @property
+    def identity(self) -> bool:
+        """Whether the variable space was not changed at all."""
+        return (
+            not self.fixed
+            and not self.merges
+            and all(j == col for j, col in self.column_of.items())
+            and len(self.column_of) == self.n_original
+        )
+
+    def restore(self, solution: Solution) -> Solution:
+        """``solution`` (over the reduced model) in the original space.
+
+        Status, timing, gap and ``extra`` metadata pass through
+        untouched; the objective value is preserved exactly.  Solutions
+        without an assignment (infeasible, timeout, error) pass through
+        as-is — there is nothing to lift.
+        """
+        if solution.x is None:
+            return solution
+        values = np.zeros(self.n_original, dtype=float)
+        for j, col in self.column_of.items():
+            values[j] = solution.x[col]
+        # Fixed values go in BEFORE merges are undone: a merge keeper
+        # may itself have been fixed later (e.g. an aggregate of
+        # parallel binaries pinned by propagation), and its aggregate
+        # value must still be split back over the dropped columns.
+        for j, value in self.fixed.items():
+            values[j] = value
+        # Undo merges newest-first: each split peels one dropped column
+        # off the aggregate, leaving the pre-merge aggregate value for
+        # the next (earlier) record.
+        for merge in reversed(self.merges):
+            total = values[merge.kept]
+            part = min(merge.dropped_upper, total - merge.rest_lower)
+            part = max(part, merge.dropped_lower)
+            if merge.integer:
+                part = float(round(part))
+                # Integer splits must keep both parts integral and in
+                # bounds; rounding can push the remainder one off.
+                rest = total - part
+                if rest < merge.rest_lower - 0.5:
+                    part -= 1.0
+                elif rest > merge.rest_upper + 0.5:
+                    part += 1.0
+            values[merge.dropped] = part
+            values[merge.kept] = total - part
+        restored = Solution(
+            status=solution.status,
+            objective=solution.objective,
+            x=values,
+            solve_time=solution.solve_time,
+            mip_gap=solution.mip_gap,
+            node_count=solution.node_count,
+            message=solution.message,
+            extra=dict(solution.extra),
+        )
+        return restored
+
+    def objective_value(self, x: npt.NDArray[np.float64]) -> float:
+        """The *original* objective evaluated at an original-space ``x``
+        (cross-check helper; must equal ``solution.objective`` up to
+        floating-point noise)."""
+        total = self.original_objective.constant
+        for j, coeff in self.original_objective.coeffs.items():
+            total += coeff * float(x[j])
+        return total
+
+
+def restores_cleanly(mapping: PostsolveMap, solution: Solution) -> bool:
+    """Whether ``restore`` reproduces the reduced objective exactly.
+
+    Debug helper used by tests and the benchmark gate: restores and
+    recomputes the original objective, tolerating only floating-point
+    accumulation noise.
+    """
+    restored = mapping.restore(solution)
+    if restored.x is None:
+        return True
+    recomputed = mapping.objective_value(restored.x)
+    reference = max(1.0, abs(recomputed), abs(solution.objective))
+    if math.isnan(solution.objective):
+        return False
+    return abs(recomputed - solution.objective) <= 1e-6 * reference

@@ -1,0 +1,236 @@
+"""Structural reductions: fixing, duplicate rows, parallel columns.
+
+These passes shrink the model rather than just tightening it:
+
+* **Variable fixing** — columns whose bounds coincide (possibly because
+  propagation squeezed them) are substituted out; columns that appear in
+  no live row are fixed at their objective-optimal bound.
+* **Duplicate-row merging** — rows with proportional coefficient vectors
+  are intersected into one (sign-flip swapping the bound roles), which
+  both removes rows and can expose new infeasibility.
+* **Parallel-column merging** — columns indistinguishable to every row
+  *and* the objective are aggregated into their sum.  Valid for
+  continuous pairs and for integer pairs (sums of two integer ranges are
+  contiguous); postsolve splits the aggregate back within the recorded
+  bounds.
+* **Implied integrality** — a continuous column with a ±1 coefficient in
+  an equality row whose other terms are all integral must itself take
+  integer values; marking it integral lets later rounds round its bounds
+  and lets branch-and-bound branch on it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.presolve.postsolve import ColumnMerge
+from repro.analysis.presolve.state import (
+    PresolveState,
+    WorkRow,
+    scaled_tol,
+)
+
+_INF = float("inf")
+
+#: Quantization used when hashing coefficient signatures — safely below
+#: any model coefficient scale but above float noise.
+_SIG_DIGITS = 12
+
+
+def _sig(value: float) -> float:
+    return round(value, _SIG_DIGITS)
+
+
+def fix_constant_columns(state: PresolveState) -> int:
+    """Fix every live column whose bounds have collapsed to a point.
+
+    Also fixes columns that appear in no live row at their
+    objective-optimal bound (minimization: lower bound for positive
+    objective coefficients, upper for negative; either bound — the lower
+    by convention — when the column is absent from the objective too).
+    Returns the number of columns fixed.
+    """
+    in_some_row: set[int] = set()
+    for row in state.rows:
+        if row.alive:
+            in_some_row.update(row.coeffs)
+    fixed = 0
+    for j in state.live_columns():
+        lo, hi = state.lower[j], state.upper[j]
+        if hi - lo <= scaled_tol(hi):
+            state.fix(j, 0.5 * (lo + hi))
+            fixed += 1
+            continue
+        if j in in_some_row:
+            continue
+        coeff = state.obj.get(j, 0.0)
+        if coeff > 0.0 and lo != -_INF:
+            state.fix(j, lo)
+            fixed += 1
+        elif coeff < 0.0 and hi != _INF:
+            state.fix(j, hi)
+            fixed += 1
+        elif coeff == 0.0 and (lo != -_INF or hi != _INF):
+            state.fix(j, lo if lo != -_INF else hi)
+            fixed += 1
+        if state.infeasible is not None:
+            break
+    return fixed
+
+
+def _row_signature(row: WorkRow) -> tuple[float, tuple[tuple[int, float], ...]]:
+    """Pivot-scaled signature: proportional rows share a signature.
+
+    The pivot is the coefficient of the smallest live column index;
+    scaling by it makes the signature invariant under positive scaling,
+    and rows that differ by a *negative* factor get distinct signatures
+    here but identical ones after the caller retries with the negated
+    row — handled by scaling so the pivot is always +1.
+    """
+    items = sorted(row.coeffs.items())
+    pivot = items[0][1]
+    scaled = tuple((j, _sig(c / pivot)) for j, c in items)
+    return (1.0 if pivot > 0 else -1.0), scaled
+
+
+def merge_duplicate_rows(state: PresolveState) -> int:
+    """Merge rows with proportional coefficient vectors.
+
+    The surviving row takes the intersection of the scaled bounds; an
+    empty intersection proves infeasibility.  Returns rows removed.
+    """
+    seen: dict[tuple[tuple[int, float], ...], WorkRow] = {}
+    pivots: dict[int, float] = {}
+    merged = 0
+    for row in state.rows:
+        if not row.alive or not row.coeffs:
+            continue
+        sign, scaled = _row_signature(row)
+        keeper = seen.get(scaled)
+        if keeper is None:
+            seen[scaled] = row
+            pivots[id(row)] = sign * abs(sorted(row.coeffs.items())[0][1])
+            continue
+        # Scale this row's bounds into the keeper's frame: both rows,
+        # divided by their own pivot, have identical coefficients, so
+        # row/|pivot_row| * sign compares directly after rescaling by
+        # the keeper's pivot magnitude.
+        keeper_pivot = pivots[id(keeper)]
+        row_pivot = sorted(row.coeffs.items())[0][1]
+        factor = keeper_pivot / row_pivot
+        lo, hi = row.lower, row.upper
+        if factor > 0:
+            new_lo = lo * factor if lo != -_INF else -_INF
+            new_hi = hi * factor if hi != _INF else _INF
+        else:
+            new_lo = hi * factor if hi != _INF else -_INF
+            new_hi = lo * factor if lo != -_INF else _INF
+        merged_lo = max(keeper.lower, new_lo)
+        merged_hi = min(keeper.upper, new_hi)
+        if merged_lo > merged_hi + scaled_tol(merged_hi):
+            state.mark_infeasible(
+                f"duplicate rows {keeper.name or '?'} and "
+                f"{row.name or '?'} have disjoint bounds"
+            )
+            return merged
+        keeper.lower = merged_lo
+        keeper.upper = merged_hi
+        row.alive = False
+        merged += 1
+    return merged
+
+
+def _column_profile(
+    state: PresolveState, j: int,
+) -> tuple[object, ...]:
+    """Hashable identity of column ``j`` as rows + objective see it."""
+    entries = []
+    for idx in state.rows_of.get(j, ()):
+        row = state.rows[idx]
+        if row.alive and j in row.coeffs:
+            entries.append((idx, _sig(row.coeffs[j])))
+    return (
+        state.integer[j],
+        _sig(state.obj.get(j, 0.0)),
+        tuple(entries),
+    )
+
+
+def merge_parallel_columns(state: PresolveState) -> int:
+    """Aggregate columns identical to every row and the objective.
+
+    The kept column's bounds widen to the sum of both ranges (both must
+    be finite on at least one side for the split to be well-defined; we
+    require fully finite bounds, which every candidate-selection binary
+    has).  Returns the number of columns merged away.
+    """
+    groups: dict[tuple[object, ...], int] = {}
+    merged = 0
+    for j in state.live_columns():
+        if not (math.isfinite(state.lower[j]) and math.isfinite(state.upper[j])):
+            continue
+        profile = _column_profile(state, j)
+        keeper = groups.get(profile)
+        if keeper is None:
+            groups[profile] = j
+            continue
+        state.merges.append(ColumnMerge(
+            kept=keeper,
+            dropped=j,
+            dropped_lower=state.lower[j],
+            dropped_upper=state.upper[j],
+            rest_lower=state.lower[keeper],
+            rest_upper=state.upper[keeper],
+            integer=state.integer[j],
+        ))
+        state.lower[keeper] += state.lower[j]
+        state.upper[keeper] += state.upper[j]
+        state.merged_away.add(j)
+        for idx in state.rows_of.get(j, ()):
+            if state.rows[idx].alive:
+                state.rows[idx].coeffs.pop(j, None)
+        state.obj.pop(j, None)
+        merged += 1
+    return merged
+
+
+def detect_implied_integrality(state: PresolveState) -> int:
+    """Mark continuous columns forced integral by an equality row.
+
+    If an equality row has integral bound, a single continuous column
+    with coefficient ±1, and every other term integer-valued (integer
+    column with integer coefficient), that column must take an integer
+    value in any feasible solution.  Returns columns marked.
+    """
+    marked = 0
+    for row in state.rows:
+        if not row.alive or not row.is_equality:
+            continue
+        if not math.isfinite(row.lower):
+            continue
+        if abs(row.lower - round(row.lower)) > scaled_tol(row.lower):
+            continue
+        candidate = -1
+        ok = True
+        for j, coeff in row.coeffs.items():
+            if state.integer[j]:
+                if abs(coeff - round(coeff)) > scaled_tol(coeff):
+                    ok = False
+                    break
+                continue
+            if candidate >= 0 or abs(abs(coeff) - 1.0) > scaled_tol(1.0):
+                ok = False
+                break
+            candidate = j
+        if ok and candidate >= 0:
+            state.integer[candidate] = True
+            marked += 1
+    return marked
+
+
+__all__ = [
+    "detect_implied_integrality",
+    "fix_constant_columns",
+    "merge_duplicate_rows",
+    "merge_parallel_columns",
+]

@@ -1,0 +1,183 @@
+"""Presolve accounting: what the fixpoint loop proved and removed.
+
+The :class:`PresolveReport` is the user-facing record of a presolve run.
+It rides on ``SynthesisResult.diagnostics`` (as an INFO diagnostic with
+the full dict in ``data``), feeds the ``repro lint --presolve`` CLI
+mode, and is what ``benchmarks/bench_presolve.py`` gates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.presolve.postsolve import PostsolveMap
+from repro.milp.model import Model
+
+
+@dataclass
+class PresolveReport:
+    """Counters accumulated across all rounds of a presolve run."""
+
+    mode: str = "full"
+    rounds: int = 0
+    #: Original model shape.
+    rows_before: int = 0
+    cols_before: int = 0
+    nonzeros_before: int = 0
+    #: Reduced model shape (including any symmetry rows added).
+    rows_after: int = 0
+    cols_after: int = 0
+    nonzeros_after: int = 0
+    #: Per-pass counters.
+    bounds_tightened: int = 0
+    coefficients_strengthened: int = 0
+    vars_fixed: int = 0
+    rows_removed: int = 0
+    duplicate_rows_merged: int = 0
+    parallel_cols_merged: int = 0
+    implied_integral: int = 0
+    #: Symmetry breaking.
+    orbits_found: int = 0
+    orbits_broken: int = 0
+    lex_rows_added: int = 0
+    #: LP-free combinatorial lower bound (user objective space); ``None``
+    #: when no finite bound could be derived.
+    combinatorial_lower_bound: float | None = None
+    #: Nonempty iff presolve proved the model infeasible.
+    infeasible_reason: str | None = None
+    #: Wall-clock spent inside the presolve engine.
+    elapsed_s: float = 0.0
+
+    @property
+    def rows_reduced(self) -> int:
+        return max(0, self.rows_before - self.rows_after)
+
+    @property
+    def cols_reduced(self) -> int:
+        return max(0, self.cols_before - self.cols_after)
+
+    @property
+    def nonzeros_reduced(self) -> int:
+        return max(0, self.nonzeros_before - self.nonzeros_after)
+
+    @property
+    def reduced_anything(self) -> bool:
+        """Whether the run changed the model at all."""
+        return bool(
+            self.rows_reduced or self.cols_reduced
+            or self.nonzeros_reduced or self.bounds_tightened
+            or self.coefficients_strengthened or self.implied_integral
+            or self.lex_rows_added or self.infeasible_reason
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "rounds": self.rounds,
+            "rows": {
+                "before": self.rows_before,
+                "after": self.rows_after,
+                "removed": self.rows_reduced,
+            },
+            "cols": {
+                "before": self.cols_before,
+                "after": self.cols_after,
+                "removed": self.cols_reduced,
+            },
+            "nonzeros": {
+                "before": self.nonzeros_before,
+                "after": self.nonzeros_after,
+                "removed": self.nonzeros_reduced,
+            },
+            "bounds_tightened": self.bounds_tightened,
+            "coefficients_strengthened": self.coefficients_strengthened,
+            "vars_fixed": self.vars_fixed,
+            "rows_removed": self.rows_removed,
+            "duplicate_rows_merged": self.duplicate_rows_merged,
+            "parallel_cols_merged": self.parallel_cols_merged,
+            "implied_integral": self.implied_integral,
+            "orbits_found": self.orbits_found,
+            "orbits_broken": self.orbits_broken,
+            "lex_rows_added": self.lex_rows_added,
+            "combinatorial_lower_bound": self.combinatorial_lower_bound,
+            "infeasible_reason": self.infeasible_reason,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    def summary(self) -> str:
+        """One-line human summary for logs and CLI output."""
+        if self.infeasible_reason:
+            return f"presolve proved infeasibility: {self.infeasible_reason}"
+        parts = [
+            f"rows {self.rows_before}->{self.rows_after}",
+            f"cols {self.cols_before}->{self.cols_after}",
+            f"nnz {self.nonzeros_before}->{self.nonzeros_after}",
+        ]
+        if self.bounds_tightened:
+            parts.append(f"{self.bounds_tightened} bounds tightened")
+        if self.coefficients_strengthened:
+            parts.append(
+                f"{self.coefficients_strengthened} coefficients strengthened"
+            )
+        if self.vars_fixed:
+            parts.append(f"{self.vars_fixed} vars fixed")
+        if self.implied_integral:
+            parts.append(f"{self.implied_integral} implied integral")
+        if self.orbits_broken:
+            parts.append(
+                f"{self.orbits_broken} orbits broken "
+                f"(+{self.lex_rows_added} lex rows)"
+            )
+        if self.combinatorial_lower_bound is not None:
+            parts.append(
+                f"combinatorial bound {self.combinatorial_lower_bound:g}"
+            )
+        return (
+            f"presolve[{self.mode}] {self.rounds} round(s): "
+            + ", ".join(parts)
+        )
+
+    def to_diagnostic(self) -> Diagnostic:
+        """The report as a diagnostic riding on ``SynthesisResult``.
+
+        A proved-infeasible model surfaces at ERROR severity (the solve
+        short-circuits); everything else is informational.
+        """
+        severity = (
+            Severity.ERROR if self.infeasible_reason else Severity.INFO
+        )
+        return Diagnostic(
+            rule_id=(
+                "presolve.infeasible" if self.infeasible_reason
+                else "presolve.report"
+            ),
+            severity=severity,
+            message=self.summary(),
+            location="model",
+            hint=(
+                "the model is infeasible before any solver ran; inspect "
+                "the conflicting constraints named in the message"
+                if self.infeasible_reason else None
+            ),
+            data=self.to_dict(),
+        )
+
+
+@dataclass
+class PresolveResult:
+    """Everything a presolve run hands back to the caller.
+
+    ``model`` is the reduced model (the *original* model when presolve
+    proved infeasibility or made no change), ``postsolve`` restores
+    reduced-space solutions, and ``report`` is the accounting above.
+    """
+
+    model: Model
+    postsolve: PostsolveMap
+    report: PresolveReport = field(default_factory=PresolveReport)
+
+    @property
+    def proved_infeasible(self) -> bool:
+        return self.report.infeasible_reason is not None

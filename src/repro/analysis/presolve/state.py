@@ -1,0 +1,265 @@
+"""Mutable working state of a presolve run.
+
+The presolve passes operate on a cheap mutable mirror of the
+:class:`~repro.milp.model.Model` — plain lists of bounds, dict-backed
+rows, an objective coefficient map — so transformations never mutate the
+caller's model.  :meth:`PresolveState.extract` rebuilds a fresh reduced
+``Model`` (plus the :class:`~repro.analysis.presolve.postsolve
+.PostsolveMap` recipe) once the fixpoint loop settles.
+
+Infinity-safe activity bounds follow the standard presolve trick of
+tracking the finite part and the number of infinite contributions
+separately, so "activity excluding variable j" stays well-defined when
+exactly one term is unbounded.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.presolve.postsolve import ColumnMerge, PostsolveMap
+from repro.milp.expr import LinExpr
+from repro.milp.model import Model
+
+_INF = float("inf")
+
+#: Base feasibility tolerance of the presolve passes.
+TOL = 1e-9
+
+
+def scaled_tol(reference: float) -> float:
+    """Feasibility tolerance scaled to the magnitude of ``reference``."""
+    if math.isinf(reference):
+        return TOL
+    return TOL * max(1.0, abs(reference))
+
+
+@dataclass
+class WorkRow:
+    """One constraint row in presolve working form: ``lo <= a.x <= hi``."""
+
+    coeffs: dict[int, float]
+    lower: float
+    upper: float
+    name: str = ""
+    alive: bool = True
+
+    @property
+    def is_equality(self) -> bool:
+        return self.lower == self.upper
+
+    @property
+    def one_sided(self) -> bool:
+        return (self.lower == -_INF) != (self.upper == _INF)
+
+
+@dataclass(frozen=True)
+class Activity:
+    """Interval of a row's activity with infinity bookkeeping.
+
+    ``lo``/``hi`` are the *finite parts*; ``lo_infs``/``hi_infs`` count
+    the terms whose contribution is infinite.  The true minimum activity
+    is ``-inf`` whenever ``lo_infs > 0`` (symmetrically for the max).
+    """
+
+    lo: float
+    hi: float
+    lo_infs: int
+    hi_infs: int
+
+    @property
+    def min(self) -> float:
+        return -_INF if self.lo_infs else self.lo
+
+    @property
+    def max(self) -> float:
+        return _INF if self.hi_infs else self.hi
+
+
+class PresolveState:
+    """The mutable mirror a presolve run transforms."""
+
+    def __init__(self, model: Model) -> None:
+        self.model = model
+        variables = model.variables
+        self.n = len(variables)
+        self.lower: list[float] = [v.lower for v in variables]
+        self.upper: list[float] = [v.upper for v in variables]
+        self.integer: list[bool] = [v.is_integer for v in variables]
+        self.names: list[str] = [v.name for v in variables]
+        self.rows: list[WorkRow] = []
+        for constraint in model.constraints:
+            coeffs, lo, hi = constraint.normalized()
+            self.rows.append(WorkRow(
+                {i: c for i, c in coeffs.items() if c != 0.0},
+                lo, hi, constraint.name,
+            ))
+        #: Column -> indices of rows referencing it at construction.  The
+        #: passes only ever *remove* coefficients (no fill-in), so this
+        #: stays a superset of the live incidence and lets per-column
+        #: work touch just the relevant rows instead of scanning all.
+        self.rows_of: dict[int, list[int]] = {}
+        for idx, row in enumerate(self.rows):
+            for j in row.coeffs:
+                self.rows_of.setdefault(j, []).append(idx)
+        self.obj: dict[int, float] = {
+            i: c for i, c in model.objective.coeffs.items() if c != 0.0
+        }
+        self.obj_constant: float = model.objective.constant
+        #: Original index -> value, for variables proven constant.
+        self.fixed: dict[int, float] = {}
+        #: Parallel-column merges, in application order.
+        self.merges: list[ColumnMerge] = []
+        #: Columns absorbed into an aggregate by a merge.
+        self.merged_away: set[int] = set()
+        #: Reason string once the model is proven infeasible.
+        self.infeasible: str | None = None
+        #: Extra rows appended by symmetry breaking (kept separate so the
+        #: report can distinguish reductions from additions).
+        self.lex_rows: list[WorkRow] = []
+
+    # -- column liveness ----------------------------------------------------
+
+    def is_live(self, j: int) -> bool:
+        """Whether column ``j`` still exists in the reduced model."""
+        return j not in self.fixed and j not in self.merged_away
+
+    def live_columns(self) -> list[int]:
+        """Live column indices in original order."""
+        return [j for j in range(self.n) if self.is_live(j)]
+
+    def live_rows(self) -> list[WorkRow]:
+        """Live rows in original order (excludes symmetry additions)."""
+        return [row for row in self.rows if row.alive]
+
+    def is_binary(self, j: int) -> bool:
+        """Whether column ``j`` is currently a 0/1 integer."""
+        return (
+            self.integer[j]
+            and self.lower[j] == 0.0
+            and self.upper[j] == 1.0
+        )
+
+    # -- activities ---------------------------------------------------------
+
+    def activity(self, row: WorkRow) -> Activity:
+        """Infinity-safe activity interval of ``row``."""
+        lo = hi = 0.0
+        lo_infs = hi_infs = 0
+        lower, upper = self.lower, self.upper
+        for j, coeff in row.coeffs.items():
+            if coeff > 0.0:
+                term_lo, term_hi = lower[j], upper[j]
+            else:
+                term_lo, term_hi = upper[j], lower[j]
+            contrib_lo = coeff * term_lo
+            contrib_hi = coeff * term_hi
+            if math.isinf(contrib_lo):
+                lo_infs += 1
+            else:
+                lo += contrib_lo
+            if math.isinf(contrib_hi):
+                hi_infs += 1
+            else:
+                hi += contrib_hi
+        return Activity(lo, hi, lo_infs, hi_infs)
+
+    def residual_min(self, row: WorkRow, act: Activity, j: int) -> float:
+        """Minimum activity of ``row`` excluding column ``j``.
+
+        Returns ``-inf`` when another term is unbounded below.
+        """
+        coeff = row.coeffs[j]
+        bound = self.lower[j] if coeff > 0.0 else self.upper[j]
+        contrib = coeff * bound
+        if math.isinf(contrib):
+            return -_INF if act.lo_infs > 1 else act.lo
+        return -_INF if act.lo_infs else act.lo - contrib
+
+    def residual_max(self, row: WorkRow, act: Activity, j: int) -> float:
+        """Maximum activity of ``row`` excluding column ``j``."""
+        coeff = row.coeffs[j]
+        bound = self.upper[j] if coeff > 0.0 else self.lower[j]
+        contrib = coeff * bound
+        if math.isinf(contrib):
+            return _INF if act.hi_infs > 1 else act.hi
+        return _INF if act.hi_infs else act.hi - contrib
+
+    # -- mutations ----------------------------------------------------------
+
+    def mark_infeasible(self, reason: str) -> None:
+        """Record a proof of infeasibility (first proof wins)."""
+        if self.infeasible is None:
+            self.infeasible = reason
+
+    def fix(self, j: int, value: float) -> None:
+        """Fix column ``j`` at ``value`` and substitute it out of every
+        live row and the objective."""
+        if self.integer[j]:
+            value = float(round(value))
+        self.fixed[j] = value
+        self.lower[j] = self.upper[j] = value
+        for idx in self.rows_of.get(j, ()):
+            row = self.rows[idx]
+            if not row.alive:
+                continue
+            coeff = row.coeffs.pop(j, None)
+            if coeff is None:
+                continue
+            shift = coeff * value
+            if row.lower != -_INF:
+                row.lower -= shift
+            if row.upper != _INF:
+                row.upper -= shift
+            if not row.coeffs:
+                # Constant row: satisfied or a proof of infeasibility.
+                if (row.lower > scaled_tol(row.lower)
+                        or row.upper < -scaled_tol(row.upper)):
+                    self.mark_infeasible(
+                        f"row {row.name or '?'} reduced to an "
+                        f"unsatisfiable constant"
+                    )
+                row.alive = False
+        obj_coeff = self.obj.pop(j, None)
+        if obj_coeff is not None:
+            self.obj_constant += obj_coeff * value
+
+    def nonzeros(self) -> int:
+        """Nonzero count over the live rows."""
+        return sum(len(row.coeffs) for row in self.rows if row.alive)
+
+    # -- extraction ---------------------------------------------------------
+
+    def extract(self) -> tuple[Model, PostsolveMap]:
+        """Rebuild the reduced :class:`Model` plus the postsolve recipe."""
+        reduced = Model(f"{self.model.name}:presolved")
+        column_of: dict[int, int] = {}
+        for j in self.live_columns():
+            var = reduced.add_var(
+                self.names[j],
+                lower=self.lower[j],
+                upper=self.upper[j],
+                integer=self.integer[j],
+            )
+            column_of[j] = var.index
+        for row in [*self.rows, *self.lex_rows]:
+            if not row.alive or not row.coeffs:
+                continue
+            expr = LinExpr({column_of[j]: c for j, c in row.coeffs.items()})
+            reduced.add_range(expr, row.lower, row.upper, name=row.name)
+        reduced.minimize(LinExpr(
+            {column_of[j]: c for j, c in self.obj.items()},
+            self.obj_constant,
+        ))
+        postsolve = PostsolveMap(
+            n_original=self.n,
+            fixed=dict(self.fixed),
+            column_of=column_of,
+            merges=list(self.merges),
+            original_objective=LinExpr(
+                self.model.objective.coeffs,
+                self.model.objective.constant,
+            ),
+        )
+        return reduced, postsolve

@@ -1,0 +1,208 @@
+"""Symmetry orbit detection and lex-ordering constraint generation.
+
+Candidate pools make the paper's formulation highly symmetric: routers
+drawn from the same library entry at interchangeable positions produce
+columns the constraint matrix cannot tell apart, and the solver
+re-explores every permutation of them.  This pass finds such orbits and
+breaks them with lexicographic ordering rows, the same device used by
+the ``frasmt`` lex-ordering machinery referenced in ROADMAP.
+
+Detection is two-staged so no unsound constraint can ever be emitted:
+
+1. **Color refinement** (1-dimensional Weisfeiler–Leman) over the
+   bipartite column/row graph proposes candidate orbits cheaply — columns
+   that end with the same stable color *might* be interchangeable.
+2. **Transposition verification** proves each *adjacent* transposition
+   within a proposed orbit is a genuine model automorphism by comparing
+   row-signature multisets.  Only rows touching the swapped pair can
+   change, so each check is local.  Coupled orbits (columns that must
+   move together with columns of another orbit) fail this check and are
+   discarded rather than half-broken.
+
+Verified adjacent transpositions generate the full symmetric group on
+the orbit, so for any feasible solution there is a symmetric one with
+the orbit's values sorted non-increasingly — which is exactly what the
+emitted lex rows ``x_{o_1} >= x_{o_2} >= ...`` require.  Soundness
+therefore holds orbit-by-orbit, and the optimal objective is unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.analysis.presolve.state import PresolveState, WorkRow
+
+_INF = float("inf")
+
+#: Quantization for color / signature hashing (same rationale as the
+#: reductions pass: below model scale, above float noise).
+_SIG_DIGITS = 12
+
+#: Color refinement rounds; 1-WL stabilizes fast on these matrices and
+#: verification catches anything refinement over-merges.
+_MAX_REFINE_ROUNDS = 8
+
+#: Orbits larger than this are truncated before verification so a
+#: pathological model cannot make presolve quadratic; the first chunk
+#: is still broken.
+_MAX_ORBIT = 256
+
+
+def _q(value: float) -> float:
+    return round(value, _SIG_DIGITS)
+
+
+def _refine_colors(state: PresolveState) -> dict[int, int]:
+    """Stable 1-WL colors for live columns over the column/row graph."""
+    live = state.live_columns()
+    rows = [row for row in state.rows if row.alive and row.coeffs]
+    col_color: dict[int, int] = {}
+    palette: dict[object, int] = {}
+
+    def intern(key: object) -> int:
+        color = palette.get(key)
+        if color is None:
+            color = len(palette)
+            palette[key] = color
+        return color
+
+    for j in live:
+        col_color[j] = intern((
+            "col",
+            state.integer[j],
+            _q(state.lower[j]),
+            _q(state.upper[j]),
+            _q(state.obj.get(j, 0.0)),
+        ))
+    for _ in range(_MAX_REFINE_ROUNDS):
+        row_color = [
+            intern((
+                "row",
+                _q(row.lower),
+                _q(row.upper),
+                tuple(sorted(
+                    (_q(c), col_color[j])
+                    for j, c in row.coeffs.items()
+                    if j in col_color
+                )),
+            ))
+            for row in rows
+        ]
+        incident: dict[int, list[tuple[float, int]]] = defaultdict(list)
+        for idx, row in enumerate(rows):
+            for j, c in row.coeffs.items():
+                if j in col_color:
+                    incident[j].append((_q(c), row_color[idx]))
+        new_color = {
+            j: intern((col_color[j], tuple(sorted(incident[j]))))
+            for j in live
+        }
+        if len(set(new_color.values())) == len(set(col_color.values())):
+            col_color = new_color
+            break
+        col_color = new_color
+    return col_color
+
+
+def _transposition_is_automorphism(
+    state: PresolveState,
+    rows_of: dict[int, list[WorkRow]],
+    p: int,
+    q: int,
+) -> bool:
+    """Whether swapping columns ``p`` and ``q`` maps the model to itself.
+
+    Columns must agree on bounds, integrality and objective coefficient
+    (pre-checked here even though refinement implies it), and the
+    multiset of rows touching either column must be invariant under the
+    swap.  Rows touching neither column map to themselves trivially.
+    """
+    if (
+        state.integer[p] != state.integer[q]
+        or state.lower[p] != state.lower[q]
+        or state.upper[p] != state.upper[q]
+        or _q(state.obj.get(p, 0.0)) != _q(state.obj.get(q, 0.0))
+    ):
+        return False
+    touched: dict[int, WorkRow] = {}
+    for row in rows_of.get(p, []):
+        touched[id(row)] = row
+    for row in rows_of.get(q, []):
+        touched[id(row)] = row
+    forward: Counter[tuple[object, ...]] = Counter()
+    swapped: Counter[tuple[object, ...]] = Counter()
+    for row in touched.values():
+        if not row.alive:
+            continue
+        rest = tuple(sorted(
+            (j, _q(c)) for j, c in row.coeffs.items() if j not in (p, q)
+        ))
+        a = _q(row.coeffs.get(p, 0.0))
+        b = _q(row.coeffs.get(q, 0.0))
+        bounds = (_q(row.lower), _q(row.upper))
+        forward[(rest, a, b, bounds)] += 1
+        swapped[(rest, b, a, bounds)] += 1
+    return forward == swapped
+
+
+def find_orbits(state: PresolveState) -> list[list[int]]:
+    """Verified symmetry orbits (size >= 2) over the live columns.
+
+    Each returned orbit is sorted by original column index and every
+    adjacent transposition within it has been proven an automorphism.
+    A refinement class whose chain of adjacent transpositions breaks
+    part-way contributes its longest verified prefix (still a valid
+    orbit: the verified transpositions generate the symmetric group on
+    the prefix).
+    """
+    colors = _refine_colors(state)
+    by_color: dict[int, list[int]] = defaultdict(list)
+    for j, color in colors.items():
+        by_color[color].append(j)
+    rows_of: dict[int, list[WorkRow]] = defaultdict(list)
+    for row in state.rows:
+        if row.alive:
+            for j in row.coeffs:
+                rows_of[j].append(row)
+    orbits: list[list[int]] = []
+    for members in by_color.values():
+        if len(members) < 2:
+            continue
+        members = sorted(members)[:_MAX_ORBIT]
+        verified = [members[0]]
+        for nxt in members[1:]:
+            if _transposition_is_automorphism(
+                state, rows_of, verified[-1], nxt,
+            ):
+                verified.append(nxt)
+            else:
+                break
+        if len(verified) >= 2:
+            orbits.append(verified)
+    return orbits
+
+
+def break_symmetry(state: PresolveState) -> tuple[int, int, int]:
+    """Emit lex-ordering rows for every verified orbit.
+
+    Appends ``x_p - x_q >= 0`` for consecutive orbit members to
+    ``state.lex_rows``; returns ``(orbits_found, orbits_broken,
+    lex_rows_added)``.
+    """
+    orbits = find_orbits(state)
+    broken = 0
+    added = 0
+    for orbit in orbits:
+        for p, nxt in zip(orbit, orbit[1:]):
+            state.lex_rows.append(WorkRow(
+                coeffs={p: 1.0, nxt: -1.0},
+                lower=0.0,
+                upper=_INF,
+                name=f"presolve:lex[{state.names[p]}>={state.names[nxt]}]",
+            ))
+            added += 1
+        broken += 1
+    return len(orbits), broken, added
+
+
+__all__ = ["break_symmetry", "find_orbits"]

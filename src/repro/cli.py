@@ -75,6 +75,17 @@ from repro.spec.problem import compile_spec
 from repro.validation.checker import validate
 
 
+def _add_presolve_arg(command: argparse.ArgumentParser) -> None:
+    """The shared ``--presolve`` mode flag (see docs/formulation.md)."""
+    command.add_argument(
+        "--presolve", choices=["off", "reduce", "full"], default="off",
+        help="run the static presolve engine on the built model before "
+             "solving: 'reduce' transforms the model (bound propagation, "
+             "variable fixing, row/column merging), 'full' additionally "
+             "adds symmetry-breaking rows (default: off)",
+    )
+
+
 def _add_telemetry_args(command: argparse.ArgumentParser) -> None:
     """The shared ``--trace``/``--metrics`` flags (see repro.telemetry)."""
     command.add_argument(
@@ -122,6 +133,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="retry crashed/errored solves up to N times "
                           "before falling back (enables the solver "
                           "watchdog; see docs/robustness.md)")
+    _add_presolve_arg(syn)
     _add_telemetry_args(syn)
 
     loc = sub.add_parser("localize", help="anchor-placement synthesis")
@@ -141,6 +153,7 @@ def _build_parser() -> argparse.ArgumentParser:
     loc.add_argument("--max-retries", type=int, metavar="N",
                      help="retry crashed/errored solves up to N times "
                           "(enables the solver watchdog)")
+    _add_presolve_arg(loc)
     _add_telemetry_args(loc)
 
     lint = sub.add_parser(
@@ -157,6 +170,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="run spec-level rules only; skip building the MILP")
     lint.add_argument("--json", action="store_true",
                       help="emit the full report as JSON on stdout")
+    lint.add_argument("--presolve", nargs="?", const="full",
+                      choices=["reduce", "full"], metavar="MODE",
+                      help="additionally run the presolve engine on the "
+                           "built model and report its reductions (MODE is "
+                           "'reduce' or 'full', default 'full'); a proved "
+                           "infeasibility is a blocking error")
 
     sub.add_parser("catalog", help="print the component library")
 
@@ -185,6 +204,7 @@ def _build_parser() -> argparse.ArgumentParser:
     kst.add_argument("--max-retries", type=int, metavar="N",
                      help="retry crashed/errored rung solves up to N times "
                           "(enables the solver watchdog)")
+    _add_presolve_arg(kst)
     kst.add_argument("--checkpoint", type=Path, metavar="FILE",
                      help="persist each completed rung to a JSONL "
                           "checkpoint so a killed sweep can resume")
@@ -261,7 +281,8 @@ def _cmd_synthesize(args) -> int:
             solver=HighsSolver(time_limit=args.time_limit,
                                mip_rel_gap=args.mip_gap),
             options=SolveOptions(deadline_s=args.deadline,
-                                 max_retries=args.max_retries),
+                                 max_retries=args.max_retries,
+                                 presolve=args.presolve),
         )
     except AnalysisError as exc:
         _print_analysis_failure(exc)
@@ -344,7 +365,8 @@ def _cmd_localize(args) -> int:
             objective=args.objective,
             channel=instance.channel, k_star=args.k_star,
             options=SolveOptions(deadline_s=args.deadline,
-                                 max_retries=args.max_retries),
+                                 max_retries=args.max_retries,
+                                 presolve=args.presolve),
         )
     except AnalysisError as exc:
         _print_analysis_failure(exc)
@@ -440,6 +462,13 @@ def _cmd_lint(args) -> int:
             ))
         else:
             report.merge(analyze_model(built.model))
+            if args.presolve:
+                from repro.analysis.presolve import presolve
+
+                result = presolve(built.model, mode=args.presolve)
+                report.add(result.report.to_diagnostic())
+                if not args.json:
+                    print(f"presolve: {result.report.summary()}")
     return _emit_lint_report(args, report)
 
 
@@ -479,6 +508,7 @@ def _cmd_kstar(args) -> int:
                 parallel=args.parallel,
                 deadline_s=args.deadline,
                 max_retries=args.max_retries,
+                presolve=args.presolve,
                 checkpoint=args.checkpoint,
                 resume=bool(args.resume and args.checkpoint),
             ),

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 
 from repro.analysis.analyzer import analyze_model, analyze_problem
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analysis.presolve import PresolveResult
+from repro.analysis.presolve import presolve as run_presolve
 from repro.channel.base import ChannelModel
 from repro.constraints.energy import EnergyVars, build_energy
 from repro.constraints.link_quality import LinkQualityVars, build_link_quality
@@ -41,7 +43,7 @@ from repro.library.catalog import Library
 from repro.milp.expr import LinExpr, lin_sum
 from repro.milp.highs import HighsSolver
 from repro.milp.model import Model
-from repro.milp.solution import Solution
+from repro.milp.solution import Solution, SolveStatus
 from repro.network.requirements import ReachabilityRequirement, RequirementSet
 from repro.network.template import Template
 from repro.network.topology import Architecture
@@ -82,6 +84,12 @@ class BuiltProblem:
     objective_exprs: dict[str, LinExpr]
     #: Findings of the pre-solve static analyzer (None when disabled).
     analysis: AnalysisReport | None = None
+    #: The presolve transformation (None when presolve is off).  The
+    #: ``model`` field above always stays the *original* model — decode
+    #: handles and reported stats refer to it; the solve path runs the
+    #: solver on ``presolve.model`` and restores through
+    #: ``presolve.postsolve``.
+    presolve: PresolveResult | None = None
 
 
 class ExplorerBase(abc.ABC):
@@ -114,6 +122,14 @@ class ExplorerBase(abc.ABC):
         Run the pre-solve static analyzer in :meth:`build` (default).
         Disable only to reproduce raw encoder/solver behaviour on inputs
         the analyzer would refuse.
+    presolve:
+        Presolve mode applied to the built model before any solver call:
+        ``"off"`` (default), ``"reduce"`` (bound propagation, fixing,
+        merging) or ``"full"`` (additionally symmetry breaking).  The
+        solver sees the reduced model; solutions are restored to the
+        original variable space before decoding, and the
+        :class:`~repro.analysis.presolve.PresolveReport` rides on
+        ``SynthesisResult.diagnostics``.
     """
 
     def __init__(
@@ -124,12 +140,14 @@ class ExplorerBase(abc.ABC):
         solver=None,
         cache: EncodeCache | None = None,
         analyze: bool = True,
+        presolve: str = "off",
     ) -> None:
         self.template = template
         self.library = library
         self.solver = solver or HighsSolver()
         self.cache = cache
         self.analyze = analyze
+        self.presolve = presolve
 
     def fingerprint(self) -> str:
         """A short stable hash of the problem identity (template,
@@ -184,6 +202,11 @@ class ExplorerBase(abc.ABC):
                     f"{type(self).__name__} model analysis"
                 )
             built.analysis = report if self.analyze else None
+            if self.presolve != "off":
+                with timings.phase("presolve"):
+                    built.presolve = run_presolve(
+                        built.model, mode=self.presolve
+                    )
             model_stats = built.model.stats()
             build_span.set_attributes(
                 variables=model_stats.num_vars,
@@ -228,12 +251,16 @@ class ExplorerBase(abc.ABC):
                 "encode",
                 max(0.0, encode_seconds - stats.timings.get("analyze")),
             )
-            solution = self.solver.solve(built.model)
+            solution = self._solve_built(built)
             stats.timings.add("solve", solution.solve_time)
             architecture, terms = self._decode(solution, built)
             diagnostics = []
             if built.analysis is not None:
                 diagnostics = built.analysis.errors + built.analysis.warnings
+            if built.presolve is not None:
+                diagnostics = diagnostics + [
+                    built.presolve.report.to_diagnostic()
+                ]
             diagnostics = diagnostics + _telemetry_diagnostics()
             solve_span.set_attribute("status", solution.status.name)
             return SynthesisResult(
@@ -253,6 +280,27 @@ class ExplorerBase(abc.ABC):
                     solution.extra.get("solve_attempts", ())
                 ),
             )
+
+    def _solve_built(self, built: BuiltProblem) -> Solution:
+        """Run the solver on ``built``, through presolve when armed.
+
+        With presolve active the backend sees the reduced model and the
+        assignment is restored to the original variable space before it
+        reaches any decode handle.  A presolve infeasibility proof
+        short-circuits the backend entirely.
+        """
+        if built.presolve is None:
+            return self.solver.solve(built.model)
+        if built.presolve.proved_infeasible:
+            return Solution(
+                status=SolveStatus.INFEASIBLE,
+                message=(
+                    "presolve proved infeasibility: "
+                    f"{built.presolve.report.infeasible_reason}"
+                ),
+            )
+        reduced = self.solver.solve(built.presolve.model)
+        return built.presolve.postsolve.restore(reduced)
 
     def _decode(
         self, solution: Solution, built: BuiltProblem
@@ -296,9 +344,11 @@ class DataCollectionExplorer(ExplorerBase):
         reach_k_star: int = 20,
         cache: EncodeCache | None = None,
         analyze: bool = True,
+        presolve: str = "off",
     ) -> None:
         super().__init__(
-            template, library, solver=solver, cache=cache, analyze=analyze
+            template, library, solver=solver, cache=cache,
+            analyze=analyze, presolve=presolve,
         )
         self.requirements = requirements
         self.encoder = encoder or ApproximatePathEncoder(k_star=10)
@@ -390,9 +440,11 @@ class AnchorPlacementExplorer(ExplorerBase):
         solver=None,
         cache: EncodeCache | None = None,
         analyze: bool = True,
+        presolve: str = "off",
     ) -> None:
         super().__init__(
-            template, library, solver=solver, cache=cache, analyze=analyze
+            template, library, solver=solver, cache=cache,
+            analyze=analyze, presolve=presolve,
         )
         self.requirement = requirement
         self.channel = channel

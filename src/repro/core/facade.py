@@ -51,6 +51,7 @@ def build_explorer(
     k_star: int | None = None,
     reach_k_star: int = 20,
     cache: EncodeCache | None = None,
+    presolve: str = "off",
 ) -> ExplorerBase:
     """The right explorer for ``requirements``.
 
@@ -69,7 +70,7 @@ def build_explorer(
         return AnchorPlacementExplorer(
             template, library, requirements, channel,
             k_star=20 if k_star is None else k_star,
-            solver=solver, cache=cache,
+            solver=solver, cache=cache, presolve=presolve,
         )
     if isinstance(requirements, RequirementSet):
         if encoder is None:
@@ -81,7 +82,7 @@ def build_explorer(
         return DataCollectionExplorer(
             template, library, requirements,
             encoder=encoder, solver=solver, channel=channel,
-            reach_k_star=reach_k_star, cache=cache,
+            reach_k_star=reach_k_star, cache=cache, presolve=presolve,
         )
     raise TypeError(
         f"requirements must be a RequirementSet or a "
@@ -158,6 +159,7 @@ def explore(
         template, library, requirements,
         encoder=encoder, solver=solver, channel=channel,
         k_star=k_star, reach_k_star=reach_k_star, cache=cache,
+        presolve=opts.presolve,
     )
     single = isinstance(objective, (str, dict, ObjectiveSpec))
     objectives = [objective] if single else list(objective)

@@ -222,6 +222,7 @@ def kstar_search(
         retry = opts.retry_policy()
     if opts.cache is False:
         cache = None
+    presolve = opts.presolve
     ladder = tuple(ladder)
     with span(
         "kstar.search",
@@ -243,6 +244,7 @@ def kstar_search(
             retry=retry,
             checkpoint=checkpoint,
             resume=resume,
+            presolve=presolve,
         )
         search_span.set_attributes(
             stop_reason=result.stop_reason,
@@ -266,6 +268,7 @@ def _kstar_search_impl(
     retry: RetryPolicy | None,
     checkpoint: str | Path | None,
     resume: bool,
+    presolve: str = "off",
 ) -> KStarSearchResult:
     ckpt: Checkpoint | None = None
     restored: dict[int, KStarTrial] = {}
@@ -319,7 +322,9 @@ def _kstar_search_impl(
 
         outcomes = runner.run([
             Trial(
-                _solve_rung, (make_explorer, k, objective, cache, budget, retry),
+                _solve_rung,
+                (make_explorer, k, objective, cache, budget, retry,
+                 presolve),
                 label=f"kstar:K={k}",
             )
             for k in pending
@@ -358,7 +363,7 @@ def _kstar_search_impl(
                     return
                 yield checkpointed(
                     _solve_rung(make_explorer, k, objective, cache,
-                                budget, retry)
+                                budget, retry, presolve)
                 )
 
         trials = sequential()
@@ -389,11 +394,14 @@ def _solve_rung(
     cache: EncodeCache | None,
     budget: DeadlineBudget | None = None,
     retry: RetryPolicy | None = None,
+    presolve: str = "off",
 ) -> KStarTrial:
     with span("kstar.rung", k=k) as rung_span:
         explorer = make_explorer(k)
         if cache is not None and getattr(explorer, "cache", None) is None:
             explorer.cache = cache
+        if presolve != "off" and getattr(explorer, "presolve", "off") == "off":
+            explorer.presolve = presolve
         if budget is not None or retry is not None:
             explorer.solver = _resilient(explorer.solver, budget, retry)
         trial = KStarTrial(k_star=k, result=explorer.solve(objective))

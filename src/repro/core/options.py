@@ -73,8 +73,17 @@ class SolveOptions:
     trace: str | None = None
     #: Prometheus-text metrics target, consumed by the transport.
     metrics: str | None = None
+    #: Presolve mode applied to every model before it reaches a solver:
+    #: ``"off"`` (default), ``"reduce"`` (transformations only) or
+    #: ``"full"`` (transformations + symmetry breaking).
+    presolve: str = "off"
 
     def __post_init__(self) -> None:
+        if self.presolve not in ("off", "reduce", "full"):
+            raise ValueError(
+                f"presolve must be 'off', 'reduce' or 'full', "
+                f"got {self.presolve!r}"
+            )
         if self.deadline_s is not None and self.deadline_s < 0:
             raise ValueError("deadline_s must be non-negative")
         if self.max_retries is not None and self.max_retries < 0:

@@ -27,6 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.presolve import presolve as run_presolve
 from repro.core.explorer import ExplorerBase
 from repro.core.options import SolveOptions, resolve_options
 from repro.core.results import SynthesisResult
@@ -220,8 +221,11 @@ def explore_pareto(
                 )
 
     original_solver = explorer.solver
+    original_presolve = getattr(explorer, "presolve", "off")
     if budget is not None or retry is not None:
         explorer.solver = _resilient(original_solver, budget, retry)
+    if opts.presolve != "off" and original_presolve == "off":
+        explorer.presolve = opts.presolve
     try:
         with span(
             "pareto.sweep",
@@ -240,6 +244,7 @@ def explore_pareto(
             return front
     finally:
         explorer.solver = original_solver
+        explorer.presolve = original_presolve
 
 
 def _resilient(
@@ -409,7 +414,13 @@ def _solve_budget(
             built.objective_exprs[secondary] <= budget * (1 + 1e-9),
             name=f"pareto:{secondary}_budget",
         )
-        solution = explorer.solver.solve(built.model)
+        if built.presolve is not None:
+            # The budget row just mutated the model, so the presolve
+            # from build() is stale; redo it with the row included.
+            built.presolve = run_presolve(
+                built.model, mode=built.presolve.report.mode
+            )
+        solution = explorer._solve_built(built)
         stats.timings.add("solve", solution.solve_time)
         point_span.set_attribute("status", solution.status.name)
         if not solution.status.has_solution:

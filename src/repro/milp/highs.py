@@ -111,6 +111,16 @@ class HighsSolver:
                 message="injected solver error (REPRO_FAULTS solver.error)",
             )
         form = model.to_standard_form()
+        if form.c.shape[0] == 0:
+            # A fully-presolved (variable-free) model: scipy's milp
+            # rejects an empty c, but the model is trivially optimal at
+            # its objective constant.
+            return Solution(
+                status=SolveStatus.OPTIMAL,
+                objective=model.objective.constant,
+                x=np.zeros(0, dtype=float),
+                message="model has no variables; trivially optimal",
+            )
         options: dict[str, float] = {"mip_rel_gap": self.mip_rel_gap}
         if self.time_limit is not None:
             options["time_limit"] = float(self.time_limit)

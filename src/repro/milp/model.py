@@ -62,6 +62,11 @@ class Model:
         self._constraints: list[Constraint] = []
         self._objective = LinExpr()
         self._names_seen: set[str] = set()
+        #: Advisory facts proven about the model by static analysis —
+        #: e.g. presolve stores ``objective_lower_bound`` (a valid lower
+        #: bound on the minimized objective, in user space).  Backends
+        #: may exploit hints but must stay correct ignoring them.
+        self.hints: dict[str, float] = {}
 
     # -- variables -----------------------------------------------------------
 

@@ -1,0 +1,131 @@
+"""Tests for the repo-local concurrency lint (tools/check_concurrency.py).
+
+The checker is a standalone script (not part of the ``repro`` package),
+so it is imported by file path here.
+"""
+
+import importlib.util
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).parent.parent
+TOOL = REPO_ROOT / "tools" / "check_concurrency.py"
+
+spec = importlib.util.spec_from_file_location("check_concurrency", TOOL)
+check_concurrency = importlib.util.module_from_spec(spec)
+sys.modules["check_concurrency"] = check_concurrency
+spec.loader.exec_module(check_concurrency)
+
+
+def lint(tmp_path: Path, source: str):
+    file = tmp_path / "sample.py"
+    file.write_text(textwrap.dedent(source))
+    return check_concurrency.check_file(file)
+
+
+class TestLockRule:
+    def test_bare_acquire_is_flagged(self, tmp_path):
+        findings = lint(tmp_path, """
+            def f(lock):
+                lock.acquire()
+                work()
+                lock.release()
+        """)
+        assert [f.rule for f in findings] == ["lock-no-with"]
+        assert "lock.acquire()" in findings[0].message
+
+    def test_with_statement_is_clean(self, tmp_path):
+        assert not lint(tmp_path, """
+            def f(lock):
+                with lock:
+                    work()
+        """)
+
+    def test_try_finally_release_is_clean(self, tmp_path):
+        assert not lint(tmp_path, """
+            def f(self):
+                self._lock.acquire()
+                try:
+                    work()
+                finally:
+                    self._lock.release()
+        """)
+
+    def test_finally_releasing_a_different_lock_still_fires(self, tmp_path):
+        findings = lint(tmp_path, """
+            def f(a, b):
+                a.acquire()
+                try:
+                    work()
+                finally:
+                    b.release()
+        """)
+        assert [f.rule for f in findings] == ["lock-no-with"]
+
+    def test_suppression_comment_silences_the_line(self, tmp_path):
+        assert not lint(tmp_path, """
+            def f(lock):
+                lock.acquire(timeout=1)  # concurrency: ok
+        """)
+
+
+class TestSpanRule:
+    def test_unentered_span_is_flagged(self, tmp_path):
+        findings = lint(tmp_path, """
+            from repro.telemetry import span
+
+            def f():
+                span("phase.one", k=3)
+        """)
+        assert [f.rule for f in findings] == ["span-no-with"]
+
+    def test_with_span_is_clean(self, tmp_path):
+        assert not lint(tmp_path, """
+            from repro.telemetry import span
+
+            def f():
+                with span("phase.one") as handle:
+                    handle.set_attribute("k", 3)
+        """)
+
+    def test_enter_context_is_clean(self, tmp_path):
+        assert not lint(tmp_path, """
+            from repro.telemetry import span
+
+            def f(stack):
+                handle = stack.enter_context(span("phase.one"))
+        """)
+
+    def test_attribute_form_is_checked_too(self, tmp_path):
+        findings = lint(tmp_path, """
+            from repro import telemetry
+
+            def f():
+                telemetry.span("phase.two")
+        """)
+        assert [f.rule for f in findings] == ["span-no-with"]
+
+
+class TestWholeRepo:
+    def test_audited_trees_are_clean(self):
+        """The trees CI lints must stay free of findings."""
+        findings = check_concurrency.check_paths(
+            list(check_concurrency.DEFAULT_PATHS)
+        )
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_cli_exit_codes(self, tmp_path):
+        ok = subprocess.run(
+            [sys.executable, str(TOOL)], capture_output=True, text=True
+        )
+        assert ok.returncode == 0, ok.stdout + ok.stderr
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(lock):\n    lock.acquire()\n")
+        res = subprocess.run(
+            [sys.executable, str(TOOL), str(bad)],
+            capture_output=True, text=True,
+        )
+        assert res.returncode == 1
+        assert "lock-no-with" in res.stdout

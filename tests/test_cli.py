@@ -132,6 +132,44 @@ class TestLint:
         assert code == 1
         assert payload["rules"] == ["spec.parse"]
 
+    def test_json_and_text_exit_codes_agree(self, capsys):
+        """--json must fail exactly when text mode fails (regression:
+        a JSON report with ERROR diagnostics exiting 0 would let broken
+        specs through CI pipelines that parse the JSON)."""
+        for spec, expected in (
+            ("disconnected.spec", 1),
+            ("office.spec", 0),
+        ):
+            text_code = main(["lint", str(self.EXAMPLES / spec)])
+            capsys.readouterr()
+            json_code = main(["lint", str(self.EXAMPLES / spec), "--json"])
+            payload = json.loads(capsys.readouterr().out)
+            assert text_code == json_code == expected
+            assert (payload["errors"] > 0) == (expected == 1)
+
+    def test_presolve_mode_reports_reductions(self, capsys):
+        code = main([
+            "lint", str(self.EXAMPLES / "office.spec"),
+            "--presolve", "--sensors", "6", "--relays", "10",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "presolve[full]" in out
+
+    def test_presolve_mode_in_json_report(self, capsys):
+        code = main([
+            "lint", str(self.EXAMPLES / "office.spec"),
+            "--presolve", "reduce", "--json",
+            "--sensors", "6", "--relays", "10",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert "presolve.report" in payload["rules"]
+        diag = next(d for d in payload["diagnostics"]
+                    if d["rule"] == "presolve.report")
+        assert diag["data"]["mode"] == "reduce"
+        assert diag["data"]["rows"]["after"] <= diag["data"]["rows"]["before"]
+
     def test_synthesize_refuses_doomed_spec(self, capsys, tmp_path):
         spec = tmp_path / "doomed.spec"
         spec.write_text(

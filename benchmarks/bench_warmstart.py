@@ -1,0 +1,301 @@
+"""Acceleration benchmark: warm starts, lazy cuts, portfolio TTFI.
+
+Builds the data-collection problem for the synthetic Table 3 families
+(see ``bench_table3_scalability.py``) and runs three end-to-end
+configurations of :class:`repro.DataCollectionExplorer` per instance:
+
+* **cold** — the plain exact solve, no acceleration;
+* **warm+lazy** — ``warm_start=True, lazy_cuts=True``: the greedy
+  primal heuristic's incumbent reaches the backend (native
+  ``setSolution`` with highspy installed, an objective-cutoff row on
+  the scipy fallback) and the solver is wrapped in the lazy-constraint
+  resolve loop;
+* **portfolio** — ``portfolio=True``: the tabu synthesizer raced
+  against the exact solve, measuring time-to-first-incumbent (TTFI).
+
+Every configuration must land on the same objective (the acceleration
+layer is exactness-preserving by construction).  The per-case record
+carries both wall-clock times, the warm-start verdict (source, bound,
+consumption mechanism), the lazy-cut round log, and the portfolio TTFI
+as an absolute time and as a fraction of the cold solve.  A dedicated
+``separation`` sub-record exercises the resolve loop with its
+profitability guard disabled on the smallest instance, so the round/cut
+counts are measured rather than skipped.
+
+The gate (``--quick`` exits non-zero on failure; CI runs it as a
+regression tripwire) requires every case to be objective-exact and at
+least one case to show a >= ``GATE_SPEEDUP`` end-to-end speedup
+(warm+lazy vs cold) together with a portfolio TTFI <=
+``GATE_TTFI_FRAC`` of the cold time on that same instance;
+docs/performance.md describes the envelope.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_warmstart.py [--quick] [--out PATH]
+
+This module is also imported (not executed) by pytest's benchmark
+collection; it defines no test functions on purpose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _emit import emit_report  # noqa: E402
+
+from repro import (  # noqa: E402
+    ApproximatePathEncoder,
+    DataCollectionExplorer,
+    HighsSolver,
+    default_catalog,
+    synthetic_template,
+)
+from repro.accel import LazyCutSolver  # noqa: E402
+from repro.network import (  # noqa: E402
+    LifetimeRequirement,
+    LinkQualityRequirement,
+    RequirementSet,
+)
+
+#: The quick subset ends on the instance whose cold solve takes tens of
+#: seconds — acceleration on sub-second models is pure noise.
+SIZES_QUICK = [(50, 20), (100, 50)]
+SIZES_FULL = [(50, 20), (100, 20), (100, 50), (150, 50)]
+K_STAR = 10
+TIME_LIMIT = 600.0
+#: Relative tolerance of the objective-equality check.
+OBJ_TOL = 1e-6
+#: At least one case must be this much faster end-to-end (warm + lazy
+#: vs cold) ...
+GATE_SPEEDUP = 1.5
+#: ... with the portfolio's first incumbent inside this fraction of the
+#: cold time on the same instance.
+GATE_TTFI_FRAC = 0.10
+
+
+def make_problem(n_total: int, n_end: int):
+    """The Table 3 data-collection problem for one synthetic family."""
+    instance = synthetic_template(n_total, n_end, seed=11)
+    reqs = RequirementSet()
+    for s in instance.sensor_ids:
+        reqs.require_route(s, instance.sink_id, replicas=2, disjoint=True)
+    reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+    reqs.lifetime = LifetimeRequirement(years=5.0)
+    return instance, reqs
+
+
+def make_explorer(instance, reqs, **flags) -> DataCollectionExplorer:
+    return DataCollectionExplorer(
+        instance.template, default_catalog(), reqs,
+        encoder=ApproximatePathEncoder(k_star=K_STAR),
+        solver=HighsSolver(time_limit=TIME_LIMIT),
+        analyze=False, **flags,
+    )
+
+
+def _timed_solve(instance, reqs, repeats: int, **flags):
+    """Best-of-``repeats`` end-to-end wall clock for one configuration
+    (build + accelerate + solve, a fresh explorer per run)."""
+    best_s = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = make_explorer(instance, reqs, **flags).solve("cost")
+        best_s = min(best_s, time.perf_counter() - start)
+    return result, best_s
+
+
+def _separation_record(instance, reqs) -> dict:
+    """The resolve loop with its profitability guard off, so the round
+    and cut counts are actually measured on a Table 3 model."""
+    built = make_explorer(instance, reqs).build("cost")
+    cold = HighsSolver(time_limit=TIME_LIMIT).solve(built.model)
+    start = time.perf_counter()
+    lazy = LazyCutSolver(
+        HighsSolver(time_limit=TIME_LIMIT), min_deferred_fraction=0.0,
+    ).solve(built.model)
+    elapsed = time.perf_counter() - start
+    info = lazy.extra.get("lazy_cuts", {})
+    delta = abs(lazy.objective - cold.objective)
+    return {
+        "solve_s": elapsed,
+        "rounds": info.get("rounds", []),
+        "cuts_added": info.get("cuts_added", 0),
+        "still_deferred": info.get("still_deferred", 0),
+        "families": info.get("families", []),
+        "objective_exact": delta <= OBJ_TOL * max(1.0, abs(cold.objective)),
+    }
+
+
+def run_case(
+    n_total: int, n_end: int, repeats: int = 1, separation: bool = False,
+) -> dict:
+    """One instance through all three configurations."""
+    instance, reqs = make_problem(n_total, n_end)
+
+    cold, cold_s = _timed_solve(instance, reqs, repeats)
+    accel, accel_s = _timed_solve(
+        instance, reqs, repeats, warm_start=True, lazy_cuts=True,
+    )
+    portfolio, portfolio_s = _timed_solve(instance, reqs, 1, portfolio=True)
+
+    warm_info = accel.solution.extra.get("warm_start", {})
+    lazy_info = accel.solution.extra.get("lazy_cuts", {})
+    port_meta = portfolio.solution.extra.get("portfolio", {})
+    ttfi = port_meta.get("first_incumbent_s")
+
+    delta = abs(accel.objective_value - cold.objective_value)
+    scale = max(1.0, abs(cold.objective_value))
+    case = {
+        "name": f"warmstart_{n_total}x{n_end}",
+        "grid": [n_total, n_end],
+        "cold": {
+            "status": cold.status.name,
+            "objective": cold.objective_value,
+            "e2e_s": cold_s,
+        },
+        "warm_lazy": {
+            "status": accel.status.name,
+            "objective": accel.objective_value,
+            "e2e_s": accel_s,
+            "warm_start": {
+                "status": warm_info.get("status"),
+                "source": warm_info.get("source"),
+                "objective": warm_info.get("objective"),
+                "mechanism": warm_info.get("mechanism"),
+            },
+            "lazy_cuts": {
+                "skipped": lazy_info.get("skipped"),
+                "rounds": len(lazy_info.get("rounds", [])),
+                "cuts_added": lazy_info.get("cuts_added", 0),
+            },
+        },
+        "portfolio": {
+            "status": portfolio.status.name,
+            "objective": portfolio.objective_value,
+            "e2e_s": portfolio_s,
+            "winner": port_meta.get("winner"),
+            "first_incumbent_source": port_meta.get(
+                "first_incumbent_source"
+            ),
+            "ttfi_s": ttfi,
+            "ttfi_frac": (ttfi / cold_s) if ttfi is not None else None,
+        },
+        "speedup": cold_s / accel_s if accel_s > 0 else float("inf"),
+        "objective_exact": delta <= OBJ_TOL * scale,
+        "objective_delta": delta,
+    }
+    port_delta = abs(portfolio.objective_value - cold.objective_value)
+    case["portfolio"]["objective_exact"] = port_delta <= OBJ_TOL * scale
+    if separation:
+        case["separation"] = _separation_record(instance, reqs)
+    return case
+
+
+def evaluate_gate(cases: list[dict]) -> dict:
+    """The CI verdict: exact objectives everywhere, and at least one
+    instance with both the speedup and the TTFI bound."""
+    failures: list[str] = []
+    for case in cases:
+        if not case["objective_exact"]:
+            failures.append(
+                f"{case['name']}: warm+lazy objective drifted by "
+                f"{case['objective_delta']:.3g}"
+            )
+        if not case["portfolio"]["objective_exact"]:
+            failures.append(
+                f"{case['name']}: portfolio objective drifted"
+            )
+    qualifying = [
+        case for case in cases
+        if case["objective_exact"]
+        and case["speedup"] >= GATE_SPEEDUP
+        and case["portfolio"]["ttfi_frac"] is not None
+        and case["portfolio"]["ttfi_frac"] <= GATE_TTFI_FRAC
+    ]
+    if not qualifying:
+        failures.append(
+            f"no case reached {GATE_SPEEDUP}x warm+lazy speedup with "
+            f"portfolio TTFI <= {GATE_TTFI_FRAC:.0%} of the cold solve"
+        )
+    best = max(cases, key=lambda c: c["speedup"])
+    return {
+        "passed": not failures,
+        "failures": failures,
+        "qualifying_cases": [case["name"] for case in qualifying],
+        "best_case": best["name"],
+        "best_speedup": best["speedup"],
+        "best_ttfi_frac": best["portfolio"]["ttfi_frac"],
+        "gate_speedup": GATE_SPEEDUP,
+        "gate_ttfi_frac": GATE_TTFI_FRAC,
+    }
+
+
+def run_benchmarks(quick: bool) -> dict:
+    sizes = SIZES_QUICK if quick else SIZES_FULL
+    repeats = 1 if quick else 2
+    cases = [
+        run_case(
+            n_total, n_end, repeats,
+            # The smallest instance also measures raw separation rounds.
+            separation=(n_total, n_end) == sizes[0],
+        )
+        for n_total, n_end in sizes
+    ]
+    gate = evaluate_gate(cases)
+    return {
+        "cases": cases,
+        "gate": gate,
+        "meta": {
+            "mode": "quick" if quick else "full",
+            "k_star": K_STAR,
+            "sizes": [list(s) for s in sizes],
+            "gate_speedup": GATE_SPEEDUP,
+            "gate_ttfi_frac": GATE_TTFI_FRAC,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="two-size subset + CI gate")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="report path (default: "
+                             "benchmarks/results/BENCH_warmstart.json)")
+    args = parser.parse_args(argv)
+    report = run_benchmarks(args.quick)
+
+    print(f"{'case':<22} {'cold s':>8} {'w+l s':>8} {'speedup':>8} "
+          f"{'ttfi s':>8} {'ttfi %':>7} {'exact':>6}")
+    for case in report["cases"]:
+        port = case["portfolio"]
+        ttfi = port["ttfi_s"]
+        frac = port["ttfi_frac"]
+        print(f"{case['name']:<22} {case['cold']['e2e_s']:>8.3f} "
+              f"{case['warm_lazy']['e2e_s']:>8.3f} "
+              f"{case['speedup']:>8.2f} "
+              f"{ttfi if ttfi is None else round(ttfi, 4)!s:>8} "
+              f"{frac if frac is None else round(100 * frac, 2)!s:>7} "
+              f"{'yes' if case['objective_exact'] else 'NO':>6}")
+    gate = report["gate"]
+    emit_report(
+        "warmstart", report["cases"], gate=gate, meta=report["meta"],
+        results_dir=args.out.parent if args.out else None,
+    )
+    if gate["failures"]:
+        for failure in gate["failures"]:
+            print(f"GATE FAIL: {failure}")
+    print(f"gate: {'passed' if gate['passed'] else 'FAILED'} "
+          f"(best {gate['best_case']}: {gate['best_speedup']:.2f}x, "
+          f"qualifying: {', '.join(gate['qualifying_cases']) or 'none'})")
+    return 0 if gate["passed"] or not args.quick else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,13 @@ Quickstart::
     print(result.summary())
 """
 
+from repro.accel import (
+    LazyCutSolver,
+    TabuSynthesizer,
+    WarmStart,
+    compute_warm_start,
+    race_portfolio,
+)
 from repro.analysis import (
     AnalysisError,
     AnalysisReport,
@@ -118,6 +125,7 @@ __all__ = [
     "JobRequest",
     "JobResult",
     "KStarSearchResult",
+    "LazyCutSolver",
     "Library",
     "LifetimeRequirement",
     "LinkQualityRequirement",
@@ -140,16 +148,19 @@ __all__ = [
     "SolveOptions",
     "SolveStatus",
     "SynthesisResult",
+    "TabuSynthesizer",
     "TdmaConfig",
     "Template",
     "Trial",
     "TrialOutcome",
     "ValidationReport",
+    "WarmStart",
     "analyze_model",
     "analyze_problem",
     "analyze_resiliency",
     "build_explorer",
     "compile_spec",
+    "compute_warm_start",
     "data_collection_template",
     "default_catalog",
     "device",
@@ -160,6 +171,7 @@ __all__ = [
     "load_architecture",
     "localization_catalog",
     "localization_template",
+    "race_portfolio",
     "result_from_dict",
     "result_to_dict",
     "save_architecture",

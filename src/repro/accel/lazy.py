@@ -1,0 +1,209 @@
+"""Lazy-constraint resolve loop over deferrable row families.
+
+The big-M link-quality rows (``lq[u,v]:rss`` / ``lq[u,v]:snr``) are the
+loosest part of the encoding and most of them are slack at the optimum —
+only the links the design actually activates bind.  The classic remedy
+is lazy separation: solve a relaxation without the family, check which
+deferred rows the incumbent violates, re-add exactly those, re-solve
+warm-started, and repeat until the incumbent is clean.
+
+Soundness notes baked into the loop:
+
+* a relaxation's optimum that violates **no** deferred row is optimal
+  for the full model (standard relaxation argument), so the loop may
+  return it immediately with the relaxation's own status;
+* a round's solution that *does* violate deferred rows is **not** a
+  feasible incumbent for the tightened model and is never passed down as
+  a warm start — only the original (full-model-validated) warm start on
+  ``Model.hints`` survives across rounds, and the backends re-validate
+  it anyway;
+* when the round cap trips, the loop adds every remaining deferred row
+  back and solves the equivalent of the full model once, so the final
+  answer is never approximate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.milp.expr import Constraint
+from repro.milp.model import Model
+from repro.milp.solution import Solution, SolveStatus
+from repro.telemetry.metrics import counter
+from repro.telemetry.trace import span
+
+#: Row-name prefixes deferred by default: the link-quality big-M family.
+#: Connectivity (``e[``/``alpha[``) is deferrable in principle but binds
+#: on nearly every instance, so deferring it just burns rounds.
+DEFAULT_FAMILIES = ("lq[",)
+
+
+def _violation(row: Constraint, x: Any, tol: float) -> float:
+    """How far ``x`` is outside ``row`` (0.0 when satisfied)."""
+    coeffs, lo, hi = row.normalized()
+    value = 0.0
+    for idx, coeff in coeffs.items():
+        value += coeff * float(x[idx])
+    return max(lo - value, value - hi, 0.0)
+
+
+class LazyCutSolver:
+    """Wrap a MILP backend with the lazy-constraint resolve loop.
+
+    Parameters
+    ----------
+    solver:
+        Inner backend (any object with ``solve(model) -> Solution``).
+    families:
+        Row-name prefixes to defer (default: the ``lq[`` big-M family).
+    max_rounds:
+        Separation rounds before the loop gives up and solves with all
+        remaining deferred rows re-added (exactness backstop).
+    tol:
+        Feasibility slack when evaluating deferred rows at an incumbent.
+    min_deferred_fraction:
+        Deferral only pays when it removes enough rows to make each
+        relaxation round meaningfully cheaper than a full solve; below
+        this fraction of the model's rows the loop skips itself and
+        solves the intact model once (annotated as skipped).
+    """
+
+    name = "lazy-cuts"
+
+    def __init__(
+        self,
+        solver: Any,
+        families: tuple[str, ...] = DEFAULT_FAMILIES,
+        max_rounds: int = 8,
+        tol: float = 1e-6,
+        min_deferred_fraction: float = 0.05,
+    ) -> None:
+        self.solver = solver
+        self.families = tuple(families)
+        self.max_rounds = max_rounds
+        self.tol = tol
+        self.min_deferred_fraction = min_deferred_fraction
+
+    def with_time_limit(self, time_limit: float | None) -> LazyCutSolver:
+        """A copy whose inner backend is clipped to ``time_limit`` per
+        round (keeps the loop nestable under the watchdog)."""
+        hook = getattr(self.solver, "with_time_limit", None)
+        inner = hook(time_limit) if callable(hook) else self.solver
+        return LazyCutSolver(
+            inner, families=self.families,
+            max_rounds=self.max_rounds, tol=self.tol,
+            min_deferred_fraction=self.min_deferred_fraction,
+        )
+
+    def solve(self, model: Model) -> Solution:
+        """Run the resolve loop; exact with respect to ``model``."""
+        relaxed, deferred = model.relaxed_copy(self._is_deferred)
+        if not deferred:
+            return self.solver.solve(model)
+        total_rows = len(model.constraints)
+        if len(deferred) < self.min_deferred_fraction * total_rows:
+            # A sliver of deferrable rows cannot pay for separation:
+            # every round would re-solve a model nearly as large as the
+            # original.  Solve intact and say so.
+            solution = self.solver.solve(model)
+            solution.extra["lazy_cuts"] = {
+                "rounds": [],
+                "cuts_added": 0,
+                "still_deferred": 0,
+                "families": list(self.families),
+                "skipped": (
+                    f"{len(deferred)}/{total_rows} deferrable rows is "
+                    f"below min_deferred_fraction="
+                    f"{self.min_deferred_fraction}"
+                ),
+            }
+            return solution
+        total_time = 0.0
+        rounds: list[dict[str, Any]] = []
+        solution: Solution | None = None
+        for round_no in range(1, self.max_rounds + 1):
+            with span(
+                "accel.lazy_round",
+                round=round_no, deferred=len(deferred),
+            ) as round_span:
+                t0 = time.perf_counter()
+                solution = self.solver.solve(relaxed)
+                total_time += (
+                    solution.solve_time or (time.perf_counter() - t0)
+                )
+                if solution.x is None:
+                    # INFEASIBLE passes through: a relaxation with fewer
+                    # rows infeasible ⇒ the full model is too.  Anything
+                    # else without an assignment (timeout/error/
+                    # unbounded relaxation) aborts to the exact
+                    # backstop below.
+                    round_span.set_attribute(
+                        "outcome", solution.status.name
+                    )
+                    if solution.status is SolveStatus.INFEASIBLE:
+                        return self._annotate(
+                            solution, rounds, total_time, len(deferred)
+                        )
+                    break
+                violated = [
+                    row for row in deferred
+                    if _violation(row, solution.x, self.tol) > 0.0
+                ]
+                round_span.set_attributes(
+                    outcome="separated", violated=len(violated),
+                )
+                rounds.append({
+                    "round": round_no,
+                    "deferred": len(deferred),
+                    "violated": len(violated),
+                    "status": solution.status.name,
+                    "objective": solution.objective,
+                })
+                if not violated:
+                    # Clean incumbent: optimal for the relaxation and
+                    # feasible for every deferred row ⇒ done, status
+                    # (OPTIMAL/FEASIBLE) inherited from the round.
+                    return self._annotate(
+                        solution, rounds, total_time, len(deferred)
+                    )
+                counter("accel.lazy_cuts_added").inc(len(violated))
+                keep = set(map(id, violated))
+                for row in violated:
+                    relaxed.add(row)
+                deferred = [r for r in deferred if id(r) not in keep]
+        # Round cap (or an abnormal round): re-add everything still
+        # deferred and solve the full-strength model once.
+        for row in deferred:
+            relaxed.add(row)
+        with span("accel.lazy_round", round=0, deferred=0):
+            t0 = time.perf_counter()
+            solution = self.solver.solve(relaxed)
+            total_time += solution.solve_time or (time.perf_counter() - t0)
+        rounds.append({
+            "round": 0,
+            "deferred": 0,
+            "violated": 0,
+            "status": solution.status.name,
+            "objective": solution.objective,
+        })
+        return self._annotate(solution, rounds, total_time, 0)
+
+    def _is_deferred(self, row: Constraint) -> bool:
+        return any(row.name.startswith(p) for p in self.families)
+
+    def _annotate(
+        self,
+        solution: Solution,
+        rounds: list[dict[str, Any]],
+        total_time: float,
+        still_deferred: int,
+    ) -> Solution:
+        solution.extra["lazy_cuts"] = {
+            "rounds": rounds,
+            "cuts_added": sum(r["violated"] for r in rounds),
+            "still_deferred": still_deferred,
+            "families": list(self.families),
+        }
+        solution.solve_time = total_time
+        return solution

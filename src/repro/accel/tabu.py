@@ -1,0 +1,460 @@
+"""Anytime tabu search over decoded architectures.
+
+The exact MILP proves optimality but may take minutes; deadline-bound
+serving wants *a* requirement-clean design in milliseconds.  This
+synthesizer searches Architecture space directly — per-requirement
+candidate choices out of the same Yen pools the encoder built, plus a
+device per used node — with the independent validator
+(:func:`repro.validation.checker.validate`) as the feasibility oracle,
+so it shares the constraint semantics without sharing encoder code.
+
+Moves (the classic tactical-wireless tabu kit):
+
+* ``swap-device`` — re-size one used node to another compatible device;
+* ``reroute`` — move one replica of one requirement to another pool
+  candidate (disjointness-preserving when the requirement demands it);
+* ``toggle-relay`` — targeted reroute that evicts one optional relay
+  node from every route crossing it, freeing its device cost.
+
+The search is deterministic under ``seed`` and *anytime*: every new best
+feasible design is recorded on a :class:`~repro.telemetry.progress.
+SolveProgress` trajectory (source label ``"tabu"``), and an external
+``stop`` callable (the portfolio racer's "exact solve finished" event)
+is honored between iterations.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.encoding.base import SelectionBlock
+from repro.graph.disjoint import path_edges
+from repro.library.catalog import Library
+from repro.network.requirements import RequirementSet
+from repro.network.template import Template
+from repro.network.topology import Architecture, Route
+from repro.telemetry.progress import SolveProgress
+from repro.telemetry.trace import span
+from repro.validation.checker import validate
+
+Edge = tuple[int, int]
+
+
+@dataclass
+class TabuResult:
+    """Outcome of one tabu run."""
+
+    architecture: Architecture | None
+    objective: float
+    feasible: bool
+    iterations: int
+    #: Incumbent trajectory dicts (kind/incumbent/elapsed_s), each
+    #: tagged ``source="tabu"`` — merge-ready for the portfolio.
+    trajectory: list[dict[str, Any]] = field(default_factory=list)
+    #: Seconds to the first feasible incumbent (None when none found).
+    first_incumbent_s: float | None = None
+
+
+@dataclass
+class _State:
+    """One point in the search space."""
+
+    #: Per selection block: chosen pool indices (len == replicas).
+    choices: list[tuple[int, ...]]
+    #: Used node id -> device name.
+    devices: dict[int, str]
+
+    def key(self) -> tuple[Any, ...]:
+        return (
+            tuple(self.choices),
+            tuple(sorted(self.devices.items())),
+        )
+
+
+class TabuSynthesizer:
+    """Tabu/local search over the candidate pools and the device catalog.
+
+    Optimizes dollar cost (the paper's primary objective) subject to the
+    full requirement set; infeasible neighbors are graded by a penalized
+    objective so the search can traverse infeasible ridges.
+    """
+
+    name = "tabu"
+
+    def __init__(
+        self,
+        template: Template,
+        library: Library,
+        requirements: RequirementSet,
+        selection: list[SelectionBlock],
+        *,
+        channel: Any = None,
+        seed: int = 0,
+        tenure: int = 8,
+        max_iters: int = 400,
+        neighborhood: int = 16,
+        time_limit: float | None = None,
+        initial: Architecture | None = None,
+    ) -> None:
+        if not selection:
+            raise ValueError(
+                "tabu needs the encoder's candidate pools; only the "
+                "approximate encoding provides them"
+            )
+        self.template = template
+        self.library = library
+        self.requirements = requirements
+        self.selection = selection
+        self.channel = channel
+        self.seed = seed
+        self.tenure = tenure
+        self.max_iters = max_iters
+        self.neighborhood = neighborhood
+        self.time_limit = time_limit
+        self.initial = initial
+        # Penalty per violation dominates any single device swap saving,
+        # so feasibility is always worth buying.
+        most_expensive = max(
+            (d.cost for d in library.devices), default=1.0
+        )
+        self._penalty = 10.0 * max(most_expensive, 1.0) + 100.0
+
+    # -- state <-> architecture --------------------------------------------
+
+    def _routes_of(self, state: _State) -> list[Route]:
+        routes = []
+        for block, chosen in zip(self.selection, state.choices):
+            for rep, k in enumerate(chosen):
+                routes.append(
+                    Route(
+                        block.req.source, block.req.dest, rep,
+                        block.pool[k].nodes,
+                    )
+                )
+        return routes
+
+    def _used_nodes(self, routes: list[Route]) -> set[int]:
+        used = {n.id for n in self.template.nodes if n.fixed}
+        for route in routes:
+            used.update(route.nodes)
+        return used
+
+    def to_architecture(self, state: _State) -> Architecture:
+        """Materialize ``state`` as a validator-ready architecture."""
+        routes = self._routes_of(state)
+        used = self._used_nodes(routes)
+        sizing = {}
+        for node_id in used:
+            name = state.devices.get(node_id)
+            if name is None:
+                name = self._cheapest_device(node_id)
+            sizing[node_id] = name
+        arch = Architecture(
+            template=self.template,
+            library=self.library,
+            sizing=sizing,
+        )
+        arch.routes = routes
+        arch.active_edges = {
+            edge for route in routes for edge in route.edges
+        }
+        arch.objective_value = arch.dollar_cost
+        return arch
+
+    def _cheapest_device(self, node_id: int) -> str:
+        role = self.template.node(node_id).role
+        options = self.library.for_role(role)
+        if not options:
+            raise ValueError(f"no library device supports role {role!r}")
+        return min(options, key=lambda d: d.cost).name
+
+    def _evaluate(self, state: _State) -> tuple[float, bool, Architecture]:
+        arch = self.to_architecture(state)
+        report = validate(arch, self.requirements, self.channel)
+        cost = arch.dollar_cost
+        if report.ok:
+            return cost, True, arch
+        return cost + self._penalty * len(report.violations), False, arch
+
+    # -- initialization -----------------------------------------------------
+
+    def _initial_state(self) -> _State:
+        if self.initial is not None:
+            state = self._state_from_architecture(self.initial)
+            if state is not None:
+                return state
+        choices = []
+        for block in self.selection:
+            order = sorted(
+                range(len(block.pool)),
+                key=lambda k: (
+                    len(block.pool[k].nodes), block.pool[k].loss_db,
+                ),
+            )
+            chosen: list[int] = []
+            used: set[Edge] = set()
+            candidates = (
+                order if not block.req.disjoint else
+                list(order) + list(range(len(block.pool)))
+            )
+            for k in candidates:
+                if len(chosen) == block.req.replicas:
+                    break
+                if k in chosen:
+                    continue
+                edges = set(path_edges(block.pool[k].nodes))
+                if block.req.disjoint and edges & used:
+                    continue
+                chosen.append(k)
+                used |= edges
+            while len(chosen) < block.req.replicas:
+                # Degenerate pool; duplicate-free fill keeps the state
+                # well-formed even if the validator then flags it.
+                extra = next(
+                    (k for k in order if k not in chosen), chosen[-1]
+                )
+                chosen.append(extra)
+            choices.append(tuple(chosen))
+        state = _State(choices=choices, devices={})
+        routes = self._routes_of(state)
+        state.devices = {
+            node_id: self._cheapest_device(node_id)
+            for node_id in self._used_nodes(routes)
+        }
+        # Cheapest-everything often misses link-quality margins; a
+        # second deterministic seed sizes every node to its most capable
+        # option.  Start from whichever grades better.
+        upgraded = _State(
+            choices=list(choices),
+            devices={
+                node_id: max(
+                    self.library.for_role(self.template.node(node_id).role),
+                    key=lambda d: (d.effective_tx_dbm, d.antenna_gain_dbi),
+                ).name
+                for node_id in state.devices
+            },
+        )
+        if self._evaluate(upgraded)[0] < self._evaluate(state)[0]:
+            return upgraded
+        return state
+
+    def _state_from_architecture(self, arch: Architecture) -> _State | None:
+        choices = []
+        for block in self.selection:
+            by_nodes = {p.nodes: k for k, p in enumerate(block.pool)}
+            routes = arch.routes_for(block.req.source, block.req.dest)
+            if len(routes) < block.req.replicas:
+                return None
+            chosen = []
+            for route in routes[: block.req.replicas]:
+                k = by_nodes.get(tuple(route.nodes))
+                if k is None:
+                    return None
+                chosen.append(k)
+            choices.append(tuple(chosen))
+        return _State(choices=choices, devices=dict(arch.sizing))
+
+    # -- moves --------------------------------------------------------------
+
+    def _neighbors(
+        self, state: _State, rng: random.Random,
+    ) -> list[tuple[tuple[Any, ...], _State]]:
+        """A sampled neighborhood as (move-key, neighbor) pairs."""
+        moves: list[tuple[tuple[Any, ...], _State]] = []
+        for _ in range(self.neighborhood):
+            kind = rng.choice(("swap-device", "reroute", "toggle-relay"))
+            neighbor = None
+            if kind == "swap-device":
+                neighbor = self._move_swap_device(state, rng)
+            elif kind == "reroute":
+                neighbor = self._move_reroute(state, rng)
+            else:
+                neighbor = self._move_toggle_relay(state, rng)
+            if neighbor is not None:
+                moves.append(neighbor)
+        return moves
+
+    def _move_swap_device(
+        self, state: _State, rng: random.Random,
+    ) -> tuple[tuple[Any, ...], _State] | None:
+        if not state.devices:
+            return None
+        node_id = rng.choice(sorted(state.devices))
+        role = self.template.node(node_id).role
+        options = [
+            d.name for d in self.library.for_role(role)
+            if d.name != state.devices[node_id]
+        ]
+        if not options:
+            return None
+        name = rng.choice(options)
+        devices = dict(state.devices)
+        devices[node_id] = name
+        return (
+            ("swap-device", node_id, name),
+            _State(choices=list(state.choices), devices=devices),
+        )
+
+    def _move_reroute(
+        self, state: _State, rng: random.Random,
+        block_index: int | None = None,
+        avoid_node: int | None = None,
+    ) -> tuple[tuple[Any, ...], _State] | None:
+        if block_index is None:
+            block_index = rng.randrange(len(self.selection))
+        block = self.selection[block_index]
+        chosen = list(state.choices[block_index])
+        slot = rng.randrange(len(chosen))
+        other_edges: set[Edge] = set()
+        if block.req.disjoint:
+            for i, k in enumerate(chosen):
+                if i != slot:
+                    other_edges.update(path_edges(block.pool[k].nodes))
+        candidates = []
+        for k in range(len(block.pool)):
+            if k in chosen:
+                continue
+            nodes = block.pool[k].nodes
+            if avoid_node is not None and avoid_node in nodes:
+                continue
+            if block.req.disjoint and set(path_edges(nodes)) & other_edges:
+                continue
+            candidates.append(k)
+        if not candidates:
+            return None
+        new_k = rng.choice(candidates)
+        chosen[slot] = new_k
+        choices = list(state.choices)
+        choices[block_index] = tuple(chosen)
+        new_state = _State(choices=choices, devices=dict(state.devices))
+        self._refresh_devices(new_state)
+        label = "reroute" if avoid_node is None else "toggle-relay"
+        return (label, block_index, slot, new_k), new_state
+
+    def _move_toggle_relay(
+        self, state: _State, rng: random.Random,
+    ) -> tuple[tuple[Any, ...], _State] | None:
+        routes = self._routes_of(state)
+        optional_used = sorted(
+            node_id
+            for node_id in self._used_nodes(routes)
+            if not self.template.node(node_id).fixed
+        )
+        relays = [
+            n for n in optional_used
+            if any(n in r.nodes[1:-1] for r in routes)
+        ]
+        if not relays:
+            return None
+        relay = rng.choice(relays)
+        crossing = [
+            i for i, (block, chosen) in enumerate(
+                zip(self.selection, state.choices)
+            )
+            if any(relay in block.pool[k].nodes[1:-1] for k in chosen)
+        ]
+        if not crossing:
+            return None
+        return self._move_reroute(
+            state, rng, block_index=rng.choice(crossing), avoid_node=relay,
+        )
+
+    def _refresh_devices(self, state: _State) -> None:
+        """Drop devices of vacated nodes; seed new nodes cheaply."""
+        used = self._used_nodes(self._routes_of(state))
+        for node_id in list(state.devices):
+            if node_id not in used:
+                del state.devices[node_id]
+        for node_id in used:
+            if node_id not in state.devices:
+                state.devices[node_id] = self._cheapest_device(node_id)
+
+    # -- the search ---------------------------------------------------------
+
+    def synthesize(
+        self,
+        *,
+        stop: Callable[[], bool] | None = None,
+        progress: SolveProgress | None = None,
+    ) -> TabuResult:
+        """Run the search; returns the best feasible design found.
+
+        ``stop`` is polled between iterations (the portfolio racer sets
+        it when the exact solve lands); ``progress`` collects incumbent
+        events (a private recorder is created when omitted).
+        """
+        with span("accel.tabu", iters=self.max_iters) as tabu_span:
+            rng = random.Random(self.seed)
+            recorder = progress or SolveProgress(self.name)
+            t0 = time.perf_counter()
+            current = self._initial_state()
+            score, feasible, arch = self._evaluate(current)
+            best_arch: Architecture | None = None
+            best_obj = float("inf")
+            best_score = score
+            first_s: float | None = None
+            if feasible:
+                best_arch, best_obj = arch, score
+                first_s = time.perf_counter() - t0
+                recorder.incumbent(0, best_obj)
+            tabu: dict[tuple[Any, ...], int] = {}
+            iters = 0
+            for iteration in range(1, self.max_iters + 1):
+                iters = iteration
+                if stop is not None and stop():
+                    break
+                if (
+                    self.time_limit is not None
+                    and time.perf_counter() - t0 > self.time_limit
+                ):
+                    break
+                moves = self._neighbors(current, rng)
+                if not moves:
+                    break
+                best_move = None
+                for key, neighbor in moves:
+                    n_score, n_feasible, n_arch = self._evaluate(neighbor)
+                    is_tabu = tabu.get(key, 0) >= iteration
+                    # Aspiration: a new global best overrides the list.
+                    if is_tabu and not (
+                        n_feasible and n_score < best_obj - 1e-9
+                    ):
+                        continue
+                    if best_move is None or n_score < best_move[1]:
+                        best_move = (key, n_score, n_feasible, neighbor,
+                                     n_arch)
+                if best_move is None:
+                    continue
+                key, score, feasible, current, arch = best_move
+                tabu[key] = iteration + self.tenure
+                if feasible and score < best_obj - 1e-9:
+                    best_arch, best_obj = arch, score
+                    if first_s is None:
+                        first_s = time.perf_counter() - t0
+                    recorder.incumbent(iteration, best_obj)
+                best_score = min(best_score, score)
+            if progress is None:
+                recorder.done(
+                    iters, None if best_arch is None else best_obj, None,
+                )
+            trajectory = [
+                {**event, "source": "tabu"}
+                for event in recorder.trajectory()
+                if event["kind"] == "incumbent"
+            ]
+            tabu_span.set_attributes(
+                iterations=iters,
+                feasible=best_arch is not None,
+                objective=best_obj if best_arch is not None else None,
+            )
+            return TabuResult(
+                architecture=best_arch,
+                objective=best_obj,
+                feasible=best_arch is not None,
+                iterations=iters,
+                trajectory=trajectory,
+                first_incumbent_s=first_s,
+            )

@@ -118,6 +118,36 @@ class PostsolveMap:
         )
         return restored
 
+    def forward(
+        self,
+        x: npt.NDArray[np.float64],
+        fixed_tol: float = 1e-6,
+    ) -> npt.NDArray[np.float64] | None:
+        """Map an *original*-space assignment into the reduced space.
+
+        The inverse direction of :meth:`restore`, used to carry a warm
+        start computed on the original model into the presolved model:
+        merges are replayed oldest-first (each aggregates the dropped
+        column's value onto its keeper), then the surviving columns are
+        gathered through ``column_of``.  Returns ``None`` when ``x``
+        disagrees with a presolve-fixed column by more than
+        ``fixed_tol`` — such a start cannot be represented in the
+        reduced space (and was probably infeasible to begin with).
+        """
+        if x.shape[0] != self.n_original:
+            return None
+        values = np.asarray(x, dtype=float).copy()
+        for merge in self.merges:
+            values[merge.kept] += values[merge.dropped]
+        for j, value in self.fixed.items():
+            if abs(values[j] - value) > fixed_tol:
+                return None
+        n_reduced = 1 + max(self.column_of.values(), default=-1)
+        reduced = np.zeros(n_reduced, dtype=float)
+        for j, col in self.column_of.items():
+            reduced[col] = values[j]
+        return reduced
+
     def objective_value(self, x: npt.NDArray[np.float64]) -> float:
         """The *original* objective evaluated at an original-space ``x``
         (cross-check helper; must equal ``solution.objective`` up to

@@ -86,6 +86,27 @@ def _add_presolve_arg(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_accel_args(command: argparse.ArgumentParser) -> None:
+    """The shared MILP-acceleration flags (see docs/performance.md)."""
+    command.add_argument(
+        "--warm-start", action="store_true",
+        help="seed the MILP solve with a greedy primal incumbent rounded "
+             "from the Yen candidate pools (see docs/performance.md)",
+    )
+    command.add_argument(
+        "--lazy-cuts", action="store_true",
+        help="defer the big-M link-quality rows and re-add only the "
+             "violated ones in a resolve loop (exact; see "
+             "docs/performance.md)",
+    )
+    command.add_argument(
+        "--portfolio", action="store_true",
+        help="race a tabu local-search synthesizer against the exact "
+             "solve and return the first acceptable incumbent "
+             "(anytime; see docs/performance.md)",
+    )
+
+
 def _add_telemetry_args(command: argparse.ArgumentParser) -> None:
     """The shared ``--trace``/``--metrics`` flags (see repro.telemetry)."""
     command.add_argument(
@@ -134,6 +155,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           "before falling back (enables the solver "
                           "watchdog; see docs/robustness.md)")
     _add_presolve_arg(syn)
+    _add_accel_args(syn)
     _add_telemetry_args(syn)
 
     loc = sub.add_parser("localize", help="anchor-placement synthesis")
@@ -154,6 +176,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="retry crashed/errored solves up to N times "
                           "(enables the solver watchdog)")
     _add_presolve_arg(loc)
+    _add_accel_args(loc)
     _add_telemetry_args(loc)
 
     lint = sub.add_parser(
@@ -205,6 +228,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="retry crashed/errored rung solves up to N times "
                           "(enables the solver watchdog)")
     _add_presolve_arg(kst)
+    _add_accel_args(kst)
     kst.add_argument("--checkpoint", type=Path, metavar="FILE",
                      help="persist each completed rung to a JSONL "
                           "checkpoint so a killed sweep can resume")
@@ -282,7 +306,10 @@ def _cmd_synthesize(args) -> int:
                                mip_rel_gap=args.mip_gap),
             options=SolveOptions(deadline_s=args.deadline,
                                  max_retries=args.max_retries,
-                                 presolve=args.presolve),
+                                 presolve=args.presolve,
+                                 warm_start=args.warm_start,
+                                 lazy_cuts=args.lazy_cuts,
+                                 portfolio=args.portfolio),
         )
     except AnalysisError as exc:
         _print_analysis_failure(exc)
@@ -366,7 +393,10 @@ def _cmd_localize(args) -> int:
             channel=instance.channel, k_star=args.k_star,
             options=SolveOptions(deadline_s=args.deadline,
                                  max_retries=args.max_retries,
-                                 presolve=args.presolve),
+                                 presolve=args.presolve,
+                                 warm_start=args.warm_start,
+                                 lazy_cuts=args.lazy_cuts,
+                                 portfolio=args.portfolio),
         )
     except AnalysisError as exc:
         _print_analysis_failure(exc)
@@ -509,6 +539,9 @@ def _cmd_kstar(args) -> int:
                 deadline_s=args.deadline,
                 max_retries=args.max_retries,
                 presolve=args.presolve,
+                warm_start=args.warm_start,
+                lazy_cuts=args.lazy_cuts,
+                portfolio=args.portfolio,
                 checkpoint=args.checkpoint,
                 resume=bool(args.resume and args.checkpoint),
             ),

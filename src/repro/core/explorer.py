@@ -130,6 +130,22 @@ class ExplorerBase(abc.ABC):
         original variable space before decoding, and the
         :class:`~repro.analysis.presolve.PresolveReport` rides on
         ``SynthesisResult.diagnostics``.
+    warm_start:
+        Compute the greedy primal heuristic's feasible incumbent
+        (:mod:`repro.accel.warmstart`) before each solve and hand it to
+        the backend through ``Model.hints["warm_start"]`` (forward-
+        mapped through presolve when that is armed).  Setting the
+        :attr:`warm_start_architecture` attribute additionally lets a
+        caller (the kstar ladder) seed the heuristic with a previous
+        incumbent's topology.
+    lazy_cuts:
+        Solve through the :class:`~repro.accel.lazy.LazyCutSolver`
+        resolve loop: the big-M link-quality rows are deferred and only
+        violated ones are separated back in, round by round.
+    portfolio:
+        Race the anytime tabu synthesizer against the exact solve
+        (:mod:`repro.accel.portfolio`); explorers whose problems carry
+        no candidate pools fall back to the plain exact solve.
     """
 
     def __init__(
@@ -141,6 +157,9 @@ class ExplorerBase(abc.ABC):
         cache: EncodeCache | None = None,
         analyze: bool = True,
         presolve: str = "off",
+        warm_start: bool = False,
+        lazy_cuts: bool = False,
+        portfolio: bool = False,
     ) -> None:
         self.template = template
         self.library = library
@@ -148,6 +167,12 @@ class ExplorerBase(abc.ABC):
         self.cache = cache
         self.analyze = analyze
         self.presolve = presolve
+        self.warm_start = warm_start
+        self.lazy_cuts = lazy_cuts
+        self.portfolio = portfolio
+        #: Optional previous incumbent whose topology seeds the greedy
+        #: heuristic (the kstar ladder chains rungs through this).
+        self.warm_start_architecture: Architecture | None = None
 
     def fingerprint(self) -> str:
         """A short stable hash of the problem identity (template,
@@ -287,11 +312,13 @@ class ExplorerBase(abc.ABC):
         With presolve active the backend sees the reduced model and the
         assignment is restored to the original variable space before it
         reaches any decode handle.  A presolve infeasibility proof
-        short-circuits the backend entirely.
+        short-circuits the backend entirely.  The acceleration layer
+        hooks in here: a greedy warm start lands on the solved model's
+        hints, ``lazy_cuts`` wraps the backend in the resolve loop, and
+        ``portfolio`` races the tabu synthesizer against the exact
+        solve.
         """
-        if built.presolve is None:
-            return self.solver.solve(built.model)
-        if built.presolve.proved_infeasible:
+        if built.presolve is not None and built.presolve.proved_infeasible:
             return Solution(
                 status=SolveStatus.INFEASIBLE,
                 message=(
@@ -299,8 +326,73 @@ class ExplorerBase(abc.ABC):
                     f"{built.presolve.report.infeasible_reason}"
                 ),
             )
-        reduced = self.solver.solve(built.presolve.model)
-        return built.presolve.postsolve.restore(reduced)
+        warm = None
+        if self.warm_start or self.portfolio:
+            from repro.accel.warmstart import (
+                attach_warm_start,
+                compute_warm_start,
+            )
+
+            warm = compute_warm_start(
+                built, architecture=self.warm_start_architecture
+            )
+            if warm is not None and self.warm_start:
+                attach_warm_start(built.model, warm)
+                if built.presolve is not None:
+                    forwarded = built.presolve.postsolve.forward(warm.x)
+                    if forwarded is not None:
+                        built.presolve.model.hints["warm_start"] = {
+                            "x": forwarded,
+                            "objective": warm.objective,
+                            "source": warm.source,
+                        }
+        solver = self.solver
+        if self.lazy_cuts:
+            from repro.accel.lazy import LazyCutSolver
+
+            solver = LazyCutSolver(solver)
+
+        def run_exact() -> Solution:
+            if built.presolve is None:
+                return solver.solve(built.model)
+            reduced = solver.solve(built.presolve.model)
+            return built.presolve.postsolve.restore(reduced)
+
+        if self.portfolio:
+            synthesizer = self._make_synthesizer(built, warm)
+            if synthesizer is not None:
+                from repro.accel.portfolio import race_portfolio
+
+                return race_portfolio(
+                    run_exact,
+                    synthesizer,
+                    assignment_of=lambda arch: self._assignment_solution(
+                        built, arch
+                    ),
+                )
+        return run_exact()
+
+    def _make_synthesizer(self, built: BuiltProblem, warm):
+        """The anytime synthesizer raced by the portfolio, or ``None``
+        when this explorer's problems give it nothing to search over
+        (no candidate pools)."""
+        return None
+
+    def _assignment_solution(self, built: BuiltProblem, architecture):
+        """Lift a synthesizer architecture into a full model assignment
+        via the restricted solve (``None`` when that fails)."""
+        from repro.accel.warmstart import compute_warm_start
+
+        warm = compute_warm_start(built, architecture=architecture)
+        if warm is None:
+            return None
+        return Solution(
+            status=SolveStatus.FEASIBLE,
+            objective=warm.objective,
+            x=warm.x,
+            solve_time=warm.seconds,
+            mip_gap=float("inf"),
+        )
 
     def _decode(
         self, solution: Solution, built: BuiltProblem
@@ -345,15 +437,48 @@ class DataCollectionExplorer(ExplorerBase):
         cache: EncodeCache | None = None,
         analyze: bool = True,
         presolve: str = "off",
+        warm_start: bool = False,
+        lazy_cuts: bool = False,
+        portfolio: bool = False,
     ) -> None:
         super().__init__(
             template, library, solver=solver, cache=cache,
-            analyze=analyze, presolve=presolve,
+            analyze=analyze, presolve=presolve, warm_start=warm_start,
+            lazy_cuts=lazy_cuts, portfolio=portfolio,
         )
         self.requirements = requirements
         self.encoder = encoder or ApproximatePathEncoder(k_star=10)
         self.channel = channel
         self.reach_k_star = reach_k_star
+
+    def _make_synthesizer(self, built: BuiltProblem, warm):
+        """The tabu synthesizer over this problem's candidate pools.
+
+        Seeded with the greedy warm start's topology when one exists, so
+        the racer's first incumbent is available almost immediately.
+        """
+        if built.encoding is None or not built.encoding.selection:
+            return None
+        from repro.accel.tabu import TabuSynthesizer
+
+        initial = None
+        if warm is not None:
+            initial = decode_architecture(
+                Solution(
+                    status=SolveStatus.FEASIBLE,
+                    objective=warm.objective,
+                    x=warm.x,
+                ),
+                built, self.template, self.library,
+            )
+        return TabuSynthesizer(
+            self.template,
+            self.library,
+            self.requirements,
+            built.encoding.selection,
+            channel=self.channel,
+            initial=initial,
+        )
 
     @property
     def encoder_name(self) -> str:
@@ -441,10 +566,14 @@ class AnchorPlacementExplorer(ExplorerBase):
         cache: EncodeCache | None = None,
         analyze: bool = True,
         presolve: str = "off",
+        warm_start: bool = False,
+        lazy_cuts: bool = False,
+        portfolio: bool = False,
     ) -> None:
         super().__init__(
             template, library, solver=solver, cache=cache,
-            analyze=analyze, presolve=presolve,
+            analyze=analyze, presolve=presolve, warm_start=warm_start,
+            lazy_cuts=lazy_cuts, portfolio=portfolio,
         )
         self.requirement = requirement
         self.channel = channel

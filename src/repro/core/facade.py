@@ -52,6 +52,9 @@ def build_explorer(
     reach_k_star: int = 20,
     cache: EncodeCache | None = None,
     presolve: str = "off",
+    warm_start: bool = False,
+    lazy_cuts: bool = False,
+    portfolio: bool = False,
 ) -> ExplorerBase:
     """The right explorer for ``requirements``.
 
@@ -71,6 +74,8 @@ def build_explorer(
             template, library, requirements, channel,
             k_star=20 if k_star is None else k_star,
             solver=solver, cache=cache, presolve=presolve,
+            warm_start=warm_start, lazy_cuts=lazy_cuts,
+            portfolio=portfolio,
         )
     if isinstance(requirements, RequirementSet):
         if encoder is None:
@@ -83,6 +88,8 @@ def build_explorer(
             template, library, requirements,
             encoder=encoder, solver=solver, channel=channel,
             reach_k_star=reach_k_star, cache=cache, presolve=presolve,
+            warm_start=warm_start, lazy_cuts=lazy_cuts,
+            portfolio=portfolio,
         )
     raise TypeError(
         f"requirements must be a RequirementSet or a "
@@ -159,7 +166,8 @@ def explore(
         template, library, requirements,
         encoder=encoder, solver=solver, channel=channel,
         k_star=k_star, reach_k_star=reach_k_star, cache=cache,
-        presolve=opts.presolve,
+        presolve=opts.presolve, warm_start=opts.warm_start,
+        lazy_cuts=opts.lazy_cuts, portfolio=opts.portfolio,
     )
     single = isinstance(objective, (str, dict, ObjectiveSpec))
     objectives = [objective] if single else list(objective)

@@ -223,6 +223,7 @@ def kstar_search(
     if opts.cache is False:
         cache = None
     presolve = opts.presolve
+    accel = (opts.warm_start, opts.lazy_cuts, opts.portfolio)
     ladder = tuple(ladder)
     with span(
         "kstar.search",
@@ -245,6 +246,7 @@ def kstar_search(
             checkpoint=checkpoint,
             resume=resume,
             presolve=presolve,
+            accel=accel,
         )
         search_span.set_attributes(
             stop_reason=result.stop_reason,
@@ -269,6 +271,7 @@ def _kstar_search_impl(
     checkpoint: str | Path | None,
     resume: bool,
     presolve: str = "off",
+    accel: tuple[bool, bool, bool] = (False, False, False),
 ) -> KStarSearchResult:
     ckpt: Checkpoint | None = None
     restored: dict[int, KStarTrial] = {}
@@ -324,7 +327,7 @@ def _kstar_search_impl(
             Trial(
                 _solve_rung,
                 (make_explorer, k, objective, cache, budget, retry,
-                 presolve),
+                 presolve, accel),
                 label=f"kstar:K={k}",
             )
             for k in pending
@@ -354,6 +357,12 @@ def _kstar_search_impl(
 
         def sequential() -> Iterator[KStarTrial]:
             nonlocal deadline_hit
+            # Sequential rungs chain incumbents: each rung's feasible
+            # architecture seeds the next rung's warm start (the K*-pool
+            # only grows along the ladder, so the previous design stays
+            # expressible).  Parallel rungs race concurrently and cannot
+            # chain.
+            previous = None
             for k in ladder:
                 if k in restored:
                     yield restored[k]
@@ -361,10 +370,12 @@ def _kstar_search_impl(
                 if budget is not None and budget.expired:
                     deadline_hit = True
                     return
-                yield checkpointed(
-                    _solve_rung(make_explorer, k, objective, cache,
-                                budget, retry, presolve)
-                )
+                trial = _solve_rung(make_explorer, k, objective, cache,
+                                    budget, retry, presolve, accel,
+                                    previous_architecture=previous)
+                if trial.result.feasible:
+                    previous = getattr(trial.result, "architecture", None)
+                yield checkpointed(trial)
 
         trials = sequential()
     result = scan_ladder(
@@ -395,13 +406,26 @@ def _solve_rung(
     budget: DeadlineBudget | None = None,
     retry: RetryPolicy | None = None,
     presolve: str = "off",
+    accel: tuple[bool, bool, bool] = (False, False, False),
+    previous_architecture=None,
 ) -> KStarTrial:
+    warm_start, lazy_cuts, portfolio = accel
     with span("kstar.rung", k=k) as rung_span:
         explorer = make_explorer(k)
         if cache is not None and getattr(explorer, "cache", None) is None:
             explorer.cache = cache
         if presolve != "off" and getattr(explorer, "presolve", "off") == "off":
             explorer.presolve = presolve
+        if warm_start and not getattr(explorer, "warm_start", False):
+            explorer.warm_start = True
+        if lazy_cuts and not getattr(explorer, "lazy_cuts", False):
+            explorer.lazy_cuts = True
+        if portfolio and not getattr(explorer, "portfolio", False):
+            explorer.portfolio = True
+        if previous_architecture is not None and (
+            warm_start or portfolio
+        ):
+            explorer.warm_start_architecture = previous_architecture
         if budget is not None or retry is not None:
             explorer.solver = _resilient(explorer.solver, budget, retry)
         trial = KStarTrial(k_star=k, result=explorer.solve(objective))

@@ -77,6 +77,17 @@ class SolveOptions:
     #: ``"off"`` (default), ``"reduce"`` (transformations only) or
     #: ``"full"`` (transformations + symmetry breaking).
     presolve: str = "off"
+    #: Seed every exact solve with the greedy primal heuristic's
+    #: feasible topology (:mod:`repro.accel`); in the kstar ladder each
+    #: rung additionally reuses the previous rung's incumbent.
+    warm_start: bool = False
+    #: Solve through the lazy-constraint loop: link-quality rows are
+    #: deferred, violated ones separated and re-added round by round.
+    lazy_cuts: bool = False
+    #: Race the anytime tabu synthesizer against the exact solve and
+    #: take the first acceptable incumbent (the exact result still wins
+    #: when it finishes in time).
+    portfolio: bool = False
 
     def __post_init__(self) -> None:
         if self.presolve not in ("off", "reduce", "full"):

@@ -222,10 +222,21 @@ def explore_pareto(
 
     original_solver = explorer.solver
     original_presolve = getattr(explorer, "presolve", "off")
+    original_accel = (
+        getattr(explorer, "warm_start", False),
+        getattr(explorer, "lazy_cuts", False),
+        getattr(explorer, "portfolio", False),
+    )
     if budget is not None or retry is not None:
         explorer.solver = _resilient(original_solver, budget, retry)
     if opts.presolve != "off" and original_presolve == "off":
         explorer.presolve = opts.presolve
+    if opts.warm_start:
+        explorer.warm_start = True
+    if opts.lazy_cuts:
+        explorer.lazy_cuts = True
+    if opts.portfolio:
+        explorer.portfolio = True
     try:
         with span(
             "pareto.sweep",
@@ -245,6 +256,8 @@ def explore_pareto(
     finally:
         explorer.solver = original_solver
         explorer.presolve = original_presolve
+        (explorer.warm_start, explorer.lazy_cuts,
+         explorer.portfolio) = original_accel
 
 
 def _resilient(

@@ -25,9 +25,14 @@ only for edges that occur in some candidate.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
-from repro.encoding.base import Edge, EncodingError, RoutingEncoder, RoutingEncoding
+from repro.encoding.base import (
+    Edge,
+    EncodingError,
+    RoutingEncoder,
+    RoutingEncoding,
+    SelectionBlock,
+)
 from repro.graph.api import k_shortest_paths, resolve_backend
 from repro.graph.digraph import DiGraph
 from repro.graph.disjoint import max_disjoint_subset, minimally_disjoint_path
@@ -161,13 +166,6 @@ def _pool_sufficient(pool: list[CandidatePath], req: RouteRequirement) -> bool:
     return len(max_disjoint_subset([p.nodes for p in pool])) >= req.replicas
 
 
-@dataclass
-class _RequirementBlock:
-    req: RouteRequirement
-    pool: list[CandidatePath]
-    pick: list[Var]
-
-
 class ApproximatePathEncoder(RoutingEncoder):
     """The compact encoding over Yen-generated candidate paths.
 
@@ -247,7 +245,7 @@ class ApproximatePathEncoder(RoutingEncoder):
             graph, graph_key = self._working_graph(template, cache, stats)
             sparse, sparse_key = self._sparsified(graph, graph_key, cache, stats)
         yen_on = self._yen_routine(cache, stats, timings)
-        blocks: list[_RequirementBlock] = []
+        blocks: list[SelectionBlock] = []
         edge_uses: dict[Edge, list[Var]] = {}
         path_var_count = 0
 
@@ -280,7 +278,7 @@ class ApproximatePathEncoder(RoutingEncoder):
             for path, var in zip(pool, pick):
                 for edge in path.edges:
                     edge_uses.setdefault(edge, []).append(var)
-            blocks.append(_RequirementBlock(req, pool, pick))
+            blocks.append(SelectionBlock(req, pool, pick))
 
         edge_active = {
             (u, v): model.binary(f"e[{u},{v}]") for (u, v) in edge_uses
@@ -290,6 +288,7 @@ class ApproximatePathEncoder(RoutingEncoder):
             edge_uses=edge_uses,
             path_var_count=path_var_count,
             _decoder=lambda sol: _decode(sol, blocks),
+            selection=blocks,
         )
         self._wire_topology_consistency(model, template, node_used, encoding)
         return encoding
@@ -366,7 +365,7 @@ class ApproximatePathEncoder(RoutingEncoder):
                 )
 
 
-def _decode(solution: Solution, blocks: list[_RequirementBlock]) -> list[Route]:
+def _decode(solution: Solution, blocks: list[SelectionBlock]) -> list[Route]:
     routes: list[Route] = []
     for block in blocks:
         selected = [

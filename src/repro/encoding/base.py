@@ -26,11 +26,28 @@ from collections.abc import Callable
 from repro.milp.expr import Var, lin_sum
 from repro.milp.model import Model
 from repro.milp.solution import Solution
+from repro.network.paths import CandidatePath
 from repro.network.requirements import RouteRequirement
 from repro.network.template import Template
 from repro.network.topology import Route
 
 Edge = tuple[int, int]
+
+
+@dataclass
+class SelectionBlock:
+    """One requirement's candidate pool and its selection variables.
+
+    Only the approximate encoder fills these (the full encoding has no
+    enumerated pool to select from).  They are the structural handle the
+    acceleration layer needs: the greedy primal heuristic picks pool
+    members directly, and the tabu synthesizer's "reroute" move swaps a
+    route for another pool candidate.
+    """
+
+    req: RouteRequirement
+    pool: list[CandidatePath]
+    pick: list[Var]
 
 
 class EncodingError(Exception):
@@ -51,6 +68,9 @@ class RoutingEncoding:
     #: Number of path-structure variables created (paper's complexity metric).
     path_var_count: int = 0
     _decoder: Callable[[Solution], list[Route]] | None = None
+    #: Per-requirement candidate pools (approximate encoding only; empty
+    #: for the full encoding).  Consumed by :mod:`repro.accel`.
+    selection: list[SelectionBlock] = field(default_factory=list)
 
     @property
     def encoded_edges(self) -> list[Edge]:

@@ -30,6 +30,7 @@ from scipy.optimize import linprog
 
 from repro.milp.model import Model, StandardForm
 from repro.milp.solution import Solution, SolveStatus
+from repro.milp.validate import check_assignment, coerce_start
 from repro.resilience.faults import fires, maybe_fire
 from repro.telemetry.progress import SolveProgress
 from repro.telemetry.trace import span
@@ -189,6 +190,52 @@ class BranchAndBoundSolver:
         nodes_explored = 0
         best_bound = float(root.fun)
 
+        # A warm start (Model.hints["warm_start"]) seeds the incumbent
+        # and therefore the pruning bound — but only after it passes a
+        # full feasibility check, so a bad hint costs nothing but the
+        # head start it promised.
+        warm_info: dict[str, Any] | None = None
+        warm_payload = model.hints.get("warm_start")
+        if warm_payload is not None:
+            warm_x = coerce_start(warm_payload, len(form.c))
+            if warm_x is None:
+                warm_info = {
+                    "status": "rejected",
+                    "reason": "malformed payload (expected {'x': vector})",
+                }
+            else:
+                check = check_assignment(form, warm_x)
+                source = str(warm_payload.get("source", "hint"))
+                if check.ok:
+                    incumbent_x = warm_x.copy()
+                    if len(int_idx):
+                        incumbent_x[int_idx] = np.round(incumbent_x[int_idx])
+                    incumbent_obj = check.objective
+                    warm_info = {
+                        "status": "accepted",
+                        "source": source,
+                        "objective": incumbent_obj + constant,
+                    }
+                    progress.incumbent(
+                        0, incumbent_obj + constant,
+                        bound=best_bound + constant,
+                    )
+                    if hint_bound is not None and incumbent_obj <= (
+                        hint_bound
+                        + self.mip_rel_gap * max(1.0, abs(incumbent_obj))
+                    ):
+                        # Warm start already meets the proven lower
+                        # bound: optimal without exploring a node.
+                        best_bound = max(best_bound, hint_bound)
+                        heap.clear()
+                else:
+                    warm_info = {
+                        "status": "rejected",
+                        "source": source,
+                        "reason": check.reason,
+                        "max_violation": check.max_violation,
+                    }
+
         while heap:
             if self.time_limit is not None and (
                 time.perf_counter() - start > self.time_limit
@@ -198,13 +245,21 @@ class BranchAndBoundSolver:
                 break
             node = heapq.heappop(heap)
             best_bound = node.bound
-            if node.bound >= incumbent_obj - abs(incumbent_obj) * self.mip_rel_gap:
+            # The gap reference is max(1, |incumbent|), not |incumbent|:
+            # at incumbent_obj == 0 a purely relative term vanishes and
+            # the search would grind through every open node whose bound
+            # rounds to zero (same convention as the hint-bound stop
+            # below and scipy's mip_rel_gap handling).
+            prune_at = incumbent_obj - self.mip_rel_gap * max(
+                1.0, abs(incumbent_obj)
+            )
+            if node.bound >= prune_at:
                 continue
             res = lp(node.lower, node.upper)
             nodes_explored += 1
             if res.status != 0:
                 continue  # infeasible subproblem
-            if res.fun >= incumbent_obj - abs(incumbent_obj) * self.mip_rel_gap:
+            if res.fun >= prune_at:
                 continue
             x = np.asarray(res.x)
             frac = np.abs(x[int_idx] - np.round(x[int_idx]))
@@ -258,6 +313,8 @@ class BranchAndBoundSolver:
         extra: dict[str, Any] = {
             "incumbent_trajectory": progress.trajectory()
         }
+        if warm_info is not None:
+            extra["warm_start"] = warm_info
         if incumbent_x is None:
             if heap or nodes_explored >= self.node_limit:
                 return Solution(SolveStatus.TIMEOUT, solve_time=elapsed,

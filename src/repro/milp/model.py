@@ -15,7 +15,9 @@ because the paper's Tables 3-4 report them directly.
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 import numpy.typing as npt
@@ -62,11 +64,20 @@ class Model:
         self._constraints: list[Constraint] = []
         self._objective = LinExpr()
         self._names_seen: set[str] = set()
-        #: Advisory facts proven about the model by static analysis —
-        #: e.g. presolve stores ``objective_lower_bound`` (a valid lower
-        #: bound on the minimized objective, in user space).  Backends
-        #: may exploit hints but must stay correct ignoring them.
-        self.hints: dict[str, float] = {}
+        #: Advisory facts attached to the model by analysis passes —
+        #: backends may exploit hints but must stay correct ignoring
+        #: them, and must re-validate anything a hint claims.  Known keys:
+        #:
+        #: ``objective_lower_bound`` (float)
+        #:     Proven lower bound on the minimized objective, in user
+        #:     space (presolve writes this).
+        #: ``warm_start`` (dict)
+        #:     A candidate assignment over *this* model's variable space:
+        #:     ``{"x": sequence of len(variables) floats,
+        #:     "objective": float (user space), "source": str}``.
+        #:     Backends must check it against bounds, integrality and
+        #:     all rows before adopting it as an incumbent.
+        self.hints: dict[str, Any] = {}
 
     # -- variables -----------------------------------------------------------
 
@@ -194,6 +205,31 @@ class Model:
             if var.name == name:
                 return var
         raise KeyError(f"no variable named {name!r}")
+
+    def relaxed_copy(
+        self, defer: "Callable[[Constraint], bool]",
+    ) -> "tuple[Model, list[Constraint]]":
+        """A working copy without the rows selected by ``defer``.
+
+        The copy shares this model's variable handles (immutable, same
+        index space) and objective, and starts from a snapshot of its
+        hints; its constraint list holds only the rows ``defer`` did
+        *not* select.  The deferred rows are returned so a lazy-cut loop
+        can separate violated ones and :meth:`add` them back — their
+        variable indices stay valid in the copy.
+        """
+        clone = Model(f"{self.name}:relaxed")
+        clone._vars = list(self._vars)
+        clone._names_seen = set(self._names_seen)
+        clone._objective = self._objective
+        clone.hints = dict(self.hints)
+        deferred: list[Constraint] = []
+        for constraint in self._constraints:
+            if defer(constraint):
+                deferred.append(constraint)
+            else:
+                clone._constraints.append(constraint)
+        return clone, deferred
 
     # -- assembly --------------------------------------------------------------
 

@@ -1,0 +1,119 @@
+"""The lazy-constraint resolve loop (exactness and annotations)."""
+
+import pytest
+
+from repro.accel import LazyCutSolver
+from repro.core.explorer import DataCollectionExplorer
+from repro.encoding.approximate import ApproximatePathEncoder
+from repro.library import default_catalog
+from repro.milp import HighsSolver, Model, SolveStatus, lin_sum
+from repro.network import (
+    LinkQualityRequirement,
+    RequirementSet,
+    small_grid_template,
+)
+
+
+def conflict_model(n=6, demand=3):
+    """Cover ``demand`` of ``n`` binaries; ``lq[..]`` rows forbid
+    adjacent pairs, so the relaxation's cheap picks get separated."""
+    m = Model("lazy-test")
+    xs = [m.binary(f"x{i}") for i in range(n)]
+    m.add(lin_sum(xs) >= demand, "pick:count")
+    for i in range(n - 1):
+        m.add(xs[i] + xs[i + 1] <= 1, f"lq[{i},{i + 1}]:snr")
+    m.minimize(lin_sum([(i + 1) * x for i, x in enumerate(xs)]))
+    return m
+
+
+class TestResolveLoop:
+    def test_matches_the_cold_solve_exactly(self):
+        cold = HighsSolver().solve(conflict_model())
+        lazy = LazyCutSolver(HighsSolver()).solve(conflict_model())
+        assert lazy.status is SolveStatus.OPTIMAL
+        assert lazy.objective == pytest.approx(cold.objective)
+
+    def test_annotation_records_the_rounds(self):
+        sol = LazyCutSolver(HighsSolver()).solve(conflict_model())
+        info = sol.extra["lazy_cuts"]
+        assert info["families"] == ["lq["]
+        assert len(info["rounds"]) >= 1
+        # The adjacency rows do bind here, so at least one separation
+        # round must have added cuts.
+        assert info["cuts_added"] >= 1
+        # The last round's incumbent is clean: nothing left violated.
+        assert info["rounds"][-1]["violated"] == 0
+
+    def test_no_deferred_rows_is_a_plain_solve(self):
+        m = Model()
+        x = m.binary("x")
+        m.add(x >= 1, "pin")
+        m.minimize(x)
+        sol = LazyCutSolver(HighsSolver()).solve(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert "lazy_cuts" not in sol.extra
+
+    def test_infeasibility_detected_through_the_loop(self):
+        # Relaxation feasible, full model not: the loop must keep
+        # separating until the added rows prove infeasibility.
+        m = conflict_model(n=4, demand=3)  # 3 of 4 with no adjacency: no
+        sol = LazyCutSolver(HighsSolver()).solve(m)
+        assert sol.status is SolveStatus.INFEASIBLE
+
+    def test_round_cap_backstop_stays_exact(self):
+        cold = HighsSolver().solve(conflict_model())
+        capped = LazyCutSolver(HighsSolver(), max_rounds=1)
+        sol = capped.solve(conflict_model())
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(cold.objective)
+        # The backstop round re-adds everything still deferred.
+        assert sol.extra["lazy_cuts"]["still_deferred"] == 0
+
+    def test_with_time_limit_returns_a_configured_copy(self):
+        solver = LazyCutSolver(HighsSolver(), max_rounds=3, tol=1e-5,
+                               min_deferred_fraction=0.25)
+        clipped = solver.with_time_limit(1.5)
+        assert clipped is not solver
+        assert clipped.max_rounds == 3
+        assert clipped.tol == 1e-5
+        assert clipped.min_deferred_fraction == 0.25
+        assert clipped.solver.time_limit == 1.5
+
+    def test_sliver_of_deferrable_rows_skips_the_loop(self):
+        # One lq row among many others: each separation round would cost
+        # nearly a full solve, so the loop solves intact and says so.
+        m = Model()
+        xs = [m.binary(f"x{i}") for i in range(8)]
+        m.add(lin_sum(xs) >= 4, "pick:count")
+        for i in range(20):
+            m.add(xs[i % 8] + xs[(i + 1) % 8] <= 2, f"pad{i}")
+        m.add(xs[0] + xs[1] <= 1, "lq[0,1]:snr")
+        m.minimize(lin_sum([(i + 1) * x for i, x in enumerate(xs)]))
+        cold = HighsSolver().solve(m)
+        sol = LazyCutSolver(HighsSolver()).solve(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(cold.objective)
+        info = sol.extra["lazy_cuts"]
+        assert "skipped" in info
+        assert info["rounds"] == []
+        assert info["cuts_added"] == 0
+
+
+class TestExplorerIntegration:
+    def test_lazy_cuts_preserve_the_objective(self):
+        instance = small_grid_template(nx=4, ny=3, spacing=8.0)
+        reqs = RequirementSet()
+        for sensor in instance.sensor_ids:
+            reqs.require_route(sensor, instance.sink_id, replicas=2)
+        reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+        cold = DataCollectionExplorer(
+            instance.template, default_catalog(), reqs,
+            encoder=ApproximatePathEncoder(k_star=5),
+        ).solve("cost")
+        lazy = DataCollectionExplorer(
+            instance.template, default_catalog(), reqs,
+            encoder=ApproximatePathEncoder(k_star=5), lazy_cuts=True,
+        ).solve("cost")
+        assert lazy.feasible
+        assert lazy.objective_value == pytest.approx(cold.objective_value)
+        assert "lazy_cuts" in lazy.solution.extra

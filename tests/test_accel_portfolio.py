@@ -1,0 +1,181 @@
+"""The portfolio racer and the merged incumbent trajectory."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.accel import merge_trajectories, race_portfolio
+from repro.accel.tabu import TabuResult
+from repro.core.explorer import DataCollectionExplorer
+from repro.encoding.approximate import ApproximatePathEncoder
+from repro.library import default_catalog
+from repro.milp.solution import Solution, SolveStatus
+from repro.network import (
+    LinkQualityRequirement,
+    RequirementSet,
+    small_grid_template,
+)
+
+
+def event(elapsed_s, incumbent, **extra):
+    return {
+        "kind": "incumbent", "nodes": 0, "incumbent": incumbent,
+        "bound": None, "elapsed_s": elapsed_s, **extra,
+    }
+
+
+class TestMergeTrajectories:
+    def test_two_racing_solvers_merge_monotone_with_sources(self):
+        # The satellite contract: when two solvers race, the merged
+        # curve is monotone non-increasing and every event carries the
+        # label of the solver that actually produced it.
+        merged = merge_trajectories({
+            "tabu": [event(0.001, 140.0), event(0.004, 120.0),
+                     event(0.030, 118.0)],
+            "exact": [event(0.010, 125.0), event(0.020, 100.0)],
+        })
+        incumbents = [e["incumbent"] for e in merged]
+        assert incumbents == [140.0, 120.0, 100.0]
+        assert [e["source"] for e in merged] == ["tabu", "tabu", "exact"]
+        elapsed = [e["elapsed_s"] for e in merged]
+        assert elapsed == sorted(elapsed)
+
+    def test_non_improving_events_are_dropped(self):
+        merged = merge_trajectories({
+            "a": [event(0.1, 10.0), event(0.2, 10.0), event(0.3, 12.0)],
+        })
+        assert [e["incumbent"] for e in merged] == [10.0]
+
+    def test_pre_existing_source_label_wins(self):
+        merged = merge_trajectories({
+            "outer": [event(0.1, 5.0, source="inner")],
+        })
+        assert merged[0]["source"] == "inner"
+
+    def test_non_incumbent_and_empty_events_ignored(self):
+        merged = merge_trajectories({
+            "a": [{"kind": "done", "elapsed_s": 0.5},
+                  event(0.1, None), event(0.2, 3.0)],
+        })
+        assert [e["incumbent"] for e in merged] == [3.0]
+
+
+class FakeSynthesizer:
+    name = "tabu"
+
+    def __init__(self, result, wait_for_stop=False):
+        self.result = result
+        self.wait_for_stop = wait_for_stop
+        self.stop_seen = threading.Event()
+
+    def synthesize(self, *, stop=None, progress=None):
+        if self.wait_for_stop and stop is not None:
+            while not stop():
+                pass
+            self.stop_seen.set()
+        return self.result
+
+
+def tabu_result(objective=120.0, feasible=True):
+    return TabuResult(
+        architecture=object() if feasible else None,
+        objective=objective if feasible else float("inf"),
+        feasible=feasible,
+        iterations=10,
+        trajectory=[event(0.001, objective, source="tabu")] if feasible
+        else [],
+        first_incumbent_s=0.001 if feasible else None,
+    )
+
+
+class TestRacePortfolio:
+    def test_exact_wins_when_at_least_as_good(self):
+        exact_solution = Solution(
+            status=SolveStatus.OPTIMAL, objective=100.0,
+            x=np.zeros(1), solve_time=0.01,
+        )
+
+        def slow_exact():
+            # Slower than the tabu incumbent at 1 ms, so time-to-first-
+            # incumbent is the tabu side's.
+            time.sleep(0.05)
+            return exact_solution
+
+        synth = FakeSynthesizer(tabu_result(120.0), wait_for_stop=True)
+        sol = race_portfolio(slow_exact, synth)
+        assert synth.stop_seen.is_set()  # the stop signal reached tabu
+        assert sol.objective == pytest.approx(100.0)
+        meta = sol.extra["portfolio"]
+        assert meta["winner"] == "exact"
+        assert meta["first_incumbent_source"] == "tabu"
+        assert meta["first_incumbent_s"] == pytest.approx(0.001)
+
+    def test_exact_crash_degrades_to_the_tabu_incumbent(self):
+        def exploding():
+            raise RuntimeError("backend died")
+
+        sol = race_portfolio(
+            exploding, FakeSynthesizer(tabu_result(120.0))
+        )
+        assert sol.status is SolveStatus.FEASIBLE
+        assert sol.objective == pytest.approx(120.0)
+        assert sol.extra["portfolio"]["winner"] == "tabu"
+        assert sol.extra["portfolio"]["exact_status"] == "error"
+        assert "tabu_architecture" in sol.extra
+
+    def test_tabu_win_lifted_into_an_assignment(self):
+        lifted = Solution(
+            status=SolveStatus.FEASIBLE, objective=120.0, x=np.ones(3),
+        )
+        sol = race_portfolio(
+            lambda: Solution(status=SolveStatus.TIMEOUT),
+            FakeSynthesizer(tabu_result(120.0)),
+            assignment_of=lambda arch: lifted,
+        )
+        assert sol is lifted
+        assert sol.x is not None
+        assert sol.extra["portfolio"]["winner"] == "tabu"
+
+    def test_both_sides_empty_is_the_exact_status(self):
+        sol = race_portfolio(
+            lambda: Solution(status=SolveStatus.INFEASIBLE),
+            FakeSynthesizer(tabu_result(feasible=False)),
+        )
+        assert sol.status is SolveStatus.INFEASIBLE
+        assert sol.extra["portfolio"]["winner"] == "none"
+
+    def test_terminal_incumbent_synthesized_for_quiet_backends(self):
+        # A backend without progress callbacks still contributes one
+        # terminal event, so the merged curve always ends at the final
+        # objective.
+        exact_solution = Solution(
+            status=SolveStatus.OPTIMAL, objective=90.0, x=np.zeros(1),
+        )
+        sol = race_portfolio(
+            lambda: exact_solution, FakeSynthesizer(tabu_result(120.0))
+        )
+        trajectory = sol.extra["incumbent_trajectory"]
+        assert trajectory[-1]["incumbent"] == pytest.approx(90.0)
+        assert trajectory[-1]["source"] == "exact"
+
+
+class TestExplorerIntegration:
+    def test_portfolio_returns_a_feasible_design(self):
+        instance = small_grid_template(nx=4, ny=3, spacing=8.0)
+        reqs = RequirementSet()
+        for sensor in instance.sensor_ids:
+            reqs.require_route(sensor, instance.sink_id, replicas=2)
+        reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+        result = DataCollectionExplorer(
+            instance.template, default_catalog(), reqs,
+            encoder=ApproximatePathEncoder(k_star=5), portfolio=True,
+        ).solve("cost")
+        assert result.feasible
+        meta = result.solution.extra["portfolio"]
+        assert meta["winner"] in ("exact", "tabu")
+        trajectory = result.solution.extra["incumbent_trajectory"]
+        incumbents = [e["incumbent"] for e in trajectory]
+        assert incumbents == sorted(incumbents, reverse=True)
+        assert {e["source"] for e in trajectory} <= {"tabu", "exact"}

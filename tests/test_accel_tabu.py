@@ -1,0 +1,98 @@
+"""The anytime tabu synthesizer (feasibility, determinism, anytime)."""
+
+import pytest
+
+from repro.accel import TabuSynthesizer
+from repro.core.explorer import DataCollectionExplorer
+from repro.encoding.approximate import ApproximatePathEncoder
+from repro.library import default_catalog
+from repro.milp import HighsSolver, SolveStatus
+from repro.network import (
+    LinkQualityRequirement,
+    RequirementSet,
+    small_grid_template,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    instance = small_grid_template(nx=4, ny=3, spacing=8.0)
+    reqs = RequirementSet()
+    for sensor in instance.sensor_ids:
+        reqs.require_route(sensor, instance.sink_id, replicas=2,
+                           disjoint=True)
+    reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+    return instance, reqs
+
+
+@pytest.fixture(scope="module")
+def built(problem):
+    instance, reqs = problem
+    explorer = DataCollectionExplorer(
+        instance.template, default_catalog(), reqs,
+        encoder=ApproximatePathEncoder(k_star=5),
+    )
+    return explorer.build("cost")
+
+
+def make_tabu(problem, built, **kwargs):
+    instance, reqs = problem
+    kwargs.setdefault("max_iters", 120)
+    return TabuSynthesizer(
+        instance.template, default_catalog(), reqs,
+        built.encoding.selection, **kwargs,
+    )
+
+
+class TestSearch:
+    def test_finds_a_validator_clean_design(self, problem, built):
+        from repro.validation.checker import validate
+
+        _, reqs = problem
+        result = make_tabu(problem, built).synthesize()
+        assert result.feasible
+        assert validate(result.architecture, reqs).ok
+        assert result.objective == pytest.approx(
+            result.architecture.dollar_cost
+        )
+
+    def test_never_beats_the_exact_optimum(self, problem, built):
+        exact = HighsSolver().solve(built.model)
+        assert exact.status is SolveStatus.OPTIMAL
+        result = make_tabu(problem, built).synthesize()
+        assert result.objective >= exact.objective - 1e-6
+
+    def test_deterministic_under_seed(self, problem, built):
+        a = make_tabu(problem, built, seed=7).synthesize()
+        b = make_tabu(problem, built, seed=7).synthesize()
+        assert a.objective == pytest.approx(b.objective)
+        assert a.iterations == b.iterations
+
+    def test_trajectory_is_monotone_and_tabu_tagged(self, problem, built):
+        result = make_tabu(problem, built).synthesize()
+        assert result.trajectory
+        incumbents = [e["incumbent"] for e in result.trajectory]
+        assert incumbents == sorted(incumbents, reverse=True)
+        assert all(e["source"] == "tabu" for e in result.trajectory)
+        assert result.first_incumbent_s is not None
+
+    def test_stop_callable_halts_the_search(self, problem, built):
+        result = make_tabu(problem, built).synthesize(stop=lambda: True)
+        assert result.iterations <= 1
+
+    def test_initial_architecture_seeds_the_search(self, problem, built):
+        seeded = make_tabu(problem, built).synthesize()
+        again = make_tabu(
+            problem, built, initial=seeded.architecture, max_iters=1,
+        ).synthesize()
+        # One iteration from the seeded state is already feasible at no
+        # worse an objective than the seed itself.
+        assert again.feasible
+        assert again.objective <= seeded.objective + 1e-9
+
+    def test_empty_selection_is_refused(self, problem):
+        instance, reqs = problem
+        with pytest.raises(ValueError, match="candidate pools"):
+            TabuSynthesizer(
+                instance.template, default_catalog(), reqs, [],
+            )

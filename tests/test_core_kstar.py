@@ -167,3 +167,53 @@ class TestScanLadderStopRules:
 
         scan_ladder(rungs())
         assert solved == [1, 3]
+
+
+class TestIncumbentChaining:
+    """Sequential rungs hand their architecture to the next rung."""
+
+    def test_sequential_rungs_chain_the_previous_architecture(self, problem):
+        seen = []
+        factory = make_factory(problem)
+
+        def recording_factory(k):
+            explorer = factory(k)
+            seen.append(explorer)
+            return explorer
+
+        result = kstar_search(
+            recording_factory, ladder=(1, 3, 5),
+            options=SolveOptions(warm_start=True),
+        )
+        assert result.best is not None
+        # The first rung starts cold; every later rung was seeded with
+        # the previous rung's feasible architecture.
+        assert seen[0].warm_start_architecture is None
+        for explorer, previous in zip(seen[1:], result.trials):
+            if previous.result.feasible:
+                assert explorer.warm_start_architecture is (
+                    previous.result.architecture
+                )
+
+    def test_chained_objectives_match_the_cold_ladder(self, problem):
+        ladder = (1, 3, 5)
+        cold = kstar_search(make_factory(problem), ladder=ladder)
+        warm = kstar_search(
+            make_factory(problem), ladder=ladder,
+            options=SolveOptions(warm_start=True),
+        )
+        assert [t.objective for t in warm.trials] == pytest.approx(
+            [t.objective for t in cold.trials]
+        )
+
+    def test_no_chaining_without_the_accel_flags(self, problem):
+        seen = []
+        factory = make_factory(problem)
+
+        def recording_factory(k):
+            explorer = factory(k)
+            seen.append(explorer)
+            return explorer
+
+        kstar_search(recording_factory, ladder=(1, 3))
+        assert all(e.warm_start_architecture is None for e in seen)

@@ -111,3 +111,32 @@ class TestCorrectnessDetails:
         assert BranchAndBoundSolver().solve(m).status == (
             SolveStatus.INFEASIBLE
         )
+
+
+class TestPruningTolerance:
+    def test_zero_incumbent_gap_floor_still_prunes(self):
+        # A relative gap scaled by |incumbent| is a no-op once the
+        # incumbent objective is exactly 0; the max(1.0, |incumbent|)
+        # floor keeps a coarse-gap solve able to prune the tree.
+        m = Model()
+        zs = [m.integer(f"z{i}", -1, 1) for i in range(8)]
+        m.add(lin_sum([2 * z for z in zs]) >= -1)  # LP bound -0.5
+        m.minimize(lin_sum(zs))  # integer optimum 0
+        m.hints["warm_start"] = {
+            "x": [0.0] * 8, "objective": 0.0, "source": "test",
+        }
+        sol = BranchAndBoundSolver(mip_rel_gap=0.6).solve(m)
+        assert sol.extra["warm_start"]["status"] == "accepted"
+        assert sol.objective == pytest.approx(0.0)
+        # prune_at = 0 - 0.6 * max(1, 0) = -0.6 swallows the -0.5 root
+        # bound, so the hinted incumbent closes the tree immediately.
+        assert sol.node_count == 0
+
+    def test_zero_optimum_still_exact_at_default_gap(self):
+        m = Model()
+        zs = [m.integer(f"z{i}", -1, 1) for i in range(4)]
+        m.add(lin_sum([2 * z for z in zs]) >= -1)
+        m.minimize(lin_sum(zs))
+        sol = BranchAndBoundSolver().solve(m)
+        assert sol.status == SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(0.0)

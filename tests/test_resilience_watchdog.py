@@ -292,3 +292,45 @@ class TestIntegration:
         assert payload["attempts"] == 1
         assert payload["retries"] == 0
         assert payload["attempt_log"][0]["solver"] == "highs"
+
+
+class TestWarmStartDegradation:
+    def _hinted_model(self):
+        m = Model(name="degrade-test")
+        x = m.binary("x")
+        m.add(x >= 1, "pin")
+        m.minimize(2 * x)
+        m.hints["warm_start"] = {
+            "x": [1.0], "objective": 2.0, "source": "greedy",
+        }
+        return m
+
+    def test_exhausted_chain_degrades_to_the_warm_start(self):
+        clock = FakeClock()
+        solver, _ = make_solver(
+            [RuntimeError("1")], clock, retry=NO_RETRY,
+        )
+        solution = solver.solve(self._hinted_model())
+        assert solution.status is SolveStatus.FEASIBLE
+        assert solution.objective == pytest.approx(2.0)
+        assert solution.extra["degraded_to_warm_start"] is True
+        assert "greedy" in solution.message
+        assert solution.extra["solve_attempts"][-1].degraded
+
+    def test_stale_hint_never_degrades_to_a_wrong_answer(self):
+        clock = FakeClock()
+        solver, _ = make_solver(
+            [RuntimeError("1")], clock, retry=NO_RETRY,
+        )
+        m = self._hinted_model()
+        m.hints["warm_start"]["x"] = [0.0]  # violates the pinned row
+        solution = solver.solve(m)
+        assert solution.status is SolveStatus.ERROR
+
+    def test_no_hint_keeps_the_statusonly_failure(self):
+        clock = FakeClock()
+        solver, _ = make_solver(
+            [RuntimeError("1")], clock, retry=NO_RETRY,
+        )
+        solution = solver.solve(model())
+        assert solution.status is SolveStatus.ERROR

@@ -57,6 +57,15 @@ from repro.core.results import SynthesisResult
 from repro.encoding.approximate import ApproximatePathEncoder
 from repro.encoding.base import EncodingError
 from repro.encoding.full import FullPathEncoder
+from repro.failures import (
+    FailurePattern,
+    FailuresSpec,
+    SurvivabilityReport,
+    generate_patterns,
+    parse_failures_spec,
+    robust_solve,
+    verify_patterns,
+)
 from repro.library.catalog import Library, default_catalog, localization_catalog
 from repro.library.components import Device, device
 from repro.milp.branch_and_bound import BranchAndBoundSolver
@@ -118,6 +127,8 @@ __all__ = [
     "EncodeCache",
     "EncodingError",
     "ExplorerBase",
+    "FailurePattern",
+    "FailuresSpec",
     "FaultError",
     "FaultPlan",
     "FullPathEncoder",
@@ -147,6 +158,7 @@ __all__ = [
     "SolveFailure",
     "SolveOptions",
     "SolveStatus",
+    "SurvivabilityReport",
     "SynthesisResult",
     "TabuSynthesizer",
     "TdmaConfig",
@@ -166,17 +178,21 @@ __all__ = [
     "device",
     "explore",
     "explore_pareto",
+    "generate_patterns",
     "injected_faults",
     "kstar_search",
     "load_architecture",
     "localization_catalog",
     "localization_template",
+    "parse_failures_spec",
     "race_portfolio",
     "result_from_dict",
     "result_to_dict",
+    "robust_solve",
     "save_architecture",
     "small_grid_template",
     "synthetic_template",
     "validate",
+    "verify_patterns",
     "__version__",
 ]

@@ -9,6 +9,9 @@ components and a floor plan"; this CLI is that front door:
 * ``lint``      — pre-solve static analysis of a spec file (no solving);
 * ``catalog``    — print the component library;
 * ``kstar``      — run the K* trade-off sweep of Section 4.3;
+* ``verify-failures`` — sweep a saved design against failure patterns
+  (k-link/k-node combinations, wall and region outages — see
+  docs/failures.md);
 * ``serve``      — run the HTTP job service (see docs/service.md).
 
 Every synthesis command accepts ``--stats-json`` to emit the runtime
@@ -107,6 +110,19 @@ def _add_accel_args(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_failures_arg(command: argparse.ArgumentParser) -> None:
+    """The shared ``--failures`` spec flag (see docs/failures.md)."""
+    command.add_argument(
+        "--failures", metavar="SPEC",
+        help="failure-pattern spec arming failure-aware synthesis, e.g. "
+             "'k-link:1,walls' (families: k-link:K, k-node:K, walls, "
+             "regions; options: seed:N, max:N, rounds:N, worst:N); the "
+             "solve then verifies every pattern and re-solves with "
+             "survivability rows for the worst violated ones "
+             "(see docs/failures.md)",
+    )
+
+
 def _add_telemetry_args(command: argparse.ArgumentParser) -> None:
     """The shared ``--trace``/``--metrics`` flags (see repro.telemetry)."""
     command.add_argument(
@@ -156,6 +172,18 @@ def _build_parser() -> argparse.ArgumentParser:
                           "watchdog; see docs/robustness.md)")
     _add_presolve_arg(syn)
     _add_accel_args(syn)
+    _add_failures_arg(syn)
+    syn.add_argument("--checkpoint", type=Path, metavar="FILE",
+                     help="with --failures: persist each verified failure "
+                          "pattern to a JSONL checkpoint so a killed "
+                          "verification sweep can resume")
+    syn.add_argument("--resume", action="store_true",
+                     help="with --failures: replay pattern verdicts "
+                          "recorded in --checkpoint instead of "
+                          "re-verifying them")
+    syn.add_argument("--parallel", type=int, default=1,
+                     help="with --failures: verify patterns concurrently "
+                          "through the batch runner")
     _add_telemetry_args(syn)
 
     loc = sub.add_parser("localize", help="anchor-placement synthesis")
@@ -229,6 +257,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(enables the solver watchdog)")
     _add_presolve_arg(kst)
     _add_accel_args(kst)
+    _add_failures_arg(kst)
     kst.add_argument("--checkpoint", type=Path, metavar="FILE",
                      help="persist each completed rung to a JSONL "
                           "checkpoint so a killed sweep can resume")
@@ -236,6 +265,37 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="replay rungs recorded in --checkpoint instead "
                           "of re-solving them")
     _add_telemetry_args(kst)
+
+    vf = sub.add_parser(
+        "verify-failures",
+        help="sweep a synthesized design (JSON) against failure patterns",
+    )
+    vf.add_argument("design", type=Path,
+                    help="JSON design from synthesize --json-out")
+    vf.add_argument("--failures", required=True, metavar="SPEC",
+                    help="failure-pattern spec, e.g. 'k-link:1,walls' "
+                         "(see docs/failures.md)")
+    vf.add_argument("--spec", type=Path,
+                    help="pattern-language spec naming the route "
+                         "requirements to verify (default: built-in)")
+    vf.add_argument("--floorplan", type=Path,
+                    help="SVG floor plan for the wall/region families "
+                         "(default: built-in office floor)")
+    vf.add_argument("--parallel", type=int, default=1,
+                    help="verify patterns concurrently through the batch "
+                         "runner")
+    vf.add_argument("--deadline", type=float, metavar="SECONDS",
+                    help="wall-clock budget for the whole sweep")
+    vf.add_argument("--checkpoint", type=Path, metavar="FILE",
+                    help="persist each verified pattern to a JSONL "
+                         "checkpoint so a killed sweep can resume")
+    vf.add_argument("--resume", action="store_true",
+                    help="replay pattern verdicts recorded in "
+                         "--checkpoint instead of re-verifying them")
+    vf.add_argument("--stats-json", type=Path,
+                    help="write the survivability report as JSON; "
+                         "'-' for stdout")
+    _add_telemetry_args(vf)
 
     srv = sub.add_parser(
         "serve", help="run the HTTP job service (docs/service.md)"
@@ -288,6 +348,10 @@ def _print_result_diagnostics(result) -> None:
 
 
 def _cmd_synthesize(args) -> int:
+    if (args.checkpoint or args.resume) and not args.failures:
+        print("--checkpoint/--resume need --failures: synthesize only "
+              "checkpoints the failure verification sweep")
+        return 1
     if args.floorplan:
         plan = floorplan_from_svg(args.floorplan.read_text())
     else:
@@ -309,13 +373,36 @@ def _cmd_synthesize(args) -> int:
                                  presolve=args.presolve,
                                  warm_start=args.warm_start,
                                  lazy_cuts=args.lazy_cuts,
-                                 portfolio=args.portfolio),
+                                 portfolio=args.portfolio,
+                                 failures=args.failures,
+                                 parallel=args.parallel,
+                                 checkpoint=(
+                                     str(args.checkpoint)
+                                     if args.checkpoint else None
+                                 ),
+                                 resume=bool(args.resume
+                                             and args.checkpoint)),
+            plan=instance.plan,
         )
     except AnalysisError as exc:
         _print_analysis_failure(exc)
         return 1
+    except CheckpointError as exc:
+        print(f"checkpoint: {exc}")
+        return 1
+    except FaultError as exc:
+        # Injected kill (REPRO_FAULTS failures.drop): verified patterns
+        # are already on disk, so a --resume run replays them.
+        print(f"aborted by injected fault: {exc}")
+        if args.checkpoint:
+            print(f"checkpoint saved: {args.checkpoint} (rerun with "
+                  f"--resume to continue)")
+        return 3
     print(f"status:  {result.status.value}")
     print(f"model:   {result.model_stats}")
+    if result.survivability_score is not None:
+        print(f"survivability: {result.survivability_score:.1%} "
+              f"worst-pattern coverage")
     _emit_stats(result.stats_dict(), args.stats_json)
     if not result.feasible:
         _print_result_diagnostics(result)
@@ -542,6 +629,7 @@ def _cmd_kstar(args) -> int:
                 warm_start=args.warm_start,
                 lazy_cuts=args.lazy_cuts,
                 portfolio=args.portfolio,
+                failures=args.failures,
                 checkpoint=args.checkpoint,
                 resume=bool(args.resume and args.checkpoint),
             ),
@@ -576,6 +664,77 @@ def _cmd_kstar(args) -> int:
     return 0
 
 
+def _cmd_verify_failures(args) -> int:
+    """Sweep a saved design against a failure-pattern spec (no solving).
+
+    Exit codes: 0 = every pattern survived, 1 = input/checkpoint error,
+    2 = violated patterns found, 3 = injected-fault abort (checkpoint
+    intact; rerun with ``--resume``).
+    """
+    from repro.failures import generate_patterns, verify_patterns
+    from repro.io import load_architecture
+    from repro.resilience.checkpoint import problem_fingerprint
+    from repro.resilience.policy import DeadlineBudget
+
+    arch = load_architecture(args.design, default_catalog())
+    spec_text = args.spec.read_text() if args.spec else DEFAULT_SPEC
+    compiled = compile_spec(spec_text, arch.template)
+    if args.floorplan:
+        plan = floorplan_from_svg(args.floorplan.read_text())
+    else:
+        # The saved design does not embed its floor plan; geometric
+        # families need --floorplan, combinatorial ones do not.
+        plan = None
+    try:
+        patterns = generate_patterns(args.failures, arch.template, plan)
+    except ValueError as exc:
+        print(f"failures: {exc}")
+        return 1
+    budget = (
+        DeadlineBudget(args.deadline) if args.deadline is not None else None
+    )
+    try:
+        report = verify_patterns(
+            arch, compiled.requirements, patterns,
+            parallel=args.parallel,
+            budget=budget,
+            checkpoint=args.checkpoint,
+            resume=bool(args.resume and args.checkpoint),
+            problem=problem_fingerprint(
+                arch.template, compiled.requirements
+            ),
+        )
+    except CheckpointError as exc:
+        print(f"checkpoint: {exc}")
+        return 1
+    except FaultError as exc:
+        # Injected kill (REPRO_FAULTS failures.drop): verified patterns
+        # are already on disk, so a --resume run replays them.
+        print(f"aborted by injected fault: {exc}")
+        if args.checkpoint:
+            print(f"checkpoint saved: {args.checkpoint} (rerun with "
+                  f"--resume to continue)")
+        return 3
+    print(f"patterns: {len(report.results)} verified "
+          f"({report.restored_count} replayed from checkpoint)")
+    print(f"coverage: worst {report.worst_coverage:.1%}, "
+          f"mean {report.mean_coverage:.1%}")
+    for result in report.critical_patterns[:10]:
+        pairs = ", ".join(f"{s}->{d}" for s, d in result.disconnected_pairs)
+        print(f"  !! {result.pattern_id} ({result.family} {result.label}) "
+              f"disconnects {pairs}")
+    extra = len(report.critical_patterns) - 10
+    if extra > 0:
+        print(f"  ... ({extra} more)")
+    if report.survived_all:
+        print("verdict: every pattern survived")
+    else:
+        print(f"verdict: {len(report.critical_patterns)} pattern(s) "
+              f"violated (try synthesize --failures to re-solve robustly)")
+    _emit_stats({"kind": "failures", **report.to_dict()}, args.stats_json)
+    return 0 if report.survived_all else 2
+
+
 def _cmd_serve(args) -> int:
     from repro.server import SynthesisService
     from repro.server.http import serve as serve_http
@@ -608,6 +767,7 @@ def main(argv: list[str] | None = None) -> int:
         "catalog": _cmd_catalog,
         "kstar": _cmd_kstar,
         "simulate": _cmd_simulate,
+        "verify-failures": _cmd_verify_failures,
         "serve": _cmd_serve,
     }
     trace_path = getattr(args, "trace", None)

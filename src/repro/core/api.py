@@ -119,8 +119,15 @@ class JobRequest:
 
     @property
     def resumable(self) -> bool:
-        """Whether this job's sweep can resume from a checkpoint."""
-        return self.kind in ("kstar", "pareto")
+        """Whether this job's sweep can resume from a checkpoint.
+
+        Ladder and front sweeps always are; a synthesize job is when a
+        failures spec is set (the checkpoint then covers the failure
+        verification sweep, not the solve itself).
+        """
+        if self.kind in ("kstar", "pareto"):
+            return True
+        return self.kind == "synthesize" and self.options.failures is not None
 
     def to_dict(self) -> dict:
         return {
@@ -219,6 +226,9 @@ class JobRequest:
             ),
             cache=cache,
             options=opts,
+            # The instance's floor plan feeds the geometric failure
+            # families when options.failures asks for walls/regions.
+            plan=instance.plan,
         )
 
     def _run_localize(
@@ -297,6 +307,7 @@ class JobRequest:
         explorer = build_explorer(
             instance.template, default_catalog(), reqs,
             k_star=int(p.get("k_star", 5)), cache=cache,
+            plan=instance.plan,
         )
         return explore_pareto(
             explorer,

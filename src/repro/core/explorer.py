@@ -173,6 +173,19 @@ class ExplorerBase(abc.ABC):
         #: Optional previous incumbent whose topology seeds the greedy
         #: heuristic (the kstar ladder chains rungs through this).
         self.warm_start_architecture: Architecture | None = None
+        #: Failure-pattern spec (``"k-link:1,walls"``-style string or a
+        #: :class:`~repro.failures.patterns.FailuresSpec`); when set,
+        #: :meth:`solve` runs failure-aware synthesis through
+        #: :func:`repro.failures.robust.robust_solve`.
+        self.failures = None
+        #: Floor plan for geometric failure families (walls/regions).
+        self.floorplan = None
+        #: JSONL checkpoint path for the verification sweep, and whether
+        #: to replay completed verdicts from it.
+        self.failures_checkpoint: str | None = None
+        self.failures_resume: bool = False
+        #: Worker count for the verification sweep's batch fan-out.
+        self.failures_parallel: int = 1
 
     def fingerprint(self) -> str:
         """A short stable hash of the problem identity (template,
@@ -262,7 +275,18 @@ class ExplorerBase(abc.ABC):
     def solve(
         self, objective: str | dict | ObjectiveSpec = "cost",
     ) -> SynthesisResult:
-        """Build, solve and decode in one call."""
+        """Build, solve and decode in one call.
+
+        With :attr:`failures` set, the call is delegated to the
+        failure-aware loop: solve, sweep the decoded design against the
+        enumerated failure patterns, add survivability rows for the
+        worst violated ones and re-solve to a fixpoint
+        (:mod:`repro.failures.robust`).
+        """
+        if self.failures is not None:
+            from repro.failures.robust import robust_solve
+
+            return robust_solve(self, objective)
         with span(
             "explorer.solve", explorer=type(self).__name__
         ) as solve_span:

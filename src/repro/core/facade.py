@@ -55,6 +55,8 @@ def build_explorer(
     warm_start: bool = False,
     lazy_cuts: bool = False,
     portfolio: bool = False,
+    failures: str | None = None,
+    plan=None,
 ) -> ExplorerBase:
     """The right explorer for ``requirements``.
 
@@ -63,7 +65,18 @@ def build_explorer(
     ``channel``; a :class:`~repro.network.requirements.RequirementSet`
     describes a data-collection problem (optionally dual-use, when it
     carries a reachability requirement of its own).
+
+    ``failures`` arms failure-aware synthesis on the returned explorer
+    (see :mod:`repro.failures`); ``plan`` supplies the floor plan its
+    geometric pattern families (walls/regions) enumerate against.
     """
+    if failures is not None and isinstance(
+        requirements, ReachabilityRequirement
+    ):
+        raise ValueError(
+            "failure-aware synthesis needs route requirements; "
+            "anchor-placement problems have no routes to protect"
+        )
     if isinstance(requirements, ReachabilityRequirement):
         if channel is None:
             raise ValueError(
@@ -84,13 +97,16 @@ def build_explorer(
             )
         elif k_star is not None:
             raise ValueError("pass either encoder= or k_star=, not both")
-        return DataCollectionExplorer(
+        explorer = DataCollectionExplorer(
             template, library, requirements,
             encoder=encoder, solver=solver, channel=channel,
             reach_k_star=reach_k_star, cache=cache, presolve=presolve,
             warm_start=warm_start, lazy_cuts=lazy_cuts,
             portfolio=portfolio,
         )
+        explorer.failures = failures
+        explorer.floorplan = plan
+        return explorer
     raise TypeError(
         f"requirements must be a RequirementSet or a "
         f"ReachabilityRequirement, got {type(requirements).__name__}"
@@ -113,6 +129,7 @@ def explore(
     timeout_s: float | None = None,
     budget: DeadlineBudget | None = None,
     options: SolveOptions | None = None,
+    plan=None,
     **legacy,
 ) -> SynthesisResult | list[SynthesisResult]:
     """Synthesize an architecture (or several) for a problem.
@@ -146,12 +163,26 @@ def explore(
     whose trial runs out of deadline (or never starts because the budget
     is spent) degrades gracefully to an infeasible ``TIMEOUT`` result in
     its slot rather than raising; any other trial failure is re-raised.
+
+    ``options.failures`` arms failure-aware synthesis: each solve runs
+    the verify-then-robust-re-solve loop over the enumerated failure
+    patterns (``plan`` supplies the floor plan for the geometric
+    families) and its result carries a ``survivability_score``; with a
+    failures spec, ``options.checkpoint``/``resume`` make the
+    verification sweep resumable (see docs/failures.md).
     """
     opts = resolve_options(options, legacy, where="explore()")
-    if opts.checkpoint is not None or opts.resume:
+    if (opts.checkpoint is not None or opts.resume) and opts.failures is None:
         raise ValueError(
-            "explore() does not checkpoint single solves; use "
-            "kstar_search() or explore_pareto() for resumable sweeps"
+            "explore() only checkpoints failure-verification sweeps "
+            "(options.failures); use kstar_search() or explore_pareto() "
+            "for resumable solve sweeps"
+        )
+    single = isinstance(objective, (str, dict, ObjectiveSpec))
+    if opts.checkpoint is not None and not single:
+        raise ValueError(
+            "a failures checkpoint covers one objective's sweep; pass a "
+            "single objective (or drop options.checkpoint)"
         )
     parallel = opts.parallel
     if cache is None and opts.cache:
@@ -168,8 +199,12 @@ def explore(
         k_star=k_star, reach_k_star=reach_k_star, cache=cache,
         presolve=opts.presolve, warm_start=opts.warm_start,
         lazy_cuts=opts.lazy_cuts, portfolio=opts.portfolio,
+        failures=opts.failures, plan=plan,
     )
-    single = isinstance(objective, (str, dict, ObjectiveSpec))
+    if opts.failures is not None:
+        explorer.failures_checkpoint = opts.checkpoint
+        explorer.failures_resume = opts.resume
+        explorer.failures_parallel = opts.parallel
     objectives = [objective] if single else list(objective)
     if not objectives:
         raise ValueError("need at least one objective")

@@ -224,6 +224,7 @@ def kstar_search(
         cache = None
     presolve = opts.presolve
     accel = (opts.warm_start, opts.lazy_cuts, opts.portfolio)
+    failures = opts.failures
     ladder = tuple(ladder)
     with span(
         "kstar.search",
@@ -247,6 +248,7 @@ def kstar_search(
             resume=resume,
             presolve=presolve,
             accel=accel,
+            failures=failures,
         )
         search_span.set_attributes(
             stop_reason=result.stop_reason,
@@ -272,6 +274,7 @@ def _kstar_search_impl(
     resume: bool,
     presolve: str = "off",
     accel: tuple[bool, bool, bool] = (False, False, False),
+    failures: str | None = None,
 ) -> KStarSearchResult:
     ckpt: Checkpoint | None = None
     restored: dict[int, KStarTrial] = {}
@@ -327,7 +330,7 @@ def _kstar_search_impl(
             Trial(
                 _solve_rung,
                 (make_explorer, k, objective, cache, budget, retry,
-                 presolve, accel),
+                 presolve, accel, failures),
                 label=f"kstar:K={k}",
             )
             for k in pending
@@ -372,6 +375,7 @@ def _kstar_search_impl(
                     return
                 trial = _solve_rung(make_explorer, k, objective, cache,
                                     budget, retry, presolve, accel,
+                                    failures,
                                     previous_architecture=previous)
                 if trial.result.feasible:
                     previous = getattr(trial.result, "architecture", None)
@@ -407,6 +411,7 @@ def _solve_rung(
     retry: RetryPolicy | None = None,
     presolve: str = "off",
     accel: tuple[bool, bool, bool] = (False, False, False),
+    failures: str | None = None,
     previous_architecture=None,
 ) -> KStarTrial:
     warm_start, lazy_cuts, portfolio = accel
@@ -416,6 +421,10 @@ def _solve_rung(
             explorer.cache = cache
         if presolve != "off" and getattr(explorer, "presolve", "off") == "off":
             explorer.presolve = presolve
+        if failures is not None and getattr(explorer, "failures", None) is None:
+            # Every rung solves failure-aware; the rung's own floorplan
+            # (set by make_explorer) feeds the geometric families.
+            explorer.failures = failures
         if warm_start and not getattr(explorer, "warm_start", False):
             explorer.warm_start = True
         if lazy_cuts and not getattr(explorer, "lazy_cuts", False):

@@ -88,6 +88,12 @@ class SolveOptions:
     #: take the first acceptable incumbent (the exact result still wins
     #: when it finishes in time).
     portfolio: bool = False
+    #: Failure-pattern spec for failure-aware synthesis, e.g.
+    #: ``"k-link:1,walls"`` (grammar in
+    #: :func:`repro.failures.parse_failures_spec`).  When set, every
+    #: synthesis solve runs the verify-then-robust-re-solve loop and the
+    #: result carries a ``survivability_score``; see docs/failures.md.
+    failures: str | None = None
 
     def __post_init__(self) -> None:
         if self.presolve not in ("off", "reduce", "full"):
@@ -103,6 +109,12 @@ class SolveOptions:
             raise ValueError("parallel must be positive")
         if self.resume and self.checkpoint is None:
             raise ValueError("resume=True needs a checkpoint path")
+        if self.failures is not None:
+            # Fail at construction, not mid-solve: the spec grammar is
+            # cheap to check and typo'd specs are the common error.
+            from repro.failures.patterns import parse_failures_spec
+
+            parse_failures_spec(self.failures)
         # Path objects are accepted for convenience; normalize so the
         # frozen value is wire-ready.
         if isinstance(self.checkpoint, Path):

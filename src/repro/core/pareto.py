@@ -227,6 +227,7 @@ def explore_pareto(
         getattr(explorer, "lazy_cuts", False),
         getattr(explorer, "portfolio", False),
     )
+    original_failures = getattr(explorer, "failures", None)
     if budget is not None or retry is not None:
         explorer.solver = _resilient(original_solver, budget, retry)
     if opts.presolve != "off" and original_presolve == "off":
@@ -237,6 +238,10 @@ def explore_pareto(
         explorer.lazy_cuts = True
     if opts.portfolio:
         explorer.portfolio = True
+    if opts.failures is not None and original_failures is None:
+        # Every front point solves failure-aware; the explorer's own
+        # floorplan attribute feeds the geometric families.
+        explorer.failures = opts.failures
     try:
         with span(
             "pareto.sweep",
@@ -258,6 +263,7 @@ def explore_pareto(
         explorer.presolve = original_presolve
         (explorer.warm_start, explorer.lazy_cuts,
          explorer.portfolio) = original_accel
+        explorer.failures = original_failures
 
 
 def _resilient(
@@ -419,6 +425,8 @@ def _solve_budget(
     budget: float,
 ) -> ParetoPoint | None:
     """One epsilon-constraint solve: min primary s.t. secondary <= budget."""
+    if getattr(explorer, "failures", None) is not None:
+        return _solve_budget_robust(explorer, primary, secondary, budget)
     with span("pareto.point", budget=budget) as point_span:
         stats = RunStats()
         with stats.timings.phase("encode"):
@@ -454,6 +462,36 @@ def _solve_budget(
         return ParetoPoint(
             primary=terms[primary],
             secondary=terms[secondary],
+            secondary_budget=budget,
+            result=result,
+        )
+
+
+def _solve_budget_robust(
+    explorer: ExplorerBase,
+    primary: str,
+    secondary: str,
+    budget: float,
+) -> ParetoPoint | None:
+    """The epsilon-constraint solve under failure-aware synthesis: the
+    robust re-solve loop runs with the secondary budget row in the model
+    from the first round, so every front point is pattern-survivable."""
+    from repro.failures.robust import robust_solve
+
+    with span("pareto.point", budget=budget, failures=True) as point_span:
+        result = robust_solve(
+            explorer, primary,
+            mutate=lambda built: built.model.add(
+                built.objective_exprs[secondary] <= budget * (1 + 1e-9),
+                name=f"pareto:{secondary}_budget",
+            ),
+        )
+        point_span.set_attribute("status", result.status.name)
+        if not result.feasible:
+            return None
+        return ParetoPoint(
+            primary=result.objective_terms[primary],
+            secondary=result.objective_terms[secondary],
             secondary_budget=budget,
             result=result,
         )

@@ -35,6 +35,12 @@ class SynthesisResult:
     #: Per-attempt log of the resilient solve (empty when the solver was
     #: not wrapped in a :class:`~repro.resilience.watchdog.ResilientSolver`).
     solve_attempts: list[SolveAttempt] = field(default_factory=list)
+    #: Worst-pattern coverage from failure-aware synthesis (``None``
+    #: unless a failures spec drove the solve; ``1.0`` = every enumerated
+    #: failure pattern leaves every route requirement served).  The full
+    #: per-pattern report rides ``diagnostics`` under rule id
+    #: ``failures.survivability``.
+    survivability_score: float | None = None
 
     @property
     def degraded(self) -> bool:
@@ -102,6 +108,10 @@ class SynthesisResult:
         }
         if self.feasible:
             payload["objective"] = self.objective_value
+        if self.survivability_score is not None:
+            payload["survivability_score"] = round(
+                self.survivability_score, 6
+            )
         if self.run_stats is not None:
             payload.update(self.run_stats.to_dict())
         if self.diagnostics:

@@ -1,0 +1,177 @@
+"""Survivability reporting: per-pattern verdicts and the aggregate score.
+
+A :class:`PatternResult` is one pattern's verdict against one decoded
+architecture; a :class:`SurvivabilityReport` aggregates a sweep —
+worst/mean coverage, the critical patterns, robust re-solve round count
+and per-pattern timings.  The report serializes to a plain dict so it
+rides :class:`~repro.core.results.SynthesisResult` diagnostics, the
+``--stats-json`` payload and the server wire format unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class PatternResult:
+    """One failure pattern's verdict against one architecture."""
+
+    pattern_id: str
+    family: str
+    label: str
+    #: Every route requirement kept at least one intact, link-quality-
+    #: clean replica under the pattern.
+    survived: bool
+    #: Fraction of required (source, dest) pairs still served.
+    coverage: float
+    #: Pairs that lost every replica, sorted.
+    disconnected_pairs: list[tuple[int, int]] = field(default_factory=list)
+    #: Human-readable violation notes (which replica died and why).
+    violations: list[str] = field(default_factory=list)
+    seconds: float = 0.0
+    #: Replayed from a checkpoint instead of re-verified.
+    restored: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        """The checkpoint/report record for this verdict."""
+        payload: dict[str, Any] = {
+            "pattern_id": self.pattern_id,
+            "family": self.family,
+            "label": self.label,
+            "survived": self.survived,
+            "coverage": round(self.coverage, 6),
+            "seconds": round(self.seconds, 6),
+        }
+        if self.disconnected_pairs:
+            payload["disconnected_pairs"] = [
+                list(pair) for pair in self.disconnected_pairs
+            ]
+        if self.violations:
+            payload["violations"] = list(self.violations)
+        if self.restored:
+            payload["restored"] = True
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> PatternResult:
+        """Rebuild a verdict from :meth:`to_dict` output (checkpoint
+        replay marks it ``restored``)."""
+        return cls(
+            pattern_id=str(payload["pattern_id"]),
+            family=str(payload.get("family", "")),
+            label=str(payload.get("label", "")),
+            survived=bool(payload["survived"]),
+            coverage=float(payload["coverage"]),
+            disconnected_pairs=[
+                (int(pair[0]), int(pair[1]))
+                for pair in payload.get("disconnected_pairs", [])
+            ],
+            violations=[str(v) for v in payload.get("violations", [])],
+            seconds=float(payload.get("seconds", 0.0)),
+            restored=bool(payload.get("restored", False)),
+        )
+
+
+@dataclass
+class SurvivabilityReport:
+    """Aggregate of one verification sweep (possibly after re-solving).
+
+    ``score`` — the headline ``survivability_score`` — is the *worst*
+    pattern's coverage: the fraction of required pairs still served
+    under the most damaging enumerated failure.  ``1.0`` means every
+    pattern leaves every requirement served.
+    """
+
+    results: list[PatternResult] = field(default_factory=list)
+    #: Robust re-solve rounds taken (0 = verification only).
+    rounds: int = 0
+    #: Pattern ids no candidate pool can survive (structurally
+    #: uncoverable; the re-solve loop cannot fix these).
+    uncoverable: list[str] = field(default_factory=list)
+
+    @property
+    def survived_all(self) -> bool:
+        """Whether every pattern left every requirement served."""
+        return all(r.survived for r in self.results)
+
+    @property
+    def worst_coverage(self) -> float:
+        """The most damaging pattern's coverage (1.0 when no patterns)."""
+        if not self.results:
+            return 1.0
+        return min(r.coverage for r in self.results)
+
+    @property
+    def mean_coverage(self) -> float:
+        """Average coverage over all patterns (1.0 when no patterns)."""
+        if not self.results:
+            return 1.0
+        return sum(r.coverage for r in self.results) / len(self.results)
+
+    @property
+    def score(self) -> float:
+        """The headline survivability score (= worst coverage)."""
+        return self.worst_coverage
+
+    @property
+    def critical_patterns(self) -> list[PatternResult]:
+        """Violated patterns, most damaging first (ties by id)."""
+        return sorted(
+            (r for r in self.results if not r.survived),
+            key=lambda r: (r.coverage, r.pattern_id),
+        )
+
+    @property
+    def restored_count(self) -> int:
+        """How many verdicts were replayed from a checkpoint."""
+        return sum(1 for r in self.results if r.restored)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall clock spent verifying (restored verdicts cost 0)."""
+        return sum(r.seconds for r in self.results if not r.restored)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready aggregate (diagnostics / ``--stats-json``)."""
+        payload: dict[str, Any] = {
+            "patterns": len(self.results),
+            "survived": sum(1 for r in self.results if r.survived),
+            "violated": sum(1 for r in self.results if not r.survived),
+            "restored": self.restored_count,
+            "worst_coverage": round(self.worst_coverage, 6),
+            "mean_coverage": round(self.mean_coverage, 6),
+            "score": round(self.score, 6),
+            "rounds": self.rounds,
+            "total_seconds": round(self.total_seconds, 6),
+            "critical_patterns": [
+                r.to_dict() for r in self.critical_patterns
+            ],
+            "timings": {
+                r.pattern_id: round(r.seconds, 6)
+                for r in self.results if not r.restored
+            },
+        }
+        if self.uncoverable:
+            payload["uncoverable"] = sorted(self.uncoverable)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> SurvivabilityReport:
+        """Rebuild the *critical-pattern* view of a serialized report.
+
+        Only violated patterns are serialized individually, so the
+        round-trip restores those plus the aggregate counters needed by
+        callers of the wire format (the full per-pattern list lives in
+        the sweep checkpoint, not the report envelope).
+        """
+        report = cls(
+            results=[
+                PatternResult.from_dict(r)
+                for r in payload.get("critical_patterns", [])
+            ],
+            rounds=int(payload.get("rounds", 0)),
+            uncoverable=[str(p) for p in payload.get("uncoverable", [])],
+        )
+        return report

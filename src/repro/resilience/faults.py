@@ -38,6 +38,10 @@ site                      fires inside
 ``kstar.abort``           :func:`repro.core.kstar_search.kstar_search` after
                           a checkpoint record lands — simulates a kill
                           mid-ladder with the checkpoint intact
+``failures.drop``         :func:`repro.failures.sweep.verify_patterns` after
+                          a pattern verdict's checkpoint record lands —
+                          simulates a kill mid-sweep with the checkpoint
+                          intact
 ========================  ====================================================
 """
 
@@ -58,6 +62,7 @@ SITES = (
     "cache.compute",
     "checkpoint.corrupt",
     "kstar.abort",
+    "failures.drop",
 )
 
 ENV_VAR = "REPRO_FAULTS"

@@ -1,110 +1,25 @@
-"""Fault-resiliency analysis of synthesized architectures.
+"""Deprecated shim over :mod:`repro.failures.resiliency`.
 
-The paper motivates disjoint path replicas with "resiliency to network
-faults".  This module quantifies that claim on a decoded design by fault
-injection: remove a node (or link), recompute which route requirements
-still have an intact realized route, and aggregate over all single faults.
+The single-fault resiliency analysis now lives in the failure-pattern
+machinery: every used relay node and active link becomes a one-element
+:class:`~repro.failures.patterns.FailurePattern` and the survival
+predicate is the shared ``kills_route``.  This module keeps the
+historical import path working — same names, same verdicts (the only
+observable change is that ``FaultImpact.disconnected_pairs`` is now in
+deterministic sorted order).
 
-A design synthesized with two link-disjoint replicas per sensor should
-survive any single *link* failure by construction; single *node* failures
-can still be fatal when both replicas share a relay (link-disjointness
-does not imply node-disjointness), which is exactly the kind of insight
-this analysis surfaces.
+Import from :mod:`repro.failures` in new code; for multi-element and
+correlated geometric failures see
+:func:`repro.failures.generate_patterns` and
+:func:`repro.failures.verify_patterns`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.failures.resiliency import (
+    FaultImpact,
+    ResiliencyReport,
+    analyze_resiliency,
+)
 
-from repro.network.requirements import RequirementSet
-from repro.network.topology import Architecture
-
-
-@dataclass
-class FaultImpact:
-    """Consequences of one injected fault."""
-
-    fault: str
-    #: (source, dest) pairs that lost every realized route.
-    disconnected_pairs: list[tuple[int, int]] = field(default_factory=list)
-
-    @property
-    def survived(self) -> bool:
-        """Whether every requirement still has at least one intact route."""
-        return not self.disconnected_pairs
-
-
-@dataclass
-class ResiliencyReport:
-    """Aggregate single-fault analysis."""
-
-    node_faults: dict[int, FaultImpact] = field(default_factory=dict)
-    link_faults: dict[tuple[int, int], FaultImpact] = field(
-        default_factory=dict
-    )
-
-    @property
-    def survives_any_single_link_failure(self) -> bool:
-        """No single link failure disconnects any required pair."""
-        return all(i.survived for i in self.link_faults.values())
-
-    @property
-    def survives_any_single_node_failure(self) -> bool:
-        """No single (non-terminal) node failure disconnects any pair."""
-        return all(i.survived for i in self.node_faults.values())
-
-    @property
-    def critical_nodes(self) -> list[int]:
-        """Nodes whose failure disconnects at least one pair."""
-        return sorted(
-            node for node, impact in self.node_faults.items()
-            if not impact.survived
-        )
-
-    @property
-    def critical_links(self) -> list[tuple[int, int]]:
-        """Links whose failure disconnects at least one pair."""
-        return sorted(
-            link for link, impact in self.link_faults.items()
-            if not impact.survived
-        )
-
-
-def _pairs_with_routes(arch: Architecture) -> dict[tuple[int, int], list]:
-    pairs: dict[tuple[int, int], list] = {}
-    for route in arch.routes:
-        pairs.setdefault((route.source, route.dest), []).append(route)
-    return pairs
-
-
-def analyze_resiliency(
-    arch: Architecture,
-    requirements: RequirementSet | None = None,
-) -> ResiliencyReport:
-    """Single-fault analysis over every used relay node and active link.
-
-    Sources and destinations of required routes are never injected as
-    node faults (losing the sensor loses its data by definition; losing
-    the sink loses the network — neither is a routing-resiliency
-    question).
-    """
-    report = ResiliencyReport()
-    pairs = _pairs_with_routes(arch)
-    terminals = {node for pair in pairs for node in pair}
-
-    for node_id in arch.used_nodes:
-        if node_id in terminals:
-            continue
-        impact = FaultImpact(fault=f"node {node_id}")
-        for pair, routes in pairs.items():
-            if all(node_id in route.nodes for route in routes):
-                impact.disconnected_pairs.append(pair)
-        report.node_faults[node_id] = impact
-
-    for link in sorted(arch.active_edges):
-        impact = FaultImpact(fault=f"link {link}")
-        for pair, routes in pairs.items():
-            if all(link in route.edges for route in routes):
-                impact.disconnected_pairs.append(pair)
-        report.link_faults[link] = impact
-    return report
+__all__ = ["FaultImpact", "ResiliencyReport", "analyze_resiliency"]

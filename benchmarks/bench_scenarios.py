@@ -1,0 +1,235 @@
+"""Incremental what-if re-solve benchmark.
+
+For each case a scenario is cold-solved, a single wall edit is applied,
+and the edited problem is solved twice: from scratch (``cold_resolve`` —
+fresh cache, rebuilt template) and incrementally
+(``prepare_cache`` + ``incremental_resolve`` — transplanted compilation
+plus the base architecture as a warm start).  The incremental time
+*includes* the transplant itself; nothing is amortized away.
+
+The gated cases use registry instances large enough that the Yen
+candidate generation dominates the encode phase (dense relay grids,
+``k_star=24``) — exactly the regime the what-if layer targets.  Both
+gated edits really change the problem (hundreds of re-weighted
+candidate links); reuse comes from the replay certificate, not from an
+edit that touches nothing.
+
+``--quick`` runs the two gated cases and *gates*: non-zero exit when an
+incremental objective differs from the cold one anywhere, or when fewer
+than ``MIN_FAST_FAMILIES`` families clear ``MIN_SPEEDUP``.  The full
+run adds report-only cases (a ``materials`` floor and a
+``moving_target`` localization edit exercising the reachability
+transplant).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py [--quick] [--out PATH]
+
+This module is also imported (not executed) by pytest's benchmark
+collection; it defines no test functions on purpose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _emit import emit_report  # noqa: E402
+
+from repro.runtime import EncodeCache  # noqa: E402
+from repro.scenarios import (  # noqa: E402
+    apply_edits,
+    cold_resolve,
+    default_registry,
+    incremental_resolve,
+    parse_edit,
+    prepare_cache,
+)
+
+#: The acceptance floor: a single-wall what-if must re-solve at least
+#: this much faster than from scratch on at least MIN_FAST_FAMILIES
+#: distinct families.  Exactness is gated unconditionally on every case.
+MIN_SPEEDUP = 2.0
+MIN_FAST_FAMILIES = 2
+#: Objectives must agree across every cold and incremental repeat to
+#: within this tolerance — the MILP is exact, but summation order in
+#: the objective differs between runs by a few ULPs.
+OBJ_TOL = 1e-6
+#: Timings take the best of this many repeats to damp scheduler jitter.
+REPEATS = 3
+
+#: (family, registry name, single-wall edit, gated).  The gated
+#: instances put ~100-150 candidate nodes and K*=24 behind ~36 routes so
+#: Yen dominates; the edits change 100+ candidate-link weights each.
+CASES = [
+    (
+        "multifloor",
+        "multifloor:floors=6,k_star=24,relays_per_floor=16,"
+        "rooms_x=5,sensors_per_floor=6:0",
+        "add-wall:10,3,10,11,concrete",
+        True,
+    ),
+    (
+        "campus",
+        "campus:buildings_x=3,buildings_y=3,k_star=24,"
+        "sensors_per_building=4,street_relays=100:0",
+        "add-wall:2,58,10,58,brick",
+        True,
+    ),
+    (
+        "materials",
+        "materials:height=60,k_star=24,relays=60,rooms_x=8,"
+        "sensors=16,width=80:0",
+        "add-wall:70,45,78,45,glass",
+        False,
+    ),
+    (
+        "moving_target",
+        "moving_target::0",
+        "add-wall:20,2,20,20,concrete",
+        False,
+    ),
+]
+
+
+def _case(family: str, name: str, edit_text: str, gated: bool) -> dict:
+    scenario = default_registry().generate(name)
+    edited, deltas = apply_edits(scenario, (parse_edit(edit_text),))
+
+    cold_s = float("inf")
+    objectives: list[float] = []
+    feasible = True
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        cold = cold_resolve(edited)
+        cold_s = min(cold_s, time.perf_counter() - start)
+        objectives.append(cold.objective_value)
+        feasible = feasible and cold.feasible
+
+    inc_s = float("inf")
+    info: dict = {}
+    for _ in range(REPEATS):
+        # Each repeat re-runs the whole what-if transaction: base solve
+        # populates the cache, then transplant + warm-started re-solve.
+        # Only the post-edit work is timed; the transplant is included.
+        cache = EncodeCache()
+        base = scenario.explore(cache=cache)
+        start = time.perf_counter()
+        info = prepare_cache(scenario, edited, deltas, cache)
+        incremental = incremental_resolve(
+            scenario, edited, deltas,
+            previous=base.architecture, cache=cache,
+        )
+        inc_s = min(inc_s, time.perf_counter() - start)
+        objectives.append(incremental.objective_value)
+        feasible = feasible and incremental.feasible
+
+    return {
+        "name": f"{family}_wall_edit",
+        "family": family,
+        "scenario": name,
+        "edit": edit_text,
+        "gated": gated,
+        "nodes": len(scenario.template.nodes),
+        "changed_edges": len(deltas[0].changed_edges),
+        "cold_s": cold_s,
+        "incremental_s": inc_s,
+        "speedup": cold_s / inc_s if inc_s > 0 else float("inf"),
+        "cold_objective": objectives[0],
+        "incremental_objective": objectives[-1],
+        "feasible": feasible,
+        "exact": feasible
+        and max(objectives) - min(objectives) <= OBJ_TOL,
+        "yen_routes_reused": info["yen_routes_reused"],
+        "yen_routes_aborted": info["yen_routes_aborted"],
+        "yen_rounds_seeded": info["yen_rounds_seeded"],
+        "reach_seeded": info["reach_seeded"],
+    }
+
+
+def evaluate_gate(cases: list[dict]) -> dict:
+    """The CI verdict (see module docstring)."""
+    failures: list[str] = []
+    for case in cases:
+        if not case["feasible"]:
+            failures.append(f"{case['name']}: infeasible")
+        elif not case["exact"]:
+            failures.append(
+                f"{case['name']}: incremental objective "
+                f"{case['incremental_objective']} != cold "
+                f"{case['cold_objective']}"
+            )
+    fast = {
+        case["family"] for case in cases
+        if case["gated"] and case["speedup"] >= MIN_SPEEDUP
+    }
+    if len(fast) < MIN_FAST_FAMILIES:
+        slow = [
+            f"{case['family']} {case['speedup']:.2f}x"
+            for case in cases if case["gated"]
+        ]
+        failures.append(
+            f"only {len(fast)} families at >={MIN_SPEEDUP}x "
+            f"(need {MIN_FAST_FAMILIES}): {', '.join(slow)}"
+        )
+    return {
+        "passed": not failures,
+        "failures": failures,
+        "min_speedup": MIN_SPEEDUP,
+        "min_fast_families": MIN_FAST_FAMILIES,
+        "fast_families": sorted(fast),
+        "obj_tol": OBJ_TOL,
+    }
+
+
+def run_benchmarks(quick: bool) -> dict:
+    cases = [
+        _case(*spec) for spec in CASES if spec[3] or not quick
+    ]
+    return {
+        "cases": cases,
+        "gate": evaluate_gate(cases),
+        "meta": {
+            "mode": "quick" if quick else "full",
+            "repeats": REPEATS,
+            "min_speedup": MIN_SPEEDUP,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="gated cases only + CI gate")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="report path (default: "
+                             "benchmarks/results/BENCH_scenarios.json)")
+    args = parser.parse_args(argv)
+    report = run_benchmarks(args.quick)
+
+    print(f"{'case':<26} {'nodes':>5} {'cold s':>8} {'inc s':>8} "
+          f"{'speedup':>8} {'exact':>6} {'yen reuse':>10}")
+    for case in report["cases"]:
+        routes = case["yen_routes_reused"] + case["yen_routes_aborted"]
+        print(f"{case['name']:<26} {case['nodes']:>5} "
+              f"{case['cold_s']:>8.3f} {case['incremental_s']:>8.3f} "
+              f"{case['speedup']:>7.1f}x {str(case['exact']):>6} "
+              f"{case['yen_routes_reused']:>4}/{routes:<5}")
+    gate = report["gate"]
+    emit_report(
+        "scenarios", report["cases"], gate=gate, meta=report["meta"],
+        results_dir=args.out.parent if args.out else None,
+    )
+    if gate["failures"]:
+        for failure in gate["failures"]:
+            print(f"GATE FAIL: {failure}")
+    print(f"gate: {'passed' if gate['passed'] else 'FAILED'}")
+    return 0 if gate["passed"] or not args.quick else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,6 +102,16 @@ from repro.resilience import (
 )
 from repro.runtime import BatchRunner, EncodeCache, RunStats, Trial, TrialOutcome
 from repro.io import load_architecture, save_architecture
+from repro.scenarios import (
+    Scenario,
+    ScenarioEdit,
+    ScenarioRegistry,
+    apply_edits,
+    cold_resolve,
+    default_registry,
+    incremental_resolve,
+    parse_edit,
+)
 from repro.simulation.datacollection import DataCollectionSimulator
 from repro.spec.problem import compile_spec
 from repro.validation.checker import ValidationReport, validate
@@ -153,6 +163,9 @@ __all__ = [
     "Route",
     "RouteRequirement",
     "RunStats",
+    "Scenario",
+    "ScenarioEdit",
+    "ScenarioRegistry",
     "Severity",
     "SolveAttempt",
     "SolveFailure",
@@ -170,20 +183,25 @@ __all__ = [
     "analyze_model",
     "analyze_problem",
     "analyze_resiliency",
+    "apply_edits",
     "build_explorer",
+    "cold_resolve",
     "compile_spec",
     "compute_warm_start",
     "data_collection_template",
     "default_catalog",
+    "default_registry",
     "device",
     "explore",
     "explore_pareto",
     "generate_patterns",
+    "incremental_resolve",
     "injected_faults",
     "kstar_search",
     "load_architecture",
     "localization_catalog",
     "localization_template",
+    "parse_edit",
     "parse_failures_spec",
     "race_portfolio",
     "result_from_dict",

@@ -13,6 +13,8 @@ model would, because obstruction is modeled explicitly by the wall terms.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.channel.base import ChannelModel
@@ -63,3 +65,29 @@ class MultiWallModel(ChannelModel):
     def wall_count(self, tx: Point, rx: Point) -> int:
         """Number of walls the direct ray crosses (diagnostics/reports)."""
         return len(self.plan.walls_crossed(tx, rx))
+
+    def cache_key(self) -> str:
+        """A content-based identity for :func:`repro.runtime.cache.channel_key`.
+
+        Two models over equal floor plans (same wall geometry, materials
+        and losses) and equal propagation parameters hash identically, so
+        independently constructed but identical channels — a scenario and
+        its regenerated twin, a server job rebuilding the same problem —
+        share path-loss and reachability cache entries.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        dm = self._distance_model
+        parts: list[object] = [
+            "multiwall", dm.exponent, dm.reference_db, dm.reference_distance,
+            self.max_wall_loss_db,
+        ]
+        for wall in self.plan.walls:
+            seg = wall.segment
+            parts.append(
+                (
+                    seg.start.x, seg.start.y, seg.end.x, seg.end.y,
+                    wall.material, wall.attenuation_db(),
+                )
+            )
+        digest.update(repr(parts).encode("utf-8"))
+        return f"multiwall:{digest.hexdigest()}"

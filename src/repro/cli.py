@@ -297,6 +297,56 @@ def _build_parser() -> argparse.ArgumentParser:
                          "'-' for stdout")
     _add_telemetry_args(vf)
 
+    scn = sub.add_parser(
+        "scenarios",
+        help="generative scenario corpus and what-if re-solve "
+             "(docs/scenarios.md)",
+    )
+    scn_sub = scn.add_subparsers(dest="scenarios_command", required=True)
+    scn_list = scn_sub.add_parser(
+        "list", help="enumerate the registry's named scenarios"
+    )
+    scn_list.add_argument("--family", help="restrict to one family")
+    scn_list.add_argument("--limit", type=int, metavar="N",
+                          help="print at most N names")
+    scn_list.add_argument("--json", action="store_true",
+                          help="emit the family summaries as JSON")
+    scn_gen = scn_sub.add_parser(
+        "generate", help="build one scenario and describe it"
+    )
+    scn_gen.add_argument("name",
+                         help="canonical name (family:params:seed), e.g. "
+                              "'multifloor:floors=3,rooms_x=4:1' or "
+                              "'campus::0' for all-defaults")
+    scn_gen.add_argument("--svg-out", type=Path,
+                         help="write the floor plan and candidate "
+                              "template as SVG")
+    scn_res = scn_sub.add_parser(
+        "resolve",
+        help="solve a scenario; with --edit, re-solve the edited "
+             "what-if variant",
+    )
+    scn_res.add_argument("name", help="canonical scenario name")
+    scn_res.add_argument("--edit", action="append", default=[],
+                         metavar="EDIT",
+                         help="what-if edit, applied in order (repeatable): "
+                              "'add-wall:X1,Y1,X2,Y2,MATERIAL', "
+                              "'remove-wall:INDEX', 'move-node:ID,X,Y', "
+                              "'swap-device:OLD=NEW', "
+                              "'set-replicas:ROUTE,N', "
+                              "'set-min-snr:DB'")
+    scn_res.add_argument("--incremental", action="store_true",
+                         help="with --edit: re-solve incrementally (cache "
+                              "transplant + warm start) and report the "
+                              "speedup over a cold re-solve of the edited "
+                              "problem")
+    scn_res.add_argument("--k-star", type=int,
+                         help="override the scenario's candidate-path "
+                              "budget")
+    scn_res.add_argument("--stats-json", type=Path,
+                         help="write solve stats and cache counters as "
+                              "JSON; '-' for stdout")
+
     srv = sub.add_parser(
         "serve", help="run the HTTP job service (docs/service.md)"
     )
@@ -735,6 +785,144 @@ def _cmd_verify_failures(args) -> int:
     return 0 if report.survived_all else 2
 
 
+def _cmd_scenarios(args) -> int:
+    """Corpus enumeration, generation and (incremental) re-solve.
+
+    Exit codes: 0 = ok, 1 = bad name/edit/family, 2 = infeasible solve.
+    """
+    import time
+
+    from repro.scenarios import (
+        apply_edits,
+        cold_resolve,
+        default_registry,
+        incremental_resolve,
+        parse_edit,
+    )
+
+    registry = default_registry()
+    if args.scenarios_command == "list":
+        try:
+            names = registry.names(family=args.family)
+        except KeyError as exc:
+            print(f"scenarios: {exc.args[0]}")
+            return 1
+        if args.json:
+            print(json.dumps(registry.summary(), indent=2, sort_keys=True))
+            return 0
+        for fam in registry.summary():
+            if args.family and fam["family"] != args.family:
+                continue
+            print(f"[{fam['family']}] {fam['description']} "
+                  f"({fam['grid_points']} grid points x {fam['seeds']} "
+                  f"seeds = {fam['scenarios']} scenarios)")
+        shown = names if args.limit is None else names[:args.limit]
+        for name in shown:
+            print(f"  {name}")
+        if len(shown) < len(names):
+            print(f"  ... ({len(names) - len(shown)} more)")
+        print(f"total: {len(names)} scenarios")
+        return 0
+
+    try:
+        scenario = registry.generate(args.name)
+    except (KeyError, ValueError) as exc:
+        print(f"scenarios: {exc.args[0] if exc.args else exc}")
+        return 1
+
+    if args.scenarios_command == "generate":
+        print(json.dumps(scenario.summary(), indent=2, sort_keys=True))
+        if args.svg_out:
+            markers = [
+                SvgMarker(node.location, node.role, str(node.id))
+                for node in scenario.template.nodes
+            ]
+            links = [
+                (scenario.template.node(u).location,
+                 scenario.template.node(v).location)
+                for u, v, _w in scenario.template.edges()
+                if u < v
+            ]
+            args.svg_out.write_text(
+                floorplan_to_svg(scenario.plan, markers, links)
+            )
+            print(f"wrote {args.svg_out}")
+        return 0
+
+    # resolve
+    if args.k_star is not None:
+        scenario = dataclasses.replace(scenario, k_star=args.k_star)
+    try:
+        edits = tuple(parse_edit(text) for text in args.edit)
+    except ValueError as exc:
+        print(f"scenarios: {exc}")
+        return 1
+    if args.incremental and not edits:
+        print("scenarios: --incremental needs at least one --edit")
+        return 1
+
+    cache = EncodeCache()
+    started = time.perf_counter()
+    base = scenario.explore(cache=cache)
+    base_seconds = time.perf_counter() - started
+    print(f"base:     {scenario.name}")
+    print(f"  status {base.status.value}, objective "
+          f"{base.objective_value}, {base_seconds:.3f}s")
+    stats: dict = {
+        "kind": "scenarios",
+        "scenario": scenario.summary(),
+        "base": {**base.stats_dict(), "seconds": base_seconds},
+    }
+    if not base.feasible:
+        _print_result_diagnostics(base)
+        _emit_stats(stats, args.stats_json)
+        return 2
+
+    code = 0
+    if edits:
+        try:
+            edited, deltas = apply_edits(scenario, edits)
+        except (ValueError, KeyError, IndexError) as exc:
+            print(f"scenarios: {exc.args[0] if exc.args else exc}")
+            return 1
+        print(f"edited:   {edited.name}")
+        if args.incremental:
+            started = time.perf_counter()
+            cold = cold_resolve(edited)
+            cold_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            result = incremental_resolve(
+                scenario, edited, deltas,
+                previous=base.architecture, cache=cache,
+            )
+            incr_seconds = time.perf_counter() - started
+            speedup = cold_seconds / max(incr_seconds, 1e-9)
+            print(f"  cold        status {cold.status.value}, objective "
+                  f"{cold.objective_value}, {cold_seconds:.3f}s")
+            print(f"  incremental status {result.status.value}, objective "
+                  f"{result.objective_value}, {incr_seconds:.3f}s "
+                  f"({speedup:.1f}x, partial reuse "
+                  f"{cache.counters.partial_count()})")
+            stats["cold"] = {**cold.stats_dict(), "seconds": cold_seconds}
+            stats["incremental"] = {
+                **result.stats_dict(), "seconds": incr_seconds,
+                "speedup": speedup,
+            }
+        else:
+            started = time.perf_counter()
+            result = edited.explore(cache=cache)
+            seconds = time.perf_counter() - started
+            print(f"  status {result.status.value}, objective "
+                  f"{result.objective_value}, {seconds:.3f}s")
+            stats["edited"] = {**result.stats_dict(), "seconds": seconds}
+        if not result.feasible:
+            _print_result_diagnostics(result)
+            code = 2
+    stats["cache"] = cache.counters.to_dict()
+    _emit_stats(stats, args.stats_json)
+    return code
+
+
 def _cmd_serve(args) -> int:
     from repro.server import SynthesisService
     from repro.server.http import serve as serve_http
@@ -768,6 +956,7 @@ def main(argv: list[str] | None = None) -> int:
         "kstar": _cmd_kstar,
         "simulate": _cmd_simulate,
         "verify-failures": _cmd_verify_failures,
+        "scenarios": _cmd_scenarios,
         "serve": _cmd_serve,
     }
     trace_path = getattr(args, "trace", None)

@@ -19,7 +19,7 @@ them, keyed by the envelope's ``kind``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 
 from repro.core.explorer import DataCollectionExplorer
 from repro.core.facade import build_explorer, explore
@@ -45,15 +45,22 @@ from repro.network.requirements import (
     ReachabilityRequirement,
     RequirementSet,
 )
+from repro.network.topology import Architecture
 from repro.resilience.checkpoint import RestoredResult, restored_result
 from repro.runtime.cache import EncodeCache
+from repro.scenarios import (
+    apply_edits,
+    default_registry,
+    parse_edit,
+    prepare_cache,
+)
 from repro.spec.problem import compile_spec
 
 #: Version of the job wire format (request envelopes).  Result payloads
 #: carry the ``--stats-json`` schema version instead.
 JOB_SCHEMA_VERSION = 1
 
-JOB_KINDS = ("synthesize", "localize", "kstar", "pareto")
+JOB_KINDS = ("synthesize", "localize", "kstar", "pareto", "scenario")
 
 #: The built-in data-collection spec (also the CLI default).
 DEFAULT_SPEC = """
@@ -77,6 +84,14 @@ _PROBLEM_KEYS = {
     ),
     "pareto": (
         "sensors", "relays", "k_star", "secondary", "points",
+    ),
+    # ``scenario`` names a registry problem (``family:params:seed``);
+    # ``edits`` is a list of what-if edit specs applied in order and
+    # ``base`` the job id of a prior solve of the unedited scenario —
+    # the server resolves it to a warm-start architecture, and the
+    # shared cache supplies that solve's transplantable compilation.
+    "scenario": (
+        "scenario", "edits", "k_star", "base",
     ),
 }
 
@@ -176,6 +191,7 @@ class JobRequest:
         cache: EncodeCache | None = None,
         checkpoint: str | None = None,
         resume: bool | None = None,
+        previous: Architecture | None = None,
     ) -> SynthesisResult | KStarSearchResult | ParetoFront:
         """Build the problem and dispatch to the right entry point.
 
@@ -184,6 +200,9 @@ class JobRequest:
         the request's options for resumable kinds — the server points
         them at its per-job sweep file; single solves (synthesize /
         localize) ignore them, their recovery is re-running the job.
+        ``previous`` warm-starts a scenario job from a prior solve's
+        architecture (the server resolves the job's ``base`` to it);
+        other kinds ignore it.
         """
         opts = self.options
         if self.resumable:
@@ -195,6 +214,8 @@ class JobRequest:
                 )
         else:
             opts = opts.replace(checkpoint=None, resume=False)
+        if self.kind == "scenario":
+            return self._run_scenario(opts, cache, previous)
         runner = {
             "synthesize": self._run_synthesize,
             "localize": self._run_localize,
@@ -287,6 +308,39 @@ class JobRequest:
             min_relative_gain=float(p.get("min_relative_gain", 1e-3)),
             cache=cache,
             options=opts,
+        )
+
+    def _run_scenario(
+        self,
+        opts: SolveOptions,
+        cache: EncodeCache | None,
+        previous: Architecture | None,
+    ) -> SynthesisResult:
+        p = self.problem
+        name = str(p.get("scenario", ""))
+        if not name:
+            raise ValueError(
+                "scenario jobs need a 'scenario' name (family:params:seed)"
+            )
+        scenario = default_registry().generate(name)
+        if "k_star" in p:
+            scenario = dc_replace(scenario, k_star=int(p["k_star"]))
+        edits = tuple(parse_edit(str(e)) for e in p.get("edits", ()))
+        if not edits:
+            return scenario.explore(
+                objective=self.objective, cache=cache, options=opts,
+            )
+        edited, deltas = apply_edits(scenario, edits)
+        if cache is not None:
+            # When the base scenario was solved against this same cache
+            # (the server's warm process-wide one), this transplants its
+            # still-valid graph/Yen/ranking entries to the edited keys.
+            prepare_cache(scenario, edited, deltas, cache)
+        if previous is not None:
+            opts = opts.replace(incremental=True)
+        return edited.explore(
+            objective=self.objective, cache=cache, options=opts,
+            previous=previous,
         )
 
     def _run_pareto(

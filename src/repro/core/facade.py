@@ -130,6 +130,7 @@ def explore(
     budget: DeadlineBudget | None = None,
     options: SolveOptions | None = None,
     plan=None,
+    previous=None,
     **legacy,
 ) -> SynthesisResult | list[SynthesisResult]:
     """Synthesize an architecture (or several) for a problem.
@@ -170,6 +171,12 @@ def explore(
     families) and its result carries a ``survivability_score``; with a
     failures spec, ``options.checkpoint``/``resume`` make the
     verification sweep resumable (see docs/failures.md).
+
+    ``previous`` supplies a prior solve's
+    :class:`~repro.core.results.Architecture` as the warm-start seed —
+    the incremental re-solve path (``options.incremental``, see
+    :mod:`repro.scenarios`) passes the unedited problem's solution here
+    alongside a cache pre-seeded from its compilation.
     """
     opts = resolve_options(options, legacy, where="explore()")
     if (opts.checkpoint is not None or opts.resume) and opts.failures is None:
@@ -193,14 +200,21 @@ def explore(
     if resilient and not isinstance(solver, ResilientSolver):
         retry = opts.retry_policy() or RetryPolicy()
         solver = ResilientSolver(solver, budget=budget, retry=retry)
+    # Incremental mode warm-starts from the previous solution whenever
+    # one is supplied (the greedy seed still kicks in when it is not).
+    warm_start = opts.warm_start or (
+        opts.incremental and previous is not None
+    )
     explorer = build_explorer(
         template, library, requirements,
         encoder=encoder, solver=solver, channel=channel,
         k_star=k_star, reach_k_star=reach_k_star, cache=cache,
-        presolve=opts.presolve, warm_start=opts.warm_start,
+        presolve=opts.presolve, warm_start=warm_start,
         lazy_cuts=opts.lazy_cuts, portfolio=opts.portfolio,
         failures=opts.failures, plan=plan,
     )
+    if previous is not None and warm_start:
+        explorer.warm_start_architecture = previous
     if opts.failures is not None:
         explorer.failures_checkpoint = opts.checkpoint
         explorer.failures_resume = opts.resume

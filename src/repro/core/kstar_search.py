@@ -223,7 +223,12 @@ def kstar_search(
     if opts.cache is False:
         cache = None
     presolve = opts.presolve
-    accel = (opts.warm_start, opts.lazy_cuts, opts.portfolio)
+    # Incremental re-solve rides the warm-start machinery: each rung
+    # seeds from the previous rung's incumbent exactly as warm_start
+    # does, on top of whatever cache entries the caller pre-seeded.
+    accel = (
+        opts.warm_start or opts.incremental, opts.lazy_cuts, opts.portfolio
+    )
     failures = opts.failures
     ladder = tuple(ladder)
     with span(

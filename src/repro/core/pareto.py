@@ -228,11 +228,16 @@ def explore_pareto(
         getattr(explorer, "portfolio", False),
     )
     original_failures = getattr(explorer, "failures", None)
+    original_seed = getattr(explorer, "warm_start_architecture", None)
     if budget is not None or retry is not None:
         explorer.solver = _resilient(original_solver, budget, retry)
     if opts.presolve != "off" and original_presolve == "off":
         explorer.presolve = opts.presolve
-    if opts.warm_start:
+    if opts.warm_start or opts.incremental:
+        # Incremental mode rides the warm-start machinery: sweep points
+        # re-use the caller's pre-seeded cache, and sequential sweeps
+        # additionally chain each point's architecture into the next
+        # solve's MILP warm start.
         explorer.warm_start = True
     if opts.lazy_cuts:
         explorer.lazy_cuts = True
@@ -264,6 +269,7 @@ def explore_pareto(
         (explorer.warm_start, explorer.lazy_cuts,
          explorer.portfolio) = original_accel
         explorer.failures = original_failures
+        explorer.warm_start_architecture = original_seed
 
 
 def _resilient(
@@ -340,6 +346,12 @@ def _sweep(
             if budget is not None and budget.expired:
                 break  # deadline spent: leave the tail for a resume
             point = _solve_budget(explorer, primary, secondary, b)
+            if point is not None and getattr(explorer, "warm_start", False):
+                # Adjacent budgets have similar optima: chain each
+                # solved point's architecture into the next solve.
+                arch = getattr(point.result, "architecture", None)
+                if arch is not None:
+                    explorer.warm_start_architecture = arch
             if point is None and budget is not None and budget.expired:
                 # The solve ran into the deadline rather than proving
                 # infeasibility — do not checkpoint it as infeasible.

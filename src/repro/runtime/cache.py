@@ -141,6 +141,42 @@ class EncodeCache:
         marker.event.set()
         return value
 
+    def seed(
+        self,
+        region: str,
+        key: Hashable,
+        value: Any,
+        stats: RunStats | None = None,
+    ) -> bool:
+        """Insert a precomputed ``value`` for ``key`` without computing.
+
+        Used by the incremental re-solve layer to transplant artifacts
+        that were derived from a prior problem's cache instead of being
+        recomputed.  Counts one ``partial_reuse`` for ``region`` and
+        returns ``True`` when the entry was inserted; an existing value
+        or in-flight compute wins (returns ``False``, no count) so a
+        seed can never clobber or race fresher work.
+        """
+        with self._lock:
+            if key in self._entries:
+                return False
+            self._entries[key] = value
+            self.counters.record_partial(region)
+        if stats is not None:
+            stats.cache.record_partial(region)
+        return True
+
+    def peek(self, key: Hashable) -> Any:
+        """The cached value for ``key``, or ``None`` — without counting.
+
+        In-flight computes read as absent; this never blocks.
+        """
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+        if entry is _MISSING or isinstance(entry, _InFlight):
+            return None
+        return entry
+
     def _record(self, region: str, hit: bool, stats: RunStats | None) -> None:
         with self._lock:
             self.counters.record(region, hit)

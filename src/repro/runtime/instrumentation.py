@@ -41,10 +41,20 @@ STATS_SCHEMA_VERSION = 2
 
 @dataclass
 class CacheCounters:
-    """Hit/miss counts per cache region (``pathloss``, ``yen``, ...)."""
+    """Hit/miss counts per cache region (``pathloss``, ``yen``, ...).
+
+    ``partial_reuse`` counts entries *seeded* into the cache by the
+    incremental re-solve layer (:mod:`repro.scenarios.incremental`):
+    values derived from a prior problem's cached artifacts instead of
+    being recomputed from scratch.  A seeded entry is neither a hit nor
+    a miss — the later lookup that consumes it scores the hit — but the
+    counter makes region-by-region incremental reuse observable and
+    assertable in tests.
+    """
 
     hits: dict[str, int] = field(default_factory=dict)
     misses: dict[str, int] = field(default_factory=dict)
+    partial_reuse: dict[str, int] = field(default_factory=dict)
 
     def record(self, region: str, hit: bool) -> None:
         """Count one lookup against ``region`` (mirrored to metrics)."""
@@ -53,6 +63,11 @@ class CacheCounters:
         _metrics.counter(
             "cache.lookups", region=region, result="hit" if hit else "miss"
         ).inc()
+
+    def record_partial(self, region: str) -> None:
+        """Count one incrementally reused (seeded) entry for ``region``."""
+        self.partial_reuse[region] = self.partial_reuse.get(region, 0) + 1
+        _metrics.counter("cache.partial_reuse", region=region).inc()
 
     def hit_count(self, region: str | None = None) -> int:
         """Total hits, optionally restricted to one region."""
@@ -66,16 +81,28 @@ class CacheCounters:
             return self.misses.get(region, 0)
         return sum(self.misses.values())
 
+    def partial_count(self, region: str | None = None) -> int:
+        """Total seeded reuses, optionally restricted to one region."""
+        if region is not None:
+            return self.partial_reuse.get(region, 0)
+        return sum(self.partial_reuse.values())
+
     def merge(self, other: CacheCounters) -> None:
         """Fold another counter set into this one."""
         for region, n in other.hits.items():
             self.hits[region] = self.hits.get(region, 0) + n
         for region, n in other.misses.items():
             self.misses[region] = self.misses.get(region, 0) + n
+        for region, n in other.partial_reuse.items():
+            self.partial_reuse[region] = self.partial_reuse.get(region, 0) + n
 
     def to_dict(self) -> dict:
         """JSON-ready representation."""
-        return {"hits": dict(self.hits), "misses": dict(self.misses)}
+        return {
+            "hits": dict(self.hits),
+            "misses": dict(self.misses),
+            "partial_reuse": dict(self.partial_reuse),
+        }
 
 
 @dataclass

@@ -1,0 +1,62 @@
+"""Generative scenario families and incremental what-if re-solve.
+
+The paper evaluates its synthesis flow on a handful of hand-built
+instances (the Section 4 building, the Table 3/4 synthetic scatters).
+This package turns those into *families*: seeded, parameterized
+generators that each produce a complete exploration problem — floor
+plan, template, device library, requirements, channel — registered
+under a stable ``family:params:seed`` name so benchmarks, CI and the
+job service can enumerate hundreds of distinct problems
+(:mod:`repro.scenarios.registry`).
+
+On top of the generators sits a *what-if* layer: a small edit grammar
+(:mod:`repro.scenarios.edits` — add/remove a wall, move a node, swap a
+device, change one requirement) and an incremental re-solve path
+(:mod:`repro.scenarios.incremental`) that transplants the unaffected
+parts of a previous solve's compilation — path-loss graphs, Yen
+candidate pools, anchor rankings — into the shared
+:class:`~repro.runtime.cache.EncodeCache` and warm-starts from the
+previous solution, so a one-wall edit re-solves in a fraction of a
+cold solve at the identical objective.  See docs/scenarios.md.
+"""
+
+from repro.scenarios.edits import (
+    EDIT_KINDS,
+    EditDelta,
+    ScenarioEdit,
+    apply_edit,
+    apply_edits,
+    parse_edit,
+)
+from repro.scenarios.families import SCENARIO_FAMILIES, ScenarioFamily
+from repro.scenarios.incremental import (
+    cold_resolve,
+    incremental_resolve,
+    prepare_cache,
+)
+from repro.scenarios.registry import (
+    ScenarioRegistry,
+    default_registry,
+    format_name,
+    parse_name,
+)
+from repro.scenarios.scenario import Scenario
+
+__all__ = [
+    "EDIT_KINDS",
+    "EditDelta",
+    "SCENARIO_FAMILIES",
+    "Scenario",
+    "ScenarioEdit",
+    "ScenarioFamily",
+    "ScenarioRegistry",
+    "apply_edit",
+    "apply_edits",
+    "cold_resolve",
+    "default_registry",
+    "format_name",
+    "incremental_resolve",
+    "parse_edit",
+    "parse_name",
+    "prepare_cache",
+]

@@ -1,0 +1,502 @@
+"""Seeded, parameterized scenario families.
+
+Each family is a deterministic generator: the same ``(params, seed)``
+always produces the same problem — node for node, wall for wall — so a
+scenario's registry name is a complete identity.  Randomness comes
+exclusively from a :func:`numpy.random.default_rng` seeded with the
+scenario seed plus a stable per-family offset (never Python's
+``hash``, which is salted per process).
+
+Families
+--------
+``multifloor``
+    A multi-storey office building flattened to 2D: floors are stacked
+    bands separated by concrete slab walls with a randomized service
+    shaft (a gap in the slab), drywall room partitions per floor, the
+    base station on the ground floor.
+``campus``
+    Buildings on a street lattice: brick perimeter walls with a
+    randomized door gap, indoor sensors, indoor and outdoor relay
+    candidates, the sink in the central courtyard.
+``materials``
+    The office layout with a heterogeneous wall-material mix: each
+    wall's material is drawn from the requested blend, so propagation
+    hardness varies room to room.
+``reqmix``
+    Randomized requirement mixes over the office floor: per-route
+    replica counts are drawn from a seeded distribution, and the
+    ``dual`` blend adds a localization reachability requirement served
+    by the data relays (a dual-use network).
+``moving_target``
+    A localization sweep along a moving target's path: anchor
+    candidates on a grid, test points sampled along a seeded waypoint
+    tour.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from collections.abc import Callable, Mapping
+from typing import Any
+
+import numpy as np
+
+from repro.channel.multiwall import MultiWallModel
+from repro.geometry.floorplan import FloorPlan, office_floorplan
+from repro.geometry.grid import grid_for_count
+from repro.geometry.primitives import Point, Rectangle
+from repro.library.catalog import Library, default_catalog, localization_catalog
+from repro.network.builders import DEFAULT_MAX_LINK_PL_DB
+from repro.network.requirements import (
+    LinkQualityRequirement,
+    ReachabilityRequirement,
+    RequirementSet,
+)
+from repro.network.template import NetworkNode, Template
+from repro.scenarios.scenario import Scenario
+
+Params = dict[str, Any]
+Builder = Callable[[str, Params, int], Scenario]
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """One registered generator: defaults, an enumeration grid, a builder.
+
+    ``grid`` lists the parameter overrides the registry enumerates by
+    default (each combined with every default seed); any other
+    combination remains reachable by explicit name.
+    """
+
+    name: str
+    description: str
+    defaults: Mapping[str, Any]
+    grid: tuple[Mapping[str, Any], ...]
+    build: Builder
+
+
+def _rng(family: str, seed: int) -> np.random.Generator:
+    """A per-(family, seed) generator with a process-stable stream."""
+    return np.random.default_rng([seed, zlib.crc32(family.encode("ascii"))])
+
+
+#: Scenario libraries are deliberate *subsets* of the built-in catalogs:
+#: the scenario stays a well-posed selection problem, while the devices
+#: left out remain valid donors for ``swap-device`` what-if edits.
+_DC_DEVICE_NAMES = (
+    "sensor-std", "sensor-lp", "relay-std", "relay-ant", "sink-std",
+)
+_LOC_DEVICE_NAMES = ("anchor-std", "anchor-ant")
+
+
+def _subset_library(full: Library, names: tuple[str, ...]) -> Library:
+    devices = [d for d in full.devices if d.name in names]
+    assert len(devices) == len(names)
+    return Library(devices, list(full.link_types))
+
+
+def _route_requirements(
+    sensor_ids: list[int],
+    sink_id: int,
+    replicas: int,
+    min_snr_db: float = 20.0,
+) -> RequirementSet:
+    reqs = RequirementSet()
+    for sensor in sensor_ids:
+        reqs.require_route(
+            sensor, sink_id, replicas=replicas, disjoint=replicas > 1
+        )
+    reqs.link_quality = LinkQualityRequirement(min_snr_db=min_snr_db)
+    return reqs
+
+
+def _data_collection_scenario(
+    name: str,
+    family: str,
+    params: Params,
+    seed: int,
+    plan: FloorPlan,
+    nodes: list[NetworkNode],
+    requirements: RequirementSet,
+    k_star: int,
+) -> Scenario:
+    """Assemble the common tail of every data-collection family."""
+    channel = MultiWallModel(plan)
+    template = Template(nodes, name=f"{family}-s{seed}")
+    template.add_candidate_links(channel, DEFAULT_MAX_LINK_PL_DB)
+    return Scenario(
+        name=name,
+        family=family,
+        params=params,
+        seed=seed,
+        plan=plan,
+        template=template,
+        channel=channel,
+        library=_subset_library(default_catalog(), _DC_DEVICE_NAMES),
+        requirements=requirements,
+        k_star=k_star,
+        max_link_pl_db=DEFAULT_MAX_LINK_PL_DB,
+    )
+
+
+# -- multifloor ---------------------------------------------------------------
+
+
+def _build_multifloor(name: str, params: Params, seed: int) -> Scenario:
+    floors = int(params["floors"])
+    rooms_x = int(params["rooms_x"])
+    width = float(params["width"])
+    floor_height = float(params["floor_height"])
+    sensors_per_floor = int(params["sensors_per_floor"])
+    relays_per_floor = int(params["relays_per_floor"])
+    shaft_width = float(params["shaft_width"])
+    if floors < 1 or rooms_x < 1:
+        raise ValueError("need at least one floor and one room")
+    rng = _rng("multifloor", seed)
+    height = floors * floor_height
+    plan = FloorPlan(
+        Rectangle(0.0, 0.0, width, height), name=f"multifloor-{floors}"
+    )
+    # Concrete slabs between floors, each pierced by a shaft (riser) gap
+    # at a seeded position — the low-loss corridor for inter-floor links.
+    for f in range(1, floors):
+        y = f * floor_height
+        shaft_x = float(rng.uniform(2.0, width - shaft_width - 2.0))
+        plan.add_wall(Point(0.0, y), Point(shaft_x, y), "concrete")
+        plan.add_wall(Point(shaft_x + shaft_width, y), Point(width, y), "concrete")
+    # Drywall room partitions per floor, stopping short of the ceiling
+    # band (the floor's corridor).
+    room_width = width / rooms_x
+    for f in range(floors):
+        y_lo = f * floor_height
+        y_hi = y_lo + floor_height * 2.0 / 3.0
+        for i in range(1, rooms_x):
+            x = i * room_width
+            plan.add_wall(Point(x, y_lo), Point(x, y_hi), "drywall")
+
+    nodes: list[NetworkNode] = []
+    sensor_ids: list[int] = []
+    for f in range(floors):
+        band = Rectangle(0.0, f * floor_height, width, (f + 1) * floor_height)
+        for pt in grid_for_count(band, sensors_per_floor, margin=3.0):
+            nodes.append(NetworkNode(len(nodes), pt, "sensor", fixed=True))
+            sensor_ids.append(nodes[-1].id)
+    sink = NetworkNode(
+        len(nodes), Point(width / 2.0, floor_height / 2.0), "sink", fixed=True
+    )
+    nodes.append(sink)
+    for f in range(floors):
+        band = Rectangle(0.0, f * floor_height, width, (f + 1) * floor_height)
+        for pt in grid_for_count(band, relays_per_floor, margin=1.5):
+            nodes.append(NetworkNode(len(nodes), pt, "relay", fixed=False))
+
+    reqs = _route_requirements(sensor_ids, sink.id, int(params["replicas"]))
+    return _data_collection_scenario(
+        name, "multifloor", params, seed, plan, nodes, reqs,
+        int(params["k_star"]),
+    )
+
+
+# -- campus -------------------------------------------------------------------
+
+
+def _build_campus(name: str, params: Params, seed: int) -> Scenario:
+    bx = int(params["buildings_x"])
+    by = int(params["buildings_y"])
+    bw = float(params["building_w"])
+    bd = float(params["building_d"])
+    street = float(params["street"])
+    sensors_per_building = int(params["sensors_per_building"])
+    street_relays = int(params["street_relays"])
+    if bx < 1 or by < 1:
+        raise ValueError("need at least one building")
+    rng = _rng("campus", seed)
+    width = bx * bw + (bx + 1) * street
+    height = by * bd + (by + 1) * street
+    plan = FloorPlan(
+        Rectangle(0.0, 0.0, width, height), name=f"campus-{bx}x{by}"
+    )
+
+    buildings: list[Rectangle] = []
+    for j in range(by):
+        for i in range(bx):
+            x0 = street + i * (bw + street)
+            y0 = street + j * (bd + street)
+            rect = Rectangle(x0, y0, x0 + bw, y0 + bd)
+            buildings.append(rect)
+            door_w = 1.8
+            door_x = x0 + float(rng.uniform(1.0, bw - door_w - 1.0))
+            # Brick perimeter: south wall split around the door gap.
+            plan.add_wall(Point(x0, y0), Point(door_x, y0), "brick")
+            plan.add_wall(Point(door_x + door_w, y0), Point(x0 + bw, y0), "brick")
+            plan.add_wall(Point(x0, y0 + bd), Point(x0 + bw, y0 + bd), "brick")
+            plan.add_wall(Point(x0, y0), Point(x0, y0 + bd), "brick")
+            plan.add_wall(Point(x0 + bw, y0), Point(x0 + bw, y0 + bd), "brick")
+
+    nodes: list[NetworkNode] = []
+    sensor_ids: list[int] = []
+    for rect in buildings:
+        for pt in grid_for_count(rect, sensors_per_building, margin=2.0):
+            nodes.append(NetworkNode(len(nodes), pt, "sensor", fixed=True))
+            sensor_ids.append(nodes[-1].id)
+    sink = NetworkNode(
+        len(nodes), Point(width / 2.0, height / 2.0), "sink", fixed=True
+    )
+    nodes.append(sink)
+    # Relay candidates: one per building centre (indoor) plus a campus-wide
+    # outdoor grid along the streets.
+    for rect in buildings:
+        centre = Point(
+            (rect.x_min + rect.x_max) / 2.0, (rect.y_min + rect.y_max) / 2.0
+        )
+        nodes.append(NetworkNode(len(nodes), centre, "relay", fixed=False))
+    for pt in grid_for_count(plan.bounds, street_relays, margin=street / 2.0):
+        nodes.append(NetworkNode(len(nodes), pt, "relay", fixed=False))
+
+    reqs = _route_requirements(sensor_ids, sink.id, int(params["replicas"]))
+    return _data_collection_scenario(
+        name, "campus", params, seed, plan, nodes, reqs,
+        int(params["k_star"]),
+    )
+
+
+# -- materials ----------------------------------------------------------------
+
+
+def _build_materials(name: str, params: Params, seed: int) -> Scenario:
+    width = float(params["width"])
+    height = float(params["height"])
+    rooms_x = int(params["rooms_x"])
+    mix = str(params["mix"]).split("+")
+    if not mix or any(not m for m in mix):
+        raise ValueError(f"bad material mix {params['mix']!r}")
+    rng = _rng("materials", seed)
+    layout = office_floorplan(width, height, rooms_x, rooms_y=1)
+    plan = FloorPlan(layout.bounds, name=f"materials-s{seed}")
+    for wall in layout.walls:
+        material = mix[int(rng.integers(0, len(mix)))]
+        plan.add_wall(wall.segment.start, wall.segment.end, material)
+
+    nodes: list[NetworkNode] = []
+    sensor_ids: list[int] = []
+    for pt in grid_for_count(plan.bounds, int(params["sensors"]), margin=4.0):
+        nodes.append(NetworkNode(len(nodes), pt, "sensor", fixed=True))
+        sensor_ids.append(nodes[-1].id)
+    sink = NetworkNode(
+        len(nodes), Point(width / 2.0, height / 2.0), "sink", fixed=True
+    )
+    nodes.append(sink)
+    for pt in grid_for_count(plan.bounds, int(params["relays"]), margin=2.0):
+        nodes.append(NetworkNode(len(nodes), pt, "relay", fixed=False))
+
+    reqs = _route_requirements(sensor_ids, sink.id, int(params["replicas"]))
+    return _data_collection_scenario(
+        name, "materials", params, seed, plan, nodes, reqs,
+        int(params["k_star"]),
+    )
+
+
+# -- reqmix -------------------------------------------------------------------
+
+
+def _build_reqmix(name: str, params: Params, seed: int) -> Scenario:
+    width = float(params["width"])
+    height = float(params["height"])
+    blend = str(params["blend"])
+    if blend not in ("data", "dual"):
+        raise ValueError(f"reqmix blend must be 'data' or 'dual', got {blend!r}")
+    rng = _rng("reqmix", seed)
+    plan = office_floorplan(width, height, rooms_x=5, rooms_y=1)
+
+    nodes: list[NetworkNode] = []
+    sensor_ids: list[int] = []
+    for pt in grid_for_count(plan.bounds, int(params["sensors"]), margin=4.0):
+        nodes.append(NetworkNode(len(nodes), pt, "sensor", fixed=True))
+        sensor_ids.append(nodes[-1].id)
+    sink = NetworkNode(
+        len(nodes), Point(width / 2.0, height / 2.0), "sink", fixed=True
+    )
+    nodes.append(sink)
+    for pt in grid_for_count(plan.bounds, int(params["relays"]), margin=2.0):
+        nodes.append(NetworkNode(len(nodes), pt, "relay", fixed=False))
+
+    # Randomized replica mix: most routes single-path, some protected.
+    reqs = RequirementSet()
+    for sensor in sensor_ids:
+        replicas = int(rng.choice([1, 1, 2]))
+        reqs.require_route(
+            sensor, sink.id, replicas=replicas, disjoint=replicas > 1
+        )
+    reqs.link_quality = LinkQualityRequirement(min_snr_db=20.0)
+    if blend == "dual":
+        # Dual-use: the placed data relays double as ranging anchors.
+        reqs.reachability = ReachabilityRequirement(
+            test_points=tuple(
+                grid_for_count(plan.bounds, int(params["test_points"]), margin=5.0)
+            ),
+            min_anchors=2,
+            min_rss_dbm=-85.0,
+            anchor_role="relay",
+        )
+    return _data_collection_scenario(
+        name, "reqmix", params, seed, plan, nodes, reqs,
+        int(params["k_star"]),
+    )
+
+
+# -- moving_target ------------------------------------------------------------
+
+
+def _target_path_points(
+    rng: np.random.Generator, bounds: Rectangle, steps: int
+) -> tuple[Point, ...]:
+    """``steps`` points sampled evenly along a seeded waypoint tour."""
+    margin = 4.0
+    waypoints = [
+        (
+            float(rng.uniform(bounds.x_min + margin, bounds.x_max - margin)),
+            float(rng.uniform(bounds.y_min + margin, bounds.y_max - margin)),
+        )
+        for _ in range(4)
+    ]
+    xs = np.array([w[0] for w in waypoints])
+    ys = np.array([w[1] for w in waypoints])
+    lengths = np.hypot(np.diff(xs), np.diff(ys))
+    total = float(lengths.sum())
+    cumulative = np.concatenate(([0.0], np.cumsum(lengths)))
+    points: list[Point] = []
+    for s in range(steps):
+        target = total * s / max(steps - 1, 1)
+        leg = int(np.searchsorted(cumulative[1:], target, side="left"))
+        leg = min(leg, len(lengths) - 1)
+        span = float(lengths[leg])
+        t = 0.0 if span == 0.0 else (target - float(cumulative[leg])) / span
+        points.append(
+            Point(
+                float(xs[leg] + t * (xs[leg + 1] - xs[leg])),
+                float(ys[leg] + t * (ys[leg + 1] - ys[leg])),
+            )
+        )
+    return tuple(points)
+
+
+def _build_moving_target(name: str, params: Params, seed: int) -> Scenario:
+    width = float(params["width"])
+    height = float(params["height"])
+    anchors = int(params["anchors"])
+    steps = int(params["steps"])
+    rng = _rng("moving_target", seed)
+    plan = office_floorplan(width, height, rooms_x=6, rooms_y=1)
+    channel = MultiWallModel(plan)
+    nodes = [
+        NetworkNode(i, pt, "anchor", fixed=False)
+        for i, pt in enumerate(grid_for_count(plan.bounds, anchors, margin=2.0))
+    ]
+    template = Template(nodes, name=f"moving-target-s{seed}")
+    requirement = ReachabilityRequirement(
+        test_points=_target_path_points(rng, plan.bounds, steps),
+        min_anchors=int(params["min_anchors"]),
+        min_rss_dbm=float(params["min_rss"]),
+    )
+    return Scenario(
+        name=name,
+        family="moving_target",
+        params=params,
+        seed=seed,
+        plan=plan,
+        template=template,
+        channel=channel,
+        library=_subset_library(localization_catalog(), _LOC_DEVICE_NAMES),
+        requirements=requirement,
+        k_star=int(params["k_star"]),
+        max_link_pl_db=None,
+    )
+
+
+# -- the registry's built-in family table -------------------------------------
+
+SCENARIO_FAMILIES: tuple[ScenarioFamily, ...] = (
+    ScenarioFamily(
+        name="multifloor",
+        description="multi-storey office: concrete slabs, seeded shafts, "
+        "per-floor room partitions",
+        defaults={
+            "floors": 2, "rooms_x": 3, "width": 48.0, "floor_height": 14.0,
+            "sensors_per_floor": 4, "relays_per_floor": 9,
+            "shaft_width": 6.0, "replicas": 1, "k_star": 6,
+        },
+        grid=(
+            {"floors": 2, "rooms_x": 3},
+            {"floors": 2, "rooms_x": 4},
+            {"floors": 3, "rooms_x": 3},
+            {"floors": 3, "rooms_x": 4},
+            {"floors": 4, "rooms_x": 3},
+        ),
+        build=_build_multifloor,
+    ),
+    ScenarioFamily(
+        name="campus",
+        description="buildings on a street lattice: brick shells with "
+        "seeded doors, outdoor relay grid",
+        defaults={
+            "buildings_x": 2, "buildings_y": 2, "building_w": 14.0,
+            "building_d": 10.0, "street": 8.0, "sensors_per_building": 2,
+            "street_relays": 8, "replicas": 1, "k_star": 6,
+        },
+        grid=(
+            {"buildings_x": 2, "buildings_y": 2},
+            {"buildings_x": 3, "buildings_y": 2},
+            {"buildings_x": 2, "buildings_y": 3},
+            {"buildings_x": 3, "buildings_y": 3},
+        ),
+        build=_build_campus,
+    ),
+    ScenarioFamily(
+        name="materials",
+        description="office layout with a heterogeneous wall-material mix",
+        defaults={
+            "width": 60.0, "height": 30.0, "rooms_x": 6,
+            "mix": "concrete+drywall+glass", "sensors": 10, "relays": 24,
+            "replicas": 1, "k_star": 6,
+        },
+        grid=(
+            {"mix": "concrete+drywall+glass"},
+            {"mix": "drywall+glass"},
+            {"mix": "concrete+drywall"},
+            {"mix": "drywall+wood+glass", "rooms_x": 8},
+        ),
+        build=_build_materials,
+    ),
+    ScenarioFamily(
+        name="reqmix",
+        description="seeded replica mixes over the office floor; 'dual' "
+        "blend adds relay-served localization coverage",
+        defaults={
+            "width": 50.0, "height": 28.0, "sensors": 8, "relays": 20,
+            "blend": "data", "test_points": 12, "k_star": 6,
+        },
+        grid=(
+            {"blend": "data", "sensors": 8},
+            {"blend": "data", "sensors": 12},
+            {"blend": "dual", "sensors": 8},
+            {"blend": "dual", "sensors": 12},
+        ),
+        build=_build_reqmix,
+    ),
+    ScenarioFamily(
+        name="moving_target",
+        description="localization sweep along a seeded moving-target tour",
+        defaults={
+            "width": 60.0, "height": 30.0, "anchors": 36, "steps": 12,
+            "min_anchors": 3, "min_rss": -80.0, "k_star": 12,
+        },
+        grid=(
+            {"anchors": 36, "steps": 12},
+            {"anchors": 48, "steps": 12},
+            {"anchors": 36, "steps": 20},
+            {"anchors": 48, "steps": 20},
+        ),
+        build=_build_moving_target,
+    ),
+)

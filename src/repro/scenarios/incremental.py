@@ -1,0 +1,401 @@
+"""Incremental what-if re-solve: transplant cache entries, warm-start.
+
+A single edit — one wall, one moved node — leaves most of a problem's
+expensive compilation valid: the path-loss-weighted candidate graph
+changes in a handful of entries, most Yen candidate pools are provably
+unaffected, and most (anchor, test-point) ranking entries keep their
+exact float values.  :func:`prepare_cache` transplants those artifacts
+from the previous solve's :class:`~repro.runtime.cache.EncodeCache` to
+the edited problem's cache keys (via :meth:`EncodeCache.seed`, which
+counts ``partial_reuse`` and never clobbers fresher work), and
+:func:`incremental_resolve` then solves the edited problem with the
+previous architecture as a MILP warm start.
+
+Soundness of the Yen-pool transplant
+------------------------------------
+A cached pool for route ``s -> t`` (at some mask set) is reused only
+when a *certificate* holds against the edited graph:
+
+* no returned path uses a removed or re-weighted edge (so every cached
+  path still exists at the same cost, and the mask evolution of
+  Algorithm 1's disconnection rounds replays identically), and
+* every added or cheapened edge ``(u, v, w)`` satisfies
+  ``d(s, u) + w + d(v, t) > cost_K + eps`` where the distances are
+  shortest paths on the edited *unmasked* graph and ``cost_K`` is the
+  K-th returned cost — unmasked distances lower-bound masked ones, so
+  no new path can enter any round's top-K.  (Rounds that returned fewer
+  than K paths reject the certificate: a new edge could create paths.)
+
+Edges whose weight only *increased* and that appear on no returned path
+are safe without a bound: paths through them were not in the top-K
+before and only got worse.  Anything unprovable simply falls back to a
+cold Yen query for that route — correctness never depends on the
+certificate, only reuse does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+from repro.core.options import SolveOptions
+from repro.core.results import SynthesisResult
+from repro.encoding.approximate import _hops_ok, _pool_sufficient, budget_div
+from repro.graph.api import resolve_backend
+from repro.graph.digraph import INFINITY, DiGraph
+from repro.graph.dijkstra import shortest_path_tree
+from repro.graph.disjoint import minimally_disjoint_path
+from repro.geometry.primitives import Segment
+from repro.network.paths import CandidatePath
+from repro.network.requirements import (
+    ReachabilityRequirement,
+    RequirementSet,
+    RouteRequirement,
+)
+from repro.network.topology import Architecture
+from repro.runtime.cache import (
+    REGION_PATHLOSS,
+    REGION_YEN,
+    EncodeCache,
+    build_weighted_graph,
+    channel_key,
+    digest,
+)
+from repro.runtime.instrumentation import RunStats
+from repro.scenarios.edits import EditDelta
+from repro.scenarios.scenario import Scenario
+
+#: Strict margin for the new-path exclusion bound, matching the cost
+#: tolerances used elsewhere in the pipeline.
+_BOUND_EPS = 1e-9
+
+#: Cap on replayed disconnection rounds, mirroring the
+#: ``max_extra_rounds`` default of ``generate_candidate_pool``.
+_MAX_EXTRA_ROUNDS = 4
+
+
+def prepare_cache(
+    old: Scenario,
+    new: Scenario,
+    deltas: tuple[EditDelta, ...],
+    cache: EncodeCache,
+    *,
+    stats: RunStats | None = None,
+    backend: str | None = None,
+) -> dict[str, int]:
+    """Transplant reusable artifacts from ``old``'s keys to ``new``'s.
+
+    ``cache`` must be the cache the old scenario was solved with (its
+    entries are the transplant source) and is the cache the new solve
+    should use.  Assumes the facade's default encoder configuration (no
+    link prefilter, no sparsification), which is what
+    :meth:`Scenario.explore` uses.  Returns transplant counts; all
+    zeros when the edits left every key unchanged (pure requirement or
+    device edits), in which case the new solve hits the old entries
+    directly.
+    """
+    info = {
+        "graph_seeded": 0,
+        "yen_routes_reused": 0,
+        "yen_routes_aborted": 0,
+        "yen_rounds_seeded": 0,
+        "reach_seeded": 0,
+    }
+    if not any(d.template_changed or d.pathloss_changed for d in deltas):
+        return info
+
+    if isinstance(new.requirements, RequirementSet):
+        old_gkey = EncodeCache.template_graph_key(old.template, None)
+        new_gkey = EncodeCache.template_graph_key(new.template, None)
+        if new_gkey != old_gkey and cache.peek(old_gkey) is not None:
+            new_graph = build_weighted_graph(new.template, None)
+            if cache.seed(REGION_PATHLOSS, new_gkey, new_graph, stats):
+                info["graph_seeded"] = 1
+            changed = _edge_changes(old, new)
+            replayer = _YenReplayer(
+                new_graph, old_gkey, new_gkey, changed,
+                resolve_backend(backend),
+            )
+            for req in new.requirements.routes:
+                seeded = replayer.replay(req, new.k_star, cache, stats)
+                if seeded:
+                    info["yen_routes_reused"] += 1
+                    info["yen_rounds_seeded"] += seeded
+                else:
+                    info["yen_routes_aborted"] += 1
+
+    info["reach_seeded"] = _transplant_reach(old, new, deltas, cache, stats)
+    return info
+
+
+def incremental_resolve(
+    old: Scenario,
+    new: Scenario,
+    deltas: tuple[EditDelta, ...],
+    *,
+    previous: Architecture | None = None,
+    cache: EncodeCache | None = None,
+    options: SolveOptions | None = None,
+    solver: Any = None,
+) -> SynthesisResult:
+    """Solve the edited scenario, reusing the old solve's compilation.
+
+    ``cache`` should be the old solve's cache; ``previous`` the old
+    architecture (fed to the MILP as a warm start via
+    ``SolveOptions.incremental``).  The result is exact: transplanted
+    entries are provably identical to what a cold solve would compute,
+    and the warm start only changes where the solver starts, not where
+    it stops.
+    """
+    cache = cache if cache is not None else EncodeCache()
+    opts = replace(options if options is not None else SolveOptions(),
+                   incremental=True)
+    prepare_cache(old, new, deltas, cache)
+    return new.explore(
+        cache=cache, options=opts, previous=previous, solver=solver
+    )
+
+
+def cold_resolve(
+    scenario: Scenario,
+    *,
+    options: SolveOptions | None = None,
+    solver: Any = None,
+) -> SynthesisResult:
+    """Solve a fresh rebuild of ``scenario`` with an empty cache.
+
+    The honest from-scratch baseline the incremental path is measured
+    against (and the exactness oracle in the tests).
+    """
+    return scenario.rebuilt().explore(
+        cache=EncodeCache(), options=options, solver=solver
+    )
+
+
+# -- Yen pool replay ----------------------------------------------------------
+
+
+def _edge_changes(
+    old: Scenario, new: Scenario
+) -> dict[tuple[int, int], tuple[float | None, float | None]]:
+    """Directed edges whose weight differs between the two templates."""
+    old_edges = {(u, v): w for u, v, w in old.template.edges()}
+    new_edges = {(u, v): w for u, v, w in new.template.edges()}
+    out: dict[tuple[int, int], tuple[float | None, float | None]] = {}
+    for key in set(old_edges) | set(new_edges):
+        w_old = old_edges.get(key)
+        w_new = new_edges.get(key)
+        if w_old != w_new:
+            out[key] = (w_old, w_new)
+    return out
+
+
+class _YenReplayer:
+    """Replays Algorithm 1's per-route cache-key walk against new keys."""
+
+    def __init__(
+        self,
+        new_graph: DiGraph,
+        old_gkey: str,
+        new_gkey: str,
+        changed: dict[tuple[int, int], tuple[float | None, float | None]],
+        backend: str,
+    ) -> None:
+        self.new_graph = new_graph
+        self.old_gkey = old_gkey
+        self.new_gkey = new_gkey
+        self.changed = changed
+        self.backend = backend
+        self._forward: dict[int, dict[Any, float]] = {}
+        self._backward: dict[int, dict[Any, float]] = {}
+        self._reversed: DiGraph | None = None
+
+    def _dist_from(self, source: int) -> dict[Any, float]:
+        if source not in self._forward:
+            self._forward[source] = shortest_path_tree(self.new_graph, source)
+        return self._forward[source]
+
+    def _dist_to(self, target: int) -> dict[Any, float]:
+        if target not in self._backward:
+            if self._reversed is None:
+                rev = DiGraph()
+                for node in self.new_graph.nodes():
+                    rev.add_node(node)
+                for u, v, w in self.new_graph.edges():
+                    rev.add_edge(v, u, w)
+                self._reversed = rev
+            self._backward[target] = shortest_path_tree(self._reversed, target)
+        return self._backward[target]
+
+    def _round_reusable(
+        self, found: list[tuple[list[int], float]], k: int,
+        source: int, target: int,
+    ) -> bool:
+        """The certificate: is the cached round valid on the new graph?"""
+        if not self.changed:
+            return True
+        on_paths: set[tuple[int, int]] = set()
+        for nodes, _cost in found:
+            on_paths.update(zip(nodes, nodes[1:]))
+        ds = dt = None
+        for (u, v), (w_old, w_new) in self.changed.items():
+            if (u, v) in on_paths:
+                return False  # a cached path's cost or existence changed
+            if w_new is None:
+                continue  # removed, off every cached path: harmless
+            if w_old is not None and w_new > w_old:
+                continue  # grew worse, off every cached path: harmless
+            # Added or cheapened: no path through it may reach the top-K.
+            if len(found) < k:
+                return False
+            if ds is None:
+                ds = self._dist_from(source)
+                dt = self._dist_to(target)
+            assert dt is not None
+            bound = ds.get(u, INFINITY) + w_new + dt.get(v, INFINITY)
+            if not bound > found[-1][1] + _BOUND_EPS:
+                return False
+        return True
+
+    def replay(
+        self,
+        req: RouteRequirement,
+        k_star: int,
+        cache: EncodeCache,
+        stats: RunStats | None,
+    ) -> int:
+        """Walk one route's rounds; seed new keys when all rounds certify.
+
+        Returns the number of rounds seeded (0 on abort — the new solve
+        then recomputes that route cold, which is always correct).
+        Mirrors ``generate_candidate_pool``'s control flow exactly so
+        the mask sets, and hence the cache keys, line up round for
+        round.
+        """
+        k_per_round, n_rep = budget_div(k_star, req.replicas)
+        masks: set[tuple[int, int]] = set()
+        pool: list[CandidatePath] = []
+        seen: set[tuple[int, ...]] = set()
+        seeds: list[tuple[str, list[tuple[list[int], float]]]] = []
+        rounds = 0
+        while rounds < n_rep + _MAX_EXTRA_ROUNDS:
+            rounds += 1
+            mask_key = tuple(sorted(masks))
+            old_key = digest(
+                "yen", self.backend, self.old_gkey, req.source, req.dest,
+                k_per_round, mask_key,
+            )
+            found = cache.peek(old_key)
+            if found is None:
+                return 0  # the old solve never touched this round
+            if not self._round_reusable(
+                found, k_per_round, req.source, req.dest
+            ):
+                return 0
+            seeds.append((
+                digest(
+                    "yen", self.backend, self.new_gkey, req.source, req.dest,
+                    k_per_round, mask_key,
+                ),
+                found,
+            ))
+            round_paths = []
+            for nodes, cost in found:
+                if not _hops_ok(nodes, req):
+                    continue
+                key = tuple(nodes)
+                round_paths.append(nodes)
+                if key not in seen:
+                    seen.add(key)
+                    pool.append(CandidatePath(key, cost))
+            if rounds >= n_rep and _pool_sufficient(pool, req):
+                break
+            if not round_paths:
+                break
+            idx = minimally_disjoint_path([p.nodes for p in pool])
+            # Every pool-path edge exists unchanged in both graphs (the
+            # certificate rejected anything else), so the cold build's
+            # ``has_edge`` guard is always true here and the mask
+            # evolution matches it exactly.
+            masks.update(pool[idx].edges)
+        seeded = 0
+        for key, value in seeds:
+            if cache.seed(REGION_YEN, key, value, stats):
+                seeded += 1
+        return seeded
+
+
+# -- reachability ranking transplant ------------------------------------------
+
+
+def _reach_requirement(scenario: Scenario) -> ReachabilityRequirement | None:
+    reqs = scenario.requirements
+    if isinstance(reqs, ReachabilityRequirement):
+        return reqs
+    return reqs.reachability
+
+
+def _reach_key(scenario: Scenario, req: ReachabilityRequirement) -> str:
+    anchors = [
+        n for n in scenario.template.nodes if n.role == req.anchor_role
+    ]
+    return digest(
+        "reach",
+        channel_key(scenario.channel),
+        [(a.id, a.location) for a in anchors],
+        tuple(req.test_points),
+    )
+
+
+def _transplant_reach(
+    old: Scenario,
+    new: Scenario,
+    deltas: tuple[EditDelta, ...],
+    cache: EncodeCache,
+    stats: RunStats | None,
+) -> int:
+    """Patch and re-seed the per-test-point anchor rankings, if cached.
+
+    Only the (anchor, point) pairs whose ray crosses an edited wall — or
+    whose anchor moved — are recomputed with the new channel's scalar
+    model (the same call the cold compute makes); every other entry's
+    crossed-wall set is unchanged, so its cold value is float-identical
+    to the old one and carries over directly.
+    """
+    old_req = _reach_requirement(old)
+    new_req = _reach_requirement(new)
+    if old_req is None or new_req is None:
+        return 0
+    if tuple(old_req.test_points) != tuple(new_req.test_points):
+        return 0
+    old_key = _reach_key(old, old_req)
+    new_key = _reach_key(new, new_req)
+    if old_key == new_key:
+        return 0
+    old_rows = cache.peek(old_key)
+    if old_rows is None:
+        return 0
+
+    anchors = [
+        n for n in new.template.nodes if n.role == new_req.anchor_role
+    ]
+    moved = {
+        d.moved_node for d in deltas if d.moved_node is not None
+    }
+    edited_walls = [w for d in deltas for w in d.walls]
+    points = tuple(new_req.test_points)
+    new_rows: list[list[tuple[float, int]]] = []
+    for pi, point in enumerate(points):
+        values = {aid: pl for pl, aid in old_rows[pi]}
+        for anchor in anchors:
+            ray = Segment(anchor.location, point)
+            if anchor.id in moved or any(
+                w.segment.intersects(ray) for w in edited_walls
+            ):
+                values[anchor.id] = new.channel.path_loss_db(
+                    anchor.location, point
+                )
+        new_rows.append(
+            sorted((pl, aid) for aid, pl in values.items())
+        )
+    return 1 if cache.seed(REGION_PATHLOSS, new_key, new_rows, stats) else 0

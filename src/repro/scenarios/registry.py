@@ -1,0 +1,198 @@
+"""The scenario registry: a namespace of regenerable problems.
+
+Every scenario has a canonical name ``family:params:seed`` (parameters
+sorted by key, defaults omitted), e.g. ``multifloor:floors=3,rooms_x=4:1``
+or ``materials::0`` for an all-defaults instance.  The name is a complete
+identity — :meth:`ScenarioRegistry.generate` rebuilds the exact problem
+from it — so benchmark reports, CI corpora and server jobs can refer to
+problems by string.
+
+The default registry enumerates each family's parameter grid across the
+default seeds, giving a corpus of well over a hundred distinct,
+fingerprinted problems out of the box.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Any
+
+from repro.scenarios.families import SCENARIO_FAMILIES, ScenarioFamily
+from repro.scenarios.scenario import Scenario
+
+#: Seeds the default registry enumerates every grid point with.
+DEFAULT_SEEDS: tuple[int, ...] = (0, 1, 2, 3, 4)
+
+_RESERVED = (":", ",", "=")
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        raise ValueError("boolean scenario parameters are not supported")
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+    if not text or any(ch in text for ch in _RESERVED):
+        raise ValueError(f"cannot encode parameter value {value!r} in a name")
+    return text
+
+
+def _parse_value(text: str) -> Any:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def format_name(family: str, params: Mapping[str, Any], seed: int) -> str:
+    """The canonical ``family:params:seed`` name for a scenario.
+
+    ``params`` holds only the explicit (non-default) parameters; they are
+    sorted by key so equal parameter sets always format identically.
+    """
+    if ":" in family:
+        raise ValueError(f"family name {family!r} must not contain ':'")
+    body = ",".join(
+        f"{key}={_format_value(params[key])}" for key in sorted(params)
+    )
+    return f"{family}:{body}:{int(seed)}"
+
+
+def parse_name(name: str) -> tuple[str, dict[str, Any], int]:
+    """Split a canonical scenario name into (family, params, seed).
+
+    Numeric parameter values are recovered as ``int``/``float``; anything
+    else stays a string (material mixes, requirement blends).
+    """
+    parts = name.split(":")
+    if len(parts) != 3:
+        raise ValueError(
+            f"bad scenario name {name!r}: expected 'family:params:seed'"
+        )
+    family, body, seed_text = parts
+    if not family:
+        raise ValueError(f"bad scenario name {name!r}: empty family")
+    try:
+        seed = int(seed_text)
+    except ValueError:
+        raise ValueError(
+            f"bad scenario name {name!r}: seed {seed_text!r} is not an integer"
+        ) from None
+    params: dict[str, Any] = {}
+    if body:
+        for item in body.split(","):
+            key, sep, value = item.partition("=")
+            if not sep or not key:
+                raise ValueError(
+                    f"bad scenario name {name!r}: malformed parameter {item!r}"
+                )
+            if key in params:
+                raise ValueError(
+                    f"bad scenario name {name!r}: duplicate parameter {key!r}"
+                )
+            params[key] = _parse_value(value)
+    return family, params, seed
+
+
+class ScenarioRegistry:
+    """Maps canonical names to generated :class:`Scenario` instances."""
+
+    def __init__(
+        self,
+        families: Iterable[ScenarioFamily] = SCENARIO_FAMILIES,
+        seeds: Iterable[int] = DEFAULT_SEEDS,
+    ) -> None:
+        self.families: dict[str, ScenarioFamily] = {}
+        for family in families:
+            if family.name in self.families:
+                raise ValueError(f"duplicate scenario family {family.name!r}")
+            self.families[family.name] = family
+        self.seeds = tuple(int(s) for s in seeds)
+        if not self.seeds:
+            raise ValueError("registry needs at least one seed")
+
+    def names(self, family: str | None = None) -> list[str]:
+        """All canonical names in the default corpus (grid x seeds)."""
+        if family is not None and family not in self.families:
+            raise KeyError(
+                f"unknown scenario family {family!r}; "
+                f"known: {sorted(self.families)}"
+            )
+        out: list[str] = []
+        for fam in self.families.values():
+            if family is not None and fam.name != family:
+                continue
+            for overrides in fam.grid:
+                for seed in self.seeds:
+                    out.append(format_name(fam.name, overrides, seed))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            family, params, _ = parse_name(name)
+        except ValueError:
+            return False
+        fam = self.families.get(family)
+        return fam is not None and set(params) <= set(fam.defaults)
+
+    def generate(self, name: str) -> Scenario:
+        """Build the scenario ``name`` denotes (any params, any seed).
+
+        The scenario's recorded name is the canonical re-formatting of
+        the request, so ``registry.generate(s.name).fingerprint() ==
+        s.fingerprint()`` for every generated scenario ``s``.
+        """
+        family_name, params, seed = parse_name(name)
+        try:
+            family = self.families[family_name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario family {family_name!r}; "
+                f"known: {sorted(self.families)}"
+            ) from None
+        unknown = set(params) - set(family.defaults)
+        if unknown:
+            raise ValueError(
+                f"unknown parameters for family {family_name!r}: "
+                f"{sorted(unknown)}; known: {sorted(family.defaults)}"
+            )
+        merged = dict(family.defaults)
+        merged.update(params)
+        canonical = format_name(family_name, params, seed)
+        return family.build(canonical, merged, seed)
+
+    def summary(self) -> list[dict[str, Any]]:
+        """Per-family description for reports and the CLI listing."""
+        return [
+            {
+                "family": fam.name,
+                "description": fam.description,
+                "grid_points": len(fam.grid),
+                "seeds": len(self.seeds),
+                "scenarios": len(fam.grid) * len(self.seeds),
+                "defaults": dict(fam.defaults),
+            }
+            for fam in self.families.values()
+        ]
+
+
+_DEFAULT: ScenarioRegistry | None = None
+
+
+def default_registry() -> ScenarioRegistry:
+    """The process-wide registry over the built-in families."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = ScenarioRegistry()
+    return _DEFAULT

@@ -1,0 +1,179 @@
+"""The :class:`Scenario` container: one complete, named problem instance.
+
+A scenario bundles everything an exploration needs — floor plan,
+template, channel model, device library, requirements — together with
+the identity that produced it (family, parameters, seed), so the same
+problem can be regenerated, fingerprinted, edited and re-solved by
+name.  The fingerprint hashes problem *content* (node geometry, edges,
+walls, devices, requirements), not construction incidentals, so a
+rebuilt scenario fingerprints identically and any single edit changes
+the fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable
+from typing import Any
+
+from repro.channel.base import ChannelModel
+from repro.core.options import SolveOptions
+from repro.core.results import SynthesisResult
+from repro.geometry.floorplan import FloorPlan
+from repro.library.catalog import Library
+from repro.network.requirements import ReachabilityRequirement, RequirementSet
+from repro.network.template import (
+    NetworkNode,
+    Template,
+    data_collection_link_rule,
+)
+from repro.network.topology import Architecture
+from repro.resilience.checkpoint import problem_fingerprint
+from repro.runtime.cache import EncodeCache, channel_key
+
+LinkRule = Callable[[NetworkNode, NetworkNode], bool]
+
+
+@dataclass
+class Scenario:
+    """One named, regenerable exploration problem.
+
+    ``name`` is the canonical registry name (``family:params:seed``);
+    ``params`` are the family parameters that produced the instance.
+    ``max_link_pl_db`` is ``None`` for star (localization) scenarios,
+    whose templates carry no candidate links.
+    """
+
+    name: str
+    family: str
+    params: dict[str, Any]
+    seed: int
+    plan: FloorPlan
+    template: Template
+    channel: ChannelModel
+    library: Library
+    requirements: RequirementSet | ReachabilityRequirement
+    k_star: int = 6
+    objective: str = "cost"
+    max_link_pl_db: float | None = None
+    link_rule: LinkRule = field(default=data_collection_link_rule)
+
+    def fingerprint(self) -> str:
+        """A short stable hash of the problem content.
+
+        Built from canonical tuples (nodes, sorted edges, walls,
+        device names, requirements, channel key) rather than the raw
+        objects, so construction incidentals — graph insertion order,
+        version counters, compiled-kernel caches — never leak into the
+        identity and a :meth:`rebuilt` copy fingerprints identically.
+        """
+        nodes = tuple(
+            (n.id, n.location.x, n.location.y, n.role, n.fixed)
+            for n in self.template.nodes
+        )
+        edges = tuple(sorted(self.template.edges()))
+        walls = tuple(
+            (
+                w.segment.start.x, w.segment.start.y,
+                w.segment.end.x, w.segment.end.y,
+                w.material, w.attenuation_db(),
+            )
+            for w in self.plan.walls
+        )
+        devices = tuple(sorted(d.name for d in self.library.devices))
+        return problem_fingerprint(
+            nodes, edges, walls, devices, self.requirements,
+            channel_key(self.channel), self.k_star, self.objective,
+        )
+
+    def explore(
+        self,
+        *,
+        objective: str | None = None,
+        cache: EncodeCache | None = None,
+        options: SolveOptions | None = None,
+        previous: Architecture | None = None,
+        solver: Any = None,
+    ) -> SynthesisResult:
+        """Solve this scenario through the :func:`repro.explore` facade.
+
+        ``previous`` seeds the warm start (the incremental re-solve
+        path passes the unedited problem's architecture here alongside
+        a cache pre-seeded by :func:`repro.scenarios.incremental.
+        prepare_cache`).
+        """
+        from repro.core.facade import explore
+
+        result = explore(
+            self.template, self.library, self.requirements,
+            objective=objective or self.objective,
+            channel=self.channel,
+            k_star=self.k_star,
+            cache=cache,
+            options=options,
+            plan=self.plan,
+            previous=previous,
+            solver=solver,
+        )
+        assert isinstance(result, SynthesisResult)
+        return result
+
+    def rebuilt(self) -> Scenario:
+        """A cold rebuild of this scenario from its geometry.
+
+        Reconstructs the template from the node list and floor plan the
+        way the family generators do (fresh ``add_candidate_links``
+        pass), which is both the parity oracle for the edit layer's
+        patched templates and the honest baseline for the incremental
+        re-solve benchmarks.
+        """
+        template = Template(
+            list(self.template.nodes), self.template.link_type,
+            self.template.name,
+        )
+        if self.max_link_pl_db is not None:
+            template.add_candidate_links(
+                self.channel, self.max_link_pl_db, self.link_rule
+            )
+        return Scenario(
+            name=self.name,
+            family=self.family,
+            params=dict(self.params),
+            seed=self.seed,
+            plan=self.plan,
+            template=template,
+            channel=self.channel,
+            library=self.library,
+            requirements=self.requirements,
+            k_star=self.k_star,
+            objective=self.objective,
+            max_link_pl_db=self.max_link_pl_db,
+            link_rule=self.link_rule,
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-ready descriptive statistics for reports and the CLI."""
+        reqs = self.requirements
+        if isinstance(reqs, RequirementSet):
+            routes = len(reqs.routes)
+            test_points = (
+                len(reqs.reachability.test_points)
+                if reqs.reachability is not None else 0
+            )
+        else:
+            routes = 0
+            test_points = len(reqs.test_points)
+        return {
+            "name": self.name,
+            "family": self.family,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "fingerprint": self.fingerprint(),
+            "nodes": self.template.node_count,
+            "edges": self.template.edge_count,
+            "walls": len(self.plan.walls),
+            "routes": routes,
+            "test_points": test_points,
+            "k_star": self.k_star,
+            "objective": self.objective,
+        }

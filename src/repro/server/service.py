@@ -26,9 +26,12 @@ from __future__ import annotations
 import threading
 import time
 import uuid
+from collections import OrderedDict
 from pathlib import Path
 
 from repro.core.api import JobRequest, JobResult, result_to_dict
+from repro.core.results import SynthesisResult
+from repro.network.topology import Architecture
 from repro.resilience.checkpoint import (
     Checkpoint,
     CheckpointError,
@@ -44,6 +47,10 @@ from repro.telemetry.trace import add_sink, remove_sink, span
 #: sweep files ``job-<id>.sweep.jsonl`` the entry points write.
 _STATE_SUFFIX = ".state.jsonl"
 _SWEEP_SUFFIX = ".sweep.jsonl"
+
+#: How many completed jobs' architectures stay addressable as a
+#: scenario job's ``base`` (warm start for what-if re-solves).
+_ARCHITECTURE_CAP = 32
 
 
 class SynthesisService:
@@ -67,6 +74,9 @@ class SynthesisService:
         self.queue = FairJobQueue()
         self._jobs: dict[str, Job] = {}
         self._checkpoints: dict[str, Checkpoint] = {}
+        #: job id -> result architecture, LRU-bounded.  In-memory only:
+        #: a recovered process re-solves rather than warm-starting.
+        self._architectures: OrderedDict[str, Architecture] = OrderedDict()
         self._lock = threading.Lock()
         self._stop = threading.Event()
         add_sink(self.hub)
@@ -109,6 +119,21 @@ class SynthesisService:
     def job(self, job_id: str) -> Job | None:
         with self._lock:
             return self._jobs.get(job_id)
+
+    def architecture(self, job_id: str) -> Architecture | None:
+        """The result architecture of a completed job, if still held."""
+        with self._lock:
+            arch = self._architectures.get(job_id)
+            if arch is not None:
+                self._architectures.move_to_end(job_id)
+            return arch
+
+    def _store_architecture(self, job_id: str, arch: Architecture) -> None:
+        with self._lock:
+            self._architectures[job_id] = arch
+            self._architectures.move_to_end(job_id)
+            while len(self._architectures) > _ARCHITECTURE_CAP:
+                self._architectures.popitem(last=False)
 
     def jobs(self) -> list[Job]:
         with self._lock:
@@ -211,12 +236,23 @@ class SynthesisService:
                 # is complete from the first record.
                 self.hub.bind(job.id, job_span.trace_id)
                 self._transition(job, JobState.RUNNING)
+                previous = None
+                base = job.request.problem.get("base")
+                if job.request.kind == "scenario" and base:
+                    # Missing base (evicted, or a recovered process that
+                    # no longer holds it) degrades to a cold-start solve;
+                    # the warm start is an optimization, not semantics.
+                    previous = self.architecture(str(base))
+                    job_span.set_attribute(
+                        "warm_start", previous is not None
+                    )
                 try:
                     result = job.request.run(
                         cache=self.cache if job.request.options.cache
                         else None,
                         checkpoint=self._sweep_path(job),
                         resume=job.resumed,
+                        previous=previous,
                     )
                 except Exception as exc:  # noqa: BLE001 - job boundary
                     job.result = JobResult.failure(
@@ -225,6 +261,11 @@ class SynthesisService:
                     )
                     job_span.set_attribute("outcome", "failed")
                 else:
+                    if (
+                        isinstance(result, SynthesisResult)
+                        and result.architecture is not None
+                    ):
+                        self._store_architecture(job.id, result.architecture)
                     job.result = JobResult(
                         kind=job.request.kind, ok=True,
                         result=result_to_dict(result),

@@ -216,3 +216,71 @@ class TestParsing:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestScenarios:
+    def test_list_family(self, capsys):
+        assert main(["scenarios", "list", "--family", "campus"]) == 0
+        out = capsys.readouterr().out
+        assert "campus:buildings_x=2,buildings_y=2:0" in out
+        assert "total: 20 scenarios" in out
+
+    def test_list_unknown_family(self, capsys):
+        assert main(["scenarios", "list", "--family", "nope"]) == 1
+        assert "unknown scenario family" in capsys.readouterr().out
+
+    def test_list_json_and_limit(self, capsys):
+        assert main(["scenarios", "list", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert sum(row["scenarios"] for row in summary) >= 100
+        assert main(["scenarios", "list", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "more)" in out
+
+    def test_generate_summary_and_svg(self, capsys, tmp_path):
+        svg = tmp_path / "plan.svg"
+        assert main([
+            "scenarios", "generate", "materials::0", "--svg-out", str(svg),
+        ]) == 0
+        out = capsys.readouterr().out
+        summary = json.loads(out[:out.rindex("}") + 1])
+        assert summary["name"] == "materials::0"
+        assert summary["fingerprint"]
+        assert svg.exists() and "<svg" in svg.read_text()
+
+    def test_generate_unknown_name(self, capsys):
+        assert main(["scenarios", "generate", "skyscraper::0"]) == 1
+        assert "unknown scenario family" in capsys.readouterr().out
+
+    def test_resolve_plain(self, capsys):
+        assert main(["scenarios", "resolve", "campus::0"]) == 0
+        out = capsys.readouterr().out
+        assert "status optimal" in out
+
+    def test_resolve_incremental_edit(self, capsys, tmp_path):
+        stats = tmp_path / "stats.json"
+        code = main([
+            "scenarios", "resolve", "campus::0",
+            "--edit", "add-wall:30,5,30,25,brick",
+            "--incremental", "--stats-json", str(stats),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "cold" in out and "incremental" in out
+        payload = json.loads(stats.read_text())
+        assert (
+            payload["incremental"]["objective"] == payload["cold"]["objective"]
+        )
+        assert payload["cache"]["partial_reuse"]
+
+    def test_resolve_bad_edit(self, capsys):
+        assert main([
+            "scenarios", "resolve", "campus::0", "--edit", "teleport:1",
+        ]) == 1
+        assert "unknown edit kind" in capsys.readouterr().out
+
+    def test_resolve_incremental_requires_edit(self, capsys):
+        assert main([
+            "scenarios", "resolve", "campus::0", "--incremental",
+        ]) == 1
+        assert "needs at least one --edit" in capsys.readouterr().out

@@ -164,3 +164,65 @@ class TestParetoEnvelope:
         assert decoded.points[0].primary == pytest.approx(
             front.points[0].primary
         )
+
+
+class TestScenarioJobs:
+    def test_problem_keys(self):
+        with pytest.raises(ValueError, match="scenario"):
+            JobRequest(kind="scenario", problem={"sensors": 4})
+        request = JobRequest(
+            kind="scenario",
+            problem={"scenario": "campus::0",
+                     "edits": ["set-min-snr:21"], "base": "job-1"},
+        )
+        assert not request.resumable
+        assert JobRequest.from_dict(request.to_dict()) == request
+
+    def test_run_without_edits(self):
+        request = JobRequest(
+            kind="scenario", problem={"scenario": "campus::0"},
+        )
+        result = request.run()
+        assert result.feasible
+        assert repro.result_to_dict(result)["kind"] == "synthesis"
+
+    def test_run_with_edit_matches_cold_solve(self):
+        from repro.runtime import EncodeCache
+        from repro.scenarios import apply_edits, default_registry, parse_edit
+
+        cache = EncodeCache()
+        base = JobRequest(
+            kind="scenario", problem={"scenario": "campus::0"},
+        ).run(cache=cache)
+        edited_request = JobRequest(
+            kind="scenario",
+            problem={"scenario": "campus::0",
+                     "edits": ["add-wall:30,5,30,25,brick"]},
+        )
+        incremental = edited_request.run(
+            cache=cache, previous=base.architecture
+        )
+        scenario = default_registry().generate("campus::0")
+        cold_problem, _ = apply_edits(
+            scenario, (parse_edit("add-wall:30,5,30,25,brick"),)
+        )
+        cold = cold_problem.rebuilt().explore()
+        assert incremental.objective_value == cold.objective_value
+        assert cache.counters.partial_count() > 0
+
+    def test_missing_scenario_name(self):
+        with pytest.raises(ValueError, match="need a 'scenario' name"):
+            JobRequest(kind="scenario").run()
+
+    def test_unknown_scenario_name(self):
+        with pytest.raises(KeyError, match="unknown scenario family"):
+            JobRequest(
+                kind="scenario", problem={"scenario": "skyscraper::0"}
+            ).run()
+
+    def test_k_star_override(self):
+        request = JobRequest(
+            kind="scenario",
+            problem={"scenario": "campus::0", "k_star": 3},
+        )
+        assert request.run().feasible

@@ -34,6 +34,12 @@ class TestSolveOptions:
         assert payload["lazy_cuts"] is True
         assert payload["portfolio"] is True
 
+    def test_incremental_flag_round_trips(self):
+        assert SolveOptions().incremental is False
+        opts = SolveOptions(incremental=True)
+        assert SolveOptions.from_dict(opts.to_dict()) == opts
+        assert opts.to_dict()["incremental"] is True
+
     @pytest.mark.parametrize("bad", [
         {"deadline_s": -1.0},
         {"max_retries": -2},

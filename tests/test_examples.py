@@ -98,3 +98,50 @@ def test_kstar_tradeoff_reduced():
         "--full-time-limit", "60",
     )
     assert "automatic search picked K*" in out
+
+
+def run_cli(*args: str, timeout: float = 600.0):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=timeout, env=env,
+        cwd=str(EXAMPLES.parent),
+    )
+    assert result.returncode == 0, result.stderr[-2000:] or result.stdout
+    return result.stdout
+
+
+@pytest.mark.parametrize("stem", ["multifloor", "urbangrid"])
+def test_scenario_spec_lints(stem):
+    out = run_cli(
+        "lint", f"examples/specs/{stem}.spec",
+        "--floorplan", f"examples/specs/{stem}.svg",
+        "--sensors", "6", "--relays", "18",
+    )
+    assert "0 error(s)" in out
+
+
+def test_urbangrid_spec_synthesizes():
+    out = run_cli(
+        "synthesize",
+        "--spec", "examples/specs/urbangrid.spec",
+        "--floorplan", "examples/specs/urbangrid.svg",
+        "--sensors", "6", "--relays", "18",
+    )
+    assert "status:  optimal" in out
+    assert "all requirements hold" in out
+
+
+@pytest.mark.slow
+def test_multifloor_spec_synthesizes():
+    out = run_cli(
+        "synthesize",
+        "--spec", "examples/specs/multifloor.spec",
+        "--floorplan", "examples/specs/multifloor.svg",
+        "--sensors", "8", "--relays", "24",
+    )
+    assert "status:  optimal" in out
+    assert "all requirements hold" in out

@@ -289,3 +289,45 @@ class TestFailedComputeRecovery:
             ))
         assert cache.get_or_compute("yen", "good", lambda: 7) == 7
         assert len(cache) == 1
+
+
+class TestSeedAndPeek:
+    """The incremental-transplant surface: non-clobbering, non-counting."""
+
+    def test_seed_inserts_and_counts_partial_reuse(self):
+        cache = EncodeCache()
+        stats = RunStats()
+        assert cache.seed("yen", "k1", [1, 2, 3], stats)
+        assert cache.counters.partial_count("yen") == 1
+        assert stats.cache.partial_count("yen") == 1
+        # The later consuming lookup scores the hit, not the seed.
+        assert cache.counters.hit_count("yen") == 0
+        assert cache.get_or_compute("yen", "k1", lambda: "never") == [1, 2, 3]
+        assert cache.counters.hit_count("yen") == 1
+
+    def test_seed_never_clobbers_existing_entries(self):
+        cache = EncodeCache()
+        cache.get_or_compute("yen", "k1", lambda: "fresh")
+        assert not cache.seed("yen", "k1", "stale")
+        assert cache.counters.partial_count("yen") == 0
+        assert cache.peek("k1") == "fresh"
+
+    def test_peek_reads_without_counting(self):
+        cache = EncodeCache()
+        assert cache.peek("absent") is None
+        cache.get_or_compute("pathloss", "k", lambda: 42)
+        before = cache.counters.to_dict()
+        assert cache.peek("k") == 42
+        assert cache.counters.to_dict() == before
+
+    def test_counters_merge_includes_partial_reuse(self):
+        a = CacheCounters()
+        a.record_partial("yen")
+        b = CacheCounters()
+        b.record_partial("yen")
+        b.record_partial("pathloss")
+        a.merge(b)
+        assert a.partial_count("yen") == 2
+        assert a.partial_count("pathloss") == 1
+        assert a.partial_count() == 3
+        assert a.to_dict()["partial_reuse"] == {"yen": 2, "pathloss": 1}

@@ -1,0 +1,140 @@
+"""Tests for the scenario families, registry and fingerprints."""
+
+import pytest
+
+from repro.scenarios import (
+    SCENARIO_FAMILIES,
+    ScenarioRegistry,
+    default_registry,
+    format_name,
+    parse_name,
+)
+
+#: One cheap representative per family (explicit params keep them small).
+REPRESENTATIVES = [
+    "multifloor:floors=2,rooms_x=3:0",
+    "campus:buildings_x=2,buildings_y=2:0",
+    "materials::0",
+    "reqmix::0",
+    "moving_target::0",
+]
+
+
+class TestRegistryCorpus:
+    def test_enumerates_at_least_100_scenarios(self):
+        registry = default_registry()
+        names = registry.names()
+        assert len(names) >= 100
+        assert len(set(names)) == len(names)
+        families = {parse_name(n)[0] for n in names}
+        assert len(families) >= 4
+
+    def test_corpus_fingerprints_are_distinct(self):
+        registry = default_registry()
+        prints = {}
+        for name in registry:
+            fp = registry.generate(name).fingerprint()
+            assert fp not in prints, (
+                f"{name} and {prints[fp]} fingerprint identically"
+            )
+            prints[fp] = name
+
+    def test_family_filter_and_contains(self):
+        registry = default_registry()
+        campus = registry.names(family="campus")
+        assert campus and all(n.startswith("campus:") for n in campus)
+        assert campus[0] in registry
+        assert "campus:buildings_x=7:0" in registry  # any value of a known key
+        assert "campus:bogus=1:0" not in registry
+        assert "nope::0" not in registry
+        assert "not a name" not in registry
+        with pytest.raises(KeyError, match="unknown scenario family"):
+            registry.names(family="nope")
+
+    def test_summary_covers_every_family(self):
+        registry = default_registry()
+        summary = registry.summary()
+        assert {row["family"] for row in summary} == {
+            f.name for f in SCENARIO_FAMILIES
+        }
+        assert sum(row["scenarios"] for row in summary) == len(registry)
+
+    def test_registry_rejects_duplicate_family_and_empty_seeds(self):
+        fam = SCENARIO_FAMILIES[0]
+        with pytest.raises(ValueError, match="duplicate"):
+            ScenarioRegistry(families=[fam, fam])
+        with pytest.raises(ValueError, match="at least one seed"):
+            ScenarioRegistry(seeds=[])
+
+
+class TestNames:
+    def test_format_parse_round_trip(self):
+        name = format_name("multifloor", {"rooms_x": 4, "floors": 3}, 7)
+        assert name == "multifloor:floors=3,rooms_x=4:7"
+        family, params, seed = parse_name(name)
+        assert family == "multifloor"
+        assert params == {"floors": 3, "rooms_x": 4}
+        assert seed == 7
+
+    def test_parse_recovers_numeric_types(self):
+        _, params, _ = parse_name("campus:street=6.5,buildings_x=3:0")
+        assert params == {"street": 6.5, "buildings_x": 3}
+        assert isinstance(params["buildings_x"], int)
+
+    @pytest.mark.parametrize("bad", [
+        "campus:0",               # missing params section
+        "campus::x",              # non-integer seed
+        "::0",                    # empty family
+        "campus:streets:0",       # malformed parameter
+        "campus:a=1,a=2:0",       # duplicate parameter
+    ])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_name(bad)
+
+    def test_generate_canonicalizes_the_name(self):
+        registry = default_registry()
+        scenario = registry.generate("multifloor:rooms_x=4,floors=3:1")
+        assert scenario.name == "multifloor:floors=3,rooms_x=4:1"
+        assert (
+            registry.generate(scenario.name).fingerprint()
+            == scenario.fingerprint()
+        )
+
+    def test_generate_rejects_unknown_family_and_params(self):
+        registry = default_registry()
+        with pytest.raises(KeyError, match="unknown scenario family"):
+            registry.generate("skyscraper::0")
+        with pytest.raises(ValueError, match="unknown parameters"):
+            registry.generate("campus:lanes=2:0")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", REPRESENTATIVES)
+    def test_regeneration_is_bit_stable(self, name):
+        registry = default_registry()
+        first = registry.generate(name)
+        second = registry.generate(name)
+        assert first.fingerprint() == second.fingerprint()
+        assert list(first.template.edges()) == list(second.template.edges())
+
+    @pytest.mark.parametrize("name", REPRESENTATIVES)
+    def test_rebuilt_scenario_fingerprints_identically(self, name):
+        scenario = default_registry().generate(name)
+        assert scenario.rebuilt().fingerprint() == scenario.fingerprint()
+
+    def test_seeds_change_the_problem(self):
+        registry = default_registry()
+        fps = {
+            registry.generate(f"campus::{seed}").fingerprint()
+            for seed in range(5)
+        }
+        assert len(fps) == 5
+
+
+class TestFamiliesSolve:
+    @pytest.mark.parametrize("name", REPRESENTATIVES)
+    def test_representative_solves_feasibly(self, name):
+        scenario = default_registry().generate(name)
+        result = scenario.explore()
+        assert result.feasible, f"{name}: {result.status}"

@@ -213,3 +213,69 @@ class TestRecovery:
         with service(workers=1, state_dir=tmp_path) as svc:
             assert svc.recovered == []
             assert svc.jobs() == []
+
+
+class TestScenarioJobs:
+    """What-if jobs: base resolution, architecture store, warm re-solve."""
+
+    def test_scenario_job_solves(self):
+        with service(workers=1) as svc:
+            job = svc.submit(JobRequest(
+                kind="scenario", problem={"scenario": "campus::0"},
+            ))
+            done = svc.wait(job.id, timeout=120.0)
+            assert done.result.ok
+            assert done.result.result["kind"] == "synthesis"
+            assert svc.architecture(job.id) is not None
+
+    def test_edit_against_base_reuses_and_matches(self):
+        with service(workers=1) as svc:
+            base = svc.submit(JobRequest(
+                kind="scenario", problem={"scenario": "campus::0"},
+            ))
+            base_done = svc.wait(base.id, timeout=120.0)
+            edit = svc.submit(JobRequest(
+                kind="scenario",
+                problem={"scenario": "campus::0",
+                         "edits": ["add-wall:30,5,30,25,brick"],
+                         "base": base.id},
+            ))
+            edit_done = svc.wait(edit.id, timeout=120.0)
+            assert edit_done.result.ok
+            # The shared warm cache let the edited solve transplant
+            # entries from the base solve.
+            assert svc.cache.counters.partial_count() > 0
+
+            from repro.scenarios import (
+                apply_edits, default_registry, parse_edit,
+            )
+            scenario = default_registry().generate("campus::0")
+            cold_problem, _ = apply_edits(
+                scenario, (parse_edit("add-wall:30,5,30,25,brick"),)
+            )
+            cold = cold_problem.rebuilt().explore()
+            assert (
+                edit_done.result.result["objective"] == cold.objective_value
+            )
+
+    def test_unknown_base_degrades_to_cold_start(self):
+        with service(workers=1) as svc:
+            job = svc.submit(JobRequest(
+                kind="scenario",
+                problem={"scenario": "campus::0",
+                         "edits": ["set-min-snr:21"],
+                         "base": "no-such-job"},
+            ))
+            done = svc.wait(job.id, timeout=120.0)
+            assert done.result.ok
+
+    def test_architecture_store_is_bounded(self):
+        from repro.server.service import _ARCHITECTURE_CAP
+
+        with service(workers=1) as svc:
+            sentinel = object()
+            for i in range(_ARCHITECTURE_CAP + 5):
+                svc._store_architecture(f"job-{i}", sentinel)
+            assert len(svc._architectures) == _ARCHITECTURE_CAP
+            assert svc.architecture("job-0") is None  # evicted, oldest first
+            assert svc.architecture(f"job-{_ARCHITECTURE_CAP + 4}") is sentinel
